@@ -1,0 +1,79 @@
+//! Criterion benches for the BTI models: the per-call costs that bound how
+//! finely a system simulator can schedule recovery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use deep_healing::bti::analytic::AnalyticBtiModel;
+use deep_healing::bti::calibration::{self, TableOneTargets, DEFAULT_BETA};
+use deep_healing::prelude::*;
+
+fn bench_analytic(c: &mut Criterion) {
+    let model = AnalyticBtiModel::paper_calibrated();
+    c.bench_function("bti/analytic/recovery_fraction", |b| {
+        b.iter(|| {
+            model.recovery_fraction(
+                black_box(Seconds::from_hours(24.0)),
+                black_box(Seconds::from_hours(6.0)),
+                black_box(RecoveryCondition::ACTIVE_ACCELERATED),
+            )
+        })
+    });
+    c.bench_function("bti/analytic/calibration_solve", |b| {
+        b.iter(|| calibration::solve(black_box(&TableOneTargets::model_column()), DEFAULT_BETA))
+    });
+}
+
+fn bench_device(c: &mut Criterion) {
+    c.bench_function("bti/device/24h_cycle_schedule", |b| {
+        b.iter_batched(
+            BtiDevice::paper_calibrated,
+            |mut device| {
+                for _ in 0..24 {
+                    device.stress(Seconds::from_hours(1.0), StressCondition::ACCELERATED);
+                    device.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+                }
+                device.delta_vth_mv()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let ensemble = TrapEnsemble::paper_calibrated(2000).expect("calibration converges");
+    c.bench_function("bti/cet/stress_24h_2000_traps", |b| {
+        b.iter_batched(
+            || ensemble.clone(),
+            |mut e| {
+                e.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+                e.delta_vth_mv()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("bti/cet/recover_6h_2000_traps", |b| {
+        let mut stressed = ensemble.clone();
+        stressed.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        b.iter_batched(
+            || stressed.clone(),
+            |mut e| {
+                e.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+                e.delta_vth_mv()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("table1_full", |b| {
+        b.iter(deep_healing::experiments::table1)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic, bench_device, bench_ensemble, bench_table1);
+criterion_main!(benches);

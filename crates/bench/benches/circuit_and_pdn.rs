@@ -1,0 +1,42 @@
+//! Criterion benches for the circuit nodal solver and the PDN
+//! conjugate-gradient solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use deep_healing::pdn::grid::{PdnConfig, PdnMesh};
+use deep_healing::prelude::*;
+
+fn bench_assist(c: &mut Criterion) {
+    let circuit = AssistCircuit::paper_28nm();
+    for mode in Mode::ALL {
+        c.bench_function(&format!("circuit/assist_solve/{mode}"), |b| {
+            b.iter(|| circuit.solve(mode).expect("paper circuit solves"))
+        });
+    }
+    c.bench_function("circuit/fig10_sweep", |b| {
+        b.iter(deep_healing::experiments::fig10)
+    });
+}
+
+fn bench_pdn(c: &mut Criterion) {
+    let small = PdnMesh::new(PdnConfig::default_chip()).expect("valid config");
+    c.bench_function("pdn/solve_24x24", |b| {
+        b.iter(|| small.solve_uniform_load(0.25e-3).expect("converges"))
+    });
+
+    let big = PdnMesh::new(PdnConfig {
+        rows: 48,
+        cols: 48,
+        ..PdnConfig::default_chip()
+    })
+    .expect("valid config");
+    let mut group = c.benchmark_group("pdn");
+    group.sample_size(20);
+    group.bench_function("solve_48x48", |b| {
+        b.iter(|| big.solve_uniform_load(0.25e-3).expect("converges"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assist, bench_pdn);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the EM stress-evolution PDE.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use deep_healing::prelude::*;
+
+fn bench_pde(c: &mut Criterion) {
+    let j = CurrentDensity::from_ma_per_cm2(7.96);
+    c.bench_function("em/pde/advance_60min_181_nodes", |b| {
+        b.iter_batched(
+            EmWire::paper_wire,
+            |mut wire| {
+                wire.advance(Seconds::from_minutes(60.0), j);
+                wire.resistance()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("fig5_full_experiment", |b| {
+        b.iter(deep_healing::experiments::fig5)
+    });
+    group.finish();
+}
+
+fn bench_black(c: &mut Criterion) {
+    let black = BlackModel::calibrated_to_paper();
+    let t = Celsius::new(85.0).to_kelvin();
+    c.bench_function("em/black/median_ttf", |b| {
+        b.iter(|| black.median_ttf(CurrentDensity::from_ma_per_cm2(1.2), t))
+    });
+    c.bench_function("em/black/quantile", |b| {
+        b.iter(|| black.ttf_quantile(CurrentDensity::from_ma_per_cm2(1.2), t, 0.001))
+    });
+}
+
+criterion_group!(benches, bench_pde, bench_black);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches for the system-level lifetime simulator (the cost of
+//! the Fig. 12(b) experiment per simulated month).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use deep_healing::prelude::*;
+
+fn bench_lifetime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("no_recovery", Policy::NoRecovery),
+        ("passive_idle", Policy::PassiveIdle),
+        ("periodic_deep", Policy::periodic_deep_default()),
+        ("adaptive", Policy::adaptive_default()),
+    ] {
+        group.bench_function(format!("lifetime_1month_16cores/{name}"), |b| {
+            b.iter(|| {
+                let config = LifetimeConfig {
+                    years: 1.0 / 12.0,
+                    ..LifetimeConfig::default()
+                };
+                run_lifetime(&config, policy, 42).expect("valid config")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_step(c: &mut Criterion) {
+    c.bench_function("sched/system_single_epoch_16cores", |b| {
+        let mut system = ManyCoreSystem::new(SystemConfig::default()).expect("valid config");
+        b.iter(|| system.step(Policy::periodic_deep_default()).expect("steps"))
+    });
+}
+
+criterion_group!(benches, bench_lifetime, bench_system_step);
+criterion_main!(benches);

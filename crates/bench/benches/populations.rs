@@ -1,0 +1,91 @@
+//! Criterion benches for the statistical / network layers: wire-population
+//! Monte Carlo, interconnect-network cascades, PDN wear trajectories, and
+//! RO-array calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use deep_healing::bti::variability::DevicePopulation;
+use deep_healing::circuit::ro_array::RoArray;
+use deep_healing::em::network::EmNetwork;
+use deep_healing::em::population::{simulate_population, VariationModel};
+use deep_healing::pdn::grid::{PdnConfig, PdnMesh};
+use deep_healing::pdn::wear_loop::wear_trajectory;
+use deep_healing::prelude::*;
+use deep_healing::units::Amperes;
+
+fn bench_em_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population");
+    group.sample_size(10);
+    group.bench_function("em_8_wires_to_failure", |b| {
+        b.iter(|| {
+            simulate_population(
+                8,
+                CurrentDensity::from_ma_per_cm2(7.96),
+                VariationModel::default(),
+                Seconds::from_hours(48.0),
+                17,
+            )
+        })
+    });
+    group.bench_function("bti_8_devices_table1_protocol", |b| {
+        b.iter(|| {
+            let mut p = DevicePopulation::sample(8, 500, 0.25, 11).expect("valid population");
+            p.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+            p.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+            p.stats()
+        })
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.sample_size(10);
+    let supply = Amperes::new(8.0e10 * 0.4e-6 * 0.35e-6 * 320.0 / 180.0);
+    group.bench_function("redundant_pair_to_disconnect", |b| {
+        b.iter(|| {
+            EmNetwork::redundant_pair()
+                .time_to_disconnect(supply, Seconds::from_hours(120.0))
+                .expect("pair fails")
+        })
+    });
+    group.finish();
+}
+
+fn bench_wear_loop(c: &mut Criterion) {
+    let mesh = PdnMesh::new(PdnConfig::default_chip()).expect("valid config");
+    let mut group = c.benchmark_group("pdn");
+    group.sample_size(10);
+    group.bench_function("wear_trajectory_10y_12steps", |b| {
+        b.iter(|| {
+            wear_trajectory(
+                &mesh,
+                0.5e-3,
+                Celsius::new(105.0).to_kelvin(),
+                Fraction::clamped(0.2),
+                Fraction::clamped(0.9),
+                10.0,
+                12,
+            )
+            .expect("trajectory solves")
+        })
+    });
+    group.finish();
+}
+
+fn bench_ro_array(c: &mut Criterion) {
+    c.bench_function("circuit/ro_array_4x4_calibrated_inference", |b| {
+        let array = RoArray::paper_4x4(42);
+        b.iter(|| {
+            (0..array.len())
+                .map(|site| {
+                    let raw = array.raw_reading(site, 20.0);
+                    array.infer_dvth_mv(site, raw).unwrap_or(0.0)
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_em_population, bench_network, bench_wear_loop, bench_ro_array);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: frequency dependence of EM and BTI wearout under AC /
+//! duty-cycled stress — the literature results (Tao et al.; Abella & Vera)
+//! the paper's scheduling proposal generalises.
+
+use deep_healing::bti::ac::period_sweep;
+use deep_healing::bti::analytic::AnalyticBtiModel;
+use deep_healing::em::ac::frequency_sweep;
+use deep_healing::prelude::*;
+use dh_bench::banner;
+
+fn main() {
+    banner("Ablation — AC stress frequency dependence (EM and BTI)");
+
+    println!("EM: bipolar square wave, 75% positive duty, ±7.96 MA/cm², 230 °C");
+    println!(
+        "{:>16} {:>18} {:>14} {:>18}",
+        "period (min)", "nucleation (min)", "TTF (min)", "peak σ (MPa)"
+    );
+    let outs = frequency_sweep(
+        CurrentDensity::from_ma_per_cm2(7.96),
+        Fraction::clamped(0.75),
+        &[
+            Seconds::ZERO,
+            Seconds::from_minutes(240.0),
+            Seconds::from_minutes(120.0),
+            Seconds::from_minutes(60.0),
+        ],
+        Seconds::from_hours(40.0),
+    );
+    for o in &outs {
+        println!(
+            "{:>16} {:>18} {:>14} {:>18.1}",
+            if o.period.value() == 0.0 { "DC".to_string() } else { format!("{:.0}", o.period.as_minutes()) },
+            o.nucleation.map(|t| format!("{:.0}", t.as_minutes())).unwrap_or_else(|| "none".into()),
+            o.ttf.map(|t| format!("{:.0}", t.as_minutes())).unwrap_or_else(|| ">2400".into()),
+            o.peak_stress.as_mpa(),
+        );
+    }
+    println!("lifetime increases with frequency (Tao et al. 1996), and balanced fast AC is immortal.\n");
+
+    println!("BTI: 50% ON duty at accelerated stress, deep-healing OFF phases, 24 h cumulative stress");
+    println!("{:>16} {:>14} {:>18}", "period (h)", "ΔVth (mV)", "permanent (mV)");
+    let outs = period_sweep(
+        AnalyticBtiModel::paper_calibrated(),
+        StressCondition::ACCELERATED,
+        RecoveryCondition::ACTIVE_ACCELERATED,
+        &[
+            Seconds::from_hours(16.0),
+            Seconds::from_hours(8.0),
+            Seconds::from_hours(4.0),
+            Seconds::from_hours(2.0),
+            Seconds::from_hours(1.0),
+        ],
+        0.5,
+        Seconds::from_hours(24.0),
+    );
+    for o in &outs {
+        println!(
+            "{:>16.1} {:>14.2} {:>18.4}",
+            o.period.as_hours(),
+            o.total_mv,
+            o.permanent_mv
+        );
+    }
+    println!(
+        "\nthe permanent component collapses once the ON window drops below the\n\
+         ~2 h consolidation time — Fig. 4's in-time recovery, in the frequency domain."
+    );
+}

@@ -1,0 +1,37 @@
+//! Ablation: compensate for wearout, or heal it?
+//!
+//! Quantifies the paper's Section I argument: adaptive compensation (VDD
+//! boost tracking degradation) keeps performance flat but burns ever more
+//! power; scheduled deep healing fixes the wearout itself at a fixed
+//! core-time cost.
+
+use deep_healing::sched::adapt::{compensation_study, render_study};
+use deep_healing::sched::SystemConfig;
+use dh_bench::{banner, verdict};
+
+fn main() {
+    banner("Ablation — compensation (VDD boost) vs deep healing");
+    let outcomes =
+        compensation_study(SystemConfig::default(), 1.0, 42).expect("valid configuration");
+    print!("{}", render_study(&outcomes));
+    println!();
+    let [compensate, heal] = outcomes;
+    verdict(
+        "compensation power trajectory",
+        "burns more power gradually",
+        format!(
+            "{:.2}% mean, {:.2}% at end of life",
+            compensate.mean_power_overhead * 100.0,
+            compensate.final_power_overhead * 100.0
+        ),
+    );
+    verdict(
+        "healing cost",
+        "fixed scheduling overhead",
+        format!(
+            "{:.1}% core time, residual guardband {:.3}%",
+            heal.recovery_overhead.as_percent(),
+            heal.residual_guardband * 100.0
+        ),
+    );
+}

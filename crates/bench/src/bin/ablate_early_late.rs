@@ -1,0 +1,49 @@
+//! Ablation: how late can EM recovery start? (the Fig. 5 vs Fig. 6
+//! contrast, swept continuously)
+//!
+//! Recovery applied early in void growth heals fully; the longer the void
+//! exists, the more of it pins and the larger the permanent residue.
+
+use deep_healing::prelude::*;
+use dh_bench::banner;
+
+fn main() {
+    banner("Ablation — recovery start time within void growth (Figs. 5/6)");
+    let j = CurrentDensity::from_ma_per_cm2(7.96);
+
+    println!(
+        "{:>22} {:>14} {:>16} {:>18}",
+        "growth before heal", "ΔR peak (Ω)", "residual (Ω)", "recovered (%)"
+    );
+    for growth_minutes in [15.0, 30.0, 60.0, 120.0, 200.0, 300.0] {
+        let mut wire = EmWire::paper_wire();
+        // Stress through nucleation.
+        while !wire.has_void() && wire.time() < Seconds::from_hours(8.0) {
+            wire.advance(Seconds::from_minutes(5.0), j);
+        }
+        wire.advance(Seconds::from_minutes(growth_minutes), j);
+        let peak = wire.delta_resistance().value();
+        // Heal for a fixed generous interval; track the minimum ΔR reached.
+        // (Right after nucleation the stored tension keeps feeding the void
+        // for a while even under reverse current — stress-induced voiding —
+        // so early cases need the reservoir drained before they heal.)
+        let mut residual = peak;
+        for _ in 0..90 {
+            wire.advance(Seconds::from_minutes(2.0), -j);
+            residual = residual.min(wire.delta_resistance().value());
+        }
+        println!(
+            "{:>18.0} min {:>14.3} {:>16.3} {:>17.1}%",
+            growth_minutes,
+            peak,
+            residual,
+            (1.0 - residual / peak.max(1e-12)) * 100.0
+        );
+    }
+
+    println!(
+        "\nEarly recovery (Fig. 6) heals essentially completely; the older the\n\
+         void, the larger the pinned (consolidated) residue — schedule healing\n\
+         before the interface consolidates."
+    );
+}

@@ -1,0 +1,38 @@
+//! Ablation: the EM recovery-condition matrix (the paper's Fig. 2(b),
+//! completing the Table I analogy for interconnect).
+//!
+//! After a fixed accelerated stress, the wire recovers for 100 minutes
+//! under each combination of the two knobs: current (removed vs reversed)
+//! and temperature (room vs oven).
+
+use deep_healing::em::schedule::condition_matrix;
+use deep_healing::prelude::*;
+use dh_bench::banner;
+
+fn main() {
+    banner("Ablation — EM recovery-condition matrix (Fig. 2(b))");
+    let outs = condition_matrix(
+        CurrentDensity::from_ma_per_cm2(7.96),
+        Seconds::from_minutes(500.0),
+        Seconds::from_minutes(100.0),
+    );
+    println!(
+        "{:>3} {:>18} {:>14} {:>18}",
+        "#", "current", "temperature", "recovered"
+    );
+    for o in &outs {
+        println!(
+            "{:>3} {:>18} {:>13.0} {:>17.1}%",
+            o.condition_no,
+            if o.reverse_current { "reversed" } else { "removed" },
+            o.temperature.to_celsius(),
+            o.recovered_fraction * 100.0,
+        );
+    }
+    println!(
+        "\nSame structure as the BTI Table I: temperature *accelerates*\n\
+         (Arrhenius diffusivity — room temperature freezes the lattice),\n\
+         reversal *activates* (back-flow into the void), and deep healing\n\
+         needs both."
+    );
+}

@@ -1,0 +1,55 @@
+//! Ablation: which recovery knob buys what? (extends Table I)
+//!
+//! Sweeps recovery temperature and reverse bias independently and jointly,
+//! mapping the full θ(V, T) surface the paper samples at four corners.
+
+use deep_healing::bti::analytic::AnalyticBtiModel;
+use deep_healing::prelude::*;
+use dh_bench::banner;
+
+fn main() {
+    banner("Ablation — recovery-knob surface (Table I extended)");
+    let model = AnalyticBtiModel::paper_calibrated();
+    let stress = Seconds::from_hours(24.0);
+    let recovery = Seconds::from_hours(6.0);
+
+    print!("{:>10}", "T \\ V");
+    let biases = [0.0, -0.1, -0.2, -0.3, -0.45, -0.6];
+    for v in biases {
+        print!("{v:>10.2}");
+    }
+    println!();
+    for t in [20.0, 50.0, 80.0, 110.0, 140.0] {
+        print!("{t:>9.0}C");
+        for v in biases {
+            let r = model.recovery_fraction(
+                stress,
+                recovery,
+                RecoveryCondition::new(Volts::new(v), Celsius::new(t)),
+            );
+            print!("{:>9.1}%", r.as_percent());
+        }
+        println!();
+    }
+
+    println!("\nmarginal gains at the paper's corners:");
+    let passive = model
+        .recovery_fraction(stress, recovery, RecoveryCondition::PASSIVE)
+        .as_percent();
+    let active = model
+        .recovery_fraction(stress, recovery, RecoveryCondition::ACTIVE)
+        .as_percent();
+    let accel = model
+        .recovery_fraction(stress, recovery, RecoveryCondition::ACCELERATED)
+        .as_percent();
+    let both = model
+        .recovery_fraction(stress, recovery, RecoveryCondition::ACTIVE_ACCELERATED)
+        .as_percent();
+    println!("  voltage alone:      +{:.1} points", active - passive);
+    println!("  temperature alone:  +{:.1} points", accel - passive);
+    println!(
+        "  both (deep healing): +{:.1} points — sub-multiplicative: the knobs\n\
+         \u{20}                       partly address the same trap population",
+        both - passive
+    );
+}

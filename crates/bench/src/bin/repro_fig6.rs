@@ -1,0 +1,26 @@
+//! Reproduces **Fig. 6**: recovery scheduled in the *early* void-growth
+//! phase achieves full recovery; holding the reverse current afterwards
+//! causes reverse-direction EM.
+
+use deep_healing::experiments;
+use dh_bench::{banner, verdict};
+
+fn main() {
+    banner("Fig. 6 — early EM recovery: full healing, then reverse EM");
+    let out = experiments::fig6();
+    print!("{}", experiments::render_fig6(&out));
+    println!();
+    verdict(
+        "early recovery completeness",
+        "full recovery",
+        format!(
+            "{:.1}% of ΔR removed",
+            (1.0 - out.delta_r_after_recovery / out.delta_r_at_recovery_start.max(1e-12)) * 100.0
+        ),
+    );
+    verdict(
+        "sustained reverse current",
+        "reverse current-induced EM",
+        format!("observed: {}", out.reverse_em_observed),
+    );
+}

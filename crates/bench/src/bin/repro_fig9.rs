@@ -1,0 +1,32 @@
+//! Reproduces **Fig. 8(b)** (assist-circuit truth table) and **Fig. 9**
+//! (functional simulation: reversed equal-magnitude grid current; swapped
+//! load rails with a 0.2–0.3 V droop).
+
+use deep_healing::experiments;
+use dh_bench::{banner, verdict};
+
+fn main() {
+    banner("Figs. 8–9 — assist circuitry: truth table and operating points");
+    let f = experiments::fig9();
+    print!("{}", f.render());
+    println!();
+    verdict(
+        "EM-mode grid current",
+        "reversed, same |I|",
+        format!(
+            "{:.1} µA vs {:.1} µA",
+            f.normal.grid_current.value() * 1e6,
+            f.em.grid_current.value() * 1e6
+        ),
+    );
+    verdict(
+        "BTI-mode load VSS / VDD nodes",
+        "≈0.816 V / ≈0.223 V",
+        format!("{:.3} V / {:.3} V", f.bti.load_vss.value(), f.bti.load_vdd.value()),
+    );
+    verdict(
+        "pass-device droop",
+        "0.2–0.3 V",
+        format!("{:.3} V", f.normal.droop(dh_units::Volts::new(1.0)).value()),
+    );
+}

@@ -1,0 +1,29 @@
+//! Reproduces **Table I**: BTI recovery percentages for a 6-hour recovery
+//! following a 24-hour accelerated stress, under the four conditions of
+//! Fig. 2(a).
+
+use deep_healing::experiments;
+use dh_bench::{banner, verdict};
+
+fn main() {
+    banner("Table I — BTI recovery under four conditions");
+    let t = experiments::table1();
+    print!("{}", t.render());
+    println!();
+    verdict(
+        "condition 4 (deep healing) recovery",
+        "72.4% / 72.7%",
+        format!(
+            "{:.1}% / {:.1}%",
+            t.rows[3].simulated_measurement, t.rows[3].simulated_model
+        ),
+    );
+    verdict(
+        "passive baseline recovery",
+        "0.66% / 1%",
+        format!(
+            "{:.2}% / {:.2}%",
+            t.rows[0].simulated_measurement, t.rows[0].simulated_model
+        ),
+    );
+}

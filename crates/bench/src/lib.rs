@@ -1,0 +1,27 @@
+//! Shared helpers for the reproduction binaries.
+//!
+//! Every `repro-*` binary regenerates one table or figure of the paper and
+//! prints a paper-vs-measured comparison; `repro-all` runs the lot. The
+//! `ablate-*` binaries run the design-choice studies called out in
+//! DESIGN.md. Criterion benches (in `benches/`) measure the simulators'
+//! performance.
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str) {
+    let line = "=".repeat(title.len() + 4);
+    println!("{line}\n| {title} |\n{line}\n");
+}
+
+/// Prints a short paper-vs-ours verdict line.
+pub fn verdict(what: &str, paper: &str, ours: String) {
+    println!("{what:<44} paper: {paper:<22} ours: {ours}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_does_not_panic() {
+        super::banner("Table I");
+        super::verdict("x", "y", "z".to_string());
+    }
+}

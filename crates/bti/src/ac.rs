@@ -1,0 +1,181 @@
+//! Duty-cycled (AC) BTI stress: wearout vs switching period.
+//!
+//! The paper states (its §II-B) that beyond the Table I one-shot
+//! experiments it studies "the frequency dependence of wearout and
+//! recovery". This module provides that experiment on the analytic device:
+//! a gate stressed with a fixed ON duty whose period sweeps from hours to
+//! seconds, with the OFF phase spent at a configurable recovery condition.
+//!
+//! Two classic results emerge from the calibrated model:
+//!
+//! * at a fixed duty, **total wearout decreases as the period shrinks**
+//!   (each OFF phase relaxes a larger fraction of the ever-younger
+//!   recoverable population — the universal-relaxation ξ = θ·t_off/t_age
+//!   grows as the cycle shortens);
+//! * the **permanent component collapses once the ON window drops below
+//!   the consolidation time** (~2 h), which is exactly the Fig. 4
+//!   "in-time recovery" mechanism viewed in the frequency domain.
+
+use dh_units::Seconds;
+
+use crate::analytic::AnalyticBtiModel;
+use crate::condition::{RecoveryCondition, StressCondition};
+use crate::device::BtiDevice;
+
+/// Outcome of one duty-cycled stress run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleOutcome {
+    /// The switching period (ON + OFF).
+    pub period: Seconds,
+    /// ON duty (fraction of the period under stress).
+    pub duty: f64,
+    /// Total |ΔVth| at the end of the run, millivolts.
+    pub total_mv: f64,
+    /// Permanent component at the end of the run, millivolts.
+    pub permanent_mv: f64,
+}
+
+/// Runs a duty-cycled stress: `total_stress_time` of cumulative ON time at
+/// `stress`, delivered in cycles of `period` with the given ON `duty`; OFF
+/// phases recover at `off_condition`.
+///
+/// # Panics
+///
+/// Panics if `duty` is outside `(0, 1]` or `period` is not positive.
+pub fn duty_cycle_run(
+    model: AnalyticBtiModel,
+    stress: StressCondition,
+    off_condition: RecoveryCondition,
+    period: Seconds,
+    duty: f64,
+    total_stress_time: Seconds,
+) -> DutyCycleOutcome {
+    assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1], got {duty}");
+    assert!(period.value() > 0.0, "period must be positive");
+
+    let on = period * duty;
+    let off = period * (1.0 - duty);
+    let cycles = (total_stress_time.value() / on.value()).round().max(1.0) as usize;
+
+    let mut device = BtiDevice::new(model);
+    for _ in 0..cycles {
+        device.stress(on, stress);
+        if off.value() > 0.0 {
+            device.recover(off, off_condition);
+        }
+    }
+    DutyCycleOutcome {
+        period,
+        duty,
+        total_mv: device.delta_vth_mv(),
+        permanent_mv: device.permanent_mv(),
+    }
+}
+
+/// Sweeps switching periods at a fixed duty and cumulative stress time.
+pub fn period_sweep(
+    model: AnalyticBtiModel,
+    stress: StressCondition,
+    off_condition: RecoveryCondition,
+    periods: &[Seconds],
+    duty: f64,
+    total_stress_time: Seconds,
+) -> Vec<DutyCycleOutcome> {
+    periods
+        .iter()
+        .map(|&p| duty_cycle_run(model, stress, off_condition, p, duty, total_stress_time))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(off: RecoveryCondition) -> Vec<DutyCycleOutcome> {
+        period_sweep(
+            AnalyticBtiModel::paper_calibrated(),
+            StressCondition::ACCELERATED,
+            off,
+            &[
+                Seconds::from_hours(16.0),
+                Seconds::from_hours(8.0),
+                Seconds::from_hours(4.0),
+                Seconds::from_hours(2.0),
+                Seconds::from_hours(1.0),
+            ],
+            0.5,
+            Seconds::from_hours(24.0),
+        )
+    }
+
+    #[test]
+    fn wearout_decreases_with_switching_frequency() {
+        let outs = sweep(RecoveryCondition::ACTIVE_ACCELERATED);
+        for pair in outs.windows(2) {
+            assert!(
+                pair[1].total_mv <= pair[0].total_mv * 1.02,
+                "shorter period must not wear more: {pair:?}"
+            );
+        }
+        assert!(
+            outs.last().unwrap().total_mv < 0.8 * outs[0].total_mv,
+            "fast switching should clearly beat slow: {} vs {}",
+            outs.last().unwrap().total_mv,
+            outs[0].total_mv
+        );
+    }
+
+    #[test]
+    fn permanent_component_collapses_below_the_consolidation_window() {
+        let outs = sweep(RecoveryCondition::ACTIVE_ACCELERATED);
+        // ON windows: 8 h, 4 h, 2 h, 1 h, 0.5 h. Consolidation τ ≈ 2 h.
+        let slow = outs[0].permanent_mv;
+        let fast = outs.last().unwrap().permanent_mv;
+        assert!(
+            fast < 0.1 * slow,
+            "fast cycling permanent {fast} vs slow {slow}"
+        );
+    }
+
+    #[test]
+    fn deep_off_phase_beats_passive_off_phase() {
+        let deep = sweep(RecoveryCondition::ACTIVE_ACCELERATED);
+        let passive = sweep(RecoveryCondition::PASSIVE);
+        for (d, p) in deep.iter().zip(&passive) {
+            assert!(
+                d.total_mv < p.total_mv,
+                "deep OFF must out-heal passive OFF: {d:?} vs {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dc_limit_matches_plain_stress() {
+        let model = AnalyticBtiModel::paper_calibrated();
+        let out = duty_cycle_run(
+            model,
+            StressCondition::ACCELERATED,
+            RecoveryCondition::PASSIVE,
+            Seconds::from_hours(24.0),
+            1.0,
+            Seconds::from_hours(24.0),
+        );
+        let mut reference = BtiDevice::new(model);
+        reference.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        assert!((out.total_mv - reference.delta_vth_mv()).abs() < 1e-6);
+        assert!((out.permanent_mv - reference.permanent_mv()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in")]
+    fn zero_duty_panics() {
+        duty_cycle_run(
+            AnalyticBtiModel::paper_calibrated(),
+            StressCondition::ACCELERATED,
+            RecoveryCondition::PASSIVE,
+            Seconds::from_hours(1.0),
+            0.0,
+            Seconds::from_hours(1.0),
+        );
+    }
+}

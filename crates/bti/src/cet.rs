@@ -1,0 +1,547 @@
+//! Capture–emission-time (CET) trap-ensemble BTI model (the paper's
+//! Table I "Measurement" column).
+//!
+//! The ensemble represents the gate-oxide defect population of a device as
+//! `N` traps, each with
+//!
+//! * an **emission time** `τ_e` (at the passive room-temperature reference
+//!   condition) drawn from a heavy-tailed distribution spanning ~24 decades,
+//! * a **capture time** `τ_c` (at the reference accelerated stress
+//!   condition) correlated with `τ_e` — deep, slow-emitting traps are also
+//!   slow to capture,
+//! * soft (recoverable) and hard (consolidated) occupancy state.
+//!
+//! A recovery condition scales every emission rate by the acceleration
+//! factor θ(V,T) shared with the analytic model, so "permanent" traps are
+//! simply those whose `τ_e/θ` exceeds the recovery window — which is exactly
+//! why the paper's *activated* recovery (θ ≫ 1) can empty traps passive
+//! recovery never touches.
+//!
+//! Two mechanisms gate the permanent component, mirroring
+//! [`crate::analytic::PermanentParams`]:
+//!
+//! * **window-gated deep capture** — capture into deep traps is a secondary
+//!   process that requires sustained stress; its rate is scaled by
+//!   `1 − exp(−(t_w/τ_p)^m)` in the continuous-stress window `t_w`. In-time
+//!   scheduled recovery resets the window and thereby *prevents* permanent
+//!   damage (Fig. 4);
+//! * **hardening** — occupied deep traps consolidate (τ ≈ 2 h) after which
+//!   no recovery condition can empty them (the >27 % residue of Table I).
+//!
+//! The emission-time distribution is a piecewise-linear CDF in `log₁₀ τ_e`
+//! whose four interior knots are **fitted by simulating the paper's actual
+//! measurement protocol** (24 h accelerated stress, 6 h recovery per
+//! condition) until the ensemble reproduces the measured recovery
+//! percentages.
+
+use dh_units::rng::standard_normal;
+use rand::Rng;
+
+use dh_units::{Fraction, Seconds};
+
+use crate::acceleration::RecoveryAcceleration;
+use crate::analytic::{PermanentParams, StressLaw};
+use crate::calibration::{self, TableOneTargets, DEFAULT_BETA};
+use crate::condition::{RecoveryCondition, StressCondition};
+use crate::error::BtiError;
+
+/// Lower edge of the emission-time distribution, log₁₀ seconds.
+const LOG_TAU_MIN: f64 = -2.0;
+/// Upper edge of the emission-time distribution, log₁₀ seconds.
+const LOG_TAU_MAX: f64 = 22.0;
+/// Correlation slope between capture and emission times (log–log).
+const CAPTURE_SLOPE: f64 = 0.625;
+/// Correlation intercept: log₁₀ τ_c = intercept + slope · log₁₀ τ_e.
+const CAPTURE_INTERCEPT: f64 = -7.325;
+/// Width (decades) of the shallow→deep transition of the gating sigmoid.
+const DEEP_TRANSITION_DECADES: f64 = 0.8;
+/// Voltage/temperature exponent mapping stress-amplitude scale to capture
+/// rate (capture is more strongly field-accelerated than net wearout).
+const CAPTURE_ACCEL_EXPONENT: f64 = 3.0;
+
+/// One oxide trap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Trap {
+    /// log₁₀ emission time at the passive room reference, seconds.
+    log_tau_e: f64,
+    /// log₁₀ capture time at the reference accelerated stress, seconds.
+    log_tau_c: f64,
+    /// Soft (recoverable) occupancy probability.
+    occ_soft: f64,
+    /// Hard (consolidated, unrecoverable) occupancy probability.
+    occ_hard: f64,
+}
+
+impl Trap {
+    fn occupancy(&self) -> f64 {
+        self.occ_soft + self.occ_hard
+    }
+}
+
+/// Calibrated knots of the emission-time CDF: `(log₁₀ τ_e, cumulative
+/// probability)` pairs, strictly increasing in both coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmissionCdf {
+    knots: Vec<(f64, f64)>,
+}
+
+impl EmissionCdf {
+    fn new(interior: &[(f64, f64)]) -> Self {
+        let mut knots = Vec::with_capacity(interior.len() + 2);
+        knots.push((LOG_TAU_MIN, 0.0));
+        knots.extend_from_slice(interior);
+        knots.push((LOG_TAU_MAX, 1.0));
+        Self { knots }
+    }
+
+    /// Inverse CDF: the log₁₀ τ_e at cumulative probability `p ∈ [0, 1]`.
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        for pair in self.knots.windows(2) {
+            let (x0, p0) = pair[0];
+            let (x1, p1) = pair[1];
+            if p <= p1 {
+                if p1 == p0 {
+                    return x0;
+                }
+                return x0 + (x1 - x0) * (p - p0) / (p1 - p0);
+            }
+        }
+        LOG_TAU_MAX
+    }
+
+    /// The interior knots (excluding the fixed endpoints).
+    pub fn interior_knots(&self) -> &[(f64, f64)] {
+        &self.knots[1..self.knots.len() - 1]
+    }
+}
+
+/// A CET trap-ensemble BTI device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrapEnsemble {
+    traps: Vec<Trap>,
+    cdf: EmissionCdf,
+    acceleration: RecoveryAcceleration,
+    theta4: f64,
+    stress_law: StressLaw,
+    permanent: PermanentParams,
+    /// ΔVth contribution (mV) of one fully occupied trap.
+    per_trap_mv: f64,
+    /// Continuous-stress window (drives deep-capture gating).
+    window: Seconds,
+    /// Boundary (log₁₀ τ_e) of the shallow→deep transition.
+    deep_edge: f64,
+}
+
+impl TrapEnsemble {
+    /// Builds an ensemble of `n_traps` calibrated against the paper's
+    /// Table I **measurement** column by simulating the measurement protocol.
+    ///
+    /// Trap parameters are stratified (deterministic) samples of the fitted
+    /// distribution; use [`TrapEnsemble::with_variation`] to add
+    /// device-to-device randomness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtiError::EmptyEnsemble`] if `n_traps == 0`, or
+    /// [`BtiError::CalibrationDiverged`] if the protocol fit fails to reach
+    /// tolerance (does not happen for the built-in targets; covered by
+    /// tests).
+    pub fn paper_calibrated(n_traps: usize) -> Result<Self, BtiError> {
+        Self::calibrated(n_traps, &TableOneTargets::measurement_column())
+    }
+
+    /// Builds an ensemble calibrated against custom Table I-style targets.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrapEnsemble::paper_calibrated`]; additionally returns
+    /// [`BtiError::UnsolvableCalibration`] if the closed-form seed
+    /// calibration rejects the targets.
+    pub fn calibrated(n_traps: usize, targets: &TableOneTargets) -> Result<Self, BtiError> {
+        if n_traps == 0 {
+            return Err(BtiError::EmptyEnsemble);
+        }
+        // Seed the acceleration factors and initial knot positions from the
+        // closed-form analytic solution for the same targets.
+        let seed = calibration::solve(targets, DEFAULT_BETA)?;
+        let acceleration = seed.acceleration;
+        let theta4 = acceleration.factor(RecoveryCondition {
+            gate_voltage: -targets.reverse_bias,
+            temperature: targets.hot,
+        });
+
+        let thetas: [f64; 4] =
+            RecoveryCondition::table_one().map(|c| acceleration.factor(c));
+        let t_rec = targets.recovery_time.value();
+        let mut knots: Vec<(f64, f64)> = thetas
+            .iter()
+            .zip(targets.fractions)
+            .map(|(&theta, p)| ((t_rec * theta).log10(), p.value()))
+            .collect();
+
+        let tolerance = 0.0025;
+        let mut worst = f64::INFINITY;
+        for _ in 0..40 {
+            let ensemble = Self::from_knots(n_traps, &knots, acceleration, theta4, targets);
+            let simulated = ensemble.simulate_protocol(targets);
+            worst = 0.0;
+            for i in 0..4 {
+                let err = simulated[i] - targets.fractions[i].value();
+                worst = worst.max(err.abs());
+                // Local CDF slope (probability per decade) around knot i.
+                let (lo_x, lo_p) = if i == 0 { (LOG_TAU_MIN, 0.0) } else { knots[i - 1] };
+                let (hi_x, hi_p) =
+                    if i == 3 { (LOG_TAU_MAX, 1.0) } else { knots[i + 1] };
+                let slope = ((hi_p - lo_p) / (hi_x - lo_x)).max(1e-4);
+                // If the ensemble recovers too much at condition i, push the
+                // knot right (slower emission at that quantile). Damped.
+                let mut x = knots[i].0 + 0.7 * err / slope;
+                let lo = if i == 0 { LOG_TAU_MIN + 0.1 } else { knots[i - 1].0 + 0.05 };
+                let hi = if i == 3 { LOG_TAU_MAX - 0.1 } else { knots[i + 1].0 - 0.05 };
+                // A knot squeezed by its neighbours stays ordered.
+                if lo < hi {
+                    x = x.clamp(lo, hi);
+                    knots[i].0 = x;
+                }
+            }
+            if worst < tolerance {
+                let mut ensemble =
+                    Self::from_knots(n_traps, &knots, acceleration, theta4, targets);
+                ensemble.normalize_magnitude(targets);
+                return Ok(ensemble);
+            }
+        }
+        Err(BtiError::CalibrationDiverged { worst_error: worst, tolerance })
+    }
+
+    fn from_knots(
+        n_traps: usize,
+        interior: &[(f64, f64)],
+        acceleration: RecoveryAcceleration,
+        theta4: f64,
+        targets: &TableOneTargets,
+    ) -> Self {
+        let cdf = EmissionCdf::new(interior);
+        // Deep traps are those beyond the deepest calibrated recovery reach.
+        let deep_edge = (targets.recovery_time.value() * theta4).log10();
+        let traps = (0..n_traps)
+            .map(|k| {
+                let u = (k as f64 + 0.5) / n_traps as f64;
+                let log_tau_e = cdf.quantile(u);
+                Trap {
+                    log_tau_e,
+                    log_tau_c: CAPTURE_INTERCEPT + CAPTURE_SLOPE * log_tau_e,
+                    occ_soft: 0.0,
+                    occ_hard: 0.0,
+                }
+            })
+            .collect();
+        Self {
+            traps,
+            cdf,
+            acceleration,
+            theta4,
+            stress_law: StressLaw::default(),
+            permanent: PermanentParams::default(),
+            per_trap_mv: 1.0,
+            window: Seconds::ZERO,
+            deep_edge,
+        }
+    }
+
+    /// Scales the per-trap ΔVth contribution so the calibration protocol's
+    /// end-of-stress wearout matches the analytic stress law.
+    fn normalize_magnitude(&mut self, targets: &TableOneTargets) {
+        let mut probe = self.clone();
+        probe.per_trap_mv = 1.0;
+        probe.stress(targets.stress_time, StressCondition::ACCELERATED);
+        let occupied = probe.delta_vth_mv();
+        if occupied > 0.0 {
+            let want = self.stress_law.wearout_mv(targets.stress_time, StressCondition::ACCELERATED);
+            self.per_trap_mv = want / occupied;
+        }
+    }
+
+    /// Simulates the Table I protocol and returns the four recovery
+    /// fractions in condition order.
+    fn simulate_protocol(&self, targets: &TableOneTargets) -> [f64; 4] {
+        let mut stressed = self.clone();
+        stressed.stress(targets.stress_time, StressCondition::ACCELERATED);
+        let w0 = stressed.delta_vth_mv();
+        RecoveryCondition::table_one().map(|cond| {
+            let mut d = stressed.clone();
+            d.recover(targets.recovery_time, cond);
+            if w0 > 0.0 {
+                (w0 - d.delta_vth_mv()) / w0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The fitted emission-time CDF.
+    pub fn emission_cdf(&self) -> &EmissionCdf {
+        &self.cdf
+    }
+
+    /// Number of traps.
+    pub fn len(&self) -> usize {
+        self.traps.len()
+    }
+
+    /// Whether the ensemble has no traps (never true for constructed
+    /// ensembles).
+    pub fn is_empty(&self) -> bool {
+        self.traps.is_empty()
+    }
+
+    /// Total |ΔVth| in millivolts.
+    pub fn delta_vth_mv(&self) -> f64 {
+        self.per_trap_mv * self.traps.iter().map(Trap::occupancy).sum::<f64>()
+    }
+
+    /// The consolidated (hard) permanent component in millivolts.
+    pub fn permanent_mv(&self) -> f64 {
+        self.per_trap_mv * self.traps.iter().map(|t| t.occ_hard).sum::<f64>()
+    }
+
+    /// Mean trap occupancy (soft + hard), a number in `[0, 1]`.
+    pub fn mean_occupancy(&self) -> Fraction {
+        if self.traps.is_empty() {
+            return Fraction::ZERO;
+        }
+        Fraction::clamped(
+            self.traps.iter().map(Trap::occupancy).sum::<f64>() / self.traps.len() as f64,
+        )
+    }
+
+    /// Applies `dt` of stress at `cond`.
+    pub fn stress(&mut self, dt: Seconds, cond: StressCondition) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        // March in sub-steps so the window gate evolves within long calls.
+        let steps = ((dt.value() / 900.0).ceil() as usize).clamp(1, 400);
+        let sub = dt.value() / steps as f64;
+        let amp = self.stress_law.amplitude_scale(cond).powf(CAPTURE_ACCEL_EXPONENT).min(1.0e3);
+        let tau_h = self.permanent.tau_harden.value();
+        for _ in 0..steps {
+            let w = self.window.value() + 0.5 * sub;
+            let gate = 1.0
+                - (-((w / self.permanent.tau_onset.value()).powf(self.permanent.m))).exp();
+            let deep_edge = self.deep_edge;
+            for trap in &mut self.traps {
+                let deep = deep_weight_at(deep_edge, trap.log_tau_e);
+                let rate_mult = (1.0 - deep) + deep * gate;
+                let rate = amp * rate_mult / 10f64.powf(trap.log_tau_c);
+                let captured = (1.0 - trap.occupancy()) * (1.0 - (-rate * sub).exp());
+                trap.occ_soft += captured;
+                // Deep occupancy consolidates under continued stress; like
+                // deep capture, consolidation is a secondary process gated
+                // by the continuous-stress window, so in-time scheduled
+                // recovery prevents it.
+                let harden = trap.occ_soft * deep * gate * (1.0 - (-sub / tau_h).exp());
+                trap.occ_soft -= harden;
+                trap.occ_hard += harden;
+            }
+            self.window += Seconds::new(sub);
+        }
+    }
+
+    /// Applies `dt` of recovery at `cond`.
+    pub fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        let theta = self.acceleration.factor(cond);
+        let depth = theta / self.theta4;
+        let tau_soft = self.permanent.tau_soft_anneal.value();
+        let deep_edge = self.deep_edge;
+        for trap in &mut self.traps {
+            // Emission, rate-scaled by θ.
+            let emit_rate = theta / 10f64.powf(trap.log_tau_e);
+            // Deep recovery additionally relaxes precursor (soft) occupancy
+            // of deep traps before it consolidates.
+            let deep = deep_weight_at(deep_edge, trap.log_tau_e);
+            let anneal_rate = deep * depth / tau_soft;
+            trap.occ_soft *= (-(emit_rate + anneal_rate) * dt.value()).exp();
+        }
+        // Deep recovery resets the continuous-stress window.
+        self.window =
+            self.window * (-depth * dt.value() / self.permanent.tau_window_reset.value()).exp();
+    }
+
+    /// Adds device-to-device variation: jitters every trap's emission and
+    /// capture times by log-normal perturbations (`sigma_decades` standard
+    /// deviation in log₁₀ space).
+    #[must_use]
+    pub fn with_variation<R: Rng>(mut self, sigma_decades: f64, rng: &mut R) -> Self {
+        for trap in &mut self.traps {
+            let ge: f64 = standard_normal(rng);
+            let gc: f64 = standard_normal(rng);
+            trap.log_tau_e =
+                (trap.log_tau_e + sigma_decades * ge).clamp(LOG_TAU_MIN, LOG_TAU_MAX);
+            trap.log_tau_c += sigma_decades * gc;
+        }
+        self
+    }
+
+    /// Runs the Table I protocol on this (fresh) ensemble, returning the
+    /// four recovery percentages in condition order — the crate's analogue
+    /// of re-running the paper's measurement.
+    pub fn table_one_percentages(&self) -> [f64; 4] {
+        self.simulate_protocol(&TableOneTargets::measurement_column())
+            .map(|f| f * 100.0)
+    }
+}
+
+/// The deep-trap gating weight: 0 for shallow traps, →1 beyond `deep_edge`.
+#[inline]
+fn deep_weight_at(deep_edge: f64, log_tau_e: f64) -> f64 {
+    1.0 / (1.0 + (-(log_tau_e - deep_edge) / DEEP_TRANSITION_DECADES).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_units::rng::seeded_rng;
+
+    fn ensemble() -> TrapEnsemble {
+        TrapEnsemble::paper_calibrated(2000).expect("calibration converges")
+    }
+
+    #[test]
+    fn calibration_reproduces_measurement_column() {
+        let e = ensemble();
+        let got = e.table_one_percentages();
+        let want = [0.66, 16.7, 28.7, 72.4];
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1.0, "got {got:?} want {want:?}");
+        }
+    }
+
+    #[test]
+    fn empty_ensemble_is_rejected() {
+        assert!(matches!(TrapEnsemble::paper_calibrated(0), Err(BtiError::EmptyEnsemble)));
+    }
+
+    #[test]
+    fn quantile_function_is_monotone() {
+        let e = ensemble();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = e.emission_cdf().quantile(i as f64 / 100.0);
+            assert!(q >= prev);
+            prev = q;
+        }
+        assert_eq!(e.emission_cdf().quantile(0.0), LOG_TAU_MIN);
+        assert_eq!(e.emission_cdf().quantile(1.0), LOG_TAU_MAX);
+    }
+
+    #[test]
+    fn stress_magnitude_matches_analytic_law() {
+        let mut e = ensemble();
+        e.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        let w = e.delta_vth_mv();
+        assert!((w - 50.0).abs() < 2.5, "24 h wearout = {w} mV");
+    }
+
+    #[test]
+    fn extended_deep_recovery_leaves_permanent_residue() {
+        // Paper: even with recovery "much longer than 6 hours" under
+        // condition 4, >27 % cannot be recovered after a 24 h stress.
+        let mut e = ensemble();
+        e.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        let w0 = e.delta_vth_mv();
+        e.recover(Seconds::from_hours(48.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        let recovered = (w0 - e.delta_vth_mv()) / w0;
+        assert!(recovered < 0.80, "48 h deep recovery removed {recovered}");
+        assert!(recovered > 0.70);
+    }
+
+    #[test]
+    fn scheduled_recovery_prevents_permanent_component() {
+        // Fig. 4 at trap granularity: 1 h : 1 h cycling leaves almost no
+        // consolidated occupancy, continuous stress leaves a lot.
+        let fresh = ensemble();
+
+        let mut continuous = fresh.clone();
+        continuous.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        let p_cont = continuous.permanent_mv();
+
+        let mut cycled = fresh;
+        for _ in 0..24 {
+            cycled.stress(Seconds::from_hours(1.0), StressCondition::ACCELERATED);
+            cycled.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        }
+        let p_cyc = cycled.permanent_mv();
+        assert!(
+            p_cyc < 0.2 * p_cont,
+            "cycled permanent {p_cyc} vs continuous {p_cont}"
+        );
+    }
+
+    #[test]
+    fn passive_recovery_is_slow() {
+        let mut e = ensemble();
+        e.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        let w0 = e.delta_vth_mv();
+        e.recover(Seconds::from_hours(6.0), RecoveryCondition::PASSIVE);
+        let r = (w0 - e.delta_vth_mv()) / w0;
+        assert!(r < 0.02, "passive recovery {r}");
+    }
+
+    #[test]
+    fn recovery_ordering_matches_conditions() {
+        let mut stressed = ensemble();
+        stressed.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        let w0 = stressed.delta_vth_mv();
+        let mut rs = Vec::new();
+        for cond in RecoveryCondition::table_one() {
+            let mut d = stressed.clone();
+            d.recover(Seconds::from_hours(6.0), cond);
+            rs.push((w0 - d.delta_vth_mv()) / w0);
+        }
+        assert!(rs[0] < rs[1] && rs[1] < rs[3] && rs[0] < rs[2] && rs[2] < rs[3], "{rs:?}");
+    }
+
+    #[test]
+    fn variation_changes_but_does_not_break_the_ensemble() {
+        let mut rng = seeded_rng(42, "cet-variation");
+        let base = ensemble();
+        let varied = base.clone().with_variation(0.3, &mut rng);
+        assert_eq!(varied.len(), base.len());
+        let mut a = base.clone();
+        let mut b = varied;
+        a.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        b.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        let (wa, wb) = (a.delta_vth_mv(), b.delta_vth_mv());
+        assert!(wa != wb);
+        assert!((wa - wb).abs() / wa < 0.2, "variation too large: {wa} vs {wb}");
+    }
+
+    #[test]
+    fn occupancy_stays_in_unit_interval() {
+        let mut e = ensemble();
+        for _ in 0..10 {
+            e.stress(Seconds::from_hours(5.0), StressCondition::ACCELERATED);
+            e.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        }
+        for t in &e.traps {
+            assert!(t.occ_soft >= 0.0 && t.occ_hard >= 0.0);
+            assert!(t.occupancy() <= 1.0 + 1e-9);
+        }
+        assert!(e.mean_occupancy().value() <= 1.0);
+    }
+
+    #[test]
+    fn zero_duration_operations_are_no_ops() {
+        let mut e = ensemble();
+        e.stress(Seconds::from_hours(1.0), StressCondition::ACCELERATED);
+        let w = e.delta_vth_mv();
+        e.stress(Seconds::ZERO, StressCondition::ACCELERATED);
+        e.recover(Seconds::ZERO, RecoveryCondition::PASSIVE);
+        assert_eq!(e.delta_vth_mv(), w);
+    }
+}

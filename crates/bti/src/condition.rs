@@ -1,0 +1,188 @@
+//! Stress and recovery operating conditions.
+//!
+//! The paper's Fig. 2(a) defines four BTI recovery conditions, combinations
+//! of two knobs:
+//!
+//! | # | name | gate voltage | temperature |
+//! |---|------|--------------|-------------|
+//! | 1 | passive | 0 V | 20 °C (room) |
+//! | 2 | active | −0.3 V | 20 °C |
+//! | 3 | accelerated | 0 V | 110 °C |
+//! | 4 | active + accelerated | −0.3 V | 110 °C |
+
+use core::fmt;
+
+use dh_units::{Celsius, Kelvin, Volts};
+
+/// The condition applied during a BTI *stress* phase.
+///
+/// For an nMOS/pMOS under BTI stress the transistor is ON with a large
+/// (magnitude) gate overdrive; elevated temperature accelerates trap capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressCondition {
+    /// Gate overdrive magnitude applied during stress.
+    pub gate_voltage: Volts,
+    /// Device temperature during stress.
+    pub temperature: Kelvin,
+}
+
+impl StressCondition {
+    /// The paper's accelerated stress condition ("high voltage and
+    /// temperature"): we use 110 °C with a 1.2 V overdrive, typical for
+    /// accelerated BTI testing of a 40 nm FPGA fabric.
+    pub const ACCELERATED: Self = Self {
+        gate_voltage: Volts::new(1.2),
+        temperature: Kelvin::new(110.0 + 273.15),
+    };
+
+    /// A representative nominal use condition (0.9 V, 60 °C), used by the
+    /// system-level lifetime simulations to de-rate the accelerated results.
+    pub const NOMINAL_USE: Self = Self {
+        gate_voltage: Volts::new(0.9),
+        temperature: Kelvin::new(60.0 + 273.15),
+    };
+
+    /// Creates a stress condition from paper-style units.
+    pub fn new(gate_voltage: Volts, temperature: Celsius) -> Self {
+        Self { gate_voltage, temperature: temperature.to_kelvin() }
+    }
+}
+
+impl fmt::Display for StressCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stress {:.2} at {:.0}",
+            self.gate_voltage,
+            self.temperature.to_celsius()
+        )
+    }
+}
+
+/// The condition applied during a BTI *recovery* phase.
+///
+/// `gate_voltage` is the gate–source voltage of the recovering device:
+/// `0 V` is conventional passive recovery (device simply OFF), negative
+/// values turn the device "more off" and actively de-trap charge — the
+/// paper's *active recovery*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryCondition {
+    /// Gate–source voltage during recovery (≤ 0 activates recovery).
+    pub gate_voltage: Volts,
+    /// Device temperature during recovery.
+    pub temperature: Kelvin,
+}
+
+impl RecoveryCondition {
+    /// Table I condition No. 1: 20 °C and 0 V (passive recovery baseline).
+    pub const PASSIVE: Self = Self {
+        gate_voltage: Volts::new(0.0),
+        temperature: Kelvin::new(20.0 + 273.15),
+    };
+
+    /// Table I condition No. 2: 20 °C and −0.3 V (active recovery).
+    pub const ACTIVE: Self = Self {
+        gate_voltage: Volts::new(-0.3),
+        temperature: Kelvin::new(20.0 + 273.15),
+    };
+
+    /// Table I condition No. 3: 110 °C and 0 V (accelerated recovery).
+    pub const ACCELERATED: Self = Self {
+        gate_voltage: Volts::new(0.0),
+        temperature: Kelvin::new(110.0 + 273.15),
+    };
+
+    /// Table I condition No. 4: 110 °C and −0.3 V (active + accelerated —
+    /// the paper's "deep healing" condition).
+    pub const ACTIVE_ACCELERATED: Self = Self {
+        gate_voltage: Volts::new(-0.3),
+        temperature: Kelvin::new(110.0 + 273.15),
+    };
+
+    /// Creates a recovery condition from paper-style units.
+    pub fn new(gate_voltage: Volts, temperature: Celsius) -> Self {
+        Self { gate_voltage, temperature: temperature.to_kelvin() }
+    }
+
+    /// The four Table I conditions in paper order (No. 1–4).
+    pub fn table_one() -> [Self; 4] {
+        [Self::PASSIVE, Self::ACTIVE, Self::ACCELERATED, Self::ACTIVE_ACCELERATED]
+    }
+
+    /// The reverse-bias magnitude that activates recovery: `max(0, −Vgs)`.
+    ///
+    /// A positive gate voltage during "recovery" would be stress, not
+    /// recovery; it contributes no activation.
+    pub fn reverse_bias(self) -> Volts {
+        if self.gate_voltage < Volts::ZERO {
+            -self.gate_voltage
+        } else {
+            Volts::ZERO
+        }
+    }
+
+    /// Whether this condition *activates* recovery (negative gate voltage).
+    pub fn is_active(self) -> bool {
+        self.gate_voltage < Volts::ZERO
+    }
+
+    /// Whether this condition *accelerates* recovery (temperature above the
+    /// 20 °C room reference).
+    pub fn is_accelerated(self) -> bool {
+        self.temperature > Celsius::new(20.0).to_kelvin()
+    }
+}
+
+impl fmt::Display for RecoveryCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery {:.2} at {:.0}",
+            self.gate_voltage,
+            self.temperature.to_celsius()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_conditions_match_paper() {
+        let conds = RecoveryCondition::table_one();
+        assert_eq!(conds[0].gate_voltage, Volts::new(0.0));
+        assert!((conds[0].temperature.to_celsius().value() - 20.0).abs() < 1e-9);
+        assert_eq!(conds[1].gate_voltage, Volts::new(-0.3));
+        assert!((conds[2].temperature.to_celsius().value() - 110.0).abs() < 1e-9);
+        assert_eq!(conds[3].gate_voltage, Volts::new(-0.3));
+        assert!((conds[3].temperature.to_celsius().value() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reverse_bias_ignores_positive_gate_voltage() {
+        let c = RecoveryCondition::new(Volts::new(0.2), Celsius::new(20.0));
+        assert_eq!(c.reverse_bias(), Volts::ZERO);
+        assert!(!c.is_active());
+        assert_eq!(RecoveryCondition::ACTIVE.reverse_bias(), Volts::new(0.3));
+    }
+
+    #[test]
+    fn activation_and_acceleration_flags() {
+        assert!(!RecoveryCondition::PASSIVE.is_active());
+        assert!(!RecoveryCondition::PASSIVE.is_accelerated());
+        assert!(RecoveryCondition::ACTIVE.is_active());
+        assert!(!RecoveryCondition::ACTIVE.is_accelerated());
+        assert!(!RecoveryCondition::ACCELERATED.is_active());
+        assert!(RecoveryCondition::ACCELERATED.is_accelerated());
+        assert!(RecoveryCondition::ACTIVE_ACCELERATED.is_active());
+        assert!(RecoveryCondition::ACTIVE_ACCELERATED.is_accelerated());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RecoveryCondition::ACTIVE_ACCELERATED.to_string();
+        assert!(s.contains("-0.30 V"));
+        assert!(s.contains("110 °C"));
+    }
+}

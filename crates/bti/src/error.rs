@@ -1,0 +1,71 @@
+//! Error types for the BTI models.
+
+use core::fmt;
+
+use dh_units::QuantityError;
+
+/// Error returned by BTI model construction and calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BtiError {
+    /// A quantity failed validation.
+    Quantity(QuantityError),
+    /// Calibration targets are not solvable (e.g. not strictly increasing).
+    UnsolvableCalibration(String),
+    /// Ensemble calibration did not converge within the iteration budget.
+    CalibrationDiverged {
+        /// Worst absolute error (in recovery-fraction units) at exit.
+        worst_error: f64,
+        /// Tolerance that was requested.
+        tolerance: f64,
+    },
+    /// An ensemble was configured with zero traps.
+    EmptyEnsemble,
+}
+
+impl fmt::Display for BtiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Quantity(e) => write!(f, "invalid quantity: {e}"),
+            Self::UnsolvableCalibration(why) => write!(f, "unsolvable calibration: {why}"),
+            Self::CalibrationDiverged { worst_error, tolerance } => write!(
+                f,
+                "ensemble calibration did not converge: worst error {worst_error:.4} > tolerance {tolerance:.4}"
+            ),
+            Self::EmptyEnsemble => write!(f, "trap ensemble must contain at least one trap"),
+        }
+    }
+}
+
+impl std::error::Error for BtiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Quantity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantityError> for BtiError {
+    fn from(e: QuantityError) -> Self {
+        Self::Quantity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        let e = BtiError::CalibrationDiverged { worst_error: 0.05, tolerance: 0.01 };
+        assert!(e.to_string().contains("did not converge"));
+        assert!(BtiError::EmptyEnsemble.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn quantity_error_converts_and_sources() {
+        use std::error::Error;
+        let e: BtiError = QuantityError::FractionOutOfRange(2.0).into();
+        assert!(e.source().is_some());
+    }
+}

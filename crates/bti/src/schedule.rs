@@ -1,0 +1,197 @@
+//! Stress/recovery scheduling experiments (the paper's Fig. 4).
+//!
+//! Fig. 4 of the paper cycles accelerated stress against active+accelerated
+//! recovery at different duty ratios and tracks how the *permanent* BTI
+//! component accumulates at the end of each cycle. The headline result: with
+//! a balanced 1 h stress : 1 h recovery schedule the permanent component is
+//! "practically 0", while longer stress windows let permanent damage
+//! consolidate faster than recovery can drain it.
+
+use dh_units::{Seconds, TimeSeries};
+
+use crate::analytic::AnalyticBtiModel;
+use crate::condition::{RecoveryCondition, StressCondition};
+use crate::device::BtiDevice;
+
+/// A periodic stress-vs-recovery schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CyclicSchedule {
+    /// Stress interval per cycle.
+    pub stress_time: Seconds,
+    /// Recovery interval per cycle.
+    pub recovery_time: Seconds,
+    /// Condition applied during stress intervals.
+    pub stress_condition: StressCondition,
+    /// Condition applied during recovery intervals.
+    pub recovery_condition: RecoveryCondition,
+    /// Number of stress+recovery cycles to run.
+    pub cycles: usize,
+}
+
+impl CyclicSchedule {
+    /// The paper's Fig. 4 schedule: accelerated stress vs condition-4
+    /// recovery, `stress_hours` : `recovery_hours`, sized so that the total
+    /// stress time matches `total_stress_hours`.
+    pub fn fig4(stress_hours: f64, recovery_hours: f64, total_stress_hours: f64) -> Self {
+        Self {
+            stress_time: Seconds::from_hours(stress_hours),
+            recovery_time: Seconds::from_hours(recovery_hours),
+            stress_condition: StressCondition::ACCELERATED,
+            recovery_condition: RecoveryCondition::ACTIVE_ACCELERATED,
+            cycles: (total_stress_hours / stress_hours).round().max(1.0) as usize,
+        }
+    }
+
+    /// The stress : recovery duty ratio.
+    pub fn ratio(&self) -> f64 {
+        self.stress_time / self.recovery_time
+    }
+
+    /// Wall-clock length of one full cycle.
+    pub fn cycle_time(&self) -> Seconds {
+        self.stress_time + self.recovery_time
+    }
+}
+
+/// Per-cycle observation from running a [`CyclicSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleOutcome {
+    /// 1-based cycle index (the paper's C1, C2, …).
+    pub cycle: usize,
+    /// Wall-clock time at the end of the cycle.
+    pub time: Seconds,
+    /// Total |ΔVth| at the end of the cycle, millivolts.
+    pub total_mv: f64,
+    /// Permanent component at the end of the cycle, millivolts.
+    pub permanent_mv: f64,
+    /// Consolidated (hard) permanent component, millivolts.
+    pub hard_permanent_mv: f64,
+}
+
+/// Runs a cyclic schedule on a fresh device, returning the end-of-cycle
+/// observations.
+pub fn run_schedule(model: AnalyticBtiModel, schedule: &CyclicSchedule) -> Vec<CycleOutcome> {
+    let mut device = BtiDevice::new(model);
+    let mut out = Vec::with_capacity(schedule.cycles);
+    let mut clock = Seconds::ZERO;
+    for cycle in 1..=schedule.cycles {
+        device.stress(schedule.stress_time, schedule.stress_condition);
+        device.recover(schedule.recovery_time, schedule.recovery_condition);
+        clock += schedule.cycle_time();
+        out.push(CycleOutcome {
+            cycle,
+            time: clock,
+            total_mv: device.delta_vth_mv(),
+            permanent_mv: device.permanent_mv(),
+            hard_permanent_mv: device.hard_permanent_mv(),
+        });
+    }
+    out
+}
+
+/// Runs a schedule and returns the permanent component as a time series
+/// (label includes the duty ratio), ready for the Fig. 4 harness.
+pub fn permanent_series(model: AnalyticBtiModel, schedule: &CyclicSchedule) -> TimeSeries {
+    let mut series = TimeSeries::new(format!(
+        "permanent ΔVth (mV), {:.0}h:{:.0}h",
+        schedule.stress_time.as_hours(),
+        schedule.recovery_time.as_hours()
+    ));
+    series.push(Seconds::ZERO, 0.0);
+    for o in run_schedule(model, schedule) {
+        series.push(o.time, o.permanent_mv);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_schedules_have_expected_shape() {
+        let s = CyclicSchedule::fig4(1.0, 1.0, 24.0);
+        assert_eq!(s.cycles, 24);
+        assert!((s.ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(s.cycle_time(), Seconds::from_hours(2.0));
+        let s = CyclicSchedule::fig4(4.0, 1.0, 24.0);
+        assert_eq!(s.cycles, 6);
+        assert!((s.ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_schedule_keeps_permanent_near_zero() {
+        // The paper's headline Fig. 4 claim.
+        let model = AnalyticBtiModel::paper_calibrated();
+        let outcomes = run_schedule(model, &CyclicSchedule::fig4(1.0, 1.0, 24.0));
+        let last = outcomes.last().unwrap();
+
+        // Reference: permanent component after the same 24 h of stress
+        // applied continuously.
+        let mut continuous = BtiDevice::new(model);
+        continuous.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+
+        assert!(
+            last.permanent_mv < 0.15 * continuous.permanent_mv(),
+            "balanced schedule permanent {} vs continuous {}",
+            last.permanent_mv,
+            continuous.permanent_mv()
+        );
+    }
+
+    #[test]
+    fn permanent_accumulation_is_monotone_in_stress_ratio() {
+        let model = AnalyticBtiModel::paper_calibrated();
+        let finals: Vec<f64> = [1.0, 2.0, 4.0]
+            .iter()
+            .map(|&ratio| {
+                run_schedule(model, &CyclicSchedule::fig4(ratio, 1.0, 24.0))
+                    .last()
+                    .unwrap()
+                    .permanent_mv
+            })
+            .collect();
+        assert!(
+            finals[0] < finals[1] && finals[1] < finals[2],
+            "permanent by ratio: {finals:?}"
+        );
+    }
+
+    #[test]
+    fn permanent_component_is_nondecreasing_over_cycles() {
+        let model = AnalyticBtiModel::paper_calibrated();
+        let outcomes = run_schedule(model, &CyclicSchedule::fig4(2.0, 1.0, 24.0));
+        for pair in outcomes.windows(2) {
+            assert!(
+                pair[1].hard_permanent_mv >= pair[0].hard_permanent_mv - 1e-12,
+                "hard permanent decreased: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_wearout_stays_bounded_under_balanced_schedule() {
+        // "Brings the aged system back to almost fresh status": the total
+        // wearout under a 1:1 schedule must not grow unboundedly — it should
+        // stay well below the continuous-stress trajectory.
+        let model = AnalyticBtiModel::paper_calibrated();
+        let outcomes = run_schedule(model, &CyclicSchedule::fig4(1.0, 1.0, 24.0));
+        let last = outcomes.last().unwrap();
+        let mut continuous = BtiDevice::new(model);
+        continuous.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        assert!(
+            last.total_mv < 0.5 * continuous.delta_vth_mv(),
+            "scheduled total {} vs continuous {}",
+            last.total_mv,
+            continuous.delta_vth_mv()
+        );
+    }
+
+    #[test]
+    fn series_rendering_has_one_point_per_cycle_plus_origin() {
+        let model = AnalyticBtiModel::paper_calibrated();
+        let series = permanent_series(model, &CyclicSchedule::fig4(1.0, 1.0, 8.0));
+        assert_eq!(series.len(), 9);
+        assert!(series.label().contains("1h:1h"));
+    }
+}

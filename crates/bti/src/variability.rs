@@ -1,0 +1,182 @@
+//! Device-to-device BTI variability: wearout and recovery statistics over
+//! an ensemble of *devices* (each a perturbed trap ensemble).
+//!
+//! A guardband protects the *worst* device on the die, not the mean one.
+//! This module samples a population of CET trap ensembles with
+//! log-normally jittered trap parameters ([`TrapEnsemble::with_variation`])
+//! runs them through a common stress/recovery history, and summarises the
+//! ΔVth distribution — giving quantile-based guardbands and showing that
+//! deep healing compresses not just the mean but the *spread* (every
+//! device's recoverable population empties).
+
+use dh_units::rng::seeded_rng;
+use dh_units::Seconds;
+
+use crate::cet::TrapEnsemble;
+use crate::condition::{RecoveryCondition, StressCondition};
+use crate::error::BtiError;
+
+/// A population of varied BTI devices.
+#[derive(Debug, Clone)]
+pub struct DevicePopulation {
+    devices: Vec<TrapEnsemble>,
+}
+
+/// Summary statistics of the population's ΔVth, millivolts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationStats {
+    /// Mean shift.
+    pub mean_mv: f64,
+    /// Standard deviation.
+    pub sigma_mv: f64,
+    /// Minimum shift.
+    pub min_mv: f64,
+    /// Maximum (worst-device) shift.
+    pub max_mv: f64,
+}
+
+impl DevicePopulation {
+    /// Samples `n` devices: one calibrated master ensemble, jittered by
+    /// `sigma_decades` of log-normal trap-parameter variation per device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BtiError`] from the master calibration, and rejects
+    /// `n == 0`.
+    pub fn sample(
+        n: usize,
+        traps_per_device: usize,
+        sigma_decades: f64,
+        seed: u64,
+    ) -> Result<Self, BtiError> {
+        if n == 0 {
+            return Err(BtiError::EmptyEnsemble);
+        }
+        let master = TrapEnsemble::paper_calibrated(traps_per_device)?;
+        let mut rng = seeded_rng(seed, "bti-device-population");
+        let devices =
+            (0..n).map(|_| master.clone().with_variation(sigma_decades, &mut rng)).collect();
+        Ok(Self { devices })
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the population is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Stresses every device.
+    pub fn stress(&mut self, dt: Seconds, cond: StressCondition) {
+        for d in &mut self.devices {
+            d.stress(dt, cond);
+        }
+    }
+
+    /// Recovers every device.
+    pub fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        for d in &mut self.devices {
+            d.recover(dt, cond);
+        }
+    }
+
+    /// Current ΔVth statistics across the population.
+    pub fn stats(&self) -> PopulationStats {
+        let shifts: Vec<f64> = self.devices.iter().map(TrapEnsemble::delta_vth_mv).collect();
+        let n = shifts.len() as f64;
+        let mean = shifts.iter().sum::<f64>() / n;
+        let var = shifts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        PopulationStats {
+            mean_mv: mean,
+            sigma_mv: var.sqrt(),
+            min_mv: shifts.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_mv: shifts.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The `q`-quantile ΔVth across the population (e.g. `q = 0.95` for a
+    /// 95th-percentile guardband basis).
+    pub fn quantile_mv(&self, q: f64) -> f64 {
+        let mut shifts: Vec<f64> = self.devices.iter().map(TrapEnsemble::delta_vth_mv).collect();
+        shifts.sort_by(|a, b| a.partial_cmp(b).expect("finite shifts"));
+        let idx = ((q.clamp(0.0, 1.0)) * (shifts.len() - 1) as f64).round() as usize;
+        shifts[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stressed_population() -> DevicePopulation {
+        let mut p = DevicePopulation::sample(16, 800, 0.25, 11).unwrap();
+        p.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        p
+    }
+
+    #[test]
+    fn population_spreads_under_stress() {
+        let p = stressed_population();
+        let stats = p.stats();
+        assert!(stats.sigma_mv > 0.1, "variation must show: {stats:?}");
+        assert!(stats.max_mv > stats.mean_mv && stats.mean_mv > stats.min_mv);
+        // Mean near the nominal 50 mV.
+        assert!((stats.mean_mv - 50.0).abs() < 5.0, "mean {}", stats.mean_mv);
+    }
+
+    #[test]
+    fn worst_device_sets_a_larger_guardband_than_the_mean() {
+        let p = stressed_population();
+        let stats = p.stats();
+        let q95 = p.quantile_mv(0.95);
+        assert!(q95 > stats.mean_mv);
+        assert!(q95 <= stats.max_mv + 1e-12);
+    }
+
+    #[test]
+    fn deep_healing_compresses_mean_and_spread() {
+        let mut p = stressed_population();
+        let before = p.stats();
+        p.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        let after = p.stats();
+        assert!(after.mean_mv < 0.4 * before.mean_mv, "{before:?} -> {after:?}");
+        // Even the worst healed device ends up better than the best
+        // unhealed one — healing dominates the device-to-device spread.
+        assert!(
+            after.max_mv < before.min_mv,
+            "worst healed {} vs best unhealed {}",
+            after.max_mv,
+            before.min_mv
+        );
+    }
+
+    #[test]
+    fn zero_variation_collapses_the_population() {
+        let mut p = DevicePopulation::sample(6, 400, 0.0, 3).unwrap();
+        p.stress(Seconds::from_hours(4.0), StressCondition::ACCELERATED);
+        let stats = p.stats();
+        assert!(stats.sigma_mv < 1e-9, "identical devices: {stats:?}");
+    }
+
+    #[test]
+    fn empty_population_is_rejected() {
+        assert!(matches!(
+            DevicePopulation::sample(0, 100, 0.1, 1),
+            Err(BtiError::EmptyEnsemble)
+        ));
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let p = stressed_population();
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            let v = p.quantile_mv(q);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

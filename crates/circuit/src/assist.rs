@@ -1,0 +1,377 @@
+//! The paper's assist circuitry (its Fig. 8): a power-gating-style switch
+//! network that supports *Normal*, *EM Active Recovery*, and *BTI Active
+//! Recovery* modes.
+//!
+//! # Topology
+//!
+//! ```text
+//!  VDD ──P1──[G1a]──grid1──[G1b]──P3──┐
+//!   │                        │        [LP]  load VDD pin
+//!   └───P2──[G2a]──grid2──[G2b]──P4──┘ │
+//!            │               │        load
+//!  GND ──N1──┘   ┌──N3───────┘         │
+//!   │            │                    [LM]  load VSS pin
+//!   └───N2──[G1a]│    N4: G1b ── LM ───┘
+//! ```
+//!
+//! * `P1/N1` power the grids with normal polarity, `P2/N2` with reversed
+//!   polarity (current through `grid1`/`grid2` flips at the same
+//!   magnitude — the EM active-recovery condition of Figs. 5–7);
+//! * `P3/N3` connect the load with normal polarity, `P4/N4` cross-connect
+//!   it — under *BTI Active Recovery* the idle load's VDD and VSS pins swap,
+//!   applying the deep negative-bias recovery condition of Table I to every
+//!   transistor in the load.
+//!
+//! Per mode the network is a resistive circuit (pass devices at full gate
+//! drive), solved exactly by [`crate::nodal`]. The paper validates the
+//! scheme in 28 nm FD-SOI (its Fig. 9); [`AssistCircuit::paper_28nm`]
+//! reproduces those observations: reversed equal-magnitude grid current,
+//! swapped load rails at ≈0.8 V / ≈0.2 V, and a 0.2–0.3 V droop.
+
+use core::fmt;
+
+use dh_units::{Amperes, Ohms, Volts};
+
+use crate::error::CircuitError;
+use crate::mosfet::Mosfet;
+use crate::nodal::NodalNetwork;
+
+/// The eight switch devices of the assist circuitry (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// Header: VDD → VDD-grid (normal polarity).
+    P1,
+    /// Header: VDD → VSS-grid (reversed polarity).
+    P2,
+    /// Load connect: VDD-grid → load VDD pin (normal).
+    P3,
+    /// Load cross-connect: VSS-grid → load VDD pin (reversed/swap).
+    P4,
+    /// Footer: VSS-grid → GND (normal polarity).
+    N1,
+    /// Footer: VDD-grid → GND (reversed polarity).
+    N2,
+    /// Load connect: VSS-grid → load VSS pin (normal).
+    N3,
+    /// Load cross-connect: VDD-grid → load VSS pin (reversed/swap).
+    N4,
+}
+
+impl Device {
+    /// All devices in Fig. 8 order.
+    pub const ALL: [Self; 8] =
+        [Self::P1, Self::P2, Self::P3, Self::P4, Self::N1, Self::N2, Self::N3, Self::N4];
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::P1 => "P1",
+            Self::P2 => "P2",
+            Self::P3 => "P3",
+            Self::P4 => "P4",
+            Self::N1 => "N1",
+            Self::N2 => "N2",
+            Self::N3 => "N3",
+            Self::N4 => "N4",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The three operating modes of the assist circuitry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Conventional power-gated operation.
+    Normal,
+    /// Grid current reversed at equal magnitude; load keeps operating.
+    EmActiveRecovery,
+    /// Idle load with swapped VDD/VSS (deep BTI recovery).
+    BtiActiveRecovery,
+}
+
+impl Mode {
+    /// All modes.
+    pub const ALL: [Self; 3] = [Self::Normal, Self::EmActiveRecovery, Self::BtiActiveRecovery];
+
+    /// The truth table of Fig. 8(b): which devices are ON in this mode.
+    pub fn device_states(self) -> [(Device, bool); 8] {
+        use Device::*;
+        let on: &[Device] = match self {
+            Self::Normal => &[P1, P3, N1, N3],
+            Self::EmActiveRecovery => &[P2, P4, N2, N4],
+            Self::BtiActiveRecovery => &[P1, P4, N1, N4],
+        };
+        Device::ALL.map(|d| (d, on.contains(&d)))
+    }
+
+    /// Whether a device is ON in this mode.
+    pub fn is_on(self, device: Device) -> bool {
+        self.device_states().iter().any(|&(d, s)| d == device && s)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Normal => write!(f, "Normal"),
+            Self::EmActiveRecovery => write!(f, "EM Active Recovery"),
+            Self::BtiActiveRecovery => write!(f, "BTI Active Recovery"),
+        }
+    }
+}
+
+/// The assist circuitry with its load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssistCircuit {
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Header (PMOS) pass device.
+    pub p_device: Mosfet,
+    /// Footer (NMOS) pass device.
+    pub n_device: Mosfet,
+    /// Local grid segment resistance (VDD and VSS grids each).
+    pub r_grid: Ohms,
+    /// Load resistance while operating (Normal / EM recovery modes).
+    pub load_active: Ohms,
+    /// Load resistance while idle (BTI recovery mode; leakage).
+    pub load_idle: Ohms,
+    /// Width multiplier applied to the pass devices (upsizing study).
+    pub header_width: f64,
+}
+
+/// Node indices in the nodal formulation.
+const G1A: usize = 0;
+const G1B: usize = 1;
+const G2A: usize = 2;
+const G2B: usize = 3;
+const LP: usize = 4;
+const LM: usize = 5;
+/// Off-state resistance of a pass device.
+const R_OFF: f64 = 1.0e12;
+
+/// Solved operating point for one mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeSolution {
+    /// Mode that was solved.
+    pub mode: Mode,
+    /// Voltage at the load's VDD pin.
+    pub load_vdd: Volts,
+    /// Voltage at the load's VSS pin.
+    pub load_vss: Volts,
+    /// Current through the VDD-grid segment; positive in the Normal
+    /// direction.
+    pub grid_current: Amperes,
+    /// Current through the load (always ≥ 0 flowing from its higher pin).
+    pub load_current: Amperes,
+}
+
+impl ModeSolution {
+    /// The supply compression: how far the load's effective supply
+    /// (VDD pin − VSS pin) sits below the full rail — the Fig. 9/Fig. 10
+    /// headroom cost of the pass devices.
+    pub fn droop(&self, vdd: Volts) -> Volts {
+        vdd - (self.load_vdd - self.load_vss).abs()
+    }
+
+    /// The effective gate-source bias seen by load transistors in BTI
+    /// recovery mode (negative = recovery-activating).
+    pub fn bti_recovery_bias(&self) -> Volts {
+        self.load_vdd - self.load_vss
+    }
+}
+
+impl AssistCircuit {
+    /// The paper's 28 nm FD-SOI configuration: 1 V supply, ≈150/180 Ω pass
+    /// devices, a grid segment resistance from published PDN data, and a
+    /// parallel-ring-oscillator load.
+    pub fn paper_28nm() -> Self {
+        let p = Mosfet::n28();
+        // NMOS footers sized slightly weaker in this layout.
+        let n = Mosfet { k_lin: 0.925e-2, ..Mosfet::n28() };
+        Self {
+            vdd: Volts::new(1.0),
+            p_device: p,
+            n_device: n,
+            r_grid: Ohms::new(37.0),
+            load_active: Ohms::new(1800.0),
+            load_idle: Ohms::new(1200.0),
+            header_width: 1.0,
+        }
+    }
+
+    /// Replaces the active-mode load resistance (builder-style).
+    #[must_use]
+    pub fn with_load_active(mut self, r: Ohms) -> Self {
+        self.load_active = r;
+        self
+    }
+
+    /// Applies a width multiplier to the header/footer devices
+    /// (builder-style; the paper's upsizing compensation).
+    #[must_use]
+    pub fn with_header_width(mut self, width: f64) -> Self {
+        self.header_width = width;
+        self
+    }
+
+    fn pass_resistance(&self, device: Device, on: bool) -> f64 {
+        if !on {
+            return R_OFF;
+        }
+        let m = match device {
+            Device::P1 | Device::P2 | Device::P3 | Device::P4 => &self.p_device,
+            _ => &self.n_device,
+        };
+        m.on_resistance(self.vdd).value() / self.header_width
+    }
+
+    /// Solves the DC operating point for a mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] only for degenerate
+    /// parameter choices (the built-in configurations always solve).
+    pub fn solve(&self, mode: Mode) -> Result<ModeSolution, CircuitError> {
+        let mut net = NodalNetwork::new(6);
+        let states = mode.device_states();
+        let r = |d: Device| {
+            let (_, on) = states[Device::ALL.iter().position(|&x| x == d).expect("device in ALL")];
+            self.pass_resistance(d, on)
+        };
+        // Sources through the headers.
+        net.stamp_source(G1A, self.vdd.value(), r(Device::P1));
+        net.stamp_source(G2A, self.vdd.value(), r(Device::P2));
+        // Footers to ground.
+        net.stamp_resistor(Some(G2A), None, r(Device::N1));
+        net.stamp_resistor(Some(G1A), None, r(Device::N2));
+        // Grid segments.
+        net.stamp_resistor(Some(G1A), Some(G1B), self.r_grid.value());
+        net.stamp_resistor(Some(G2A), Some(G2B), self.r_grid.value());
+        // Load connect / cross-connect.
+        net.stamp_resistor(Some(G1B), Some(LP), r(Device::P3));
+        net.stamp_resistor(Some(G2B), Some(LP), r(Device::P4));
+        net.stamp_resistor(Some(G2B), Some(LM), r(Device::N3));
+        net.stamp_resistor(Some(G1B), Some(LM), r(Device::N4));
+        // The load itself.
+        let load = match mode {
+            Mode::BtiActiveRecovery => self.load_idle,
+            _ => self.load_active,
+        };
+        net.stamp_resistor(Some(LP), Some(LM), load.value());
+
+        let v = net.solve()?;
+        let grid_current = Amperes::new((v[G1A] - v[G1B]) / self.r_grid.value());
+        let load_current = Amperes::new((v[LP] - v[LM]).abs() / load.value());
+        Ok(ModeSolution {
+            mode,
+            load_vdd: Volts::new(v[LP]),
+            load_vss: Volts::new(v[LM]),
+            grid_current,
+            load_current,
+        })
+    }
+}
+
+impl Default for AssistCircuit {
+    fn default() -> Self {
+        Self::paper_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit() -> AssistCircuit {
+        AssistCircuit::paper_28nm()
+    }
+
+    #[test]
+    fn truth_table_has_four_devices_on_per_mode() {
+        for mode in Mode::ALL {
+            let on = mode.device_states().iter().filter(|(_, s)| *s).count();
+            assert_eq!(on, 4, "{mode}");
+        }
+    }
+
+    #[test]
+    fn truth_table_matches_fig8() {
+        use Device::*;
+        assert!(Mode::Normal.is_on(P1) && Mode::Normal.is_on(P3));
+        assert!(Mode::Normal.is_on(N1) && Mode::Normal.is_on(N3));
+        assert!(!Mode::Normal.is_on(P2) && !Mode::Normal.is_on(N4));
+        assert!(Mode::EmActiveRecovery.is_on(P2) && Mode::EmActiveRecovery.is_on(N2));
+        assert!(Mode::EmActiveRecovery.is_on(P4) && Mode::EmActiveRecovery.is_on(N4));
+        assert!(!Mode::EmActiveRecovery.is_on(P1));
+        assert!(Mode::BtiActiveRecovery.is_on(P1) && Mode::BtiActiveRecovery.is_on(N1));
+        assert!(Mode::BtiActiveRecovery.is_on(P4) && Mode::BtiActiveRecovery.is_on(N4));
+        assert!(!Mode::BtiActiveRecovery.is_on(P3) && !Mode::BtiActiveRecovery.is_on(N3));
+    }
+
+    #[test]
+    fn fig9a_grid_current_reverses_at_equal_magnitude() {
+        let c = circuit();
+        let normal = c.solve(Mode::Normal).unwrap();
+        let em = c.solve(Mode::EmActiveRecovery).unwrap();
+        assert!(normal.grid_current.value() > 0.0);
+        assert!(em.grid_current.value() < 0.0);
+        let ratio = (-em.grid_current.value() / normal.grid_current.value() - 1.0).abs();
+        assert!(ratio < 1e-6, "magnitude mismatch ratio {ratio}");
+        // Fig. 9(a) scale: a few hundred µA.
+        let ma = normal.grid_current.value() * 1000.0;
+        assert!(ma > 0.2 && ma < 0.7, "grid current {ma} mA");
+    }
+
+    #[test]
+    fn load_polarity_is_preserved_in_em_recovery_mode() {
+        let c = circuit();
+        let normal = c.solve(Mode::Normal).unwrap();
+        let em = c.solve(Mode::EmActiveRecovery).unwrap();
+        assert!(normal.load_vdd > normal.load_vss);
+        assert!(em.load_vdd > em.load_vss, "load must keep functioning");
+        let dv = (normal.load_vdd - normal.load_vss).value()
+            - (em.load_vdd - em.load_vss).value();
+        assert!(dv.abs() < 1e-6, "load supply differs between modes by {dv}");
+    }
+
+    #[test]
+    fn fig9b_bti_mode_swaps_the_load_rails() {
+        let sol = circuit().solve(Mode::BtiActiveRecovery).unwrap();
+        // Paper: load VSS node ≈ 0.816 V, load VDD node ≈ 0.223 V.
+        assert!(
+            (sol.load_vss.value() - 0.82).abs() < 0.06,
+            "load VSS = {}",
+            sol.load_vss
+        );
+        assert!(
+            (sol.load_vdd.value() - 0.21).abs() < 0.06,
+            "load VDD = {}",
+            sol.load_vdd
+        );
+        // The resulting bias is far deeper than the −0.3 V used in the
+        // Table I experiments.
+        assert!(sol.bti_recovery_bias() < Volts::new(-0.5));
+    }
+
+    #[test]
+    fn droop_is_in_the_paper_range() {
+        let c = circuit();
+        let normal = c.solve(Mode::Normal).unwrap();
+        let droop = normal.droop(c.vdd).value();
+        assert!((0.15..=0.35).contains(&droop), "droop {droop}");
+    }
+
+    #[test]
+    fn upsizing_headers_reduces_droop() {
+        let base = circuit().solve(Mode::Normal).unwrap();
+        let upsized = circuit().with_header_width(3.0).solve(Mode::Normal).unwrap();
+        assert!(upsized.droop(Volts::new(1.0)) < base.droop(Volts::new(1.0)));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::EmActiveRecovery.to_string(), "EM Active Recovery");
+        assert_eq!(Device::P3.to_string(), "P3");
+    }
+}

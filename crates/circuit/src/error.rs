@@ -1,0 +1,35 @@
+//! Error types for the circuit models.
+
+use core::fmt;
+
+/// Error returned by circuit construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The nodal conductance matrix is singular (floating node or all
+    /// devices off).
+    SingularMatrix,
+    /// A parameter is non-physical.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SingularMatrix => write!(f, "nodal matrix is singular (floating node?)"),
+            Self::InvalidParameter(why) => write!(f, "invalid circuit parameter: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CircuitError::SingularMatrix.to_string().contains("singular"));
+        assert!(CircuitError::InvalidParameter("x".into()).to_string().contains('x'));
+    }
+}

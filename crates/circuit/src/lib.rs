@@ -1,0 +1,54 @@
+//! Circuit substrate: transistors, ring oscillators, and the paper's
+//! **assist circuitry** for activating BTI and EM recovery.
+//!
+//! The paper's Section IV proposes a power-gating-style switch network
+//! (its Fig. 8) with three operating modes:
+//!
+//! * **Normal** — the load is powered conventionally through header/footer
+//!   devices;
+//! * **EM Active Recovery** — the current through the local VDD/VSS grids is
+//!   *reversed* at the same magnitude while the load keeps functioning
+//!   (enabling the Fig. 5–7 EM healing during operation);
+//! * **BTI Active Recovery** — the idle load's VDD and VSS are *swapped*,
+//!   putting every transistor into the negative-bias deep-recovery mode of
+//!   Table I.
+//!
+//! This crate implements that network as a resistive nodal model
+//! ([`assist`]), validated against the paper's 28 nm FD-SOI simulation
+//! numbers (its Fig. 9), the load-size trade-off study (its Fig. 10,
+//! [`sweep`]), plus the measurement-side instruments: an alpha-power-law
+//! MOSFET ([`mosfet`]) and the 75-stage ring oscillator used as the BTI
+//! test structure and sensor ([`ring_oscillator`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dh_circuit::assist::{AssistCircuit, Mode};
+//!
+//! let circuit = AssistCircuit::paper_28nm();
+//! let normal = circuit.solve(Mode::Normal).unwrap();
+//! let em = circuit.solve(Mode::EmActiveRecovery).unwrap();
+//! // Fig. 9(a): grid current reverses at (nearly) the same magnitude.
+//! assert!(normal.grid_current.value() > 0.0);
+//! assert!(em.grid_current.value() < 0.0);
+//! let ratio = (em.grid_current.value() / normal.grid_current.value()).abs();
+//! assert!((ratio - 1.0).abs() < 0.05);
+//! ```
+
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` deliberately catches NaN
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assist;
+pub mod error;
+pub mod mosfet;
+pub mod nodal;
+pub mod ring_oscillator;
+pub mod ro_array;
+pub mod sram;
+pub mod sweep;
+
+pub use assist::{AssistCircuit, Mode, ModeSolution};
+pub use error::CircuitError;
+pub use mosfet::Mosfet;
+pub use ring_oscillator::RingOscillator;

@@ -1,0 +1,174 @@
+//! Alpha-power-law MOSFET model.
+//!
+//! The alpha-power law (Sakurai–Newton) captures short-channel saturation
+//! current well enough for delay and droop estimation:
+//!
+//! ```text
+//! I_on = k · W · (V_gs − V_th)^α        (saturation)
+//! R_on ≈ 1 / (k_lin · W · (V_gs − V_th)) (deep triode, pass device)
+//! ```
+//!
+//! BTI enters through `delta_vth_mv`: the threshold magnitude grows as the
+//! device wears out, shrinking the overdrive. `α ≈ 1.3` is typical of the
+//! 28 nm-class technology the paper simulates its assist circuitry in.
+
+use dh_units::{Ohms, Volts};
+
+use crate::error::CircuitError;
+
+/// An alpha-power-law MOSFET (widths folded into the transconductance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    /// Fresh threshold voltage magnitude.
+    pub vth0: Volts,
+    /// Saturation transconductance, A/V^α (width included).
+    pub k_sat: f64,
+    /// Velocity-saturation exponent α.
+    pub alpha: f64,
+    /// Linear-region conductance factor, S/V (width included).
+    pub k_lin: f64,
+    /// BTI-induced threshold shift, millivolts (≥ 0).
+    pub delta_vth_mv: f64,
+}
+
+impl Mosfet {
+    /// A 28 nm-class logic device normalised to unit width: chosen so a
+    /// 1 V gate drive gives ≈0.5 mA of saturation current and a ≈150 Ω
+    /// pass resistance — the scales used by the paper's assist-circuit
+    /// simulation.
+    pub fn n28() -> Self {
+        Self { vth0: Volts::new(0.40), k_sat: 0.97e-3, alpha: 1.3, k_lin: 1.11e-2, delta_vth_mv: 0.0 }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for non-positive factors
+    /// or a negative wearout shift.
+    pub fn validated(self) -> Result<Self, CircuitError> {
+        for (name, v) in [
+            ("vth0", self.vth0.value()),
+            ("k_sat", self.k_sat),
+            ("alpha", self.alpha),
+            ("k_lin", self.k_lin),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(CircuitError::InvalidParameter(format!(
+                    "{name} must be positive, got {v}"
+                )));
+            }
+        }
+        if !(self.delta_vth_mv >= 0.0) || !self.delta_vth_mv.is_finite() {
+            return Err(CircuitError::InvalidParameter(format!(
+                "delta_vth must be non-negative, got {}",
+                self.delta_vth_mv
+            )));
+        }
+        Ok(self)
+    }
+
+    /// The effective (aged) threshold voltage.
+    pub fn vth(&self) -> Volts {
+        self.vth0 + Volts::new(self.delta_vth_mv / 1000.0)
+    }
+
+    /// Gate overdrive at a gate-source voltage; zero when the device is off.
+    pub fn overdrive(&self, vgs: Volts) -> Volts {
+        Volts::new((vgs.value() - self.vth().value()).max(0.0))
+    }
+
+    /// Saturation on-current at a gate drive, amperes (0 when off).
+    pub fn on_current(&self, vgs: Volts) -> f64 {
+        let ov = self.overdrive(vgs).value();
+        if ov <= 0.0 {
+            0.0
+        } else {
+            self.k_sat * ov.powf(self.alpha)
+        }
+    }
+
+    /// Pass-device on-resistance at a gate drive.
+    ///
+    /// Returns an effectively open resistance when the device is off.
+    pub fn on_resistance(&self, vgs: Volts) -> Ohms {
+        let ov = self.overdrive(vgs).value();
+        if ov <= 1e-9 {
+            Ohms::new(1.0e12)
+        } else {
+            Ohms::new(1.0 / (self.k_lin * ov))
+        }
+    }
+
+    /// Applies a BTI threshold shift (builder-style).
+    #[must_use]
+    pub fn with_delta_vth_mv(mut self, delta_vth_mv: f64) -> Self {
+        self.delta_vth_mv = delta_vth_mv.max(0.0);
+        self
+    }
+}
+
+impl Default for Mosfet {
+    fn default() -> Self {
+        Self::n28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_device_scales() {
+        let m = Mosfet::n28();
+        let i = m.on_current(Volts::new(1.0));
+        assert!((i - 0.5e-3).abs() < 0.1e-3, "I_on = {i}");
+        let r = m.on_resistance(Volts::new(1.0)).value();
+        assert!((r - 150.0).abs() < 20.0, "R_on = {r}");
+    }
+
+    #[test]
+    fn off_device_conducts_nothing() {
+        let m = Mosfet::n28();
+        assert_eq!(m.on_current(Volts::new(0.2)), 0.0);
+        assert!(m.on_resistance(Volts::new(0.2)).value() >= 1e12);
+        assert_eq!(m.overdrive(Volts::new(-0.3)), Volts::ZERO);
+    }
+
+    #[test]
+    fn bti_wearout_weakens_the_device() {
+        let fresh = Mosfet::n28();
+        let aged = fresh.with_delta_vth_mv(50.0);
+        assert!(aged.on_current(Volts::new(1.0)) < fresh.on_current(Volts::new(1.0)));
+        assert!(aged.on_resistance(Volts::new(1.0)) > fresh.on_resistance(Volts::new(1.0)));
+        assert_eq!(aged.vth(), Volts::new(0.45));
+    }
+
+    #[test]
+    fn current_is_monotone_in_gate_drive() {
+        let m = Mosfet::n28();
+        let mut prev = -1.0;
+        for mv in (0..=1200).step_by(100) {
+            let i = m.on_current(Volts::new(mv as f64 / 1000.0));
+            assert!(i >= prev);
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn negative_shift_is_clamped_by_builder() {
+        let m = Mosfet::n28().with_delta_vth_mv(-5.0);
+        assert_eq!(m.delta_vth_mv, 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let mut m = Mosfet::n28();
+        m.alpha = 0.0;
+        assert!(m.validated().is_err());
+        let mut m = Mosfet::n28();
+        m.delta_vth_mv = f64::NAN;
+        assert!(m.validated().is_err());
+        assert!(Mosfet::n28().validated().is_ok());
+    }
+}

@@ -1,0 +1,226 @@
+//! A small dense nodal (modified-nodal-analysis) DC solver.
+//!
+//! The assist circuitry of the paper's Fig. 8 reduces, per mode, to a
+//! resistive network with one voltage source; this module solves such
+//! networks by stamping conductances into a dense matrix and running
+//! Gaussian elimination with partial pivoting. (The PDN crate has its own
+//! sparse iterative solver for meshes with thousands of nodes; this one is
+//! for small switch networks where a dense solve is simpler and exact.)
+
+use crate::error::CircuitError;
+
+/// A resistive network under construction: `n` unknown node voltages plus
+/// ground (node index `usize::MAX` is not used; ground is `None`).
+#[derive(Debug, Clone)]
+pub struct NodalNetwork {
+    n: usize,
+    /// Conductance matrix (row-major), n×n.
+    g: Vec<f64>,
+    /// Current injection vector.
+    i: Vec<f64>,
+}
+
+impl NodalNetwork {
+    /// Creates an empty network with `n` unknown nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, g: vec![0.0; n * n], i: vec![0.0; n] }
+    }
+
+    /// Number of unknown nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the network has no unknowns.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Stamps a conductance `g` (siemens) between nodes `a` and `b`;
+    /// `None` is ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range or the conductance is not
+    /// finite and non-negative.
+    pub fn stamp_conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
+        assert!(g.is_finite() && g >= 0.0, "conductance must be finite and >= 0, got {g}");
+        if let Some(a) = a {
+            assert!(a < self.n, "node {a} out of range");
+            self.g[a * self.n + a] += g;
+        }
+        if let Some(b) = b {
+            assert!(b < self.n, "node {b} out of range");
+            self.g[b * self.n + b] += g;
+        }
+        if let (Some(a), Some(b)) = (a, b) {
+            self.g[a * self.n + b] -= g;
+            self.g[b * self.n + a] -= g;
+        }
+    }
+
+    /// Stamps a resistor (ohms) between nodes; `None` is ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not strictly positive.
+    pub fn stamp_resistor(&mut self, a: Option<usize>, b: Option<usize>, r_ohm: f64) {
+        assert!(r_ohm > 0.0, "resistance must be positive, got {r_ohm}");
+        self.stamp_conductance(a, b, 1.0 / r_ohm);
+    }
+
+    /// Stamps an ideal voltage source of `v` volts from ground to node `a`
+    /// through a series resistance `r_ohm` (a practical Thevenin source;
+    /// keeps the formulation pure-nodal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range or the resistance not positive.
+    pub fn stamp_source(&mut self, a: usize, v: f64, r_ohm: f64) {
+        assert!(a < self.n, "node {a} out of range");
+        assert!(r_ohm > 0.0, "source resistance must be positive");
+        let g = 1.0 / r_ohm;
+        self.g[a * self.n + a] += g;
+        self.i[a] += v * g;
+    }
+
+    /// Injects a current `i_a` amperes into node `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn inject_current(&mut self, a: usize, i_a: f64) {
+        assert!(a < self.n, "node {a} out of range");
+        self.i[a] += i_a;
+    }
+
+    /// Solves for the node voltages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] if the network has floating
+    /// nodes (no conductance path to a source or ground).
+    pub fn solve(&self) -> Result<Vec<f64>, CircuitError> {
+        let n = self.n;
+        let mut a = self.g.clone();
+        let mut b = self.i.clone();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if best < 1e-18 {
+                return Err(CircuitError::SingularMatrix);
+            }
+            if pivot != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot * n + k);
+                }
+                b.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for row in (col + 1)..n {
+                let f = a[row * n + col] / diag;
+                if f == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= f * a[col * n + k];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut sum = b[row];
+            for k in (row + 1)..n {
+                sum -= a[row * n + k] * x[k];
+            }
+            x[row] = sum / a[row * n + row];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_divider() {
+        // 1 V source through 1 kΩ into node 0, 1 kΩ from node 0 to ground.
+        let mut net = NodalNetwork::new(1);
+        net.stamp_source(0, 1.0, 1000.0);
+        net.stamp_resistor(Some(0), None, 1000.0);
+        let v = net.solve().unwrap();
+        assert!((v[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_node_ladder() {
+        // 1 V — 100 Ω — n0 — 100 Ω — n1 — 100 Ω — gnd: v0 = 2/3, v1 = 1/3.
+        let mut net = NodalNetwork::new(2);
+        net.stamp_source(0, 1.0, 100.0);
+        net.stamp_resistor(Some(0), Some(1), 100.0);
+        net.stamp_resistor(Some(1), None, 100.0);
+        let v = net.solve().unwrap();
+        assert!((v[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_injection() {
+        // 1 mA into a 1 kΩ to ground: 1 V.
+        let mut net = NodalNetwork::new(1);
+        net.inject_current(0, 1e-3);
+        net.stamp_resistor(Some(0), None, 1000.0);
+        let v = net.solve().unwrap();
+        assert!((v[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut net = NodalNetwork::new(2);
+        net.stamp_source(0, 1.0, 100.0);
+        net.stamp_resistor(Some(0), None, 100.0);
+        // Node 1 floats.
+        assert_eq!(net.solve(), Err(CircuitError::SingularMatrix));
+    }
+
+    #[test]
+    fn kcl_holds_at_every_node() {
+        // Random-ish ladder; verify G·x = i.
+        let mut net = NodalNetwork::new(4);
+        net.stamp_source(0, 1.2, 50.0);
+        net.stamp_resistor(Some(0), Some(1), 120.0);
+        net.stamp_resistor(Some(1), Some(2), 330.0);
+        net.stamp_resistor(Some(2), Some(3), 210.0);
+        net.stamp_resistor(Some(3), None, 470.0);
+        net.stamp_resistor(Some(1), None, 1000.0);
+        let x = net.solve().unwrap();
+        for row in 0..4 {
+            let sum: f64 = (0..4).map(|k| net.g[row * 4 + k] * x[k]).sum();
+            assert!((sum - net.i[row]).abs() < 1e-9, "KCL residual at node {row}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_index_panics() {
+        let mut net = NodalNetwork::new(1);
+        net.stamp_resistor(Some(3), None, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_resistance_panics() {
+        let mut net = NodalNetwork::new(1);
+        net.stamp_resistor(Some(0), None, 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Ring oscillator: the paper's BTI test structure and wearout sensor.
+//!
+//! The paper measures BTI on "a 75-stage LUT-mapped ring oscillator" in a
+//! 40 nm FPGA: the oscillation frequency degrades as BTI raises |Vth| and
+//! recovers as the traps empty. The model maps a threshold shift to a
+//! frequency through the alpha-power stage delay
+//!
+//! ```text
+//! τ_stage ∝ C·V / (V − Vth − ΔVth)^α,   f = 1 / (2 · N · τ_stage)
+//! ```
+//!
+//! which is monotone and invertible — so the same object doubles as the
+//! *BTI sensor* the paper proposes for run-time scheduling ("novel BTI and
+//! EM sensors can be employed to track wearout").
+
+use dh_units::{Hertz, Volts};
+
+use crate::error::CircuitError;
+use crate::mosfet::Mosfet;
+
+/// A ring-oscillator frequency model with BTI sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingOscillator {
+    /// Number of inverting stages (odd in hardware; the model only uses the
+    /// count as a divider).
+    pub stages: usize,
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Representative switching device.
+    pub device: Mosfet,
+    /// Effective stage load capacitance, farads.
+    pub stage_capacitance_f: f64,
+}
+
+impl RingOscillator {
+    /// The paper's 75-stage LUT-mapped ring oscillator, scaled to oscillate
+    /// near 50 MHz fresh (typical for a long LUT-based RO at nominal VDD).
+    pub fn paper_75_stage() -> Self {
+        Self {
+            stages: 75,
+            vdd: Volts::new(1.0),
+            device: Mosfet::n28(),
+            stage_capacitance_f: 6.7e-14,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for a zero stage count or
+    /// non-positive supply/capacitance.
+    pub fn validated(self) -> Result<Self, CircuitError> {
+        if self.stages == 0 {
+            return Err(CircuitError::InvalidParameter("stage count must be > 0".into()));
+        }
+        if !(self.vdd.value() > 0.0) {
+            return Err(CircuitError::InvalidParameter(format!("vdd must be positive, got {}", self.vdd)));
+        }
+        if !(self.stage_capacitance_f > 0.0) || !self.stage_capacitance_f.is_finite() {
+            return Err(CircuitError::InvalidParameter(format!(
+                "stage capacitance must be positive, got {}",
+                self.stage_capacitance_f
+            )));
+        }
+        self.device.validated()?;
+        Ok(self)
+    }
+
+    /// Oscillation frequency for a given BTI threshold shift.
+    ///
+    /// Returns 0 Hz if the aged threshold leaves no overdrive (oscillation
+    /// stalls).
+    pub fn frequency(&self, delta_vth_mv: f64) -> Hertz {
+        let device = self.device.with_delta_vth_mv(delta_vth_mv);
+        let i_on = device.on_current(self.vdd);
+        if i_on <= 0.0 {
+            return Hertz::ZERO;
+        }
+        let tau = self.stage_capacitance_f * self.vdd.value() / i_on;
+        Hertz::new(1.0 / (2.0 * self.stages as f64 * tau))
+    }
+
+    /// Fractional frequency degradation (0 = fresh) at a threshold shift.
+    pub fn degradation(&self, delta_vth_mv: f64) -> f64 {
+        let fresh = self.frequency(0.0).value();
+        if fresh <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.frequency(delta_vth_mv).value() / fresh
+    }
+
+    /// Sensor inversion: estimates the threshold shift (mV) that explains a
+    /// measured frequency. Returns `None` for frequencies above fresh or
+    /// non-positive.
+    pub fn infer_delta_vth_mv(&self, measured: Hertz) -> Option<f64> {
+        let fresh = self.frequency(0.0);
+        if measured.value() <= 0.0 || measured > fresh {
+            return None;
+        }
+        // f ∝ (V − Vth0 − ΔVth)^α  ⇒  invert in closed form.
+        let ov0 = self.vdd.value() - self.device.vth0.value();
+        let ratio = (measured.value() / fresh.value()).powf(1.0 / self.device.alpha);
+        Some(((1.0 - ratio) * ov0 * 1000.0).max(0.0))
+    }
+}
+
+impl Default for RingOscillator {
+    fn default() -> Self {
+        Self::paper_75_stage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ro() -> RingOscillator {
+        RingOscillator::paper_75_stage()
+    }
+
+    #[test]
+    fn fresh_frequency_is_tens_of_mhz() {
+        let f = ro().frequency(0.0);
+        assert!(f.as_mhz() > 20.0 && f.as_mhz() < 120.0, "f = {} MHz", f.as_mhz());
+    }
+
+    #[test]
+    fn bti_degrades_frequency_monotonically() {
+        let ro = ro();
+        let mut prev = f64::INFINITY;
+        for mv in [0.0, 10.0, 25.0, 50.0, 100.0] {
+            let f = ro.frequency(mv).value();
+            assert!(f < prev || mv == 0.0);
+            prev = f;
+        }
+        // 50 mV of BTI on a 0.6 V overdrive: a ~10 % class slowdown.
+        let d = ro.degradation(50.0);
+        assert!(d > 0.05 && d < 0.2, "degradation {d}");
+    }
+
+    #[test]
+    fn sensor_inversion_round_trips() {
+        let ro = ro();
+        for mv in [0.0, 5.0, 17.0, 42.0, 80.0] {
+            let f = ro.frequency(mv);
+            let est = ro.infer_delta_vth_mv(f).unwrap();
+            assert!((est - mv).abs() < 0.01, "mv {mv} est {est}");
+        }
+    }
+
+    #[test]
+    fn sensor_rejects_impossible_measurements() {
+        let ro = ro();
+        let fresh = ro.frequency(0.0);
+        assert!(ro.infer_delta_vth_mv(fresh * 1.1).is_none());
+        assert!(ro.infer_delta_vth_mv(Hertz::ZERO).is_none());
+    }
+
+    #[test]
+    fn oscillation_stalls_when_overdrive_vanishes() {
+        let ro = ro();
+        let f = ro.frequency(700.0); // ΔVth beyond VDD − Vth0
+        assert_eq!(f, Hertz::ZERO);
+        assert_eq!(ro.degradation(700.0), 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        let mut r = ro();
+        r.stages = 0;
+        assert!(r.validated().is_err());
+        let mut r = ro();
+        r.stage_capacitance_f = -1.0;
+        assert!(r.validated().is_err());
+        assert!(ro().validated().is_ok());
+    }
+}

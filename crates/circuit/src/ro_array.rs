@@ -1,0 +1,230 @@
+//! An array of ring-oscillator sensors across a die — the paper's FPGA
+//! measurement fabric, generalised into the distributed wearout-sensor
+//! array its Fig. 12(b) scheduling loop needs.
+//!
+//! The paper measures BTI on LUT-mapped ring oscillators in a commercial
+//! FPGA; production systems replicate such ROs across the die so that
+//! run-time scheduling sees *local* degradation. Each array element here
+//! carries process variation (a systematic across-die gradient plus random
+//! per-site variation, the standard decomposition), so the array also
+//! answers the calibration question real sensor fabrics face: how do you
+//! separate wearout from static process spread? Answer, as in practice: by
+//! differencing against each site's **time-zero reading** — which this
+//! module models explicitly.
+
+use dh_units::rng::{seeded_rng, standard_normal};
+use dh_units::Hertz;
+
+use crate::ring_oscillator::RingOscillator;
+
+/// One RO sensor site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoSite {
+    /// Die coordinates in [0, 1]².
+    pub x: f64,
+    /// Die coordinates in [0, 1]².
+    pub y: f64,
+    /// Static process multiplier on this site's fresh frequency.
+    pub process_factor: f64,
+    /// The time-zero (fresh, post-calibration) frequency reading.
+    pub f0: Hertz,
+}
+
+/// A calibrated array of RO sensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoArray {
+    ro: RingOscillator,
+    sites: Vec<RoSite>,
+}
+
+/// Process-variation magnitudes for an RO array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoVariation {
+    /// Peak-to-peak systematic (across-die gradient) frequency variation.
+    pub systematic_pp: f64,
+    /// 1-sigma random per-site frequency variation.
+    pub random_sigma: f64,
+}
+
+impl Default for RoVariation {
+    fn default() -> Self {
+        // Typical 28–40 nm class numbers: ±3 % systematic, 1 % random.
+        Self { systematic_pp: 0.06, random_sigma: 0.01 }
+    }
+}
+
+impl RoArray {
+    /// Builds a `rows × cols` array with the given variation, calibrated at
+    /// time zero (every site's fresh frequency is recorded).
+    pub fn new(
+        ro: RingOscillator,
+        rows: usize,
+        cols: usize,
+        variation: RoVariation,
+        seed: u64,
+    ) -> Self {
+        let mut rng = seeded_rng(seed, "ro-array");
+        let f_nominal = ro.frequency(0.0);
+        let sites = (0..rows * cols)
+            .map(|i| {
+                let x = if cols > 1 { (i % cols) as f64 / (cols - 1) as f64 } else { 0.5 };
+                let y = if rows > 1 { (i / cols) as f64 / (rows - 1) as f64 } else { 0.5 };
+                // A diagonal systematic gradient plus random residue.
+                let systematic = variation.systematic_pp * ((x + y) / 2.0 - 0.5);
+                let random = variation.random_sigma * standard_normal(&mut rng);
+                let process_factor = (1.0 + systematic + random).max(0.5);
+                RoSite { x, y, process_factor, f0: f_nominal * process_factor }
+            })
+            .collect();
+        Self { ro, sites }
+    }
+
+    /// A 4×4 array of the paper's 75-stage ROs with default variation.
+    pub fn paper_4x4(seed: u64) -> Self {
+        Self::new(RingOscillator::paper_75_stage(), 4, 4, RoVariation::default(), seed)
+    }
+
+    /// Number of sensor sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the array has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The sites.
+    pub fn sites(&self) -> &[RoSite] {
+        &self.sites
+    }
+
+    /// The raw frequency a site would read when its local wearout is
+    /// `dvth_mv` — process factor included, as a real counter would see.
+    pub fn raw_reading(&self, site: usize, dvth_mv: f64) -> Hertz {
+        self.ro.frequency(dvth_mv) * self.sites[site].process_factor
+    }
+
+    /// Estimates the local ΔVth (mV) from a raw reading by differencing
+    /// against the site's time-zero calibration — cancelling the static
+    /// process factor exactly.
+    pub fn infer_dvth_mv(&self, site: usize, reading: Hertz) -> Option<f64> {
+        let s = &self.sites[site];
+        if s.f0.value() <= 0.0 {
+            return None;
+        }
+        // reading/f0 = f(dvth)/f(0): reconstruct a process-free frequency.
+        let normalized = self.ro.frequency(0.0) * (reading.value() / s.f0.value());
+        self.ro.infer_delta_vth_mv(normalized)
+    }
+
+    /// The spread (max − min) of *fresh* readings across the array — the
+    /// static process spread an uncalibrated scheduler would mistake for
+    /// wearout.
+    pub fn fresh_spread_fraction(&self) -> f64 {
+        let fs: Vec<f64> = self.sites.iter().map(|s| s.f0.value()).collect();
+        let max = fs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = fs.iter().cloned().fold(f64::INFINITY, f64::min);
+        (max - min) / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> RoArray {
+        RoArray::paper_4x4(42)
+    }
+
+    #[test]
+    fn array_has_static_process_spread() {
+        let a = array();
+        assert_eq!(a.len(), 16);
+        let spread = a.fresh_spread_fraction();
+        // ±3 % systematic + 1 % random: a few percent peak-to-peak.
+        assert!(spread > 0.02 && spread < 0.15, "spread {spread}");
+    }
+
+    #[test]
+    fn calibration_cancels_process_variation_exactly() {
+        let a = array();
+        for site in 0..a.len() {
+            for dvth in [0.0, 10.0, 35.0] {
+                let raw = a.raw_reading(site, dvth);
+                let est = a.infer_dvth_mv(site, raw).unwrap();
+                assert!(
+                    (est - dvth).abs() < 0.01,
+                    "site {site}: true {dvth} est {est}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncalibrated_inference_would_be_badly_wrong() {
+        // Using the nominal (uncalibrated) inversion on a slow-corner site
+        // misreads process spread as wearout — the reason the array records
+        // time-zero readings.
+        let a = array();
+        let slow_site = (0..a.len())
+            .min_by(|&i, &j| {
+                a.sites()[i]
+                    .process_factor
+                    .partial_cmp(&a.sites()[j].process_factor)
+                    .expect("finite factors")
+            })
+            .unwrap();
+        let raw = a.raw_reading(slow_site, 0.0);
+        let naive = RingOscillator::paper_75_stage().infer_delta_vth_mv(raw).unwrap_or(0.0);
+        assert!(naive > 2.0, "naive estimate should be fooled, got {naive} mV");
+        let calibrated = a.infer_dvth_mv(slow_site, raw).unwrap();
+        assert!(calibrated < 0.01);
+    }
+
+    #[test]
+    fn systematic_gradient_is_spatially_ordered() {
+        // The diagonal gradient: corner (0,0) is slow, corner (1,1) fast
+        // (with random residue small relative to the systematic span).
+        let a = RoArray::new(
+            RingOscillator::paper_75_stage(),
+            8,
+            8,
+            RoVariation { systematic_pp: 0.08, random_sigma: 0.002 },
+            7,
+        );
+        let f_at = |x: f64, y: f64| {
+            a.sites()
+                .iter()
+                .find(|s| (s.x - x).abs() < 1e-9 && (s.y - y).abs() < 1e-9)
+                .expect("corner site")
+                .f0
+                .value()
+        };
+        assert!(f_at(1.0, 1.0) > f_at(0.0, 0.0));
+    }
+
+    #[test]
+    fn seeded_arrays_are_reproducible() {
+        let a = RoArray::paper_4x4(9);
+        let b = RoArray::paper_4x4(9);
+        assert_eq!(a, b);
+        let c = RoArray::paper_4x4(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_single_site_array() {
+        let a = RoArray::new(
+            RingOscillator::paper_75_stage(),
+            1,
+            1,
+            RoVariation::default(),
+            1,
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.sites()[0].x, 0.5);
+        let est = a.infer_dvth_mv(0, a.raw_reading(0, 5.0)).unwrap();
+        assert!((est - 5.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,190 @@
+//! Load-size trade-off study (the paper's Fig. 10).
+//!
+//! The paper sweeps the number of load blocks behind one assist circuit and
+//! reports two opposing trends:
+//!
+//! * **load delay rises** (≈1.8× at 5× load) — more load current through the
+//!   fixed header/footer devices means more droop, hence less overdrive;
+//! * **mode-switching time falls, at a slower rate** — the rail-swap
+//!   transient discharges through the load, whose resistance shrinks with
+//!   size faster than its capacitance grows.
+//!
+//! Delay comes from the actual nodal solution of the assist circuit (load
+//! resistance scaled by size) through the alpha-power stage-delay law;
+//! switching time from the rail RC with a fixed wiring capacitance plus a
+//! per-load-unit capacitance.
+
+use dh_units::{Ohms, Seconds, Volts};
+
+use crate::assist::{AssistCircuit, Mode};
+use crate::error::CircuitError;
+
+/// One point of the Fig. 10 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSweepPoint {
+    /// Load size (number of parallel load units).
+    pub size: usize,
+    /// Load supply voltage after droop.
+    pub load_voltage: Volts,
+    /// Stage delay normalized to size 1.
+    pub normalized_delay: f64,
+    /// Mode-switching time normalized to size 1.
+    pub normalized_switching_time: f64,
+    /// Absolute switching time.
+    pub switching_time: Seconds,
+}
+
+/// Parameters of the Fig. 10 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// Load resistance of a single load unit.
+    pub unit_load: Ohms,
+    /// Fixed rail wiring capacitance, farads.
+    pub rail_capacitance_f: f64,
+    /// Capacitance added per load unit, farads.
+    pub unit_capacitance_f: f64,
+    /// Threshold voltage of the load devices.
+    pub load_vth: Volts,
+    /// Alpha-power exponent of the load devices.
+    pub alpha: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            unit_load: Ohms::new(6600.0),
+            rail_capacitance_f: 3.0e-12,
+            unit_capacitance_f: 1.0e-12,
+            load_vth: Volts::new(0.40),
+            alpha: 1.3,
+        }
+    }
+}
+
+/// Runs the Fig. 10 sweep over `sizes` parallel load units.
+///
+/// # Errors
+///
+/// Returns [`CircuitError`] if a nodal solve fails (degenerate parameters)
+/// or if the size-1 load already stalls (no overdrive).
+pub fn load_size_sweep(
+    circuit: AssistCircuit,
+    config: SweepConfig,
+    sizes: impl IntoIterator<Item = usize>,
+) -> Result<Vec<LoadSweepPoint>, CircuitError> {
+    let mut points = Vec::new();
+    let mut base_delay = None;
+    let mut base_switch = None;
+    for size in sizes {
+        if size == 0 {
+            return Err(CircuitError::InvalidParameter("load size must be >= 1".into()));
+        }
+        let n = size as f64;
+        let load_r = Ohms::new(config.unit_load.value() / n);
+        let sol = circuit.with_load_active(load_r).solve(Mode::Normal)?;
+        let v = (sol.load_vdd - sol.load_vss).value();
+        let overdrive = v - config.load_vth.value();
+        if overdrive <= 0.0 {
+            return Err(CircuitError::InvalidParameter(format!(
+                "load of size {size} stalls: supply {v:.3} V below threshold"
+            )));
+        }
+        // Alpha-power stage delay ∝ C·V / (V − Vth)^α (C fixed per stage).
+        let delay = v / overdrive.powf(config.alpha);
+        // Rail swap discharges through the load units.
+        let switch_time =
+            (config.rail_capacitance_f + n * config.unit_capacitance_f) * load_r.value();
+
+        let base_d = *base_delay.get_or_insert(delay);
+        let base_s = *base_switch.get_or_insert(switch_time);
+        points.push(LoadSweepPoint {
+            size,
+            load_voltage: Volts::new(v),
+            normalized_delay: delay / base_d,
+            normalized_switching_time: switch_time / base_s,
+            switching_time: Seconds::new(switch_time),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<LoadSweepPoint> {
+        load_size_sweep(AssistCircuit::paper_28nm(), SweepConfig::default(), 1..=5).unwrap()
+    }
+
+    #[test]
+    fn delay_rises_roughly_to_1_8x_at_size_5() {
+        let points = sweep();
+        assert_eq!(points.len(), 5);
+        assert!((points[0].normalized_delay - 1.0).abs() < 1e-12);
+        let last = points.last().unwrap().normalized_delay;
+        assert!((1.5..=2.2).contains(&last), "delay at size 5 = {last}");
+    }
+
+    #[test]
+    fn delay_is_monotone_increasing_in_load_size() {
+        let points = sweep();
+        for pair in points.windows(2) {
+            assert!(pair[1].normalized_delay > pair[0].normalized_delay);
+        }
+    }
+
+    #[test]
+    fn switching_time_falls_with_diminishing_rate() {
+        let points = sweep();
+        let mut prev_drop = f64::INFINITY;
+        for pair in points.windows(2) {
+            let drop = pair[0].normalized_switching_time - pair[1].normalized_switching_time;
+            assert!(drop > 0.0, "switching time must keep falling");
+            assert!(drop <= prev_drop + 1e-12, "rate of fall must not increase");
+            prev_drop = drop;
+        }
+        let last = points.last().unwrap().normalized_switching_time;
+        assert!(last > 0.2 && last < 0.8, "switching at size 5 = {last}");
+    }
+
+    #[test]
+    fn load_voltage_drops_with_size() {
+        let points = sweep();
+        for pair in points.windows(2) {
+            assert!(pair[1].load_voltage < pair[0].load_voltage);
+        }
+        // Still operational at size 5.
+        assert!(points.last().unwrap().load_voltage > Volts::new(0.45));
+    }
+
+    #[test]
+    fn upsized_headers_flatten_the_delay_curve() {
+        // The paper's compensation: upsizing header/footer devices trades
+        // area for restored performance.
+        let base = sweep();
+        let upsized = load_size_sweep(
+            AssistCircuit::paper_28nm().with_header_width(3.0),
+            SweepConfig::default(),
+            1..=5,
+        )
+        .unwrap();
+        assert!(
+            upsized.last().unwrap().normalized_delay < base.last().unwrap().normalized_delay,
+            "upsizing must reduce the delay penalty"
+        );
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        let r = load_size_sweep(AssistCircuit::paper_28nm(), SweepConfig::default(), [0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn oversized_load_stalls_with_a_clear_error() {
+        let config =
+            SweepConfig { unit_load: Ohms::new(800.0), ..SweepConfig::default() }; // giant droop
+        let r = load_size_sweep(AssistCircuit::paper_28nm(), config, 1..=8);
+        assert!(matches!(r, Err(CircuitError::InvalidParameter(_))));
+    }
+}

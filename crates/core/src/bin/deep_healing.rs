@@ -1,0 +1,103 @@
+//! `deep-healing` — command-line front end for the reproduction suite.
+//!
+//! ```text
+//! deep-healing table1            # Table I comparison
+//! deep-healing fig4 | fig5 | fig6 | fig7 | fig9 | fig10 | fig11
+//! deep-healing fig12 [years]    # lifetime policy comparison
+//! deep-healing all [years]      # everything, paper order
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use deep_healing::experiments;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: deep-healing <command>\n\
+         commands:\n\
+         \u{20} table1          BTI recovery under the four Table I conditions\n\
+         \u{20} fig4            permanent BTI component vs stress:recovery schedule\n\
+         \u{20} fig5            EM stress + active/passive recovery\n\
+         \u{20} fig6            early EM recovery and reverse-current EM\n\
+         \u{20} fig7            periodic EM recovery during nucleation\n\
+         \u{20} fig9            assist circuitry truth table and operating points\n\
+         \u{20} fig10           load size vs delay and switching time\n\
+         \u{20} fig11           PDN EM hazard by layer\n\
+         \u{20} fig12 [years]   lifetime policy comparison (default 1 year)\n\
+         \u{20} all [years]     every experiment in paper order"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_years(arg: Option<String>) -> Result<f64, ExitCode> {
+    match arg {
+        None => Ok(1.0),
+        Some(s) => match s.parse::<f64>() {
+            Ok(y) if y > 0.0 && y.is_finite() => Ok(y),
+            _ => {
+                eprintln!("error: years must be a positive number, got {s:?}");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
+}
+
+fn run_fig12(years: f64) -> ExitCode {
+    match experiments::fig12(years) {
+        Ok(outcomes) => {
+            print!("{}", experiments::render_fig12(&outcomes));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let Some(command) = args.next() else {
+        return usage();
+    };
+    match command.as_str() {
+        "table1" => print!("{}", experiments::table1().render()),
+        "fig4" => print!("{}", experiments::fig4().render()),
+        "fig5" => print!("{}", experiments::render_fig5(&experiments::fig5())),
+        "fig6" => print!("{}", experiments::render_fig6(&experiments::fig6())),
+        "fig7" => print!("{}", experiments::render_fig7(&experiments::fig7())),
+        "fig9" => print!("{}", experiments::fig9().render()),
+        "fig10" => print!("{}", experiments::render_fig10(&experiments::fig10())),
+        "fig11" => print!("{}", experiments::fig11().render()),
+        "fig12" => {
+            return match parse_years(args.next()) {
+                Ok(years) => run_fig12(years),
+                Err(code) => code,
+            };
+        }
+        "all" => {
+            let years = match parse_years(args.next()) {
+                Ok(y) => y,
+                Err(code) => return code,
+            };
+            print!("{}", experiments::table1().render());
+            print!("\n{}", experiments::fig4().render());
+            print!("\n{}", experiments::render_fig5(&experiments::fig5()));
+            print!("\n{}", experiments::render_fig6(&experiments::fig6()));
+            print!("\n{}", experiments::render_fig7(&experiments::fig7()));
+            print!("\n{}", experiments::fig9().render());
+            print!("\n{}", experiments::render_fig10(&experiments::fig10()));
+            print!("\n{}", experiments::fig11().render());
+            return run_fig12(years);
+        }
+        "-h" | "--help" | "help" => {
+            return usage();
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,536 @@
+//! One-call reproductions of every table and figure in the paper's
+//! evaluation.
+//!
+//! Each function runs the corresponding experiment on the calibrated models
+//! and returns structured results with a `render()` method producing the
+//! plain-text table/series the reproduction binaries print. The paper's own
+//! numbers are embedded so every result is a paper-vs-measured comparison.
+
+use dh_bti::analytic::AnalyticBtiModel;
+use dh_bti::calibration::TableOneTargets;
+use dh_bti::schedule::{permanent_series, CyclicSchedule};
+use dh_bti::{RecoveryCondition, TrapEnsemble};
+use dh_circuit::assist::{AssistCircuit, Device, Mode, ModeSolution};
+use dh_circuit::sweep::{load_size_sweep, LoadSweepPoint, SweepConfig};
+use dh_em::black::BlackModel;
+use dh_em::schedule::{
+    early_recovery_experiment, periodic_recovery_experiment, stress_recovery_experiment,
+    EarlyRecoveryOutcome, PeriodicRecoveryOutcome, StressRecoveryOutcome,
+};
+use dh_em::EmWire;
+use dh_pdn::grid::{LayerClass, PdnConfig, PdnMesh, PdnSolution};
+use dh_pdn::hazard::HazardReport;
+use dh_sched::lifetime::{compare_policies, LifetimeConfig, LifetimeOutcome};
+use dh_sched::policy::Policy;
+use dh_units::{Celsius, CurrentDensity, Seconds, TimeSeries};
+
+/// Number of traps used for the Table I ensemble (large enough that the
+/// stratified ensemble is smooth; small enough to run in milliseconds).
+const TABLE1_TRAPS: usize = 2000;
+
+/// One row of the Table I comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Condition number (1–4).
+    pub condition_no: usize,
+    /// Condition description.
+    pub condition: String,
+    /// The paper's measured recovery percentage.
+    pub paper_measurement: f64,
+    /// The paper's model-column percentage.
+    pub paper_model: f64,
+    /// This reproduction's trap-ensemble ("measurement") percentage.
+    pub simulated_measurement: f64,
+    /// This reproduction's analytic-model percentage.
+    pub simulated_model: f64,
+}
+
+/// The Table I reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// Rows in condition order 1–4.
+    pub rows: [Table1Row; 4],
+}
+
+impl Table1Result {
+    /// Renders the comparison as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "Table I: BTI recovery after 24 h accelerated stress + 6 h recovery\n",
+        );
+        out.push_str(&format!(
+            "{:>3}  {:<22} {:>12} {:>12} {:>12} {:>12}\n",
+            "#", "condition", "paper meas", "ours (CET)", "paper model", "ours (anl)"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>3}  {:<22} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%\n",
+                r.condition_no,
+                r.condition,
+                r.paper_measurement,
+                r.simulated_measurement,
+                r.paper_model,
+                r.simulated_model,
+            ));
+        }
+        out
+    }
+}
+
+/// Reproduces Table I: the four-condition recovery comparison, with the
+/// trap ensemble playing the measurement column and the analytic model the
+/// model column.
+///
+/// # Panics
+///
+/// Never panics with the built-in calibration (covered by tests).
+pub fn table1() -> Table1Result {
+    let analytic = AnalyticBtiModel::paper_calibrated();
+    let ensemble = TrapEnsemble::paper_calibrated(TABLE1_TRAPS)
+        .expect("paper ensemble calibration converges");
+    let targets = TableOneTargets::measurement_column();
+    let model_targets = TableOneTargets::model_column();
+    let cet = ensemble.table_one_percentages();
+
+    let labels = ["20 °C and 0 V", "20 °C and −0.3 V", "110 °C and 0 V", "110 °C and −0.3 V"];
+    let rows: Vec<Table1Row> = RecoveryCondition::table_one()
+        .iter()
+        .enumerate()
+        .map(|(i, &cond)| Table1Row {
+            condition_no: i + 1,
+            condition: labels[i].to_string(),
+            paper_measurement: targets.fractions[i].as_percent(),
+            paper_model: model_targets.fractions[i].as_percent(),
+            simulated_measurement: cet[i],
+            simulated_model: analytic
+                .recovery_fraction(targets.stress_time, targets.recovery_time, cond)
+                .as_percent(),
+        })
+        .collect();
+    Table1Result { rows: rows.try_into().expect("exactly four rows") }
+}
+
+/// The Fig. 4 reproduction: permanent-component accumulation under cyclic
+/// stress/recovery schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Result {
+    /// One permanent-ΔVth series per schedule (4:1, 2:1, 1:1).
+    pub series: Vec<TimeSeries>,
+    /// Final permanent component (mV) per schedule, same order.
+    pub final_permanent_mv: Vec<f64>,
+    /// Permanent component after the same total stress applied
+    /// continuously (the no-schedule reference).
+    pub continuous_permanent_mv: f64,
+}
+
+impl Fig4Result {
+    /// Renders the schedule series and summary.
+    pub fn render(&self) -> String {
+        let refs: Vec<&TimeSeries> = self.series.iter().collect();
+        let mut out = String::from(
+            "Fig. 4: permanent BTI component under stress:recovery schedules\n",
+        );
+        out.push_str(&TimeSeries::render_plot(&refs, 80, 16));
+        out.push('\n');
+        out.push_str(&TimeSeries::render_table(&refs));
+        out.push_str(&format!(
+            "\ncontinuous 24 h stress reference: {:.2} mV permanent\n",
+            self.continuous_permanent_mv
+        ));
+        for (s, p) in self.series.iter().zip(&self.final_permanent_mv) {
+            out.push_str(&format!(
+                "{:<28} final permanent: {:>6.3} mV ({:>5.1}% of continuous)\n",
+                s.label(),
+                p,
+                p / self.continuous_permanent_mv * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Reproduces Fig. 4: 24 h of total accelerated stress delivered as 4:1,
+/// 2:1 and 1:1 stress:recovery cycles (condition-4 recovery); the balanced
+/// schedule keeps the permanent component at ≈0.
+pub fn fig4() -> Fig4Result {
+    let model = AnalyticBtiModel::paper_calibrated();
+    let ratios = [4.0, 2.0, 1.0];
+    let mut series = Vec::new();
+    let mut finals = Vec::new();
+    for ratio in ratios {
+        let schedule = CyclicSchedule::fig4(ratio, 1.0, 24.0);
+        let s = permanent_series(model, &schedule);
+        finals.push(s.last().map(|x| x.value).unwrap_or(0.0));
+        series.push(s);
+    }
+    let mut continuous = dh_bti::BtiDevice::new(model);
+    continuous.stress(Seconds::from_hours(24.0), dh_bti::StressCondition::ACCELERATED);
+    Fig4Result { series, final_permanent_mv: finals, continuous_permanent_mv: continuous.permanent_mv() }
+}
+
+/// The paper's accelerated EM stress current density (±7.96 MA/cm²).
+pub fn paper_em_stress() -> CurrentDensity {
+    CurrentDensity::from_ma_per_cm2(7.96)
+}
+
+/// Reproduces Fig. 5: accelerated stress through nucleation and void
+/// growth, then active vs passive recovery, exposing the permanent
+/// component.
+pub fn fig5() -> StressRecoveryOutcome {
+    stress_recovery_experiment(
+        EmWire::paper_wire(),
+        paper_em_stress(),
+        Seconds::from_minutes(550.0),
+        Seconds::from_minutes(110.0),
+    )
+}
+
+/// Renders the Fig. 5 outcome.
+pub fn render_fig5(out: &StressRecoveryOutcome) -> String {
+    let mut s = String::from("Fig. 5: EM stress + recovery at 230 °C, ±7.96 MA/cm²\n");
+    s.push_str(&TimeSeries::render_plot(&[&out.active, &out.passive], 96, 20));
+    s.push('\n');
+    s.push_str(&TimeSeries::render_table(&[&out.active, &out.passive]));
+    s.push_str(&format!(
+        "\nnucleation at {:.0} min; ΔR peak {:.2} Ω\nactive recovery: {:.1}% in 1/5 stress time (paper: >75%)\npassive recovery: {:.1}%\npermanent ΔR: {:.2} Ω\n",
+        out.nucleation_time.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
+        out.delta_r_peak,
+        out.active_recovered_fraction * 100.0,
+        out.passive_recovered_fraction * 100.0,
+        out.permanent_delta_r,
+    ));
+    s
+}
+
+/// Reproduces Fig. 6: recovery scheduled early in void growth (full
+/// recovery), followed by reverse-current-induced EM.
+pub fn fig6() -> EarlyRecoveryOutcome {
+    early_recovery_experiment(
+        EmWire::paper_wire(),
+        paper_em_stress(),
+        Seconds::from_minutes(40.0),
+        Seconds::from_minutes(600.0),
+    )
+}
+
+/// Renders the Fig. 6 outcome.
+pub fn render_fig6(out: &EarlyRecoveryOutcome) -> String {
+    let mut s = String::from("Fig. 6: early EM recovery then sustained reverse current\n");
+    s.push_str(&TimeSeries::render_plot(&[&out.trace], 96, 20));
+    s.push('\n');
+    s.push_str(&TimeSeries::render_table(&[&out.trace]));
+    s.push_str(&format!(
+        "\nΔR at recovery start {:.3} Ω; after recovery {:.3} Ω (full recovery: ≈0)\nreverse-current EM observed: {}\n",
+        out.delta_r_at_recovery_start, out.delta_r_after_recovery, out.reverse_em_observed
+    ));
+    s
+}
+
+/// Reproduces Fig. 7: periodic recovery intervals during the nucleation
+/// phase delay nucleation (paper: almost 3×) and extend TTF.
+pub fn fig7() -> PeriodicRecoveryOutcome {
+    periodic_recovery_experiment(
+        EmWire::paper_wire(),
+        paper_em_stress(),
+        Seconds::from_minutes(60.0),
+        Seconds::from_minutes(20.0),
+        Seconds::from_hours(60.0),
+    )
+}
+
+/// Renders the Fig. 7 outcome.
+pub fn render_fig7(out: &PeriodicRecoveryOutcome) -> String {
+    let mut s = String::from("Fig. 7: periodic scheduled recovery during void nucleation\n");
+    s.push_str(&TimeSeries::render_plot(&[&out.scheduled, &out.continuous], 96, 20));
+    s.push('\n');
+    s.push_str(&TimeSeries::render_table(&[&out.scheduled, &out.continuous]));
+    s.push_str(&format!(
+        "\nnucleation: scheduled {:.0} min vs continuous {:.0} min (delay factor {:.2}, paper: ≈3)\nTTF: scheduled {:.0} min vs continuous {:.0} min (extension {:.2}×)\n",
+        out.scheduled_nucleation.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
+        out.continuous_nucleation.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
+        out.nucleation_delay_factor().unwrap_or(f64::NAN),
+        out.scheduled_ttf.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
+        out.continuous_ttf.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
+        out.ttf_extension_factor().unwrap_or(f64::NAN),
+    ));
+    s
+}
+
+/// The Fig. 9 reproduction: the assist circuit's three operating points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Result {
+    /// Normal operation.
+    pub normal: ModeSolution,
+    /// EM active recovery.
+    pub em: ModeSolution,
+    /// BTI active recovery.
+    pub bti: ModeSolution,
+}
+
+impl Fig9Result {
+    /// Renders the Fig. 8(b) truth table and the Fig. 9 operating points.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Fig. 8(b): assist-circuit truth table\n");
+        s.push_str(&format!("{:<10}", "device"));
+        for mode in Mode::ALL {
+            s.push_str(&format!("{:>22}", mode.to_string()));
+        }
+        s.push('\n');
+        for device in Device::ALL {
+            s.push_str(&format!("{:<10}", device.to_string()));
+            for mode in Mode::ALL {
+                s.push_str(&format!("{:>22}", if mode.is_on(device) { "ON" } else { "OFF" }));
+            }
+            s.push('\n');
+        }
+        s.push_str("\nFig. 9: functional simulation (28 nm-class, 1 V)\n");
+        for sol in [&self.normal, &self.em, &self.bti] {
+            s.push_str(&format!(
+                "{:<22} grid I = {:>8.1} µA   load VDD = {:.3} V   load VSS = {:.3} V\n",
+                sol.mode.to_string(),
+                sol.grid_current.value() * 1.0e6,
+                sol.load_vdd.value(),
+                sol.load_vss.value(),
+            ));
+        }
+        s.push_str(&format!(
+            "\nBTI-mode bias across load: {:.3} V (deeper than the −0.3 V used in Table I)\n",
+            self.bti.bti_recovery_bias().value()
+        ));
+        s
+    }
+}
+
+/// Reproduces Figs. 8–9: the truth table and the three DC operating points.
+///
+/// # Panics
+///
+/// Never panics with the built-in circuit (covered by tests).
+pub fn fig9() -> Fig9Result {
+    let c = AssistCircuit::paper_28nm();
+    Fig9Result {
+        normal: c.solve(Mode::Normal).expect("paper circuit solves"),
+        em: c.solve(Mode::EmActiveRecovery).expect("paper circuit solves"),
+        bti: c.solve(Mode::BtiActiveRecovery).expect("paper circuit solves"),
+    }
+}
+
+/// Reproduces Fig. 10: the load-size vs delay / switching-time sweep.
+///
+/// # Panics
+///
+/// Never panics with the built-in configuration (covered by tests).
+pub fn fig10() -> Vec<LoadSweepPoint> {
+    load_size_sweep(AssistCircuit::paper_28nm(), SweepConfig::default(), 1..=5)
+        .expect("paper sweep solves")
+}
+
+/// Renders the Fig. 10 sweep.
+pub fn render_fig10(points: &[LoadSweepPoint]) -> String {
+    let mut s = String::from("Fig. 10: load size vs performance and switching time\n");
+    s.push_str(&format!(
+        "{:>5} {:>14} {:>18} {:>18}\n",
+        "size", "load V (V)", "normalized delay", "norm. switch time"
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:>5} {:>14.3} {:>18.3} {:>18.3}\n",
+            p.size,
+            p.load_voltage.value(),
+            p.normalized_delay,
+            p.normalized_switching_time
+        ));
+    }
+    s
+}
+
+/// The Fig. 11 reproduction: PDN solve + EM hazard map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Result {
+    /// The solved PDN.
+    pub solution: PdnSolution,
+    /// The hazard report at 85 °C.
+    pub hazard: HazardReport,
+    /// TTF-extension factor for the local grid with a 20 % EM-recovery
+    /// duty.
+    pub protected_extension: f64,
+}
+
+impl Fig11Result {
+    /// Renders the per-layer hazard summary.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Fig. 11: PDN EM hazard by layer (uniform load)\n");
+        s.push_str(&format!(
+            "worst IR drop: {:.1} mV\n",
+            self.solution.worst_ir_drop_v * 1000.0
+        ));
+        for layer in [LayerClass::Local, LayerClass::Via, LayerClass::Global, LayerClass::Bump] {
+            if let Some(e) = self.hazard.worst_in(layer) {
+                s.push_str(&format!(
+                    "{:<8} peak j = {:>7.3} MA/cm²   worst median TTF = {:>10.1} years\n",
+                    layer.to_string(),
+                    e.branch.density.as_ma_per_cm2(),
+                    e.median_ttf.as_years(),
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "\nwith 20% EM active-recovery duty on the local grid: TTF × {:.2}\n",
+            self.protected_extension
+        ));
+        s
+    }
+}
+
+/// Reproduces Fig. 11: the layered PDN with its local grids as the EM
+/// hazard, and the assist circuitry's duty-cycled protection.
+///
+/// # Panics
+///
+/// Never panics with the built-in configuration (covered by tests).
+pub fn fig11() -> Fig11Result {
+    let mesh = PdnMesh::new(PdnConfig::default_chip()).expect("default chip is valid");
+    let solution = mesh.solve_uniform_load(0.25e-3).expect("default chip solves");
+    let hazard = HazardReport::analyze(
+        &solution,
+        &BlackModel::calibrated_to_paper(),
+        Celsius::new(85.0).to_kelvin(),
+    );
+    let protected_extension = dh_pdn::hazard::ttf_extension(
+        dh_units::Fraction::clamped(0.2),
+        dh_units::Fraction::clamped(0.9),
+    )
+    .expect("20% duty is not immortal");
+    Fig11Result { solution, hazard, protected_extension }
+}
+
+/// Reproduces Fig. 12(b): lifetime runs under the policy ladder,
+/// returning one outcome per policy (no-recovery, passive-idle,
+/// periodic-deep, adaptive, dark-silicon rotation).
+///
+/// # Errors
+///
+/// Propagates scheduler errors (cannot occur for positive `years`).
+pub fn fig12(years: f64) -> Result<Vec<LifetimeOutcome>, dh_sched::SchedError> {
+    let config = LifetimeConfig { years, ..LifetimeConfig::default() };
+    compare_policies(
+        &config,
+        &[
+            Policy::NoRecovery,
+            Policy::PassiveIdle,
+            Policy::periodic_deep_default(),
+            Policy::adaptive_default(),
+            Policy::rotation_default(),
+        ],
+        42,
+    )
+}
+
+/// Renders the Fig. 12(b) policy comparison.
+pub fn render_fig12(outcomes: &[LifetimeOutcome]) -> String {
+    let mut s = String::from("Fig. 12(b): lifetime policy comparison\n");
+    s.push_str(&format!(
+        "{:<16} {:>18} {:>16} {:>18} {:>16} {:>16}\n",
+        "policy", "guardband (freq%)", "EM damage", "proj. EM TTF (y)", "sched ovh (%)", "thru loss (%)"
+    ));
+    for o in outcomes {
+        s.push_str(&format!(
+            "{:<16} {:>17.2}% {:>16.4} {:>18.1} {:>15.1}% {:>15.2}%\n",
+            o.policy,
+            o.required_guardband * 100.0,
+            o.final_em_damage.value(),
+            o.projected_em_ttf.map(|t| t.as_years()).unwrap_or(f64::NAN),
+            o.recovery_overhead.as_percent(),
+            o.throughput_loss.as_percent(),
+        ));
+    }
+    let series: Vec<&TimeSeries> = outcomes.iter().map(|o| &o.degradation_series).collect();
+    s.push('\n');
+    s.push_str(&TimeSeries::render_plot(&series, 96, 18));
+    s.push('\n');
+    s.push_str(&TimeSeries::render_table(&series));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_within_tolerance() {
+        let t = table1();
+        for r in &t.rows {
+            assert!(
+                (r.simulated_measurement - r.paper_measurement).abs() < 1.5,
+                "row {}: CET {} vs paper {}",
+                r.condition_no,
+                r.simulated_measurement,
+                r.paper_measurement
+            );
+            assert!(
+                (r.simulated_model - r.paper_model).abs() < 0.5,
+                "row {}: analytic {} vs paper {}",
+                r.condition_no,
+                r.simulated_model,
+                r.paper_model
+            );
+        }
+        let text = t.render();
+        assert!(text.contains("110 °C and −0.3 V"));
+    }
+
+    #[test]
+    fn fig4_balanced_schedule_is_practically_zero() {
+        let f = fig4();
+        assert_eq!(f.series.len(), 3);
+        // 1:1 is the last ratio; its permanent component is a small
+        // fraction of the continuous reference.
+        let balanced = *f.final_permanent_mv.last().unwrap();
+        assert!(balanced < 0.15 * f.continuous_permanent_mv);
+        // Monotone in stress ratio: 4:1 > 2:1 > 1:1.
+        assert!(f.final_permanent_mv[0] > f.final_permanent_mv[1]);
+        assert!(f.final_permanent_mv[1] > f.final_permanent_mv[2]);
+        assert!(f.render().contains("continuous 24 h stress"));
+    }
+
+    #[test]
+    fn fig9_operating_points_match_paper() {
+        let f = fig9();
+        assert!(f.normal.grid_current.value() > 0.0);
+        assert!(f.em.grid_current.value() < 0.0);
+        assert!(f.bti.load_vss > f.bti.load_vdd);
+        let text = f.render();
+        assert!(text.contains("truth table"));
+        assert!(text.contains("BTI-mode bias"));
+    }
+
+    #[test]
+    fn fig10_shapes() {
+        let points = fig10();
+        assert_eq!(points.len(), 5);
+        assert!(points[4].normalized_delay > 1.5);
+        assert!(points[4].normalized_switching_time < 0.8);
+        assert!(render_fig10(&points).contains("size"));
+    }
+
+    #[test]
+    fn fig11_local_grid_is_the_hazard() {
+        let f = fig11();
+        assert_eq!(f.hazard.worst().unwrap().branch.layer, LayerClass::Local);
+        assert!(f.protected_extension > 1.3);
+        assert!(f.render().contains("local"));
+    }
+
+    #[test]
+    fn fig12_policy_ladder_reduces_guardband() {
+        let outs = fig12(0.15).unwrap();
+        assert_eq!(outs.len(), 5);
+        let by_name = |n: &str| outs.iter().find(|o| o.policy == n).unwrap();
+        assert!(
+            by_name("no-recovery").required_guardband
+                > by_name("periodic-deep").required_guardband
+        );
+        assert!(render_fig12(&outs).contains("guardband"));
+    }
+}

@@ -1,0 +1,142 @@
+//! The margin stack: translating wearout into the design guardbands the
+//! paper promises to shrink.
+//!
+//! "The most common solution for wearout issues is adding margins at
+//! design time … this leads to conservative overdesigns, which can
+//! significantly sacrifice performance and increase area, power and cost."
+//! This module prices those margins. A frequency guardband has three
+//! stacked contributions:
+//!
+//! 1. **wearout** — the worst-device ΔVth the design must tolerate over
+//!    its lifetime (the part recovery scheduling attacks);
+//! 2. **process spread** — the across-die sensor/device spread (from
+//!    `dh-circuit::ro_array`), which calibration handles but uncalibrated
+//!    designs must margin;
+//! 3. **sensing error** — the tracking error of the run-time loop.
+//!
+//! The stack converts between three equivalent currencies via the
+//! alpha-power delay sensitivity: millivolts of ΔVth, percent of
+//! frequency, or millivolts of extra supply (the compensation view).
+
+use dh_circuit::{Mosfet, RingOscillator};
+use dh_units::Volts;
+
+/// A frequency-margin stack, all contributions as fractions of the fresh
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginStack {
+    /// Margin for lifetime wearout.
+    pub wearout: f64,
+    /// Margin for uncalibrated process spread (0 for calibrated arrays).
+    pub process: f64,
+    /// Margin for sensor tracking error.
+    pub sensing: f64,
+}
+
+impl MarginStack {
+    /// The total frequency guardband (simple sum — margins stack
+    /// worst-case in timing signoff).
+    pub fn total(&self) -> f64 {
+        self.wearout + self.process + self.sensing
+    }
+}
+
+/// Converts a worst-case ΔVth (mV) into an equivalent frequency margin
+/// using the reference ring oscillator's sensitivity.
+pub fn frequency_margin_for_dvth(ro: &RingOscillator, dvth_mv: f64) -> f64 {
+    ro.degradation(dvth_mv.max(0.0))
+}
+
+/// Converts a worst-case ΔVth (mV) into the equivalent supply boost (the
+/// compensation currency): the ΔVDD restoring the fresh on-current.
+///
+/// For the alpha-power law, restoring `(V + ΔV − Vth − ΔVth)` to the fresh
+/// overdrive needs `ΔV = ΔVth` exactly — which is why compensation power
+/// grows quadratically with accumulated wearout.
+pub fn supply_boost_for_dvth(dvth_mv: f64) -> Volts {
+    Volts::new(dvth_mv.max(0.0) / 1000.0)
+}
+
+/// The dynamic-power overhead of compensating `dvth_mv` at supply `vdd`
+/// (power ∝ V²).
+pub fn compensation_power_overhead(device: &Mosfet, vdd: Volts, dvth_mv: f64) -> f64 {
+    let _ = device; // sensitivity is supply-side for the quadratic term
+    let boost = supply_boost_for_dvth(dvth_mv);
+    ((vdd.value() + boost.value()) / vdd.value()).powi(2) - 1.0
+}
+
+/// Builds the margin stack for a design point.
+///
+/// * `worst_dvth_mv` — lifetime worst-device shift (policy-dependent);
+/// * `process_spread` — fresh frequency spread the design cannot calibrate
+///   out (0 with per-site calibration);
+/// * `sensor_error_mv` — the run-time loop's tracking error.
+pub fn margin_stack(
+    ro: &RingOscillator,
+    worst_dvth_mv: f64,
+    process_spread: f64,
+    sensor_error_mv: f64,
+) -> MarginStack {
+    MarginStack {
+        wearout: frequency_margin_for_dvth(ro, worst_dvth_mv),
+        process: process_spread.max(0.0),
+        sensing: frequency_margin_for_dvth(ro, sensor_error_mv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_circuit::ro_array::RoArray;
+
+    fn ro() -> RingOscillator {
+        RingOscillator::paper_75_stage()
+    }
+
+    #[test]
+    fn margins_stack_additively() {
+        let stack = margin_stack(&ro(), 20.0, 0.03, 1.0);
+        assert!(stack.total() > stack.wearout);
+        assert!(
+            (stack.total() - (stack.wearout + stack.process + stack.sensing)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn wearout_margin_tracks_the_ro_sensitivity() {
+        let m = frequency_margin_for_dvth(&ro(), 50.0);
+        assert!(m > 0.05 && m < 0.2, "50 mV ≈ 10% class margin, got {m}");
+        assert_eq!(frequency_margin_for_dvth(&ro(), 0.0), 0.0);
+        assert_eq!(frequency_margin_for_dvth(&ro(), -5.0), 0.0);
+    }
+
+    #[test]
+    fn compensation_overhead_is_quadratic_in_wearout() {
+        let device = Mosfet::n28();
+        let vdd = Volts::new(0.9);
+        let small = compensation_power_overhead(&device, vdd, 10.0);
+        let large = compensation_power_overhead(&device, vdd, 40.0);
+        // 4× the shift costs slightly more than 4× the power (quadratic).
+        assert!(large > 4.0 * small, "small {small} large {large}");
+        assert_eq!(compensation_power_overhead(&device, vdd, 0.0), 0.0);
+    }
+
+    #[test]
+    fn calibration_removes_the_process_term() {
+        // An uncalibrated design must margin the RO array's fresh spread;
+        // a calibrated one measures it away.
+        let array = RoArray::paper_4x4(42);
+        let uncalibrated = margin_stack(&ro(), 20.0, array.fresh_spread_fraction(), 1.0);
+        let calibrated = margin_stack(&ro(), 20.0, 0.0, 1.0);
+        assert!(uncalibrated.total() > calibrated.total() + 0.01);
+    }
+
+    #[test]
+    fn deep_healing_shrinks_the_dominant_term() {
+        // The paper's bottom line, in margin currency: the same design
+        // with scheduled recovery needs a fraction of the wearout margin.
+        let no_recovery = margin_stack(&ro(), 19.0, 0.0, 1.0); // ~3 years unhealed
+        let healed = margin_stack(&ro(), 2.0, 0.0, 1.0); // scheduled deep healing
+        assert!(no_recovery.total() > 3.0 * healed.total());
+    }
+}

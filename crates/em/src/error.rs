@@ -1,0 +1,53 @@
+//! Error types for the EM models.
+
+use core::fmt;
+
+use dh_units::QuantityError;
+
+/// Error returned by EM model construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmError {
+    /// A quantity failed validation.
+    Quantity(QuantityError),
+    /// The mesh is too coarse or degenerate for a stable integration.
+    InvalidMesh(String),
+    /// A material parameter is non-physical.
+    InvalidMaterial(String),
+}
+
+impl fmt::Display for EmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Quantity(e) => write!(f, "invalid quantity: {e}"),
+            Self::InvalidMesh(why) => write!(f, "invalid mesh: {why}"),
+            Self::InvalidMaterial(why) => write!(f, "invalid material: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Quantity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantityError> for EmError {
+    fn from(e: QuantityError) -> Self {
+        Self::Quantity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_concise() {
+        assert!(EmError::InvalidMesh("too few nodes".into()).to_string().contains("mesh"));
+        let e: EmError = QuantityError::NegativeDuration(-1.0).into();
+        assert!(e.to_string().contains("invalid quantity"));
+    }
+}

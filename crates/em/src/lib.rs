@@ -1,0 +1,60 @@
+//! Electromigration (EM) wearout and **active recovery** models.
+//!
+//! This crate reproduces the EM half of Guo & Stan, *"Deep Healing: Ease the
+//! BTI and EM Wearout Crisis by Activating Recovery"* (2017). The paper
+//! stresses an on-chip copper test wire (180 nm node, M6, dual-damascene,
+//! 2.673 mm × 1.57 µm × 0.8 µm, 35.76 Ω at room temperature) at 230 °C and
+//! ±7.96 MA/cm² and demonstrates that
+//!
+//! * EM evolution has two phases — **void nucleation** (resistance flat)
+//!   followed by **void growth** (resistance rising) — Fig. 5;
+//! * reversing the current *activates* recovery, and elevated temperature
+//!   *accelerates* it: >75 % of the resistance increase recovers within 1/5
+//!   of the stress time, but a **permanent component** remains when the
+//!   recovery is applied late (Fig. 5);
+//! * recovery applied **early** in the void-growth phase achieves *full*
+//!   recovery, though over-recovery causes reverse-direction EM (Fig. 6);
+//! * **periodic scheduled recovery during the nucleation phase** delays
+//!   nucleation ~3× and extends time-to-failure accordingly (Fig. 7).
+//!
+//! The model is a 1-D Korhonen-type stress-evolution PDE
+//! (`∂σ/∂t = −∂F/∂x`, `F = −κ(∂σ/∂x + G)`) on an end-refined mesh with
+//! blocking (dual-damascene barrier) boundaries, coupled to a void model at
+//! each wire end: a void nucleates when the boundary tension reaches the
+//! critical stress and then exchanges volume with the line through the
+//! boundary atomic flux. Void volume splits into *mobile* and *pinned*
+//! parts; pinning (interface consolidation, ~hours) is the permanent
+//! component that early recovery avoids.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dh_em::EmWire;
+//! use dh_units::{CurrentDensity, Seconds};
+//!
+//! let mut wire = EmWire::paper_wire();
+//! let j = CurrentDensity::from_ma_per_cm2(7.96);
+//! wire.advance(Seconds::from_minutes(30.0), j);
+//! assert!(!wire.has_void()); // still incubating
+//! assert!(wire.resistance().value() > 70.0); // ~72.9 Ω at 230 °C
+//! ```
+
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` deliberately catches NaN
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ac;
+pub mod black;
+pub mod error;
+pub mod material;
+pub mod mesh;
+pub mod network;
+pub mod population;
+pub mod schedule;
+pub mod sim;
+pub mod wire;
+
+pub use error::EmError;
+pub use material::EmMaterial;
+pub use sim::{EmWire, WireEnd};
+pub use wire::WireGeometry;

@@ -1,0 +1,154 @@
+//! End-refined 1-D mesh for the stress-evolution PDE.
+//!
+//! EM stress action concentrates within a few diffusion lengths
+//! (√(κt) ≈ 10–30 µm here) of the blocked wire ends, while the wire itself
+//! is millimetres long. A uniform mesh fine enough for the ends would waste
+//! two orders of magnitude of nodes in the quiet middle, so the mesh
+//! clusters nodes at both ends with a smooth cosine grading.
+
+use crate::error::EmError;
+
+/// A static, end-refined 1-D mesh over `[0, length]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    /// Node positions, strictly increasing, `x[0] = 0`, `x[n-1] = length`.
+    nodes: Vec<f64>,
+    /// Control-volume widths per node (sum equals the length).
+    widths: Vec<f64>,
+}
+
+impl Mesh {
+    /// Builds an end-refined mesh with `n` nodes over a wire of `length_m`.
+    ///
+    /// `clustering ∈ [0, 1)` controls end refinement: 0 is uniform, values
+    /// near 1 concentrate nodes at the two ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidMesh`] for `n < 3`, non-positive length, or
+    /// `clustering` outside `[0, 1)`.
+    pub fn end_refined(n: usize, length_m: f64, clustering: f64) -> Result<Self, EmError> {
+        if n < 3 {
+            return Err(EmError::InvalidMesh(format!("need at least 3 nodes, got {n}")));
+        }
+        if !(length_m > 0.0) || !length_m.is_finite() {
+            return Err(EmError::InvalidMesh(format!("length must be positive, got {length_m}")));
+        }
+        if !(0.0..1.0).contains(&clustering) {
+            return Err(EmError::InvalidMesh(format!(
+                "clustering must lie in [0, 1), got {clustering}"
+            )));
+        }
+        // x(ξ) = L · (ξ − s·sin(2πξ)/(2π)) has dx/dξ = L(1 − s·cos(2πξ)):
+        // smallest spacing (1−s) at both ends, largest (1+s) mid-span.
+        let nodes: Vec<f64> = (0..n)
+            .map(|i| {
+                let xi = i as f64 / (n - 1) as f64;
+                length_m
+                    * (xi - clustering * (2.0 * std::f64::consts::PI * xi).sin()
+                        / (2.0 * std::f64::consts::PI))
+            })
+            .collect();
+        let mut widths = vec![0.0; n];
+        for i in 0..n {
+            let left = if i == 0 { nodes[0] } else { (nodes[i - 1] + nodes[i]) / 2.0 };
+            let right = if i == n - 1 { nodes[n - 1] } else { (nodes[i] + nodes[i + 1]) / 2.0 };
+            widths[i] = right - left;
+        }
+        Ok(Self { nodes, widths })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the mesh is empty (never true for constructed meshes).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node positions, metres.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Control-volume widths, metres.
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// The smallest inter-node spacing (controls the explicit stability
+    /// limit).
+    pub fn min_spacing(&self) -> f64 {
+        self.nodes
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Spacing between nodes `i` and `i+1`.
+    pub fn face_spacing(&self, i: usize) -> f64 {
+        self.nodes[i + 1] - self.nodes[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_span_the_wire_and_increase() {
+        let m = Mesh::end_refined(101, 2.673e-3, 0.95).unwrap();
+        assert_eq!(m.len(), 101);
+        assert_eq!(m.nodes()[0], 0.0);
+        assert!((m.nodes()[100] - 2.673e-3).abs() < 1e-12);
+        for w in m.nodes().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn control_volumes_tile_the_wire() {
+        let m = Mesh::end_refined(77, 1.0e-3, 0.9).unwrap();
+        let total: f64 = m.widths().iter().sum();
+        assert!((total - 1.0e-3).abs() < 1e-12);
+        assert!(m.widths().iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn clustering_refines_the_ends() {
+        let m = Mesh::end_refined(101, 1.0e-3, 0.95).unwrap();
+        let first = m.face_spacing(0);
+        let mid = m.face_spacing(50);
+        assert!(first < mid / 10.0, "first {first:.3e} vs mid {mid:.3e}");
+        // Symmetric: last spacing matches first.
+        let last = m.face_spacing(99);
+        assert!((first - last).abs() / first < 1e-6);
+    }
+
+    #[test]
+    fn uniform_mesh_when_clustering_is_zero() {
+        let m = Mesh::end_refined(11, 1.0, 0.0).unwrap();
+        for i in 0..10 {
+            assert!((m.face_spacing(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        assert!(Mesh::end_refined(2, 1.0, 0.5).is_err());
+        assert!(Mesh::end_refined(10, 0.0, 0.5).is_err());
+        assert!(Mesh::end_refined(10, 1.0, 1.0).is_err());
+        assert!(Mesh::end_refined(10, 1.0, -0.1).is_err());
+        assert!(Mesh::end_refined(10, f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn min_spacing_matches_end_spacing_for_clustered_mesh() {
+        let m = Mesh::end_refined(201, 2.673e-3, 0.95).unwrap();
+        assert!((m.min_spacing() - m.face_spacing(0)).abs() / m.min_spacing() < 1e-9);
+        // Fine enough to resolve a ~10 µm diffusion length.
+        assert!(m.min_spacing() < 2.0e-6, "min spacing {:.3e}", m.min_spacing());
+    }
+}

@@ -1,0 +1,428 @@
+//! Multi-segment interconnect networks: current redistribution, failure
+//! cascades, and redundancy.
+//!
+//! The paper's assist circuitry protects *grids* — networks of short local
+//! segments — not single test wires, and the microarchitectural EM
+//! literature it builds on (Abella et al.'s *Refueling*, its ref. [24])
+//! reasons about redundant paths. This module wires several
+//! [`EmWire`] simulators into a resistive network:
+//!
+//! * per step, segment currents come from a nodal solve over the segments'
+//!   *present* resistances (void growth raises a segment's resistance,
+//!   shedding current onto its neighbours — the well-known EM
+//!   self-limiting/redistribution effect);
+//! * a segment that reaches its break length goes open and the network
+//!   re-solves — surviving paths inherit the full current, which
+//!   accelerates their wearout (failure cascade);
+//! * the network fails when source and sink disconnect.
+//!
+//! Reversing the source current heals every segment at once, exactly like
+//! the assist circuitry's *EM Active Recovery* mode on a local grid.
+
+use dh_units::{Amperes, CurrentDensity, Kelvin, Ohms, Seconds};
+
+use crate::error::EmError;
+use crate::material::EmMaterial;
+use crate::sim::EmWire;
+use crate::wire::WireGeometry;
+
+/// Mesh resolution used for network segments (short wires, mild
+/// clustering, so the explicit stability step stays tens of seconds).
+const SEGMENT_NODES: usize = 61;
+const SEGMENT_CLUSTERING: f64 = 0.3;
+
+/// One segment of the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Network nodes this segment connects.
+    pub from: usize,
+    /// Network nodes this segment connects.
+    pub to: usize,
+    /// The segment's EM simulator.
+    pub wire: EmWire,
+}
+
+impl Segment {
+    /// Whether this segment has failed open.
+    pub fn is_failed(&self) -> bool {
+        self.wire.is_failed()
+    }
+}
+
+/// A resistive interconnect network under EM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmNetwork {
+    nodes: usize,
+    segments: Vec<Segment>,
+    source: usize,
+    sink: usize,
+    time: Seconds,
+}
+
+impl EmNetwork {
+    /// Builds a network. `edges` are `(from, to, length_m)` triples; all
+    /// segments share `width`/`thickness` (local-grid wires), material and
+    /// temperature. Node `source` injects the supply current, node `sink`
+    /// returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidMesh`] for empty networks or out-of-range
+    /// node indices, and propagates geometry/material validation.
+    #[allow(clippy::too_many_arguments)] // a topology is naturally wide
+    pub fn new(
+        nodes: usize,
+        edges: &[(usize, usize, f64)],
+        width_m: f64,
+        thickness_m: f64,
+        material: EmMaterial,
+        temperature: Kelvin,
+        source: usize,
+        sink: usize,
+    ) -> Result<Self, EmError> {
+        if nodes < 2 || edges.is_empty() {
+            return Err(EmError::InvalidMesh("network needs ≥2 nodes and ≥1 segment".into()));
+        }
+        if source >= nodes || sink >= nodes || source == sink {
+            return Err(EmError::InvalidMesh(format!(
+                "source/sink out of range or equal: {source}/{sink} of {nodes}"
+            )));
+        }
+        let paper = WireGeometry::paper();
+        let rho = paper.effective_resistivity_ohm_m();
+        let mut segments = Vec::with_capacity(edges.len());
+        for &(from, to, length_m) in edges {
+            if from >= nodes || to >= nodes || from == to {
+                return Err(EmError::InvalidMesh(format!(
+                    "segment {from}→{to} out of range or degenerate"
+                )));
+            }
+            let geometry = WireGeometry {
+                length_m,
+                width_m,
+                thickness_m,
+                resistance_at_room: Ohms::new(rho * length_m / (width_m * thickness_m)),
+                tcr_per_k: paper.tcr_per_k,
+            };
+            let wire = EmWire::with_clustering(
+                geometry,
+                material,
+                temperature,
+                SEGMENT_NODES,
+                SEGMENT_CLUSTERING,
+            )?;
+            segments.push(Segment { from, to, wire });
+        }
+        Ok(Self { nodes, segments, source, sink, time: Seconds::ZERO })
+    }
+
+    /// A two-branch redundant local-grid strap: source and sink connected
+    /// by parallel 140 µm and 180 µm segments of 0.4 µm × 0.35 µm wire at
+    /// 230 °C (accelerated-test conditions). The length asymmetry is
+    /// deliberate: the shorter, lower-resistance branch draws more current
+    /// density, fails first, and dumps its load on the survivor — the
+    /// cascade every redundant layout must be sized for.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the built-in parameters are valid.
+    pub fn redundant_pair() -> Self {
+        Self::new(
+            2,
+            &[(0, 1, 140.0e-6), (0, 1, 180.0e-6)],
+            0.4e-6,
+            0.35e-6,
+            EmMaterial::damascene_copper(),
+            dh_units::Celsius::new(230.0).to_kelvin(),
+            0,
+            1,
+        )
+        .expect("built-in network is valid")
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Elapsed time.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Number of failed segments.
+    pub fn failed_segments(&self) -> usize {
+        self.segments.iter().filter(|s| s.is_failed()).count()
+    }
+
+    /// Whether the network still conducts from source to sink.
+    pub fn is_connected(&self) -> bool {
+        // Union-find-free BFS over live segments.
+        let mut reach = vec![false; self.nodes];
+        reach[self.source] = true;
+        let mut frontier = vec![self.source];
+        while let Some(n) = frontier.pop() {
+            for s in self.segments.iter().filter(|s| !s.is_failed()) {
+                let other = if s.from == n {
+                    s.to
+                } else if s.to == n {
+                    s.from
+                } else {
+                    continue;
+                };
+                if !reach[other] {
+                    reach[other] = true;
+                    frontier.push(other);
+                }
+            }
+        }
+        reach[self.sink]
+    }
+
+    /// The per-segment currents (amperes, signed from→to) for a supply
+    /// current injected at the source, via a dense nodal solve over the
+    /// live segments' present resistances.
+    ///
+    /// Returns `None` if the network is disconnected.
+    pub fn segment_currents(&self, supply: Amperes) -> Option<Vec<Amperes>> {
+        if !self.is_connected() {
+            return None;
+        }
+        // Nodal system with the sink as ground.
+        let n = self.nodes;
+        let mut g = vec![0.0; n * n];
+        for s in self.segments.iter().filter(|s| !s.is_failed()) {
+            let r = s.wire.resistance().value();
+            if !(r.is_finite() && r > 0.0) {
+                continue;
+            }
+            let cond = 1.0 / r;
+            g[s.from * n + s.from] += cond;
+            g[s.to * n + s.to] += cond;
+            g[s.from * n + s.to] -= cond;
+            g[s.to * n + s.from] -= cond;
+        }
+        let mut rhs = vec![0.0; n];
+        rhs[self.source] = supply.value();
+        // Ground the sink row.
+        for k in 0..n {
+            g[self.sink * n + k] = 0.0;
+        }
+        g[self.sink * n + self.sink] = 1.0;
+        rhs[self.sink] = 0.0;
+
+        let v = dense_solve(&mut g, &mut rhs, n)?;
+        Some(
+            self.segments
+                .iter()
+                .map(|s| {
+                    if s.is_failed() {
+                        Amperes::ZERO
+                    } else {
+                        Amperes::new((v[s.from] - v[s.to]) / s.wire.resistance().value())
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Advances the network by `dt` with a supply current (signed: negative
+    /// is the EM-active-recovery direction). Currents are re-solved every
+    /// internal interval so redistribution and cascades are captured.
+    pub fn advance(&mut self, dt: Seconds, supply: Amperes) {
+        let resolve_every = Seconds::from_minutes(10.0);
+        let mut remaining = dt;
+        while remaining.value() > 0.0 {
+            let step = remaining.min(resolve_every);
+            let Some(currents) = self.segment_currents(supply) else {
+                // Dead network: time still passes.
+                self.time += remaining;
+                return;
+            };
+            for (segment, current) in self.segments.iter_mut().zip(&currents) {
+                let area = segment.wire.geometry().cross_section_m2();
+                let j = CurrentDensity::new(current.value() / area);
+                segment.wire.advance(step, j);
+            }
+            self.time += step;
+            remaining -= step;
+        }
+    }
+
+    /// Runs until disconnection or `horizon`, returning the network TTF
+    /// (`None` if it survives).
+    pub fn time_to_disconnect(&mut self, supply: Amperes, horizon: Seconds) -> Option<Seconds> {
+        let step = Seconds::from_minutes(30.0);
+        while self.time < horizon {
+            self.advance(step, supply);
+            if !self.is_connected() {
+                return Some(self.time);
+            }
+        }
+        None
+    }
+}
+
+/// Gaussian elimination with partial pivoting on a dense system.
+fn dense_solve(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            if a[row * n + col].abs() > best {
+                best = a[row * n + col].abs();
+                pivot = row;
+            }
+        }
+        if best < 1e-18 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let d = a[col * n + col];
+        for row in (col + 1)..n {
+            let f = a[row * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= f * a[col * n + k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row * n + k] * x[k];
+        }
+        x[row] = sum / a[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Supply current giving ≈8 MA/cm² in the *short* branch of the pair
+    /// at time zero (accelerated-test scale on 0.14 µm² wires).
+    fn supply() -> Amperes {
+        // The 140 µm branch takes 180/(140+180) of the supply.
+        Amperes::new(8.0e10 * 0.4e-6 * 0.35e-6 * 320.0 / 180.0)
+    }
+
+    #[test]
+    fn currents_split_by_branch_conductance() {
+        let net = EmNetwork::redundant_pair();
+        let currents = net.segment_currents(supply()).unwrap();
+        assert_eq!(currents.len(), 2);
+        // Inverse-length split: I_short/I_long = 180/140.
+        let ratio = currents[0].value() / currents[1].value();
+        assert!((ratio - 180.0 / 140.0).abs() < 1e-9, "split ratio {ratio}");
+        let total = currents[0].value() + currents[1].value();
+        assert!((total - supply().value()).abs() / supply().value() < 1e-9);
+    }
+
+    #[test]
+    fn voided_branch_sheds_current_onto_its_twin() {
+        let mut net = EmNetwork::redundant_pair();
+        // Age the pair until at least one branch has a void.
+        net.advance(Seconds::from_hours(6.0), supply());
+        // Grow some resistance asymmetry by perturbing one branch directly:
+        // advance only the network long enough that voids exist.
+        let currents = net.segment_currents(supply()).unwrap();
+        let r0 = net.segments()[0].wire.resistance().value();
+        let r1 = net.segments()[1].wire.resistance().value();
+        if (r0 - r1).abs() > 1e-9 {
+            // Higher-resistance branch must carry less current.
+            let (hi, lo) = if r0 > r1 { (0, 1) } else { (1, 0) };
+            assert!(currents[hi].value() <= currents[lo].value() + 1e-15);
+        }
+        // Conservation regardless.
+        let total = currents[0].value() + currents[1].value();
+        assert!((total - supply().value()).abs() / supply().value() < 1e-9);
+    }
+
+    #[test]
+    fn failure_cascades_and_disconnects_the_network() {
+        let mut net = EmNetwork::redundant_pair();
+        let ttf = net.time_to_disconnect(supply(), Seconds::from_hours(80.0));
+        let ttf = ttf.expect("accelerated stress must kill the pair");
+        assert_eq!(net.failed_segments(), 2, "both branches must eventually fail");
+        assert!(!net.is_connected());
+        assert!(ttf > Seconds::from_hours(1.0));
+    }
+
+    #[test]
+    fn redundancy_extends_but_does_not_double_lifetime() {
+        // The short branch alone, carrying its initial share, fails at t₁.
+        // The pair disconnects later (the long branch survives the first
+        // failure) but the survivor inherits the FULL supply, so the
+        // extension falls far short of doubling — the cascade effect.
+        let short_share = Amperes::new(supply().value() * 180.0 / 320.0);
+        let mut single = EmNetwork::new(
+            2,
+            &[(0, 1, 140.0e-6)],
+            0.4e-6,
+            0.35e-6,
+            EmMaterial::damascene_copper(),
+            dh_units::Celsius::new(230.0).to_kelvin(),
+            0,
+            1,
+        )
+        .unwrap();
+        let t_single = single
+            .time_to_disconnect(short_share, Seconds::from_hours(120.0))
+            .expect("single branch fails");
+
+        let mut pair = EmNetwork::redundant_pair();
+        let t_pair = pair
+            .time_to_disconnect(supply(), Seconds::from_hours(240.0))
+            .expect("pair fails");
+        assert!(t_pair > t_single, "pair {t_pair:?} vs single {t_single:?}");
+        assert!(
+            t_pair < t_single * 1.9,
+            "cascade should prevent a full 2x: pair {:.1} h vs single {:.1} h",
+            t_pair.as_hours(),
+            t_single.as_hours()
+        );
+    }
+
+    #[test]
+    fn reverse_supply_heals_the_whole_network() {
+        let mut net = EmNetwork::redundant_pair();
+        net.advance(Seconds::from_hours(8.0), supply());
+        let worn: f64 = net.segments().iter().map(|s| s.wire.delta_resistance().value()).sum();
+        assert!(worn > 0.0, "branches should have voided by 8 h");
+        net.advance(Seconds::from_hours(2.0), -supply());
+        let healed: f64 = net.segments().iter().map(|s| s.wire.delta_resistance().value()).sum();
+        assert!(healed < 0.4 * worn, "reverse current must heal: {worn} → {healed}");
+    }
+
+    #[test]
+    fn invalid_topologies_are_rejected() {
+        let m = EmMaterial::damascene_copper();
+        let t = dh_units::Celsius::new(230.0).to_kelvin();
+        assert!(EmNetwork::new(1, &[(0, 0, 1e-4)], 4e-7, 3e-7, m, t, 0, 0).is_err());
+        assert!(EmNetwork::new(2, &[], 4e-7, 3e-7, m, t, 0, 1).is_err());
+        assert!(EmNetwork::new(2, &[(0, 5, 1e-4)], 4e-7, 3e-7, m, t, 0, 1).is_err());
+        assert!(EmNetwork::new(2, &[(0, 1, 1e-4)], 4e-7, 3e-7, m, t, 0, 0).is_err());
+    }
+
+    #[test]
+    fn disconnected_network_reports_no_currents() {
+        let mut net = EmNetwork::redundant_pair();
+        net.time_to_disconnect(supply(), Seconds::from_hours(80.0)).expect("fails");
+        assert!(net.segment_currents(supply()).is_none());
+        // Advancing a dead network only passes time.
+        let t = net.time();
+        net.advance(Seconds::from_hours(1.0), supply());
+        assert_eq!(net.time(), t + Seconds::from_hours(1.0));
+    }
+}

@@ -1,0 +1,202 @@
+//! Wire-population statistics: Monte-Carlo TTF distributions from the
+//! physics simulator.
+//!
+//! Black's equation (see [`crate::black`]) *assumes* a log-normal TTF
+//! population. This module derives the population from the PDE model
+//! instead: process variation is sampled as log-normal perturbations of
+//! the diffusivity prefactor and critical stress, each sampled wire is
+//! simulated to hard failure, and the resulting TTF set is summarised.
+//! A consistency test (and the `lifetime_sim` bench) checks that the
+//! fitted log-sigma is in the range the Black model uses — tying the
+//! closed-form fleet statistics back to the physics.
+
+use rand::rngs::StdRng;
+
+use dh_units::rng::seeded_rng;
+use dh_units::{CurrentDensity, Pascals, Seconds};
+
+use crate::material::EmMaterial;
+use crate::sim::EmWire;
+use crate::wire::WireGeometry;
+
+/// Process-variation magnitudes for the sampled population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// 1-sigma of ln(D₀): grain-structure / interface-quality variation.
+    pub sigma_ln_d0: f64,
+    /// 1-sigma of ln(σ_crit): liner-adhesion / flaw-size variation.
+    pub sigma_ln_crit: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        // Together these produce ≈0.3 of ln-TTF spread — the classic EM
+        // log-normal sigma used by the Black model.
+        Self { sigma_ln_d0: 0.18, sigma_ln_crit: 0.12 }
+    }
+}
+
+/// Summary of a simulated TTF population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtfPopulation {
+    /// Individual times to failure, sorted ascending.
+    pub ttfs: Vec<Seconds>,
+    /// Wires that survived the simulation horizon (censored).
+    pub censored: usize,
+}
+
+impl TtfPopulation {
+    /// Median TTF (of the failed wires).
+    ///
+    /// Returns `None` if nothing failed.
+    pub fn median(&self) -> Option<Seconds> {
+        if self.ttfs.is_empty() {
+            return None;
+        }
+        Some(self.ttfs[self.ttfs.len() / 2])
+    }
+
+    /// Maximum-likelihood sigma of ln(TTF) (of the failed wires).
+    ///
+    /// Returns `None` with fewer than two failures.
+    pub fn ln_sigma(&self) -> Option<f64> {
+        if self.ttfs.len() < 2 {
+            return None;
+        }
+        let logs: Vec<f64> = self.ttfs.iter().map(|t| t.value().ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// The `q`-quantile TTF of the failed wires (`q ∈ [0, 1]`).
+    pub fn quantile(&self, q: f64) -> Option<Seconds> {
+        if self.ttfs.is_empty() {
+            return None;
+        }
+        let idx = ((q.clamp(0.0, 1.0)) * (self.ttfs.len() - 1) as f64).round() as usize;
+        Some(self.ttfs[idx])
+    }
+}
+
+/// Samples `n` wires with process variation and simulates each to failure
+/// under constant stress `j` (or to `horizon`, counting it as censored).
+///
+/// Uses a coarser mesh (61 nodes) than the single-wire studies: the TTF is
+/// dominated by nucleation + growth timescales that the coarse mesh
+/// resolves within a few percent, and the population needs throughput.
+pub fn simulate_population(
+    n: usize,
+    j: CurrentDensity,
+    variation: VariationModel,
+    horizon: Seconds,
+    seed: u64,
+) -> TtfPopulation {
+    let mut rng = seeded_rng(seed, "em-population");
+    let base = EmMaterial::damascene_copper();
+    let mut ttfs = Vec::new();
+    let mut censored = 0;
+
+    for _ in 0..n {
+        let mut material = base;
+        material.d0_m2_per_s *= lognormal(&mut rng, variation.sigma_ln_d0);
+        material.critical_stress =
+            Pascals::new(material.critical_stress.value() * lognormal(&mut rng, variation.sigma_ln_crit));
+        let mut wire = EmWire::new(
+            WireGeometry::paper(),
+            material,
+            dh_units::Celsius::new(230.0).to_kelvin(),
+            61,
+        )
+        .expect("perturbed material stays valid");
+
+        let step = Seconds::from_minutes(10.0);
+        let mut t = Seconds::ZERO;
+        while t < horizon && !wire.is_failed() {
+            wire.advance(step, j);
+            t += step;
+        }
+        if wire.is_failed() {
+            ttfs.push(wire.time());
+        } else {
+            censored += 1;
+        }
+    }
+    ttfs.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFs"));
+    TtfPopulation { ttfs, censored }
+}
+
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    (sigma * dh_units::rng::standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: usize) -> TtfPopulation {
+        simulate_population(
+            n,
+            CurrentDensity::from_ma_per_cm2(7.96),
+            VariationModel::default(),
+            Seconds::from_hours(48.0),
+            17,
+        )
+    }
+
+    #[test]
+    fn every_wire_fails_under_accelerated_stress() {
+        let pop = population(24);
+        assert_eq!(pop.censored, 0, "48 h horizon must out-last all wires");
+        assert_eq!(pop.ttfs.len(), 24);
+    }
+
+    #[test]
+    fn median_is_near_the_nominal_wire() {
+        let pop = population(24);
+        let median = pop.median().unwrap().as_hours();
+        // Nominal continuous-stress failure is ≈11.5 h.
+        assert!((8.0..16.0).contains(&median), "median {median} h");
+    }
+
+    #[test]
+    fn ln_sigma_matches_the_black_model_assumption() {
+        let pop = population(40);
+        let sigma = pop.ln_sigma().unwrap();
+        assert!(
+            (0.1..0.6).contains(&sigma),
+            "physics-derived ln-sigma {sigma} should bracket Black's 0.3"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let pop = population(24);
+        let q10 = pop.quantile(0.1).unwrap();
+        let q50 = pop.quantile(0.5).unwrap();
+        let q90 = pop.quantile(0.9).unwrap();
+        assert!(q10 <= q50 && q50 <= q90);
+        assert!(q90.value() > q10.value(), "population must actually spread");
+    }
+
+    #[test]
+    fn zero_variation_collapses_the_spread() {
+        let tight = simulate_population(
+            8,
+            CurrentDensity::from_ma_per_cm2(7.96),
+            VariationModel { sigma_ln_d0: 0.0, sigma_ln_crit: 0.0 },
+            Seconds::from_hours(48.0),
+            3,
+        );
+        let sigma = tight.ln_sigma().unwrap();
+        assert!(sigma < 0.02, "identical wires must fail together, sigma {sigma}");
+    }
+
+    #[test]
+    fn empty_population_edge_cases() {
+        let pop = TtfPopulation { ttfs: vec![], censored: 5 };
+        assert!(pop.median().is_none());
+        assert!(pop.ln_sigma().is_none());
+        assert!(pop.quantile(0.5).is_none());
+    }
+}

@@ -1,0 +1,415 @@
+//! EM stress/recovery scheduling experiments (the paper's Figs. 5–7).
+//!
+//! Three experiment drivers, each returning labelled [`TimeSeries`] data for
+//! the reproduction harness:
+//!
+//! * [`stress_recovery_experiment`] — Fig. 5: long accelerated stress
+//!   through nucleation and void growth, then recovery (active vs passive
+//!   branches), exposing the permanent component;
+//! * [`early_recovery_experiment`] — Fig. 6: recovery scheduled early in
+//!   void growth (full recovery) followed by sustained reverse current
+//!   (reverse-direction EM);
+//! * [`periodic_recovery_experiment`] — Fig. 7: short recovery intervals
+//!   during the nucleation phase delay nucleation and extend TTF.
+
+use dh_units::{CurrentDensity, Seconds, TimeSeries};
+
+use crate::sim::{EmWire, WireEnd};
+
+/// Sampling interval for the recorded resistance traces.
+const SAMPLE_EVERY: Seconds = Seconds::new(120.0);
+
+/// Outcome of the Fig. 5-style stress + recovery experiment.
+#[derive(Debug, Clone)]
+pub struct StressRecoveryOutcome {
+    /// Resistance trace for stress followed by *active + accelerated*
+    /// recovery (reverse current at oven temperature).
+    pub active: TimeSeries,
+    /// Resistance trace for stress followed by *passive* recovery (current
+    /// off at oven temperature).
+    pub passive: TimeSeries,
+    /// Time at which the void nucleated (start of resistance rise).
+    pub nucleation_time: Option<Seconds>,
+    /// Resistance increase at the end of stress, ohms.
+    pub delta_r_peak: f64,
+    /// Fraction of the increase recovered by the active branch.
+    pub active_recovered_fraction: f64,
+    /// Fraction recovered by the passive branch.
+    pub passive_recovered_fraction: f64,
+    /// Permanent resistance increase remaining after active recovery, ohms.
+    pub permanent_delta_r: f64,
+}
+
+/// Runs the Fig. 5 experiment: `stress_time` of forward current, then
+/// `recovery_time` of recovery — one branch active (reverse current), one
+/// passive (no current) — all at the wire's oven temperature.
+pub fn stress_recovery_experiment(
+    mut wire: EmWire,
+    j: CurrentDensity,
+    stress_time: Seconds,
+    recovery_time: Seconds,
+) -> StressRecoveryOutcome {
+    let mut active = TimeSeries::new("R (ohm), accelerated stress + active recovery");
+    let mut passive = TimeSeries::new("R (ohm), accelerated stress + passive recovery");
+    let mut nucleation_time = None;
+
+    record(&mut active, &wire);
+    record(&mut passive, &wire);
+    let mut t = Seconds::ZERO;
+    while t < stress_time {
+        wire.advance(SAMPLE_EVERY, j);
+        t += SAMPLE_EVERY;
+        if nucleation_time.is_none() && wire.has_void() {
+            nucleation_time = Some(t);
+        }
+        record(&mut active, &wire);
+        record(&mut passive, &wire);
+    }
+    let delta_r_peak = wire.delta_resistance().value();
+
+    let mut passive_wire = wire.clone();
+    let mut t = Seconds::ZERO;
+    while t < recovery_time {
+        wire.advance(SAMPLE_EVERY, -j);
+        passive_wire.advance(SAMPLE_EVERY, CurrentDensity::ZERO);
+        t += SAMPLE_EVERY;
+        record(&mut active, &wire);
+        record(&mut passive, &passive_wire);
+    }
+
+    let active_rec = recovered_fraction(delta_r_peak, wire.delta_resistance().value());
+    let passive_rec = recovered_fraction(delta_r_peak, passive_wire.delta_resistance().value());
+    StressRecoveryOutcome {
+        active,
+        passive,
+        nucleation_time,
+        delta_r_peak,
+        active_recovered_fraction: active_rec,
+        passive_recovered_fraction: passive_rec,
+        permanent_delta_r: wire.delta_resistance().value(),
+    }
+}
+
+/// Outcome of the Fig. 6-style early-recovery experiment.
+#[derive(Debug, Clone)]
+pub struct EarlyRecoveryOutcome {
+    /// Resistance trace across stress, early recovery, and over-recovery.
+    pub trace: TimeSeries,
+    /// Resistance increase when recovery started, ohms.
+    pub delta_r_at_recovery_start: f64,
+    /// Minimum resistance increase reached (full recovery ⇒ ≈0), ohms.
+    pub delta_r_after_recovery: f64,
+    /// Whether sustained reverse current re-stressed the wire (reverse EM:
+    /// tension or a void at the anode end).
+    pub reverse_em_observed: bool,
+}
+
+/// Runs the Fig. 6 experiment: stress until `growth_time` past nucleation,
+/// then hold the reverse current for `reverse_time` (long enough to both
+/// fully heal and demonstrate reverse-direction EM).
+pub fn early_recovery_experiment(
+    mut wire: EmWire,
+    j: CurrentDensity,
+    growth_time: Seconds,
+    reverse_time: Seconds,
+) -> EarlyRecoveryOutcome {
+    let mut trace = TimeSeries::new("R (ohm), early recovery then reverse stress");
+    record(&mut trace, &wire);
+    // Stress through nucleation.
+    let guard = Seconds::from_hours(12.0);
+    while !wire.has_void() && wire.time() < guard {
+        wire.advance(SAMPLE_EVERY, j);
+        record(&mut trace, &wire);
+    }
+    // Early growth only.
+    let mut t = Seconds::ZERO;
+    while t < growth_time {
+        wire.advance(SAMPLE_EVERY, j);
+        t += SAMPLE_EVERY;
+        record(&mut trace, &wire);
+    }
+    let delta_r_at_recovery_start = wire.delta_resistance().value();
+
+    let mut min_dr = delta_r_at_recovery_start;
+    let mut t = Seconds::ZERO;
+    while t < reverse_time {
+        wire.advance(SAMPLE_EVERY, -j);
+        t += SAMPLE_EVERY;
+        min_dr = min_dr.min(wire.delta_resistance().value());
+        record(&mut trace, &wire);
+    }
+    let reverse_em = wire.has_void_at(WireEnd::Anode)
+        || wire.end_stress(WireEnd::Anode).value() > 0.0;
+    EarlyRecoveryOutcome {
+        trace,
+        delta_r_at_recovery_start,
+        delta_r_after_recovery: min_dr,
+        reverse_em_observed: reverse_em,
+    }
+}
+
+/// Outcome of the Fig. 7-style periodic-recovery experiment.
+#[derive(Debug, Clone)]
+pub struct PeriodicRecoveryOutcome {
+    /// Resistance trace under the periodic stress/recovery schedule.
+    pub scheduled: TimeSeries,
+    /// Resistance trace under continuous stress (the Fig. 5 baseline).
+    pub continuous: TimeSeries,
+    /// Nucleation time under the schedule.
+    pub scheduled_nucleation: Option<Seconds>,
+    /// Nucleation time under continuous stress.
+    pub continuous_nucleation: Option<Seconds>,
+    /// Time to hard failure under the schedule (`None` = survived the run).
+    pub scheduled_ttf: Option<Seconds>,
+    /// Time to hard failure under continuous stress.
+    pub continuous_ttf: Option<Seconds>,
+}
+
+impl PeriodicRecoveryOutcome {
+    /// The nucleation-delay factor achieved by the schedule.
+    pub fn nucleation_delay_factor(&self) -> Option<f64> {
+        match (self.scheduled_nucleation, self.continuous_nucleation) {
+            (Some(s), Some(c)) if c.value() > 0.0 => Some(s / c),
+            _ => None,
+        }
+    }
+
+    /// The TTF-extension factor achieved by the schedule.
+    pub fn ttf_extension_factor(&self) -> Option<f64> {
+        match (self.scheduled_ttf, self.continuous_ttf) {
+            (Some(s), Some(c)) if c.value() > 0.0 => Some(s / c),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the Fig. 7 experiment: cycles of `stress_interval` forward current
+/// and `recovery_interval` reverse current **during the nucleation phase**
+/// (the paper schedules the short recovery intervals "in the early phase of
+/// EM stress evolution", i.e. before voids nucleate), after which stress
+/// runs continuously to failure — against a continuous-stress control. Both
+/// run until hard failure or `horizon`.
+pub fn periodic_recovery_experiment(
+    wire: EmWire,
+    j: CurrentDensity,
+    stress_interval: Seconds,
+    recovery_interval: Seconds,
+    horizon: Seconds,
+) -> PeriodicRecoveryOutcome {
+    let mut scheduled_wire = wire.clone();
+    let mut continuous_wire = wire;
+    let mut scheduled = TimeSeries::new("R (ohm), periodic scheduled recovery");
+    let mut continuous = TimeSeries::new("R (ohm), continuous accelerated stress");
+    let mut scheduled_nucleation = None;
+    let mut continuous_nucleation = None;
+    let mut scheduled_ttf = None;
+    let mut continuous_ttf = None;
+
+    record(&mut scheduled, &scheduled_wire);
+    record(&mut continuous, &continuous_wire);
+    let mut t = Seconds::ZERO;
+    let mut in_stress = true;
+    let mut phase_left = stress_interval;
+    while t < horizon && (scheduled_ttf.is_none() || continuous_ttf.is_none()) {
+        let step = SAMPLE_EVERY.min(phase_left);
+        // Once the void has nucleated the scheduled branch reverts to
+        // continuous stress (the paper's Fig. 7 protocol).
+        let j_sched = if in_stress || scheduled_wire.has_void() { j } else { -j };
+        if scheduled_ttf.is_none() {
+            scheduled_wire.advance(step, j_sched);
+        }
+        if continuous_ttf.is_none() {
+            continuous_wire.advance(step, j);
+        }
+        t += step;
+        phase_left -= step;
+        if phase_left.value() <= 1e-9 {
+            in_stress = !in_stress;
+            phase_left = if in_stress { stress_interval } else { recovery_interval };
+        }
+
+        if scheduled_nucleation.is_none() && scheduled_wire.has_void() {
+            scheduled_nucleation = Some(t);
+        }
+        if continuous_nucleation.is_none() && continuous_wire.has_void() {
+            continuous_nucleation = Some(t);
+        }
+        if scheduled_ttf.is_none() {
+            if scheduled_wire.is_failed() {
+                scheduled_ttf = Some(t);
+            } else {
+                record(&mut scheduled, &scheduled_wire);
+            }
+        }
+        if continuous_ttf.is_none() {
+            if continuous_wire.is_failed() {
+                continuous_ttf = Some(t);
+            } else {
+                record(&mut continuous, &continuous_wire);
+            }
+        }
+    }
+
+    PeriodicRecoveryOutcome {
+        scheduled,
+        continuous,
+        scheduled_nucleation,
+        continuous_nucleation,
+        scheduled_ttf,
+        continuous_ttf,
+    }
+}
+
+/// One cell of the paper's Fig. 2(b) EM recovery-condition matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConditionOutcome {
+    /// Condition number in the paper's Fig. 2(b) order (1–4).
+    pub condition_no: usize,
+    /// Whether the current was reversed (vs simply removed).
+    pub reverse_current: bool,
+    /// Recovery temperature.
+    pub temperature: dh_units::Kelvin,
+    /// Fraction of the stress-induced ΔR recovered in the window.
+    pub recovered_fraction: f64,
+}
+
+/// Reproduces the paper's Fig. 2(b) matrix for EM: after a fixed stress,
+/// recovery proceeds for `recovery_time` under each of the four conditions
+/// — passive/active current × room/oven temperature. Mirrors the BTI
+/// Table I structure: temperature *accelerates* (Arrhenius diffusivity)
+/// and current reversal *activates*.
+pub fn condition_matrix(
+    j: CurrentDensity,
+    stress_time: Seconds,
+    recovery_time: Seconds,
+) -> [EmConditionOutcome; 4] {
+    use dh_units::Celsius;
+    let mut stressed = EmWire::paper_wire();
+    stressed.advance(stress_time, j);
+    let dr0 = stressed.delta_resistance().value();
+
+    let room = Celsius::new(20.0).to_kelvin();
+    let oven = Celsius::new(230.0).to_kelvin();
+    let conditions =
+        [(1, false, room), (2, true, room), (3, false, oven), (4, true, oven)];
+    conditions.map(|(condition_no, reverse_current, temperature)| {
+        let mut wire = stressed.clone();
+        wire.set_temperature(temperature);
+        let j_rec = if reverse_current { -j } else { CurrentDensity::ZERO };
+        wire.advance(recovery_time, j_rec);
+        wire.set_temperature(oven);
+        let recovered = if dr0 > 0.0 {
+            ((dr0 - wire.delta_resistance().value()) / dr0).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+        EmConditionOutcome {
+            condition_no,
+            reverse_current,
+            temperature,
+            recovered_fraction: recovered,
+        }
+    })
+}
+
+fn record(series: &mut TimeSeries, wire: &EmWire) {
+    let r = wire.resistance().value();
+    if r.is_finite() {
+        series.push(wire.time(), r);
+    }
+}
+
+fn recovered_fraction(peak: f64, now: f64) -> f64 {
+    if peak <= 0.0 {
+        return 0.0;
+    }
+    ((peak - now) / peak).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j() -> CurrentDensity {
+        CurrentDensity::from_ma_per_cm2(7.96)
+    }
+
+    #[test]
+    fn fig5_experiment_shows_activation_and_permanence() {
+        let out = stress_recovery_experiment(
+            EmWire::paper_wire(),
+            j(),
+            Seconds::from_minutes(550.0),
+            Seconds::from_minutes(110.0),
+        );
+        assert!(out.nucleation_time.is_some());
+        assert!(out.delta_r_peak > 0.8);
+        assert!(
+            out.active_recovered_fraction > 0.7,
+            "active recovered {}",
+            out.active_recovered_fraction
+        );
+        assert!(
+            out.active_recovered_fraction > 3.0 * out.passive_recovered_fraction.max(0.01),
+            "active {} vs passive {}",
+            out.active_recovered_fraction,
+            out.passive_recovered_fraction
+        );
+        assert!(out.permanent_delta_r > 0.0);
+        assert!(out.active.len() > 100);
+    }
+
+    #[test]
+    fn fig6_early_recovery_is_full_and_reverse_em_appears() {
+        let out = early_recovery_experiment(
+            EmWire::paper_wire(),
+            j(),
+            Seconds::from_minutes(40.0),
+            Seconds::from_minutes(600.0),
+        );
+        assert!(out.delta_r_at_recovery_start > 0.0);
+        assert!(
+            out.delta_r_after_recovery < 0.1 * out.delta_r_at_recovery_start,
+            "residual {} of {}",
+            out.delta_r_after_recovery,
+            out.delta_r_at_recovery_start
+        );
+        assert!(out.reverse_em_observed, "sustained reverse current must re-stress the wire");
+    }
+
+    #[test]
+    fn fig2b_condition_matrix_orders_like_the_bti_table() {
+        // The EM analogue of Table I: both knobs help, together they win.
+        let outs = condition_matrix(
+            j(),
+            Seconds::from_minutes(500.0),
+            Seconds::from_minutes(100.0),
+        );
+        let r: Vec<f64> = outs.iter().map(|o| o.recovered_fraction).collect();
+        // Room temperature freezes diffusion: both room conditions ≈ 0.
+        assert!(r[0].abs() < 0.02, "passive room {r:?}");
+        assert!(r[1].abs() < 0.02, "active room {r:?}");
+        // At temperature, passive is slow, active is deep.
+        assert!(r[3] > 0.5, "active hot {r:?}");
+        assert!(r[3] > 5.0 * r[2].max(0.01), "activation dominates {r:?}");
+        assert_eq!(outs[3].condition_no, 4);
+        assert!(outs[3].reverse_current);
+    }
+
+    #[test]
+    fn fig7_periodic_recovery_delays_nucleation_and_extends_ttf() {
+        let out = periodic_recovery_experiment(
+            EmWire::paper_wire(),
+            j(),
+            Seconds::from_minutes(60.0),
+            Seconds::from_minutes(20.0),
+            Seconds::from_hours(60.0),
+        );
+        let delay = out.nucleation_delay_factor().expect("both must nucleate");
+        assert!(delay > 1.8, "nucleation delay factor {delay}");
+        let ttf = out.ttf_extension_factor().expect("both must fail within horizon");
+        assert!(ttf > 1.4, "TTF extension factor {ttf}");
+        // Paper: "almost 3× slower".
+        assert!(delay < 8.0, "delay factor suspiciously large: {delay}");
+    }
+}

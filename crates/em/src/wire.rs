@@ -1,0 +1,153 @@
+//! Wire geometry and temperature-dependent electrical resistance.
+//!
+//! The paper's test structure (its Fig. 3):
+//!
+//! | property | value |
+//! |---|---|
+//! | technology | 180 nm, dual-damascene copper, metal 6 |
+//! | length | 2.673 mm |
+//! | width | 1.57 µm |
+//! | thickness | 0.8 µm |
+//! | resistance @ room temperature | 35.76 Ω |
+
+use dh_units::constants::ROOM_TEMPERATURE_CELSIUS;
+use dh_units::error::ensure_positive;
+use dh_units::{Amperes, CurrentDensity, Kelvin, Ohms};
+
+use crate::error::EmError;
+
+/// Physical geometry and reference resistance of a metal test wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGeometry {
+    /// Wire length, metres.
+    pub length_m: f64,
+    /// Wire width, metres.
+    pub width_m: f64,
+    /// Wire (metal) thickness, metres.
+    pub thickness_m: f64,
+    /// Measured resistance at room temperature (20 °C).
+    pub resistance_at_room: Ohms,
+    /// Effective temperature coefficient of resistance, 1/K.
+    ///
+    /// This is a *lumped* coefficient calibrated so the wire resistance at
+    /// the oven temperature matches the paper's Fig. 5 baseline (~72.9 Ω at
+    /// 230 °C); it folds the copper TCR together with Joule self-heating of
+    /// the stressed wire.
+    pub tcr_per_k: f64,
+}
+
+impl WireGeometry {
+    /// The paper's Fig. 3 test wire.
+    pub fn paper() -> Self {
+        Self {
+            length_m: 2.673e-3,
+            width_m: 1.57e-6,
+            thickness_m: 0.8e-6,
+            resistance_at_room: Ohms::new(35.76),
+            // 35.76 Ω · (1 + 0.00494 · 210 K) ≈ 72.9 Ω at 230 °C.
+            tcr_per_k: 4.94e-3,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::Quantity`] if any dimension or the reference
+    /// resistance is not strictly positive.
+    pub fn validated(self) -> Result<Self, EmError> {
+        ensure_positive("wire length", self.length_m)?;
+        ensure_positive("wire width", self.width_m)?;
+        ensure_positive("wire thickness", self.thickness_m)?;
+        ensure_positive("room-temperature resistance", self.resistance_at_room.value())?;
+        ensure_positive("temperature coefficient", self.tcr_per_k)?;
+        Ok(self)
+    }
+
+    /// Conducting cross-section area, m².
+    pub fn cross_section_m2(&self) -> f64 {
+        self.width_m * self.thickness_m
+    }
+
+    /// Effective resistivity at room temperature implied by the measured
+    /// resistance, Ω·m.
+    pub fn effective_resistivity_ohm_m(&self) -> f64 {
+        self.resistance_at_room.value() * self.cross_section_m2() / self.length_m
+    }
+
+    /// Void-free wire resistance at temperature `t`.
+    pub fn resistance_at(&self, t: Kelvin) -> Ohms {
+        let dt = t.to_celsius().value() - ROOM_TEMPERATURE_CELSIUS;
+        self.resistance_at_room * (1.0 + self.tcr_per_k * dt)
+    }
+
+    /// Resistivity at temperature `t`, Ω·m.
+    pub fn resistivity_at(&self, t: Kelvin) -> f64 {
+        self.resistance_at(t).value() * self.cross_section_m2() / self.length_m
+    }
+
+    /// The current corresponding to a current density through this wire.
+    pub fn current_for(&self, j: CurrentDensity) -> Amperes {
+        Amperes::new(j.value() * self.cross_section_m2())
+    }
+
+    /// The current density corresponding to a current through this wire.
+    pub fn density_for(&self, i: Amperes) -> CurrentDensity {
+        CurrentDensity::new(i.value() / self.cross_section_m2())
+    }
+}
+
+impl Default for WireGeometry {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_units::Celsius;
+
+    #[test]
+    fn paper_wire_resistance_at_oven_temperature_matches_fig5_baseline() {
+        let w = WireGeometry::paper();
+        let r = w.resistance_at(Celsius::new(230.0).to_kelvin());
+        assert!((r.value() - 72.9).abs() < 0.3, "R(230°C) = {r}");
+    }
+
+    #[test]
+    fn room_temperature_resistance_is_the_reference() {
+        let w = WireGeometry::paper();
+        let r = w.resistance_at(Celsius::new(20.0).to_kelvin());
+        assert!((r.value() - 35.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_resistivity_is_near_bulk_copper() {
+        let w = WireGeometry::paper();
+        let rho = w.effective_resistivity_ohm_m();
+        assert!(rho > 1.3e-8 && rho < 2.2e-8, "rho = {rho}");
+    }
+
+    #[test]
+    fn current_and_density_round_trip() {
+        let w = WireGeometry::paper();
+        let j = CurrentDensity::from_ma_per_cm2(7.96);
+        let i = w.current_for(j);
+        // 7.96e10 A/m² × 1.256e-12 m² ≈ 0.1 A.
+        assert!((i.value() - 0.1).abs() < 0.01, "I = {i}");
+        let back = w.density_for(i);
+        assert!((back.value() - j.value()).abs() / j.value() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_geometry() {
+        let mut w = WireGeometry::paper();
+        w.length_m = 0.0;
+        assert!(w.validated().is_err());
+        let mut w = WireGeometry::paper();
+        w.resistance_at_room = Ohms::new(-1.0);
+        assert!(w.validated().is_err());
+        assert!(WireGeometry::paper().validated().is_ok());
+    }
+}

@@ -1,0 +1,482 @@
+//! Two-layer resistive PDN mesh (the paper's Fig. 11 stack, collapsed to
+//! its EM-relevant essentials).
+//!
+//! * a **local grid**: a fine `rows × cols` mesh in thin lower metal —
+//!   "most EM-sensitive" in the paper's words;
+//! * a **global grid**: coarse stripes in the thick top metals, one global
+//!   node every `global_pitch` local nodes, fed by C4 bumps;
+//! * **vias** connecting each global node down to the local mesh.
+//!
+//! Loads draw current from local nodes; the solver computes the IR-drop
+//! field and every branch current, which [`crate::hazard`] converts into
+//! per-layer EM current densities.
+
+use dh_units::CurrentDensity;
+
+use crate::solver::SpdBuilder;
+
+/// Which physical layer class a branch belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerClass {
+    /// Thin lower-metal local grid segment.
+    Local,
+    /// Thick top-metal global grid segment.
+    Global,
+    /// Via stack between global and local grids.
+    Via,
+    /// C4 bump connection.
+    Bump,
+}
+
+impl core::fmt::Display for LayerClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Local => write!(f, "local"),
+            Self::Global => write!(f, "global"),
+            Self::Via => write!(f, "via"),
+            Self::Bump => write!(f, "bump"),
+        }
+    }
+}
+
+/// PDN mesh configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdnConfig {
+    /// Local-mesh rows.
+    pub rows: usize,
+    /// Local-mesh columns.
+    pub cols: usize,
+    /// One global node per `global_pitch` local nodes in each direction.
+    pub global_pitch: usize,
+    /// Local segment resistance, ohms.
+    pub r_local: f64,
+    /// Global segment resistance, ohms.
+    pub r_global: f64,
+    /// Via-stack resistance, ohms.
+    pub r_via: f64,
+    /// C4 bump resistance, ohms.
+    pub r_bump: f64,
+    /// Local wire cross-section, m² (EM current density basis).
+    pub local_area_m2: f64,
+    /// Global wire cross-section, m².
+    pub global_area_m2: f64,
+}
+
+impl PdnConfig {
+    /// A representative chip: 24×24 local mesh, global stripes every 6
+    /// nodes, four C4 bumps; thin 0.4 µm × 0.35 µm local wires under
+    /// 10 µm × 2 µm global wires.
+    pub fn default_chip() -> Self {
+        Self {
+            rows: 24,
+            cols: 24,
+            global_pitch: 6,
+            r_local: 0.8,
+            r_global: 0.05,
+            r_via: 0.5,
+            r_bump: 0.01,
+            local_area_m2: 0.4e-6 * 0.35e-6,
+            global_area_m2: 10.0e-6 * 2.0e-6,
+        }
+    }
+
+    /// Number of local nodes.
+    pub fn local_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn global_rows(&self) -> usize {
+        self.rows.div_ceil(self.global_pitch)
+    }
+
+    fn global_cols(&self) -> usize {
+        self.cols.div_ceil(self.global_pitch)
+    }
+
+    /// Number of global nodes.
+    pub fn global_nodes(&self) -> usize {
+        self.global_rows() * self.global_cols()
+    }
+}
+
+/// One solved branch of the PDN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// Layer class of the branch.
+    pub layer: LayerClass,
+    /// Node indices (into the combined node vector) the branch connects.
+    pub nodes: (usize, usize),
+    /// Branch current magnitude, amperes.
+    pub current_a: f64,
+    /// EM current density through the branch cross-section.
+    pub density: CurrentDensity,
+}
+
+/// A solved PDN operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnSolution {
+    /// IR drop (volts below the bump supply) at every local node.
+    pub local_drops_v: Vec<f64>,
+    /// The worst IR drop across the local mesh, volts.
+    pub worst_ir_drop_v: f64,
+    /// Every branch with its current and density.
+    pub branches: Vec<Branch>,
+}
+
+impl PdnSolution {
+    /// The highest branch current density in a layer class.
+    pub fn peak_density(&self, layer: LayerClass) -> CurrentDensity {
+        self.branches
+            .iter()
+            .filter(|b| b.layer == layer)
+            .map(|b| b.density)
+            .fold(CurrentDensity::ZERO, CurrentDensity::max)
+    }
+}
+
+/// The PDN mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnMesh {
+    config: PdnConfig,
+    /// Bump positions as global-node indices.
+    bumps: Vec<usize>,
+}
+
+/// Error from PDN construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdnError {
+    /// Configuration is degenerate.
+    InvalidConfig(String),
+    /// The load vector length does not match the local node count.
+    LoadLengthMismatch {
+        /// Expected length (local node count).
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// The CG solve failed to converge (floating network).
+    SolveFailed,
+}
+
+impl core::fmt::Display for PdnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidConfig(why) => write!(f, "invalid PDN config: {why}"),
+            Self::LoadLengthMismatch { expected, got } => {
+                write!(f, "load vector length {got} does not match local node count {expected}")
+            }
+            Self::SolveFailed => write!(f, "PDN solve failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for PdnError {}
+
+impl PdnMesh {
+    /// Builds a mesh with four C4 bumps at the quarter positions of the
+    /// global grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidConfig`] for zero dimensions, a pitch of
+    /// zero, or non-positive resistances/areas.
+    pub fn new(config: PdnConfig) -> Result<Self, PdnError> {
+        if config.rows < 2 || config.cols < 2 {
+            return Err(PdnError::InvalidConfig("mesh must be at least 2x2".into()));
+        }
+        if config.global_pitch == 0 {
+            return Err(PdnError::InvalidConfig("global pitch must be >= 1".into()));
+        }
+        for (name, v) in [
+            ("r_local", config.r_local),
+            ("r_global", config.r_global),
+            ("r_via", config.r_via),
+            ("r_bump", config.r_bump),
+            ("local area", config.local_area_m2),
+            ("global area", config.global_area_m2),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(PdnError::InvalidConfig(format!("{name} must be positive, got {v}")));
+            }
+        }
+        let gr = config.global_rows();
+        let gc = config.global_cols();
+        let quarter = |n: usize| (n / 4).min(n - 1);
+        let three_quarter = |n: usize| (3 * n / 4).min(n - 1);
+        let bumps = vec![
+            quarter(gr) * gc + quarter(gc),
+            quarter(gr) * gc + three_quarter(gc),
+            three_quarter(gr) * gc + quarter(gc),
+            three_quarter(gr) * gc + three_quarter(gc),
+        ];
+        Ok(Self { config, bumps })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PdnConfig {
+        &self.config
+    }
+
+    /// Solves with the same load current (amperes) at every local node.
+    ///
+    /// # Errors
+    ///
+    /// See [`PdnMesh::solve`].
+    pub fn solve_uniform_load(&self, per_node_a: f64) -> Result<PdnSolution, PdnError> {
+        self.solve(&vec![per_node_a; self.config.local_nodes()])
+    }
+
+    /// Solves the IR-drop system for per-local-node load currents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::LoadLengthMismatch`] for a wrong-sized load
+    /// vector or [`PdnError::SolveFailed`] if CG does not converge.
+    pub fn solve(&self, loads_a: &[f64]) -> Result<PdnSolution, PdnError> {
+        self.solve_with_local_scale(loads_a, 1.0)
+    }
+
+    /// Like [`PdnMesh::solve`], but with every *local-grid* segment
+    /// resistance multiplied by `local_r_scale` — the soft-EM-wearout
+    /// degradation knob used by [`crate::wear_loop`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`PdnMesh::solve`]; additionally rejects a non-positive
+    /// scale.
+    pub fn solve_with_local_scale(
+        &self,
+        loads_a: &[f64],
+        local_r_scale: f64,
+    ) -> Result<PdnSolution, PdnError> {
+        if !(local_r_scale > 0.0) || !local_r_scale.is_finite() {
+            return Err(PdnError::InvalidConfig(format!(
+                "local resistance scale must be positive, got {local_r_scale}"
+            )));
+        }
+        let c = &self.config;
+        let nl = c.local_nodes();
+        if loads_a.len() != nl {
+            return Err(PdnError::LoadLengthMismatch { expected: nl, got: loads_a.len() });
+        }
+        let gc = c.global_cols();
+        let n_total = nl + c.global_nodes();
+        let local_idx = |r: usize, col: usize| r * c.cols + col;
+        let global_idx = |r: usize, col: usize| nl + r * gc + col;
+
+        // Assemble: solve for the *drop* field (bumps are the reference).
+        let mut builder = SpdBuilder::new(n_total);
+        struct Edge {
+            a: usize,
+            b: usize,
+            g: f64,
+            layer: LayerClass,
+            area: f64,
+        }
+        let mut edges = Vec::new();
+        for r in 0..c.rows {
+            for col in 0..c.cols {
+                let i = local_idx(r, col);
+                if col + 1 < c.cols {
+                    edges.push(Edge {
+                        a: i,
+                        b: local_idx(r, col + 1),
+                        g: 1.0 / (c.r_local * local_r_scale),
+                        layer: LayerClass::Local,
+                        area: c.local_area_m2,
+                    });
+                }
+                if r + 1 < c.rows {
+                    edges.push(Edge {
+                        a: i,
+                        b: local_idx(r + 1, col),
+                        g: 1.0 / (c.r_local * local_r_scale),
+                        layer: LayerClass::Local,
+                        area: c.local_area_m2,
+                    });
+                }
+            }
+        }
+        for gr_i in 0..c.global_rows() {
+            for gcol in 0..gc {
+                let gi = global_idx(gr_i, gcol);
+                if gcol + 1 < gc {
+                    edges.push(Edge {
+                        a: gi,
+                        b: global_idx(gr_i, gcol + 1),
+                        g: 1.0 / c.r_global,
+                        layer: LayerClass::Global,
+                        area: c.global_area_m2,
+                    });
+                }
+                if gr_i + 1 < c.global_rows() {
+                    edges.push(Edge {
+                        a: gi,
+                        b: global_idx(gr_i + 1, gcol),
+                        g: 1.0 / c.r_global,
+                        layer: LayerClass::Global,
+                        area: c.global_area_m2,
+                    });
+                }
+                // Via down to the local mesh.
+                let lr = (gr_i * c.global_pitch).min(c.rows - 1);
+                let lc = (gcol * c.global_pitch).min(c.cols - 1);
+                edges.push(Edge {
+                    a: gi,
+                    b: local_idx(lr, lc),
+                    g: 1.0 / c.r_via,
+                    layer: LayerClass::Via,
+                    area: c.global_area_m2,
+                });
+            }
+        }
+        for e in &edges {
+            builder.stamp(Some(e.a), Some(e.b), e.g);
+        }
+        // Bumps ground the drop system.
+        for &b in &self.bumps {
+            builder.stamp(Some(nl + b), None, 1.0 / c.r_bump);
+        }
+        let matrix = builder.build();
+        let mut rhs = vec![0.0; n_total];
+        rhs[..nl].copy_from_slice(loads_a);
+        let drops = matrix.solve_cg(&rhs, 1e-10, 20_000).ok_or(PdnError::SolveFailed)?;
+
+        let mut branches: Vec<Branch> = edges
+            .iter()
+            .map(|e| {
+                let i = ((drops[e.a] - drops[e.b]) * e.g).abs();
+                Branch {
+                    layer: e.layer,
+                    nodes: (e.a, e.b),
+                    current_a: i,
+                    density: CurrentDensity::new(i / e.area),
+                }
+            })
+            .collect();
+        for (k, &b) in self.bumps.iter().enumerate() {
+            let i = (drops[nl + b] / c.r_bump).abs();
+            branches.push(Branch {
+                layer: LayerClass::Bump,
+                nodes: (nl + b, usize::MAX - k),
+                current_a: i,
+                density: CurrentDensity::new(i / c.global_area_m2),
+            });
+        }
+
+        let local_drops_v = drops[..nl].to_vec();
+        let worst = local_drops_v.iter().copied().fold(0.0, f64::max);
+        Ok(PdnSolution { local_drops_v, worst_ir_drop_v: worst, branches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> PdnMesh {
+        PdnMesh::new(PdnConfig::default_chip()).unwrap()
+    }
+
+    #[test]
+    fn uniform_load_solves_with_reasonable_ir_drop() {
+        let sol = mesh().solve_uniform_load(0.25e-3).unwrap();
+        assert!(sol.worst_ir_drop_v > 1e-4, "drop {}", sol.worst_ir_drop_v);
+        assert!(sol.worst_ir_drop_v < 0.1, "drop {}", sol.worst_ir_drop_v);
+        assert_eq!(sol.local_drops_v.len(), 576);
+    }
+
+    #[test]
+    fn no_load_no_drop() {
+        let sol = mesh().solve_uniform_load(0.0).unwrap();
+        assert_eq!(sol.worst_ir_drop_v, 0.0);
+        assert!(sol.branches.iter().all(|b| b.current_a == 0.0));
+    }
+
+    #[test]
+    fn local_grid_sees_higher_current_density_than_global() {
+        // The paper's Fig. 11 point: local grids are the EM-sensitive ones.
+        let sol = mesh().solve_uniform_load(0.25e-3).unwrap();
+        let local = sol.peak_density(LayerClass::Local);
+        let global = sol.peak_density(LayerClass::Global);
+        assert!(
+            local > global * 2.0,
+            "local {:.3} vs global {:.3} MA/cm²",
+            local.as_ma_per_cm2(),
+            global.as_ma_per_cm2()
+        );
+        // Local density reaches the EM-concern regime (~1 MA/cm² scale).
+        assert!(local.as_ma_per_cm2() > 0.2, "local = {} MA/cm²", local.as_ma_per_cm2());
+    }
+
+    #[test]
+    fn drop_scales_linearly_with_load() {
+        let m = mesh();
+        let a = m.solve_uniform_load(0.1e-3).unwrap();
+        let b = m.solve_uniform_load(0.2e-3).unwrap();
+        assert!((b.worst_ir_drop_v / a.worst_ir_drop_v - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hotspot_load_localizes_the_drop() {
+        let m = mesh();
+        let c = m.config();
+        let mut loads = vec![0.05e-3; c.local_nodes()];
+        // A hotspot at the mesh centre.
+        let hot = (c.rows / 2) * c.cols + c.cols / 2;
+        loads[hot] = 5.0e-3;
+        let sol = m.solve(&loads).unwrap();
+        let baseline = m.solve(&vec![0.05e-3; c.local_nodes()]).unwrap();
+        let hot_drop = sol.local_drops_v[hot];
+        // The hotspot node's drop rises well above its uniform-load value,
+        // and far-away nodes barely notice.
+        assert!(
+            hot_drop > 2.0 * baseline.local_drops_v[hot],
+            "hotspot {hot_drop} vs baseline {}",
+            baseline.local_drops_v[hot]
+        );
+        let far = sol.local_drops_v[0] / baseline.local_drops_v[0];
+        assert!(far < 1.5, "far corner rose {far}×");
+        assert!(sol.worst_ir_drop_v >= hot_drop);
+    }
+
+    #[test]
+    fn total_bump_current_matches_total_load() {
+        let m = mesh();
+        let per_node = 0.25e-3;
+        let sol = m.solve_uniform_load(per_node).unwrap();
+        let bump_total: f64 = sol
+            .branches
+            .iter()
+            .filter(|b| b.layer == LayerClass::Bump)
+            .map(|b| b.current_a)
+            .sum();
+        let load_total = per_node * m.config().local_nodes() as f64;
+        assert!(
+            (bump_total - load_total).abs() / load_total < 1e-6,
+            "bumps {bump_total} vs loads {load_total}"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = PdnConfig::default_chip();
+        c.rows = 1;
+        assert!(PdnMesh::new(c).is_err());
+        let mut c = PdnConfig::default_chip();
+        c.global_pitch = 0;
+        assert!(PdnMesh::new(c).is_err());
+        let mut c = PdnConfig::default_chip();
+        c.r_local = 0.0;
+        assert!(PdnMesh::new(c).is_err());
+    }
+
+    #[test]
+    fn wrong_load_length_is_rejected() {
+        let m = mesh();
+        assert!(matches!(
+            m.solve(&[0.0; 3]),
+            Err(PdnError::LoadLengthMismatch { expected: 576, got: 3 })
+        ));
+    }
+}

@@ -1,0 +1,157 @@
+//! EM hazard analysis over a solved PDN.
+//!
+//! Maps every branch current density through the Black lifetime model of
+//! `dh-em`, ranks the results, and evaluates the effect of the assist
+//! circuitry's *EM Active Recovery* duty cycling: reversing the local-grid
+//! current for a fraction of the time heals the accumulating damage, which
+//! to first order scales the net wear rate by `(1 − duty) − η·duty` (η =
+//! healing efficiency; slightly below 1 because of the pinned component).
+
+use dh_em::black::BlackModel;
+use dh_units::{Fraction, Kelvin, Seconds};
+
+use crate::grid::{Branch, LayerClass, PdnSolution};
+
+/// One ranked hazard entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardEntry {
+    /// The branch.
+    pub branch: Branch,
+    /// Median TTF under constant stress at the analysis temperature.
+    pub median_ttf: Seconds,
+}
+
+/// EM hazard report over a PDN solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HazardReport {
+    /// All branches with nonzero current, sorted most-hazardous first.
+    pub ranked: Vec<HazardEntry>,
+    /// Analysis temperature.
+    pub temperature: Kelvin,
+}
+
+impl HazardReport {
+    /// Analyzes a solved PDN with a Black lifetime model at `temperature`.
+    pub fn analyze(solution: &PdnSolution, model: &BlackModel, temperature: Kelvin) -> Self {
+        let mut ranked: Vec<HazardEntry> = solution
+            .branches
+            .iter()
+            .filter(|b| b.current_a > 0.0)
+            .map(|&branch| HazardEntry {
+                branch,
+                median_ttf: model.median_ttf(branch.density, temperature),
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.median_ttf
+                .partial_cmp(&b.median_ttf)
+                .expect("TTFs are finite")
+        });
+        Self { ranked, temperature }
+    }
+
+    /// The most hazardous entry, if any branch carries current.
+    pub fn worst(&self) -> Option<&HazardEntry> {
+        self.ranked.first()
+    }
+
+    /// The most hazardous entry within a layer class.
+    pub fn worst_in(&self, layer: LayerClass) -> Option<&HazardEntry> {
+        self.ranked.iter().find(|e| e.branch.layer == layer)
+    }
+
+    /// Count of branches whose median TTF falls below a target lifetime.
+    pub fn below_lifetime(&self, lifetime: Seconds) -> usize {
+        self.ranked.iter().filter(|e| e.median_ttf < lifetime).count()
+    }
+}
+
+/// The net EM wear-rate factor under current-reversal duty cycling.
+///
+/// `duty_reverse` is the fraction of time spent in EM Active Recovery;
+/// `healing_efficiency` (≤ 1) is how much of forward damage a unit of
+/// reverse time undoes. The factor multiplies the DC wear rate; a value of
+/// 0 means net wear stops (effective immortality until pinning).
+pub fn duty_cycled_wear_factor(duty_reverse: Fraction, healing_efficiency: Fraction) -> f64 {
+    let d = duty_reverse.value();
+    let eta = healing_efficiency.value();
+    ((1.0 - d) - eta * d).max(0.0)
+}
+
+/// The TTF extension implied by a wear factor (∞ becomes `None`).
+pub fn ttf_extension(duty_reverse: Fraction, healing_efficiency: Fraction) -> Option<f64> {
+    let f = duty_cycled_wear_factor(duty_reverse, healing_efficiency);
+    (f > 0.0).then(|| 1.0 / f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{PdnConfig, PdnMesh};
+    use dh_units::Celsius;
+
+    fn report() -> HazardReport {
+        let mesh = PdnMesh::new(PdnConfig::default_chip()).unwrap();
+        let sol = mesh.solve_uniform_load(0.25e-3).unwrap();
+        HazardReport::analyze(&sol, &BlackModel::calibrated_to_paper(), Celsius::new(85.0).to_kelvin())
+    }
+
+    #[test]
+    fn ranking_is_sorted_most_hazardous_first() {
+        let r = report();
+        assert!(!r.ranked.is_empty());
+        for pair in r.ranked.windows(2) {
+            assert!(pair[0].median_ttf <= pair[1].median_ttf);
+        }
+    }
+
+    #[test]
+    fn local_layer_dominates_the_hazard_list() {
+        // Fig. 11: the thin local grids are the EM-sensitive ones.
+        let r = report();
+        let worst_local = r.worst_in(LayerClass::Local).unwrap().median_ttf;
+        let worst_global = r.worst_in(LayerClass::Global).unwrap().median_ttf;
+        assert!(
+            worst_local < worst_global,
+            "local TTF {} h should be shorter than global {} h",
+            worst_local.as_hours(),
+            worst_global.as_hours()
+        );
+        assert_eq!(r.worst().unwrap().branch.layer, LayerClass::Local);
+    }
+
+    #[test]
+    fn lifetime_budget_counting() {
+        let r = report();
+        let total = r.ranked.len();
+        assert_eq!(r.below_lifetime(Seconds::new(1.0)), 0);
+        assert_eq!(r.below_lifetime(Seconds::from_years(1.0e12)), total);
+    }
+
+    #[test]
+    fn duty_cycling_reduces_wear_monotonically() {
+        let eta = Fraction::clamped(0.9);
+        let mut prev = f64::INFINITY;
+        for d in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+            let f = duty_cycled_wear_factor(Fraction::clamped(d), eta);
+            assert!(f < prev || d == 0.0);
+            prev = f;
+        }
+        assert_eq!(duty_cycled_wear_factor(Fraction::ZERO, eta), 1.0);
+    }
+
+    #[test]
+    fn balanced_duty_stops_net_wear() {
+        // 50/50 with near-perfect healing: wear factor ≈ 0 → immortal.
+        let f = duty_cycled_wear_factor(Fraction::clamped(0.5), Fraction::ONE);
+        assert_eq!(f, 0.0);
+        assert!(ttf_extension(Fraction::clamped(0.5), Fraction::ONE).is_none());
+    }
+
+    #[test]
+    fn modest_duty_gives_meaningful_extension() {
+        // 20 % recovery duty at 90 % efficiency: wear 0.62 → ~1.6× TTF.
+        let ext = ttf_extension(Fraction::clamped(0.2), Fraction::clamped(0.9)).unwrap();
+        assert!((ext - 1.0 / 0.62).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Power-delivery-network (PDN) substrate.
+//!
+//! The paper's Fig. 11 shows the physical context of the assist circuitry:
+//! a **global** power grid in the thick top metals (robust against EM), C4
+//! bumps feeding it, and **local** VDD/VSS grids in the thin lower metals —
+//! "most EM-sensitive" — that the assist circuitry protects by periodically
+//! reversing their current.
+//!
+//! This crate models that stack:
+//!
+//! * [`solver`] — a sparse conjugate-gradient solver for the (SPD) nodal
+//!   conductance system, written in-crate (no linear-algebra dependency);
+//! * [`grid`] — a two-layer resistive PDN mesh (global stripes over a local
+//!   mesh, vias between them, C4 bumps, per-tile load currents) solved for
+//!   IR drop and branch currents;
+//! * [`hazard`] — per-branch EM hazard analysis: current densities mapped
+//!   through Black's model from `dh-em`, ranked, and re-evaluated under the
+//!   assist circuitry's current-reversal duty cycling.
+//!
+//! # Example
+//!
+//! ```
+//! use dh_pdn::grid::{PdnConfig, PdnMesh};
+//!
+//! let mesh = PdnMesh::new(PdnConfig::default_chip()).unwrap();
+//! let solution = mesh.solve_uniform_load(0.25e-3).unwrap();
+//! // IR drop exists but stays within budget for the default chip.
+//! assert!(solution.worst_ir_drop_v > 0.0 && solution.worst_ir_drop_v < 0.1);
+//! ```
+
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` deliberately catches NaN
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod grid;
+pub mod hazard;
+pub mod solver;
+pub mod tower;
+pub mod wear_loop;
+
+pub use grid::{PdnConfig, PdnMesh, PdnSolution};
+pub use hazard::{duty_cycled_wear_factor, HazardReport};
+pub use tower::{LayerRole, MetalLayer, Tower};

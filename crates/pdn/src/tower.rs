@@ -1,0 +1,216 @@
+//! The physical metal stack of the paper's Fig. 11: a ten-layer tower from
+//! C4 bump down to the logic, with the assist circuitry inserted between
+//! the global and local grids.
+//!
+//! Fig. 11 makes a geometric argument: the global PDN lives in the top one
+//! or two metals, "wide and thick, thus being relatively robust against
+//! EM", while the local VDD/GND grids "use the lower metal layers" and are
+//! "more EM sensitive". This module models that stack quantitatively —
+//! per-layer wire geometry, the current each layer carries for a given
+//! load, and the resulting EM stress — and locates the assist circuitry's
+//! insertion point.
+
+use dh_units::{Amperes, CurrentDensity};
+
+use crate::grid::PdnError;
+
+/// The role a metal layer plays in the PDN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerRole {
+    /// Thick top-layer global distribution (fed by C4 bumps).
+    GlobalGrid,
+    /// Intermediate distribution / via farms.
+    Intermediate,
+    /// Thin local VDD/VSS rails feeding standard cells.
+    LocalGrid,
+}
+
+impl core::fmt::Display for LayerRole {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::GlobalGrid => write!(f, "global"),
+            Self::Intermediate => write!(f, "intermediate"),
+            Self::LocalGrid => write!(f, "local"),
+        }
+    }
+}
+
+/// One metal layer of the tower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetalLayer {
+    /// Layer name (M1 … M10).
+    pub name: &'static str,
+    /// Role in the PDN.
+    pub role: LayerRole,
+    /// Power-wire width on this layer, metres.
+    pub wire_width_m: f64,
+    /// Metal thickness, metres.
+    pub thickness_m: f64,
+    /// How many parallel power wires of this layer share the tile current.
+    pub parallel_wires: usize,
+}
+
+impl MetalLayer {
+    /// Cross-section of one wire, m².
+    pub fn wire_area_m2(&self) -> f64 {
+        self.wire_width_m * self.thickness_m
+    }
+
+    /// Current density in each wire when the layer carries `total` current.
+    pub fn density_for(&self, total: Amperes) -> CurrentDensity {
+        CurrentDensity::new(total.value() / (self.parallel_wires as f64 * self.wire_area_m2()))
+    }
+}
+
+/// The full Fig. 11 tower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tower {
+    layers: Vec<MetalLayer>,
+    /// Index of the layer *above* which the assist circuitry sits: layers
+    /// below it (local grids) are the ones it protects.
+    assist_boundary: usize,
+}
+
+impl Tower {
+    /// The paper's 10-metal-layer example: M10/M9 global (wide, thick),
+    /// M8–M5 intermediate, M4–M1 local (narrow, thin). The assist
+    /// circuitry sits between the global and local grids (one more layer of
+    /// header/footer on top of a conventional power-gated PDN).
+    pub fn ten_layer() -> Self {
+        let layers = vec![
+            MetalLayer { name: "M10", role: LayerRole::GlobalGrid, wire_width_m: 12.0e-6, thickness_m: 3.0e-6, parallel_wires: 10 },
+            MetalLayer { name: "M9", role: LayerRole::GlobalGrid, wire_width_m: 10.0e-6, thickness_m: 2.0e-6, parallel_wires: 12 },
+            MetalLayer { name: "M8", role: LayerRole::Intermediate, wire_width_m: 2.0e-6, thickness_m: 0.9e-6, parallel_wires: 48 },
+            MetalLayer { name: "M7", role: LayerRole::Intermediate, wire_width_m: 1.6e-6, thickness_m: 0.9e-6, parallel_wires: 48 },
+            MetalLayer { name: "M6", role: LayerRole::Intermediate, wire_width_m: 1.2e-6, thickness_m: 0.8e-6, parallel_wires: 64 },
+            MetalLayer { name: "M5", role: LayerRole::Intermediate, wire_width_m: 0.8e-6, thickness_m: 0.5e-6, parallel_wires: 96 },
+            MetalLayer { name: "M4", role: LayerRole::LocalGrid, wire_width_m: 0.5e-6, thickness_m: 0.35e-6, parallel_wires: 192 },
+            MetalLayer { name: "M3", role: LayerRole::LocalGrid, wire_width_m: 0.4e-6, thickness_m: 0.3e-6, parallel_wires: 256 },
+            MetalLayer { name: "M2", role: LayerRole::LocalGrid, wire_width_m: 0.3e-6, thickness_m: 0.22e-6, parallel_wires: 384 },
+            MetalLayer { name: "M1", role: LayerRole::LocalGrid, wire_width_m: 0.25e-6, thickness_m: 0.18e-6, parallel_wires: 512 },
+        ];
+        Self { layers, assist_boundary: 6 }
+    }
+
+    /// The layers, top (bump side) first.
+    pub fn layers(&self) -> &[MetalLayer] {
+        &self.layers
+    }
+
+    /// The layers the assist circuitry protects (local grids below the
+    /// header/footer insertion point).
+    pub fn protected_layers(&self) -> &[MetalLayer] {
+        &self.layers[self.assist_boundary..]
+    }
+
+    /// Per-layer current densities when a tile draws `tile_current` through
+    /// the tower. Every layer carries the full tile current (it flows
+    /// through the stack), split across that layer's parallel wires.
+    pub fn density_profile(&self, tile_current: Amperes) -> Vec<(&'static str, CurrentDensity)> {
+        self.layers.iter().map(|l| (l.name, l.density_for(tile_current))).collect()
+    }
+
+    /// The most EM-stressed layer for a tile current.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidConfig`] if the tower has no layers
+    /// (cannot happen for the built-in tower).
+    pub fn most_stressed(&self, tile_current: Amperes) -> Result<&MetalLayer, PdnError> {
+        self.layers
+            .iter()
+            .max_by(|a, b| {
+                a.density_for(tile_current)
+                    .partial_cmp(&b.density_for(tile_current))
+                    .expect("densities are finite")
+            })
+            .ok_or_else(|| PdnError::InvalidConfig("tower has no layers".into()))
+    }
+
+    /// The ratio of the worst local-grid density to the worst global-grid
+    /// density — the Fig. 11 sensitivity gap.
+    pub fn local_to_global_stress_ratio(&self, tile_current: Amperes) -> f64 {
+        let worst = |role: LayerRole| {
+            self.layers
+                .iter()
+                .filter(|l| l.role == role)
+                .map(|l| l.density_for(tile_current).value())
+                .fold(0.0, f64::max)
+        };
+        worst(LayerRole::LocalGrid) / worst(LayerRole::GlobalGrid).max(f64::MIN_POSITIVE)
+    }
+}
+
+impl Default for Tower {
+    fn default() -> Self {
+        Self::ten_layer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp() -> Amperes {
+        Amperes::new(1.0) // 1 A tile block
+    }
+
+    #[test]
+    fn ten_layers_in_order() {
+        let t = Tower::ten_layer();
+        assert_eq!(t.layers().len(), 10);
+        assert_eq!(t.layers()[0].name, "M10");
+        assert_eq!(t.layers()[9].name, "M1");
+    }
+
+    #[test]
+    fn local_layers_are_the_em_hazard() {
+        let t = Tower::ten_layer();
+        let worst = t.most_stressed(amp()).unwrap();
+        assert_eq!(worst.role, LayerRole::LocalGrid, "worst layer {}", worst.name);
+        // Fig. 11's gap: local grids see an order of magnitude more stress.
+        let ratio = t.local_to_global_stress_ratio(amp());
+        assert!(ratio > 10.0, "local/global stress ratio {ratio}");
+    }
+
+    #[test]
+    fn density_decreases_monotonically_toward_the_top() {
+        // Wider+thicker+more-parallel wires up the stack: per-wire current
+        // density must not increase from M1 to M10.
+        let t = Tower::ten_layer();
+        let profile = t.density_profile(amp());
+        for pair in profile.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1 * 1.6,
+                "{} ({}) should be ≲ {} ({})",
+                pair[0].0,
+                pair[0].1.as_ma_per_cm2(),
+                pair[1].0,
+                pair[1].1.as_ma_per_cm2()
+            );
+        }
+        // Extremes: M1 vastly worse than M10.
+        assert!(profile[9].1 > profile[0].1 * 10.0);
+    }
+
+    #[test]
+    fn assist_protects_exactly_the_local_grids() {
+        let t = Tower::ten_layer();
+        let protected = t.protected_layers();
+        assert_eq!(protected.len(), 4);
+        assert!(protected.iter().all(|l| l.role == LayerRole::LocalGrid));
+    }
+
+    #[test]
+    fn realistic_density_scale() {
+        // A 1 A tile through M1: some MA/cm² — the EM-concern regime.
+        let t = Tower::ten_layer();
+        let m1 = t.layers().last().unwrap();
+        let j = m1.density_for(amp());
+        assert!(
+            j.as_ma_per_cm2() > 0.1 && j.as_ma_per_cm2() < 10.0,
+            "M1 density {} MA/cm²",
+            j.as_ma_per_cm2()
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The PDN-aging feedback loop: EM soft wearout raises local-grid
+//! resistance, which raises IR drop, over the system's lifetime — and the
+//! assist circuitry's current-reversal duty flattens the trajectory.
+//!
+//! The paper's system argument (Figs. 11–12) is exactly this loop:
+//! "although the dynamic margins enabled by [adaptive] solutions can
+//! guarantee that the circuit is functioning in the presence of wearout,
+//! the wearout itself means that the power/performance metrics will be
+//! degraded". Here the *supply* quality degrades: every year of EM wear
+//! adds resistance to the local grids and millivolts to the worst-case IR
+//! drop.
+//!
+//! The model is quasi-static: per time step, every local branch
+//! accumulates Miner's-rule damage at its own current density (scaled by
+//! the duty-cycling wear factor); the aggregate damage scales the local
+//! grid resistance (soft EM wearout, up to ~20 % before hard failure), and
+//! the mesh is re-solved for the new IR-drop map.
+
+use dh_em::black::BlackModel;
+use dh_units::{Fraction, Kelvin, Seconds, TimeSeries};
+
+use crate::grid::{LayerClass, PdnError, PdnMesh};
+use crate::hazard::duty_cycled_wear_factor;
+
+/// Soft-wearout resistance increase at damage = 1 (just before failure).
+const SOFT_WEAROUT_R_FRACTION: f64 = 0.2;
+
+/// Result of a lifetime wear trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearTrajectory {
+    /// Worst-case IR drop (millivolts) vs time.
+    pub ir_drop_series: TimeSeries,
+    /// Mean local-branch damage at the end of the run.
+    pub final_mean_damage: f64,
+    /// Worst single-branch damage at the end of the run.
+    pub final_worst_damage: f64,
+    /// IR-drop increase over the run, millivolts.
+    pub ir_drop_increase_mv: f64,
+}
+
+/// Runs the feedback loop for `years` at temperature `t`, with uniform
+/// per-node load `per_node_a` and an EM recovery duty on the local grid.
+///
+/// # Errors
+///
+/// Propagates [`PdnError`] from the mesh solves and rejects non-positive
+/// horizons.
+pub fn wear_trajectory(
+    mesh: &PdnMesh,
+    per_node_a: f64,
+    t: Kelvin,
+    duty_reverse: Fraction,
+    healing_efficiency: Fraction,
+    years: f64,
+    steps: usize,
+) -> Result<WearTrajectory, PdnError> {
+    if !(years > 0.0) || !years.is_finite() || steps == 0 {
+        return Err(PdnError::InvalidConfig(format!(
+            "need positive years and steps, got {years} / {steps}"
+        )));
+    }
+    let black = BlackModel::calibrated_to_paper();
+    let wear_factor = duty_cycled_wear_factor(duty_reverse, healing_efficiency);
+    let loads = vec![per_node_a; mesh.config().local_nodes()];
+
+    // Initial solve fixes the per-branch densities (quasi-static: uniform
+    // local aging does not redistribute the load-driven currents).
+    let initial = mesh.solve(&loads)?;
+    let local_rates: Vec<f64> = initial
+        .branches
+        .iter()
+        .filter(|b| b.layer == LayerClass::Local && b.current_a > 0.0)
+        .map(|b| wear_factor / black.median_ttf(b.density, t).value())
+        .collect();
+    if local_rates.is_empty() {
+        return Err(PdnError::InvalidConfig("no current-carrying local branches".into()));
+    }
+
+    let dt = Seconds::from_years(years / steps as f64);
+    let mut damages = vec![0.0_f64; local_rates.len()];
+    let mut series = TimeSeries::new(format!(
+        "worst IR drop (mV), {:.0}% EM recovery duty",
+        duty_reverse.as_percent()
+    ));
+    series.push(Seconds::ZERO, initial.worst_ir_drop_v * 1000.0);
+
+    let mut elapsed = Seconds::ZERO;
+    let mut last_drop = initial.worst_ir_drop_v;
+    for _ in 0..steps {
+        for (d, rate) in damages.iter_mut().zip(&local_rates) {
+            *d = (*d + rate * dt.value()).min(1.0);
+        }
+        let mean = damages.iter().sum::<f64>() / damages.len() as f64;
+        let scale = 1.0 + SOFT_WEAROUT_R_FRACTION * mean;
+        let solution = mesh.solve_with_local_scale(&loads, scale)?;
+        elapsed += dt;
+        last_drop = solution.worst_ir_drop_v;
+        series.push(elapsed, last_drop * 1000.0);
+    }
+
+    let final_mean = damages.iter().sum::<f64>() / damages.len() as f64;
+    let final_worst = damages.iter().cloned().fold(0.0, f64::max);
+    Ok(WearTrajectory {
+        ir_drop_increase_mv: (last_drop - initial.worst_ir_drop_v) * 1000.0,
+        ir_drop_series: series,
+        final_mean_damage: final_mean,
+        final_worst_damage: final_worst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::PdnConfig;
+    use dh_units::Celsius;
+
+    fn mesh() -> PdnMesh {
+        PdnMesh::new(PdnConfig::default_chip()).unwrap()
+    }
+
+    fn run(duty: f64, years: f64) -> WearTrajectory {
+        wear_trajectory(
+            &mesh(),
+            0.5e-3,
+            Celsius::new(105.0).to_kelvin(),
+            Fraction::clamped(duty),
+            Fraction::clamped(0.9),
+            years,
+            12,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ir_drop_grows_with_age() {
+        let out = run(0.0, 10.0);
+        assert!(out.ir_drop_increase_mv > 0.0, "{out:?}");
+        assert!(out.final_worst_damage > out.final_mean_damage * 0.99);
+        // Monotone series.
+        let values: Vec<f64> = out.ir_drop_series.iter().map(|s| s.value).collect();
+        for pair in values.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn recovery_duty_flattens_the_trajectory() {
+        let unprotected = run(0.0, 10.0);
+        let protected = run(0.3, 10.0);
+        assert!(
+            protected.ir_drop_increase_mv < 0.6 * unprotected.ir_drop_increase_mv,
+            "protected {} mV vs unprotected {} mV",
+            protected.ir_drop_increase_mv,
+            unprotected.ir_drop_increase_mv
+        );
+        assert!(protected.final_mean_damage < unprotected.final_mean_damage);
+    }
+
+    #[test]
+    fn balanced_duty_freezes_the_grid() {
+        let frozen = wear_trajectory(
+            &mesh(),
+            0.5e-3,
+            Celsius::new(105.0).to_kelvin(),
+            Fraction::clamped(0.5),
+            Fraction::ONE,
+            10.0,
+            6,
+        )
+        .unwrap();
+        assert!(frozen.final_mean_damage < 1e-12);
+        assert!(frozen.ir_drop_increase_mv.abs() < 1e-9);
+    }
+
+    #[test]
+    fn damage_saturates_at_one() {
+        // A very long unprotected run cannot exceed full damage.
+        let out = run(0.0, 2000.0);
+        assert!(out.final_worst_damage <= 1.0);
+        assert!(out.final_mean_damage <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let m = mesh();
+        let t = Celsius::new(105.0).to_kelvin();
+        assert!(wear_trajectory(&m, 0.5e-3, t, Fraction::ZERO, Fraction::ONE, 0.0, 4).is_err());
+        assert!(wear_trajectory(&m, 0.5e-3, t, Fraction::ZERO, Fraction::ONE, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn local_scale_solve_rejects_bad_scale() {
+        let m = mesh();
+        let loads = vec![0.1e-3; m.config().local_nodes()];
+        assert!(m.solve_with_local_scale(&loads, 0.0).is_err());
+        assert!(m.solve_with_local_scale(&loads, f64::NAN).is_err());
+        // And a degraded grid drops more than a fresh one.
+        let fresh = m.solve_with_local_scale(&loads, 1.0).unwrap();
+        let aged = m.solve_with_local_scale(&loads, 1.2).unwrap();
+        assert!(aged.worst_ir_drop_v > fresh.worst_ir_drop_v);
+    }
+}

@@ -1,0 +1,194 @@
+//! Compensation vs healing: the paper's Section I argument, quantified.
+//!
+//! Conventional adaptive techniques *compensate* for wearout — sensors
+//! track degradation and knobs (supply voltage, frequency, body bias)
+//! absorb it. The paper's critique: "the wearout itself means that the
+//! power/performance metrics will be degraded and the system runs sluggish
+//! or burns more power gradually. Thus, a solution that can fundamentally
+//! fix wearout instead of compensating for its effects would be clearly
+//! preferable."
+//!
+//! [`compensation_study`] runs the same lifetime twice:
+//!
+//! * **compensate** — no recovery is scheduled; instead a controller raises
+//!   VDD each epoch by the worst core's ΔVth (restoring the lost overdrive)
+//!   and the study charges the quadratic dynamic-power penalty;
+//! * **heal** — the deep-healing schedule runs; no boost is needed beyond
+//!   the residual degradation, and the study charges the recovery
+//!   core-time overhead instead.
+
+use dh_units::{Fraction, Seconds, TimeSeries, Volts};
+
+use crate::error::SchedError;
+use crate::policy::Policy;
+use crate::system::{ManyCoreSystem, SystemConfig};
+
+/// Outcome of one arm of the compensation study.
+#[derive(Debug, Clone)]
+pub struct CompensationOutcome {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// VDD boost over time (volts above nominal), sampled per record point.
+    pub boost_series: TimeSeries,
+    /// Time-averaged dynamic-power overhead from the boost (fraction).
+    pub mean_power_overhead: f64,
+    /// Final (end-of-life) dynamic-power overhead.
+    pub final_power_overhead: f64,
+    /// Core-time overhead charged to scheduled recovery.
+    pub recovery_overhead: Fraction,
+    /// Residual worst-core frequency degradation the boost did not target
+    /// (zero for the compensation arm by construction).
+    pub residual_guardband: f64,
+}
+
+/// Runs the compensation-vs-healing comparison over `years`.
+///
+/// Returns `[compensate, heal]`.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] for invalid configurations.
+pub fn compensation_study(
+    system: SystemConfig,
+    years: f64,
+    seed: u64,
+) -> Result<[CompensationOutcome; 2], SchedError> {
+    if !(years > 0.0) || !years.is_finite() {
+        return Err(SchedError::InvalidConfig(format!("years must be positive, got {years}")));
+    }
+    let compensate = run_arm(system.clone(), years, seed, Policy::PassiveIdle, true)?;
+    let heal = run_arm(system, years, seed, Policy::periodic_deep_default(), false)?;
+    Ok([compensate, heal])
+}
+
+fn run_arm(
+    mut system_config: SystemConfig,
+    years: f64,
+    seed: u64,
+    policy: Policy,
+    boost: bool,
+) -> Result<CompensationOutcome, SchedError> {
+    system_config.seed = seed;
+    let epoch = system_config.epoch;
+    let vdd = system_config.vdd;
+    let mut system = ManyCoreSystem::new(system_config)?;
+    let total_epochs = (Seconds::from_years(years) / epoch).ceil().max(1.0) as usize;
+
+    let strategy = if boost { "compensate (VDD boost)" } else { "heal (deep recovery)" };
+    let mut boost_series = TimeSeries::new(format!("VDD boost (V), {strategy}"));
+    let mut overhead_sum = 0.0;
+    let mut final_overhead = 0.0;
+    let mut worst_guardband: f64 = 0.0;
+
+    let ro = dh_circuit::RingOscillator::paper_75_stage();
+    for e in 0..total_epochs {
+        system.step(policy)?;
+        let dvth_mv = system.worst_delta_vth_mv();
+        let (boost_v, residual) = if boost {
+            // Restore the lost overdrive one-for-one.
+            (dvth_mv / 1000.0, 0.0)
+        } else {
+            (0.0, ro.degradation(dvth_mv))
+        };
+        // Dynamic power ∝ V²: overhead = ((V+ΔV)/V)² − 1.
+        let overhead = ((vdd.value() + boost_v) / vdd.value()).powi(2) - 1.0;
+        overhead_sum += overhead;
+        final_overhead = overhead;
+        worst_guardband = worst_guardband.max(residual);
+        if e % 8 == 0 {
+            boost_series.push(system.time(), boost_v);
+        }
+    }
+
+    Ok(CompensationOutcome {
+        strategy,
+        boost_series,
+        mean_power_overhead: overhead_sum / total_epochs as f64,
+        final_power_overhead: final_overhead,
+        recovery_overhead: policy.recovery_overhead(),
+        residual_guardband: worst_guardband,
+    })
+}
+
+/// Renders the study as a comparison table.
+pub fn render_study(outcomes: &[CompensationOutcome]) -> String {
+    let mut s = String::from("compensation vs healing\n");
+    s.push_str(&format!(
+        "{:<26} {:>18} {:>18} {:>16} {:>14}\n",
+        "strategy", "mean power ovh", "final power ovh", "recovery ovh", "residual gb"
+    ));
+    for o in outcomes {
+        s.push_str(&format!(
+            "{:<26} {:>17.3}% {:>17.3}% {:>15.1}% {:>13.3}%\n",
+            o.strategy,
+            o.mean_power_overhead * 100.0,
+            o.final_power_overhead * 100.0,
+            o.recovery_overhead.as_percent(),
+            o.residual_guardband * 100.0,
+        ));
+    }
+    s.push_str(&format!(
+        "\nboost trajectory:\n{}",
+        TimeSeries::render_table(&outcomes.iter().map(|o| &o.boost_series).collect::<Vec<_>>())
+    ));
+    s
+}
+
+/// Volts of boost applied at the end of life by the compensation arm.
+pub fn final_boost(outcome: &CompensationOutcome) -> Volts {
+    Volts::new(outcome.boost_series.last().map(|s| s.value).unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> [CompensationOutcome; 2] {
+        compensation_study(SystemConfig::default(), 0.2, 11).unwrap()
+    }
+
+    #[test]
+    fn compensation_burns_power_healing_does_not() {
+        let [compensate, heal] = study();
+        assert!(compensate.mean_power_overhead > 0.002, "{compensate:?}");
+        assert!(heal.mean_power_overhead == 0.0);
+        assert!(compensate.final_power_overhead >= compensate.mean_power_overhead * 0.5);
+    }
+
+    #[test]
+    fn healing_pays_in_core_time_instead() {
+        let [compensate, heal] = study();
+        assert_eq!(compensate.recovery_overhead, Fraction::ZERO);
+        assert!(heal.recovery_overhead.value() > 0.1);
+    }
+
+    #[test]
+    fn compensation_fully_hides_degradation_healing_leaves_a_sliver() {
+        let [compensate, heal] = study();
+        assert_eq!(compensate.residual_guardband, 0.0);
+        assert!(heal.residual_guardband > 0.0 && heal.residual_guardband < 0.01);
+    }
+
+    #[test]
+    fn boost_grows_over_life() {
+        let [compensate, _] = study();
+        let first = compensate.boost_series.first().unwrap().value;
+        let last = compensate.boost_series.last().unwrap().value;
+        assert!(last >= first, "boost shrank: {first} → {last}");
+        assert!(final_boost(&compensate).value() > 0.0);
+    }
+
+    #[test]
+    fn render_has_both_arms() {
+        let outs = study();
+        let text = render_study(&outs);
+        assert!(text.contains("compensate"));
+        assert!(text.contains("heal"));
+    }
+
+    #[test]
+    fn invalid_years_rejected() {
+        assert!(compensation_study(SystemConfig::default(), 0.0, 1).is_err());
+        assert!(compensation_study(SystemConfig::default(), f64::NAN, 1).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the scheduling simulator.
+
+use core::fmt;
+
+use dh_thermal::ThermalError;
+
+/// Error returned by system construction and lifetime runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// The thermal substrate rejected its inputs.
+    Thermal(ThermalError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(why) => write!(f, "invalid scheduler config: {why}"),
+            Self::Thermal(e) => write!(f, "thermal model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Thermal(e) => Some(e),
+            Self::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<ThermalError> for SchedError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        use std::error::Error;
+        assert!(SchedError::InvalidConfig("x".into()).to_string().contains('x'));
+        let e: SchedError = ThermalError::InvalidPower(-1.0).into();
+        assert!(e.source().is_some());
+    }
+}

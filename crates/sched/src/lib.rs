@@ -1,0 +1,54 @@
+//! System-level **recovery scheduling** — the paper's Section IV-B and
+//! Fig. 12 turned into a quantitative simulator.
+//!
+//! The paper proposes that a heterogeneous many-core system can schedule
+//! *BTI Active Recovery* (deep negative-bias intervals during idle periods)
+//! and *EM Active Recovery* (current reversal in the local power grids
+//! during operation) across its lifetime, guided by wearout sensors, such
+//! that "the system always runs in a refreshing mode; the necessary wearout
+//! guardbands can then be significantly reduced".
+//!
+//! This crate assembles the substrates into that system:
+//!
+//! * [`workload`] — per-core utilization generators (constant, diurnal,
+//!   bursty) with deterministic seeding;
+//! * [`sensor`] — ring-oscillator BTI sensors and resistance-based EM
+//!   sensors with configurable noise (the paper's "novel BTI and EM sensors
+//!   can be employed to track wearout");
+//! * [`policy`] — recovery policies: no recovery, passive idle recovery,
+//!   periodic scheduled deep recovery, and sensor-driven adaptive recovery;
+//! * [`system`] — a many-core system stepping BTI devices, EM damage, and a
+//!   thermal grid per epoch under a policy;
+//! * [`lifetime`] — multi-year lifetime runs producing the Fig. 12(b)
+//!   series: performance-over-time per policy, required frequency
+//!   guardband, and EM time-to-failure, plus parallel Monte-Carlo sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use dh_sched::lifetime::{run_lifetime, LifetimeConfig};
+//! use dh_sched::policy::Policy;
+//!
+//! let config = LifetimeConfig { years: 0.25, ..LifetimeConfig::default() };
+//! let none = run_lifetime(&config, Policy::NoRecovery, 1).unwrap();
+//! let deep = run_lifetime(&config, Policy::periodic_deep_default(), 1).unwrap();
+//! assert!(deep.required_guardband < none.required_guardband);
+//! ```
+
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` deliberately catches NaN
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adapt;
+pub mod error;
+pub mod lifetime;
+pub mod migration;
+pub mod policy;
+pub mod sensor;
+pub mod system;
+pub mod workload;
+
+pub use error::SchedError;
+pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeOutcome};
+pub use policy::Policy;
+pub use system::{ManyCoreSystem, SystemConfig};

@@ -1,0 +1,187 @@
+//! State handling during deep-recovery intervals: retention vs migration.
+//!
+//! The paper notes that while a block is in BTI active recovery "certain
+//! states need to be in retention mode, alternatively, workload can be
+//! shifted to other redundant resources", and claims the switching
+//! overhead is small. This module prices both options so the claim can be
+//! checked rather than assumed:
+//!
+//! * **retention** — architectural state stays in always-on retention
+//!   latches: no downtime, but a small standby power for the duration of
+//!   the recovery interval (and the retention cells themselves must not be
+//!   part of the recovering domain);
+//! * **migration** — the context moves to a spare core and back: a
+//!   downtime per switch set by context size over memory bandwidth, plus
+//!   the assist circuitry's electrical mode-switching time (nanoseconds —
+//!   negligible, as the paper asserts; the data movement dominates).
+
+use dh_units::{Fraction, Seconds};
+
+/// How a core's state survives a deep-recovery interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateStrategy {
+    /// Keep state in retention latches (standby power, no downtime).
+    Retention {
+        /// Standby power of the retention domain, watts.
+        retention_power_w: f64,
+    },
+    /// Migrate the context to a redundant core and back.
+    Migration {
+        /// Architectural + dirty-cache context size, megabytes.
+        context_mb: f64,
+        /// Effective migration bandwidth, GB/s.
+        bandwidth_gb_s: f64,
+    },
+}
+
+impl StateStrategy {
+    /// A typical retention domain: a few milliwatts.
+    pub fn typical_retention() -> Self {
+        Self::Retention { retention_power_w: 5.0e-3 }
+    }
+
+    /// A typical migration: 2 MB of context at 10 GB/s.
+    pub fn typical_migration() -> Self {
+        Self::Migration { context_mb: 2.0, bandwidth_gb_s: 10.0 }
+    }
+
+    /// Downtime charged per recovery entry+exit.
+    pub fn downtime_per_switch(&self, electrical_switch: Seconds) -> Seconds {
+        match *self {
+            Self::Retention { .. } => electrical_switch * 2.0,
+            Self::Migration { context_mb, bandwidth_gb_s } => {
+                let transfer = Seconds::new(context_mb * 1.0e6 / (bandwidth_gb_s * 1.0e9));
+                transfer * 2.0 + electrical_switch * 2.0
+            }
+        }
+    }
+
+    /// Energy charged per recovery interval of length `interval`, joules.
+    pub fn energy_per_interval(&self, interval: Seconds) -> f64 {
+        match *self {
+            Self::Retention { retention_power_w } => retention_power_w * interval.value(),
+            // Migration energy: ~1 nJ/byte moved (both directions).
+            Self::Migration { context_mb, .. } => 2.0 * context_mb * 1.0e6 * 1.0e-9,
+        }
+    }
+}
+
+/// Aggregate cost of a recovery schedule over a lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryCostReport {
+    /// Number of recovery intervals over the lifetime.
+    pub intervals: u64,
+    /// Total downtime from state handling.
+    pub total_downtime: Seconds,
+    /// Downtime as a fraction of the lifetime.
+    pub downtime_fraction: Fraction,
+    /// Total state-handling energy, joules.
+    pub total_energy_j: f64,
+}
+
+/// Prices a schedule that enters deep recovery `intervals_per_day` times a
+/// day, each interval `interval` long, over `years`, with the assist
+/// circuitry's electrical switching time `electrical_switch`.
+pub fn price_schedule(
+    strategy: StateStrategy,
+    intervals_per_day: f64,
+    interval: Seconds,
+    electrical_switch: Seconds,
+    years: f64,
+) -> RecoveryCostReport {
+    let days = years * 365.0;
+    let intervals = (intervals_per_day * days).round().max(0.0) as u64;
+    let downtime = strategy.downtime_per_switch(electrical_switch) * intervals as f64;
+    let lifetime = Seconds::from_years(years);
+    RecoveryCostReport {
+        intervals,
+        total_downtime: downtime,
+        downtime_fraction: Fraction::clamped(downtime.value() / lifetime.value().max(1e-300)),
+        total_energy_j: strategy.energy_per_interval(interval) * intervals as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The assist circuitry's electrical mode switch (tens of ns from the
+    /// Fig. 10 RC model).
+    fn electrical() -> Seconds {
+        Seconds::new(30.0e-9)
+    }
+
+    #[test]
+    fn papers_small_switching_overhead_claim_holds() {
+        // Four deep-recovery intervals per day for ten years, migrating
+        // 2 MB each way: total downtime is still well under a minute.
+        let report = price_schedule(
+            StateStrategy::typical_migration(),
+            4.0,
+            Seconds::from_hours(0.9),
+            electrical(),
+            10.0,
+        );
+        assert!(report.intervals > 14_000);
+        assert!(
+            report.total_downtime < Seconds::new(60.0),
+            "downtime {} s",
+            report.total_downtime.value()
+        );
+        assert!(report.downtime_fraction.value() < 1.0e-6);
+    }
+
+    #[test]
+    fn retention_has_no_data_movement_downtime() {
+        let retention = StateStrategy::typical_retention();
+        let migration = StateStrategy::typical_migration();
+        assert!(
+            retention.downtime_per_switch(electrical())
+                < migration.downtime_per_switch(electrical())
+        );
+        // Electrical switching alone is nanoseconds.
+        assert!(retention.downtime_per_switch(electrical()) < Seconds::new(1.0e-6));
+    }
+
+    #[test]
+    fn retention_energy_scales_with_interval_migration_does_not() {
+        let retention = StateStrategy::typical_retention();
+        let migration = StateStrategy::typical_migration();
+        let short = Seconds::from_minutes(10.0);
+        let long = Seconds::from_hours(5.0);
+        assert!(retention.energy_per_interval(long) > 10.0 * retention.energy_per_interval(short));
+        assert_eq!(migration.energy_per_interval(long), migration.energy_per_interval(short));
+    }
+
+    #[test]
+    fn crossover_long_intervals_favour_migration() {
+        // Retention burns standby power for the whole interval; migration
+        // pays a fixed toll. For hour-scale intervals migration wins on
+        // energy.
+        let retention = StateStrategy::typical_retention();
+        let migration = StateStrategy::typical_migration();
+        let interval = Seconds::from_hours(1.0);
+        assert!(
+            migration.energy_per_interval(interval) < retention.energy_per_interval(interval),
+            "migration {} J vs retention {} J",
+            migration.energy_per_interval(interval),
+            retention.energy_per_interval(interval)
+        );
+        // For second-scale intervals, retention wins.
+        let blink = Seconds::new(0.25);
+        assert!(retention.energy_per_interval(blink) < migration.energy_per_interval(blink));
+    }
+
+    #[test]
+    fn zero_years_prices_to_zero() {
+        let report = price_schedule(
+            StateStrategy::typical_retention(),
+            4.0,
+            Seconds::from_hours(1.0),
+            electrical(),
+            0.0,
+        );
+        assert_eq!(report.intervals, 0);
+        assert_eq!(report.total_energy_j, 0.0);
+    }
+}

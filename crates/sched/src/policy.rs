@@ -1,0 +1,374 @@
+//! Recovery policies: when does a core enter BTI or EM active recovery?
+//!
+//! Four policy families, matching the progression the paper argues through:
+//!
+//! * [`Policy::NoRecovery`] — the worst-case-margin baseline: devices are
+//!   stressed whenever powered, and nothing is ever healed;
+//! * [`Policy::PassiveIdle`] — the conventional approach: idle time gives
+//!   passive (slow, partial) recovery only;
+//! * [`Policy::PeriodicDeep`] — the paper's scheduled deep healing: short
+//!   BTI active-recovery intervals inserted periodically ("bring the chip
+//!   back to the fresh status in time") plus an EM current-reversal duty on
+//!   the local grids;
+//! * [`Policy::Adaptive`] — sensor-driven: recover only when the measured
+//!   degradation crosses a threshold (the Fig. 12(b) feedback loop).
+
+use dh_units::Fraction;
+
+/// What a core does during one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochPlan {
+    /// Fraction of the epoch spent running the workload (stress).
+    pub run: Fraction,
+    /// Fraction of the epoch spent in deep BTI active recovery (the core
+    /// is offline; its work is assumed shifted to redundant resources).
+    pub bti_recovery: Fraction,
+    /// Fraction of the *running* time spent with the local grid in EM
+    /// active recovery (current reversed; the core keeps operating).
+    pub em_recovery_duty: Fraction,
+}
+
+impl EpochPlan {
+    /// The remaining fraction of the epoch: powered-but-idle time.
+    pub fn idle(&self) -> Fraction {
+        Fraction::clamped(1.0 - self.run.value() - self.bti_recovery.value())
+    }
+}
+
+/// A recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// No recovery at all: stress whenever powered (worst-case baseline —
+    /// idle time still biases the devices).
+    NoRecovery,
+    /// Idle time yields passive recovery; nothing is scheduled.
+    PassiveIdle,
+    /// Deep recovery scheduled every `period_epochs`: the core spends
+    /// `bti_fraction` of that epoch in BTI active recovery, and runs with
+    /// `em_duty` of current-reversal on its local grid at all times.
+    PeriodicDeep {
+        /// Scheduling period in epochs.
+        period_epochs: usize,
+        /// Fraction of the scheduled epoch spent in deep BTI recovery.
+        bti_fraction: Fraction,
+        /// EM current-reversal duty while running.
+        em_duty: Fraction,
+    },
+    /// Sensor-driven: enter deep BTI recovery for `bti_fraction` of any
+    /// epoch whose *measured* ΔVth exceeds `bti_threshold_mv`; enable the
+    /// EM duty whenever measured EM damage exceeds `em_threshold`.
+    Adaptive {
+        /// Measured-ΔVth trigger, millivolts.
+        bti_threshold_mv: f64,
+        /// Fraction of a triggered epoch spent in deep recovery.
+        bti_fraction: Fraction,
+        /// Measured EM-damage trigger (fraction of failure).
+        em_threshold: Fraction,
+        /// EM duty applied once triggered.
+        em_duty: Fraction,
+    },
+    /// Dark-silicon rotation (the paper's Fig. 12(a)): `spares` cores are
+    /// dark each epoch, rotating round-robin; a dark core spends the whole
+    /// epoch in deep BTI recovery, warmed by its busy neighbours, while its
+    /// work shifts to the remaining cores.
+    DarkSiliconRotation {
+        /// Number of simultaneously dark (recovering) cores.
+        spares: usize,
+        /// EM current-reversal duty for the running cores.
+        em_duty: Fraction,
+    },
+}
+
+impl Policy {
+    /// The paper-flavoured periodic schedule: a **short deep-recovery
+    /// interval in every epoch** (15 % of core time, drawn from the idle
+    /// budget) plus a 20 % EM reversal duty.
+    ///
+    /// Frequency matters more than duration here — the paper's own Fig. 4
+    /// shows that *in-time* recovery (1 h : 1 h) eliminates the permanent
+    /// component while infrequent long recovery (24 h : 6 h) cannot,
+    /// because permanent damage consolidates within hours. A sparse
+    /// variant (`period_epochs > 1`) is available for the ablation bench.
+    pub fn periodic_deep_default() -> Self {
+        Self::PeriodicDeep {
+            period_epochs: 1,
+            bti_fraction: Fraction::clamped(0.15),
+            em_duty: Fraction::clamped(0.2),
+        }
+    }
+
+    /// A reasonable adaptive configuration for the default system: trigger
+    /// at 3 mV of measured shift (warm passive recovery keeps the
+    /// steady-state shift near that level, so the trigger fires exactly
+    /// when wearout starts outrunning passive healing) or at 1 % measured
+    /// EM damage.
+    pub fn adaptive_default() -> Self {
+        Self::Adaptive {
+            bti_threshold_mv: 3.0,
+            bti_fraction: Fraction::clamped(0.5),
+            em_threshold: Fraction::clamped(0.01),
+            em_duty: Fraction::clamped(0.3),
+        }
+    }
+
+    /// The paper-flavoured rotation: two of sixteen cores dark at a time.
+    pub fn rotation_default() -> Self {
+        Self::DarkSiliconRotation { spares: 2, em_duty: Fraction::clamped(0.2) }
+    }
+
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::NoRecovery => "no-recovery",
+            Self::PassiveIdle => "passive-idle",
+            Self::PeriodicDeep { .. } => "periodic-deep",
+            Self::Adaptive { .. } => "adaptive",
+            Self::DarkSiliconRotation { .. } => "rotation",
+        }
+    }
+
+    /// Plans one epoch for a core.
+    ///
+    /// * `epoch` — epoch index;
+    /// * `core` / `cores` — this core's index and the system's core count
+    ///   (used by the rotation policy to pick the dark set);
+    /// * `utilization` — the workload's demand this epoch;
+    /// * `measured_dvth_mv` / `measured_em_damage` — sensor readings.
+    pub fn plan(
+        &self,
+        epoch: usize,
+        core: usize,
+        cores: usize,
+        utilization: Fraction,
+        measured_dvth_mv: f64,
+        measured_em_damage: Fraction,
+    ) -> EpochPlan {
+        match *self {
+            Self::NoRecovery => EpochPlan {
+                // Powered and biased the whole epoch: stress never stops.
+                run: Fraction::ONE,
+                bti_recovery: Fraction::ZERO,
+                em_recovery_duty: Fraction::ZERO,
+            },
+            Self::PassiveIdle => EpochPlan {
+                run: utilization,
+                bti_recovery: Fraction::ZERO,
+                em_recovery_duty: Fraction::ZERO,
+            },
+            Self::PeriodicDeep { period_epochs, bti_fraction, em_duty } => {
+                let scheduled = period_epochs.max(1);
+                let recovering = epoch % scheduled == scheduled - 1;
+                let bti = if recovering { bti_fraction } else { Fraction::ZERO };
+                EpochPlan {
+                    run: Fraction::clamped(utilization.value().min(1.0 - bti.value())),
+                    bti_recovery: bti,
+                    em_recovery_duty: em_duty,
+                }
+            }
+            Self::Adaptive { bti_threshold_mv, bti_fraction, em_threshold, em_duty } => {
+                let bti = if measured_dvth_mv > bti_threshold_mv {
+                    bti_fraction
+                } else {
+                    Fraction::ZERO
+                };
+                let em = if measured_em_damage > em_threshold { em_duty } else { Fraction::ZERO };
+                EpochPlan {
+                    run: Fraction::clamped(utilization.value().min(1.0 - bti.value())),
+                    bti_recovery: bti,
+                    em_recovery_duty: em,
+                }
+            }
+            Self::DarkSiliconRotation { spares, em_duty } => {
+                if Self::is_dark(epoch, core, cores, spares) {
+                    EpochPlan {
+                        run: Fraction::ZERO,
+                        bti_recovery: Fraction::ONE,
+                        em_recovery_duty: Fraction::ZERO,
+                    }
+                } else {
+                    EpochPlan {
+                        run: utilization,
+                        bti_recovery: Fraction::ZERO,
+                        em_recovery_duty: em_duty,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `core` is in the dark (recovering) set this epoch under a
+    /// round-robin rotation with `spares` simultaneous spares.
+    pub fn is_dark(epoch: usize, core: usize, cores: usize, spares: usize) -> bool {
+        if cores == 0 || spares == 0 {
+            return false;
+        }
+        let spares = spares.min(cores);
+        let start = (epoch * spares) % cores;
+        let offset = (core + cores - start) % cores;
+        offset < spares
+    }
+
+    /// The long-run fraction of core time this policy sacrifices to deep
+    /// recovery (the overhead the paper trades against guardband).
+    pub fn recovery_overhead(&self) -> Fraction {
+        match *self {
+            Self::NoRecovery | Self::PassiveIdle => Fraction::ZERO,
+            Self::PeriodicDeep { period_epochs, bti_fraction, .. } => {
+                Fraction::clamped(bti_fraction.value() / period_epochs.max(1) as f64)
+            }
+            // Adaptive overhead depends on the trajectory; report the
+            // worst-case (always triggered).
+            Self::Adaptive { bti_fraction, .. } => bti_fraction,
+            // One spare's worth of time per spare; the denominator is not
+            // known here, so report per-16-core default granularity.
+            Self::DarkSiliconRotation { spares, .. } => {
+                Fraction::clamped(spares as f64 / 16.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_recovery_always_stresses() {
+        let plan = Policy::NoRecovery.plan(3, 0, 16, Fraction::clamped(0.2), 50.0, Fraction::ONE);
+        assert_eq!(plan.run, Fraction::ONE);
+        assert_eq!(plan.bti_recovery, Fraction::ZERO);
+        assert_eq!(plan.idle(), Fraction::ZERO);
+    }
+
+    #[test]
+    fn passive_idle_exposes_idle_time() {
+        let plan = Policy::PassiveIdle.plan(0, 0, 16, Fraction::clamped(0.6), 0.0, Fraction::ZERO);
+        assert_eq!(plan.run, Fraction::clamped(0.6));
+        assert!((plan.idle().value() - 0.4).abs() < 1e-12);
+        assert_eq!(plan.em_recovery_duty, Fraction::ZERO);
+    }
+
+    #[test]
+    fn default_periodic_recovers_a_slice_of_every_epoch() {
+        let p = Policy::periodic_deep_default();
+        for epoch in 0..24 {
+            let plan = p.plan(epoch, 0, 16, Fraction::clamped(0.9), 0.0, Fraction::ZERO);
+            assert!((plan.bti_recovery.value() - 0.15).abs() < 1e-12, "epoch {epoch}");
+            // Run time yields to the recovery interval.
+            assert!(plan.run.value() <= 0.85 + 1e-12);
+            assert!(plan.em_recovery_duty.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sparse_periodic_schedules_on_the_right_epochs() {
+        let p = Policy::PeriodicDeep {
+            period_epochs: 8,
+            bti_fraction: Fraction::clamped(0.5),
+            em_duty: Fraction::clamped(0.2),
+        };
+        for epoch in 0..24 {
+            let plan = p.plan(epoch, 0, 16, Fraction::clamped(0.9), 0.0, Fraction::ZERO);
+            if epoch % 8 == 7 {
+                assert!(plan.bti_recovery.value() > 0.0, "epoch {epoch} should recover");
+                assert!(plan.run.value() <= 0.5 + 1e-12);
+            } else {
+                assert_eq!(plan.bti_recovery, Fraction::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_triggers_on_sensor_readings() {
+        let p = Policy::adaptive_default();
+        let quiet = p.plan(0, 0, 16, Fraction::clamped(0.5), 1.0, Fraction::clamped(0.001));
+        assert_eq!(quiet.bti_recovery, Fraction::ZERO);
+        assert_eq!(quiet.em_recovery_duty, Fraction::ZERO);
+        let worn = p.plan(0, 0, 16, Fraction::clamped(0.5), 15.0, Fraction::clamped(0.5));
+        assert!(worn.bti_recovery.value() > 0.0);
+        assert!(worn.em_recovery_duty.value() > 0.0);
+    }
+
+    #[test]
+    fn epoch_budget_is_never_exceeded() {
+        for policy in [
+            Policy::NoRecovery,
+            Policy::PassiveIdle,
+            Policy::periodic_deep_default(),
+            Policy::adaptive_default(),
+        ] {
+            for epoch in 0..16 {
+                for util in [0.0, 0.3, 0.8, 1.0] {
+                    let plan =
+                        policy.plan(epoch, 1, 16, Fraction::clamped(util), 20.0, Fraction::clamped(0.5));
+                    let total = plan.run.value() + plan.bti_recovery.value();
+                    assert!(total <= 1.0 + 1e-12, "{}: budget {total}", policy.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_reporting() {
+        assert_eq!(Policy::NoRecovery.recovery_overhead(), Fraction::ZERO);
+        let p = Policy::periodic_deep_default();
+        assert!((p.recovery_overhead().value() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Policy::NoRecovery.name(), "no-recovery");
+        assert_eq!(Policy::periodic_deep_default().name(), "periodic-deep");
+        assert_eq!(Policy::rotation_default().name(), "rotation");
+    }
+
+    #[test]
+    fn rotation_darkens_exactly_spares_cores_per_epoch() {
+        let cores = 16;
+        for spares in [1, 2, 4] {
+            for epoch in 0..40 {
+                let dark = (0..cores)
+                    .filter(|&c| Policy::is_dark(epoch, c, cores, spares))
+                    .count();
+                assert_eq!(dark, spares, "epoch {epoch}, spares {spares}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_visits_every_core_equally() {
+        let cores = 16;
+        let spares = 2;
+        let mut visits = vec![0usize; cores];
+        for epoch in 0..cores * 4 / spares {
+            for (c, v) in visits.iter_mut().enumerate() {
+                if Policy::is_dark(epoch, c, cores, spares) {
+                    *v += 1;
+                }
+            }
+        }
+        assert!(visits.iter().all(|&v| v == visits[0]), "uneven rotation: {visits:?}");
+        assert!(visits[0] > 0);
+    }
+
+    #[test]
+    fn rotation_plan_is_full_recovery_when_dark() {
+        let p = Policy::rotation_default();
+        // Epoch 0 darkens cores 0 and 1 (start = 0).
+        let dark = p.plan(0, 0, 16, Fraction::clamped(0.7), 0.0, Fraction::ZERO);
+        assert_eq!(dark.bti_recovery, Fraction::ONE);
+        assert_eq!(dark.run, Fraction::ZERO);
+        let lit = p.plan(0, 5, 16, Fraction::clamped(0.7), 0.0, Fraction::ZERO);
+        assert_eq!(lit.bti_recovery, Fraction::ZERO);
+        assert_eq!(lit.run, Fraction::clamped(0.7));
+        assert!(lit.em_recovery_duty.value() > 0.0);
+    }
+
+    #[test]
+    fn rotation_degenerate_cases() {
+        assert!(!Policy::is_dark(3, 0, 0, 2), "empty system has no dark cores");
+        assert!(!Policy::is_dark(3, 0, 16, 0), "zero spares means none dark");
+        // spares >= cores: everything dark.
+        assert!(Policy::is_dark(0, 7, 8, 8));
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-core workload (utilization) generators.
+//!
+//! The paper's system-level argument rests on workload structure:
+//! "specialized computing resources serve for different load tasks, which
+//! also leads to different EM and BTI behaviors, thus requiring different
+//! recovery strategies", and dark-silicon constraints guarantee intrinsic
+//! OFF periods. The generators here provide that structure with
+//! deterministic seeding so lifetime experiments are reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dh_units::rng::seeded_rng;
+use dh_units::{Fraction, Seconds};
+
+/// A workload pattern assigned to one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Constant utilization.
+    Constant(f64),
+    /// Day/night cycle: `high` for the first half of each period, `low`
+    /// for the second.
+    Diurnal {
+        /// Daytime utilization.
+        high: f64,
+        /// Nighttime utilization.
+        low: f64,
+        /// Cycle period (24 h for an actual diurnal pattern).
+        period: Seconds,
+    },
+    /// Random bursts: utilization is `high` with probability `p_burst`
+    /// per epoch, else `low`.
+    Bursty {
+        /// Burst utilization.
+        high: f64,
+        /// Background utilization.
+        low: f64,
+        /// Probability of a burst in any epoch.
+        p_burst: f64,
+    },
+}
+
+impl Pattern {
+    /// A typical "server-class" always-busy core.
+    pub fn server() -> Self {
+        Self::Constant(0.85)
+    }
+
+    /// A typical interactive/diurnal core.
+    pub fn interactive() -> Self {
+        Self::Diurnal { high: 0.7, low: 0.1, period: Seconds::from_hours(24.0) }
+    }
+
+    /// An accelerator-style bursty core.
+    pub fn accelerator() -> Self {
+        Self::Bursty { high: 0.95, low: 0.05, p_burst: 0.3 }
+    }
+}
+
+/// A seeded workload generator for a set of cores.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    patterns: Vec<Pattern>,
+    rng: StdRng,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with one pattern per core.
+    pub fn new(patterns: Vec<Pattern>, seed: u64) -> Self {
+        Self { patterns, rng: seeded_rng(seed, "workload") }
+    }
+
+    /// A heterogeneous mix for `n` cores: servers, interactive, and
+    /// accelerator cores round-robin.
+    pub fn heterogeneous(n: usize, seed: u64) -> Self {
+        let patterns = (0..n)
+            .map(|i| match i % 3 {
+                0 => Pattern::server(),
+                1 => Pattern::interactive(),
+                _ => Pattern::accelerator(),
+            })
+            .collect();
+        Self::new(patterns, seed)
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the generator drives no cores.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Samples the utilization of every core for the epoch starting at
+    /// `time`.
+    pub fn sample(&mut self, time: Seconds) -> Vec<Fraction> {
+        let mut out = Vec::with_capacity(self.patterns.len());
+        for pattern in &self.patterns {
+            let u = match *pattern {
+                Pattern::Constant(u) => u,
+                Pattern::Diurnal { high, low, period } => {
+                    let phase = (time.value() / period.value()).rem_euclid(1.0);
+                    if phase < 0.5 {
+                        high
+                    } else {
+                        low
+                    }
+                }
+                Pattern::Bursty { high, low, p_burst } => {
+                    if self.rng.gen_bool(p_burst.clamp(0.0, 1.0)) {
+                        high
+                    } else {
+                        low
+                    }
+                }
+            };
+            out.push(Fraction::clamped(u));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_pattern_is_constant() {
+        let mut g = WorkloadGenerator::new(vec![Pattern::Constant(0.6)], 1);
+        for h in 0..48 {
+            let u = g.sample(Seconds::from_hours(h as f64));
+            assert_eq!(u[0], Fraction::clamped(0.6));
+        }
+    }
+
+    #[test]
+    fn diurnal_pattern_alternates() {
+        let mut g = WorkloadGenerator::new(vec![Pattern::interactive()], 1);
+        let day = g.sample(Seconds::from_hours(1.0))[0];
+        let night = g.sample(Seconds::from_hours(13.0))[0];
+        assert!(day > night);
+        // Next day repeats.
+        let day2 = g.sample(Seconds::from_hours(25.0))[0];
+        assert_eq!(day, day2);
+    }
+
+    #[test]
+    fn bursty_pattern_hits_both_levels() {
+        let mut g = WorkloadGenerator::new(vec![Pattern::accelerator()], 3);
+        let mut highs = 0;
+        let mut lows = 0;
+        for h in 0..200 {
+            let u = g.sample(Seconds::from_hours(h as f64))[0].value();
+            if u > 0.5 {
+                highs += 1;
+            } else {
+                lows += 1;
+            }
+        }
+        assert!(highs > 20 && lows > 80, "highs {highs} lows {lows}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_bursts() {
+        let mut a = WorkloadGenerator::heterogeneous(6, 9);
+        let mut b = WorkloadGenerator::heterogeneous(6, 9);
+        for h in 0..50 {
+            let t = Seconds::from_hours(h as f64);
+            assert_eq!(a.sample(t), b.sample(t));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mix_covers_all_patterns() {
+        let g = WorkloadGenerator::heterogeneous(9, 0);
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.patterns[0], Pattern::server());
+        assert_eq!(g.patterns[1], Pattern::interactive());
+        assert_eq!(g.patterns[2], Pattern::accelerator());
+    }
+
+    #[test]
+    fn utilizations_are_valid_fractions() {
+        let mut g = WorkloadGenerator::heterogeneous(12, 4);
+        for h in 0..100 {
+            for u in g.sample(Seconds::from_hours(h as f64)) {
+                assert!(u.value() >= 0.0 && u.value() <= 1.0);
+            }
+        }
+    }
+}

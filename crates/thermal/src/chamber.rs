@@ -1,0 +1,130 @@
+//! Thermal chamber (oven) model.
+//!
+//! All accelerated measurements in the paper run inside a thermal chamber
+//! "which allows fluctuation of ±0.3 °C". The model is a setpoint plus a
+//! bounded fluctuation composed of a slow sinusoidal control ripple and a
+//! seeded random component, so repeated experiment runs are reproducible.
+
+use rand::Rng;
+
+use dh_units::rng::seeded_rng;
+use dh_units::{Celsius, Kelvin, Seconds};
+
+/// A setpoint-controlled thermal chamber with bounded fluctuation.
+#[derive(Debug, Clone)]
+pub struct ThermalChamber {
+    setpoint: Celsius,
+    fluctuation: Celsius,
+    ripple_period: Seconds,
+    noise: Vec<f64>,
+}
+
+impl ThermalChamber {
+    /// Number of precomputed noise taps (interpolated cyclically).
+    const NOISE_TAPS: usize = 256;
+
+    /// Creates a chamber at `setpoint` with the paper's ±0.3 °C fluctuation
+    /// bound.
+    pub fn paper(setpoint: Celsius) -> Self {
+        Self::new(setpoint, Celsius::new(0.3), 42)
+    }
+
+    /// Creates a chamber with an explicit fluctuation bound and noise seed.
+    pub fn new(setpoint: Celsius, fluctuation: Celsius, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed, "thermal-chamber");
+        let noise = (0..Self::NOISE_TAPS).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Self {
+            setpoint,
+            fluctuation: fluctuation.abs(),
+            ripple_period: Seconds::from_minutes(7.0),
+            noise,
+        }
+    }
+
+    /// The chamber setpoint.
+    pub fn setpoint(&self) -> Celsius {
+        self.setpoint
+    }
+
+    /// The fluctuation bound (half-width).
+    pub fn fluctuation(&self) -> Celsius {
+        self.fluctuation
+    }
+
+    /// Changes the setpoint (oven programs between stress and recovery runs
+    /// happen instantaneously at the model's granularity).
+    pub fn set_setpoint(&mut self, setpoint: Celsius) {
+        self.setpoint = setpoint;
+    }
+
+    /// The chamber temperature at elapsed time `t`: setpoint plus a bounded
+    /// fluctuation. Deterministic in `t` for a given seed.
+    pub fn temperature_at(&self, t: Seconds) -> Kelvin {
+        // Half the budget to the control ripple, half to noise: the sum
+        // stays within the bound.
+        let half = self.fluctuation.value() / 2.0;
+        let phase = 2.0 * std::f64::consts::PI * t.value() / self.ripple_period.value();
+        let ripple = half * phase.sin();
+
+        let pos = (t.value() / 30.0).rem_euclid(Self::NOISE_TAPS as f64);
+        let i = pos as usize % Self::NOISE_TAPS;
+        let j = (i + 1) % Self::NOISE_TAPS;
+        let w = pos.fract();
+        let noise = half * ((1.0 - w) * self.noise[i] + w * self.noise[j]);
+
+        Celsius::new(self.setpoint.value() + ripple + noise).to_kelvin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluctuation_stays_within_the_paper_bound() {
+        let chamber = ThermalChamber::paper(Celsius::new(230.0));
+        for i in 0..5000 {
+            let t = Seconds::new(i as f64 * 13.7);
+            let c = chamber.temperature_at(t).to_celsius().value();
+            assert!(
+                (c - 230.0).abs() <= 0.3 + 1e-12,
+                "t={} °C at {} s exceeds ±0.3",
+                c,
+                t.value()
+            );
+        }
+    }
+
+    #[test]
+    fn fluctuation_actually_fluctuates() {
+        let chamber = ThermalChamber::paper(Celsius::new(110.0));
+        let a = chamber.temperature_at(Seconds::new(60.0)).value();
+        let b = chamber.temperature_at(Seconds::new(180.0)).value();
+        assert!((a - b).abs() > 1e-6, "chamber output is constant");
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let a = ThermalChamber::new(Celsius::new(230.0), Celsius::new(0.3), 7);
+        let b = ThermalChamber::new(Celsius::new(230.0), Celsius::new(0.3), 7);
+        for i in 0..100 {
+            let t = Seconds::new(i as f64 * 97.0);
+            assert_eq!(a.temperature_at(t), b.temperature_at(t));
+        }
+    }
+
+    #[test]
+    fn setpoint_can_be_reprogrammed() {
+        let mut chamber = ThermalChamber::paper(Celsius::new(230.0));
+        chamber.set_setpoint(Celsius::new(20.0));
+        let c = chamber.temperature_at(Seconds::new(500.0)).to_celsius().value();
+        assert!((c - 20.0).abs() <= 0.3 + 1e-12);
+        assert_eq!(chamber.setpoint(), Celsius::new(20.0));
+    }
+
+    #[test]
+    fn negative_fluctuation_bound_is_normalised() {
+        let chamber = ThermalChamber::new(Celsius::new(100.0), Celsius::new(-0.5), 1);
+        assert_eq!(chamber.fluctuation(), Celsius::new(0.5));
+    }
+}

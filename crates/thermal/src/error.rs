@@ -1,0 +1,46 @@
+//! Error types for the thermal models.
+
+use core::fmt;
+
+/// Error returned by thermal model construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// Grid dimensions or parameters are degenerate.
+    InvalidGrid(String),
+    /// A power vector of the wrong length was supplied.
+    PowerLengthMismatch {
+        /// Expected number of tiles.
+        expected: usize,
+        /// Number of powers supplied.
+        got: usize,
+    },
+    /// A power value was negative or non-finite.
+    InvalidPower(f64),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidGrid(why) => write!(f, "invalid thermal grid: {why}"),
+            Self::PowerLengthMismatch { expected, got } => {
+                write!(f, "power vector length {got} does not match tile count {expected}")
+            }
+            Self::InvalidPower(p) => write!(f, "power must be finite and non-negative, got {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(ThermalError::InvalidGrid("x".into()).to_string().contains("grid"));
+        let e = ThermalError::PowerLengthMismatch { expected: 16, got: 4 };
+        assert!(e.to_string().contains("16") && e.to_string().contains('4'));
+        assert!(ThermalError::InvalidPower(-1.0).to_string().contains("-1"));
+    }
+}

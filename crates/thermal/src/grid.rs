@@ -1,0 +1,326 @@
+//! RC thermal grid over a floorplan of tiles.
+//!
+//! Each tile (core or block) has a heat capacity, a vertical thermal
+//! resistance to ambient (package/heatsink path), and lateral resistances to
+//! its four neighbours (silicon spreading). This is the standard compact
+//! thermal model (a coarse HotSpot-style network) — enough to study the
+//! paper's Fig. 12(a) proposal of healing dark cores with neighbour heat.
+
+use dh_units::{Celsius, Kelvin, Seconds};
+
+use crate::error::ThermalError;
+
+/// Configuration of a rectangular tile grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Number of tile rows.
+    pub rows: usize,
+    /// Number of tile columns.
+    pub cols: usize,
+    /// Ambient (heatsink) temperature.
+    pub ambient: Celsius,
+    /// Vertical thermal resistance tile→ambient, K/W.
+    pub r_vertical_k_per_w: f64,
+    /// Lateral thermal resistance tile→tile, K/W.
+    pub r_lateral_k_per_w: f64,
+    /// Tile heat capacity, J/K.
+    pub capacity_j_per_k: f64,
+}
+
+impl GridConfig {
+    /// A 4×4 many-core floorplan with laptop-class packaging: ~20 K/W to
+    /// ambient per tile, strong lateral spreading, 45 °C ambient (inside the
+    /// case).
+    pub fn manycore_4x4() -> Self {
+        Self {
+            rows: 4,
+            cols: 4,
+            ambient: Celsius::new(45.0),
+            r_vertical_k_per_w: 20.0,
+            r_lateral_k_per_w: 8.0,
+            capacity_j_per_k: 0.15,
+        }
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// An RC thermal network over a rectangular grid of tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalGrid {
+    config: GridConfig,
+    /// Tile temperatures, kelvin, row-major.
+    temp: Vec<f64>,
+}
+
+impl ThermalGrid {
+    /// Creates a grid with every tile at ambient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidGrid`] for zero dimensions or
+    /// non-positive resistances/capacity.
+    pub fn new(config: GridConfig) -> Result<Self, ThermalError> {
+        if config.rows == 0 || config.cols == 0 {
+            return Err(ThermalError::InvalidGrid(format!(
+                "grid must be non-empty, got {}x{}",
+                config.rows, config.cols
+            )));
+        }
+        for (name, v) in [
+            ("vertical resistance", config.r_vertical_k_per_w),
+            ("lateral resistance", config.r_lateral_k_per_w),
+            ("capacity", config.capacity_j_per_k),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(ThermalError::InvalidGrid(format!("{name} must be positive, got {v}")));
+            }
+        }
+        let ambient_k = config.ambient.to_kelvin().value();
+        Ok(Self { config, temp: vec![ambient_k; config.tiles()] })
+    }
+
+    /// The grid configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.config
+    }
+
+    /// Temperature of tile (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn temperature(&self, row: usize, col: usize) -> Kelvin {
+        assert!(row < self.config.rows && col < self.config.cols, "tile out of range");
+        Kelvin::new(self.temp[row * self.config.cols + col])
+    }
+
+    /// All tile temperatures, row-major.
+    pub fn temperatures(&self) -> Vec<Kelvin> {
+        self.temp.iter().map(|&t| Kelvin::new(t)).collect()
+    }
+
+    /// The hottest tile temperature.
+    pub fn peak(&self) -> Kelvin {
+        Kelvin::new(self.temp.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    fn validate_power(&self, power_w: &[f64]) -> Result<(), ThermalError> {
+        if power_w.len() != self.temp.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.temp.len(),
+                got: power_w.len(),
+            });
+        }
+        if let Some(&bad) = power_w.iter().find(|p| !p.is_finite() || **p < 0.0) {
+            return Err(ThermalError::InvalidPower(bad));
+        }
+        Ok(())
+    }
+
+    /// Advances the network by `dt` with per-tile power dissipation
+    /// `power_w` (watts, row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] if the power vector has the wrong length or
+    /// contains negative/non-finite entries.
+    pub fn step(&mut self, dt: Seconds, power_w: &[f64]) -> Result<(), ThermalError> {
+        self.validate_power(power_w)?;
+        if dt.value() <= 0.0 {
+            return Ok(());
+        }
+        let c = &self.config;
+        let ambient = c.ambient.to_kelvin().value();
+        // Explicit integration, sub-stepped well below the smallest RC
+        // product for stability.
+        let g_total_max = 1.0 / c.r_vertical_k_per_w + 4.0 / c.r_lateral_k_per_w;
+        let dt_stable = 0.2 * c.capacity_j_per_k / g_total_max;
+        let mut remaining = dt.value();
+        while remaining > 0.0 {
+            let h = remaining.min(dt_stable);
+            let prev = self.temp.clone();
+            for r in 0..c.rows {
+                for col in 0..c.cols {
+                    let i = r * c.cols + col;
+                    let mut q = power_w[i] + (ambient - prev[i]) / c.r_vertical_k_per_w;
+                    let mut neighbours = |rr: isize, cc: isize| {
+                        if rr >= 0 && cc >= 0 && (rr as usize) < c.rows && (cc as usize) < c.cols {
+                            let ni = rr as usize * c.cols + cc as usize;
+                            q += (prev[ni] - prev[i]) / c.r_lateral_k_per_w;
+                        }
+                    };
+                    neighbours(r as isize - 1, col as isize);
+                    neighbours(r as isize + 1, col as isize);
+                    neighbours(r as isize, col as isize - 1);
+                    neighbours(r as isize, col as isize + 1);
+                    self.temp[i] = prev[i] + h * q / c.capacity_j_per_k;
+                }
+            }
+            remaining -= h;
+        }
+        Ok(())
+    }
+
+    /// Runs the network to steady state under a constant power map.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThermalGrid::step`].
+    pub fn settle(&mut self, power_w: &[f64]) -> Result<(), ThermalError> {
+        self.validate_power(power_w)?;
+        // Gauss–Seidel on the steady-state balance equations.
+        let c = self.config;
+        let ambient = c.ambient.to_kelvin().value();
+        let gv = 1.0 / c.r_vertical_k_per_w;
+        let gl = 1.0 / c.r_lateral_k_per_w;
+        for _ in 0..10_000 {
+            let mut max_delta: f64 = 0.0;
+            for r in 0..c.rows {
+                for col in 0..c.cols {
+                    let i = r * c.cols + col;
+                    let mut g_sum = gv;
+                    let mut flow = power_w[i] + gv * ambient;
+                    let neighbours = |rr: isize, cc: isize, flow: &mut f64, g: &mut f64| {
+                        if rr >= 0 && cc >= 0 && (rr as usize) < c.rows && (cc as usize) < c.cols {
+                            let ni = rr as usize * c.cols + cc as usize;
+                            *flow += gl * self.temp[ni];
+                            *g += gl;
+                        }
+                    };
+                    neighbours(r as isize - 1, col as isize, &mut flow, &mut g_sum);
+                    neighbours(r as isize + 1, col as isize, &mut flow, &mut g_sum);
+                    neighbours(r as isize, col as isize - 1, &mut flow, &mut g_sum);
+                    neighbours(r as isize, col as isize + 1, &mut flow, &mut g_sum);
+                    let new = flow / g_sum;
+                    max_delta = max_delta.max((new - self.temp[i]).abs());
+                    self.temp[i] = new;
+                }
+            }
+            if max_delta < 1e-9 {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ThermalGrid {
+        ThermalGrid::new(GridConfig::manycore_4x4()).unwrap()
+    }
+
+    #[test]
+    fn idle_grid_sits_at_ambient() {
+        let mut g = grid();
+        g.settle(&[0.0; 16]).unwrap();
+        for t in g.temperatures() {
+            assert!((t.to_celsius().value() - 45.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_power_gives_uniform_rise() {
+        let mut g = grid();
+        g.settle(&[1.0; 16]).unwrap();
+        // Uniform power: no lateral flow; rise = P · R_vertical = 20 K.
+        for t in g.temperatures() {
+            assert!((t.to_celsius().value() - 65.0).abs() < 1e-6, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn dark_tile_is_heated_by_neighbours() {
+        // The paper's Fig. 12(a) dark-silicon healing scenario.
+        let mut g = grid();
+        let mut power = vec![1.5; 16];
+        power[5] = 0.0; // tile (1,1) is dark
+        g.settle(&power).unwrap();
+        let dark = g.temperature(1, 1).to_celsius().value();
+        assert!(dark > 58.0, "dark tile at {dark} °C should be well above 45 °C ambient");
+        // But cooler than its active neighbours.
+        let hot = g.temperature(1, 2).to_celsius().value();
+        assert!(dark < hot);
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let mut transient = grid();
+        let mut steady = grid();
+        let power = vec![2.0; 16];
+        steady.settle(&power).unwrap();
+        // RC ≈ 0.15 J/K × ~4.4 K/W effective: a couple of seconds settles.
+        transient.step(Seconds::new(30.0), &power).unwrap();
+        for (a, b) in transient.temperatures().iter().zip(steady.temperatures()) {
+            assert!((a.value() - b.value()).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transient_is_monotone_towards_steady_state() {
+        let mut g = grid();
+        let power = vec![2.0; 16];
+        let mut prev = g.temperature(0, 0).value();
+        for _ in 0..10 {
+            g.step(Seconds::new(0.2), &power).unwrap();
+            let now = g.temperature(0, 0).value();
+            assert!(now >= prev - 1e-9);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn corner_tiles_run_hotter_than_uniform_only_with_non_uniform_power() {
+        let mut g = grid();
+        // Only the corner is powered: it is the hottest.
+        let mut power = vec![0.0; 16];
+        power[0] = 3.0;
+        g.settle(&power).unwrap();
+        let corner = g.temperature(0, 0).value();
+        assert_eq!(g.peak().value(), corner);
+    }
+
+    #[test]
+    fn power_validation() {
+        let mut g = grid();
+        assert!(matches!(
+            g.step(Seconds::new(1.0), &[0.0; 4]),
+            Err(ThermalError::PowerLengthMismatch { expected: 16, got: 4 })
+        ));
+        let mut bad = vec![0.0; 16];
+        bad[3] = -1.0;
+        assert!(matches!(g.settle(&bad), Err(ThermalError::InvalidPower(_))));
+        bad[3] = f64::NAN;
+        assert!(g.settle(&bad).is_err());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut c = GridConfig::manycore_4x4();
+        c.rows = 0;
+        assert!(ThermalGrid::new(c).is_err());
+        let mut c = GridConfig::manycore_4x4();
+        c.r_vertical_k_per_w = 0.0;
+        assert!(ThermalGrid::new(c).is_err());
+        let mut c = GridConfig::manycore_4x4();
+        c.capacity_j_per_k = f64::NAN;
+        assert!(ThermalGrid::new(c).is_err());
+    }
+
+    #[test]
+    fn zero_dt_step_is_a_no_op() {
+        let mut g = grid();
+        let before = g.temperatures();
+        g.step(Seconds::ZERO, &[5.0; 16]).unwrap();
+        assert_eq!(
+            before.iter().map(|t| t.value()).collect::<Vec<_>>(),
+            g.temperatures().iter().map(|t| t.value()).collect::<Vec<_>>()
+        );
+    }
+}

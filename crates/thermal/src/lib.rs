@@ -1,0 +1,38 @@
+//! Thermal substrate for the `deep-healing` workspace.
+//!
+//! Two pieces of the paper's experimental and system context live here:
+//!
+//! * [`chamber::ThermalChamber`] — the oven used for every accelerated
+//!   measurement in the paper ("temperature in both test cases is controlled
+//!   by a thermal chamber which allows fluctuation of ±0.3 °C");
+//! * [`grid::ThermalGrid`] — an RC thermal network over a floorplan of
+//!   tiles, used for the paper's system-level proposal that *dark-silicon*
+//!   resources can be healed faster by scheduling them next to hot active
+//!   neighbours ("the generated heat from the neighboring logic can be
+//!   utilized to accelerate the BTI recovery", Fig. 12a).
+//!
+//! # Example: neighbour heating of a dark core
+//!
+//! ```
+//! use dh_thermal::grid::{GridConfig, ThermalGrid};
+//!
+//! let mut grid = ThermalGrid::new(GridConfig::manycore_4x4()).unwrap();
+//! // Power everything except tile (1,1), which is dark and recovering.
+//! let mut power = vec![1.5; 16];
+//! power[5] = 0.0;
+//! grid.settle(&power).unwrap();
+//! let dark = grid.temperature(1, 1).to_celsius().value();
+//! assert!(dark > 55.0); // usefully heated above the 45 °C ambient
+//! ```
+
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` deliberately catches NaN
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chamber;
+pub mod error;
+pub mod grid;
+
+pub use chamber::ThermalChamber;
+pub use error::ThermalError;
+pub use grid::{GridConfig, ThermalGrid};

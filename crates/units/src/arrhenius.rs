@@ -1,0 +1,111 @@
+//! Arrhenius temperature-acceleration helpers.
+//!
+//! Both wearout mechanisms in the paper accelerate with temperature through
+//! thermally activated processes: trap emission for BTI, atomic diffusion for
+//! EM. Everything reduces to the Arrhenius form
+//! `rate(T) ∝ exp(−Ea / (k_B · T))`, and most of what the models need is the
+//! *ratio* of rates between two temperatures.
+
+use crate::constants::BOLTZMANN_EV_PER_K;
+use crate::quantity::Kelvin;
+
+/// The Arrhenius rate factor `exp(−Ea / (k_B·T))` for an activation energy
+/// `ea_ev` (in eV) at absolute temperature `t`.
+///
+/// This is a *relative* rate: multiply by a prefactor to obtain a physical
+/// rate.
+///
+/// # Panics
+///
+/// Panics in debug builds if `t` is not a positive, finite temperature.
+#[inline]
+pub fn rate_factor(ea_ev: f64, t: Kelvin) -> f64 {
+    debug_assert!(t.value() > 0.0 && t.value().is_finite());
+    (-ea_ev / (BOLTZMANN_EV_PER_K * t.value())).exp()
+}
+
+/// The acceleration factor of a process with activation energy `ea_ev` (eV)
+/// when moving from `reference` to `elevated` temperature:
+///
+/// `AF = exp( (Ea/k_B) · (1/T_ref − 1/T_elev) )`
+///
+/// `AF > 1` when `elevated > reference`; the function is exact for
+/// `elevated < reference` too (then `AF < 1`), which the lifetime simulator
+/// uses to de-rate accelerated test results to use conditions.
+#[inline]
+pub fn acceleration_factor(ea_ev: f64, reference: Kelvin, elevated: Kelvin) -> f64 {
+    debug_assert!(reference.value() > 0.0 && elevated.value() > 0.0);
+    ((ea_ev / BOLTZMANN_EV_PER_K) * (1.0 / reference.value() - 1.0 / elevated.value())).exp()
+}
+
+/// Solves for the activation energy (eV) that yields a given acceleration
+/// factor between two temperatures. Used by model calibration: given a target
+/// rate ratio extracted from measurements, back out the effective Ea.
+///
+/// Returns `None` if the two temperatures coincide (the problem is then
+/// degenerate) or `factor` is not positive.
+pub fn activation_energy_for(factor: f64, reference: Kelvin, elevated: Kelvin) -> Option<f64> {
+    let dt = 1.0 / reference.value() - 1.0 / elevated.value();
+    if dt == 0.0 || !(factor > 0.0) || !factor.is_finite() {
+        return None;
+    }
+    Some(factor.ln() * BOLTZMANN_EV_PER_K / dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantity::Celsius;
+
+    fn k(c: f64) -> Kelvin {
+        Celsius::new(c).to_kelvin()
+    }
+
+    #[test]
+    fn acceleration_is_one_at_equal_temperatures() {
+        let t = k(20.0);
+        assert!((acceleration_factor(0.9, t, t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceleration_increases_with_temperature_and_ea() {
+        let a1 = acceleration_factor(0.5, k(20.0), k(110.0));
+        let a2 = acceleration_factor(1.0, k(20.0), k(110.0));
+        let a3 = acceleration_factor(1.0, k(20.0), k(230.0));
+        assert!(a1 > 1.0);
+        assert!(a2 > a1);
+        assert!(a3 > a2);
+    }
+
+    #[test]
+    fn acceleration_below_reference_is_deceleration() {
+        let a = acceleration_factor(0.9, k(110.0), k(20.0));
+        assert!(a < 1.0);
+        // Inverse symmetry.
+        let fwd = acceleration_factor(0.9, k(20.0), k(110.0));
+        assert!((a * fwd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_factor_ratio_matches_acceleration_factor() {
+        let ea = 0.86;
+        let ratio = rate_factor(ea, k(230.0)) / rate_factor(ea, k(20.0));
+        let af = acceleration_factor(ea, k(20.0), k(230.0));
+        assert!((ratio / af - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_energy_round_trips() {
+        let ea = 1.234;
+        let af = acceleration_factor(ea, k(20.0), k(110.0));
+        let back = activation_energy_for(af, k(20.0), k(110.0)).unwrap();
+        assert!((back - ea).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_energy_degenerate_cases() {
+        assert!(activation_energy_for(10.0, k(20.0), k(20.0)).is_none());
+        assert!(activation_energy_for(-1.0, k(20.0), k(110.0)).is_none());
+        assert!(activation_energy_for(f64::NAN, k(20.0), k(110.0)).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for quantity validation.
+
+use core::fmt;
+
+/// Error returned when a physical quantity fails validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantityError {
+    /// A temperature at or below absolute zero, NaN, or infinite.
+    NonPhysicalTemperature(f64),
+    /// A negative, NaN, or infinite duration.
+    NegativeDuration(f64),
+    /// A fraction outside `[0, 1]` or NaN.
+    FractionOutOfRange(f64),
+    /// A quantity that must be strictly positive was not.
+    NotPositive {
+        /// Human-readable name of the quantity that failed validation.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for QuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPhysicalTemperature(v) => {
+                write!(f, "non-physical absolute temperature: {v} K")
+            }
+            Self::NegativeDuration(v) => write!(f, "duration must be non-negative, got {v} s"),
+            Self::FractionOutOfRange(v) => write!(f, "fraction must lie in [0, 1], got {v}"),
+            Self::NotPositive { what, value } => {
+                write!(f, "{what} must be strictly positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantityError {}
+
+/// Validates that a value is strictly positive and finite.
+///
+/// # Errors
+///
+/// Returns [`QuantityError::NotPositive`] otherwise.
+pub fn ensure_positive(what: &'static str, value: f64) -> Result<f64, QuantityError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(QuantityError::NotPositive { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msg = QuantityError::FractionOutOfRange(1.5).to_string();
+        assert!(msg.starts_with("fraction"));
+        let msg = QuantityError::NotPositive { what: "wire length", value: -1.0 }.to_string();
+        assert_eq!(msg, "wire length must be strictly positive, got -1");
+    }
+
+    #[test]
+    fn ensure_positive_accepts_and_rejects() {
+        assert_eq!(ensure_positive("x", 2.0).unwrap(), 2.0);
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(QuantityError::NegativeDuration(-1.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Physical-quantity newtypes and shared utilities for the `deep-healing`
+//! workspace.
+//!
+//! The wearout models in this workspace mix voltages, temperatures, current
+//! densities, times and resistances in long calibration formulas; mixing up a
+//! Celsius with a Kelvin or an A/m² with an MA/cm² is exactly the kind of bug
+//! that silently ruins a reproduction. This crate provides:
+//!
+//! * zero-cost newtypes for every physical quantity the models use
+//!   ([`Volts`], [`Kelvin`], [`Celsius`], [`Seconds`], [`Ohms`], [`Amperes`],
+//!   [`CurrentDensity`], [`Hertz`], [`Pascals`]),
+//! * physical constants ([`constants`]),
+//! * Arrhenius acceleration helpers ([`arrhenius`]),
+//! * a deterministic RNG seeding scheme ([`rng`]),
+//! * a small [`TimeSeries`] container used by the experiment harness to
+//!   collect and print figure data.
+//!
+//! # Examples
+//!
+//! ```
+//! use dh_units::{Celsius, Seconds, arrhenius};
+//!
+//! let room = Celsius::new(20.0).to_kelvin();
+//! let hot = Celsius::new(110.0).to_kelvin();
+//! // Diffusion roughly 10⁴× faster at 110 °C for an activation energy near 1 eV:
+//! let accel = arrhenius::acceleration_factor(1.0, room, hot);
+//! assert!(accel > 1.0e4 && accel < 2.0e4);
+//!
+//! let six_hours = Seconds::from_hours(6.0);
+//! assert_eq!(six_hours.as_minutes(), 360.0);
+//! ```
+
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` deliberately catches NaN
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrhenius;
+pub mod constants;
+pub mod error;
+pub mod quantity;
+pub mod rng;
+pub mod series;
+
+pub use error::QuantityError;
+pub use quantity::{
+    Amperes, Celsius, CurrentDensity, Fraction, Hertz, Kelvin, Ohms, Pascals, Seconds, Volts,
+};
+pub use series::{Sample, TimeSeries};

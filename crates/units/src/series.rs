@@ -1,0 +1,368 @@
+//! Time-series collection used by the experiment harness.
+//!
+//! Every reproduction binary regenerates a paper figure as one or more
+//! series of `(time, value)` samples. [`TimeSeries`] is the common container:
+//! it keeps samples in time order, offers interpolation and summary
+//! statistics, and renders itself as aligned plain-text columns so that the
+//! harness output can be diffed or re-plotted.
+
+use core::fmt;
+
+use crate::quantity::Seconds;
+
+/// A single `(time, value)` observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Sample {
+    /// Time of the observation, from the start of the experiment.
+    pub time: Seconds,
+    /// Observed value (unit given by the series label).
+    pub value: f64,
+}
+
+/// An append-only, time-ordered series of samples with a label.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimeSeries {
+    label: String,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive label (name and unit).
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), samples: Vec::new() }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last recorded sample (series are
+    /// append-only in time order) or if either coordinate is NaN.
+    pub fn push(&mut self, time: Seconds, value: f64) {
+        assert!(!time.value().is_nan() && !value.is_nan(), "NaN sample");
+        if let Some(last) = self.samples.last() {
+            assert!(
+                time >= last.time,
+                "samples must be pushed in time order: {} < {}",
+                time.value(),
+                last.time.value()
+            );
+        }
+        self.samples.push(Sample { time, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over the samples in time order.
+    pub fn iter(&self) -> core::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// The samples as a slice.
+    pub fn as_slice(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// First sample, if any.
+    pub fn first(&self) -> Option<Sample> {
+        self.samples.first().copied()
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Minimum value over the series, if non-empty.
+    pub fn min_value(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).reduce(f64::min)
+    }
+
+    /// Maximum value over the series, if non-empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).reduce(f64::max)
+    }
+
+    /// Linear interpolation of the value at `time`.
+    ///
+    /// Returns `None` outside the sampled time span or for an empty series.
+    pub fn value_at(&self, time: Seconds) -> Option<f64> {
+        let first = self.samples.first()?;
+        let last = self.samples.last()?;
+        if time < first.time || time > last.time {
+            return None;
+        }
+        let idx = self.samples.partition_point(|s| s.time < time);
+        if idx == 0 {
+            return Some(first.value);
+        }
+        let hi = self.samples[idx.min(self.samples.len() - 1)];
+        let lo = self.samples[idx - 1];
+        if hi.time == lo.time {
+            return Some(hi.value);
+        }
+        let w = (time - lo.time) / (hi.time - lo.time);
+        Some(lo.value + w * (hi.value - lo.value))
+    }
+
+    /// First time at which the value crosses `threshold` from below
+    /// (linearly interpolated). `None` if it never does.
+    pub fn first_crossing_above(&self, threshold: f64) -> Option<Seconds> {
+        let mut prev: Option<Sample> = None;
+        for &s in &self.samples {
+            if s.value >= threshold {
+                if let Some(p) = prev {
+                    if p.value < threshold && s.value != p.value {
+                        let w = (threshold - p.value) / (s.value - p.value);
+                        return Some(p.time + (s.time - p.time) * w);
+                    }
+                }
+                return Some(s.time);
+            }
+            prev = Some(s);
+        }
+        None
+    }
+
+    /// Renders one or more series as an ASCII line plot (time on the x
+    /// axis, shared y scale), so the reproduction binaries can show the
+    /// paper figures' *shapes* directly in the terminal.
+    ///
+    /// Each series is drawn with its own glyph (`*`, `o`, `+`, `x`, …) and
+    /// a legend line follows the plot. Empty input or all-empty series
+    /// produce an explanatory placeholder string.
+    pub fn render_plot(series: &[&TimeSeries], width: usize, height: usize) -> String {
+        let width = width.clamp(16, 240);
+        let height = height.clamp(4, 60);
+        let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+
+        let t_min = series.iter().filter_map(|s| s.first()).map(|p| p.time.value()).fold(f64::INFINITY, f64::min);
+        let t_max = series.iter().filter_map(|s| s.last()).map(|p| p.time.value()).fold(f64::NEG_INFINITY, f64::max);
+        let v_min = series.iter().filter_map(|s| s.min_value()).fold(f64::INFINITY, f64::min);
+        let v_max = series.iter().filter_map(|s| s.max_value()).fold(f64::NEG_INFINITY, f64::max);
+        if !t_min.is_finite() || !t_max.is_finite() || t_max <= t_min {
+            return "(no data to plot)\n".to_string();
+        }
+        let v_span = if v_max > v_min { v_max - v_min } else { 1.0 };
+
+        let mut canvas = vec![vec![' '; width]; height];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = glyphs[si % glyphs.len()];
+            #[allow(clippy::needless_range_loop)] // col drives both t and canvas
+            for col in 0..width {
+                let t = t_min + (t_max - t_min) * col as f64 / (width - 1) as f64;
+                if let Some(v) = s.value_at(Seconds::new(t)) {
+                    let row = ((v_max - v) / v_span * (height - 1) as f64).round() as usize;
+                    canvas[row.min(height - 1)][col] = glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for (row, line) in canvas.iter().enumerate() {
+            let label = if row == 0 {
+                format!("{v_max:>10.3} |")
+            } else if row == height - 1 {
+                format!("{v_min:>10.3} |")
+            } else {
+                format!("{:>10} |", "")
+            };
+            out.push_str(&label);
+            out.extend(line.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>10} +{}\n{:>12}{:<12.1}{:>width$.1} (min)\n",
+            "",
+            "-".repeat(width),
+            "",
+            t_min / 60.0,
+            t_max / 60.0,
+            width = width - 12
+        ));
+        for (si, s) in series.iter().enumerate() {
+            out.push_str(&format!("{:>12} {} = {}\n", "", glyphs[si % glyphs.len()], s.label()));
+        }
+        out
+    }
+
+    /// Renders several series that share a time axis as aligned plain-text
+    /// columns (time in minutes), suitable for the reproduction binaries.
+    ///
+    /// Series need not have identical sample times; values are linearly
+    /// interpolated onto the union of all sample times and absent ranges are
+    /// printed as `-`.
+    pub fn render_table(series: &[&TimeSeries]) -> String {
+        let mut times: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.samples.iter().map(|x| x.time.value()))
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN times"));
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut out = String::new();
+        out.push_str(&format!("{:>12}", "t (min)"));
+        for s in series {
+            out.push_str(&format!("  {:>24}", s.label));
+        }
+        out.push('\n');
+        for &t in &times {
+            out.push_str(&format!("{:>12.2}", t / 60.0));
+            for s in series {
+                match s.value_at(Seconds::new(t)) {
+                    Some(v) => out.push_str(&format!("  {v:>24.4}")),
+                    None => out.push_str(&format!("  {:>24}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.label)?;
+        for s in &self.samples {
+            writeln!(f, "{:.2}\t{:.6}", s.time.as_minutes(), s.value)?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Sample> for TimeSeries {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s.time, s.value);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TimeSeries {
+    type Item = &'a Sample;
+    type IntoIter = core::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(f64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for &(t, v) in pts {
+            s.push(Seconds::new(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_enforces_time_order() {
+        let mut s = TimeSeries::new("x");
+        s.push(Seconds::new(1.0), 0.0);
+        s.push(Seconds::new(1.0), 1.0); // equal times allowed (step change)
+        let result = std::panic::catch_unwind(move || {
+            s.push(Seconds::new(0.5), 2.0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let s = series(&[(0.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(s.value_at(Seconds::new(2.5)), Some(2.5));
+        assert_eq!(s.value_at(Seconds::new(0.0)), Some(0.0));
+        assert_eq!(s.value_at(Seconds::new(10.0)), Some(10.0));
+        assert_eq!(s.value_at(Seconds::new(10.1)), None);
+        assert_eq!(s.value_at(Seconds::new(-0.1)), None);
+    }
+
+    #[test]
+    fn crossing_detection_interpolates() {
+        let s = series(&[(0.0, 0.0), (10.0, 10.0)]);
+        let t = s.first_crossing_above(5.0).unwrap();
+        assert!((t.value() - 5.0).abs() < 1e-9);
+        assert!(s.first_crossing_above(11.0).is_none());
+    }
+
+    #[test]
+    fn crossing_at_first_sample() {
+        let s = series(&[(0.0, 7.0), (10.0, 10.0)]);
+        assert_eq!(s.first_crossing_above(5.0), Some(Seconds::new(0.0)));
+    }
+
+    #[test]
+    fn min_max_values() {
+        let s = series(&[(0.0, 3.0), (1.0, -2.0), (2.0, 5.0)]);
+        assert_eq!(s.min_value(), Some(-2.0));
+        assert_eq!(s.max_value(), Some(5.0));
+        assert_eq!(TimeSeries::new("e").min_value(), None);
+    }
+
+    #[test]
+    fn render_table_aligns_multiple_series() {
+        let a = series(&[(0.0, 1.0), (60.0, 2.0)]);
+        let b = series(&[(60.0, 5.0), (120.0, 6.0)]);
+        let table = TimeSeries::render_table(&[&a, &b]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 distinct times
+        assert!(lines[0].contains("t (min)"));
+        assert!(lines[1].contains('-')); // b absent at t=0
+    }
+
+    #[test]
+    fn plot_renders_shapes_and_legend() {
+        let rising = series(&[(0.0, 1.0), (600.0, 2.0)]);
+        let falling = series(&[(0.0, 2.0), (600.0, 1.0)]);
+        let plot = TimeSeries::render_plot(&[&rising, &falling], 40, 10);
+        assert!(plot.contains('*') && plot.contains('o'));
+        assert!(plot.contains("test")); // legend
+        assert!(plot.contains("2.000") && plot.contains("1.000")); // y labels
+        // The rising series starts at the bottom-left region and the
+        // falling one at the top-left.
+        let lines: Vec<&str> = plot.lines().collect();
+        assert!(lines[0].contains('o'), "top row starts with the falling series");
+        assert!(lines[9].contains('o'), "bottom row ends with the falling series");
+    }
+
+    #[test]
+    fn plot_handles_empty_input() {
+        assert_eq!(TimeSeries::render_plot(&[], 40, 10), "(no data to plot)\n");
+        let empty = TimeSeries::new("e");
+        assert_eq!(TimeSeries::render_plot(&[&empty], 40, 10), "(no data to plot)\n");
+    }
+
+    #[test]
+    fn plot_clamps_degenerate_dimensions() {
+        let s = series(&[(0.0, 1.0), (60.0, 1.0)]);
+        // Constant series, tiny canvas: must not panic or divide by zero.
+        let plot = TimeSeries::render_plot(&[&s], 1, 1);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn display_renders_minutes() {
+        let s = series(&[(120.0, 1.5)]);
+        let text = s.to_string();
+        assert!(text.contains("# test"));
+        assert!(text.contains("2.00\t1.500000"));
+    }
+}

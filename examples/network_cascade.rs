@@ -1,0 +1,66 @@
+//! Redundant interconnect under EM: current redistribution, a failure
+//! cascade, and rescue by periodic current reversal.
+//!
+//! ```sh
+//! cargo run --release --example network_cascade
+//! ```
+
+use deep_healing::em::network::EmNetwork;
+use deep_healing::prelude::*;
+
+fn supply() -> f64 {
+    // ≈8 MA/cm² in the short branch of the built-in asymmetric pair.
+    8.0e10 * 0.4e-6 * 0.35e-6 * 320.0 / 180.0
+}
+
+fn main() {
+    use deep_healing::units::Amperes;
+    let i = Amperes::new(supply());
+
+    println!("== a redundant pair under continuous stress ==\n");
+    let mut net = EmNetwork::redundant_pair();
+    let mut last_failed = 0;
+    for hour in 1..=120 {
+        net.advance(Seconds::from_hours(1.0), i);
+        let failed = net.failed_segments();
+        if failed != last_failed {
+            let currents = net
+                .segment_currents(i)
+                .map(|c| c.iter().map(|a| format!("{:.2} mA", a.value() * 1e3)).collect::<Vec<_>>().join(", "))
+                .unwrap_or_else(|| "—".into());
+            println!(
+                "t = {hour:>3} h: {failed} segment(s) failed; surviving currents: {currents}"
+            );
+            last_failed = failed;
+        }
+        if !net.is_connected() {
+            println!("t = {hour:>3} h: network disconnected — supply lost");
+            break;
+        }
+    }
+
+    println!("\n== the same pair with 20% periodic current reversal ==\n");
+    let mut healed = EmNetwork::redundant_pair();
+    let mut hours = 0;
+    while healed.is_connected() && hours < 240 {
+        healed.advance(Seconds::from_hours(4.0), i);
+        healed.advance(Seconds::from_hours(1.0), -i);
+        hours += 5;
+    }
+    if healed.is_connected() {
+        println!("still connected after {hours} h — reversal duty outruns the wearout");
+    } else {
+        println!("disconnected at ~{hours} h (vs unprotected above)");
+    }
+    let total_dr: f64 = healed
+        .segments()
+        .iter()
+        .map(|s| s.wire.delta_resistance().value())
+        .filter(|dr| dr.is_finite())
+        .map(|dr| dr.max(0.0))
+        .sum();
+    println!(
+        "aggregate ΔR across surviving branches: {total_dr:.3} Ω ({} broken)",
+        healed.failed_segments()
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: stress a BTI device, then heal it under each of the
+//! paper's four recovery conditions (Table I), and watch an EM wire go
+//! through nucleation, growth, and active recovery (Fig. 5).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use deep_healing::prelude::*;
+
+fn main() {
+    // ---- BTI: Table I in five lines ----------------------------------
+    println!("== BTI: 24 h accelerated stress, then 6 h recovery ==\n");
+    let model = AnalyticBtiModel::paper_calibrated();
+    for (i, cond) in RecoveryCondition::table_one().iter().enumerate() {
+        let r = model.recovery_fraction(
+            Seconds::from_hours(24.0),
+            Seconds::from_hours(6.0),
+            *cond,
+        );
+        println!("condition {}: {:<34} recovers {:>5.1}", i + 1, cond.to_string(), r);
+    }
+
+    // The same protocol on the stateful device, step by step.
+    let mut device = BtiDevice::paper_calibrated();
+    device.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+    println!("\nafter stress: ΔVth = {:.1} mV", device.delta_vth_mv());
+    device.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+    println!(
+        "after deep healing: ΔVth = {:.1} mV ({:.1} recovered)",
+        device.delta_vth_mv(),
+        device.segment_recovery()
+    );
+
+    // ---- EM: nucleation, growth, active recovery ---------------------
+    println!("\n== EM: the paper's Cu test wire at 230 °C, ±7.96 MA/cm² ==\n");
+    let mut wire = EmWire::paper_wire();
+    let j = CurrentDensity::from_ma_per_cm2(7.96);
+    println!("fresh:        R = {:.2}", wire.resistance());
+    wire.advance(Seconds::from_minutes(550.0), j);
+    println!(
+        "after stress: R = {:.2} (void {} nm at the cathode)",
+        wire.resistance(),
+        (wire.void_length_m(WireEnd::Cathode) * 1e9).round()
+    );
+    wire.advance(Seconds::from_minutes(110.0), -j);
+    println!(
+        "after active recovery (reverse current, 1/5 of stress time): R = {:.2}",
+        wire.resistance()
+    );
+    println!(
+        "permanent (pinned) void: {} nm",
+        (wire.pinned_length_m(WireEnd::Cathode) * 1e9).round()
+    );
+}

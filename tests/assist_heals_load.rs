@@ -1,0 +1,94 @@
+//! Integration: the assist circuitry's solved BTI-recovery bias actually
+//! heals a BTI device faster than the paper's −0.3 V experimental knob —
+//! closing the loop between the circuit (Figs. 8–9) and device (Table I)
+//! halves of the paper.
+
+use deep_healing::prelude::*;
+
+fn stressed_device() -> BtiDevice {
+    let mut d = BtiDevice::paper_calibrated();
+    d.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+    d
+}
+
+#[test]
+fn assist_bias_outheals_the_experimental_bias() {
+    let assist = AssistCircuit::paper_28nm();
+    let bias = assist.solve(Mode::BtiActiveRecovery).unwrap().bti_recovery_bias();
+    assert!(bias < Volts::new(-0.5), "assist bias {bias}");
+
+    let hot = Celsius::new(110.0);
+    let mut via_assist = stressed_device();
+    via_assist.recover(Seconds::from_hours(2.0), RecoveryCondition::new(bias, hot));
+
+    let mut via_bench = stressed_device();
+    via_bench.recover(Seconds::from_hours(2.0), RecoveryCondition::new(Volts::new(-0.3), hot));
+
+    assert!(
+        via_assist.delta_vth_mv() < via_bench.delta_vth_mv(),
+        "assist {:.2} mV vs bench-supply {:.2} mV",
+        via_assist.delta_vth_mv(),
+        via_bench.delta_vth_mv()
+    );
+}
+
+#[test]
+fn neighbour_heating_accelerates_recovery_of_a_dark_core() {
+    // Fig. 12(a): a dark core surrounded by busy neighbours recovers
+    // faster than one on an idle chip — temperature is a healing knob.
+    let mut grid = ThermalGrid::new(GridConfig::manycore_4x4()).unwrap();
+    let mut busy_power = vec![2.0; 16];
+    busy_power[5] = 0.0; // the dark, recovering core
+    grid.settle(&busy_power).unwrap();
+    let warm = grid.temperature(1, 1);
+
+    let mut idle_grid = ThermalGrid::new(GridConfig::manycore_4x4()).unwrap();
+    idle_grid.settle(&[0.0; 16]).unwrap();
+    let cool = idle_grid.temperature(1, 1);
+    assert!(warm > cool);
+
+    let bias = Volts::new(-0.3);
+    let mut warm_core = stressed_device();
+    warm_core.recover(
+        Seconds::from_hours(2.0),
+        RecoveryCondition { gate_voltage: bias, temperature: warm },
+    );
+    let mut cool_core = stressed_device();
+    cool_core.recover(
+        Seconds::from_hours(2.0),
+        RecoveryCondition { gate_voltage: bias, temperature: cool },
+    );
+    assert!(
+        warm_core.delta_vth_mv() < cool_core.delta_vth_mv(),
+        "warm {:.2} mV vs cool {:.2} mV",
+        warm_core.delta_vth_mv(),
+        cool_core.delta_vth_mv()
+    );
+}
+
+#[test]
+fn aged_load_slows_the_ring_oscillator_and_healing_restores_it() {
+    let ro = RingOscillator::paper_75_stage();
+    let mut device = stressed_device();
+    let f_aged = ro.frequency(device.delta_vth_mv());
+    device.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+    let f_healed = ro.frequency(device.delta_vth_mv());
+    let f_fresh = ro.frequency(0.0);
+    assert!(f_aged < f_healed && f_healed < f_fresh);
+    // Deep healing restores most of the lost frequency.
+    let restored = (f_healed.value() - f_aged.value()) / (f_fresh.value() - f_aged.value());
+    assert!(restored > 0.6, "restored {restored:.2} of the frequency loss");
+}
+
+#[test]
+fn em_recovery_mode_does_not_break_the_load_supply() {
+    // In EM active recovery the load must keep functioning (the paper
+    // schedules it during operation).
+    let c = AssistCircuit::paper_28nm();
+    let normal = c.solve(Mode::Normal).unwrap();
+    let em = c.solve(Mode::EmActiveRecovery).unwrap();
+    let v_n = (normal.load_vdd - normal.load_vss).value();
+    let v_e = (em.load_vdd - em.load_vss).value();
+    assert!((v_n - v_e).abs() < 1e-9, "load supply changed: {v_n} vs {v_e}");
+    assert!(v_e > 0.4, "load must stay functional, got {v_e} V");
+}

@@ -1,0 +1,235 @@
+//! Property-based invariants across the public API (proptest).
+
+use deep_healing::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recovery fraction is always a valid fraction and monotone in
+    /// recovery time, for any stress/recovery condition in a wide range.
+    #[test]
+    fn bti_recovery_fraction_is_bounded_and_monotone(
+        stress_h in 0.5f64..200.0,
+        rec_h in 0.1f64..100.0,
+        bias_mv in 0.0f64..800.0,
+        temp_c in -20.0f64..180.0,
+    ) {
+        let model = AnalyticBtiModel::paper_calibrated();
+        let cond = RecoveryCondition::new(Volts::new(-bias_mv / 1000.0), Celsius::new(temp_c));
+        let stress = Seconds::from_hours(stress_h);
+        let r1 = model.recovery_fraction(stress, Seconds::from_hours(rec_h), cond);
+        let r2 = model.recovery_fraction(stress, Seconds::from_hours(rec_h * 2.0), cond);
+        prop_assert!(r1.value() >= 0.0 && r1.value() <= 1.0);
+        prop_assert!(r2 >= r1, "doubling recovery time reduced recovery: {r1} -> {r2}");
+    }
+
+    /// Deeper conditions never recover less.
+    #[test]
+    fn bti_recovery_is_monotone_in_condition_depth(
+        bias_mv in 0.0f64..500.0,
+        temp_c in 20.0f64..150.0,
+    ) {
+        let model = AnalyticBtiModel::paper_calibrated();
+        let stress = Seconds::from_hours(24.0);
+        let rec = Seconds::from_hours(6.0);
+        let base = model.recovery_fraction(
+            stress, rec, RecoveryCondition::new(Volts::new(-bias_mv / 1000.0), Celsius::new(temp_c)));
+        let more_bias = model.recovery_fraction(
+            stress, rec, RecoveryCondition::new(Volts::new(-(bias_mv + 50.0) / 1000.0), Celsius::new(temp_c)));
+        let more_heat = model.recovery_fraction(
+            stress, rec, RecoveryCondition::new(Volts::new(-bias_mv / 1000.0), Celsius::new(temp_c + 20.0)));
+        prop_assert!(more_bias >= base);
+        prop_assert!(more_heat >= base);
+    }
+
+    /// The BTI device never reports negative wearout and its permanent
+    /// component never exceeds the total, under arbitrary schedules.
+    #[test]
+    fn bti_device_pools_stay_consistent(ops in proptest::collection::vec((0u8..2, 1u32..48), 1..24)) {
+        let mut device = BtiDevice::paper_calibrated();
+        for (op, half_hours) in ops {
+            let dt = Seconds::from_hours(f64::from(half_hours) * 0.5);
+            if op == 0 {
+                device.stress(dt, StressCondition::ACCELERATED);
+            } else {
+                device.recover(dt, RecoveryCondition::ACTIVE_ACCELERATED);
+            }
+            prop_assert!(device.delta_vth_mv() >= -1e-9);
+            prop_assert!(device.permanent_mv() <= device.delta_vth_mv() + 1e-9);
+            prop_assert!(device.hard_permanent_mv() <= device.permanent_mv() + 1e-9);
+        }
+    }
+
+    /// The ring oscillator sensor inverts its own frequency map exactly
+    /// over the full usable range.
+    #[test]
+    fn ro_sensor_round_trips(dvth in 0.0f64..400.0) {
+        let ro = RingOscillator::paper_75_stage();
+        let f = ro.frequency(dvth);
+        if f.value() > 0.0 {
+            let est = ro.infer_delta_vth_mv(f).unwrap();
+            prop_assert!((est - dvth).abs() < 0.05, "dvth {dvth} est {est}");
+        }
+    }
+
+    /// EM wire resistance is finite and at least the fresh baseline until
+    /// failure, for any mix of stress and recovery intervals.
+    #[test]
+    fn em_wire_resistance_bounded(ops in proptest::collection::vec((0u8..3, 5u32..120), 1..12)) {
+        let mut wire = EmWire::paper_wire();
+        let baseline = wire.resistance().value();
+        for (op, minutes) in ops {
+            let j = match op {
+                0 => CurrentDensity::from_ma_per_cm2(7.96),
+                1 => CurrentDensity::from_ma_per_cm2(-7.96),
+                _ => CurrentDensity::ZERO,
+            };
+            wire.advance(Seconds::from_minutes(f64::from(minutes)), j);
+            if wire.is_failed() {
+                break;
+            }
+            let r = wire.resistance().value();
+            prop_assert!(r.is_finite());
+            prop_assert!(r >= baseline - 1e-9, "resistance fell below fresh: {r} < {baseline}");
+        }
+    }
+
+    /// The Korhonen PDE conserves matter for any pre-nucleation stress
+    /// pattern: the control-volume integral of σ stays ≈0 under blocked
+    /// boundaries, whatever current sequence is applied.
+    #[test]
+    fn em_pde_conserves_stress_integral(ops in proptest::collection::vec((0u8..3, 5u32..40), 1..6)) {
+        let mut wire = EmWire::paper_wire();
+        for (op, minutes) in ops {
+            let j = match op {
+                0 => CurrentDensity::from_ma_per_cm2(5.0),
+                1 => CurrentDensity::from_ma_per_cm2(-5.0),
+                _ => CurrentDensity::ZERO,
+            };
+            wire.advance(Seconds::from_minutes(f64::from(minutes)), j);
+        }
+        prop_assume!(!wire.has_void());
+        let profile = wire.stress_profile();
+        // Uniform trapezoid weights are enough for the invariant check.
+        let mut integral = 0.0;
+        let mut scale = 0.0;
+        for pair in profile.windows(2) {
+            let dx = pair[1].0 - pair[0].0;
+            let avg = 0.5 * (pair[0].1 + pair[1].1);
+            integral += avg * dx;
+            scale += avg.abs() * dx;
+        }
+        prop_assert!(
+            integral.abs() <= 1e-6 * scale.max(1e-300) + 1e-12,
+            "∫σ = {integral:.3e}, scale {scale:.3e}"
+        );
+    }
+
+    /// Black's model: TTF is monotone decreasing in stress and quantiles
+    /// are ordered, across the full operating envelope.
+    #[test]
+    fn black_ttf_monotone(j1 in 0.2f64..5.0, dj in 0.1f64..3.0, t_c in 25.0f64..250.0) {
+        let black = BlackModel::calibrated_to_paper();
+        let t = Celsius::new(t_c).to_kelvin();
+        let lo = black.median_ttf(CurrentDensity::from_ma_per_cm2(j1), t);
+        let hi = black.median_ttf(CurrentDensity::from_ma_per_cm2(j1 + dj), t);
+        prop_assert!(hi < lo);
+        let q10 = black.ttf_quantile(CurrentDensity::from_ma_per_cm2(j1), t, 0.1);
+        let q90 = black.ttf_quantile(CurrentDensity::from_ma_per_cm2(j1), t, 0.9);
+        prop_assert!(q10 < lo && lo < q90);
+    }
+
+    /// The thermal grid's settled temperatures always sit between ambient
+    /// and ambient + P_total·R_vertical (maximum-principle bound).
+    #[test]
+    fn thermal_grid_respects_bounds(powers in proptest::collection::vec(0.0f64..4.0, 16)) {
+        let mut grid = ThermalGrid::new(GridConfig::manycore_4x4()).unwrap();
+        grid.settle(&powers).unwrap();
+        let ambient = 45.0;
+        let p_max = powers.iter().cloned().fold(0.0, f64::max);
+        for t in grid.temperatures() {
+            let c = t.to_celsius().value();
+            prop_assert!(c >= ambient - 1e-6);
+            // No tile can exceed the hottest tile's own worst-case rise.
+            prop_assert!(c <= ambient + p_max * 20.0 + 1e-6, "t = {c}");
+        }
+    }
+
+    /// Duty-cycled BTI stress: for any duty and period, the outcome is a
+    /// valid state (total ≥ permanent ≥ 0) and never exceeds the DC
+    /// worst case at the same cumulative stress time.
+    #[test]
+    fn bti_duty_cycle_bounded_by_dc(
+        duty in 0.1f64..1.0,
+        period_h in 0.5f64..12.0,
+    ) {
+        use deep_healing::bti::ac::duty_cycle_run;
+        use deep_healing::bti::analytic::AnalyticBtiModel;
+        let model = AnalyticBtiModel::paper_calibrated();
+        let out = duty_cycle_run(
+            model,
+            StressCondition::ACCELERATED,
+            RecoveryCondition::ACTIVE_ACCELERATED,
+            Seconds::from_hours(period_h),
+            duty,
+            Seconds::from_hours(12.0),
+        );
+        prop_assert!(out.total_mv >= 0.0);
+        prop_assert!(out.permanent_mv >= 0.0);
+        prop_assert!(out.permanent_mv <= out.total_mv + 1e-9);
+        // DC reference with the same cumulative ON time.
+        let mut dc = BtiDevice::new(model);
+        dc.stress(Seconds::from_hours(12.0), StressCondition::ACCELERATED);
+        prop_assert!(
+            out.total_mv <= dc.delta_vth_mv() * 1.05,
+            "duty-cycled {} must not exceed DC {}",
+            out.total_mv,
+            dc.delta_vth_mv()
+        );
+    }
+
+    /// EM network: segment currents always satisfy KCL at the source for
+    /// any (possibly asymmetric) two-branch topology.
+    #[test]
+    fn em_network_conserves_current(
+        len_a_um in 60.0f64..300.0,
+        len_b_um in 60.0f64..300.0,
+        supply_ma in 1.0f64..30.0,
+    ) {
+        use deep_healing::em::material::EmMaterial;
+        use deep_healing::units::Amperes;
+        let net = EmNetwork::new(
+            2,
+            &[(0, 1, len_a_um * 1e-6), (0, 1, len_b_um * 1e-6)],
+            0.4e-6,
+            0.35e-6,
+            EmMaterial::damascene_copper(),
+            Celsius::new(230.0).to_kelvin(),
+            0,
+            1,
+        ).expect("valid topology");
+        let supply = Amperes::new(supply_ma * 1e-3);
+        let currents = net.segment_currents(supply).expect("connected");
+        let total: f64 = currents.iter().map(|c| c.value()).sum();
+        prop_assert!((total - supply.value()).abs() / supply.value() < 1e-9);
+        // The shorter branch carries at least as much current.
+        let (short_idx, long_idx) = if len_a_um <= len_b_um { (0, 1) } else { (1, 0) };
+        prop_assert!(currents[short_idx].value() >= currents[long_idx].value() - 1e-15);
+    }
+
+    /// Assist circuit: for any header width and sane loads, EM mode always
+    /// reverses the grid current at equal magnitude.
+    #[test]
+    fn assist_em_mode_symmetry(width in 0.5f64..8.0, load in 500.0f64..10_000.0) {
+        let c = AssistCircuit::paper_28nm()
+            .with_header_width(width)
+            .with_load_active(Ohms::new(load));
+        let normal = c.solve(Mode::Normal).unwrap();
+        let em = c.solve(Mode::EmActiveRecovery).unwrap();
+        prop_assert!(normal.grid_current.value() > 0.0);
+        prop_assert!(em.grid_current.value() < 0.0);
+        let ratio = -em.grid_current.value() / normal.grid_current.value();
+        prop_assert!((ratio - 1.0).abs() < 1e-6, "asymmetry ratio {ratio}");
+    }
+}

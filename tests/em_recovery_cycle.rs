@@ -1,0 +1,102 @@
+//! Integration: the EM wire driven through full Fig. 5/6/7-style
+//! protocols via the public API, including PDN-derived stress levels.
+
+use deep_healing::pdn::grid::{LayerClass, PdnConfig, PdnMesh};
+use deep_healing::prelude::*;
+
+const J: CurrentDensity = CurrentDensity::new(7.96e10);
+
+#[test]
+fn full_stress_heal_stress_cycle_extends_life() {
+    // A wire that receives one mid-life healing session outlives an
+    // identical wire under continuous stress.
+    let mut healed = EmWire::paper_wire();
+    let mut continuous = EmWire::paper_wire();
+
+    let mut continuous_ttf = None;
+    let mut healed_ttf = None;
+    let step = Seconds::from_minutes(10.0);
+    for minute in (0..(48 * 60)).step_by(10) {
+        if continuous_ttf.is_none() {
+            continuous.advance(step, J);
+            if continuous.is_failed() {
+                continuous_ttf = Some(minute);
+            }
+        }
+        if healed_ttf.is_none() {
+            // Healing session between minutes 400 and 520.
+            let j = if (400..520).contains(&minute) { -J } else { J };
+            healed.advance(step, j);
+            if healed.is_failed() {
+                healed_ttf = Some(minute);
+            }
+        }
+        if continuous_ttf.is_some() && healed_ttf.is_some() {
+            break;
+        }
+    }
+    let c = continuous_ttf.expect("continuous stress kills the wire");
+    let h = healed_ttf.expect("healed wire eventually fails too");
+    assert!(
+        h > c + 300,
+        "healed wire failed at {h} min, continuous at {c} min — healing bought too little"
+    );
+}
+
+#[test]
+fn pdn_current_density_is_survivable_but_nonzero_wear() {
+    // Close the loop: local-grid current density from the PDN solve, fed
+    // into the Black model, must give a multi-year (but finite) lifetime —
+    // the regime where scheduled recovery matters.
+    let mesh = PdnMesh::new(PdnConfig::default_chip()).unwrap();
+    let sol = mesh.solve_uniform_load(0.4e-3).unwrap();
+    let j_local = sol.peak_density(LayerClass::Local);
+    assert!(j_local.as_ma_per_cm2() > 0.3);
+
+    let black = BlackModel::calibrated_to_paper();
+    let ttf = black.median_ttf(j_local, Celsius::new(85.0).to_kelvin());
+    assert!(
+        ttf.as_years() > 3.0 && ttf.as_years() < 1.0e5,
+        "local-grid TTF {} years",
+        ttf.as_years()
+    );
+}
+
+#[test]
+fn accelerated_oven_conditions_map_to_use_conditions_consistently() {
+    // The Black model's acceleration factor must be consistent with its
+    // own TTFs (sanity for the scheduler's de-rating path).
+    let black = BlackModel::calibrated_to_paper();
+    let j_use = CurrentDensity::from_ma_per_cm2(1.2);
+    let t_use = Celsius::new(85.0).to_kelvin();
+    let t_oven = Celsius::new(230.0).to_kelvin();
+    let af = black.acceleration_factor(j_use, t_use, J, t_oven);
+    let ratio = black.median_ttf(j_use, t_use) / black.median_ttf(J, t_oven);
+    assert!((af - ratio).abs() / ratio < 1e-9);
+    assert!(af > 1000.0, "oven test must be strongly accelerated, af = {af}");
+}
+
+#[test]
+fn thermal_chamber_drives_the_wire_like_a_constant_oven() {
+    // Replaying the oven's ±0.3 °C fluctuation through the wire changes
+    // nothing macroscopic: nucleation time shifts by under 10 %.
+    let chamber = ThermalChamber::paper(Celsius::new(230.0));
+    let mut fluctuating = EmWire::paper_wire();
+    let mut constant = EmWire::paper_wire();
+
+    let mut fl_nuc = None;
+    let mut ct_nuc = None;
+    for minute in 1..=360 {
+        fluctuating.set_temperature(chamber.temperature_at(Seconds::from_minutes(minute as f64)));
+        fluctuating.advance(Seconds::from_minutes(1.0), J);
+        constant.advance(Seconds::from_minutes(1.0), J);
+        if fl_nuc.is_none() && fluctuating.has_void() {
+            fl_nuc = Some(minute);
+        }
+        if ct_nuc.is_none() && constant.has_void() {
+            ct_nuc = Some(minute);
+        }
+    }
+    let (f, c) = (fl_nuc.expect("nucleates") as f64, ct_nuc.expect("nucleates") as f64);
+    assert!((f - c).abs() / c < 0.1, "fluctuating {f} vs constant {c}");
+}

@@ -1,0 +1,87 @@
+//! Integration: the statistical layers (device/wire populations, sensor
+//! arrays) feeding the margin stack — the "worst device on the die" view
+//! that design guardbands actually protect.
+
+use deep_healing::bti::variability::DevicePopulation;
+use deep_healing::circuit::ro_array::RoArray;
+use deep_healing::em::population::{simulate_population, VariationModel};
+use deep_healing::guardband::{frequency_margin_for_dvth, margin_stack};
+use deep_healing::prelude::*;
+
+#[test]
+fn quantile_guardband_from_a_device_population() {
+    // Stress a varied population and build the margin stack from its
+    // 95th-percentile device, with and without sensor-array calibration.
+    let mut population = DevicePopulation::sample(12, 600, 0.25, 7).unwrap();
+    population.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+    let q95 = population.quantile_mv(0.95);
+    assert!(q95 > 40.0, "accelerated stress should approach ~50 mV, q95 = {q95}");
+
+    let ro = RingOscillator::paper_75_stage();
+    let array = RoArray::paper_4x4(42);
+    let uncalibrated = margin_stack(&ro, q95, array.fresh_spread_fraction(), 1.0);
+    let calibrated = margin_stack(&ro, q95, 0.0, 1.0);
+    assert!(uncalibrated.total() > calibrated.total());
+    // Wearout dominates the stack at accelerated levels.
+    assert!(calibrated.wearout > 5.0 * calibrated.sensing);
+}
+
+#[test]
+fn healing_the_population_shrinks_the_margin_stack() {
+    let ro = RingOscillator::paper_75_stage();
+    let mut population = DevicePopulation::sample(10, 600, 0.25, 9).unwrap();
+    population.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+    let before = margin_stack(&ro, population.quantile_mv(0.95), 0.0, 1.0);
+    population.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+    let after = margin_stack(&ro, population.quantile_mv(0.95), 0.0, 1.0);
+    assert!(
+        after.wearout < 0.4 * before.wearout,
+        "deep healing must collapse the wearout margin: {} -> {}",
+        before.wearout,
+        after.wearout
+    );
+}
+
+#[test]
+fn pde_population_and_black_model_tell_the_same_fleet_story() {
+    // The physics-derived TTF distribution and the closed-form Black model
+    // must agree on median scale and spread at the calibration point.
+    let pop = simulate_population(
+        24,
+        CurrentDensity::from_ma_per_cm2(7.96),
+        VariationModel::default(),
+        Seconds::from_hours(48.0),
+        17,
+    );
+    let median = pop.median().expect("all wires fail").as_hours();
+    let black = BlackModel::calibrated_to_paper();
+    let black_median = black
+        .median_ttf(CurrentDensity::from_ma_per_cm2(7.96), Celsius::new(230.0).to_kelvin())
+        .as_hours();
+    assert!(
+        (median - black_median).abs() / black_median < 0.4,
+        "PDE median {median} h vs Black {black_median} h"
+    );
+    let sigma = pop.ln_sigma().expect("spread exists");
+    assert!((0.1..0.6).contains(&sigma), "ln-sigma {sigma} vs Black's 0.3");
+}
+
+#[test]
+fn sensor_array_infers_population_state_through_process_variation() {
+    // End to end: age a device, read it through every (process-varied,
+    // calibrated) array site — all sites must agree on the wearout.
+    let mut device = BtiDevice::paper_calibrated();
+    device.stress(Seconds::from_hours(12.0), StressCondition::ACCELERATED);
+    let truth = device.delta_vth_mv();
+
+    let array = RoArray::paper_4x4(3);
+    for site in 0..array.len() {
+        let raw = array.raw_reading(site, truth);
+        let est = array.infer_dvth_mv(site, raw).expect("within range");
+        assert!((est - truth).abs() < 0.05, "site {site}: {est} vs {truth}");
+    }
+    // And the frequency margin implied by the estimate matches the truth.
+    let ro = RingOscillator::paper_75_stage();
+    let m_est = frequency_margin_for_dvth(&ro, truth);
+    assert!(m_est > 0.0 && m_est < 0.2);
+}

@@ -1,0 +1,85 @@
+//! End-to-end Table I reproduction: both BTI models, driven through the
+//! public façade, must land on the paper's numbers.
+
+use deep_healing::experiments;
+use deep_healing::prelude::*;
+
+#[test]
+fn both_models_reproduce_table_one() {
+    let t = experiments::table1();
+    let paper_meas = [0.66, 16.7, 28.7, 72.4];
+    let paper_model = [1.0, 14.4, 29.2, 72.7];
+    for (i, row) in t.rows.iter().enumerate() {
+        assert_eq!(row.condition_no, i + 1);
+        assert!((row.paper_measurement - paper_meas[i]).abs() < 1e-9);
+        assert!((row.paper_model - paper_model[i]).abs() < 1e-9);
+        assert!(
+            (row.simulated_measurement - paper_meas[i]).abs() < 1.5,
+            "condition {}: ensemble {:.2}% vs paper {:.2}%",
+            i + 1,
+            row.simulated_measurement,
+            paper_meas[i]
+        );
+        assert!(
+            (row.simulated_model - paper_model[i]).abs() < 0.5,
+            "condition {}: analytic {:.2}% vs paper {:.2}%",
+            i + 1,
+            row.simulated_model,
+            paper_model[i]
+        );
+    }
+}
+
+#[test]
+fn the_two_models_agree_with_each_other_on_novel_conditions() {
+    // Cross-validation at conditions neither was directly calibrated to.
+    let analytic = AnalyticBtiModel::paper_calibrated();
+    let ensemble = TrapEnsemble::paper_calibrated(3000).unwrap();
+    let stress = Seconds::from_hours(24.0);
+
+    let mut analytic_rs = Vec::new();
+    let mut ensemble_rs = Vec::new();
+    for (v, t) in [(0.0, 85.0), (-0.15, 65.0), (-0.3, 65.0), (-0.2, 110.0)] {
+        let cond = RecoveryCondition::new(Volts::new(v), Celsius::new(t));
+        let r_analytic = analytic
+            .recovery_fraction(stress, Seconds::from_hours(6.0), cond)
+            .as_percent();
+
+        let mut e = ensemble.clone();
+        e.stress(stress, StressCondition::ACCELERATED);
+        let w0 = e.delta_vth_mv();
+        e.recover(Seconds::from_hours(6.0), cond);
+        let r_ensemble = (w0 - e.delta_vth_mv()) / w0 * 100.0;
+
+        // The two model families were calibrated only at the four Table I
+        // corners; between them they interpolate differently (interaction
+        // term vs CDF shape), so agreement within ~15 points is the
+        // meaningful bound.
+        assert!(
+            (r_analytic - r_ensemble).abs() < 15.0,
+            "({v} V, {t} °C): analytic {r_analytic:.1}% vs ensemble {r_ensemble:.1}%"
+        );
+        analytic_rs.push(r_analytic);
+        ensemble_rs.push(r_ensemble);
+    }
+    // The conditions above are ordered from shallowest to deepest; both
+    // models must rank them identically.
+    for pair in analytic_rs.windows(2) {
+        assert!(pair[1] > pair[0], "analytic ordering broke: {analytic_rs:?}");
+    }
+    for pair in ensemble_rs.windows(2) {
+        assert!(pair[1] > pair[0], "ensemble ordering broke: {ensemble_rs:?}");
+    }
+}
+
+#[test]
+fn recovery_percentage_grows_with_each_knob_in_both_models() {
+    let t = experiments::table1();
+    let sim_m: Vec<f64> = t.rows.iter().map(|r| r.simulated_measurement).collect();
+    let sim_a: Vec<f64> = t.rows.iter().map(|r| r.simulated_model).collect();
+    for sims in [sim_m, sim_a] {
+        assert!(sims[0] < sims[1], "active beats passive: {sims:?}");
+        assert!(sims[0] < sims[2], "accelerated beats passive: {sims:?}");
+        assert!(sims[1] < sims[3] && sims[2] < sims[3], "deep healing wins: {sims:?}");
+    }
+}
