@@ -31,7 +31,10 @@ fn bench_device(c: &mut Criterion) {
             |mut device| {
                 for _ in 0..24 {
                     device.stress(Seconds::from_hours(1.0), StressCondition::ACCELERATED);
-                    device.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+                    device.recover(
+                        Seconds::from_hours(1.0),
+                        RecoveryCondition::ACTIVE_ACCELERATED,
+                    );
                 }
                 device.delta_vth_mv()
             },
@@ -58,7 +61,10 @@ fn bench_ensemble(c: &mut Criterion) {
         b.iter_batched(
             || stressed.clone(),
             |mut e| {
-                e.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+                e.recover(
+                    Seconds::from_hours(6.0),
+                    RecoveryCondition::ACTIVE_ACCELERATED,
+                );
                 e.delta_vth_mv()
             },
             BatchSize::SmallInput,
@@ -69,11 +75,15 @@ fn bench_ensemble(c: &mut Criterion) {
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("repro");
     group.sample_size(10);
-    group.bench_function("table1_full", |b| {
-        b.iter(deep_healing::experiments::table1)
-    });
+    group.bench_function("table1_full", |b| b.iter(deep_healing::experiments::table1));
     group.finish();
 }
 
-criterion_group!(benches, bench_analytic, bench_device, bench_ensemble, bench_table1);
+criterion_group!(
+    benches,
+    bench_analytic,
+    bench_device,
+    bench_ensemble,
+    bench_table1
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@ use deep_healing::prelude::*;
 fn bench_assist(c: &mut Criterion) {
     let circuit = AssistCircuit::paper_28nm();
     for mode in Mode::ALL {
-        c.bench_function(&format!("circuit/assist_solve/{mode}"), |b| {
+        c.bench_function(format!("circuit/assist_solve/{mode}"), |b| {
             b.iter(|| circuit.solve(mode).expect("paper circuit solves"))
         });
     }

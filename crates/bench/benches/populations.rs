@@ -31,7 +31,10 @@ fn bench_em_population(c: &mut Criterion) {
         b.iter(|| {
             let mut p = DevicePopulation::sample(8, 500, 0.25, 11).expect("valid population");
             p.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
-            p.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+            p.recover(
+                Seconds::from_hours(6.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
             p.stats()
         })
     });
@@ -87,5 +90,11 @@ fn bench_ro_array(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_em_population, bench_network, bench_wear_loop, bench_ro_array);
+criterion_group!(
+    benches,
+    bench_em_population,
+    bench_network,
+    bench_wear_loop,
+    bench_ro_array
+);
 criterion_main!(benches);

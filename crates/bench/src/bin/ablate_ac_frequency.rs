@@ -30,16 +30,31 @@ fn main() {
     for o in &outs {
         println!(
             "{:>16} {:>18} {:>14} {:>18.1}",
-            if o.period.value() == 0.0 { "DC".to_string() } else { format!("{:.0}", o.period.as_minutes()) },
-            o.nucleation.map(|t| format!("{:.0}", t.as_minutes())).unwrap_or_else(|| "none".into()),
-            o.ttf.map(|t| format!("{:.0}", t.as_minutes())).unwrap_or_else(|| ">2400".into()),
+            if o.period.value() == 0.0 {
+                "DC".to_string()
+            } else {
+                format!("{:.0}", o.period.as_minutes())
+            },
+            o.nucleation
+                .map(|t| format!("{:.0}", t.as_minutes()))
+                .unwrap_or_else(|| "none".into()),
+            o.ttf
+                .map(|t| format!("{:.0}", t.as_minutes()))
+                .unwrap_or_else(|| ">2400".into()),
             o.peak_stress.as_mpa(),
         );
     }
-    println!("lifetime increases with frequency (Tao et al. 1996), and balanced fast AC is immortal.\n");
+    println!(
+        "lifetime increases with frequency (Tao et al. 1996), and balanced fast AC is immortal.\n"
+    );
 
-    println!("BTI: 50% ON duty at accelerated stress, deep-healing OFF phases, 24 h cumulative stress");
-    println!("{:>16} {:>14} {:>18}", "period (h)", "ΔVth (mV)", "permanent (mV)");
+    println!(
+        "BTI: 50% ON duty at accelerated stress, deep-healing OFF phases, 24 h cumulative stress"
+    );
+    println!(
+        "{:>16} {:>14} {:>18}",
+        "period (h)", "ΔVth (mV)", "permanent (mV)"
+    );
     let outs = period_sweep(
         AnalyticBtiModel::paper_calibrated(),
         StressCondition::ACCELERATED,

@@ -32,7 +32,9 @@ fn main() {
         (1.0, 2.0),
     ] {
         let schedule = CyclicSchedule::fig4(stress_h, recovery_h, 24.0);
-        let last = run_schedule(model, &schedule).pop().expect("at least one cycle");
+        let last = run_schedule(model, &schedule)
+            .pop()
+            .expect("at least one cycle");
         println!(
             "{:>12.1} {:>12.1} {:>18.4} {:>21.1}%",
             stress_h,

@@ -24,7 +24,11 @@ fn main() {
         println!(
             "{:>3} {:>18} {:>13.0} {:>17.1}%",
             o.condition_no,
-            if o.reverse_current { "reversed" } else { "removed" },
+            if o.reverse_current {
+                "reversed"
+            } else {
+                "removed"
+            },
             o.temperature.to_celsius(),
             o.recovered_fraction * 100.0,
         );

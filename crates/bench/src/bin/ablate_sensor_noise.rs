@@ -12,12 +12,22 @@ fn main() {
     banner("Ablation — adaptive policy vs sensor noise");
     let years = 0.5;
 
-    println!("{:>16} {:>20} {:>22}", "sensor noise", "guardband (freq %)", "permanent (mV)");
+    println!(
+        "{:>16} {:>20} {:>22}",
+        "sensor noise", "guardband (freq %)", "permanent (mV)"
+    );
     for noise in [0.0, 0.002, 0.01, 0.03, 0.08] {
-        let system = SystemConfig { bti_sensor_noise: noise, ..SystemConfig::default() };
-        let config = LifetimeConfig { years, system, ..LifetimeConfig::default() };
-        let out = run_lifetime(&config, Policy::adaptive_default(), 42)
-            .expect("valid lifetime config");
+        let system = SystemConfig {
+            bti_sensor_noise: noise,
+            ..SystemConfig::default()
+        };
+        let config = LifetimeConfig {
+            years,
+            system,
+            ..LifetimeConfig::default()
+        };
+        let out =
+            run_lifetime(&config, Policy::adaptive_default(), 42).expect("valid lifetime config");
         println!(
             "{:>15.1}% {:>19.3}% {:>22.3}",
             noise * 100.0,

@@ -10,8 +10,14 @@ fn main() {
     let f = experiments::fig11();
     print!("{}", f.render());
     println!();
-    let local = f.hazard.worst_in(deep_healing::pdn::grid::LayerClass::Local).expect("local branches");
-    let global = f.hazard.worst_in(deep_healing::pdn::grid::LayerClass::Global).expect("global branches");
+    let local = f
+        .hazard
+        .worst_in(deep_healing::pdn::grid::LayerClass::Local)
+        .expect("local branches");
+    let global = f
+        .hazard
+        .worst_in(deep_healing::pdn::grid::LayerClass::Global)
+        .expect("global branches");
     verdict(
         "local vs global EM sensitivity",
         "local grids most sensitive",

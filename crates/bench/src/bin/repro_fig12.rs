@@ -42,8 +42,12 @@ fn main() {
         "extended",
         format!(
             "{:.0} y → {:.0} y",
-            none.projected_em_ttf.map(|t| t.as_years()).unwrap_or(f64::NAN),
-            deep.projected_em_ttf.map(|t| t.as_years()).unwrap_or(f64::NAN)
+            none.projected_em_ttf
+                .map(|t| t.as_years())
+                .unwrap_or(f64::NAN),
+            deep.projected_em_ttf
+                .map(|t| t.as_years())
+                .unwrap_or(f64::NAN)
         ),
     );
 }

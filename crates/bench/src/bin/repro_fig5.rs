@@ -23,6 +23,11 @@ fn main() {
     verdict(
         "nucleation phase duration",
         "~200 min (flat R)",
-        format!("{:.0} min", out.nucleation_time.map(|t| t.as_minutes()).unwrap_or(f64::NAN)),
+        format!(
+            "{:.0} min",
+            out.nucleation_time
+                .map(|t| t.as_minutes())
+                .unwrap_or(f64::NAN)
+        ),
     );
 }

@@ -13,11 +13,17 @@ fn main() {
     verdict(
         "void-nucleation delay",
         "almost 3× slower",
-        format!("{:.2}× slower", out.nucleation_delay_factor().unwrap_or(f64::NAN)),
+        format!(
+            "{:.2}× slower",
+            out.nucleation_delay_factor().unwrap_or(f64::NAN)
+        ),
     );
     verdict(
         "overall TTF",
         "significantly extended",
-        format!("{:.2}× longer", out.ttf_extension_factor().unwrap_or(f64::NAN)),
+        format!(
+            "{:.2}× longer",
+            out.ttf_extension_factor().unwrap_or(f64::NAN)
+        ),
     );
 }

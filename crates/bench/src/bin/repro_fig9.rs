@@ -22,7 +22,11 @@ fn main() {
     verdict(
         "BTI-mode load VSS / VDD nodes",
         "≈0.816 V / ≈0.223 V",
-        format!("{:.3} V / {:.3} V", f.bti.load_vss.value(), f.bti.load_vdd.value()),
+        format!(
+            "{:.3} V / {:.3} V",
+            f.bti.load_vss.value(),
+            f.bti.load_vdd.value()
+        ),
     );
     verdict(
         "pass-device droop",

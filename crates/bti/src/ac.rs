@@ -50,7 +50,10 @@ pub fn duty_cycle_run(
     duty: f64,
     total_stress_time: Seconds,
 ) -> DutyCycleOutcome {
-    assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1], got {duty}");
+    assert!(
+        duty > 0.0 && duty <= 1.0,
+        "duty must be in (0, 1], got {duty}"
+    );
     assert!(period.value() > 0.0, "period must be positive");
 
     let on = period * duty;

@@ -107,10 +107,18 @@ impl StressLaw {
     /// reference accelerated condition (1.0 at the reference; < 1 at use
     /// conditions).
     pub fn amplitude_scale(&self, cond: StressCondition) -> f64 {
+        // At the reference condition both exponents are exactly zero, so
+        // skip the two `exp`s (hot in equivalent-age reconstruction).
+        if cond == self.reference {
+            return 1.0;
+        }
         let dv = cond.gate_voltage.value() - self.reference.gate_voltage.value();
         let v_term = (self.gamma_stress_per_volt * dv).exp();
-        let t_term =
-            arrhenius::acceleration_factor(self.ea_stress_ev, self.reference.temperature, cond.temperature);
+        let t_term = arrhenius::acceleration_factor(
+            self.ea_stress_ev,
+            self.reference.temperature,
+            cond.temperature,
+        );
         v_term * t_term
     }
 
@@ -130,6 +138,20 @@ impl StressLaw {
         }
         let a = self.a_mv * self.amplitude_scale(cond);
         Seconds::new((wearout_mv / a).powf(1.0 / self.n))
+    }
+
+    /// Advances a wearout level by `dt` of stress at `cond`: the composition
+    /// of [`Self::equivalent_age`] and [`Self::wearout_mv`], evaluating the
+    /// (two-`exp`) amplitude scale once instead of twice. Bit-identical to
+    /// the composition.
+    pub fn advance_wearout(&self, current_mv: f64, dt: Seconds, cond: StressCondition) -> f64 {
+        let a = self.a_mv * self.amplitude_scale(cond);
+        let age = if current_mv <= 0.0 {
+            Seconds::ZERO
+        } else {
+            Seconds::new((current_mv / a).powf(1.0 / self.n))
+        };
+        a * (age + dt).value().powf(self.n)
     }
 }
 
@@ -223,7 +245,14 @@ impl AnalyticBtiModel {
         if t_w.value() <= 0.0 {
             return Fraction::ZERO;
         }
-        let x = (t_w / p.tau_onset).powf(p.m);
+        let base = t_w / p.tau_onset;
+        // m = 2 is the default shape and this sits inside every stress
+        // step, so square directly instead of `powf`.
+        let x = if p.m == 2.0 {
+            base * base
+        } else {
+            base.powf(p.m)
+        };
         Fraction::clamped(p.p_max * (1.0 - (-x).exp()))
     }
 
@@ -274,9 +303,9 @@ impl AnalyticBtiModel {
         // damage that this condition fails to anneal within recovery_time.
         let p_total = self.permanent_fraction(stress_time).value();
         let hard = self.hardened_share(stress_time).value();
-        let soft_remaining =
-            (-(theta / self.theta4) * recovery_time.value() / self.permanent.tau_soft_anneal.value())
-                .exp();
+        let soft_remaining = (-(theta / self.theta4) * recovery_time.value()
+            / self.permanent.tau_soft_anneal.value())
+        .exp();
         let unrecoverable = p_total * (hard + (1.0 - hard) * soft_remaining);
         Fraction::clamped(r_univ.min(1.0 - unrecoverable))
     }
@@ -310,7 +339,9 @@ mod tests {
         let model = AnalyticBtiModel::paper_calibrated();
         let targets = [1.0, 14.4, 29.2, 72.7];
         for (cond, want) in RecoveryCondition::table_one().iter().zip(targets) {
-            let got = model.recovery_fraction(STRESS_24H, RECOVERY_6H, *cond).as_percent();
+            let got = model
+                .recovery_fraction(STRESS_24H, RECOVERY_6H, *cond)
+                .as_percent();
             assert!(
                 (got - want).abs() < 0.5,
                 "{cond}: got {got:.2}% want {want}%"

@@ -132,7 +132,9 @@ pub fn solve(targets: &TableOneTargets, beta: f64) -> Result<UniversalRelaxation
         )));
     }
     if !(beta > 0.0) || !beta.is_finite() {
-        return Err(BtiError::UnsolvableCalibration(format!("beta must be positive, got {beta}")));
+        return Err(BtiError::UnsolvableCalibration(format!(
+            "beta must be positive, got {beta}"
+        )));
     }
     if targets.hot <= targets.room {
         return Err(BtiError::UnsolvableCalibration(
@@ -218,14 +220,21 @@ mod tests {
             model.acceleration.gamma_per_volt
         );
         // Sub-multiplicative interaction.
-        assert!(model.acceleration.eta > 0.0, "eta = {}", model.acceleration.eta);
+        assert!(
+            model.acceleration.eta > 0.0,
+            "eta = {}",
+            model.acceleration.eta
+        );
     }
 
     #[test]
     fn non_monotone_targets_are_rejected() {
         let mut t = TableOneTargets::model_column();
         t.fractions = [0.2, 0.1, 0.3, 0.7].map(Fraction::clamped);
-        assert!(matches!(solve(&t, DEFAULT_BETA), Err(BtiError::UnsolvableCalibration(_))));
+        assert!(matches!(
+            solve(&t, DEFAULT_BETA),
+            Err(BtiError::UnsolvableCalibration(_))
+        ));
     }
 
     #[test]

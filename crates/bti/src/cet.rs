@@ -34,6 +34,10 @@
 //! condition) until the ensemble reproduces the measured recovery
 //! percentages.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dh_exec::Memo;
 use dh_units::rng::standard_normal;
 use rand::Rng;
 
@@ -58,6 +62,54 @@ const DEEP_TRANSITION_DECADES: f64 = 0.8;
 /// Voltage/temperature exponent mapping stress-amplitude scale to capture
 /// rate (capture is more strongly field-accelerated than net wearout).
 const CAPTURE_ACCEL_EXPONENT: f64 = 3.0;
+/// Traps per parallel work unit in the stress/recover loops. Large enough
+/// that chunk hand-out cost vanishes, small enough that a 2000-trap
+/// ensemble still load-balances across a many-core box.
+const TRAP_CHUNK: usize = 256;
+
+/// Identity of one calibration: the trap count plus the exact bit
+/// patterns of every target parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CalibrationKey {
+    n_traps: usize,
+    bits: [u64; 9],
+}
+
+impl CalibrationKey {
+    fn new(n_traps: usize, targets: &TableOneTargets) -> Self {
+        let f = &targets.fractions;
+        Self {
+            n_traps,
+            bits: [
+                f[0].value().to_bits(),
+                f[1].value().to_bits(),
+                f[2].value().to_bits(),
+                f[3].value().to_bits(),
+                targets.stress_time.value().to_bits(),
+                targets.recovery_time.value().to_bits(),
+                targets.room.value().to_bits(),
+                targets.hot.value().to_bits(),
+                targets.reverse_bias.value().to_bits(),
+            ],
+        }
+    }
+}
+
+/// Fitted ensembles, one per distinct `(n_traps, targets)`. The
+/// emission-CDF knot fit simulates the full 24 h-stress / 6 h-recovery
+/// protocol up to 40 times, so every test, bench, and repro binary that
+/// builds an ensemble hits this cache after the first construction.
+static CALIBRATIONS: Memo<CalibrationKey, TrapEnsemble> = Memo::new();
+/// Knot fits actually executed in this process (cache hits don't count).
+static CALIBRATION_FIT_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of emission-CDF knot fits executed so far in this process.
+/// Cache hits in the calibration memo do not increment this — the
+/// counter exists so tests and `perf_snapshot` can verify the fit runs
+/// once per distinct target set.
+pub fn calibration_fit_runs() -> u64 {
+    CALIBRATION_FIT_RUNS.load(Ordering::SeqCst)
+}
 
 /// One oxide trap.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,15 +205,43 @@ impl TrapEnsemble {
 
     /// Builds an ensemble calibrated against custom Table I-style targets.
     ///
+    /// The knot fit is memoized per `(n_traps, targets)`: the first
+    /// construction runs the iterative protocol fit, later ones clone the
+    /// cached result. Use [`calibration_fit_runs`] to observe the cache.
+    ///
     /// # Errors
     ///
     /// See [`TrapEnsemble::paper_calibrated`]; additionally returns
     /// [`BtiError::UnsolvableCalibration`] if the closed-form seed
     /// calibration rejects the targets.
     pub fn calibrated(n_traps: usize, targets: &TableOneTargets) -> Result<Self, BtiError> {
+        Self::calibrated_shared(n_traps, targets).map(|fitted| (*fitted).clone())
+    }
+
+    /// [`TrapEnsemble::calibrated`] without the final clone: returns the
+    /// cached fitted ensemble itself. Two calls with identical arguments
+    /// return the same `Arc`, which is also how tests verify the fit runs
+    /// once per target set.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrapEnsemble::calibrated`]. Errors are not cached — a failing
+    /// target set re-runs the fit on every attempt.
+    pub fn calibrated_shared(
+        n_traps: usize,
+        targets: &TableOneTargets,
+    ) -> Result<Arc<Self>, BtiError> {
         if n_traps == 0 {
             return Err(BtiError::EmptyEnsemble);
         }
+        CALIBRATIONS.try_get_or_insert_with(CalibrationKey::new(n_traps, targets), || {
+            CALIBRATION_FIT_RUNS.fetch_add(1, Ordering::SeqCst);
+            Self::fit(n_traps, targets)
+        })
+    }
+
+    /// The actual iterative knot fit behind [`TrapEnsemble::calibrated`].
+    fn fit(n_traps: usize, targets: &TableOneTargets) -> Result<Self, BtiError> {
         // Seed the acceleration factors and initial knot positions from the
         // closed-form analytic solution for the same targets.
         let seed = calibration::solve(targets, DEFAULT_BETA)?;
@@ -171,8 +251,7 @@ impl TrapEnsemble {
             temperature: targets.hot,
         });
 
-        let thetas: [f64; 4] =
-            RecoveryCondition::table_one().map(|c| acceleration.factor(c));
+        let thetas: [f64; 4] = RecoveryCondition::table_one().map(|c| acceleration.factor(c));
         let t_rec = targets.recovery_time.value();
         let mut knots: Vec<(f64, f64)> = thetas
             .iter()
@@ -190,15 +269,30 @@ impl TrapEnsemble {
                 let err = simulated[i] - targets.fractions[i].value();
                 worst = worst.max(err.abs());
                 // Local CDF slope (probability per decade) around knot i.
-                let (lo_x, lo_p) = if i == 0 { (LOG_TAU_MIN, 0.0) } else { knots[i - 1] };
-                let (hi_x, hi_p) =
-                    if i == 3 { (LOG_TAU_MAX, 1.0) } else { knots[i + 1] };
+                let (lo_x, lo_p) = if i == 0 {
+                    (LOG_TAU_MIN, 0.0)
+                } else {
+                    knots[i - 1]
+                };
+                let (hi_x, hi_p) = if i == 3 {
+                    (LOG_TAU_MAX, 1.0)
+                } else {
+                    knots[i + 1]
+                };
                 let slope = ((hi_p - lo_p) / (hi_x - lo_x)).max(1e-4);
                 // If the ensemble recovers too much at condition i, push the
                 // knot right (slower emission at that quantile). Damped.
                 let mut x = knots[i].0 + 0.7 * err / slope;
-                let lo = if i == 0 { LOG_TAU_MIN + 0.1 } else { knots[i - 1].0 + 0.05 };
-                let hi = if i == 3 { LOG_TAU_MAX - 0.1 } else { knots[i + 1].0 - 0.05 };
+                let lo = if i == 0 {
+                    LOG_TAU_MIN + 0.1
+                } else {
+                    knots[i - 1].0 + 0.05
+                };
+                let hi = if i == 3 {
+                    LOG_TAU_MAX - 0.1
+                } else {
+                    knots[i + 1].0 - 0.05
+                };
                 // A knot squeezed by its neighbours stays ordered.
                 if lo < hi {
                     x = x.clamp(lo, hi);
@@ -206,13 +300,15 @@ impl TrapEnsemble {
                 }
             }
             if worst < tolerance {
-                let mut ensemble =
-                    Self::from_knots(n_traps, &knots, acceleration, theta4, targets);
+                let mut ensemble = Self::from_knots(n_traps, &knots, acceleration, theta4, targets);
                 ensemble.normalize_magnitude(targets);
                 return Ok(ensemble);
             }
         }
-        Err(BtiError::CalibrationDiverged { worst_error: worst, tolerance })
+        Err(BtiError::CalibrationDiverged {
+            worst_error: worst,
+            tolerance,
+        })
     }
 
     fn from_knots(
@@ -258,7 +354,9 @@ impl TrapEnsemble {
         probe.stress(targets.stress_time, StressCondition::ACCELERATED);
         let occupied = probe.delta_vth_mv();
         if occupied > 0.0 {
-            let want = self.stress_law.wearout_mv(targets.stress_time, StressCondition::ACCELERATED);
+            let want = self
+                .stress_law
+                .wearout_mv(targets.stress_time, StressCondition::ACCELERATED);
             self.per_trap_mv = want / occupied;
         }
     }
@@ -324,12 +422,72 @@ impl TrapEnsemble {
         // March in sub-steps so the window gate evolves within long calls.
         let steps = ((dt.value() / 900.0).ceil() as usize).clamp(1, 400);
         let sub = dt.value() / steps as f64;
-        let amp = self.stress_law.amplitude_scale(cond).powf(CAPTURE_ACCEL_EXPONENT).min(1.0e3);
+        let amp = self
+            .stress_law
+            .amplitude_scale(cond)
+            .powf(CAPTURE_ACCEL_EXPONENT)
+            .min(1.0e3);
+        let tau_h = self.permanent.tau_harden.value();
+
+        // The window/gate trajectory is trap-independent, so compute each
+        // sub-step's gate once up front instead of once per trap per step.
+        let tau_onset = self.permanent.tau_onset.value();
+        let m = self.permanent.m;
+        let window0 = self.window.value();
+        let gates: Vec<f64> = (0..steps)
+            .map(|k| {
+                let w = window0 + (k as f64 + 0.5) * sub;
+                1.0 - (-((w / tau_onset).powf(m))).exp()
+            })
+            .collect();
+        let harden_step = 1.0 - (-sub / tau_h).exp();
+        let deep_edge = self.deep_edge;
+
+        // Traps evolve independently given the gate trajectory, so iterate
+        // trap-outer / step-inner: the per-trap `powf` and sigmoid hoist out
+        // of the step loop, and fixed-size chunks fan out across threads
+        // (identical arithmetic per trap at any worker count).
+        dh_exec::par_chunks_mut(&mut self.traps, TRAP_CHUNK, |_, chunk| {
+            for trap in chunk {
+                let deep = deep_weight_at(deep_edge, trap.log_tau_e);
+                let base_rate = amp / 10f64.powf(trap.log_tau_c);
+                for &gate in &gates {
+                    let rate = base_rate * ((1.0 - deep) + deep * gate);
+                    let captured = (1.0 - trap.occupancy()) * (1.0 - (-rate * sub).exp());
+                    trap.occ_soft += captured;
+                    // Deep occupancy consolidates under continued stress;
+                    // like deep capture, consolidation is a secondary
+                    // process gated by the continuous-stress window, so
+                    // in-time scheduled recovery prevents it.
+                    let harden = trap.occ_soft * deep * gate * harden_step;
+                    trap.occ_soft -= harden;
+                    trap.occ_hard += harden;
+                }
+            }
+        });
+        self.window += Seconds::new(sub * steps as f64);
+    }
+
+    /// The pre-`dh-exec` stress loop (step-outer, per-trap-per-step `powf`
+    /// and `exp`, serial): kept as the measured baseline for
+    /// `perf_snapshot`. Not part of the API.
+    #[doc(hidden)]
+    pub fn stress_reference(&mut self, dt: Seconds, cond: StressCondition) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        let steps = ((dt.value() / 900.0).ceil() as usize).clamp(1, 400);
+        let sub = dt.value() / steps as f64;
+        let amp = self
+            .stress_law
+            .amplitude_scale(cond)
+            .powf(CAPTURE_ACCEL_EXPONENT)
+            .min(1.0e3);
         let tau_h = self.permanent.tau_harden.value();
         for _ in 0..steps {
             let w = self.window.value() + 0.5 * sub;
-            let gate = 1.0
-                - (-((w / self.permanent.tau_onset.value()).powf(self.permanent.m))).exp();
+            let gate =
+                1.0 - (-((w / self.permanent.tau_onset.value()).powf(self.permanent.m))).exp();
             let deep_edge = self.deep_edge;
             for trap in &mut self.traps {
                 let deep = deep_weight_at(deep_edge, trap.log_tau_e);
@@ -337,10 +495,6 @@ impl TrapEnsemble {
                 let rate = amp * rate_mult / 10f64.powf(trap.log_tau_c);
                 let captured = (1.0 - trap.occupancy()) * (1.0 - (-rate * sub).exp());
                 trap.occ_soft += captured;
-                // Deep occupancy consolidates under continued stress; like
-                // deep capture, consolidation is a secondary process gated
-                // by the continuous-stress window, so in-time scheduled
-                // recovery prevents it.
                 let harden = trap.occ_soft * deep * gate * (1.0 - (-sub / tau_h).exp());
                 trap.occ_soft -= harden;
                 trap.occ_hard += harden;
@@ -358,15 +512,18 @@ impl TrapEnsemble {
         let depth = theta / self.theta4;
         let tau_soft = self.permanent.tau_soft_anneal.value();
         let deep_edge = self.deep_edge;
-        for trap in &mut self.traps {
-            // Emission, rate-scaled by θ.
-            let emit_rate = theta / 10f64.powf(trap.log_tau_e);
-            // Deep recovery additionally relaxes precursor (soft) occupancy
-            // of deep traps before it consolidates.
-            let deep = deep_weight_at(deep_edge, trap.log_tau_e);
-            let anneal_rate = deep * depth / tau_soft;
-            trap.occ_soft *= (-(emit_rate + anneal_rate) * dt.value()).exp();
-        }
+        let dt_s = dt.value();
+        dh_exec::par_chunks_mut(&mut self.traps, TRAP_CHUNK, |_, chunk| {
+            for trap in chunk {
+                // Emission, rate-scaled by θ.
+                let emit_rate = theta / 10f64.powf(trap.log_tau_e);
+                // Deep recovery additionally relaxes precursor (soft)
+                // occupancy of deep traps before it consolidates.
+                let deep = deep_weight_at(deep_edge, trap.log_tau_e);
+                let anneal_rate = deep * depth / tau_soft;
+                trap.occ_soft *= (-(emit_rate + anneal_rate) * dt_s).exp();
+            }
+        });
         // Deep recovery resets the continuous-stress window.
         self.window =
             self.window * (-depth * dt.value() / self.permanent.tau_window_reset.value()).exp();
@@ -380,8 +537,7 @@ impl TrapEnsemble {
         for trap in &mut self.traps {
             let ge: f64 = standard_normal(rng);
             let gc: f64 = standard_normal(rng);
-            trap.log_tau_e =
-                (trap.log_tau_e + sigma_decades * ge).clamp(LOG_TAU_MIN, LOG_TAU_MAX);
+            trap.log_tau_e = (trap.log_tau_e + sigma_decades * ge).clamp(LOG_TAU_MIN, LOG_TAU_MAX);
             trap.log_tau_c += sigma_decades * gc;
         }
         self
@@ -423,7 +579,10 @@ mod tests {
 
     #[test]
     fn empty_ensemble_is_rejected() {
-        assert!(matches!(TrapEnsemble::paper_calibrated(0), Err(BtiError::EmptyEnsemble)));
+        assert!(matches!(
+            TrapEnsemble::paper_calibrated(0),
+            Err(BtiError::EmptyEnsemble)
+        ));
     }
 
     #[test]
@@ -454,7 +613,10 @@ mod tests {
         let mut e = ensemble();
         e.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
         let w0 = e.delta_vth_mv();
-        e.recover(Seconds::from_hours(48.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        e.recover(
+            Seconds::from_hours(48.0),
+            RecoveryCondition::ACTIVE_ACCELERATED,
+        );
         let recovered = (w0 - e.delta_vth_mv()) / w0;
         assert!(recovered < 0.80, "48 h deep recovery removed {recovered}");
         assert!(recovered > 0.70);
@@ -473,7 +635,10 @@ mod tests {
         let mut cycled = fresh;
         for _ in 0..24 {
             cycled.stress(Seconds::from_hours(1.0), StressCondition::ACCELERATED);
-            cycled.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+            cycled.recover(
+                Seconds::from_hours(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
         }
         let p_cyc = cycled.permanent_mv();
         assert!(
@@ -503,7 +668,10 @@ mod tests {
             d.recover(Seconds::from_hours(6.0), cond);
             rs.push((w0 - d.delta_vth_mv()) / w0);
         }
-        assert!(rs[0] < rs[1] && rs[1] < rs[3] && rs[0] < rs[2] && rs[2] < rs[3], "{rs:?}");
+        assert!(
+            rs[0] < rs[1] && rs[1] < rs[3] && rs[0] < rs[2] && rs[2] < rs[3],
+            "{rs:?}"
+        );
     }
 
     #[test]
@@ -518,7 +686,10 @@ mod tests {
         b.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
         let (wa, wb) = (a.delta_vth_mv(), b.delta_vth_mv());
         assert!(wa != wb);
-        assert!((wa - wb).abs() / wa < 0.2, "variation too large: {wa} vs {wb}");
+        assert!(
+            (wa - wb).abs() / wa < 0.2,
+            "variation too large: {wa} vs {wb}"
+        );
     }
 
     #[test]
@@ -526,13 +697,58 @@ mod tests {
         let mut e = ensemble();
         for _ in 0..10 {
             e.stress(Seconds::from_hours(5.0), StressCondition::ACCELERATED);
-            e.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+            e.recover(
+                Seconds::from_hours(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
         }
         for t in &e.traps {
             assert!(t.occ_soft >= 0.0 && t.occ_hard >= 0.0);
             assert!(t.occupancy() <= 1.0 + 1e-9);
         }
         assert!(e.mean_occupancy().value() <= 1.0);
+    }
+
+    #[test]
+    fn calibration_fit_is_memoized() {
+        // A trap count no other test or bench uses, so both constructions
+        // below resolve against this test's own cache entry.
+        let targets = TableOneTargets::measurement_column();
+        let before = calibration_fit_runs();
+        let a = TrapEnsemble::calibrated_shared(777, &targets).unwrap();
+        let b = TrapEnsemble::calibrated_shared(777, &targets).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second construction must be a cache hit"
+        );
+        assert!(
+            calibration_fit_runs() > before,
+            "first construction must run the fit"
+        );
+        // The cloning constructor resolves against the same entry.
+        let c = TrapEnsemble::calibrated(777, &targets).unwrap();
+        assert_eq!(c, *a);
+    }
+
+    #[test]
+    fn restructured_stress_matches_reference_loop() {
+        let mut fast = ensemble();
+        let mut reference = fast.clone();
+        for hours in [0.2, 1.0, 6.0] {
+            fast.stress(Seconds::from_hours(hours), StressCondition::ACCELERATED);
+            reference.stress_reference(Seconds::from_hours(hours), StressCondition::ACCELERATED);
+            let (wf, wr) = (fast.delta_vth_mv(), reference.delta_vth_mv());
+            // Same model, reassociated float ops: agreement to ~1e-9 rel.
+            assert!(
+                ((wf - wr) / wr).abs() < 1e-9,
+                "restructured {wf} vs reference {wr} after {hours} h"
+            );
+            let (pf, pr) = (fast.permanent_mv(), reference.permanent_mv());
+            assert!(
+                (pf - pr).abs() <= 1e-9 * pr.abs().max(1.0),
+                "permanent {pf} vs {pr}"
+            );
+        }
     }
 
     #[test]

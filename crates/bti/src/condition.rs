@@ -44,7 +44,10 @@ impl StressCondition {
 
     /// Creates a stress condition from paper-style units.
     pub fn new(gate_voltage: Volts, temperature: Celsius) -> Self {
-        Self { gate_voltage, temperature: temperature.to_kelvin() }
+        Self {
+            gate_voltage,
+            temperature: temperature.to_kelvin(),
+        }
     }
 }
 
@@ -101,12 +104,20 @@ impl RecoveryCondition {
 
     /// Creates a recovery condition from paper-style units.
     pub fn new(gate_voltage: Volts, temperature: Celsius) -> Self {
-        Self { gate_voltage, temperature: temperature.to_kelvin() }
+        Self {
+            gate_voltage,
+            temperature: temperature.to_kelvin(),
+        }
     }
 
     /// The four Table I conditions in paper order (No. 1–4).
     pub fn table_one() -> [Self; 4] {
-        [Self::PASSIVE, Self::ACTIVE, Self::ACCELERATED, Self::ACTIVE_ACCELERATED]
+        [
+            Self::PASSIVE,
+            Self::ACTIVE,
+            Self::ACCELERATED,
+            Self::ACTIVE_ACCELERATED,
+        ]
     }
 
     /// The reverse-bias magnitude that activates recovery: `max(0, −Vgs)`.

@@ -127,8 +127,29 @@ impl BtiDevice {
         let law = self.model.stress_law();
 
         let total = self.delta_vth_mv();
+        let new_total = law.advance_wearout(total, dt, cond);
+        self.apply_stress_totals(total, new_total, dt);
+    }
+
+    /// [`BtiDevice::stress`] with the pre-fusion age reconstruction (two
+    /// amplitude evaluations per step instead of one): kept as the measured
+    /// baseline for `perf_snapshot`. Not part of the API.
+    #[doc(hidden)]
+    pub fn stress_reference(&mut self, dt: Seconds, cond: StressCondition) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        self.phase = Phase::Stressing;
+        let law = self.model.stress_law();
+
+        let total = self.delta_vth_mv();
         let age = law.equivalent_age(total, cond);
         let new_total = law.wearout_mv(age + dt, cond);
+        self.apply_stress_totals(total, new_total, dt);
+    }
+
+    /// Distributes a stress step's wearout increment over the three pools.
+    fn apply_stress_totals(&mut self, total: f64, new_total: f64, dt: Seconds) {
         let generated = (new_total - total).max(0.0);
 
         let new_window = self.window + dt;
@@ -168,11 +189,12 @@ impl BtiDevice {
         };
 
         let (cond, start_total_mv, stress_age, elapsed) = match self.phase {
-            Phase::Recovering { condition, start_total_mv, stress_age, elapsed }
-                if same_segment(condition, cond) =>
-            {
-                (condition, start_total_mv, stress_age, elapsed)
-            }
+            Phase::Recovering {
+                condition,
+                start_total_mv,
+                stress_age,
+                elapsed,
+            } if same_segment(condition, cond) => (condition, start_total_mv, stress_age, elapsed),
             _ => {
                 // New relaxation segment: ξ is referenced to the equivalent
                 // age of the accumulated wearout at the reference stress
@@ -181,7 +203,10 @@ impl BtiDevice {
                 let age = self
                     .model
                     .stress_law()
-                    .equivalent_age(self.delta_vth_mv(), crate::condition::StressCondition::ACCELERATED)
+                    .equivalent_age(
+                        self.delta_vth_mv(),
+                        crate::condition::StressCondition::ACCELERATED,
+                    )
                     .max(Seconds::new(1.0));
                 (cond, self.delta_vth_mv(), age, Seconds::ZERO)
             }
@@ -191,8 +216,14 @@ impl BtiDevice {
         // Deep-recovery annealing of soft permanent damage and window reset.
         let params = self.model.permanent_params();
         let depth = theta / self.model.theta4();
-        self.soft_permanent_mv *= (-depth * dt.value() / params.tau_soft_anneal.value()).exp();
-        self.window = self.window * (-depth * dt.value() / params.tau_window_reset.value()).exp();
+        let soft_factor = (-depth * dt.value() / params.tau_soft_anneal.value()).exp();
+        let window_factor = if params.tau_window_reset == params.tau_soft_anneal {
+            soft_factor
+        } else {
+            (-depth * dt.value() / params.tau_window_reset.value()).exp()
+        };
+        self.soft_permanent_mv *= soft_factor;
+        self.window = self.window * window_factor;
 
         // Universal relaxation of the total wearout, floored by the
         // (possibly annealed) permanent pool — the same semantics as the
@@ -204,7 +235,12 @@ impl BtiDevice {
         let remaining = (start_total_mv * (1.0 - r)).max(permanent_now);
         self.recoverable_mv = (remaining - permanent_now).max(0.0);
 
-        self.phase = Phase::Recovering { condition: cond, start_total_mv, stress_age, elapsed };
+        self.phase = Phase::Recovering {
+            condition: cond,
+            start_total_mv,
+            stress_age,
+            elapsed,
+        };
         self.total_recovery_time += dt;
     }
 
@@ -262,7 +298,12 @@ mod tests {
             fine.stress(Seconds::from_minutes(15.0), StressCondition::ACCELERATED);
         }
         let rel = (coarse.delta_vth_mv() - fine.delta_vth_mv()).abs() / coarse.delta_vth_mv();
-        assert!(rel < 0.02, "coarse {} vs fine {}", coarse.delta_vth_mv(), fine.delta_vth_mv());
+        assert!(
+            rel < 0.02,
+            "coarse {} vs fine {}",
+            coarse.delta_vth_mv(),
+            fine.delta_vth_mv()
+        );
     }
 
     #[test]
@@ -273,21 +314,35 @@ mod tests {
             d
         };
         let mut coarse = mk();
-        coarse.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        coarse.recover(
+            Seconds::from_hours(6.0),
+            RecoveryCondition::ACTIVE_ACCELERATED,
+        );
         let mut fine = mk();
         for _ in 0..360 {
-            fine.recover(Seconds::from_minutes(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+            fine.recover(
+                Seconds::from_minutes(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
         }
-        let rel = (coarse.delta_vth_mv() - fine.delta_vth_mv()).abs()
-            / coarse.delta_vth_mv().max(1e-12);
-        assert!(rel < 1e-6, "coarse {} vs fine {}", coarse.delta_vth_mv(), fine.delta_vth_mv());
+        let rel =
+            (coarse.delta_vth_mv() - fine.delta_vth_mv()).abs() / coarse.delta_vth_mv().max(1e-12);
+        assert!(
+            rel < 1e-6,
+            "coarse {} vs fine {}",
+            coarse.delta_vth_mv(),
+            fine.delta_vth_mv()
+        );
     }
 
     #[test]
     fn fresh_device_has_no_wearout_and_recovery_is_harmless() {
         let mut d = BtiDevice::paper_calibrated();
         assert_eq!(d.delta_vth_mv(), 0.0);
-        d.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        d.recover(
+            Seconds::from_hours(1.0),
+            RecoveryCondition::ACTIVE_ACCELERATED,
+        );
         assert_eq!(d.delta_vth_mv(), 0.0);
         assert_eq!(d.permanent_mv(), 0.0);
     }
@@ -311,7 +366,10 @@ mod tests {
         let w24 = d.delta_vth_mv();
         // Power law with n = 1/6: w(24h)/w(1h) = 24^(1/6) ≈ 1.70.
         let ratio = w24 / w1;
-        assert!((ratio - 24f64.powf(1.0 / 6.0)).abs() < 0.05, "ratio = {ratio}");
+        assert!(
+            (ratio - 24f64.powf(1.0 / 6.0)).abs() < 0.05,
+            "ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -328,7 +386,10 @@ mod tests {
         let mut cycled = BtiDevice::new(model);
         for _ in 0..24 {
             cycled.stress(Seconds::from_hours(1.0), StressCondition::ACCELERATED);
-            cycled.recover(Seconds::from_hours(1.0), RecoveryCondition::ACTIVE_ACCELERATED);
+            cycled.recover(
+                Seconds::from_hours(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
         }
         let p_cycled = cycled.permanent_mv();
         assert!(
@@ -352,7 +413,10 @@ mod tests {
         let mut d = BtiDevice::paper_calibrated();
         assert_eq!(d.segment_recovery(), Fraction::ZERO);
         d.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
-        d.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        d.recover(
+            Seconds::from_hours(6.0),
+            RecoveryCondition::ACTIVE_ACCELERATED,
+        );
         let r = d.segment_recovery().as_percent();
         assert!(r > 60.0 && r < 90.0, "segment recovery {r}%");
     }

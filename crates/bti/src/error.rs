@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        let e = BtiError::CalibrationDiverged { worst_error: 0.05, tolerance: 0.01 };
+        let e = BtiError::CalibrationDiverged {
+            worst_error: 0.05,
+            tolerance: 0.01,
+        };
         assert!(e.to_string().contains("did not converge"));
         assert!(BtiError::EmptyEnsemble.to_string().contains("at least one"));
     }

@@ -54,8 +54,9 @@ impl DevicePopulation {
         }
         let master = TrapEnsemble::paper_calibrated(traps_per_device)?;
         let mut rng = seeded_rng(seed, "bti-device-population");
-        let devices =
-            (0..n).map(|_| master.clone().with_variation(sigma_decades, &mut rng)).collect();
+        let devices = (0..n)
+            .map(|_| master.clone().with_variation(sigma_decades, &mut rng))
+            .collect();
         Ok(Self { devices })
     }
 
@@ -85,7 +86,11 @@ impl DevicePopulation {
 
     /// Current ΔVth statistics across the population.
     pub fn stats(&self) -> PopulationStats {
-        let shifts: Vec<f64> = self.devices.iter().map(TrapEnsemble::delta_vth_mv).collect();
+        let shifts: Vec<f64> = self
+            .devices
+            .iter()
+            .map(TrapEnsemble::delta_vth_mv)
+            .collect();
         let n = shifts.len() as f64;
         let mean = shifts.iter().sum::<f64>() / n;
         let var = shifts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
@@ -100,7 +105,11 @@ impl DevicePopulation {
     /// The `q`-quantile ΔVth across the population (e.g. `q = 0.95` for a
     /// 95th-percentile guardband basis).
     pub fn quantile_mv(&self, q: f64) -> f64 {
-        let mut shifts: Vec<f64> = self.devices.iter().map(TrapEnsemble::delta_vth_mv).collect();
+        let mut shifts: Vec<f64> = self
+            .devices
+            .iter()
+            .map(TrapEnsemble::delta_vth_mv)
+            .collect();
         shifts.sort_by(|a, b| a.partial_cmp(b).expect("finite shifts"));
         let idx = ((q.clamp(0.0, 1.0)) * (shifts.len() - 1) as f64).round() as usize;
         shifts[idx]
@@ -140,9 +149,15 @@ mod tests {
     fn deep_healing_compresses_mean_and_spread() {
         let mut p = stressed_population();
         let before = p.stats();
-        p.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+        p.recover(
+            Seconds::from_hours(6.0),
+            RecoveryCondition::ACTIVE_ACCELERATED,
+        );
         let after = p.stats();
-        assert!(after.mean_mv < 0.4 * before.mean_mv, "{before:?} -> {after:?}");
+        assert!(
+            after.mean_mv < 0.4 * before.mean_mv,
+            "{before:?} -> {after:?}"
+        );
         // Even the worst healed device ends up better than the best
         // unhealed one — healing dominates the device-to-device spread.
         assert!(

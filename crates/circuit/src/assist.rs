@@ -59,8 +59,16 @@ pub enum Device {
 
 impl Device {
     /// All devices in Fig. 8 order.
-    pub const ALL: [Self; 8] =
-        [Self::P1, Self::P2, Self::P3, Self::P4, Self::N1, Self::N2, Self::N3, Self::N4];
+    pub const ALL: [Self; 8] = [
+        Self::P1,
+        Self::P2,
+        Self::P3,
+        Self::P4,
+        Self::N1,
+        Self::N2,
+        Self::N3,
+        Self::N4,
+    ];
 }
 
 impl fmt::Display for Device {
@@ -92,7 +100,11 @@ pub enum Mode {
 
 impl Mode {
     /// All modes.
-    pub const ALL: [Self; 3] = [Self::Normal, Self::EmActiveRecovery, Self::BtiActiveRecovery];
+    pub const ALL: [Self; 3] = [
+        Self::Normal,
+        Self::EmActiveRecovery,
+        Self::BtiActiveRecovery,
+    ];
 
     /// The truth table of Fig. 8(b): which devices are ON in this mode.
     pub fn device_states(self) -> [(Device, bool); 8] {
@@ -188,7 +200,10 @@ impl AssistCircuit {
     pub fn paper_28nm() -> Self {
         let p = Mosfet::n28();
         // NMOS footers sized slightly weaker in this layout.
-        let n = Mosfet { k_lin: 0.925e-2, ..Mosfet::n28() };
+        let n = Mosfet {
+            k_lin: 0.925e-2,
+            ..Mosfet::n28()
+        };
         Self {
             vdd: Volts::new(1.0),
             p_device: p,
@@ -236,7 +251,10 @@ impl AssistCircuit {
         let mut net = NodalNetwork::new(6);
         let states = mode.device_states();
         let r = |d: Device| {
-            let (_, on) = states[Device::ALL.iter().position(|&x| x == d).expect("device in ALL")];
+            let (_, on) = states[Device::ALL
+                .iter()
+                .position(|&x| x == d)
+                .expect("device in ALL")];
             self.pass_resistance(d, on)
         };
         // Sources through the headers.
@@ -330,8 +348,7 @@ mod tests {
         let em = c.solve(Mode::EmActiveRecovery).unwrap();
         assert!(normal.load_vdd > normal.load_vss);
         assert!(em.load_vdd > em.load_vss, "load must keep functioning");
-        let dv = (normal.load_vdd - normal.load_vss).value()
-            - (em.load_vdd - em.load_vss).value();
+        let dv = (normal.load_vdd - normal.load_vss).value() - (em.load_vdd - em.load_vss).value();
         assert!(dv.abs() < 1e-6, "load supply differs between modes by {dv}");
     }
 
@@ -365,7 +382,10 @@ mod tests {
     #[test]
     fn upsizing_headers_reduces_droop() {
         let base = circuit().solve(Mode::Normal).unwrap();
-        let upsized = circuit().with_header_width(3.0).solve(Mode::Normal).unwrap();
+        let upsized = circuit()
+            .with_header_width(3.0)
+            .solve(Mode::Normal)
+            .unwrap();
         assert!(upsized.droop(Volts::new(1.0)) < base.droop(Volts::new(1.0)));
     }
 

@@ -29,7 +29,11 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(CircuitError::SingularMatrix.to_string().contains("singular"));
-        assert!(CircuitError::InvalidParameter("x".into()).to_string().contains('x'));
+        assert!(CircuitError::SingularMatrix
+            .to_string()
+            .contains("singular"));
+        assert!(CircuitError::InvalidParameter("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

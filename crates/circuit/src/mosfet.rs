@@ -37,7 +37,13 @@ impl Mosfet {
     /// pass resistance — the scales used by the paper's assist-circuit
     /// simulation.
     pub fn n28() -> Self {
-        Self { vth0: Volts::new(0.40), k_sat: 0.97e-3, alpha: 1.3, k_lin: 1.11e-2, delta_vth_mv: 0.0 }
+        Self {
+            vth0: Volts::new(0.40),
+            k_sat: 0.97e-3,
+            alpha: 1.3,
+            k_lin: 1.11e-2,
+            delta_vth_mv: 0.0,
+        }
     }
 
     /// Validates the parameters.

@@ -23,7 +23,11 @@ pub struct NodalNetwork {
 impl NodalNetwork {
     /// Creates an empty network with `n` unknown nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, g: vec![0.0; n * n], i: vec![0.0; n] }
+        Self {
+            n,
+            g: vec![0.0; n * n],
+            i: vec![0.0; n],
+        }
     }
 
     /// Number of unknown nodes.
@@ -44,7 +48,10 @@ impl NodalNetwork {
     /// Panics if a node index is out of range or the conductance is not
     /// finite and non-negative.
     pub fn stamp_conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
-        assert!(g.is_finite() && g >= 0.0, "conductance must be finite and >= 0, got {g}");
+        assert!(
+            g.is_finite() && g >= 0.0,
+            "conductance must be finite and >= 0, got {g}"
+        );
         if let Some(a) = a {
             assert!(a < self.n, "node {a} out of range");
             self.g[a * self.n + a] += g;
@@ -206,7 +213,10 @@ mod tests {
         let x = net.solve().unwrap();
         for row in 0..4 {
             let sum: f64 = (0..4).map(|k| net.g[row * 4 + k] * x[k]).sum();
-            assert!((sum - net.i[row]).abs() < 1e-9, "KCL residual at node {row}");
+            assert!(
+                (sum - net.i[row]).abs() < 1e-9,
+                "KCL residual at node {row}"
+            );
         }
     }
 

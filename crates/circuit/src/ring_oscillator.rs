@@ -52,10 +52,15 @@ impl RingOscillator {
     /// non-positive supply/capacitance.
     pub fn validated(self) -> Result<Self, CircuitError> {
         if self.stages == 0 {
-            return Err(CircuitError::InvalidParameter("stage count must be > 0".into()));
+            return Err(CircuitError::InvalidParameter(
+                "stage count must be > 0".into(),
+            ));
         }
         if !(self.vdd.value() > 0.0) {
-            return Err(CircuitError::InvalidParameter(format!("vdd must be positive, got {}", self.vdd)));
+            return Err(CircuitError::InvalidParameter(format!(
+                "vdd must be positive, got {}",
+                self.vdd
+            )));
         }
         if !(self.stage_capacitance_f > 0.0) || !self.stage_capacitance_f.is_finite() {
             return Err(CircuitError::InvalidParameter(format!(
@@ -94,7 +99,13 @@ impl RingOscillator {
     /// measured frequency. Returns `None` for frequencies above fresh or
     /// non-positive.
     pub fn infer_delta_vth_mv(&self, measured: Hertz) -> Option<f64> {
-        let fresh = self.frequency(0.0);
+        self.infer_delta_vth_mv_given_fresh(measured, self.frequency(0.0))
+    }
+
+    /// [`Self::infer_delta_vth_mv`] with the fresh frequency supplied by
+    /// the caller, for tight loops that cache it (the fresh frequency of a
+    /// fixed oscillator never changes and costs a `powf` to recompute).
+    pub fn infer_delta_vth_mv_given_fresh(&self, measured: Hertz, fresh: Hertz) -> Option<f64> {
         if measured.value() <= 0.0 || measured > fresh {
             return None;
         }
@@ -122,7 +133,11 @@ mod tests {
     #[test]
     fn fresh_frequency_is_tens_of_mhz() {
         let f = ro().frequency(0.0);
-        assert!(f.as_mhz() > 20.0 && f.as_mhz() < 120.0, "f = {} MHz", f.as_mhz());
+        assert!(
+            f.as_mhz() > 20.0 && f.as_mhz() < 120.0,
+            "f = {} MHz",
+            f.as_mhz()
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! differencing against each site's **time-zero reading** — which this
 //! module models explicitly.
 
-use dh_units::rng::{seeded_rng, standard_normal};
+use dh_units::rng::standard_normal;
 use dh_units::Hertz;
 
 use crate::ring_oscillator::RingOscillator;
@@ -49,13 +49,21 @@ pub struct RoVariation {
 impl Default for RoVariation {
     fn default() -> Self {
         // Typical 28–40 nm class numbers: ±3 % systematic, 1 % random.
-        Self { systematic_pp: 0.06, random_sigma: 0.01 }
+        Self {
+            systematic_pp: 0.06,
+            random_sigma: 0.01,
+        }
     }
 }
 
 impl RoArray {
     /// Builds a `rows × cols` array with the given variation, calibrated at
     /// time zero (every site's fresh frequency is recorded).
+    ///
+    /// Site `i` draws its random residue from the `(seed, "ro-array", i)`
+    /// stream ([`dh_exec::par_map_seeded`]): the sweep parallelises across
+    /// sites, the array is bit-identical at any thread count, and a site's
+    /// process factor no longer depends on the array dimensions.
     pub fn new(
         ro: RingOscillator,
         rows: usize,
@@ -63,25 +71,41 @@ impl RoArray {
         variation: RoVariation,
         seed: u64,
     ) -> Self {
-        let mut rng = seeded_rng(seed, "ro-array");
         let f_nominal = ro.frequency(0.0);
-        let sites = (0..rows * cols)
-            .map(|i| {
-                let x = if cols > 1 { (i % cols) as f64 / (cols - 1) as f64 } else { 0.5 };
-                let y = if rows > 1 { (i / cols) as f64 / (rows - 1) as f64 } else { 0.5 };
-                // A diagonal systematic gradient plus random residue.
-                let systematic = variation.systematic_pp * ((x + y) / 2.0 - 0.5);
-                let random = variation.random_sigma * standard_normal(&mut rng);
-                let process_factor = (1.0 + systematic + random).max(0.5);
-                RoSite { x, y, process_factor, f0: f_nominal * process_factor }
-            })
-            .collect();
+        let sites = dh_exec::par_map_seeded(seed, "ro-array", rows * cols, |i, mut rng| {
+            let x = if cols > 1 {
+                (i % cols) as f64 / (cols - 1) as f64
+            } else {
+                0.5
+            };
+            let y = if rows > 1 {
+                (i / cols) as f64 / (rows - 1) as f64
+            } else {
+                0.5
+            };
+            // A diagonal systematic gradient plus random residue.
+            let systematic = variation.systematic_pp * ((x + y) / 2.0 - 0.5);
+            let random = variation.random_sigma * standard_normal(&mut rng);
+            let process_factor = (1.0 + systematic + random).max(0.5);
+            RoSite {
+                x,
+                y,
+                process_factor,
+                f0: f_nominal * process_factor,
+            }
+        });
         Self { ro, sites }
     }
 
     /// A 4×4 array of the paper's 75-stage ROs with default variation.
     pub fn paper_4x4(seed: u64) -> Self {
-        Self::new(RingOscillator::paper_75_stage(), 4, 4, RoVariation::default(), seed)
+        Self::new(
+            RingOscillator::paper_75_stage(),
+            4,
+            4,
+            RoVariation::default(),
+            seed,
+        )
     }
 
     /// Number of sensor sites.
@@ -176,8 +200,13 @@ mod tests {
             })
             .unwrap();
         let raw = a.raw_reading(slow_site, 0.0);
-        let naive = RingOscillator::paper_75_stage().infer_delta_vth_mv(raw).unwrap_or(0.0);
-        assert!(naive > 2.0, "naive estimate should be fooled, got {naive} mV");
+        let naive = RingOscillator::paper_75_stage()
+            .infer_delta_vth_mv(raw)
+            .unwrap_or(0.0);
+        assert!(
+            naive > 2.0,
+            "naive estimate should be fooled, got {naive} mV"
+        );
         let calibrated = a.infer_dvth_mv(slow_site, raw).unwrap();
         assert!(calibrated < 0.01);
     }
@@ -190,7 +219,10 @@ mod tests {
             RingOscillator::paper_75_stage(),
             8,
             8,
-            RoVariation { systematic_pp: 0.08, random_sigma: 0.002 },
+            RoVariation {
+                systematic_pp: 0.08,
+                random_sigma: 0.002,
+            },
             7,
         );
         let f_at = |x: f64, y: f64| {

@@ -61,10 +61,19 @@ impl SramCell {
     /// Holds `bit` for `dt` at temperature `t`: the ON pull-up stresses,
     /// the OFF one passively recovers.
     pub fn hold(&mut self, bit: bool, dt: Seconds, t: Kelvin) {
-        let stress = StressCondition { gate_voltage: self.vdd, temperature: t };
-        let passive = RecoveryCondition { gate_voltage: Volts::ZERO, temperature: t };
-        let (on, off) =
-            if bit { (&mut self.pu_right, &mut self.pu_left) } else { (&mut self.pu_left, &mut self.pu_right) };
+        let stress = StressCondition {
+            gate_voltage: self.vdd,
+            temperature: t,
+        };
+        let passive = RecoveryCondition {
+            gate_voltage: Volts::ZERO,
+            temperature: t,
+        };
+        let (on, off) = if bit {
+            (&mut self.pu_right, &mut self.pu_left)
+        } else {
+            (&mut self.pu_left, &mut self.pu_right)
+        };
         on.stress(dt, stress);
         off.recover(dt, passive);
     }
@@ -77,7 +86,10 @@ impl SramCell {
     /// Idles the cell in *recovery boost* mode: both pull-ups recover at
     /// the boost bias (cell contents are assumed parked/rewritten after).
     pub fn idle_recovery_boost(&mut self, dt: Seconds, t: Kelvin) {
-        let cond = RecoveryCondition { gate_voltage: RECOVERY_BOOST_BIAS, temperature: t };
+        let cond = RecoveryCondition {
+            gate_voltage: RECOVERY_BOOST_BIAS,
+            temperature: t,
+        };
         self.pu_left.recover(dt, cond);
         self.pu_right.recover(dt, cond);
     }
@@ -192,7 +204,11 @@ mod tests {
         }
         let before = cell.mismatch_mv();
         cell.idle_recovery_boost(Seconds::from_hours(8.0), hot());
-        assert!(cell.mismatch_mv() < before, "mismatch {before} → {}", cell.mismatch_mv());
+        assert!(
+            cell.mismatch_mv() < before,
+            "mismatch {before} → {}",
+            cell.mismatch_mv()
+        );
     }
 
     #[test]
@@ -200,7 +216,11 @@ mod tests {
         let mut cell = SramCell::paper_calibrated();
         // Absurdly long unbalanced stress.
         for _ in 0..50 {
-            cell.hold(false, Seconds::from_days(30.0), Celsius::new(125.0).to_kelvin());
+            cell.hold(
+                false,
+                Seconds::from_days(30.0),
+                Celsius::new(125.0).to_kelvin(),
+            );
         }
         assert!(cell.snm_mv() >= 0.0);
         assert!(cell.snm_loss() <= 1.0);

@@ -77,7 +77,9 @@ pub fn load_size_sweep(
     let mut base_switch = None;
     for size in sizes {
         if size == 0 {
-            return Err(CircuitError::InvalidParameter("load size must be >= 1".into()));
+            return Err(CircuitError::InvalidParameter(
+                "load size must be >= 1".into(),
+            ));
         }
         let n = size as f64;
         let load_r = Ohms::new(config.unit_load.value() / n);
@@ -182,8 +184,10 @@ mod tests {
 
     #[test]
     fn oversized_load_stalls_with_a_clear_error() {
-        let config =
-            SweepConfig { unit_load: Ohms::new(800.0), ..SweepConfig::default() }; // giant droop
+        let config = SweepConfig {
+            unit_load: Ohms::new(800.0),
+            ..SweepConfig::default()
+        }; // giant droop
         let r = load_size_sweep(AssistCircuit::paper_28nm(), config, 1..=8);
         assert!(matches!(r, Err(CircuitError::InvalidParameter(_))));
     }

@@ -56,9 +56,7 @@ impl Table1Result {
     /// Renders the comparison as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(
-            "Table I: BTI recovery after 24 h accelerated stress + 6 h recovery\n",
-        );
+        out.push_str("Table I: BTI recovery after 24 h accelerated stress + 6 h recovery\n");
         out.push_str(&format!(
             "{:>3}  {:<22} {:>12} {:>12} {:>12} {:>12}\n",
             "#", "condition", "paper meas", "ours (CET)", "paper model", "ours (anl)"
@@ -87,13 +85,18 @@ impl Table1Result {
 /// Never panics with the built-in calibration (covered by tests).
 pub fn table1() -> Table1Result {
     let analytic = AnalyticBtiModel::paper_calibrated();
-    let ensemble = TrapEnsemble::paper_calibrated(TABLE1_TRAPS)
-        .expect("paper ensemble calibration converges");
+    let ensemble =
+        TrapEnsemble::paper_calibrated(TABLE1_TRAPS).expect("paper ensemble calibration converges");
     let targets = TableOneTargets::measurement_column();
     let model_targets = TableOneTargets::model_column();
     let cet = ensemble.table_one_percentages();
 
-    let labels = ["20 °C and 0 V", "20 °C and −0.3 V", "110 °C and 0 V", "110 °C and −0.3 V"];
+    let labels = [
+        "20 °C and 0 V",
+        "20 °C and −0.3 V",
+        "110 °C and 0 V",
+        "110 °C and −0.3 V",
+    ];
     let rows: Vec<Table1Row> = RecoveryCondition::table_one()
         .iter()
         .enumerate()
@@ -108,7 +111,9 @@ pub fn table1() -> Table1Result {
                 .as_percent(),
         })
         .collect();
-    Table1Result { rows: rows.try_into().expect("exactly four rows") }
+    Table1Result {
+        rows: rows.try_into().expect("exactly four rows"),
+    }
 }
 
 /// The Fig. 4 reproduction: permanent-component accumulation under cyclic
@@ -128,9 +133,8 @@ impl Fig4Result {
     /// Renders the schedule series and summary.
     pub fn render(&self) -> String {
         let refs: Vec<&TimeSeries> = self.series.iter().collect();
-        let mut out = String::from(
-            "Fig. 4: permanent BTI component under stress:recovery schedules\n",
-        );
+        let mut out =
+            String::from("Fig. 4: permanent BTI component under stress:recovery schedules\n");
         out.push_str(&TimeSeries::render_plot(&refs, 80, 16));
         out.push('\n');
         out.push_str(&TimeSeries::render_table(&refs));
@@ -165,8 +169,15 @@ pub fn fig4() -> Fig4Result {
         series.push(s);
     }
     let mut continuous = dh_bti::BtiDevice::new(model);
-    continuous.stress(Seconds::from_hours(24.0), dh_bti::StressCondition::ACCELERATED);
-    Fig4Result { series, final_permanent_mv: finals, continuous_permanent_mv: continuous.permanent_mv() }
+    continuous.stress(
+        Seconds::from_hours(24.0),
+        dh_bti::StressCondition::ACCELERATED,
+    );
+    Fig4Result {
+        series,
+        final_permanent_mv: finals,
+        continuous_permanent_mv: continuous.permanent_mv(),
+    }
 }
 
 /// The paper's accelerated EM stress current density (±7.96 MA/cm²).
@@ -189,7 +200,11 @@ pub fn fig5() -> StressRecoveryOutcome {
 /// Renders the Fig. 5 outcome.
 pub fn render_fig5(out: &StressRecoveryOutcome) -> String {
     let mut s = String::from("Fig. 5: EM stress + recovery at 230 °C, ±7.96 MA/cm²\n");
-    s.push_str(&TimeSeries::render_plot(&[&out.active, &out.passive], 96, 20));
+    s.push_str(&TimeSeries::render_plot(
+        &[&out.active, &out.passive],
+        96,
+        20,
+    ));
     s.push('\n');
     s.push_str(&TimeSeries::render_table(&[&out.active, &out.passive]));
     s.push_str(&format!(
@@ -242,9 +257,16 @@ pub fn fig7() -> PeriodicRecoveryOutcome {
 /// Renders the Fig. 7 outcome.
 pub fn render_fig7(out: &PeriodicRecoveryOutcome) -> String {
     let mut s = String::from("Fig. 7: periodic scheduled recovery during void nucleation\n");
-    s.push_str(&TimeSeries::render_plot(&[&out.scheduled, &out.continuous], 96, 20));
+    s.push_str(&TimeSeries::render_plot(
+        &[&out.scheduled, &out.continuous],
+        96,
+        20,
+    ));
     s.push('\n');
-    s.push_str(&TimeSeries::render_table(&[&out.scheduled, &out.continuous]));
+    s.push_str(&TimeSeries::render_table(&[
+        &out.scheduled,
+        &out.continuous,
+    ]));
     s.push_str(&format!(
         "\nnucleation: scheduled {:.0} min vs continuous {:.0} min (delay factor {:.2}, paper: ≈3)\nTTF: scheduled {:.0} min vs continuous {:.0} min (extension {:.2}×)\n",
         out.scheduled_nucleation.map(|t| t.as_minutes()).unwrap_or(f64::NAN),
@@ -280,7 +302,10 @@ impl Fig9Result {
         for device in Device::ALL {
             s.push_str(&format!("{:<10}", device.to_string()));
             for mode in Mode::ALL {
-                s.push_str(&format!("{:>22}", if mode.is_on(device) { "ON" } else { "OFF" }));
+                s.push_str(&format!(
+                    "{:>22}",
+                    if mode.is_on(device) { "ON" } else { "OFF" }
+                ));
             }
             s.push('\n');
         }
@@ -311,8 +336,12 @@ pub fn fig9() -> Fig9Result {
     let c = AssistCircuit::paper_28nm();
     Fig9Result {
         normal: c.solve(Mode::Normal).expect("paper circuit solves"),
-        em: c.solve(Mode::EmActiveRecovery).expect("paper circuit solves"),
-        bti: c.solve(Mode::BtiActiveRecovery).expect("paper circuit solves"),
+        em: c
+            .solve(Mode::EmActiveRecovery)
+            .expect("paper circuit solves"),
+        bti: c
+            .solve(Mode::BtiActiveRecovery)
+            .expect("paper circuit solves"),
     }
 }
 
@@ -365,7 +394,12 @@ impl Fig11Result {
             "worst IR drop: {:.1} mV\n",
             self.solution.worst_ir_drop_v * 1000.0
         ));
-        for layer in [LayerClass::Local, LayerClass::Via, LayerClass::Global, LayerClass::Bump] {
+        for layer in [
+            LayerClass::Local,
+            LayerClass::Via,
+            LayerClass::Global,
+            LayerClass::Bump,
+        ] {
             if let Some(e) = self.hazard.worst_in(layer) {
                 s.push_str(&format!(
                     "{:<8} peak j = {:>7.3} MA/cm²   worst median TTF = {:>10.1} years\n",
@@ -391,7 +425,9 @@ impl Fig11Result {
 /// Never panics with the built-in configuration (covered by tests).
 pub fn fig11() -> Fig11Result {
     let mesh = PdnMesh::new(PdnConfig::default_chip()).expect("default chip is valid");
-    let solution = mesh.solve_uniform_load(0.25e-3).expect("default chip solves");
+    let solution = mesh
+        .solve_uniform_load(0.25e-3)
+        .expect("default chip solves");
     let hazard = HazardReport::analyze(
         &solution,
         &BlackModel::calibrated_to_paper(),
@@ -402,7 +438,11 @@ pub fn fig11() -> Fig11Result {
         dh_units::Fraction::clamped(0.9),
     )
     .expect("20% duty is not immortal");
-    Fig11Result { solution, hazard, protected_extension }
+    Fig11Result {
+        solution,
+        hazard,
+        protected_extension,
+    }
 }
 
 /// Reproduces Fig. 12(b): lifetime runs under the policy ladder,
@@ -413,7 +453,10 @@ pub fn fig11() -> Fig11Result {
 ///
 /// Propagates scheduler errors (cannot occur for positive `years`).
 pub fn fig12(years: f64) -> Result<Vec<LifetimeOutcome>, dh_sched::SchedError> {
-    let config = LifetimeConfig { years, ..LifetimeConfig::default() };
+    let config = LifetimeConfig {
+        years,
+        ..LifetimeConfig::default()
+    };
     compare_policies(
         &config,
         &[
@@ -432,7 +475,12 @@ pub fn render_fig12(outcomes: &[LifetimeOutcome]) -> String {
     let mut s = String::from("Fig. 12(b): lifetime policy comparison\n");
     s.push_str(&format!(
         "{:<16} {:>18} {:>16} {:>18} {:>16} {:>16}\n",
-        "policy", "guardband (freq%)", "EM damage", "proj. EM TTF (y)", "sched ovh (%)", "thru loss (%)"
+        "policy",
+        "guardband (freq%)",
+        "EM damage",
+        "proj. EM TTF (y)",
+        "sched ovh (%)",
+        "thru loss (%)"
     ));
     for o in outcomes {
         s.push_str(&format!(
@@ -528,8 +576,7 @@ mod tests {
         assert_eq!(outs.len(), 5);
         let by_name = |n: &str| outs.iter().find(|o| o.policy == n).unwrap();
         assert!(
-            by_name("no-recovery").required_guardband
-                > by_name("periodic-deep").required_guardband
+            by_name("no-recovery").required_guardband > by_name("periodic-deep").required_guardband
         );
         assert!(render_fig12(&outs).contains("guardband"));
     }

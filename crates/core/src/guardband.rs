@@ -97,9 +97,7 @@ mod tests {
     fn margins_stack_additively() {
         let stack = margin_stack(&ro(), 20.0, 0.03, 1.0);
         assert!(stack.total() > stack.wearout);
-        assert!(
-            (stack.total() - (stack.wearout + stack.process + stack.sensing)).abs() < 1e-12
-        );
+        assert!((stack.total() - (stack.wearout + stack.process + stack.sensing)).abs() < 1e-12);
     }
 
     #[test]

@@ -58,11 +58,15 @@ pub use dh_units as units;
 
 /// Commonly used items for downstream code.
 pub mod prelude {
-    pub use dh_bti::{AnalyticBtiModel, BtiDevice, RecoveryCondition, StressCondition, TrapEnsemble};
+    pub use dh_bti::{
+        AnalyticBtiModel, BtiDevice, RecoveryCondition, StressCondition, TrapEnsemble,
+    };
     pub use dh_circuit::{AssistCircuit, Mode, RingOscillator};
     pub use dh_em::{black::BlackModel, network::EmNetwork, EmWire, WireEnd};
     pub use dh_pdn::{PdnConfig, PdnMesh, Tower};
     pub use dh_sched::{run_lifetime, LifetimeConfig, ManyCoreSystem, Policy, SystemConfig};
     pub use dh_thermal::{GridConfig, ThermalChamber, ThermalGrid};
-    pub use dh_units::{Celsius, CurrentDensity, Fraction, Kelvin, Ohms, Seconds, TimeSeries, Volts};
+    pub use dh_units::{
+        Celsius, CurrentDensity, Fraction, Kelvin, Ohms, Seconds, TimeSeries, Volts,
+    };
 }

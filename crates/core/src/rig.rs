@@ -60,7 +60,13 @@ impl MeasurementRig {
     /// oscillator as it degrades.
     pub fn run_stress(&mut self, gate_voltage: Volts, duration: Seconds) {
         self.run_phase(duration, |device, dt, temperature| {
-            device.stress(dt, StressCondition { gate_voltage, temperature });
+            device.stress(
+                dt,
+                StressCondition {
+                    gate_voltage,
+                    temperature,
+                },
+            );
         });
     }
 
@@ -68,7 +74,13 @@ impl MeasurementRig {
     /// for `duration`.
     pub fn run_recovery(&mut self, gate_voltage: Volts, duration: Seconds) {
         self.run_phase(duration, |device, dt, temperature| {
-            device.recover(dt, RecoveryCondition { gate_voltage, temperature });
+            device.recover(
+                dt,
+                RecoveryCondition {
+                    gate_voltage,
+                    temperature,
+                },
+            );
         });
     }
 
@@ -142,7 +154,9 @@ mod tests {
         let stress_end = rig.time();
         rig.run_recovery(Volts::new(-0.3), Seconds::from_hours(6.0));
         let recovery_end = rig.time();
-        let pct = rig.measured_recovery_percent(stress_end, recovery_end).unwrap();
+        let pct = rig
+            .measured_recovery_percent(stress_end, recovery_end)
+            .unwrap();
         assert!((pct - 72.7).abs() < 3.0, "rig measured {pct}%");
     }
 
@@ -158,7 +172,10 @@ mod tests {
         let after_recovery = rig.trace().last().unwrap().value;
         let fresh = rig.trace().first().unwrap().value;
         assert!(after_stress < fresh, "stress must slow the RO");
-        assert!(after_recovery > after_stress, "recovery must speed it back up");
+        assert!(
+            after_recovery > after_stress,
+            "recovery must speed it back up"
+        );
     }
 
     #[test]
@@ -178,7 +195,10 @@ mod tests {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let spread = values.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max);
         assert!(spread > 0.0, "some noise must show");
-        assert!(spread / mean < 0.01, "noise out of spec: {spread} of {mean}");
+        assert!(
+            spread / mean < 0.01,
+            "noise out of spec: {spread} of {mean}"
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ pub fn ac_stress_experiment(
     horizon: Seconds,
 ) -> AcOutcome {
     let dc = period.value() <= 0.0 || duty_positive >= Fraction::ONE;
-    let pos_time = if dc { horizon } else { period * duty_positive.value() };
+    let pos_time = if dc {
+        horizon
+    } else {
+        period * duty_positive.value()
+    };
     let neg_time = if dc { Seconds::ZERO } else { period - pos_time };
 
     let mut nucleation = None;
@@ -87,7 +91,13 @@ pub fn ac_stress_experiment(
             }
         }
     }
-    AcOutcome { period, duty_positive, nucleation, ttf, peak_stress: Pascals::new(peak) }
+    AcOutcome {
+        period,
+        duty_positive,
+        nucleation,
+        ttf,
+        peak_stress: Pascals::new(peak),
+    }
 }
 
 /// Sweeps square-wave periods at a fixed duty and returns one outcome per
@@ -134,11 +144,20 @@ mod tests {
         let outs = frequency_sweep(
             j(),
             duty,
-            &[Seconds::ZERO, Seconds::from_minutes(240.0), Seconds::from_minutes(60.0)],
+            &[
+                Seconds::ZERO,
+                Seconds::from_minutes(240.0),
+                Seconds::from_minutes(60.0),
+            ],
             horizon,
         );
         let nuc = |o: &AcOutcome| o.nucleation.map(|t| t.value()).unwrap_or(f64::INFINITY);
-        assert!(nuc(&outs[0]) < nuc(&outs[1]), "dc {:?} vs slow AC {:?}", outs[0], outs[1]);
+        assert!(
+            nuc(&outs[0]) < nuc(&outs[1]),
+            "dc {:?} vs slow AC {:?}",
+            outs[0],
+            outs[1]
+        );
         assert!(
             nuc(&outs[1]) < nuc(&outs[2]) || outs[2].nucleation.is_none(),
             "slow AC {:?} vs fast AC {:?}",
@@ -195,7 +214,10 @@ mod tests {
             Fraction::clamped(0.75),
             Seconds::from_hours(40.0),
         );
-        let nuc = out.nucleation.expect("net-positive stress nucleates").as_minutes();
+        let nuc = out
+            .nucleation
+            .expect("net-positive stress nucleates")
+            .as_minutes();
         assert!((500.0..=1400.0).contains(&nuc), "nucleated at {nuc} min");
     }
 }

@@ -44,7 +44,12 @@ impl BlackModel {
         let target = Seconds::from_hours(11.0);
         let prefactor = target.value() * j.value().powf(exponent)
             / (activation_ev / (BOLTZMANN_EV_PER_K * t.value())).exp();
-        Self { prefactor, exponent, activation_ev, sigma: 0.3 }
+        Self {
+            prefactor,
+            exponent,
+            activation_ev,
+            sigma: 0.3,
+        }
     }
 
     /// Validates the parameters.
@@ -66,10 +71,15 @@ impl BlackModel {
     /// Median time to failure at a stress condition.
     pub fn median_ttf(&self, j: CurrentDensity, t: Kelvin) -> Seconds {
         let j_abs = j.value().abs().max(1.0);
+        // Black's classic n = 2 is the default and this sits inside every
+        // Miner's-rule step, so divide by the square instead of `powf`.
+        let j_term = if self.exponent == 2.0 {
+            1.0 / (j_abs * j_abs)
+        } else {
+            j_abs.powf(-self.exponent)
+        };
         Seconds::new(
-            self.prefactor
-                * j_abs.powf(-self.exponent)
-                * (self.activation_ev / (BOLTZMANN_EV_PER_K * t.value())).exp(),
+            self.prefactor * j_term * (self.activation_ev / (BOLTZMANN_EV_PER_K * t.value())).exp(),
         )
     }
 
@@ -164,7 +174,11 @@ mod tests {
             CurrentDensity::from_ma_per_cm2(7.96),
             Celsius::new(230.0).to_kelvin(),
         );
-        assert!((ttf.as_hours() - 11.0).abs() < 1e-6, "ttf = {} h", ttf.as_hours());
+        assert!(
+            (ttf.as_hours() - 11.0).abs() < 1e-6,
+            "ttf = {} h",
+            ttf.as_hours()
+        );
     }
 
     #[test]
@@ -223,7 +237,10 @@ mod tests {
             CurrentDensity::from_ma_per_cm2(7.96),
             Celsius::new(230.0).to_kelvin(),
         );
-        assert!(af > 100.0, "accelerated test should be >100× faster, af = {af}");
+        assert!(
+            af > 100.0,
+            "accelerated test should be >100× faster, af = {af}"
+        );
     }
 
     #[test]

@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn messages_are_concise() {
-        assert!(EmError::InvalidMesh("too few nodes".into()).to_string().contains("mesh"));
+        assert!(EmError::InvalidMesh("too few nodes".into())
+            .to_string()
+            .contains("mesh"));
         let e: EmError = QuantityError::NegativeDuration(-1.0).into();
         assert!(e.to_string().contains("invalid quantity"));
     }

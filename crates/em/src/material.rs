@@ -154,7 +154,11 @@ mod tests {
         let m = EmMaterial::damascene_copper();
         let w = WireGeometry::paper();
         let peak = m.steady_state_peak(&w, CurrentDensity::from_ma_per_cm2(7.96), oven());
-        assert!(peak > m.critical_stress * 10.0, "peak = {} MPa", peak.as_mpa());
+        assert!(
+            peak > m.critical_stress * 10.0,
+            "peak = {} MPa",
+            peak.as_mpa()
+        );
     }
 
     #[test]
@@ -181,7 +185,10 @@ mod tests {
         let m = EmMaterial::damascene_copper();
         let hot = m.kappa(oven());
         let warm = m.kappa(Celsius::new(105.0).to_kelvin());
-        assert!(hot > 100.0 * warm, "kappa 230C {hot:.3e} vs 105C {warm:.3e}");
+        assert!(
+            hot > 100.0 * warm,
+            "kappa 230C {hot:.3e} vs 105C {warm:.3e}"
+        );
         // Calibrated magnitude: ~7e-15 m²/s at the oven temperature.
         assert!(hot > 2e-15 && hot < 3e-14, "kappa = {hot:.3e}");
     }

@@ -29,10 +29,14 @@ impl Mesh {
     /// `clustering` outside `[0, 1)`.
     pub fn end_refined(n: usize, length_m: f64, clustering: f64) -> Result<Self, EmError> {
         if n < 3 {
-            return Err(EmError::InvalidMesh(format!("need at least 3 nodes, got {n}")));
+            return Err(EmError::InvalidMesh(format!(
+                "need at least 3 nodes, got {n}"
+            )));
         }
         if !(length_m > 0.0) || !length_m.is_finite() {
-            return Err(EmError::InvalidMesh(format!("length must be positive, got {length_m}")));
+            return Err(EmError::InvalidMesh(format!(
+                "length must be positive, got {length_m}"
+            )));
         }
         if !(0.0..1.0).contains(&clustering) {
             return Err(EmError::InvalidMesh(format!(
@@ -45,14 +49,23 @@ impl Mesh {
             .map(|i| {
                 let xi = i as f64 / (n - 1) as f64;
                 length_m
-                    * (xi - clustering * (2.0 * std::f64::consts::PI * xi).sin()
-                        / (2.0 * std::f64::consts::PI))
+                    * (xi
+                        - clustering * (2.0 * std::f64::consts::PI * xi).sin()
+                            / (2.0 * std::f64::consts::PI))
             })
             .collect();
         let mut widths = vec![0.0; n];
         for i in 0..n {
-            let left = if i == 0 { nodes[0] } else { (nodes[i - 1] + nodes[i]) / 2.0 };
-            let right = if i == n - 1 { nodes[n - 1] } else { (nodes[i] + nodes[i + 1]) / 2.0 };
+            let left = if i == 0 {
+                nodes[0]
+            } else {
+                (nodes[i - 1] + nodes[i]) / 2.0
+            };
+            let right = if i == n - 1 {
+                nodes[n - 1]
+            } else {
+                (nodes[i] + nodes[i + 1]) / 2.0
+            };
             widths[i] = right - left;
         }
         Ok(Self { nodes, widths })
@@ -149,6 +162,10 @@ mod tests {
         let m = Mesh::end_refined(201, 2.673e-3, 0.95).unwrap();
         assert!((m.min_spacing() - m.face_spacing(0)).abs() / m.min_spacing() < 1e-9);
         // Fine enough to resolve a ~10 µm diffusion length.
-        assert!(m.min_spacing() < 2.0e-6, "min spacing {:.3e}", m.min_spacing());
+        assert!(
+            m.min_spacing() < 2.0e-6,
+            "min spacing {:.3e}",
+            m.min_spacing()
+        );
     }
 }

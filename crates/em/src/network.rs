@@ -81,7 +81,9 @@ impl EmNetwork {
         sink: usize,
     ) -> Result<Self, EmError> {
         if nodes < 2 || edges.is_empty() {
-            return Err(EmError::InvalidMesh("network needs ≥2 nodes and ≥1 segment".into()));
+            return Err(EmError::InvalidMesh(
+                "network needs ≥2 nodes and ≥1 segment".into(),
+            ));
         }
         if source >= nodes || sink >= nodes || source == sink {
             return Err(EmError::InvalidMesh(format!(
@@ -113,7 +115,13 @@ impl EmNetwork {
             )?;
             segments.push(Segment { from, to, wire });
         }
-        Ok(Self { nodes, segments, source, sink, time: Seconds::ZERO })
+        Ok(Self {
+            nodes,
+            segments,
+            source,
+            sink,
+            time: Seconds::ZERO,
+        })
     }
 
     /// A two-branch redundant local-grid strap: source and sink connected
@@ -354,7 +362,11 @@ mod tests {
         let mut net = EmNetwork::redundant_pair();
         let ttf = net.time_to_disconnect(supply(), Seconds::from_hours(80.0));
         let ttf = ttf.expect("accelerated stress must kill the pair");
-        assert_eq!(net.failed_segments(), 2, "both branches must eventually fail");
+        assert_eq!(
+            net.failed_segments(),
+            2,
+            "both branches must eventually fail"
+        );
         assert!(!net.is_connected());
         assert!(ttf > Seconds::from_hours(1.0));
     }
@@ -398,11 +410,22 @@ mod tests {
     fn reverse_supply_heals_the_whole_network() {
         let mut net = EmNetwork::redundant_pair();
         net.advance(Seconds::from_hours(8.0), supply());
-        let worn: f64 = net.segments().iter().map(|s| s.wire.delta_resistance().value()).sum();
+        let worn: f64 = net
+            .segments()
+            .iter()
+            .map(|s| s.wire.delta_resistance().value())
+            .sum();
         assert!(worn > 0.0, "branches should have voided by 8 h");
         net.advance(Seconds::from_hours(2.0), -supply());
-        let healed: f64 = net.segments().iter().map(|s| s.wire.delta_resistance().value()).sum();
-        assert!(healed < 0.4 * worn, "reverse current must heal: {worn} → {healed}");
+        let healed: f64 = net
+            .segments()
+            .iter()
+            .map(|s| s.wire.delta_resistance().value())
+            .sum();
+        assert!(
+            healed < 0.4 * worn,
+            "reverse current must heal: {worn} → {healed}"
+        );
     }
 
     #[test]
@@ -418,7 +441,8 @@ mod tests {
     #[test]
     fn disconnected_network_reports_no_currents() {
         let mut net = EmNetwork::redundant_pair();
-        net.time_to_disconnect(supply(), Seconds::from_hours(80.0)).expect("fails");
+        net.time_to_disconnect(supply(), Seconds::from_hours(80.0))
+            .expect("fails");
         assert!(net.segment_currents(supply()).is_none());
         // Advancing a dead network only passes time.
         let t = net.time();

@@ -12,7 +12,6 @@
 
 use rand::rngs::StdRng;
 
-use dh_units::rng::seeded_rng;
 use dh_units::{CurrentDensity, Pascals, Seconds};
 
 use crate::material::EmMaterial;
@@ -32,7 +31,10 @@ impl Default for VariationModel {
     fn default() -> Self {
         // Together these produce ≈0.3 of ln-TTF spread — the classic EM
         // log-normal sigma used by the Black model.
-        Self { sigma_ln_d0: 0.18, sigma_ln_crit: 0.12 }
+        Self {
+            sigma_ln_d0: 0.18,
+            sigma_ln_crit: 0.12,
+        }
     }
 }
 
@@ -46,14 +48,23 @@ pub struct TtfPopulation {
 }
 
 impl TtfPopulation {
-    /// Median TTF (of the failed wires).
+    /// Median TTF (of the failed wires): the middle element for odd
+    /// sample counts, the midpoint of the two middle elements for even
+    /// counts.
     ///
     /// Returns `None` if nothing failed.
     pub fn median(&self) -> Option<Seconds> {
-        if self.ttfs.is_empty() {
+        let n = self.ttfs.len();
+        if n == 0 {
             return None;
         }
-        Some(self.ttfs[self.ttfs.len() / 2])
+        if n % 2 == 1 {
+            Some(self.ttfs[n / 2])
+        } else {
+            Some(Seconds::new(
+                0.5 * (self.ttfs[n / 2 - 1].value() + self.ttfs[n / 2].value()),
+            ))
+        }
     }
 
     /// Maximum-likelihood sigma of ln(TTF) (of the failed wires).
@@ -85,6 +96,11 @@ impl TtfPopulation {
 /// Uses a coarser mesh (61 nodes) than the single-wire studies: the TTF is
 /// dominated by nucleation + growth timescales that the coarse mesh
 /// resolves within a few percent, and the population needs throughput.
+///
+/// Wires simulate in parallel through [`dh_exec::par_map_seeded`]: wire
+/// `i` draws its process variation from the `(seed, "em-population", i)`
+/// stream, so the population is bit-identical at any thread count — and
+/// a wire's sample no longer shifts when `n` changes below it.
 pub fn simulate_population(
     n: usize,
     j: CurrentDensity,
@@ -92,7 +108,62 @@ pub fn simulate_population(
     horizon: Seconds,
     seed: u64,
 ) -> TtfPopulation {
-    let mut rng = seeded_rng(seed, "em-population");
+    let outcomes = dh_exec::par_map_seeded(seed, "em-population", n, |_, rng| {
+        simulate_one_wire(j, variation, horizon, rng)
+    });
+
+    let mut ttfs = Vec::new();
+    let mut censored = 0;
+    for outcome in outcomes {
+        match outcome {
+            Some(ttf) => ttfs.push(ttf),
+            None => censored += 1,
+        }
+    }
+    ttfs.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFs"));
+    TtfPopulation { ttfs, censored }
+}
+
+/// One sampled wire: `Some(ttf)` on failure, `None` if censored at the
+/// horizon. The PDE stops sub-stepping at failure internally, so a single
+/// `advance` over the whole horizon resolves the TTF at substep
+/// resolution without the old outer 10-minute loop re-deriving the
+/// transport coefficients dozens of times.
+fn simulate_one_wire(
+    j: CurrentDensity,
+    variation: VariationModel,
+    horizon: Seconds,
+    mut rng: StdRng,
+) -> Option<Seconds> {
+    let mut material = EmMaterial::damascene_copper();
+    material.d0_m2_per_s *= lognormal(&mut rng, variation.sigma_ln_d0);
+    material.critical_stress = Pascals::new(
+        material.critical_stress.value() * lognormal(&mut rng, variation.sigma_ln_crit),
+    );
+    let mut wire = EmWire::new(
+        WireGeometry::paper(),
+        material,
+        dh_units::Celsius::new(230.0).to_kelvin(),
+        61,
+    )
+    .expect("perturbed material stays valid");
+
+    wire.advance(horizon, j);
+    wire.is_failed().then(|| wire.time())
+}
+
+/// The pre-`dh-exec` population loop (shared sequential RNG, 10-minute
+/// outer stepping): kept as the measured serial baseline for
+/// `perf_snapshot`. Not part of the API.
+#[doc(hidden)]
+pub fn simulate_population_baseline(
+    n: usize,
+    j: CurrentDensity,
+    variation: VariationModel,
+    horizon: Seconds,
+    seed: u64,
+) -> TtfPopulation {
+    let mut rng = dh_units::rng::seeded_rng(seed, "em-population");
     let base = EmMaterial::damascene_copper();
     let mut ttfs = Vec::new();
     let mut censored = 0;
@@ -100,8 +171,9 @@ pub fn simulate_population(
     for _ in 0..n {
         let mut material = base;
         material.d0_m2_per_s *= lognormal(&mut rng, variation.sigma_ln_d0);
-        material.critical_stress =
-            Pascals::new(material.critical_stress.value() * lognormal(&mut rng, variation.sigma_ln_crit));
+        material.critical_stress = Pascals::new(
+            material.critical_stress.value() * lognormal(&mut rng, variation.sigma_ln_crit),
+        );
         let mut wire = EmWire::new(
             WireGeometry::paper(),
             material,
@@ -113,7 +185,7 @@ pub fn simulate_population(
         let step = Seconds::from_minutes(10.0);
         let mut t = Seconds::ZERO;
         while t < horizon && !wire.is_failed() {
-            wire.advance(step, j);
+            wire.advance_reference(step, j);
             t += step;
         }
         if wire.is_failed() {
@@ -184,17 +256,55 @@ mod tests {
         let tight = simulate_population(
             8,
             CurrentDensity::from_ma_per_cm2(7.96),
-            VariationModel { sigma_ln_d0: 0.0, sigma_ln_crit: 0.0 },
+            VariationModel {
+                sigma_ln_d0: 0.0,
+                sigma_ln_crit: 0.0,
+            },
             Seconds::from_hours(48.0),
             3,
         );
         let sigma = tight.ln_sigma().unwrap();
-        assert!(sigma < 0.02, "identical wires must fail together, sigma {sigma}");
+        assert!(
+            sigma < 0.02,
+            "identical wires must fail together, sigma {sigma}"
+        );
+    }
+
+    #[test]
+    fn median_interpolates_even_length_samples() {
+        let even = TtfPopulation {
+            ttfs: vec![
+                Seconds::new(2.0),
+                Seconds::new(4.0),
+                Seconds::new(10.0),
+                Seconds::new(20.0),
+            ],
+            censored: 0,
+        };
+        assert_eq!(even.median().unwrap().value(), 7.0);
+        let odd = TtfPopulation {
+            ttfs: vec![Seconds::new(2.0), Seconds::new(4.0), Seconds::new(10.0)],
+            censored: 0,
+        };
+        assert_eq!(odd.median().unwrap().value(), 4.0);
+        let single = TtfPopulation {
+            ttfs: vec![Seconds::new(3.0)],
+            censored: 0,
+        };
+        assert_eq!(single.median().unwrap().value(), 3.0);
+        let pair = TtfPopulation {
+            ttfs: vec![Seconds::new(3.0), Seconds::new(5.0)],
+            censored: 0,
+        };
+        assert_eq!(pair.median().unwrap().value(), 4.0);
     }
 
     #[test]
     fn empty_population_edge_cases() {
-        let pop = TtfPopulation { ttfs: vec![], censored: 5 };
+        let pop = TtfPopulation {
+            ttfs: vec![],
+            censored: 5,
+        };
         assert!(pop.median().is_none());
         assert!(pop.ln_sigma().is_none());
         assert!(pop.quantile(0.5).is_none());

@@ -138,8 +138,8 @@ pub fn early_recovery_experiment(
         min_dr = min_dr.min(wire.delta_resistance().value());
         record(&mut trace, &wire);
     }
-    let reverse_em = wire.has_void_at(WireEnd::Anode)
-        || wire.end_stress(WireEnd::Anode).value() > 0.0;
+    let reverse_em =
+        wire.has_void_at(WireEnd::Anode) || wire.end_stress(WireEnd::Anode).value() > 0.0;
     EarlyRecoveryOutcome {
         trace,
         delta_r_at_recovery_start,
@@ -214,7 +214,11 @@ pub fn periodic_recovery_experiment(
         let step = SAMPLE_EVERY.min(phase_left);
         // Once the void has nucleated the scheduled branch reverts to
         // continuous stress (the paper's Fig. 7 protocol).
-        let j_sched = if in_stress || scheduled_wire.has_void() { j } else { -j };
+        let j_sched = if in_stress || scheduled_wire.has_void() {
+            j
+        } else {
+            -j
+        };
         if scheduled_ttf.is_none() {
             scheduled_wire.advance(step, j_sched);
         }
@@ -225,7 +229,11 @@ pub fn periodic_recovery_experiment(
         phase_left -= step;
         if phase_left.value() <= 1e-9 {
             in_stress = !in_stress;
-            phase_left = if in_stress { stress_interval } else { recovery_interval };
+            phase_left = if in_stress {
+                stress_interval
+            } else {
+                recovery_interval
+            };
         }
 
         if scheduled_nucleation.is_none() && scheduled_wire.has_void() {
@@ -290,12 +298,20 @@ pub fn condition_matrix(
 
     let room = Celsius::new(20.0).to_kelvin();
     let oven = Celsius::new(230.0).to_kelvin();
-    let conditions =
-        [(1, false, room), (2, true, room), (3, false, oven), (4, true, oven)];
+    let conditions = [
+        (1, false, room),
+        (2, true, room),
+        (3, false, oven),
+        (4, true, oven),
+    ];
     conditions.map(|(condition_no, reverse_current, temperature)| {
         let mut wire = stressed.clone();
         wire.set_temperature(temperature);
-        let j_rec = if reverse_current { -j } else { CurrentDensity::ZERO };
+        let j_rec = if reverse_current {
+            -j
+        } else {
+            CurrentDensity::ZERO
+        };
         wire.advance(recovery_time, j_rec);
         wire.set_temperature(oven);
         let recovered = if dr0 > 0.0 {
@@ -374,7 +390,10 @@ mod tests {
             out.delta_r_after_recovery,
             out.delta_r_at_recovery_start
         );
-        assert!(out.reverse_em_observed, "sustained reverse current must re-stress the wire");
+        assert!(
+            out.reverse_em_observed,
+            "sustained reverse current must re-stress the wire"
+        );
     }
 
     #[test]
@@ -407,7 +426,9 @@ mod tests {
         );
         let delay = out.nucleation_delay_factor().expect("both must nucleate");
         assert!(delay > 1.8, "nucleation delay factor {delay}");
-        let ttf = out.ttf_extension_factor().expect("both must fail within horizon");
+        let ttf = out
+            .ttf_extension_factor()
+            .expect("both must fail within horizon");
         assert!(ttf > 1.4, "TTF extension factor {ttf}");
         // Paper: "almost 3× slower".
         assert!(delay < 8.0, "delay factor suspiciously large: {delay}");

@@ -224,7 +224,12 @@ impl EmWire {
 
     /// The full stress profile as `(position m, stress Pa)` pairs.
     pub fn stress_profile(&self) -> Vec<(f64, f64)> {
-        self.mesh.nodes().iter().copied().zip(self.sigma.iter().copied()).collect()
+        self.mesh
+            .nodes()
+            .iter()
+            .copied()
+            .zip(self.sigma.iter().copied())
+            .collect()
     }
 
     /// Electrical resistance at the current temperature, including void
@@ -305,28 +310,94 @@ impl EmWire {
         let dx_min = self.mesh.min_spacing();
         let dt_stable = STABILITY_SAFETY * dx_min * dx_min / (2.0 * kappa_max.max(1e-300));
 
+        // Everything loop-invariant is hoisted out of the substep: the
+        // flux scratch buffer, the face spacings, and the pinning factor
+        // (every substep but the final partial one uses dt_stable). The
+        // substep arithmetic itself is untouched, so trajectories are
+        // bit-identical to the allocating reference implementation.
+        let mut flux = vec![0.0; n - 1];
+        let face_dx: Vec<f64> = (0..n - 1).map(|i| self.mesh.face_spacing(i)).collect();
+        let tau_pin = self.material.pinning_tau_s;
+        let pin_stable = 1.0 - (-dt_stable / tau_pin).exp();
+
         let mut remaining = dt.value();
         while remaining > 0.0 && !self.failed {
             let step = remaining.min(dt_stable);
-            self.substep(step, &kappa, &g, drift, omega);
+            let pin_factor = if step == dt_stable {
+                pin_stable
+            } else {
+                1.0 - (-step / tau_pin).exp()
+            };
+            self.substep(
+                step, &kappa, &g, drift, omega, &face_dx, &mut flux, pin_factor,
+            );
             remaining -= step;
         }
     }
 
-    fn substep(&mut self, dt: f64, kappa: &[f64], g: &[f64], drift: (f64, f64), omega: f64) {
+    /// The pre-optimization `advance` (one allocation-heavy substep loop):
+    /// kept as the measured baseline for `perf_snapshot` and as the
+    /// equivalence oracle for the hoisted fast path. Not part of the API.
+    #[doc(hidden)]
+    pub fn advance_reference(&mut self, dt: Seconds, j: CurrentDensity) {
+        if dt.value() <= 0.0 || self.failed {
+            return;
+        }
+        let n = self.sigma.len();
+        let mut kappa = vec![0.0; n - 1];
+        let mut g = vec![0.0; n - 1];
+        let mut kappa_max: f64 = 0.0;
+        for i in 0..n - 1 {
+            kappa[i] = self.material.kappa(self.temperature);
+            g[i] = self
+                .material
+                .wind_drive(&self.geometry, j, self.temperature);
+            kappa_max = kappa_max.max(kappa[i]);
+        }
+        let mobility = self.material.drift_mobility(self.temperature);
+        let drift = (mobility, mobility);
+        let omega = self.material.atomic_volume_m3;
+        let dx_min = self.mesh.min_spacing();
+        let dt_stable = STABILITY_SAFETY * dx_min * dx_min / (2.0 * kappa_max.max(1e-300));
+
+        let mut remaining = dt.value();
+        while remaining > 0.0 && !self.failed {
+            let step = remaining.min(dt_stable);
+            // Per-substep allocations and transcendentals, as the original
+            // hot loop had them.
+            let mut flux = vec![0.0; n - 1];
+            let face_dx: Vec<f64> = (0..n - 1).map(|i| self.mesh.face_spacing(i)).collect();
+            let pin_factor = 1.0 - (-step / self.material.pinning_tau_s).exp();
+            self.substep(
+                step, &kappa, &g, drift, omega, &face_dx, &mut flux, pin_factor,
+            );
+            remaining -= step;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn substep(
+        &mut self,
+        dt: f64,
+        kappa: &[f64],
+        g: &[f64],
+        drift: (f64, f64),
+        omega: f64,
+        face_dx: &[f64],
+        flux: &mut [f64],
+        pin_factor: f64,
+    ) {
         let n = self.sigma.len();
         let sigma_crit = self.material.critical_stress.value();
 
         // Face fluxes F[i] between nodes i and i+1: F = −κ(∂σ/∂x + G).
-        let mut flux = vec![0.0; n - 1];
         for i in 0..n - 1 {
-            let dx = self.mesh.face_spacing(i);
-            flux[i] = -kappa[i] * ((self.sigma[i + 1] - self.sigma[i]) / dx + g[i]);
+            flux[i] = -kappa[i] * ((self.sigma[i + 1] - self.sigma[i]) / face_dx[i] + g[i]);
         }
 
         // Void length rates at each end (m/s, positive = growing).
-        let cathode_grad = (self.sigma[1] - self.sigma[0]) / self.mesh.face_spacing(0);
-        let anode_grad = (self.sigma[n - 1] - self.sigma[n - 2]) / self.mesh.face_spacing(n - 2);
+        let cathode_grad = (self.sigma[1] - self.sigma[0]) / face_dx[0];
+        let anode_grad = (self.sigma[n - 1] - self.sigma[n - 2]) / face_dx[n - 2];
         let mut v_cathode = drift.0 * omega * (g[0] + cathode_grad);
         let mut v_anode = -drift.1 * omega * (g[n - 2] + anode_grad);
         if v_cathode < 0.0 {
@@ -337,7 +408,7 @@ impl EmWire {
         }
 
         // Interior update: σ' = −∂F/∂x over each control volume.
-        let widths = self.mesh.widths().to_vec();
+        let widths = self.mesh.widths();
         for i in 1..n - 1 {
             self.sigma[i] += -dt * (flux[i] - flux[i - 1]) / widths[i];
         }
@@ -355,12 +426,11 @@ impl EmWire {
         }
 
         // Void volume exchange, pinning, nucleation, failure.
-        let tau_pin = self.material.pinning_tau_s;
         for (idx, v_rate) in [(0, v_cathode), (1, v_anode)] {
             let void = &mut self.voids[idx];
             if void.exists() {
                 void.mobile_m = (void.mobile_m + v_rate * dt).max(0.0);
-                let pin = void.mobile_m * (1.0 - (-dt / tau_pin).exp());
+                let pin = void.mobile_m * pin_factor;
                 void.mobile_m -= pin;
                 void.pinned_m += pin;
             }
@@ -373,7 +443,11 @@ impl EmWire {
             self.voids[1].mobile_m = VOID_SEED_M;
             self.sigma[n - 1] = 0.0;
         }
-        if self.voids.iter().any(|v| v.total_m() >= self.material.break_length_m) {
+        if self
+            .voids
+            .iter()
+            .any(|v| v.total_m() >= self.material.break_length_m)
+        {
             self.failed = true;
         }
 
@@ -416,7 +490,9 @@ mod tests {
         let t = Seconds::from_minutes(30.0);
         w.advance(t, J_STRESS);
         let kappa = w.material().kappa(w.temperature());
-        let g = w.material().wind_drive(w.geometry(), J_STRESS, w.temperature());
+        let g = w
+            .material()
+            .wind_drive(w.geometry(), J_STRESS, w.temperature());
         let analytic = 2.0 * g * (kappa * t.value() / std::f64::consts::PI).sqrt();
         let got = w.end_stress(WireEnd::Cathode).value();
         assert!(
@@ -447,7 +523,10 @@ mod tests {
         let mut w = EmWire::paper_wire();
         let r0 = w.resistance().value();
         w.advance(Seconds::from_minutes(100.0), J_STRESS);
-        assert!((w.resistance().value() - r0).abs() < 1e-6, "flat during incubation");
+        assert!(
+            (w.resistance().value() - r0).abs() < 1e-6,
+            "flat during incubation"
+        );
         w.advance(Seconds::from_minutes(400.0), J_STRESS);
         assert!(w.has_void());
         assert!(w.resistance().value() > r0 + 0.3, "rises during growth");
@@ -511,7 +590,10 @@ mod tests {
         assert!(dr0 > 0.0);
         w.advance(Seconds::from_minutes(60.0), J_RECOVER);
         let dr1 = w.delta_resistance().value();
-        assert!(dr1 < 0.1 * dr0, "early recovery residue {dr1:.4} of {dr0:.4}");
+        assert!(
+            dr1 < 0.1 * dr0,
+            "early recovery residue {dr1:.4} of {dr0:.4}"
+        );
     }
 
     #[test]
@@ -562,6 +644,26 @@ mod tests {
     }
 
     #[test]
+    fn optimized_advance_is_bit_identical_to_reference() {
+        // The hoisted fast path must replay the reference implementation's
+        // exact arithmetic through stress, recovery, idle, and failure.
+        let mut fast = EmWire::paper_wire();
+        let mut reference = EmWire::paper_wire();
+        let schedule = [
+            (180.0, J_STRESS),
+            (60.0, J_RECOVER),
+            (45.0, CurrentDensity::ZERO),
+            (400.0, J_STRESS),
+        ];
+        for (minutes, j) in schedule {
+            fast.advance(Seconds::from_minutes(minutes), j);
+            reference.advance_reference(Seconds::from_minutes(minutes), j);
+            assert_eq!(fast, reference, "diverged after {minutes} min at {j:?}");
+        }
+        assert!(fast.has_void());
+    }
+
+    #[test]
     fn uniform_profile_matches_plain_advance() {
         let mut plain = EmWire::paper_wire();
         plain.advance(Seconds::from_minutes(240.0), J_STRESS);
@@ -582,7 +684,11 @@ mod tests {
         let gradient = |hot_at_cathode: bool| {
             move |x: f64| {
                 let frac = x / length;
-                let c = if hot_at_cathode { 230.0 - 60.0 * frac } else { 170.0 + 60.0 * frac };
+                let c = if hot_at_cathode {
+                    230.0 - 60.0 * frac
+                } else {
+                    170.0 + 60.0 * frac
+                };
                 Celsius::new(c).to_kelvin()
             }
         };
@@ -599,7 +705,10 @@ mod tests {
         };
         let hot = nucleation_time(true).expect("hot cathode nucleates");
         let cold = nucleation_time(false).unwrap_or(901);
-        assert!(hot < cold, "hot-cathode {hot} min vs cold-cathode {cold} min");
+        assert!(
+            hot < cold,
+            "hot-cathode {hot} min vs cold-cathode {cold} min"
+        );
     }
 
     #[test]

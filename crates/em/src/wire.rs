@@ -59,7 +59,10 @@ impl WireGeometry {
         ensure_positive("wire length", self.length_m)?;
         ensure_positive("wire width", self.width_m)?;
         ensure_positive("wire thickness", self.thickness_m)?;
-        ensure_positive("room-temperature resistance", self.resistance_at_room.value())?;
+        ensure_positive(
+            "room-temperature resistance",
+            self.resistance_at_room.value(),
+        )?;
         ensure_positive("temperature coefficient", self.tcr_per_k)?;
         Ok(self)
     }

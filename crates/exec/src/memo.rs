@@ -1,0 +1,186 @@
+//! Compute-once memoization for expensive fitted artifacts.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A process-wide compute-once cache keyed by the artifact's full
+/// parameterization.
+///
+/// Designed for a small number of very expensive values (e.g. the CET
+/// emission-CDF knot fit, a multi-second simulated-protocol iteration):
+/// the map lock is held **across** the compute, so two racing callers
+/// with the same key never fit twice — the loser blocks and receives the
+/// winner's [`Arc`]. Do not use it for cheap values with many distinct
+/// keys; the coarse lock would serialize them.
+///
+/// `new` is `const`, so a memo can live in a `static`:
+///
+/// ```
+/// use dh_exec::Memo;
+///
+/// static FITS: Memo<u32, Vec<f64>> = Memo::new();
+/// let first = FITS.get_or_insert_with(9901, || vec![0.5; 4]);
+/// let second = FITS.get_or_insert_with(9901, || unreachable!("cached"));
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// ```
+pub struct Memo<K, V> {
+    map: OnceLock<Mutex<HashMap<K, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V> Memo<K, V> {
+    /// An empty cache; usable in `static` items.
+    pub const fn new() -> Self {
+        Self {
+            map: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn map(&self) -> &Mutex<HashMap<K, Arc<V>>> {
+        self.map.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Returns the cached value for `key`, computing and caching it with
+    /// `compute` on first use.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        match self.try_get_or_insert_with(key, || Ok::<V, std::convert::Infallible>(compute())) {
+            Ok(value) => value,
+        }
+    }
+
+    /// Fallible variant of [`Memo::get_or_insert_with`]: errors are
+    /// returned to the caller and nothing is cached, so a later call
+    /// retries the compute.
+    pub fn try_get_or_insert_with<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut map = self
+            .map()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(value) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(value));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute()?);
+        map.insert(key, Arc::clone(&value));
+        Ok(value)
+    }
+
+    /// Lookups served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute (successful or not).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached values.
+    pub fn len(&self) -> usize {
+        self.map()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached value (counters are kept).
+    pub fn clear(&self) {
+        self.map()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clear();
+    }
+}
+
+impl<K: Eq + Hash, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_once_per_key() {
+        let memo: Memo<u8, u64> = Memo::new();
+        let mut computes = 0;
+        for _ in 0..3 {
+            memo.get_or_insert_with(1, || {
+                computes += 1;
+                42
+            });
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn racing_callers_share_one_compute() {
+        static MEMO: Memo<u32, u64> = Memo::new();
+        static COMPUTES: AtomicU64 = AtomicU64::new(0);
+        let values: Vec<Arc<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        MEMO.get_or_insert_with(7, || {
+                            COMPUTES.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            99
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(COMPUTES.load(Ordering::SeqCst), 1);
+        assert!(values.iter().all(|v| **v == 99));
+        assert!(values
+            .windows(2)
+            .all(|pair| Arc::ptr_eq(&pair[0], &pair[1])));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let memo: Memo<u8, u8> = Memo::new();
+        let err: Result<_, &str> = memo.try_get_or_insert_with(1, || Err("fit diverged"));
+        assert!(err.is_err());
+        assert!(memo.is_empty());
+        let ok = memo
+            .try_get_or_insert_with(1, || Ok::<u8, &str>(5))
+            .unwrap();
+        assert_eq!(*ok, 5);
+        assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn clear_resets_contents_only() {
+        let memo: Memo<u8, u8> = Memo::new();
+        memo.get_or_insert_with(1, || 1);
+        memo.get_or_insert_with(1, || 1);
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.hits(), 1);
+        memo.get_or_insert_with(1, || 2);
+        assert_eq!(memo.misses(), 2);
+    }
+}

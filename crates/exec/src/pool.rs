@@ -1,0 +1,349 @@
+//! Self-scheduling scoped-thread parallel maps.
+//!
+//! No external thread-pool dependency is available offline, so the
+//! engine runs each call on `std::thread::scope` workers that pop item
+//! indices from a shared atomic counter (self-scheduling: the classic
+//! fix for skewed per-item cost). Results carry their item index and are
+//! reassembled in index order, which — together with per-item RNG
+//! streams — is what makes output independent of thread count and
+//! scheduling.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+
+/// Runtime thread-count override; 0 means "not set".
+static MAX_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for subsequent parallel calls
+/// (`Some(n)` pins it, `None` restores env/hardware detection).
+///
+/// Results never depend on the thread count — this knob exists for
+/// benchmarking serial baselines and for tests that exercise both paths.
+pub fn set_max_threads(n: Option<usize>) {
+    MAX_THREADS_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// The worker count parallel calls will use: the [`set_max_threads`]
+/// override, else `DH_NUM_THREADS`, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+pub fn max_threads() -> usize {
+    let overridden = MAX_THREADS_OVERRIDE.load(Ordering::SeqCst);
+    if overridden > 0 {
+        return overridden;
+    }
+    env_threads("DH_NUM_THREADS")
+        .or_else(|| env_threads("RAYON_NUM_THREADS"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Workers to spawn for `n_items` items: never more than items, and
+/// below a handful of items the spawn cost outweighs the parallelism.
+fn worker_count(n_items: usize) -> usize {
+    max_threads().min(n_items)
+}
+
+/// Reassembles `(index, value)` pairs produced by the workers into a
+/// dense index-ordered vector.
+fn assemble<U>(n: usize, tagged: Vec<(usize, U)>) -> Vec<U> {
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (index, value) in tagged {
+        debug_assert!(slots[index].is_none(), "item {index} produced twice");
+        slots[index] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| slot.unwrap_or_else(|| panic!("item {index} never produced")))
+        .collect()
+}
+
+/// Maps `f` over `0..n` in parallel; `out[i] == f(i)` exactly as in the
+/// serial loop, at any thread count.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let tagged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        local.push((index, f(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut tagged = Vec::with_capacity(n);
+        for handle in handles {
+            tagged.extend(handle.join().expect("worker panicked"));
+        }
+        tagged
+    });
+    assemble(n, tagged)
+}
+
+/// Parallel map over a slice; `out[i] == f(&items[i])`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map with a per-item deterministic RNG stream: item `i`
+/// receives `seeded_stream_rng(root, label, i)`, so output is
+/// bit-identical to the serial loop at any thread count.
+pub fn par_map_seeded<U, F>(root: u64, label: &str, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, StdRng) -> U + Sync,
+{
+    par_map_indexed(n, |i| {
+        f(i, dh_units::rng::seeded_stream_rng(root, label, i as u64))
+    })
+}
+
+/// Fallible parallel map: `Ok(out)` with `out[i] == f(&items[i])?`, or
+/// the error of the **lowest-index** failing item (deterministic even
+/// though workers race).
+///
+/// Work hand-out stops after the first observed error; because the
+/// popped items always form a prefix of the index range, the
+/// lowest-index error among completed items is the same in every run.
+pub fn par_try_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let mut tagged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        let result = f(&items[index]);
+                        if result.is_err() {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        local.push((index, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut tagged = Vec::with_capacity(n);
+        for handle in handles {
+            tagged.extend(handle.join().expect("worker panicked"));
+        }
+        tagged
+    });
+
+    tagged.sort_by_key(|(index, _)| *index);
+    let mut out = Vec::with_capacity(n);
+    for (index, result) in tagged {
+        match result {
+            Ok(value) => {
+                debug_assert_eq!(index, out.len(), "hole before item {index}");
+                out.push(value);
+            }
+            Err(error) => return Err(error),
+        }
+    }
+    assert_eq!(out.len(), n, "parallel map lost items without an error");
+    Ok(out)
+}
+
+/// Runs `f` over fixed-size chunks of `items` in parallel, returning the
+/// per-chunk results **in chunk order**.
+///
+/// Chunk boundaries depend only on `chunk_size`, so a serial in-order
+/// fold over the returned vector is bit-identical at any thread count.
+/// Chunks are self-scheduled one at a time for load balance.
+pub fn par_chunks_mut<T, U, F>(items: &mut [T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T]) -> U + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n_chunks = items.len().div_ceil(chunk_size);
+    let workers = worker_count(n_chunks);
+    if workers <= 1 {
+        return items
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    type ChunkQueue<'a, T> = Mutex<Vec<Option<(usize, &'a mut [T])>>>;
+    let queue: ChunkQueue<T> =
+        Mutex::new(items.chunks_mut(chunk_size).enumerate().map(Some).collect());
+    let next = AtomicUsize::new(0);
+    let tagged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= n_chunks {
+                            break;
+                        }
+                        let (index, chunk) = queue.lock().expect("chunk queue poisoned")[slot]
+                            .take()
+                            .expect("chunk taken twice");
+                        local.push((index, f(index, chunk)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut tagged = Vec::with_capacity(n_chunks);
+        for handle in handles {
+            tagged.extend(handle.join().expect("worker panicked"));
+        }
+        tagged
+    });
+    assemble(n_chunks, tagged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Serializes tests that mutate the global thread-count override.
+    fn override_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn par_map_matches_serial() {
+        let _guard = override_guard();
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 7] {
+            set_max_threads(Some(threads));
+            assert_eq!(par_map(&items, |x| x * x + 1), serial);
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn seeded_map_is_thread_count_invariant() {
+        let _guard = override_guard();
+        let run = |threads| {
+            set_max_threads(Some(threads));
+            par_map_seeded(42, "invariance", 64, |i, mut rng| {
+                // Skewed cost: let some items draw far more than others.
+                let draws = 1 + (i % 7) * 50;
+                (0..draws).map(|_| rng.gen::<f64>()).sum::<f64>()
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        let eight = run(8);
+        set_max_threads(None);
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let _guard = override_guard();
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4] {
+            set_max_threads(Some(threads));
+            let result: Result<Vec<usize>, usize> =
+                par_try_map(&items, |&i| if i == 13 || i == 57 { Err(i) } else { Ok(i) });
+            assert_eq!(result.unwrap_err(), 13);
+            let ok: Result<Vec<usize>, usize> = par_try_map(&items, |&i| Ok(i * 2));
+            assert_eq!(ok.unwrap(), items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn chunked_fold_is_thread_count_invariant() {
+        let _guard = override_guard();
+        let run = |threads| {
+            set_max_threads(Some(threads));
+            let mut data: Vec<f64> = (0..1000).map(|i| f64::from(i) * 0.25).collect();
+            let partials = par_chunks_mut(&mut data, 64, |_, chunk| {
+                let mut sum = 0.0;
+                for x in chunk.iter_mut() {
+                    *x = x.sqrt();
+                    sum += *x;
+                }
+                sum
+            });
+            // In-order fold: deterministic float summation.
+            (data, partials.into_iter().fold(0.0, |acc, p| acc + p))
+        };
+        let (data1, sum1) = run(1);
+        let (data8, sum8) = run(8);
+        set_max_threads(None);
+        assert_eq!(data1, data8);
+        assert_eq!(sum1.to_bits(), sum8.to_bits());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let _guard = override_guard();
+        set_max_threads(Some(4));
+        assert!(par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, |i| i + 10), vec![10]);
+        let mut nothing: Vec<u8> = Vec::new();
+        assert!(par_chunks_mut(&mut nothing, 8, |_, c| c.len()).is_empty());
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn override_beats_env_detection() {
+        let _guard = override_guard();
+        set_max_threads(Some(3));
+        assert_eq!(max_threads(), 3);
+        set_max_threads(None);
+        assert!(max_threads() >= 1);
+    }
+}

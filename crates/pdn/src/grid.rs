@@ -163,7 +163,10 @@ impl core::fmt::Display for PdnError {
         match self {
             Self::InvalidConfig(why) => write!(f, "invalid PDN config: {why}"),
             Self::LoadLengthMismatch { expected, got } => {
-                write!(f, "load vector length {got} does not match local node count {expected}")
+                write!(
+                    f,
+                    "load vector length {got} does not match local node count {expected}"
+                )
             }
             Self::SolveFailed => write!(f, "PDN solve failed to converge"),
         }
@@ -196,7 +199,9 @@ impl PdnMesh {
             ("global area", config.global_area_m2),
         ] {
             if !(v > 0.0) || !v.is_finite() {
-                return Err(PdnError::InvalidConfig(format!("{name} must be positive, got {v}")));
+                return Err(PdnError::InvalidConfig(format!(
+                    "{name} must be positive, got {v}"
+                )));
             }
         }
         let gr = config.global_rows();
@@ -257,7 +262,10 @@ impl PdnMesh {
         let c = &self.config;
         let nl = c.local_nodes();
         if loads_a.len() != nl {
-            return Err(PdnError::LoadLengthMismatch { expected: nl, got: loads_a.len() });
+            return Err(PdnError::LoadLengthMismatch {
+                expected: nl,
+                got: loads_a.len(),
+            });
         }
         let gc = c.global_cols();
         let n_total = nl + c.global_nodes();
@@ -340,7 +348,9 @@ impl PdnMesh {
         let matrix = builder.build();
         let mut rhs = vec![0.0; n_total];
         rhs[..nl].copy_from_slice(loads_a);
-        let drops = matrix.solve_cg(&rhs, 1e-10, 20_000).ok_or(PdnError::SolveFailed)?;
+        let drops = matrix
+            .solve_cg(&rhs, 1e-10, 20_000)
+            .ok_or(PdnError::SolveFailed)?;
 
         let mut branches: Vec<Branch> = edges
             .iter()
@@ -366,7 +376,11 @@ impl PdnMesh {
 
         let local_drops_v = drops[..nl].to_vec();
         let worst = local_drops_v.iter().copied().fold(0.0, f64::max);
-        Ok(PdnSolution { local_drops_v, worst_ir_drop_v: worst, branches })
+        Ok(PdnSolution {
+            local_drops_v,
+            worst_ir_drop_v: worst,
+            branches,
+        })
     }
 }
 
@@ -406,7 +420,11 @@ mod tests {
             global.as_ma_per_cm2()
         );
         // Local density reaches the EM-concern regime (~1 MA/cm² scale).
-        assert!(local.as_ma_per_cm2() > 0.2, "local = {} MA/cm²", local.as_ma_per_cm2());
+        assert!(
+            local.as_ma_per_cm2() > 0.2,
+            "local = {} MA/cm²",
+            local.as_ma_per_cm2()
+        );
     }
 
     #[test]
@@ -476,7 +494,10 @@ mod tests {
         let m = mesh();
         assert!(matches!(
             m.solve(&[0.0; 3]),
-            Err(PdnError::LoadLengthMismatch { expected: 576, got: 3 })
+            Err(PdnError::LoadLengthMismatch {
+                expected: 576,
+                got: 3
+            })
         ));
     }
 }

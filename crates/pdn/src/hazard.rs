@@ -47,7 +47,10 @@ impl HazardReport {
                 .partial_cmp(&b.median_ttf)
                 .expect("TTFs are finite")
         });
-        Self { ranked, temperature }
+        Self {
+            ranked,
+            temperature,
+        }
     }
 
     /// The most hazardous entry, if any branch carries current.
@@ -62,7 +65,10 @@ impl HazardReport {
 
     /// Count of branches whose median TTF falls below a target lifetime.
     pub fn below_lifetime(&self, lifetime: Seconds) -> usize {
-        self.ranked.iter().filter(|e| e.median_ttf < lifetime).count()
+        self.ranked
+            .iter()
+            .filter(|e| e.median_ttf < lifetime)
+            .count()
     }
 }
 
@@ -93,7 +99,11 @@ mod tests {
     fn report() -> HazardReport {
         let mesh = PdnMesh::new(PdnConfig::default_chip()).unwrap();
         let sol = mesh.solve_uniform_load(0.25e-3).unwrap();
-        HazardReport::analyze(&sol, &BlackModel::calibrated_to_paper(), Celsius::new(85.0).to_kelvin())
+        HazardReport::analyze(
+            &sol,
+            &BlackModel::calibrated_to_paper(),
+            Celsius::new(85.0).to_kelvin(),
+        )
     }
 
     #[test]

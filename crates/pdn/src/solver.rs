@@ -33,7 +33,11 @@ pub struct SpdBuilder {
 impl SpdBuilder {
     /// Creates a builder for an `n`-node system.
     pub fn new(n: usize) -> Self {
-        Self { n, diag: vec![0.0; n], off: Vec::new() }
+        Self {
+            n,
+            diag: vec![0.0; n],
+            off: Vec::new(),
+        }
     }
 
     /// Stamps a conductance `g` between nodes `a` and `b` (`None` = ground).
@@ -42,7 +46,10 @@ impl SpdBuilder {
     ///
     /// Panics on out-of-range nodes or a negative/non-finite conductance.
     pub fn stamp(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
-        assert!(g.is_finite() && g >= 0.0, "conductance must be >= 0, got {g}");
+        assert!(
+            g.is_finite() && g >= 0.0,
+            "conductance must be >= 0, got {g}"
+        );
         match (a, b) {
             (Some(a), Some(b)) => {
                 assert!(a < self.n && b < self.n, "node out of range");
@@ -102,7 +109,13 @@ impl SpdBuilder {
             val[cursor[b]] = -g;
             cursor[b] += 1;
         }
-        SparseSpd { n, row_ptr, col, val, diag: self.diag }
+        SparseSpd {
+            n,
+            row_ptr,
+            col,
+            val,
+            diag: self.diag,
+        }
     }
 }
 

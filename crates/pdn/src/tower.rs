@@ -78,18 +78,81 @@ impl Tower {
     /// header/footer on top of a conventional power-gated PDN).
     pub fn ten_layer() -> Self {
         let layers = vec![
-            MetalLayer { name: "M10", role: LayerRole::GlobalGrid, wire_width_m: 12.0e-6, thickness_m: 3.0e-6, parallel_wires: 10 },
-            MetalLayer { name: "M9", role: LayerRole::GlobalGrid, wire_width_m: 10.0e-6, thickness_m: 2.0e-6, parallel_wires: 12 },
-            MetalLayer { name: "M8", role: LayerRole::Intermediate, wire_width_m: 2.0e-6, thickness_m: 0.9e-6, parallel_wires: 48 },
-            MetalLayer { name: "M7", role: LayerRole::Intermediate, wire_width_m: 1.6e-6, thickness_m: 0.9e-6, parallel_wires: 48 },
-            MetalLayer { name: "M6", role: LayerRole::Intermediate, wire_width_m: 1.2e-6, thickness_m: 0.8e-6, parallel_wires: 64 },
-            MetalLayer { name: "M5", role: LayerRole::Intermediate, wire_width_m: 0.8e-6, thickness_m: 0.5e-6, parallel_wires: 96 },
-            MetalLayer { name: "M4", role: LayerRole::LocalGrid, wire_width_m: 0.5e-6, thickness_m: 0.35e-6, parallel_wires: 192 },
-            MetalLayer { name: "M3", role: LayerRole::LocalGrid, wire_width_m: 0.4e-6, thickness_m: 0.3e-6, parallel_wires: 256 },
-            MetalLayer { name: "M2", role: LayerRole::LocalGrid, wire_width_m: 0.3e-6, thickness_m: 0.22e-6, parallel_wires: 384 },
-            MetalLayer { name: "M1", role: LayerRole::LocalGrid, wire_width_m: 0.25e-6, thickness_m: 0.18e-6, parallel_wires: 512 },
+            MetalLayer {
+                name: "M10",
+                role: LayerRole::GlobalGrid,
+                wire_width_m: 12.0e-6,
+                thickness_m: 3.0e-6,
+                parallel_wires: 10,
+            },
+            MetalLayer {
+                name: "M9",
+                role: LayerRole::GlobalGrid,
+                wire_width_m: 10.0e-6,
+                thickness_m: 2.0e-6,
+                parallel_wires: 12,
+            },
+            MetalLayer {
+                name: "M8",
+                role: LayerRole::Intermediate,
+                wire_width_m: 2.0e-6,
+                thickness_m: 0.9e-6,
+                parallel_wires: 48,
+            },
+            MetalLayer {
+                name: "M7",
+                role: LayerRole::Intermediate,
+                wire_width_m: 1.6e-6,
+                thickness_m: 0.9e-6,
+                parallel_wires: 48,
+            },
+            MetalLayer {
+                name: "M6",
+                role: LayerRole::Intermediate,
+                wire_width_m: 1.2e-6,
+                thickness_m: 0.8e-6,
+                parallel_wires: 64,
+            },
+            MetalLayer {
+                name: "M5",
+                role: LayerRole::Intermediate,
+                wire_width_m: 0.8e-6,
+                thickness_m: 0.5e-6,
+                parallel_wires: 96,
+            },
+            MetalLayer {
+                name: "M4",
+                role: LayerRole::LocalGrid,
+                wire_width_m: 0.5e-6,
+                thickness_m: 0.35e-6,
+                parallel_wires: 192,
+            },
+            MetalLayer {
+                name: "M3",
+                role: LayerRole::LocalGrid,
+                wire_width_m: 0.4e-6,
+                thickness_m: 0.3e-6,
+                parallel_wires: 256,
+            },
+            MetalLayer {
+                name: "M2",
+                role: LayerRole::LocalGrid,
+                wire_width_m: 0.3e-6,
+                thickness_m: 0.22e-6,
+                parallel_wires: 384,
+            },
+            MetalLayer {
+                name: "M1",
+                role: LayerRole::LocalGrid,
+                wire_width_m: 0.25e-6,
+                thickness_m: 0.18e-6,
+                parallel_wires: 512,
+            },
         ];
-        Self { layers, assist_boundary: 6 }
+        Self {
+            layers,
+            assist_boundary: 6,
+        }
     }
 
     /// The layers, top (bump side) first.
@@ -107,7 +170,10 @@ impl Tower {
     /// the tower. Every layer carries the full tile current (it flows
     /// through the stack), split across that layer's parallel wires.
     pub fn density_profile(&self, tile_current: Amperes) -> Vec<(&'static str, CurrentDensity)> {
-        self.layers.iter().map(|l| (l.name, l.density_for(tile_current))).collect()
+        self.layers
+            .iter()
+            .map(|l| (l.name, l.density_for(tile_current)))
+            .collect()
     }
 
     /// The most EM-stressed layer for a tile current.
@@ -167,7 +233,12 @@ mod tests {
     fn local_layers_are_the_em_hazard() {
         let t = Tower::ten_layer();
         let worst = t.most_stressed(amp()).unwrap();
-        assert_eq!(worst.role, LayerRole::LocalGrid, "worst layer {}", worst.name);
+        assert_eq!(
+            worst.role,
+            LayerRole::LocalGrid,
+            "worst layer {}",
+            worst.name
+        );
         // Fig. 11's gap: local grids see an order of magnitude more stress.
         let ratio = t.local_to_global_stress_ratio(amp());
         assert!(ratio > 10.0, "local/global stress ratio {ratio}");

@@ -66,14 +66,20 @@ pub fn wear_trajectory(
     // Initial solve fixes the per-branch densities (quasi-static: uniform
     // local aging does not redistribute the load-driven currents).
     let initial = mesh.solve(&loads)?;
-    let local_rates: Vec<f64> = initial
+    let local_branches: Vec<_> = initial
         .branches
         .iter()
         .filter(|b| b.layer == LayerClass::Local && b.current_a > 0.0)
-        .map(|b| wear_factor / black.median_ttf(b.density, t).value())
         .collect();
+    // Each branch's Black-model TTF costs an `exp` and a `powf`; the sweep
+    // is embarrassingly parallel and order-preserving.
+    let local_rates: Vec<f64> = dh_exec::par_map(&local_branches, |b| {
+        wear_factor / black.median_ttf(b.density, t).value()
+    });
     if local_rates.is_empty() {
-        return Err(PdnError::InvalidConfig("no current-carrying local branches".into()));
+        return Err(PdnError::InvalidConfig(
+            "no current-carrying local branches".into(),
+        ));
     }
 
     let dt = Seconds::from_years(years / steps as f64);

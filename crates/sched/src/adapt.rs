@@ -54,7 +54,9 @@ pub fn compensation_study(
     seed: u64,
 ) -> Result<[CompensationOutcome; 2], SchedError> {
     if !(years > 0.0) || !years.is_finite() {
-        return Err(SchedError::InvalidConfig(format!("years must be positive, got {years}")));
+        return Err(SchedError::InvalidConfig(format!(
+            "years must be positive, got {years}"
+        )));
     }
     let compensate = run_arm(system.clone(), years, seed, Policy::PassiveIdle, true)?;
     let heal = run_arm(system, years, seed, Policy::periodic_deep_default(), false)?;
@@ -74,7 +76,11 @@ fn run_arm(
     let mut system = ManyCoreSystem::new(system_config)?;
     let total_epochs = (Seconds::from_years(years) / epoch).ceil().max(1.0) as usize;
 
-    let strategy = if boost { "compensate (VDD boost)" } else { "heal (deep recovery)" };
+    let strategy = if boost {
+        "compensate (VDD boost)"
+    } else {
+        "heal (deep recovery)"
+    };
     let mut boost_series = TimeSeries::new(format!("VDD boost (V), {strategy}"));
     let mut overhead_sum = 0.0;
     let mut final_overhead = 0.0;

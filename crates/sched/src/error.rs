@@ -44,7 +44,9 @@ mod tests {
     #[test]
     fn messages_and_sources() {
         use std::error::Error;
-        assert!(SchedError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(SchedError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
         let e: SchedError = ThermalError::InvalidPower(-1.0).into();
         assert!(e.source().is_some());
     }

@@ -6,9 +6,7 @@
 //! recovery, the system "always runs in a refreshing mode" and the
 //! guardband shrinks. [`run_lifetime`] produces that picture quantitatively
 //! for any policy, and [`monte_carlo_guardband`] sweeps seeds in parallel
-//! (crossbeam scoped threads) for distributional statements.
-
-use crossbeam::thread;
+//! (the `dh-exec` self-scheduling engine) for distributional statements.
 
 use dh_circuit::RingOscillator;
 use dh_units::{Fraction, Seconds, TimeSeries};
@@ -30,7 +28,11 @@ pub struct LifetimeConfig {
 
 impl Default for LifetimeConfig {
     fn default() -> Self {
-        Self { years: 3.0, system: SystemConfig::default(), sample_every: 8 }
+        Self {
+            years: 3.0,
+            system: SystemConfig::default(),
+            sample_every: 8,
+        }
     }
 }
 
@@ -71,6 +73,28 @@ pub fn run_lifetime(
     policy: Policy,
     seed: u64,
 ) -> Result<LifetimeOutcome, SchedError> {
+    run_lifetime_impl(config, policy, seed, false)
+}
+
+/// [`run_lifetime`] with every hot path routed through the
+/// pre-optimization reference implementations (iterative thermal settle,
+/// unfused stress law): the serial baseline `perf_snapshot` measures the
+/// engine against. Not part of the API.
+#[doc(hidden)]
+pub fn run_lifetime_reference(
+    config: &LifetimeConfig,
+    policy: Policy,
+    seed: u64,
+) -> Result<LifetimeOutcome, SchedError> {
+    run_lifetime_impl(config, policy, seed, true)
+}
+
+fn run_lifetime_impl(
+    config: &LifetimeConfig,
+    policy: Policy,
+    seed: u64,
+    reference: bool,
+) -> Result<LifetimeOutcome, SchedError> {
     if !(config.years > 0.0) || !config.years.is_finite() {
         return Err(SchedError::InvalidConfig(format!(
             "lifetime must be positive, got {} years",
@@ -80,22 +104,36 @@ pub fn run_lifetime(
     let mut system_config = config.system.clone();
     system_config.seed = seed;
     let mut system = ManyCoreSystem::new(system_config)?;
+    if reference {
+        system.set_reference_mode(true);
+    }
     let ro = RingOscillator::paper_75_stage();
 
-    let total_epochs =
-        (Seconds::from_years(config.years) / config.system.epoch).ceil().max(1.0) as usize;
-    let mut series = TimeSeries::new(format!("worst-core frequency degradation, {}", policy.name()));
+    let total_epochs = (Seconds::from_years(config.years) / config.system.epoch)
+        .ceil()
+        .max(1.0) as usize;
+    let mut series = TimeSeries::new(format!(
+        "worst-core frequency degradation, {}",
+        policy.name()
+    ));
     let mut guardband: f64 = 0.0;
     let mut displaced = 0.0;
     let mut demanded = 0.0;
 
+    // The fresh frequency never changes; the reference path re-derives it
+    // per epoch inside `degradation`, as the seed did.
+    let fresh = ro.frequency(0.0).value();
     for epoch in 0..total_epochs {
         let status = system.step(policy)?;
         for s in &status {
             displaced += s.displaced_work.value();
             demanded += s.demanded_work.value();
         }
-        let degradation = ro.degradation(system.worst_delta_vth_mv());
+        let degradation = if reference {
+            ro.degradation(system.worst_delta_vth_mv())
+        } else {
+            1.0 - ro.frequency(system.worst_delta_vth_mv()).value() / fresh
+        };
         guardband = guardband.max(degradation);
         if epoch % config.sample_every.max(1) == 0 {
             series.push(system.time(), degradation);
@@ -103,8 +141,8 @@ pub fn run_lifetime(
     }
 
     let final_em = system.worst_em_damage();
-    let projected = (final_em.value() > 0.0)
-        .then(|| Seconds::new(system.time().value() / final_em.value()));
+    let projected =
+        (final_em.value() > 0.0).then(|| Seconds::new(system.time().value() / final_em.value()));
     Ok(LifetimeOutcome {
         policy: policy.name(),
         degradation_series: series,
@@ -128,45 +166,48 @@ pub fn compare_policies(
     policies: &[Policy],
     seed: u64,
 ) -> Result<Vec<LifetimeOutcome>, SchedError> {
-    policies.iter().map(|&p| run_lifetime(config, p, seed)).collect()
+    policies
+        .iter()
+        .map(|&p| run_lifetime(config, p, seed))
+        .collect()
 }
 
 /// Runs `seeds` independent lifetimes in parallel and returns each run's
-/// required guardband. Parallelism uses crossbeam scoped threads, one per
-/// seed, chunked to the available parallelism.
+/// required guardband, in seed order.
+///
+/// Seeds are handed out one at a time by [`dh_exec::par_try_map`]'s
+/// self-scheduling queue rather than pre-chunked: per-seed cost is
+/// heavily skewed (early-failing seeds finish fast), so static
+/// contiguous chunks leave most workers idle behind the unluckiest one.
+/// Each seed's run is independent of thread count, so the output vector
+/// is bit-identical however many workers participate.
 ///
 /// # Errors
 ///
-/// Propagates the first error from any run.
+/// Propagates the error of the lowest failing seed.
 pub fn monte_carlo_guardband(
     config: &LifetimeConfig,
     policy: Policy,
     seeds: std::ops::Range<u64>,
 ) -> Result<Vec<f64>, SchedError> {
     let seeds: Vec<u64> = seeds.collect();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(seeds.len().max(1));
-    let chunks: Vec<&[u64]> = seeds.chunks(seeds.len().div_ceil(workers.max(1)).max(1)).collect();
-
-    let results = thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|&seed| run_lifetime(config, policy, seed).map(|o| o.required_guardband))
-                        .collect::<Result<Vec<f64>, SchedError>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("lifetime worker panicked"))
-            .collect::<Result<Vec<Vec<f64>>, SchedError>>()
+    dh_exec::par_try_map(&seeds, |&seed| {
+        run_lifetime(config, policy, seed).map(|o| o.required_guardband)
     })
-    .expect("crossbeam scope panicked")?;
+}
 
-    Ok(results.into_iter().flatten().collect())
+/// [`monte_carlo_guardband`] as the seed shipped it: a plain serial loop
+/// over [`run_lifetime_reference`]. The baseline side of `perf_snapshot`'s
+/// guardband measurement. Not part of the API.
+#[doc(hidden)]
+pub fn monte_carlo_guardband_baseline(
+    config: &LifetimeConfig,
+    policy: Policy,
+    seeds: std::ops::Range<u64>,
+) -> Result<Vec<f64>, SchedError> {
+    seeds
+        .map(|seed| run_lifetime_reference(config, policy, seed).map(|o| o.required_guardband))
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,7 +215,11 @@ mod tests {
     use super::*;
 
     fn short() -> LifetimeConfig {
-        LifetimeConfig { years: 0.2, sample_every: 4, ..LifetimeConfig::default() }
+        LifetimeConfig {
+            years: 0.2,
+            sample_every: 4,
+            ..LifetimeConfig::default()
+        }
     }
 
     #[test]
@@ -206,7 +251,12 @@ mod tests {
             passive.projected_em_ttf.expect("damage accumulated"),
             deep.projected_em_ttf.expect("damage accumulated"),
         );
-        assert!(d > p, "deep TTF {} y vs passive {} y", d.as_years(), p.as_years());
+        assert!(
+            d > p,
+            "deep TTF {} y vs passive {} y",
+            d.as_years(),
+            p.as_years()
+        );
     }
 
     #[test]
@@ -217,7 +267,11 @@ mod tests {
         for s in &out.degradation_series {
             assert!((0.0..1.0).contains(&s.value));
         }
-        assert!(out.required_guardband < 0.2, "guardband {}", out.required_guardband);
+        assert!(
+            out.required_guardband < 0.2,
+            "guardband {}",
+            out.required_guardband
+        );
     }
 
     #[test]
@@ -225,7 +279,11 @@ mod tests {
         let config = short();
         let outs = compare_policies(
             &config,
-            &[Policy::NoRecovery, Policy::PassiveIdle, Policy::periodic_deep_default()],
+            &[
+                Policy::NoRecovery,
+                Policy::PassiveIdle,
+                Policy::periodic_deep_default(),
+            ],
             7,
         )
         .unwrap();
@@ -236,7 +294,10 @@ mod tests {
 
     #[test]
     fn monte_carlo_runs_all_seeds_in_parallel() {
-        let config = LifetimeConfig { years: 0.05, ..short() };
+        let config = LifetimeConfig {
+            years: 0.05,
+            ..short()
+        };
         let gbs = monte_carlo_guardband(&config, Policy::PassiveIdle, 0..6).unwrap();
         assert_eq!(gbs.len(), 6);
         assert!(gbs.iter().all(|g| *g > 0.0));
@@ -248,7 +309,10 @@ mod tests {
 
     #[test]
     fn monte_carlo_matches_sequential_runs() {
-        let config = LifetimeConfig { years: 0.05, ..short() };
+        let config = LifetimeConfig {
+            years: 0.05,
+            ..short()
+        };
         let parallel = monte_carlo_guardband(&config, Policy::PassiveIdle, 10..13).unwrap();
         for (i, seed) in (10u64..13).enumerate() {
             let seq = run_lifetime(&config, Policy::PassiveIdle, seed).unwrap();

@@ -37,19 +37,27 @@ pub enum StateStrategy {
 impl StateStrategy {
     /// A typical retention domain: a few milliwatts.
     pub fn typical_retention() -> Self {
-        Self::Retention { retention_power_w: 5.0e-3 }
+        Self::Retention {
+            retention_power_w: 5.0e-3,
+        }
     }
 
     /// A typical migration: 2 MB of context at 10 GB/s.
     pub fn typical_migration() -> Self {
-        Self::Migration { context_mb: 2.0, bandwidth_gb_s: 10.0 }
+        Self::Migration {
+            context_mb: 2.0,
+            bandwidth_gb_s: 10.0,
+        }
     }
 
     /// Downtime charged per recovery entry+exit.
     pub fn downtime_per_switch(&self, electrical_switch: Seconds) -> Seconds {
         match *self {
             Self::Retention { .. } => electrical_switch * 2.0,
-            Self::Migration { context_mb, bandwidth_gb_s } => {
+            Self::Migration {
+                context_mb,
+                bandwidth_gb_s,
+            } => {
                 let transfer = Seconds::new(context_mb * 1.0e6 / (bandwidth_gb_s * 1.0e9));
                 transfer * 2.0 + electrical_switch * 2.0
             }
@@ -150,7 +158,10 @@ mod tests {
         let short = Seconds::from_minutes(10.0);
         let long = Seconds::from_hours(5.0);
         assert!(retention.energy_per_interval(long) > 10.0 * retention.energy_per_interval(short));
-        assert_eq!(migration.energy_per_interval(long), migration.energy_per_interval(short));
+        assert_eq!(
+            migration.energy_per_interval(long),
+            migration.energy_per_interval(short)
+        );
     }
 
     #[test]

@@ -113,7 +113,17 @@ impl Policy {
 
     /// The paper-flavoured rotation: two of sixteen cores dark at a time.
     pub fn rotation_default() -> Self {
-        Self::DarkSiliconRotation { spares: 2, em_duty: Fraction::clamped(0.2) }
+        Self::DarkSiliconRotation {
+            spares: 2,
+            em_duty: Fraction::clamped(0.2),
+        }
+    }
+
+    /// Whether this policy reads the sensor measurements passed to
+    /// [`Policy::plan`]. Open-loop policies ignore them, so the system can
+    /// skip the per-core measurements entirely.
+    pub fn uses_sensors(&self) -> bool {
+        matches!(self, Self::Adaptive { .. })
     }
 
     /// Short human-readable name for reports.
@@ -155,23 +165,40 @@ impl Policy {
                 bti_recovery: Fraction::ZERO,
                 em_recovery_duty: Fraction::ZERO,
             },
-            Self::PeriodicDeep { period_epochs, bti_fraction, em_duty } => {
+            Self::PeriodicDeep {
+                period_epochs,
+                bti_fraction,
+                em_duty,
+            } => {
                 let scheduled = period_epochs.max(1);
                 let recovering = epoch % scheduled == scheduled - 1;
-                let bti = if recovering { bti_fraction } else { Fraction::ZERO };
+                let bti = if recovering {
+                    bti_fraction
+                } else {
+                    Fraction::ZERO
+                };
                 EpochPlan {
                     run: Fraction::clamped(utilization.value().min(1.0 - bti.value())),
                     bti_recovery: bti,
                     em_recovery_duty: em_duty,
                 }
             }
-            Self::Adaptive { bti_threshold_mv, bti_fraction, em_threshold, em_duty } => {
+            Self::Adaptive {
+                bti_threshold_mv,
+                bti_fraction,
+                em_threshold,
+                em_duty,
+            } => {
                 let bti = if measured_dvth_mv > bti_threshold_mv {
                     bti_fraction
                 } else {
                     Fraction::ZERO
                 };
-                let em = if measured_em_damage > em_threshold { em_duty } else { Fraction::ZERO };
+                let em = if measured_em_damage > em_threshold {
+                    em_duty
+                } else {
+                    Fraction::ZERO
+                };
                 EpochPlan {
                     run: Fraction::clamped(utilization.value().min(1.0 - bti.value())),
                     bti_recovery: bti,
@@ -213,17 +240,17 @@ impl Policy {
     pub fn recovery_overhead(&self) -> Fraction {
         match *self {
             Self::NoRecovery | Self::PassiveIdle => Fraction::ZERO,
-            Self::PeriodicDeep { period_epochs, bti_fraction, .. } => {
-                Fraction::clamped(bti_fraction.value() / period_epochs.max(1) as f64)
-            }
+            Self::PeriodicDeep {
+                period_epochs,
+                bti_fraction,
+                ..
+            } => Fraction::clamped(bti_fraction.value() / period_epochs.max(1) as f64),
             // Adaptive overhead depends on the trajectory; report the
             // worst-case (always triggered).
             Self::Adaptive { bti_fraction, .. } => bti_fraction,
             // One spare's worth of time per spare; the denominator is not
             // known here, so report per-16-core default granularity.
-            Self::DarkSiliconRotation { spares, .. } => {
-                Fraction::clamped(spares as f64 / 16.0)
-            }
+            Self::DarkSiliconRotation { spares, .. } => Fraction::clamped(spares as f64 / 16.0),
         }
     }
 }
@@ -253,7 +280,10 @@ mod tests {
         let p = Policy::periodic_deep_default();
         for epoch in 0..24 {
             let plan = p.plan(epoch, 0, 16, Fraction::clamped(0.9), 0.0, Fraction::ZERO);
-            assert!((plan.bti_recovery.value() - 0.15).abs() < 1e-12, "epoch {epoch}");
+            assert!(
+                (plan.bti_recovery.value() - 0.15).abs() < 1e-12,
+                "epoch {epoch}"
+            );
             // Run time yields to the recovery interval.
             assert!(plan.run.value() <= 0.85 + 1e-12);
             assert!(plan.em_recovery_duty.value() > 0.0);
@@ -270,7 +300,10 @@ mod tests {
         for epoch in 0..24 {
             let plan = p.plan(epoch, 0, 16, Fraction::clamped(0.9), 0.0, Fraction::ZERO);
             if epoch % 8 == 7 {
-                assert!(plan.bti_recovery.value() > 0.0, "epoch {epoch} should recover");
+                assert!(
+                    plan.bti_recovery.value() > 0.0,
+                    "epoch {epoch} should recover"
+                );
                 assert!(plan.run.value() <= 0.5 + 1e-12);
             } else {
                 assert_eq!(plan.bti_recovery, Fraction::ZERO);
@@ -281,10 +314,24 @@ mod tests {
     #[test]
     fn adaptive_triggers_on_sensor_readings() {
         let p = Policy::adaptive_default();
-        let quiet = p.plan(0, 0, 16, Fraction::clamped(0.5), 1.0, Fraction::clamped(0.001));
+        let quiet = p.plan(
+            0,
+            0,
+            16,
+            Fraction::clamped(0.5),
+            1.0,
+            Fraction::clamped(0.001),
+        );
         assert_eq!(quiet.bti_recovery, Fraction::ZERO);
         assert_eq!(quiet.em_recovery_duty, Fraction::ZERO);
-        let worn = p.plan(0, 0, 16, Fraction::clamped(0.5), 15.0, Fraction::clamped(0.5));
+        let worn = p.plan(
+            0,
+            0,
+            16,
+            Fraction::clamped(0.5),
+            15.0,
+            Fraction::clamped(0.5),
+        );
         assert!(worn.bti_recovery.value() > 0.0);
         assert!(worn.em_recovery_duty.value() > 0.0);
     }
@@ -299,8 +346,14 @@ mod tests {
         ] {
             for epoch in 0..16 {
                 for util in [0.0, 0.3, 0.8, 1.0] {
-                    let plan =
-                        policy.plan(epoch, 1, 16, Fraction::clamped(util), 20.0, Fraction::clamped(0.5));
+                    let plan = policy.plan(
+                        epoch,
+                        1,
+                        16,
+                        Fraction::clamped(util),
+                        20.0,
+                        Fraction::clamped(0.5),
+                    );
                     let total = plan.run.value() + plan.bti_recovery.value();
                     assert!(total <= 1.0 + 1e-12, "{}: budget {total}", policy.name());
                 }
@@ -347,7 +400,10 @@ mod tests {
                 }
             }
         }
-        assert!(visits.iter().all(|&v| v == visits[0]), "uneven rotation: {visits:?}");
+        assert!(
+            visits.iter().all(|&v| v == visits[0]),
+            "uneven rotation: {visits:?}"
+        );
         assert!(visits[0] > 0);
     }
 
@@ -366,7 +422,10 @@ mod tests {
 
     #[test]
     fn rotation_degenerate_cases() {
-        assert!(!Policy::is_dark(3, 0, 0, 2), "empty system has no dark cores");
+        assert!(
+            !Policy::is_dark(3, 0, 0, 2),
+            "empty system has no dark cores"
+        );
         assert!(!Policy::is_dark(3, 0, 16, 0), "zero spares means none dark");
         // spares >= cores: everything dark.
         assert!(Policy::is_dark(0, 7, 8, 8));

@@ -20,6 +20,9 @@ pub struct BtiSensor {
     ro: RingOscillator,
     /// 1-sigma relative error of the frequency measurement.
     noise_rel: f64,
+    /// Fresh (ΔVth = 0) frequency, cached: the inversion needs it on every
+    /// measurement and it never changes.
+    fresh: dh_units::Hertz,
     rng: StdRng,
 }
 
@@ -27,7 +30,13 @@ impl BtiSensor {
     /// Creates a sensor with a given relative frequency-measurement noise
     /// (e.g. `0.002` for 0.2 % counters).
     pub fn new(ro: RingOscillator, noise_rel: f64, seed: u64) -> Self {
-        Self { ro, noise_rel: noise_rel.abs(), rng: seeded_rng(seed, "bti-sensor") }
+        let fresh = ro.frequency(0.0);
+        Self {
+            ro,
+            noise_rel: noise_rel.abs(),
+            fresh,
+            rng: seeded_rng(seed, "bti-sensor"),
+        }
     }
 
     /// A 0.2 %-accurate sensor on the paper's 75-stage RO.
@@ -38,6 +47,18 @@ impl BtiSensor {
     /// Measures a device whose true threshold shift is `true_dvth_mv`,
     /// returning the estimated shift in millivolts (≥ 0).
     pub fn measure(&mut self, true_dvth_mv: f64) -> f64 {
+        let f_true = self.ro.frequency(true_dvth_mv.max(0.0));
+        let noisy = f_true * (1.0 + self.noise_rel * standard_normal(&mut self.rng));
+        self.ro
+            .infer_delta_vth_mv_given_fresh(noisy, self.fresh)
+            .unwrap_or(0.0)
+    }
+
+    /// [`BtiSensor::measure`] re-deriving the fresh frequency per call, as
+    /// the seed did: the measured baseline for `perf_snapshot`. Not part of
+    /// the API.
+    #[doc(hidden)]
+    pub fn measure_reference(&mut self, true_dvth_mv: f64) -> f64 {
         let f_true = self.ro.frequency(true_dvth_mv.max(0.0));
         let noisy = f_true * (1.0 + self.noise_rel * standard_normal(&mut self.rng));
         self.ro.infer_delta_vth_mv(noisy).unwrap_or(0.0)
@@ -55,7 +76,10 @@ pub struct EmSensor {
 impl EmSensor {
     /// Creates a sensor with a relative error (e.g. `0.05` for 5 %).
     pub fn new(noise_rel: f64, seed: u64) -> Self {
-        Self { noise_rel: noise_rel.abs(), rng: seeded_rng(seed, "em-sensor") }
+        Self {
+            noise_rel: noise_rel.abs(),
+            rng: seeded_rng(seed, "em-sensor"),
+        }
     }
 
     /// Measures an accumulated EM damage fraction (0 = fresh, 1 = failed).
@@ -95,7 +119,9 @@ mod tests {
     #[test]
     fn em_sensor_is_clamped_and_unbiased() {
         let mut s = EmSensor::new(0.05, 3);
-        let xs: Vec<f64> = (0..500).map(|_| s.measure(Fraction::clamped(0.4)).value()).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|_| s.measure(Fraction::clamped(0.4)).value())
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((mean - 0.4).abs() < 0.01, "mean {mean}");
         assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));

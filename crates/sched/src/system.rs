@@ -134,6 +134,9 @@ pub struct ManyCoreSystem {
     black: BlackModel,
     epoch_index: usize,
     time: Seconds,
+    /// Routes hot paths through the pre-optimization reference code
+    /// (baseline measurements only).
+    reference_mode: bool,
 }
 
 impl ManyCoreSystem {
@@ -145,7 +148,9 @@ impl ManyCoreSystem {
     /// epoch, or a thermal error for inconsistent grid parameters.
     pub fn new(config: SystemConfig) -> Result<Self, SchedError> {
         if config.rows == 0 || config.cols == 0 {
-            return Err(SchedError::InvalidConfig("core grid must be non-empty".into()));
+            return Err(SchedError::InvalidConfig(
+                "core grid must be non-empty".into(),
+            ));
         }
         if !(config.epoch.value() > 0.0) {
             return Err(SchedError::InvalidConfig("epoch must be positive".into()));
@@ -184,7 +189,18 @@ impl ManyCoreSystem {
             black: BlackModel::calibrated_to_paper(),
             epoch_index: 0,
             time: Seconds::ZERO,
+            reference_mode: false,
         })
+    }
+
+    /// Routes the thermal settle and BTI stress steps through the
+    /// pre-optimization reference implementations, so `perf_snapshot` can
+    /// measure the optimized engine against the seed's serial code in the
+    /// same binary. Not part of the API.
+    #[doc(hidden)]
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+        self.thermal.set_reference_solver(on);
     }
 
     /// The configuration.
@@ -214,8 +230,9 @@ impl ManyCoreSystem {
 
         // The rotation policy migrates the dark cores' work onto the rest.
         if let Policy::DarkSiliconRotation { spares, .. } = policy {
-            let dark: Vec<bool> =
-                (0..n).map(|i| Policy::is_dark(self.epoch_index, i, n, spares)).collect();
+            let dark: Vec<bool> = (0..n)
+                .map(|i| Policy::is_dark(self.epoch_index, i, n, spares))
+                .collect();
             let displaced: f64 = utils
                 .iter()
                 .zip(&dark)
@@ -225,7 +242,11 @@ impl ManyCoreSystem {
             let active = dark.iter().filter(|&&d| !d).count().max(1);
             let extra = displaced / active as f64;
             for (u, &d) in utils.iter_mut().zip(&dark) {
-                *u = if d { Fraction::ZERO } else { Fraction::clamped(u.value() + extra) };
+                *u = if d {
+                    Fraction::ZERO
+                } else {
+                    Fraction::clamped(u.value() + extra)
+                };
             }
         }
 
@@ -236,7 +257,14 @@ impl ManyCoreSystem {
             .enumerate()
             .zip(&utils)
             .map(|((i, core), &util)| {
-                policy.plan(self.epoch_index, i, n, util, core.sensed_dvth_mv, core.sensed_em)
+                policy.plan(
+                    self.epoch_index,
+                    i,
+                    n,
+                    util,
+                    core.sensed_dvth_mv,
+                    core.sensed_em,
+                )
             })
             .collect();
 
@@ -255,21 +283,33 @@ impl ManyCoreSystem {
         let epoch = self.config.epoch;
         let mut out = Vec::with_capacity(self.cores.len());
         for (i, core) in self.cores.iter_mut().enumerate() {
-            let temp = self.thermal.temperature(i / self.config.cols, i % self.config.cols);
+            let temp = self
+                .thermal
+                .temperature(i / self.config.cols, i % self.config.cols);
             let plan = plans[i];
             let util = utils[i];
             let executed = util.value().min(plan.run.value());
 
             // --- BTI ---
-            let stress_cond =
-                StressCondition { gate_voltage: self.config.vdd, temperature: temp };
-            core.bti.stress(epoch * plan.run.value(), stress_cond);
+            let stress_cond = StressCondition {
+                gate_voltage: self.config.vdd,
+                temperature: temp,
+            };
+            if self.reference_mode {
+                core.bti
+                    .stress_reference(epoch * plan.run.value(), stress_cond);
+            } else {
+                core.bti.stress(epoch * plan.run.value(), stress_cond);
+            }
             if plan.idle().value() > 0.0 {
                 // Powered-but-idle: gates sit at 0 bias — passive recovery
                 // at the tile temperature.
                 core.bti.recover(
                     epoch * plan.idle().value(),
-                    RecoveryCondition { gate_voltage: Volts::ZERO, temperature: temp },
+                    RecoveryCondition {
+                        gate_voltage: Volts::ZERO,
+                        temperature: temp,
+                    },
                 );
             }
             if plan.bti_recovery.value() > 0.0 {
@@ -301,8 +341,16 @@ impl ManyCoreSystem {
             }
 
             // --- Sensing for the next epoch ---
-            core.sensed_dvth_mv = core.bti_sensor.measure(core.bti.delta_vth_mv());
-            core.sensed_em = core.em_sensor.measure(Fraction::clamped(core.em_damage));
+            // Open-loop policies never read the measurements, so only the
+            // adaptive policy (or the reference baseline, which always
+            // sensed) pays for them.
+            if self.reference_mode {
+                core.sensed_dvth_mv = core.bti_sensor.measure_reference(core.bti.delta_vth_mv());
+                core.sensed_em = core.em_sensor.measure(Fraction::clamped(core.em_damage));
+            } else if policy.uses_sensors() {
+                core.sensed_dvth_mv = core.bti_sensor.measure(core.bti.delta_vth_mv());
+                core.sensed_em = core.em_sensor.measure(Fraction::clamped(core.em_damage));
+            }
 
             out.push(CoreStatus {
                 delta_vth_mv: core.bti.delta_vth_mv(),
@@ -321,7 +369,10 @@ impl ManyCoreSystem {
 
     /// The worst (largest) true ΔVth across cores, millivolts.
     pub fn worst_delta_vth_mv(&self) -> f64 {
-        self.cores.iter().map(|c| c.bti.delta_vth_mv()).fold(0.0, f64::max)
+        self.cores
+            .iter()
+            .map(|c| c.bti.delta_vth_mv())
+            .fold(0.0, f64::max)
     }
 
     /// The worst true EM damage fraction across cores.
@@ -331,7 +382,10 @@ impl ManyCoreSystem {
 
     /// The worst permanent BTI component across cores, millivolts.
     pub fn worst_permanent_mv(&self) -> f64 {
-        self.cores.iter().map(|c| c.bti.permanent_mv()).fold(0.0, f64::max)
+        self.cores
+            .iter()
+            .map(|c| c.bti.permanent_mv())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -340,7 +394,10 @@ mod tests {
     use super::*;
 
     fn run(policy: Policy, epochs: usize, seed: u64) -> ManyCoreSystem {
-        let config = SystemConfig { seed, ..SystemConfig::default() };
+        let config = SystemConfig {
+            seed,
+            ..SystemConfig::default()
+        };
         let mut sys = ManyCoreSystem::new(config).unwrap();
         for _ in 0..epochs {
             sys.step(policy).unwrap();
@@ -351,13 +408,21 @@ mod tests {
     #[test]
     fn default_config_derives_bias_from_the_assist_circuit() {
         let c = SystemConfig::default();
-        assert!(c.bti_recovery_bias < Volts::new(-0.5), "bias {}", c.bti_recovery_bias);
+        assert!(
+            c.bti_recovery_bias < Volts::new(-0.5),
+            "bias {}",
+            c.bti_recovery_bias
+        );
     }
 
     #[test]
     fn wearout_accumulates_without_recovery() {
         let sys = run(Policy::NoRecovery, 120, 1);
-        assert!(sys.worst_delta_vth_mv() > 1.0, "ΔVth {}", sys.worst_delta_vth_mv());
+        assert!(
+            sys.worst_delta_vth_mv() > 1.0,
+            "ΔVth {}",
+            sys.worst_delta_vth_mv()
+        );
         assert!(sys.worst_em_damage().value() > 0.0);
         assert_eq!(sys.epochs(), 120);
         assert_eq!(sys.time(), Seconds::from_hours(720.0));
@@ -476,7 +541,10 @@ mod tests {
         let fresh = sys.cores[14].bti.delta_vth_mv();
         let worst = sys.worst_delta_vth_mv();
         // The residue is mostly the (consolidated) permanent component.
-        assert!(fresh < 0.5 * worst, "just-healed core {fresh} vs worst {worst}");
+        assert!(
+            fresh < 0.5 * worst,
+            "just-healed core {fresh} vs worst {worst}"
+        );
     }
 
     #[test]
@@ -496,7 +564,10 @@ mod tests {
                 dark_seen[d] = true;
             }
         }
-        assert!(dark_seen.iter().all(|&d| d), "every core rotates dark: {dark_seen:?}");
+        assert!(
+            dark_seen.iter().all(|&d| d),
+            "every core rotates dark: {dark_seen:?}"
+        );
     }
 
     #[test]
@@ -517,6 +588,9 @@ mod tests {
                 late_recovery += total;
             }
         }
-        assert!(late_recovery > early_recovery, "late {late_recovery} vs early {early_recovery}");
+        assert!(
+            late_recovery > early_recovery,
+            "late {late_recovery} vs early {early_recovery}"
+        );
     }
 }

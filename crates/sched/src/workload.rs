@@ -48,12 +48,20 @@ impl Pattern {
 
     /// A typical interactive/diurnal core.
     pub fn interactive() -> Self {
-        Self::Diurnal { high: 0.7, low: 0.1, period: Seconds::from_hours(24.0) }
+        Self::Diurnal {
+            high: 0.7,
+            low: 0.1,
+            period: Seconds::from_hours(24.0),
+        }
     }
 
     /// An accelerator-style bursty core.
     pub fn accelerator() -> Self {
-        Self::Bursty { high: 0.95, low: 0.05, p_burst: 0.3 }
+        Self::Bursty {
+            high: 0.95,
+            low: 0.05,
+            p_burst: 0.3,
+        }
     }
 }
 
@@ -67,7 +75,10 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Creates a generator with one pattern per core.
     pub fn new(patterns: Vec<Pattern>, seed: u64) -> Self {
-        Self { patterns, rng: seeded_rng(seed, "workload") }
+        Self {
+            patterns,
+            rng: seeded_rng(seed, "workload"),
+        }
     }
 
     /// A heterogeneous mix for `n` cores: servers, interactive, and

@@ -32,7 +32,9 @@ impl ThermalChamber {
     /// Creates a chamber with an explicit fluctuation bound and noise seed.
     pub fn new(setpoint: Celsius, fluctuation: Celsius, seed: u64) -> Self {
         let mut rng = seeded_rng(seed, "thermal-chamber");
-        let noise = (0..Self::NOISE_TAPS).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let noise = (0..Self::NOISE_TAPS)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         Self {
             setpoint,
             fluctuation: fluctuation.abs(),
@@ -117,7 +119,10 @@ mod tests {
     fn setpoint_can_be_reprogrammed() {
         let mut chamber = ThermalChamber::paper(Celsius::new(230.0));
         chamber.set_setpoint(Celsius::new(20.0));
-        let c = chamber.temperature_at(Seconds::new(500.0)).to_celsius().value();
+        let c = chamber
+            .temperature_at(Seconds::new(500.0))
+            .to_celsius()
+            .value();
         assert!((c - 20.0).abs() <= 0.3 + 1e-12);
         assert_eq!(chamber.setpoint(), Celsius::new(20.0));
     }

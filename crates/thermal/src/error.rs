@@ -23,7 +23,10 @@ impl fmt::Display for ThermalError {
         match self {
             Self::InvalidGrid(why) => write!(f, "invalid thermal grid: {why}"),
             Self::PowerLengthMismatch { expected, got } => {
-                write!(f, "power vector length {got} does not match tile count {expected}")
+                write!(
+                    f,
+                    "power vector length {got} does not match tile count {expected}"
+                )
             }
             Self::InvalidPower(p) => write!(f, "power must be finite and non-negative, got {p}"),
         }
@@ -38,8 +41,13 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(ThermalError::InvalidGrid("x".into()).to_string().contains("grid"));
-        let e = ThermalError::PowerLengthMismatch { expected: 16, got: 4 };
+        assert!(ThermalError::InvalidGrid("x".into())
+            .to_string()
+            .contains("grid"));
+        let e = ThermalError::PowerLengthMismatch {
+            expected: 16,
+            got: 4,
+        };
         assert!(e.to_string().contains("16") && e.to_string().contains('4'));
         assert!(ThermalError::InvalidPower(-1.0).to_string().contains("-1"));
     }

@@ -48,12 +48,85 @@ impl GridConfig {
     }
 }
 
+/// Largest tile count for which the steady-state conductance matrix is
+/// LU-factored at construction (O(n³) once). Bigger grids fall back to
+/// Gauss–Seidel per settle.
+const MAX_DIRECT_TILES: usize = 256;
+
+/// Dense LU factors (partial pivoting) of the steady-state conductance
+/// matrix. The matrix depends only on the grid topology and resistances,
+/// so it is factored once per grid and every [`ThermalGrid::settle`]
+/// reduces to two triangular solves.
+#[derive(Debug, Clone, PartialEq)]
+struct LuFactors {
+    n: usize,
+    /// Combined `L\U` storage, row-major (unit lower diagonal implied).
+    lu: Vec<f64>,
+    /// Row swapped with row `k` at elimination step `k`.
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factors a dense row-major `n × n` matrix. The conductance matrix is
+    /// strictly diagonally dominant, so pivots never vanish.
+    fn new(mut a: Vec<f64>, n: usize) -> Self {
+        let mut piv = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut p = k;
+            for r in k + 1..n {
+                if a[r * n + k].abs() > a[p * n + k].abs() {
+                    p = r;
+                }
+            }
+            piv.push(p);
+            if p != k {
+                for c in 0..n {
+                    a.swap(k * n + c, p * n + c);
+                }
+            }
+            let pivot = a[k * n + k];
+            for r in k + 1..n {
+                let m = a[r * n + k] / pivot;
+                a[r * n + k] = m;
+                for c in k + 1..n {
+                    a[r * n + c] -= m * a[k * n + c];
+                }
+            }
+        }
+        Self { n, lu: a, piv }
+    }
+
+    /// Solves `A x = b` in place.
+    #[allow(clippy::needless_range_loop)] // strided matrix access reads clearest indexed
+    fn solve(&self, b: &mut [f64]) {
+        let n = self.n;
+        for k in 0..n {
+            b.swap(k, self.piv[k]);
+            let bk = b[k];
+            for r in k + 1..n {
+                b[r] -= self.lu[r * n + k] * bk;
+            }
+        }
+        for k in (0..n).rev() {
+            let mut x = b[k];
+            for c in k + 1..n {
+                x -= self.lu[k * n + c] * b[c];
+            }
+            b[k] = x / self.lu[k * n + k];
+        }
+    }
+}
+
 /// An RC thermal network over a rectangular grid of tiles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThermalGrid {
     config: GridConfig,
     /// Tile temperatures, kelvin, row-major.
     temp: Vec<f64>,
+    /// Pre-factored steady-state matrix (`None` for very large grids).
+    factors: Option<LuFactors>,
+    /// Forces the iterative reference solver (baseline measurements only).
+    use_reference: bool,
 }
 
 impl ThermalGrid {
@@ -76,11 +149,49 @@ impl ThermalGrid {
             ("capacity", config.capacity_j_per_k),
         ] {
             if !(v > 0.0) || !v.is_finite() {
-                return Err(ThermalError::InvalidGrid(format!("{name} must be positive, got {v}")));
+                return Err(ThermalError::InvalidGrid(format!(
+                    "{name} must be positive, got {v}"
+                )));
             }
         }
         let ambient_k = config.ambient.to_kelvin().value();
-        Ok(Self { config, temp: vec![ambient_k; config.tiles()] })
+        let factors = (config.tiles() <= MAX_DIRECT_TILES)
+            .then(|| LuFactors::new(Self::conductance_matrix(&config), config.tiles()));
+        Ok(Self {
+            config,
+            temp: vec![ambient_k; config.tiles()],
+            factors,
+            use_reference: false,
+        })
+    }
+
+    /// The steady-state conductance matrix: `A T = P + g_v · T_ambient`,
+    /// with `A[i][i]` the total conductance out of tile `i` and
+    /// `A[i][j] = −g_l` for each lateral neighbour `j`.
+    fn conductance_matrix(c: &GridConfig) -> Vec<f64> {
+        let n = c.tiles();
+        let gv = 1.0 / c.r_vertical_k_per_w;
+        let gl = 1.0 / c.r_lateral_k_per_w;
+        let mut a = vec![0.0; n * n];
+        for r in 0..c.rows {
+            for col in 0..c.cols {
+                let i = r * c.cols + col;
+                let mut g_sum = gv;
+                let mut neighbour = |rr: isize, cc: isize| {
+                    if rr >= 0 && cc >= 0 && (rr as usize) < c.rows && (cc as usize) < c.cols {
+                        let ni = rr as usize * c.cols + cc as usize;
+                        a[i * n + ni] = -gl;
+                        g_sum += gl;
+                    }
+                };
+                neighbour(r as isize - 1, col as isize);
+                neighbour(r as isize + 1, col as isize);
+                neighbour(r as isize, col as isize - 1);
+                neighbour(r as isize, col as isize + 1);
+                a[i * n + i] = g_sum;
+            }
+        }
+        a
     }
 
     /// The grid configuration.
@@ -94,7 +205,10 @@ impl ThermalGrid {
     ///
     /// Panics if the coordinates are out of range.
     pub fn temperature(&self, row: usize, col: usize) -> Kelvin {
-        assert!(row < self.config.rows && col < self.config.cols, "tile out of range");
+        assert!(
+            row < self.config.rows && col < self.config.cols,
+            "tile out of range"
+        );
         Kelvin::new(self.temp[row * self.config.cols + col])
     }
 
@@ -167,10 +281,40 @@ impl ThermalGrid {
 
     /// Runs the network to steady state under a constant power map.
     ///
+    /// The steady state is the solution of a fixed linear system, so for
+    /// grids up to 256 tiles this is an exact direct solve against the
+    /// conductance matrix factored at construction — no iteration.
+    ///
     /// # Errors
     ///
     /// Same as [`ThermalGrid::step`].
     pub fn settle(&mut self, power_w: &[f64]) -> Result<(), ThermalError> {
+        self.validate_power(power_w)?;
+        let Some(factors) = self.factors.as_ref().filter(|_| !self.use_reference) else {
+            return self.settle_reference(power_w);
+        };
+        let c = self.config;
+        let ambient = c.ambient.to_kelvin().value();
+        let gv = 1.0 / c.r_vertical_k_per_w;
+        for (t, &p) in self.temp.iter_mut().zip(power_w) {
+            *t = p + gv * ambient;
+        }
+        factors.solve(&mut self.temp);
+        Ok(())
+    }
+
+    /// Routes [`ThermalGrid::settle`] through the Gauss–Seidel reference
+    /// solver regardless of grid size. Baseline measurements only.
+    #[doc(hidden)]
+    pub fn set_reference_solver(&mut self, on: bool) {
+        self.use_reference = on;
+    }
+
+    /// The pre-factorization Gauss–Seidel settle (iterated to 1 nK): kept
+    /// as the measured baseline for `perf_snapshot` and as the fallback
+    /// for grids too large to factor. Not part of the API.
+    #[doc(hidden)]
+    pub fn settle_reference(&mut self, power_w: &[f64]) -> Result<(), ThermalError> {
         self.validate_power(power_w)?;
         // Gauss–Seidel on the steady-state balance equations.
         let c = self.config;
@@ -217,6 +361,22 @@ mod tests {
     }
 
     #[test]
+    fn direct_solve_matches_gauss_seidel_reference() {
+        let mut direct = grid();
+        let mut reference = grid();
+        for pattern in 0..5_u32 {
+            let powers: Vec<f64> = (0..16)
+                .map(|i| 0.2 + 1.3 * f64::from((i as u32 ^ pattern) % 4) / 3.0)
+                .collect();
+            direct.settle(&powers).unwrap();
+            reference.settle_reference(&powers).unwrap();
+            for (d, r) in direct.temp.iter().zip(&reference.temp) {
+                assert!((d - r).abs() < 1e-6, "direct {d} vs Gauss-Seidel {r}");
+            }
+        }
+    }
+
+    #[test]
     fn idle_grid_sits_at_ambient() {
         let mut g = grid();
         g.settle(&[0.0; 16]).unwrap();
@@ -243,7 +403,10 @@ mod tests {
         power[5] = 0.0; // tile (1,1) is dark
         g.settle(&power).unwrap();
         let dark = g.temperature(1, 1).to_celsius().value();
-        assert!(dark > 58.0, "dark tile at {dark} °C should be well above 45 °C ambient");
+        assert!(
+            dark > 58.0,
+            "dark tile at {dark} °C should be well above 45 °C ambient"
+        );
         // But cooler than its active neighbours.
         let hot = g.temperature(1, 2).to_celsius().value();
         assert!(dark < hot);
@@ -291,7 +454,10 @@ mod tests {
         let mut g = grid();
         assert!(matches!(
             g.step(Seconds::new(1.0), &[0.0; 4]),
-            Err(ThermalError::PowerLengthMismatch { expected: 16, got: 4 })
+            Err(ThermalError::PowerLengthMismatch {
+                expected: 16,
+                got: 4
+            })
         ));
         let mut bad = vec![0.0; 16];
         bad[3] = -1.0;
@@ -320,7 +486,10 @@ mod tests {
         g.step(Seconds::ZERO, &[5.0; 16]).unwrap();
         assert_eq!(
             before.iter().map(|t| t.value()).collect::<Vec<_>>(),
-            g.temperatures().iter().map(|t| t.value()).collect::<Vec<_>>()
+            g.temperatures()
+                .iter()
+                .map(|t| t.value())
+                .collect::<Vec<_>>()
         );
     }
 }

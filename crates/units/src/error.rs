@@ -58,7 +58,11 @@ mod tests {
     fn display_messages_are_lowercase_and_concise() {
         let msg = QuantityError::FractionOutOfRange(1.5).to_string();
         assert!(msg.starts_with("fraction"));
-        let msg = QuantityError::NotPositive { what: "wire length", value: -1.0 }.to_string();
+        let msg = QuantityError::NotPositive {
+            what: "wire length",
+            value: -1.0,
+        }
+        .to_string();
         assert_eq!(msg, "wire length must be strictly positive, got -1");
     }
 

@@ -20,7 +20,6 @@ macro_rules! quantity {
     ) => {
         $(#[$meta])*
         #[derive(Debug, Clone, Copy, PartialEq, Default)]
-        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
         pub struct $name(f64);
 
         impl $name {
@@ -409,7 +408,6 @@ impl Div<Ohms> for Volts {
 /// fractions. Construction clamps or validates, so downstream arithmetic can
 /// rely on the invariant.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fraction(f64);
 
 impl Fraction {

@@ -12,7 +12,6 @@ use crate::quantity::Seconds;
 
 /// A single `(time, value)` observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sample {
     /// Time of the observation, from the start of the experiment.
     pub time: Seconds,
@@ -22,7 +21,6 @@ pub struct Sample {
 
 /// An append-only, time-ordered series of samples with a label.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeSeries {
     label: String,
     samples: Vec<Sample>,
@@ -31,7 +29,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series with a descriptive label (name and unit).
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), samples: Vec::new() }
+        Self {
+            label: label.into(),
+            samples: Vec::new(),
+        }
     }
 
     /// The series label.
@@ -151,10 +152,24 @@ impl TimeSeries {
         let height = height.clamp(4, 60);
         let glyphs = ['*', 'o', '+', 'x', '#', '@'];
 
-        let t_min = series.iter().filter_map(|s| s.first()).map(|p| p.time.value()).fold(f64::INFINITY, f64::min);
-        let t_max = series.iter().filter_map(|s| s.last()).map(|p| p.time.value()).fold(f64::NEG_INFINITY, f64::max);
-        let v_min = series.iter().filter_map(|s| s.min_value()).fold(f64::INFINITY, f64::min);
-        let v_max = series.iter().filter_map(|s| s.max_value()).fold(f64::NEG_INFINITY, f64::max);
+        let t_min = series
+            .iter()
+            .filter_map(|s| s.first())
+            .map(|p| p.time.value())
+            .fold(f64::INFINITY, f64::min);
+        let t_max = series
+            .iter()
+            .filter_map(|s| s.last())
+            .map(|p| p.time.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let v_min = series
+            .iter()
+            .filter_map(|s| s.min_value())
+            .fold(f64::INFINITY, f64::min);
+        let v_max = series
+            .iter()
+            .filter_map(|s| s.max_value())
+            .fold(f64::NEG_INFINITY, f64::max);
         if !t_min.is_finite() || !t_max.is_finite() || t_max <= t_min {
             return "(no data to plot)\n".to_string();
         }
@@ -196,7 +211,12 @@ impl TimeSeries {
             width = width - 12
         ));
         for (si, s) in series.iter().enumerate() {
-            out.push_str(&format!("{:>12} {} = {}\n", "", glyphs[si % glyphs.len()], s.label()));
+            out.push_str(&format!(
+                "{:>12} {} = {}\n",
+                "",
+                glyphs[si % glyphs.len()],
+                s.label()
+            ));
         }
         out
     }
@@ -336,18 +356,27 @@ mod tests {
         assert!(plot.contains('*') && plot.contains('o'));
         assert!(plot.contains("test")); // legend
         assert!(plot.contains("2.000") && plot.contains("1.000")); // y labels
-        // The rising series starts at the bottom-left region and the
-        // falling one at the top-left.
+                                                                   // The rising series starts at the bottom-left region and the
+                                                                   // falling one at the top-left.
         let lines: Vec<&str> = plot.lines().collect();
-        assert!(lines[0].contains('o'), "top row starts with the falling series");
-        assert!(lines[9].contains('o'), "bottom row ends with the falling series");
+        assert!(
+            lines[0].contains('o'),
+            "top row starts with the falling series"
+        );
+        assert!(
+            lines[9].contains('o'),
+            "bottom row ends with the falling series"
+        );
     }
 
     #[test]
     fn plot_handles_empty_input() {
         assert_eq!(TimeSeries::render_plot(&[], 40, 10), "(no data to plot)\n");
         let empty = TimeSeries::new("e");
-        assert_eq!(TimeSeries::render_plot(&[&empty], 40, 10), "(no data to plot)\n");
+        assert_eq!(
+            TimeSeries::render_plot(&[&empty], 40, 10),
+            "(no data to plot)\n"
+        );
     }
 
     #[test]

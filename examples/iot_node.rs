@@ -41,19 +41,28 @@ fn simulate(sleep_mode: &str) -> (f64, f64) {
         let sleep = ASLEEP * cycles_per_day;
         match sleep_mode {
             "biased" => device.stress(sleep, stress),
-            "passive" => device.recover(sleep, RecoveryCondition::new(Volts::ZERO, Celsius::new(35.0))),
+            "passive" => device.recover(
+                sleep,
+                RecoveryCondition::new(Volts::ZERO, Celsius::new(35.0)),
+            ),
             "deep" => device.recover(sleep, RecoveryCondition::new(bias, Celsius::new(35.0))),
             _ => unreachable!("unknown sleep mode"),
         }
     }
 
     let ro = RingOscillator::paper_75_stage();
-    (device.delta_vth_mv(), ro.degradation(device.delta_vth_mv()) * 100.0)
+    (
+        device.delta_vth_mv(),
+        ro.degradation(device.delta_vth_mv()) * 100.0,
+    )
 }
 
 fn main() {
     println!("IoT node, {YEARS:.0} years at 0.6 V / 35 °C, 10% duty cycle\n");
-    println!("{:<26} {:>12} {:>18}", "sleep strategy", "ΔVth (mV)", "freq loss (%)");
+    println!(
+        "{:<26} {:>12} {:>18}",
+        "sleep strategy", "ΔVth (mV)", "freq loss (%)"
+    );
     for (mode, label) in [
         ("biased", "no power gating"),
         ("passive", "power-gated sleep"),

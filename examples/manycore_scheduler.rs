@@ -14,8 +14,14 @@ fn main() {
     let outcomes = experiments::fig12(years).expect("lifetime config is valid");
     println!("{}", experiments::render_fig12(&outcomes));
 
-    let none = outcomes.iter().find(|o| o.policy == "no-recovery").expect("present");
-    let deep = outcomes.iter().find(|o| o.policy == "periodic-deep").expect("present");
+    let none = outcomes
+        .iter()
+        .find(|o| o.policy == "no-recovery")
+        .expect("present");
+    let deep = outcomes
+        .iter()
+        .find(|o| o.policy == "periodic-deep")
+        .expect("present");
     println!(
         "Scheduled deep healing cuts the required frequency guardband {:.1}× \n\
          (from {:.2}% to {:.2}%) at {:.1}% core-time overhead.",

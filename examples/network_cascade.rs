@@ -26,11 +26,14 @@ fn main() {
         if failed != last_failed {
             let currents = net
                 .segment_currents(i)
-                .map(|c| c.iter().map(|a| format!("{:.2} mA", a.value() * 1e3)).collect::<Vec<_>>().join(", "))
+                .map(|c| {
+                    c.iter()
+                        .map(|a| format!("{:.2} mA", a.value() * 1e3))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
                 .unwrap_or_else(|| "—".into());
-            println!(
-                "t = {hour:>3} h: {failed} segment(s) failed; surviving currents: {currents}"
-            );
+            println!("t = {hour:>3} h: {failed} segment(s) failed; surviving currents: {currents}");
             last_failed = failed;
         }
         if !net.is_connected() {

@@ -33,7 +33,12 @@ fn main() {
         Celsius::new(85.0).to_kelvin(),
     );
     println!("\nEM hazard by layer:");
-    for layer in [LayerClass::Local, LayerClass::Via, LayerClass::Global, LayerClass::Bump] {
+    for layer in [
+        LayerClass::Local,
+        LayerClass::Via,
+        LayerClass::Global,
+        LayerClass::Bump,
+    ] {
         if let Some(e) = hazard.worst_in(layer) {
             println!(
                 "  {:<8} peak j = {:>6.3} MA/cm²  worst TTF = {:>9.1} years",

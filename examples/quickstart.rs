@@ -13,19 +13,23 @@ fn main() {
     println!("== BTI: 24 h accelerated stress, then 6 h recovery ==\n");
     let model = AnalyticBtiModel::paper_calibrated();
     for (i, cond) in RecoveryCondition::table_one().iter().enumerate() {
-        let r = model.recovery_fraction(
-            Seconds::from_hours(24.0),
-            Seconds::from_hours(6.0),
-            *cond,
+        let r = model.recovery_fraction(Seconds::from_hours(24.0), Seconds::from_hours(6.0), *cond);
+        println!(
+            "condition {}: {:<34} recovers {:>5.1}",
+            i + 1,
+            cond.to_string(),
+            r
         );
-        println!("condition {}: {:<34} recovers {:>5.1}", i + 1, cond.to_string(), r);
     }
 
     // The same protocol on the stateful device, step by step.
     let mut device = BtiDevice::paper_calibrated();
     device.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
     println!("\nafter stress: ΔVth = {:.1} mV", device.delta_vth_mv());
-    device.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+    device.recover(
+        Seconds::from_hours(6.0),
+        RecoveryCondition::ACTIVE_ACCELERATED,
+    );
     println!(
         "after deep healing: ΔVth = {:.1} mV ({:.1} recovered)",
         device.delta_vth_mv(),

@@ -31,5 +31,8 @@ fn main() {
         .measured_recovery_percent(stress_end, recovery_end)
         .expect("trace covers both times");
     println!("\nmeasured recovery: {measured:.1}%  (paper Table I condition 4: 72.4%)");
-    println!("true device state: ΔVth = {:.1} mV", rig.device().delta_vth_mv());
+    println!(
+        "true device state: ΔVth = {:.1} mV",
+        rig.device().delta_vth_mv()
+    );
 }

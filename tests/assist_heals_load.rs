@@ -14,7 +14,10 @@ fn stressed_device() -> BtiDevice {
 #[test]
 fn assist_bias_outheals_the_experimental_bias() {
     let assist = AssistCircuit::paper_28nm();
-    let bias = assist.solve(Mode::BtiActiveRecovery).unwrap().bti_recovery_bias();
+    let bias = assist
+        .solve(Mode::BtiActiveRecovery)
+        .unwrap()
+        .bti_recovery_bias();
     assert!(bias < Volts::new(-0.5), "assist bias {bias}");
 
     let hot = Celsius::new(110.0);
@@ -22,7 +25,10 @@ fn assist_bias_outheals_the_experimental_bias() {
     via_assist.recover(Seconds::from_hours(2.0), RecoveryCondition::new(bias, hot));
 
     let mut via_bench = stressed_device();
-    via_bench.recover(Seconds::from_hours(2.0), RecoveryCondition::new(Volts::new(-0.3), hot));
+    via_bench.recover(
+        Seconds::from_hours(2.0),
+        RecoveryCondition::new(Volts::new(-0.3), hot),
+    );
 
     assert!(
         via_assist.delta_vth_mv() < via_bench.delta_vth_mv(),
@@ -51,12 +57,18 @@ fn neighbour_heating_accelerates_recovery_of_a_dark_core() {
     let mut warm_core = stressed_device();
     warm_core.recover(
         Seconds::from_hours(2.0),
-        RecoveryCondition { gate_voltage: bias, temperature: warm },
+        RecoveryCondition {
+            gate_voltage: bias,
+            temperature: warm,
+        },
     );
     let mut cool_core = stressed_device();
     cool_core.recover(
         Seconds::from_hours(2.0),
-        RecoveryCondition { gate_voltage: bias, temperature: cool },
+        RecoveryCondition {
+            gate_voltage: bias,
+            temperature: cool,
+        },
     );
     assert!(
         warm_core.delta_vth_mv() < cool_core.delta_vth_mv(),
@@ -71,13 +83,19 @@ fn aged_load_slows_the_ring_oscillator_and_healing_restores_it() {
     let ro = RingOscillator::paper_75_stage();
     let mut device = stressed_device();
     let f_aged = ro.frequency(device.delta_vth_mv());
-    device.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+    device.recover(
+        Seconds::from_hours(6.0),
+        RecoveryCondition::ACTIVE_ACCELERATED,
+    );
     let f_healed = ro.frequency(device.delta_vth_mv());
     let f_fresh = ro.frequency(0.0);
     assert!(f_aged < f_healed && f_healed < f_fresh);
     // Deep healing restores most of the lost frequency.
     let restored = (f_healed.value() - f_aged.value()) / (f_fresh.value() - f_aged.value());
-    assert!(restored > 0.6, "restored {restored:.2} of the frequency loss");
+    assert!(
+        restored > 0.6,
+        "restored {restored:.2} of the frequency loss"
+    );
 }
 
 #[test]
@@ -89,6 +107,9 @@ fn em_recovery_mode_does_not_break_the_load_supply() {
     let em = c.solve(Mode::EmActiveRecovery).unwrap();
     let v_n = (normal.load_vdd - normal.load_vss).value();
     let v_e = (em.load_vdd - em.load_vss).value();
-    assert!((v_n - v_e).abs() < 1e-9, "load supply changed: {v_n} vs {v_e}");
+    assert!(
+        (v_n - v_e).abs() < 1e-9,
+        "load supply changed: {v_n} vs {v_e}"
+    );
     assert!(v_e > 0.4, "load must stay functional, got {v_e} V");
 }

@@ -1,0 +1,131 @@
+//! The workspace determinism contract: every Monte-Carlo path routed
+//! through `dh-exec` must produce **bit-identical** results at any thread
+//! count, and the same seed must always reproduce the same result.
+//!
+//! Each test runs the same computation pinned to one worker and at the
+//! default worker count, then compares `f64` bit patterns (not approximate
+//! equality). A process-wide lock serialises the tests because the thread
+//! cap is global state.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use deep_healing::circuit::ro_array::RoArray;
+use deep_healing::em::population::{simulate_population, TtfPopulation, VariationModel};
+use deep_healing::prelude::*;
+use deep_healing::sched::lifetime::monte_carlo_guardband;
+
+/// Serialises tests that touch the global thread cap.
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs `f` with the engine pinned to `threads` workers (`None` restores
+/// the default count), resetting the cap afterwards.
+fn with_threads<T>(threads: Option<usize>, f: impl FnOnce() -> T) -> T {
+    dh_exec::set_max_threads(threads);
+    let out = f();
+    dh_exec::set_max_threads(None);
+    out
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+fn population() -> TtfPopulation {
+    simulate_population(
+        16,
+        CurrentDensity::from_ma_per_cm2(7.96),
+        VariationModel::default(),
+        Seconds::from_hours(48.0),
+        2024,
+    )
+}
+
+#[test]
+fn em_population_is_thread_count_invariant_and_repeatable() {
+    let _g = lock();
+    let serial = with_threads(Some(1), population);
+    let parallel = with_threads(None, population);
+    let again = with_threads(None, population);
+
+    let bits = |p: &TtfPopulation| p.ttfs.iter().map(|t| t.value()).collect::<Vec<_>>();
+    assert_bits_eq(
+        &bits(&serial),
+        &bits(&parallel),
+        "TTFs, 1 thread vs default",
+    );
+    assert_eq!(serial.censored, parallel.censored);
+    assert_bits_eq(&bits(&parallel), &bits(&again), "TTFs, same seed twice");
+}
+
+#[test]
+fn guardband_monte_carlo_is_thread_count_invariant_and_repeatable() {
+    let _g = lock();
+    let config = LifetimeConfig {
+        years: 0.05,
+        sample_every: 4,
+        ..LifetimeConfig::default()
+    };
+    let run = || monte_carlo_guardband(&config, Policy::PassiveIdle, 40..44).unwrap();
+
+    let serial = with_threads(Some(1), run);
+    let parallel = with_threads(None, run);
+    let again = with_threads(None, run);
+    assert_bits_eq(&serial, &parallel, "guardbands, 1 thread vs default");
+    assert_bits_eq(&parallel, &again, "guardbands, same seeds twice");
+}
+
+#[test]
+fn cet_stress_and_recover_are_thread_count_invariant() {
+    let _g = lock();
+    let run = || {
+        let mut e = TrapEnsemble::paper_calibrated(2000).unwrap();
+        let mut marks = Vec::new();
+        for _ in 0..3 {
+            e.stress(Seconds::from_hours(2.0), StressCondition::ACCELERATED);
+            marks.push(e.delta_vth_mv());
+            e.recover(
+                Seconds::from_hours(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+            marks.push(e.delta_vth_mv());
+            marks.push(e.permanent_mv());
+        }
+        marks
+    };
+
+    let serial = with_threads(Some(1), run);
+    let parallel = with_threads(None, run);
+    let again = with_threads(None, run);
+    assert_bits_eq(&serial, &parallel, "CET trajectory, 1 thread vs default");
+    assert_bits_eq(&parallel, &again, "CET trajectory, repeated");
+}
+
+#[test]
+fn ro_array_sites_are_thread_count_invariant() {
+    let _g = lock();
+    let build = || RoArray::paper_4x4(77);
+    let serial = with_threads(Some(1), build);
+    let parallel = with_threads(None, build);
+    assert_eq!(serial, parallel, "RO array must not depend on worker count");
+
+    let factors = |a: &RoArray| {
+        a.sites()
+            .iter()
+            .map(|s| s.process_factor)
+            .collect::<Vec<_>>()
+    };
+    assert_bits_eq(&factors(&serial), &factors(&parallel), "process factors");
+}

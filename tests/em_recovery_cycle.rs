@@ -73,7 +73,10 @@ fn accelerated_oven_conditions_map_to_use_conditions_consistently() {
     let af = black.acceleration_factor(j_use, t_use, J, t_oven);
     let ratio = black.median_ttf(j_use, t_use) / black.median_ttf(J, t_oven);
     assert!((af - ratio).abs() / ratio < 1e-9);
-    assert!(af > 1000.0, "oven test must be strongly accelerated, af = {af}");
+    assert!(
+        af > 1000.0,
+        "oven test must be strongly accelerated, af = {af}"
+    );
 }
 
 #[test]
@@ -97,6 +100,9 @@ fn thermal_chamber_drives_the_wire_like_a_constant_oven() {
             ct_nuc = Some(minute);
         }
     }
-    let (f, c) = (fl_nuc.expect("nucleates") as f64, ct_nuc.expect("nucleates") as f64);
+    let (f, c) = (
+        fl_nuc.expect("nucleates") as f64,
+        ct_nuc.expect("nucleates") as f64,
+    );
     assert!((f - c).abs() / c < 0.1, "fluctuating {f} vs constant {c}");
 }

@@ -14,8 +14,14 @@ fn policy_ladder_is_ordered_end_to_end() {
             .unwrap_or_else(|| panic!("{name} missing"))
             .required_guardband
     };
-    assert!(g("no-recovery") > g("passive-idle"), "passive must beat none");
-    assert!(g("passive-idle") > g("periodic-deep"), "deep must beat passive");
+    assert!(
+        g("no-recovery") > g("passive-idle"),
+        "passive must beat none"
+    );
+    assert!(
+        g("passive-idle") > g("periodic-deep"),
+        "deep must beat passive"
+    );
     // Periodic deep healing wins big (the Fig. 12(b) story).
     assert!(g("no-recovery") > 5.0 * g("periodic-deep"));
     // Adaptive matches passive's worst case: its sensor lags one epoch, so
@@ -26,7 +32,10 @@ fn policy_ladder_is_ordered_end_to_end() {
 
 #[test]
 fn degradation_series_stays_bounded_and_starts_fresh() {
-    let config = LifetimeConfig { years: 0.1, ..LifetimeConfig::default() };
+    let config = LifetimeConfig {
+        years: 0.1,
+        ..LifetimeConfig::default()
+    };
     let out = run_lifetime(&config, Policy::periodic_deep_default(), 9).unwrap();
     let first = out.degradation_series.first().unwrap();
     assert!(first.value < 0.05, "first sample {first:?}");
@@ -36,7 +45,10 @@ fn degradation_series_stays_bounded_and_starts_fresh() {
 
 #[test]
 fn deep_policy_prevents_permanent_accumulation_at_system_level() {
-    let config = LifetimeConfig { years: 0.3, ..LifetimeConfig::default() };
+    let config = LifetimeConfig {
+        years: 0.3,
+        ..LifetimeConfig::default()
+    };
     let none = run_lifetime(&config, Policy::NoRecovery, 2).unwrap();
     let deep = run_lifetime(&config, Policy::periodic_deep_default(), 2).unwrap();
     assert!(
@@ -50,8 +62,13 @@ fn deep_policy_prevents_permanent_accumulation_at_system_level() {
 #[test]
 fn longer_lifetimes_never_shrink_the_required_guardband() {
     let mk = |years: f64| {
-        let config = LifetimeConfig { years, ..LifetimeConfig::default() };
-        run_lifetime(&config, Policy::PassiveIdle, 4).unwrap().required_guardband
+        let config = LifetimeConfig {
+            years,
+            ..LifetimeConfig::default()
+        };
+        run_lifetime(&config, Policy::PassiveIdle, 4)
+            .unwrap()
+            .required_guardband
     };
     let short = mk(0.05);
     let long = mk(0.15);
@@ -60,7 +77,10 @@ fn longer_lifetimes_never_shrink_the_required_guardband() {
 
 #[test]
 fn em_duty_reduces_system_level_damage() {
-    let config = LifetimeConfig { years: 0.2, ..LifetimeConfig::default() };
+    let config = LifetimeConfig {
+        years: 0.2,
+        ..LifetimeConfig::default()
+    };
     let passive = run_lifetime(&config, Policy::PassiveIdle, 6).unwrap();
     let deep = run_lifetime(&config, Policy::periodic_deep_default(), 6).unwrap();
     assert!(deep.final_em_damage < passive.final_em_damage);
@@ -68,5 +88,10 @@ fn em_duty_reduces_system_level_damage() {
         passive.projected_em_ttf.expect("wear accumulated"),
         deep.projected_em_ttf.expect("wear accumulated"),
     );
-    assert!(d > p, "projected TTF: deep {} y vs passive {} y", d.as_years(), p.as_years());
+    assert!(
+        d > p,
+        "projected TTF: deep {} y vs passive {} y",
+        d.as_years(),
+        p.as_years()
+    );
 }

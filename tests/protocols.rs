@@ -18,7 +18,10 @@ fn em_condition_matrix_mirrors_table_one_structure() {
     assert_eq!(outs.map(|o| o.reverse_current), [false, true, false, true]);
     // Deep (condition 4) wins decisively, like Table I's 72.4 %.
     let r: Vec<f64> = outs.iter().map(|o| o.recovered_fraction).collect();
-    assert!(r[3] > 0.5 && r[3] > r[0] && r[3] > r[1] && r[3] > r[2], "{r:?}");
+    assert!(
+        r[3] > 0.5 && r[3] > r[0] && r[3] > r[1] && r[3] > r[2],
+        "{r:?}"
+    );
 }
 
 #[test]
@@ -30,7 +33,11 @@ fn migration_cost_uses_the_actual_assist_switching_time() {
     let electrical = sweep[0].switching_time;
     // The RC rail swap is tens of nanoseconds — the paper's "small
     // switching overhead".
-    assert!(electrical < Seconds::new(1.0e-6), "switch {} s", electrical.value());
+    assert!(
+        electrical < Seconds::new(1.0e-6),
+        "switch {} s",
+        electrical.value()
+    );
 
     let report = price_schedule(
         StateStrategy::typical_migration(),

@@ -38,8 +38,14 @@ fn claim_fig4_in_time_recovery_eliminates_the_permanent_component() {
 fn claim_fig5_active_recovery_beats_passive_by_an_order_of_magnitude() {
     let out = experiments::fig5();
     // Two-phase evolution with a ~200 min incubation.
-    let nucleation = out.nucleation_time.expect("void must nucleate").as_minutes();
-    assert!((140.0..=280.0).contains(&nucleation), "nucleation {nucleation} min");
+    let nucleation = out
+        .nucleation_time
+        .expect("void must nucleate")
+        .as_minutes();
+    assert!(
+        (140.0..=280.0).contains(&nucleation),
+        "nucleation {nucleation} min"
+    );
     // >70 % heal within 1/5 of the stress time; passive is near-flat.
     assert!(out.active_recovered_fraction > 0.7);
     assert!(out.passive_recovered_fraction.abs() < 0.1);
@@ -59,7 +65,9 @@ fn claim_fig7_scheduled_recovery_delays_nucleation_and_extends_ttf() {
     let out = experiments::fig7();
     let delay = out.nucleation_delay_factor().expect("both nucleate");
     assert!((1.8..=8.0).contains(&delay), "delay factor {delay}");
-    let ttf = out.ttf_extension_factor().expect("both fail in the horizon");
+    let ttf = out
+        .ttf_extension_factor()
+        .expect("both fail in the horizon");
     assert!(ttf > 1.3, "TTF extension {ttf}");
 }
 
@@ -78,15 +86,25 @@ fn claim_fig9_assist_circuit_implements_all_three_modes() {
 fn claim_fig10_load_size_tradeoff() {
     let points = experiments::fig10();
     let last = points.last().unwrap();
-    assert!((1.5..=2.2).contains(&last.normalized_delay), "delay {}", last.normalized_delay);
+    assert!(
+        (1.5..=2.2).contains(&last.normalized_delay),
+        "delay {}",
+        last.normalized_delay
+    );
     assert!(last.normalized_switching_time < 0.7);
 }
 
 #[test]
 fn claim_fig11_local_grids_are_most_em_sensitive_and_protectable() {
     let f = experiments::fig11();
-    let local = f.hazard.worst_in(deep_healing::pdn::grid::LayerClass::Local).unwrap();
-    let global = f.hazard.worst_in(deep_healing::pdn::grid::LayerClass::Global).unwrap();
+    let local = f
+        .hazard
+        .worst_in(deep_healing::pdn::grid::LayerClass::Local)
+        .unwrap();
+    let global = f
+        .hazard
+        .worst_in(deep_healing::pdn::grid::LayerClass::Global)
+        .unwrap();
     assert!(local.median_ttf.as_years() * 100.0 < global.median_ttf.as_years());
     assert!(f.protected_extension > 1.3);
 }
@@ -96,9 +114,7 @@ fn claim_fig12_scheduling_reduces_the_guardband() {
     let outs = experiments::fig12(0.15).unwrap();
     let g = |n: &str| outs.iter().find(|o| o.policy == n).unwrap();
     // The paper's headline: deep healing keeps the system "refreshing".
-    assert!(
-        g("no-recovery").required_guardband > 10.0 * g("periodic-deep").required_guardband
-    );
+    assert!(g("no-recovery").required_guardband > 10.0 * g("periodic-deep").required_guardband);
     // And eliminates the permanent component at the system level.
     assert!(g("periodic-deep").final_permanent_mv < 0.3 * g("no-recovery").final_permanent_mv);
     // EM lifetime extends under the reversal duty.

@@ -15,7 +15,10 @@ fn quantile_guardband_from_a_device_population() {
     let mut population = DevicePopulation::sample(12, 600, 0.25, 7).unwrap();
     population.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
     let q95 = population.quantile_mv(0.95);
-    assert!(q95 > 40.0, "accelerated stress should approach ~50 mV, q95 = {q95}");
+    assert!(
+        q95 > 40.0,
+        "accelerated stress should approach ~50 mV, q95 = {q95}"
+    );
 
     let ro = RingOscillator::paper_75_stage();
     let array = RoArray::paper_4x4(42);
@@ -32,7 +35,10 @@ fn healing_the_population_shrinks_the_margin_stack() {
     let mut population = DevicePopulation::sample(10, 600, 0.25, 9).unwrap();
     population.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
     let before = margin_stack(&ro, population.quantile_mv(0.95), 0.0, 1.0);
-    population.recover(Seconds::from_hours(6.0), RecoveryCondition::ACTIVE_ACCELERATED);
+    population.recover(
+        Seconds::from_hours(6.0),
+        RecoveryCondition::ACTIVE_ACCELERATED,
+    );
     let after = margin_stack(&ro, population.quantile_mv(0.95), 0.0, 1.0);
     assert!(
         after.wearout < 0.4 * before.wearout,
@@ -56,14 +62,20 @@ fn pde_population_and_black_model_tell_the_same_fleet_story() {
     let median = pop.median().expect("all wires fail").as_hours();
     let black = BlackModel::calibrated_to_paper();
     let black_median = black
-        .median_ttf(CurrentDensity::from_ma_per_cm2(7.96), Celsius::new(230.0).to_kelvin())
+        .median_ttf(
+            CurrentDensity::from_ma_per_cm2(7.96),
+            Celsius::new(230.0).to_kelvin(),
+        )
         .as_hours();
     assert!(
         (median - black_median).abs() / black_median < 0.4,
         "PDE median {median} h vs Black {black_median} h"
     );
     let sigma = pop.ln_sigma().expect("spread exists");
-    assert!((0.1..0.6).contains(&sigma), "ln-sigma {sigma} vs Black's 0.3");
+    assert!(
+        (0.1..0.6).contains(&sigma),
+        "ln-sigma {sigma} vs Black's 0.3"
+    );
 }
 
 #[test]

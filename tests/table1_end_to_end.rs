@@ -65,10 +65,16 @@ fn the_two_models_agree_with_each_other_on_novel_conditions() {
     // The conditions above are ordered from shallowest to deepest; both
     // models must rank them identically.
     for pair in analytic_rs.windows(2) {
-        assert!(pair[1] > pair[0], "analytic ordering broke: {analytic_rs:?}");
+        assert!(
+            pair[1] > pair[0],
+            "analytic ordering broke: {analytic_rs:?}"
+        );
     }
     for pair in ensemble_rs.windows(2) {
-        assert!(pair[1] > pair[0], "ensemble ordering broke: {ensemble_rs:?}");
+        assert!(
+            pair[1] > pair[0],
+            "ensemble ordering broke: {ensemble_rs:?}"
+        );
     }
 }
 
@@ -80,6 +86,9 @@ fn recovery_percentage_grows_with_each_knob_in_both_models() {
     for sims in [sim_m, sim_a] {
         assert!(sims[0] < sims[1], "active beats passive: {sims:?}");
         assert!(sims[0] < sims[2], "accelerated beats passive: {sims:?}");
-        assert!(sims[1] < sims[3] && sims[2] < sims[3], "deep healing wins: {sims:?}");
+        assert!(
+            sims[1] < sims[3] && sims[2] < sims[3],
+            "deep healing wins: {sims:?}"
+        );
     }
 }

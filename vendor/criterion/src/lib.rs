@@ -1,0 +1,242 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 harness this
+//! workspace's benches use: `Criterion`, `benchmark_group` /
+//! `sample_size` / `finish`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so instead
+//! of criterion's full statistical machinery this harness times each
+//! sample with `std::time::Instant` and reports min / median / mean per
+//! benchmark. Under `cargo test --benches` (cargo passes `--test`) each
+//! bench body runs exactly once as a smoke test with no timing loop.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// How batched inputs are grouped between setup calls. Only the variants
+/// this workspace uses are meaningful; all behave identically here
+/// (one setup per timed sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark body.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    recorded_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize, test_mode: bool) -> Self {
+        Self {
+            samples,
+            test_mode,
+            recorded_ns: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // One untimed warm-up pass.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.recorded_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.recorded_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, test_mode: bool, mut body: F) {
+    let mut bencher = Bencher::new(samples, test_mode);
+    body(&mut bencher);
+    if test_mode {
+        println!("test {name} ... ok (bench smoke)");
+        return;
+    }
+    let mut ns = bencher.recorded_ns;
+    if ns.is_empty() {
+        println!("{name:<56} (no samples recorded)");
+        return;
+    }
+    ns.sort_by(|a, b| a.total_cmp(b));
+    let median = ns[ns.len() / 2];
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    println!(
+        "{name:<56} min {:>12}  median {:>12}  mean {:>12}  (n={})",
+        format_ns(ns[0]),
+        format_ns(median),
+        format_ns(mean),
+        ns.len()
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<S, F>(&mut self, name: S, body: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), DEFAULT_SAMPLE_SIZE, self.test_mode, body);
+        self
+    }
+
+    /// Opens a named group whose sample size can be tuned.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.as_ref().to_owned(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            test_mode,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, name: S, body: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_bench(&full, self.sample_size, self.test_mode, body);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_requested_samples() {
+        let mut b = Bencher::new(5, false);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.recorded_ns.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0;
+        let mut b = Bencher::new(4, false);
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        // One warm-up plus four timed samples.
+        assert_eq!(setups, 5);
+        assert_eq!(b.recorded_ns.len(), 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_samples() {
+        let mut runs = 0;
+        let mut b = Bencher::new(10, true);
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.recorded_ns.is_empty());
+    }
+}

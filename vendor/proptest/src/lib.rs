@@ -1,0 +1,339 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace's
+//! property tests use: the `proptest!` macro, `ProptestConfig::with_cases`,
+//! range / tuple / `collection::vec` strategies, `prop_assert!`, and
+//! `prop_assume!`.
+//!
+//! The build environment has no network access to crates.io, so this is a
+//! small deterministic property-test runner rather than the real engine:
+//! inputs are drawn from a fixed-seed RNG (so failures reproduce exactly
+//! across runs) and there is **no shrinking** — a failing case reports the
+//! raw generated input instead of a minimal one.
+
+#![warn(missing_docs)]
+
+/// Strategies: how values of each type are generated.
+pub mod strategy {
+    use rand::{rngs::StdRng, Rng};
+
+    /// A generator of values for one test argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(
+                r.start < r.end,
+                "vec strategy requires a non-empty length range"
+            );
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of elements from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The case runner and its configuration.
+pub mod test_runner {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// A `prop_assume!` precondition did not hold; draw a new case.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: String) -> Self {
+            Self::Fail(message)
+        }
+    }
+
+    /// Runner configuration (only the case count is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Drives one property test: draws cases from a fixed-seed RNG and
+    /// panics (with the case seed) on the first failure.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Builds a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self { config }
+        }
+
+        /// Runs the property; `case` returns `Ok` to accept, `Reject` to
+        /// skip (not counted), or `Fail` to fail the test.
+        pub fn run(&mut self, mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+            let mut accepted = 0u32;
+            let mut rejected = 0u64;
+            let max_rejects = u64::from(self.config.cases) * 64;
+            let mut draw = 0u64;
+            while accepted < self.config.cases {
+                // Per-case stream: failures name the draw index, so a
+                // failing case reproduces in isolation.
+                let mut rng = StdRng::seed_from_u64(
+                    0x0d_ee94_ea11_u64 ^ draw.wrapping_mul(0x2545_f491_4f6c_dd1d),
+                );
+                draw += 1;
+                match case(&mut rng) {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= max_rejects,
+                            "too many prop_assume! rejections ({rejected}) after {accepted} accepted cases"
+                        );
+                    }
+                    Err(TestCaseError::Fail(message)) => {
+                        panic!("property failed at draw {} : {message}", draw - 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assume, proptest};
+}
+
+/// Declares property tests; each `arg in strategy` argument is drawn
+/// fresh per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                runner.run(|prop_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), prop_rng);
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts inside a property body; failure reports the message and fails
+/// the test without unwinding through the generator.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Skips the current case (drawing a replacement) when a precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..9.5, n in 2u8..7) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((2..7).contains(&n), "n = {n}");
+        }
+
+        #[test]
+        fn tuples_and_vecs_generate(ops in collection::vec((0u8..3, 1u32..10), 1..6)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 6);
+            for (op, count) in ops {
+                prop_assert!(op < 3 && (1..10).contains(&count));
+            }
+        }
+
+        #[test]
+        fn fixed_length_vec(v in collection::vec(0.0f64..1.0, 16)) {
+            prop_assert!(v.len() == 16);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use rand::Rng;
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+            runner.run(|rng| {
+                out.push(rng.gen::<u64>());
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics_with_message() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4));
+        runner.run(|_rng| Err(TestCaseError::fail("boom".to_owned())));
+    }
+}
