@@ -74,6 +74,25 @@ impl TableOneTargets {
     pub fn xi(&self) -> f64 {
         self.recovery_time / self.stress_time
     }
+
+    /// The exact bit patterns of every target parameter, in field order —
+    /// the hashable identity of a target set, used to key calibration
+    /// caches (two sets are the same calibration iff every f64 is the
+    /// same bits).
+    pub fn bit_key(&self) -> [u64; 9] {
+        let f = &self.fractions;
+        [
+            f[0].value().to_bits(),
+            f[1].value().to_bits(),
+            f[2].value().to_bits(),
+            f[3].value().to_bits(),
+            self.stress_time.value().to_bits(),
+            self.recovery_time.value().to_bits(),
+            self.room.value().to_bits(),
+            self.hot.value().to_bits(),
+            self.reverse_bias.value().to_bits(),
+        ]
+    }
 }
 
 /// Calibrated parameters of the universal-relaxation analytic model.

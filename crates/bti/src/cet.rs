@@ -33,6 +33,21 @@
 //! measurement protocol** (24 h accelerated stress, 6 h recovery per
 //! condition) until the ensemble reproduces the measured recovery
 //! percentages.
+//!
+//! # Kernel layout
+//!
+//! Trap state lives in flat structure-of-arrays columns (`log_tau_e`,
+//! `occ_soft`, `occ_hard`, …) rather than a `Vec<Trap>`. The expensive
+//! per-trap quantities — the capture/emission base rates `10^−log τ` and
+//! the deep-trap sigmoid weight — depend only on the trap parameters, so
+//! they are precomputed once at construction (and after
+//! [`TrapEnsemble::with_variation`]) into rate-table columns; the
+//! stress/recover hot loops are then straight-line arithmetic plus one
+//! `exp` per trap-step, chunked across threads with fixed boundaries
+//! (bit-identical at any worker count). Stress sub-stepping is adaptive:
+//! the step count is chosen so the deep-capture gate moves by at most
+//! [`GATE_STEP_TOL`] per step and hardening is resolved at `τ_harden/2`,
+//! so long quiet intervals take few steps while transients stay resolved.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,6 +63,7 @@ use crate::analytic::{PermanentParams, StressLaw};
 use crate::calibration::{self, TableOneTargets, DEFAULT_BETA};
 use crate::condition::{RecoveryCondition, StressCondition};
 use crate::error::BtiError;
+use crate::wear::WearModel;
 
 /// Lower edge of the emission-time distribution, log₁₀ seconds.
 const LOG_TAU_MIN: f64 = -2.0;
@@ -67,6 +83,28 @@ const CAPTURE_ACCEL_EXPONENT: f64 = 3.0;
 /// ensemble still load-balances across a many-core box.
 const TRAP_CHUNK: usize = 256;
 
+/// Maximum movement of the deep-capture gate within one stress sub-step.
+/// The gate is the only time-varying coefficient inside a constant-
+/// condition stress call, and the kernel evaluates it at the step
+/// midpoint, so the O(Δg²) midpoint-rule error per step stays below
+/// `GATE_STEP_TOL²/8 ≈ 3e-5` of the gated rate — far inside the model's
+/// own calibration tolerance.
+const GATE_STEP_TOL: f64 = 1.0 / 64.0;
+/// Gate level below which a stress interval is "quiet": deep capture and
+/// hardening are negligible for the whole call, so one step suffices.
+const GATE_QUIET: f64 = 1e-6;
+/// Upper bound on stress sub-steps per call: keeps degenerate inputs
+/// (decade-long single calls) from looping forever. At 4096 steps the
+/// gate moves ≤ 2.5e-4 per step, far finer than `GATE_STEP_TOL`.
+const MAX_SUB_STEPS: usize = 4096;
+/// Capture exponent beyond which `1 − exp(−x)` rounds to exactly 1.0 in
+/// f64 (`exp(−37) < 2⁻⁵³/2`), so the saturated kernel path may replace
+/// the transcendental with the constant 1.0 **bit-exactly**.
+const EXP_SATURATE: f64 = 37.0;
+/// Recovery exponent beyond which `exp(−x)` is subnormal-or-zero; the
+/// kernel zeroes the occupancy outright instead of multiplying by it.
+const EXP_UNDERFLOW: f64 = 700.0;
+
 /// Identity of one calibration: the trap count plus the exact bit
 /// patterns of every target parameter.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -77,20 +115,9 @@ struct CalibrationKey {
 
 impl CalibrationKey {
     fn new(n_traps: usize, targets: &TableOneTargets) -> Self {
-        let f = &targets.fractions;
         Self {
             n_traps,
-            bits: [
-                f[0].value().to_bits(),
-                f[1].value().to_bits(),
-                f[2].value().to_bits(),
-                f[3].value().to_bits(),
-                targets.stress_time.value().to_bits(),
-                targets.recovery_time.value().to_bits(),
-                targets.room.value().to_bits(),
-                targets.hot.value().to_bits(),
-                targets.reverse_bias.value().to_bits(),
-            ],
+            bits: targets.bit_key(),
         }
     }
 }
@@ -98,8 +125,10 @@ impl CalibrationKey {
 /// Fitted ensembles, one per distinct `(n_traps, targets)`. The
 /// emission-CDF knot fit simulates the full 24 h-stress / 6 h-recovery
 /// protocol up to 40 times, so every test, bench, and repro binary that
-/// builds an ensemble hits this cache after the first construction.
-static CALIBRATIONS: Memo<CalibrationKey, TrapEnsemble> = Memo::new();
+/// builds an ensemble hits this cache after the first construction. The
+/// memo is bounded (LRU-evicted), so sweeps over many target sets cannot
+/// grow it without limit.
+static CALIBRATIONS: Memo<CalibrationKey, TrapEnsemble> = Memo::bounded(32);
 /// Knot fits actually executed in this process (cache hits don't count).
 static CALIBRATION_FIT_RUNS: AtomicU64 = AtomicU64::new(0);
 
@@ -109,25 +138,6 @@ static CALIBRATION_FIT_RUNS: AtomicU64 = AtomicU64::new(0);
 /// once per distinct target set.
 pub fn calibration_fit_runs() -> u64 {
     CALIBRATION_FIT_RUNS.load(Ordering::SeqCst)
-}
-
-/// One oxide trap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Trap {
-    /// log₁₀ emission time at the passive room reference, seconds.
-    log_tau_e: f64,
-    /// log₁₀ capture time at the reference accelerated stress, seconds.
-    log_tau_c: f64,
-    /// Soft (recoverable) occupancy probability.
-    occ_soft: f64,
-    /// Hard (consolidated, unrecoverable) occupancy probability.
-    occ_hard: f64,
-}
-
-impl Trap {
-    fn occupancy(&self) -> f64 {
-        self.occ_soft + self.occ_hard
-    }
 }
 
 /// Calibrated knots of the emission-time CDF: `(log₁₀ τ_e, cumulative
@@ -147,19 +157,25 @@ impl EmissionCdf {
     }
 
     /// Inverse CDF: the log₁₀ τ_e at cumulative probability `p ∈ [0, 1]`.
+    ///
+    /// Binary search for the bracketing segment (the knot list is sorted
+    /// in probability), then the same linear interpolation a forward scan
+    /// would produce.
     fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(0.0, 1.0);
-        for pair in self.knots.windows(2) {
-            let (x0, p0) = pair[0];
-            let (x1, p1) = pair[1];
-            if p <= p1 {
-                if p1 == p0 {
-                    return x0;
-                }
-                return x0 + (x1 - x0) * (p - p0) / (p1 - p0);
-            }
+        // First knot with cumulative probability ≥ p is the right end of
+        // the bracketing segment; clamped to ≥ 1 so a left knot exists
+        // (p = 0 lands on the first segment, as in a forward scan).
+        let hi = self.knots.partition_point(|&(_, pk)| pk < p).max(1);
+        if hi >= self.knots.len() {
+            return LOG_TAU_MAX;
         }
-        LOG_TAU_MAX
+        let (x0, p0) = self.knots[hi - 1];
+        let (x1, p1) = self.knots[hi];
+        if p1 == p0 {
+            return x0;
+        }
+        x0 + (x1 - x0) * (p - p0) / (p1 - p0)
     }
 
     /// The interior knots (excluding the fixed endpoints).
@@ -169,9 +185,25 @@ impl EmissionCdf {
 }
 
 /// A CET trap-ensemble BTI device.
+///
+/// Trap state is stored as structure-of-arrays columns (one `Vec<f64>`
+/// per field, index = trap); see the module docs for the kernel layout.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrapEnsemble {
-    traps: Vec<Trap>,
+    /// log₁₀ emission time at the passive room reference, seconds.
+    log_tau_e: Vec<f64>,
+    /// log₁₀ capture time at the reference accelerated stress, seconds.
+    log_tau_c: Vec<f64>,
+    /// Precomputed capture base rate `10^−log τ_c`, 1/s.
+    capture_base: Vec<f64>,
+    /// Precomputed emission base rate `10^−log τ_e`, 1/s.
+    emit_base: Vec<f64>,
+    /// Precomputed deep-trap gating weight (sigmoid of `log τ_e`).
+    deep: Vec<f64>,
+    /// Soft (recoverable) occupancy probability.
+    occ_soft: Vec<f64>,
+    /// Hard (consolidated, unrecoverable) occupancy probability.
+    occ_hard: Vec<f64>,
     cdf: EmissionCdf,
     acceleration: RecoveryAcceleration,
     theta4: f64,
@@ -183,6 +215,34 @@ pub struct TrapEnsemble {
     window: Seconds,
     /// Boundary (log₁₀ τ_e) of the shallow→deep transition.
     deep_edge: f64,
+}
+
+/// The adaptive sub-step schedule for a constant-condition stress call:
+/// `(steps, sub)` with `steps · sub = dt`.
+///
+/// The count resolves the two time-varying processes inside a stress
+/// call: the deep-capture gate may move at most [`GATE_STEP_TOL`] per
+/// step, and hardening is sampled at least every `τ_harden/2`. An
+/// interval whose gate never exceeds [`GATE_QUIET`] is integrated in a
+/// single step (the per-trap capture exponential is exact for constant
+/// rates, so quiet intervals lose no accuracy).
+fn stress_schedule(dt: f64, window0: f64, permanent: &PermanentParams) -> (usize, f64) {
+    let tau_onset = permanent.tau_onset.value();
+    let m = permanent.m;
+    let g_end = gate_value(window0 + dt, tau_onset, m);
+    if g_end <= GATE_QUIET {
+        return (1, dt);
+    }
+    let g_start = gate_value(window0, tau_onset, m);
+    let n_gate = ((g_end - g_start) / GATE_STEP_TOL).ceil();
+    let n_harden = (dt / (0.5 * permanent.tau_harden.value())).ceil();
+    let steps = (n_gate.max(n_harden) as usize).clamp(1, MAX_SUB_STEPS);
+    (steps, dt / steps as f64)
+}
+
+/// The window-gating factor `1 − exp(−(w/τ_onset)^m)` of deep capture.
+fn gate_value(window: f64, tau_onset: f64, m: f64) -> f64 {
+    1.0 - (-((window / tau_onset).powf(m))).exp()
 }
 
 impl TrapEnsemble {
@@ -321,20 +381,24 @@ impl TrapEnsemble {
         let cdf = EmissionCdf::new(interior);
         // Deep traps are those beyond the deepest calibrated recovery reach.
         let deep_edge = (targets.recovery_time.value() * theta4).log10();
-        let traps = (0..n_traps)
+        let log_tau_e: Vec<f64> = (0..n_traps)
             .map(|k| {
                 let u = (k as f64 + 0.5) / n_traps as f64;
-                let log_tau_e = cdf.quantile(u);
-                Trap {
-                    log_tau_e,
-                    log_tau_c: CAPTURE_INTERCEPT + CAPTURE_SLOPE * log_tau_e,
-                    occ_soft: 0.0,
-                    occ_hard: 0.0,
-                }
+                cdf.quantile(u)
             })
             .collect();
-        Self {
-            traps,
+        let log_tau_c: Vec<f64> = log_tau_e
+            .iter()
+            .map(|&le| CAPTURE_INTERCEPT + CAPTURE_SLOPE * le)
+            .collect();
+        let mut ensemble = Self {
+            log_tau_e,
+            log_tau_c,
+            capture_base: Vec::new(),
+            emit_base: Vec::new(),
+            deep: Vec::new(),
+            occ_soft: vec![0.0; n_traps],
+            occ_hard: vec![0.0; n_traps],
             cdf,
             acceleration,
             theta4,
@@ -343,7 +407,24 @@ impl TrapEnsemble {
             per_trap_mv: 1.0,
             window: Seconds::ZERO,
             deep_edge,
-        }
+        };
+        ensemble.rebuild_rate_tables();
+        ensemble
+    }
+
+    /// Recomputes the derived rate-table columns (`capture_base`,
+    /// `emit_base`, `deep`) from the trap parameters. Must be called after
+    /// any mutation of `log_tau_e`/`log_tau_c` — this is the only place
+    /// the hot-loop `powf`/sigmoid evaluations happen.
+    fn rebuild_rate_tables(&mut self) {
+        self.capture_base = self.log_tau_c.iter().map(|&lc| 10f64.powf(-lc)).collect();
+        self.emit_base = self.log_tau_e.iter().map(|&le| 10f64.powf(-le)).collect();
+        let deep_edge = self.deep_edge;
+        self.deep = self
+            .log_tau_e
+            .iter()
+            .map(|&le| deep_weight_at(deep_edge, le))
+            .collect();
     }
 
     /// Scales the per-trap ΔVth contribution so the calibration protocol's
@@ -385,126 +466,257 @@ impl TrapEnsemble {
 
     /// Number of traps.
     pub fn len(&self) -> usize {
-        self.traps.len()
+        self.log_tau_e.len()
     }
 
     /// Whether the ensemble has no traps (never true for constructed
     /// ensembles).
     pub fn is_empty(&self) -> bool {
-        self.traps.is_empty()
+        self.log_tau_e.is_empty()
     }
 
     /// Total |ΔVth| in millivolts.
     pub fn delta_vth_mv(&self) -> f64 {
-        self.per_trap_mv * self.traps.iter().map(Trap::occupancy).sum::<f64>()
+        self.per_trap_mv
+            * self
+                .occ_soft
+                .iter()
+                .zip(&self.occ_hard)
+                .map(|(s, h)| s + h)
+                .sum::<f64>()
     }
 
     /// The consolidated (hard) permanent component in millivolts.
     pub fn permanent_mv(&self) -> f64 {
-        self.per_trap_mv * self.traps.iter().map(|t| t.occ_hard).sum::<f64>()
+        self.per_trap_mv * self.occ_hard.iter().sum::<f64>()
     }
 
     /// Mean trap occupancy (soft + hard), a number in `[0, 1]`.
     pub fn mean_occupancy(&self) -> Fraction {
-        if self.traps.is_empty() {
+        if self.is_empty() {
             return Fraction::ZERO;
         }
-        Fraction::clamped(
-            self.traps.iter().map(Trap::occupancy).sum::<f64>() / self.traps.len() as f64,
-        )
+        let total: f64 = self
+            .occ_soft
+            .iter()
+            .zip(&self.occ_hard)
+            .map(|(s, h)| s + h)
+            .sum();
+        Fraction::clamped(total / self.len() as f64)
+    }
+
+    /// Test-only view of the occupancy columns `(soft, hard)`.
+    #[doc(hidden)]
+    pub fn occupancy_columns(&self) -> (&[f64], &[f64]) {
+        (&self.occ_soft, &self.occ_hard)
+    }
+
+    /// The capture-rate amplitude at `cond` relative to the reference
+    /// accelerated condition.
+    fn capture_amplitude(&self, cond: StressCondition) -> f64 {
+        self.stress_law
+            .amplitude_scale(cond)
+            .powf(CAPTURE_ACCEL_EXPONENT)
+            .min(1.0e3)
+    }
+
+    /// Midpoint gate values for each sub-step of a stress call.
+    fn gate_trajectory(&self, steps: usize, sub: f64) -> Vec<f64> {
+        let tau_onset = self.permanent.tau_onset.value();
+        let m = self.permanent.m;
+        let window0 = self.window.value();
+        (0..steps)
+            .map(|k| gate_value(window0 + (k as f64 + 0.5) * sub, tau_onset, m))
+            .collect()
     }
 
     /// Applies `dt` of stress at `cond`.
+    ///
+    /// Runs the structure-of-arrays kernel: the adaptive sub-step schedule
+    /// and the per-step gate trajectory are computed once, then each trap
+    /// evolves through all steps using its precomputed rate-table entries.
+    /// Traps whose capture exponent saturates (`1 − exp(−x)` rounds to 1,
+    /// see [`EXP_SATURATE`]) take a transcendental-free path; the rest use
+    /// one `exp_m1` per step. Bit-identical at any thread count.
     pub fn stress(&mut self, dt: Seconds, cond: StressCondition) {
         if dt.value() <= 0.0 {
             return;
         }
-        // March in sub-steps so the window gate evolves within long calls.
-        let steps = ((dt.value() / 900.0).ceil() as usize).clamp(1, 400);
-        let sub = dt.value() / steps as f64;
-        let amp = self
-            .stress_law
-            .amplitude_scale(cond)
-            .powf(CAPTURE_ACCEL_EXPONENT)
-            .min(1.0e3);
-        let tau_h = self.permanent.tau_harden.value();
-
-        // The window/gate trajectory is trap-independent, so compute each
-        // sub-step's gate once up front instead of once per trap per step.
-        let tau_onset = self.permanent.tau_onset.value();
-        let m = self.permanent.m;
-        let window0 = self.window.value();
-        let gates: Vec<f64> = (0..steps)
-            .map(|k| {
-                let w = window0 + (k as f64 + 0.5) * sub;
-                1.0 - (-((w / tau_onset).powf(m))).exp()
-            })
-            .collect();
-        let harden_step = 1.0 - (-sub / tau_h).exp();
-        let deep_edge = self.deep_edge;
-
-        // Traps evolve independently given the gate trajectory, so iterate
-        // trap-outer / step-inner: the per-trap `powf` and sigmoid hoist out
-        // of the step loop, and fixed-size chunks fan out across threads
-        // (identical arithmetic per trap at any worker count).
-        dh_exec::par_chunks_mut(&mut self.traps, TRAP_CHUNK, |_, chunk| {
-            for trap in chunk {
-                let deep = deep_weight_at(deep_edge, trap.log_tau_e);
-                let base_rate = amp / 10f64.powf(trap.log_tau_c);
-                for &gate in &gates {
-                    let rate = base_rate * ((1.0 - deep) + deep * gate);
-                    let captured = (1.0 - trap.occupancy()) * (1.0 - (-rate * sub).exp());
-                    trap.occ_soft += captured;
-                    // Deep occupancy consolidates under continued stress;
-                    // like deep capture, consolidation is a secondary
-                    // process gated by the continuous-stress window, so
-                    // in-time scheduled recovery prevents it.
-                    let harden = trap.occ_soft * deep * gate * harden_step;
-                    trap.occ_soft -= harden;
-                    trap.occ_hard += harden;
+        let (steps, sub) = stress_schedule(dt.value(), self.window.value(), &self.permanent);
+        let gates = self.gate_trajectory(steps, sub);
+        let first_gate = gates[0];
+        let amp_sub = self.capture_amplitude(cond) * sub;
+        let harden_step = 1.0 - (-sub / self.permanent.tau_harden.value()).exp();
+        let capture_base = &self.capture_base;
+        let deep = &self.deep;
+        dh_exec::par_chunks_mut2(
+            &mut self.occ_soft,
+            &mut self.occ_hard,
+            TRAP_CHUNK,
+            |ci, soft, hard| {
+                let offset = ci * TRAP_CHUNK;
+                let capture = &capture_base[offset..offset + soft.len()];
+                let deepw = &deep[offset..offset + soft.len()];
+                for ((s, h), (&c, &d)) in soft
+                    .iter_mut()
+                    .zip(hard.iter_mut())
+                    .zip(capture.iter().zip(deepw))
+                {
+                    // Per-step capture exponent x = amp·c·((1−d) + d·g)·sub,
+                    // split into its gate-independent and gate-proportional
+                    // parts so the inner loop is one fma-shaped update.
+                    let x_shallow = amp_sub * c * (1.0 - d);
+                    let x_deep = amp_sub * c * d;
+                    let harden_scale = d * harden_step;
+                    let mut os = *s;
+                    let mut oh = *h;
+                    // The gate trajectory is non-decreasing, so the first
+                    // step has the smallest capture exponent.
+                    if x_shallow + x_deep * first_gate >= EXP_SATURATE {
+                        for &gate in &gates {
+                            os += 1.0 - os - oh;
+                            let harden = os * harden_scale * gate;
+                            os -= harden;
+                            oh += harden;
+                        }
+                    } else {
+                        for &gate in &gates {
+                            let x = x_shallow + x_deep * gate;
+                            // 1 − exp(−x) without the cancellation.
+                            let captured = (1.0 - os - oh) * (-(-x).exp_m1());
+                            os += captured;
+                            let harden = os * harden_scale * gate;
+                            os -= harden;
+                            oh += harden;
+                        }
+                    }
+                    *s = os;
+                    *h = oh;
                 }
-            }
-        });
+            },
+        );
         self.window += Seconds::new(sub * steps as f64);
     }
 
-    /// The pre-`dh-exec` stress loop (step-outer, per-trap-per-step `powf`
-    /// and `exp`, serial): kept as the measured baseline for
-    /// `perf_snapshot`. Not part of the API.
+    /// Scalar per-trap reference for [`TrapEnsemble::stress`]: the same
+    /// adaptive schedule and model, but with every per-trap `powf` and
+    /// sigmoid re-evaluated inside the loop and the naive `1 − exp(−x)`
+    /// formulation. The SoA kernel must agree with this to ≤1e-12 relative
+    /// on the aggregate observables. Not part of the API.
     #[doc(hidden)]
     pub fn stress_reference(&mut self, dt: Seconds, cond: StressCondition) {
         if dt.value() <= 0.0 {
             return;
         }
+        let (steps, sub) = stress_schedule(dt.value(), self.window.value(), &self.permanent);
+        let gates = self.gate_trajectory(steps, sub);
+        let amp = self.capture_amplitude(cond);
+        let harden_step = 1.0 - (-sub / self.permanent.tau_harden.value()).exp();
+        let deep_edge = self.deep_edge;
+        for (((&le, &lc), s), h) in self
+            .log_tau_e
+            .iter()
+            .zip(&self.log_tau_c)
+            .zip(&mut self.occ_soft)
+            .zip(&mut self.occ_hard)
+        {
+            let deep = deep_weight_at(deep_edge, le);
+            let base_rate = amp / 10f64.powf(lc);
+            for &gate in &gates {
+                let rate = base_rate * ((1.0 - deep) + deep * gate);
+                let captured = (1.0 - *s - *h) * (1.0 - (-rate * sub).exp());
+                *s += captured;
+                let harden = *s * deep * gate * harden_step;
+                *s -= harden;
+                *h += harden;
+            }
+        }
+        self.window += Seconds::new(sub * steps as f64);
+    }
+
+    /// The PR 1 stress kernel (fixed 900 s stride, per-trap `powf` and
+    /// sigmoid hoisted out of the step loop, parallel chunks): kept as the
+    /// measured baseline for `perf_snapshot`'s pr1-vs-pr2 comparison. Not
+    /// part of the API.
+    #[doc(hidden)]
+    pub fn stress_pr1(&mut self, dt: Seconds, cond: StressCondition) {
+        if dt.value() <= 0.0 {
+            return;
+        }
         let steps = ((dt.value() / 900.0).ceil() as usize).clamp(1, 400);
         let sub = dt.value() / steps as f64;
-        let amp = self
-            .stress_law
-            .amplitude_scale(cond)
-            .powf(CAPTURE_ACCEL_EXPONENT)
-            .min(1.0e3);
-        let tau_h = self.permanent.tau_harden.value();
-        for _ in 0..steps {
-            let w = self.window.value() + 0.5 * sub;
-            let gate =
-                1.0 - (-((w / self.permanent.tau_onset.value()).powf(self.permanent.m))).exp();
-            let deep_edge = self.deep_edge;
-            for trap in &mut self.traps {
-                let deep = deep_weight_at(deep_edge, trap.log_tau_e);
-                let rate_mult = (1.0 - deep) + deep * gate;
-                let rate = amp * rate_mult / 10f64.powf(trap.log_tau_c);
-                let captured = (1.0 - trap.occupancy()) * (1.0 - (-rate * sub).exp());
-                trap.occ_soft += captured;
-                let harden = trap.occ_soft * deep * gate * (1.0 - (-sub / tau_h).exp());
-                trap.occ_soft -= harden;
-                trap.occ_hard += harden;
-            }
-            self.window += Seconds::new(sub);
-        }
+        let amp = self.capture_amplitude(cond);
+        let tau_onset = self.permanent.tau_onset.value();
+        let m = self.permanent.m;
+        let window0 = self.window.value();
+        let gates: Vec<f64> = (0..steps)
+            .map(|k| gate_value(window0 + (k as f64 + 0.5) * sub, tau_onset, m))
+            .collect();
+        let harden_step = 1.0 - (-sub / self.permanent.tau_harden.value()).exp();
+        let deep_edge = self.deep_edge;
+        let log_tau_e = &self.log_tau_e;
+        let log_tau_c = &self.log_tau_c;
+        dh_exec::par_chunks_mut2(
+            &mut self.occ_soft,
+            &mut self.occ_hard,
+            TRAP_CHUNK,
+            |ci, soft, hard| {
+                let offset = ci * TRAP_CHUNK;
+                for (j, (s, h)) in soft.iter_mut().zip(hard.iter_mut()).enumerate() {
+                    let deep = deep_weight_at(deep_edge, log_tau_e[offset + j]);
+                    let base_rate = amp / 10f64.powf(log_tau_c[offset + j]);
+                    for &gate in &gates {
+                        let rate = base_rate * ((1.0 - deep) + deep * gate);
+                        let captured = (1.0 - *s - *h) * (1.0 - (-rate * sub).exp());
+                        *s += captured;
+                        let harden = *s * deep * gate * harden_step;
+                        *s -= harden;
+                        *h += harden;
+                    }
+                }
+            },
+        );
+        self.window += Seconds::new(sub * steps as f64);
     }
 
     /// Applies `dt` of recovery at `cond`.
+    ///
+    /// One exact exponential per trap over the precomputed emission-rate
+    /// column; exponents past [`EXP_UNDERFLOW`] zero the occupancy without
+    /// evaluating `exp`. Bit-identical at any thread count.
     pub fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        let theta = self.acceleration.factor(cond);
+        let depth = theta / self.theta4;
+        // Deep recovery additionally relaxes precursor (soft) occupancy of
+        // deep traps before it consolidates.
+        let anneal = depth / self.permanent.tau_soft_anneal.value();
+        let dt_s = dt.value();
+        let emit_base = &self.emit_base;
+        let deep = &self.deep;
+        dh_exec::par_chunks_mut(&mut self.occ_soft, TRAP_CHUNK, |ci, soft| {
+            let offset = ci * TRAP_CHUNK;
+            let emit = &emit_base[offset..offset + soft.len()];
+            let deepw = &deep[offset..offset + soft.len()];
+            for ((s, &e), &d) in soft.iter_mut().zip(emit).zip(deepw) {
+                let x = (theta * e + anneal * d) * dt_s;
+                *s = if x >= EXP_UNDERFLOW {
+                    0.0
+                } else {
+                    *s * (-x).exp()
+                };
+            }
+        });
+        // Deep recovery resets the continuous-stress window.
+        self.window = self.window * (-depth * dt_s / self.permanent.tau_window_reset.value()).exp();
+    }
+
+    /// Scalar per-trap reference for [`TrapEnsemble::recover`] (per-trap
+    /// `powf` and sigmoid, serial). Not part of the API.
+    #[doc(hidden)]
+    pub fn recover_reference(&mut self, dt: Seconds, cond: RecoveryCondition) {
         if dt.value() <= 0.0 {
             return;
         }
@@ -513,33 +725,27 @@ impl TrapEnsemble {
         let tau_soft = self.permanent.tau_soft_anneal.value();
         let deep_edge = self.deep_edge;
         let dt_s = dt.value();
-        dh_exec::par_chunks_mut(&mut self.traps, TRAP_CHUNK, |_, chunk| {
-            for trap in chunk {
-                // Emission, rate-scaled by θ.
-                let emit_rate = theta / 10f64.powf(trap.log_tau_e);
-                // Deep recovery additionally relaxes precursor (soft)
-                // occupancy of deep traps before it consolidates.
-                let deep = deep_weight_at(deep_edge, trap.log_tau_e);
-                let anneal_rate = deep * depth / tau_soft;
-                trap.occ_soft *= (-(emit_rate + anneal_rate) * dt_s).exp();
-            }
-        });
-        // Deep recovery resets the continuous-stress window.
-        self.window =
-            self.window * (-depth * dt.value() / self.permanent.tau_window_reset.value()).exp();
+        for (&le, s) in self.log_tau_e.iter().zip(&mut self.occ_soft) {
+            let emit_rate = theta / 10f64.powf(le);
+            let deep = deep_weight_at(deep_edge, le);
+            let anneal_rate = deep * depth / tau_soft;
+            *s *= (-(emit_rate + anneal_rate) * dt_s).exp();
+        }
+        self.window = self.window * (-depth * dt_s / self.permanent.tau_window_reset.value()).exp();
     }
 
     /// Adds device-to-device variation: jitters every trap's emission and
     /// capture times by log-normal perturbations (`sigma_decades` standard
-    /// deviation in log₁₀ space).
+    /// deviation in log₁₀ space) and rebuilds the precomputed rate tables.
     #[must_use]
     pub fn with_variation<R: Rng>(mut self, sigma_decades: f64, rng: &mut R) -> Self {
-        for trap in &mut self.traps {
+        for (le, lc) in self.log_tau_e.iter_mut().zip(&mut self.log_tau_c) {
             let ge: f64 = standard_normal(rng);
             let gc: f64 = standard_normal(rng);
-            trap.log_tau_e = (trap.log_tau_e + sigma_decades * ge).clamp(LOG_TAU_MIN, LOG_TAU_MAX);
-            trap.log_tau_c += sigma_decades * gc;
+            *le = (*le + sigma_decades * ge).clamp(LOG_TAU_MIN, LOG_TAU_MAX);
+            *lc += sigma_decades * gc;
         }
+        self.rebuild_rate_tables();
         self
     }
 
@@ -549,6 +755,24 @@ impl TrapEnsemble {
     pub fn table_one_percentages(&self) -> [f64; 4] {
         self.simulate_protocol(&TableOneTargets::measurement_column())
             .map(|f| f * 100.0)
+    }
+}
+
+impl WearModel for TrapEnsemble {
+    fn stress(&mut self, dt: Seconds, cond: StressCondition) {
+        TrapEnsemble::stress(self, dt, cond);
+    }
+
+    fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        TrapEnsemble::recover(self, dt, cond);
+    }
+
+    fn delta_vth_mv(&self) -> f64 {
+        TrapEnsemble::delta_vth_mv(self)
+    }
+
+    fn permanent_mv(&self) -> f64 {
+        TrapEnsemble::permanent_mv(self)
     }
 }
 
@@ -565,6 +789,10 @@ mod tests {
 
     fn ensemble() -> TrapEnsemble {
         TrapEnsemble::paper_calibrated(2000).expect("calibration converges")
+    }
+
+    fn rel_diff(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-30)
     }
 
     #[test]
@@ -596,6 +824,39 @@ mod tests {
         }
         assert_eq!(e.emission_cdf().quantile(0.0), LOG_TAU_MIN);
         assert_eq!(e.emission_cdf().quantile(1.0), LOG_TAU_MAX);
+    }
+
+    #[test]
+    fn binary_search_quantile_matches_linear_scan() {
+        // The pre-PR2 forward scan, kept verbatim as the semantics oracle.
+        let linear = |cdf: &EmissionCdf, p: f64| -> f64 {
+            let p = p.clamp(0.0, 1.0);
+            for pair in cdf.knots.windows(2) {
+                let (x0, p0) = pair[0];
+                let (x1, p1) = pair[1];
+                if p <= p1 {
+                    if p1 == p0 {
+                        return x0;
+                    }
+                    return x0 + (x1 - x0) * (p - p0) / (p1 - p0);
+                }
+            }
+            LOG_TAU_MAX
+        };
+        let e = ensemble();
+        let cdf = e.emission_cdf();
+        for i in 0..=10_000 {
+            let p = i as f64 / 10_000.0;
+            assert_eq!(
+                cdf.quantile(p).to_bits(),
+                linear(cdf, p).to_bits(),
+                "quantile({p}) diverged from the linear scan"
+            );
+        }
+        // Hit every knot probability exactly (the boundary cases).
+        for &(_, pk) in &cdf.knots {
+            assert_eq!(cdf.quantile(pk).to_bits(), linear(cdf, pk).to_bits());
+        }
     }
 
     #[test]
@@ -693,6 +954,23 @@ mod tests {
     }
 
     #[test]
+    fn variation_rebuilds_the_rate_tables() {
+        // The jittered ensemble must behave identically whether its rate
+        // tables were rebuilt (the kernel path) or derived on the fly (the
+        // scalar reference path, which reads only the log-τ columns).
+        let mut rng = seeded_rng(7, "cet-variation-tables");
+        let varied = ensemble().with_variation(0.3, &mut rng);
+        let mut fast = varied.clone();
+        let mut reference = varied;
+        fast.stress(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+        reference.stress_reference(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+        assert!(
+            rel_diff(fast.delta_vth_mv(), reference.delta_vth_mv()) < 1e-12,
+            "stale rate tables after with_variation"
+        );
+    }
+
+    #[test]
     fn occupancy_stays_in_unit_interval() {
         let mut e = ensemble();
         for _ in 0..10 {
@@ -702,9 +980,10 @@ mod tests {
                 RecoveryCondition::ACTIVE_ACCELERATED,
             );
         }
-        for t in &e.traps {
-            assert!(t.occ_soft >= 0.0 && t.occ_hard >= 0.0);
-            assert!(t.occupancy() <= 1.0 + 1e-9);
+        let (soft, hard) = e.occupancy_columns();
+        for (s, h) in soft.iter().zip(hard) {
+            assert!(*s >= 0.0 && *h >= 0.0);
+            assert!(s + h <= 1.0 + 1e-9);
         }
         assert!(e.mean_occupancy().value() <= 1.0);
     }
@@ -731,24 +1010,118 @@ mod tests {
     }
 
     #[test]
-    fn restructured_stress_matches_reference_loop() {
+    fn soa_kernel_matches_scalar_reference_tightly() {
+        // Kernel and scalar reference share the adaptive schedule; the only
+        // differences are float reassociation, `10^−x` vs `1/10^x`, and
+        // `exp_m1` vs `1 − exp` — each bounded by an ulp or two per step,
+        // so the aggregates must agree far inside 1e-12 relative.
         let mut fast = ensemble();
         let mut reference = fast.clone();
-        for hours in [0.2, 1.0, 6.0] {
+        for hours in [0.2, 1.0, 6.0, 24.0] {
             fast.stress(Seconds::from_hours(hours), StressCondition::ACCELERATED);
             reference.stress_reference(Seconds::from_hours(hours), StressCondition::ACCELERATED);
             let (wf, wr) = (fast.delta_vth_mv(), reference.delta_vth_mv());
-            // Same model, reassociated float ops: agreement to ~1e-9 rel.
             assert!(
-                ((wf - wr) / wr).abs() < 1e-9,
-                "restructured {wf} vs reference {wr} after {hours} h"
+                rel_diff(wf, wr) < 1e-12,
+                "kernel {wf} vs reference {wr} after {hours} h stress"
             );
             let (pf, pr) = (fast.permanent_mv(), reference.permanent_mv());
             assert!(
-                (pf - pr).abs() <= 1e-9 * pr.abs().max(1.0),
+                (pf - pr).abs() <= 1e-12 * pr.abs().max(1.0),
                 "permanent {pf} vs {pr}"
             );
+            fast.recover(
+                Seconds::from_minutes(30.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+            reference.recover_reference(
+                Seconds::from_minutes(30.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+            assert!(
+                rel_diff(fast.delta_vth_mv(), reference.delta_vth_mv()) < 1e-12,
+                "post-recovery divergence after {hours} h"
+            );
         }
+    }
+
+    #[test]
+    fn pr1_fixed_stride_kernel_stays_close() {
+        // The PR 1 kernel steps at a fixed 900 s stride; the adaptive
+        // schedule is coarser on quiet stretches. Capture under a constant
+        // rate is exact at any step size, so only the gate/hardening
+        // integration differs — the trajectories must stay within ~2 %.
+        let mut adaptive = ensemble();
+        let mut pr1 = adaptive.clone();
+        adaptive.stress(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+        pr1.stress_pr1(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+        assert!(
+            rel_diff(adaptive.delta_vth_mv(), pr1.delta_vth_mv()) < 0.02,
+            "adaptive {} vs pr1 {}",
+            adaptive.delta_vth_mv(),
+            pr1.delta_vth_mv()
+        );
+    }
+
+    #[test]
+    fn adaptive_stepping_is_step_size_independent() {
+        // One 24 h call (≈62 adaptive steps) vs 96 fine calls: the
+        // error-bounded schedule must keep the trajectories together.
+        let mut coarse = ensemble();
+        coarse.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+        let mut fine = ensemble();
+        for _ in 0..96 {
+            fine.stress(Seconds::from_minutes(15.0), StressCondition::ACCELERATED);
+        }
+        assert!(
+            rel_diff(coarse.delta_vth_mv(), fine.delta_vth_mv()) < 0.02,
+            "coarse {} vs fine {}",
+            coarse.delta_vth_mv(),
+            fine.delta_vth_mv()
+        );
+        assert!(
+            rel_diff(coarse.permanent_mv(), fine.permanent_mv()) < 0.10,
+            "coarse permanent {} vs fine {}",
+            coarse.permanent_mv(),
+            fine.permanent_mv()
+        );
+    }
+
+    #[test]
+    fn quiet_intervals_take_a_single_step() {
+        let params = PermanentParams::default();
+        // 30 s from a fresh window: gate(30 s) ≈ (30/46800)² ≪ 1e-6.
+        let (steps, sub) = stress_schedule(30.0, 0.0, &params);
+        assert_eq!(steps, 1);
+        assert_eq!(sub, 30.0);
+        // 6 h from a fresh window needs the gate resolved.
+        let (steps, _) = stress_schedule(6.0 * 3600.0, 0.0, &params);
+        assert!(steps > 1 && steps <= MAX_SUB_STEPS, "steps = {steps}");
+        // Degenerate decade-long call stays bounded.
+        let (steps, _) = stress_schedule(3.15e8, 0.0, &params);
+        assert!(steps <= MAX_SUB_STEPS);
+    }
+
+    #[test]
+    fn wear_model_trait_routes_to_inherent_methods() {
+        fn age<W: WearModel>(w: &mut W) -> (f64, f64) {
+            w.stress(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+            w.recover(
+                Seconds::from_hours(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+            (w.delta_vth_mv(), w.permanent_mv())
+        }
+        let mut via_trait = ensemble();
+        let (w_t, p_t) = age(&mut via_trait);
+        let mut direct = ensemble();
+        direct.stress(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+        direct.recover(
+            Seconds::from_hours(1.0),
+            RecoveryCondition::ACTIVE_ACCELERATED,
+        );
+        assert_eq!(w_t.to_bits(), direct.delta_vth_mv().to_bits());
+        assert_eq!(p_t.to_bits(), direct.permanent_mv().to_bits());
     }
 
     #[test]

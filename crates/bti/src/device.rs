@@ -24,6 +24,7 @@ use dh_units::{Fraction, Seconds};
 
 use crate::analytic::AnalyticBtiModel;
 use crate::condition::{RecoveryCondition, StressCondition};
+use crate::wear::WearModel;
 
 /// Phase bookkeeping for piecewise-exact integration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -254,6 +255,24 @@ impl BtiDevice {
             }
             _ => Fraction::ZERO,
         }
+    }
+}
+
+impl WearModel for BtiDevice {
+    fn stress(&mut self, dt: Seconds, cond: StressCondition) {
+        BtiDevice::stress(self, dt, cond);
+    }
+
+    fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        BtiDevice::recover(self, dt, cond);
+    }
+
+    fn delta_vth_mv(&self) -> f64 {
+        BtiDevice::delta_vth_mv(self)
+    }
+
+    fn permanent_mv(&self) -> f64 {
+        BtiDevice::permanent_mv(self)
     }
 }
 

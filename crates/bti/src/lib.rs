@@ -58,9 +58,11 @@ pub mod device;
 pub mod error;
 pub mod schedule;
 pub mod variability;
+pub mod wear;
 
 pub use analytic::AnalyticBtiModel;
 pub use cet::TrapEnsemble;
 pub use condition::{RecoveryCondition, StressCondition};
 pub use device::BtiDevice;
 pub use error::BtiError;
+pub use wear::WearModel;

@@ -1,0 +1,64 @@
+//! The common wearout interface shared by the crate's BTI models.
+//!
+//! Both the analytic [`crate::device::BtiDevice`] (Table I "Model"
+//! column) and the Monte-Carlo [`crate::cet::TrapEnsemble`]
+//! ("Measurement" column) are stateful integrators driven by the same
+//! stress/recover vocabulary. [`WearModel`] captures that vocabulary so
+//! higher layers — measurement rigs, scheduler wear loops, circuit site
+//! sweeps — can be written once and run against either model (e.g. to
+//! cross-validate a policy's guardband against both columns).
+
+use dh_units::Seconds;
+
+use crate::condition::{RecoveryCondition, StressCondition};
+
+/// A stateful BTI wearout integrator: accumulates |ΔVth| under stress,
+/// relaxes it under recovery, and reports the total and permanent shift.
+///
+/// Implementations must treat non-positive durations as no-ops, mirroring
+/// the inherent methods of the two model types.
+pub trait WearModel {
+    /// Applies `dt` of stress at `cond`.
+    fn stress(&mut self, dt: Seconds, cond: StressCondition);
+
+    /// Applies `dt` of recovery at `cond`.
+    fn recover(&mut self, dt: Seconds, cond: RecoveryCondition);
+
+    /// Total |ΔVth| shift in millivolts.
+    fn delta_vth_mv(&self) -> f64;
+
+    /// The permanent (unrecoverable under the deepest condition) portion
+    /// of the shift, in millivolts.
+    fn permanent_mv(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BtiDevice;
+    use crate::TrapEnsemble;
+
+    /// A generic aging loop usable with either model — the trait's point.
+    fn cycle<W: WearModel>(w: &mut W, cycles: usize) -> f64 {
+        for _ in 0..cycles {
+            w.stress(Seconds::from_hours(1.0), StressCondition::ACCELERATED);
+            w.recover(
+                Seconds::from_hours(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+        }
+        w.delta_vth_mv()
+    }
+
+    #[test]
+    fn both_models_age_through_the_trait() {
+        let mut device = BtiDevice::paper_calibrated();
+        let mut ensemble = TrapEnsemble::paper_calibrated(500).unwrap();
+        let w_device = cycle(&mut device, 4);
+        let w_ensemble = cycle(&mut ensemble, 4);
+        assert!(w_device > 0.0);
+        assert!(w_ensemble > 0.0);
+        assert!(WearModel::permanent_mv(&device) >= 0.0);
+        assert!(WearModel::permanent_mv(&ensemble) >= 0.0);
+    }
+}

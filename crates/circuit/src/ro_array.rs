@@ -12,9 +12,11 @@
 //! differencing against each site's **time-zero reading** — which this
 //! module models explicitly.
 
+use dh_bti::{RecoveryCondition, StressCondition, TrapEnsemble};
 use dh_units::rng::standard_normal;
-use dh_units::Hertz;
+use dh_units::{Hertz, Seconds};
 
+use crate::error::CircuitError;
 use crate::ring_oscillator::RingOscillator;
 
 /// One RO sensor site.
@@ -35,6 +37,10 @@ pub struct RoSite {
 pub struct RoArray {
     ro: RingOscillator,
     sites: Vec<RoSite>,
+    /// Optional per-site CET trap ensembles: the Monte-Carlo wear state
+    /// behind each sensor's reading (attached by
+    /// [`RoArray::with_cet_wear`]).
+    wear: Option<Vec<TrapEnsemble>>,
 }
 
 /// Process-variation magnitudes for an RO array.
@@ -94,7 +100,84 @@ impl RoArray {
                 f0: f_nominal * process_factor,
             }
         });
-        Self { ro, sites }
+        Self {
+            ro,
+            sites,
+            wear: None,
+        }
+    }
+
+    /// Attaches a CET trap ensemble to every site: each is the same
+    /// paper-calibrated base (fitted once, memoized) jittered by
+    /// `sigma_decades` of per-site parameter variation from the
+    /// `(seed, "ro-array-wear", site)` stream, so the array is
+    /// bit-identical at any thread count.
+    ///
+    /// With wear attached, [`RoArray::stress_sites`] and
+    /// [`RoArray::recover_sites`] age the whole fabric and
+    /// [`RoArray::aged_reading`] reports what each sensor would read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if the ensemble
+    /// calibration rejects `traps_per_site` (e.g. zero).
+    pub fn with_cet_wear(
+        mut self,
+        traps_per_site: usize,
+        sigma_decades: f64,
+        seed: u64,
+    ) -> Result<Self, CircuitError> {
+        let base = TrapEnsemble::paper_calibrated(traps_per_site)
+            .map_err(|e| CircuitError::InvalidParameter(format!("CET site wear: {e}")))?;
+        let wear =
+            dh_exec::par_map_seeded(seed, "ro-array-wear", self.sites.len(), |_, mut rng| {
+                base.clone().with_variation(sigma_decades, &mut rng)
+            });
+        self.wear = Some(wear);
+        Ok(self)
+    }
+
+    /// Whether per-site CET wear is attached.
+    pub fn has_wear(&self) -> bool {
+        self.wear.is_some()
+    }
+
+    /// Applies `dt` of stress at `cond` to every site's ensemble (no-op
+    /// without attached wear). Sites are aged in order — the per-site
+    /// trap kernel already fans out across threads, so nesting a second
+    /// site-level pool would only oversubscribe the machine.
+    pub fn stress_sites(&mut self, dt: Seconds, cond: StressCondition) {
+        if let Some(wear) = &mut self.wear {
+            for ensemble in wear {
+                ensemble.stress(dt, cond);
+            }
+        }
+    }
+
+    /// Applies `dt` of recovery at `cond` to every site's ensemble (no-op
+    /// without attached wear).
+    pub fn recover_sites(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        if let Some(wear) = &mut self.wear {
+            for ensemble in wear {
+                ensemble.recover(dt, cond);
+            }
+        }
+    }
+
+    /// The local |ΔVth| (mV) of a site's wear state; 0 without wear.
+    pub fn site_dvth_mv(&self, site: usize) -> f64 {
+        self.wear.as_ref().map_or(0.0, |w| w[site].delta_vth_mv())
+    }
+
+    /// The per-site wear ensembles, if attached.
+    pub fn site_wear(&self) -> Option<&[TrapEnsemble]> {
+        self.wear.as_deref()
+    }
+
+    /// The raw frequency site `site` reads given its *current* wear state
+    /// — [`RoArray::raw_reading`] evaluated at [`RoArray::site_dvth_mv`].
+    pub fn aged_reading(&self, site: usize) -> Hertz {
+        self.raw_reading(site, self.site_dvth_mv(site))
     }
 
     /// A 4×4 array of the paper's 75-stage ROs with default variation.
@@ -243,6 +326,55 @@ mod tests {
         assert_eq!(a, b);
         let c = RoArray::paper_4x4(10);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cet_wear_ages_and_recovers_the_fabric() {
+        let mut a = array().with_cet_wear(400, 0.2, 11).unwrap();
+        assert!(a.has_wear());
+        assert_eq!(a.site_wear().unwrap().len(), a.len());
+        assert_eq!(a.site_dvth_mv(0), 0.0);
+
+        a.stress_sites(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+        let aged: Vec<f64> = (0..a.len()).map(|s| a.site_dvth_mv(s)).collect();
+        assert!(aged.iter().all(|&d| d > 0.0));
+        // Per-site variation: not every site ages identically.
+        assert!(aged.windows(2).any(|w| w[0] != w[1]));
+
+        // The aged reading, calibrated against f0, must reconstruct the
+        // wear state (the whole point of the sensor fabric).
+        for site in 0..a.len() {
+            let est = a.infer_dvth_mv(site, a.aged_reading(site)).unwrap();
+            assert!(
+                (est - a.site_dvth_mv(site)).abs() < 0.01,
+                "site {site}: wear {} inferred {est}",
+                a.site_dvth_mv(site)
+            );
+        }
+
+        let before: f64 = aged.iter().sum();
+        a.recover_sites(
+            Seconds::from_hours(2.0),
+            RecoveryCondition::ACTIVE_ACCELERATED,
+        );
+        let after: f64 = (0..a.len()).map(|s| a.site_dvth_mv(s)).sum();
+        assert!(after < 0.7 * before, "deep recovery: {before} -> {after}");
+    }
+
+    #[test]
+    fn cet_wear_rejects_empty_ensembles() {
+        assert!(matches!(
+            array().with_cet_wear(0, 0.1, 1),
+            Err(CircuitError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn wearless_array_reads_fresh() {
+        let a = array();
+        assert!(!a.has_wear());
+        assert_eq!(a.site_dvth_mv(3), 0.0);
+        assert_eq!(a.aged_reading(3), a.raw_reading(3, 0.0));
     }
 
     #[test]

@@ -6,26 +6,32 @@
 //! BTI wearout and recovery", inside a thermal chamber holding ±0.3 °C.
 //!
 //! [`MeasurementRig`] wires those pieces together: a [`ThermalChamber`]
-//! drives the device temperature, a [`BtiDevice`] ages under programmed
-//! stress/recovery phases, and a replica [`RingOscillator`] is sampled
-//! (with counter noise) to produce the frequency-vs-time traces behind
-//! Table I and Fig. 4. Use it to generate raw-measurement-style data for
-//! new protocols without touching the model internals.
+//! drives the device temperature, a device under test ages under
+//! programmed stress/recovery phases, and a replica [`RingOscillator`]
+//! is sampled (with counter noise) to produce the frequency-vs-time
+//! traces behind Table I and Fig. 4.
+//!
+//! The rig is generic over [`WearModel`], so the device under test can be
+//! the analytic [`BtiDevice`] (the default — the paper's "Model" column)
+//! or a [`dh_bti::TrapEnsemble`] (the Monte-Carlo "Measurement" column):
+//! the same protocol replay cross-validates both models against the
+//! paper's numbers.
 
 use rand::rngs::StdRng;
 
-use dh_bti::{BtiDevice, RecoveryCondition, StressCondition};
+use dh_bti::{BtiDevice, RecoveryCondition, StressCondition, WearModel};
 use dh_circuit::RingOscillator;
 use dh_thermal::ThermalChamber;
 use dh_units::rng::{seeded_rng, standard_normal};
 use dh_units::{Celsius, Seconds, TimeSeries, Volts};
 
-/// A programmable stress/recovery measurement rig.
+/// A programmable stress/recovery measurement rig around any
+/// [`WearModel`] device under test.
 #[derive(Debug, Clone)]
-pub struct MeasurementRig {
+pub struct MeasurementRig<W: WearModel = BtiDevice> {
     chamber: ThermalChamber,
     ro: RingOscillator,
-    device: BtiDevice,
+    device: W,
     /// 1-sigma relative error of each frequency sample.
     counter_noise_rel: f64,
     /// Interval between frequency samples.
@@ -35,14 +41,24 @@ pub struct MeasurementRig {
     time: Seconds,
 }
 
-impl MeasurementRig {
+impl MeasurementRig<BtiDevice> {
     /// A rig matching the paper's setup: 75-stage RO, ±0.3 °C chamber,
-    /// 0.05 % frequency counters, one sample per 5 minutes.
+    /// 0.05 % frequency counters, one sample per 5 minutes, the analytic
+    /// [`BtiDevice`] under test.
     pub fn paper_setup(seed: u64) -> Self {
+        Self::with_device(seed, BtiDevice::paper_calibrated())
+    }
+}
+
+impl<W: WearModel> MeasurementRig<W> {
+    /// The paper's rig around an arbitrary device under test — e.g. a
+    /// [`dh_bti::TrapEnsemble`] to replay a protocol against the
+    /// measurement-column model.
+    pub fn with_device(seed: u64, device: W) -> Self {
         Self {
             chamber: ThermalChamber::paper(Celsius::new(20.0)),
             ro: RingOscillator::paper_75_stage(),
-            device: BtiDevice::paper_calibrated(),
+            device,
             counter_noise_rel: 5.0e-4,
             sample_interval: Seconds::from_minutes(5.0),
             rng: seeded_rng(seed, "measurement-rig"),
@@ -87,7 +103,7 @@ impl MeasurementRig {
     fn run_phase(
         &mut self,
         duration: Seconds,
-        mut apply: impl FnMut(&mut BtiDevice, Seconds, dh_units::Kelvin),
+        mut apply: impl FnMut(&mut W, Seconds, dh_units::Kelvin),
     ) {
         let mut remaining = duration;
         while remaining.value() > 0.0 {
@@ -108,7 +124,7 @@ impl MeasurementRig {
     }
 
     /// The device under test (e.g. to read the true ΔVth).
-    pub fn device(&self) -> &BtiDevice {
+    pub fn device(&self) -> &W {
         &self.device
     }
 
@@ -142,6 +158,7 @@ impl MeasurementRig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dh_bti::TrapEnsemble;
 
     /// Replays the paper's condition-4 experiment end to end through the
     /// virtual rig, including chamber setpoint programming and noisy
@@ -158,6 +175,25 @@ mod tests {
             .measured_recovery_percent(stress_end, recovery_end)
             .unwrap();
         assert!((pct - 72.7).abs() < 3.0, "rig measured {pct}%");
+    }
+
+    /// The same replay against the CET trap ensemble — the rig's protocol
+    /// machinery is model-agnostic, so the Monte-Carlo "Measurement"
+    /// column must land near its own Table I number (72.4 %).
+    #[test]
+    fn trap_ensemble_rig_replays_condition_four() {
+        let ensemble = TrapEnsemble::paper_calibrated(2000).unwrap();
+        let mut rig = MeasurementRig::with_device(5, ensemble);
+        rig.set_chamber(Celsius::new(110.0));
+        rig.run_stress(Volts::new(1.2), Seconds::from_hours(24.0));
+        let stress_end = rig.time();
+        rig.run_recovery(Volts::new(-0.3), Seconds::from_hours(6.0));
+        let recovery_end = rig.time();
+        let pct = rig
+            .measured_recovery_percent(stress_end, recovery_end)
+            .unwrap();
+        assert!((pct - 72.4).abs() < 4.0, "CET rig measured {pct}%");
+        assert!(rig.device().permanent_mv() > 0.0);
     }
 
     #[test]

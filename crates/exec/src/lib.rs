@@ -31,8 +31,8 @@
 mod memo;
 mod pool;
 
-pub use memo::Memo;
+pub use memo::{Memo, MEMO_DEFAULT_CAPACITY};
 pub use pool::{
-    max_threads, par_chunks_mut, par_map, par_map_indexed, par_map_seeded, par_try_map,
-    set_max_threads,
+    max_threads, par_chunks_mut, par_chunks_mut2, par_map, par_map_indexed, par_map_seeded,
+    par_try_map, set_max_threads,
 };

@@ -5,8 +5,26 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// A process-wide compute-once cache keyed by the artifact's full
-/// parameterization.
+/// Default capacity of a [`Memo`] built with [`Memo::new`]: far above what
+/// any repro binary or test needs (a handful of calibrations), low enough
+/// that a long-running sweep process churning through distinct keys cannot
+/// grow the cache without bound.
+pub const MEMO_DEFAULT_CAPACITY: usize = 64;
+
+/// One cached value plus the logical time it was last returned.
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+/// Map contents plus the logical clock driving recency-based eviction.
+struct State<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+/// A process-wide, **bounded** compute-once cache keyed by the artifact's
+/// full parameterization.
 ///
 /// Designed for a small number of very expensive values (e.g. the CET
 /// emission-CDF knot fit, a multi-second simulated-protocol iteration):
@@ -15,34 +33,58 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// winner's [`Arc`]. Do not use it for cheap values with many distinct
 /// keys; the coarse lock would serialize them.
 ///
-/// `new` is `const`, so a memo can live in a `static`:
+/// The cache holds at most `capacity` values
+/// ([`MEMO_DEFAULT_CAPACITY`] unless built with [`Memo::bounded`]). When
+/// an insert would exceed it, the least-recently-*returned* value is
+/// evicted, so a long-running sweep process that keeps constructing
+/// ensembles for new parameter points cannot grow the cache without
+/// limit — evicted values stay alive for existing holders of their
+/// [`Arc`], only the cache's reference is dropped.
+///
+/// `new` and `bounded` are `const`, so a memo can live in a `static`:
 ///
 /// ```
 /// use dh_exec::Memo;
 ///
-/// static FITS: Memo<u32, Vec<f64>> = Memo::new();
+/// static FITS: Memo<u32, Vec<f64>> = Memo::bounded(16);
 /// let first = FITS.get_or_insert_with(9901, || vec![0.5; 4]);
 /// let second = FITS.get_or_insert_with(9901, || unreachable!("cached"));
 /// assert!(std::sync::Arc::ptr_eq(&first, &second));
 /// ```
 pub struct Memo<K, V> {
-    map: OnceLock<Mutex<HashMap<K, Arc<V>>>>,
+    map: OnceLock<Mutex<State<K, V>>>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Eq + Hash, V> Memo<K, V> {
-    /// An empty cache; usable in `static` items.
+    /// An empty cache with the default capacity; usable in `static` items.
     pub const fn new() -> Self {
+        Self::bounded(MEMO_DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` values (recency-evicted
+    /// beyond that). A capacity of 0 is treated as 1.
+    pub const fn bounded(capacity: usize) -> Self {
+        let capacity = if capacity == 0 { 1 } else { capacity };
         Self {
             map: OnceLock::new(),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn map(&self) -> &Mutex<HashMap<K, Arc<V>>> {
-        self.map.get_or_init(|| Mutex::new(HashMap::new()))
+    fn state(&self) -> &Mutex<State<K, V>> {
+        self.map.get_or_init(|| {
+            Mutex::new(State {
+                entries: HashMap::new(),
+                tick: 0,
+            })
+        })
     }
 
     /// Returns the cached value for `key`, computing and caching it with
@@ -61,17 +103,46 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         key: K,
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<Arc<V>, E> {
-        let mut map = self
-            .map()
+        let mut state = self
+            .state()
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        if let Some(value) = map.get(&key) {
+        state.tick += 1;
+        let now = state.tick;
+        if let Some(entry) = state.entries.get_mut(&key) {
+            entry.last_used = now;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(value));
+            return Ok(Arc::clone(&entry.value));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute()?);
-        map.insert(key, Arc::clone(&value));
+        if state.entries.len() >= self.capacity {
+            // Evict the least-recently-returned entry. O(len) scan, but
+            // the cache is small by construction and inserts are rare
+            // next to the (multi-second) computes they follow.
+            if let Some(stale) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k)
+            {
+                // HashMap has no remove-by-reference without cloning the
+                // key, so re-find it via a raw pointer comparison-free
+                // retain pass keyed on the recorded tick.
+                let stale_tick = state.entries[stale].last_used;
+                state
+                    .entries
+                    .retain(|_, entry| entry.last_used != stale_tick);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        state.entries.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                last_used: now,
+            },
+        );
         Ok(value)
     }
 
@@ -85,11 +156,22 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of cached values.
+    /// Values evicted to keep the cache within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The maximum number of cached values.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached values (never exceeds [`Memo::capacity`]).
     pub fn len(&self) -> usize {
-        self.map()
+        self.state()
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .entries
             .len()
     }
 
@@ -100,9 +182,10 @@ impl<K: Eq + Hash, V> Memo<K, V> {
 
     /// Drops every cached value (counters are kept).
     pub fn clear(&self) {
-        self.map()
+        self.state()
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .entries
             .clear();
     }
 }
@@ -131,6 +214,7 @@ mod tests {
         assert_eq!(memo.misses(), 1);
         assert_eq!(memo.hits(), 2);
         assert_eq!(memo.len(), 1);
+        assert_eq!(memo.capacity(), MEMO_DEFAULT_CAPACITY);
     }
 
     #[test]
@@ -182,5 +266,55 @@ mod tests {
         assert_eq!(memo.hits(), 1);
         memo.get_or_insert_with(1, || 2);
         assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache() {
+        let memo: Memo<u32, u32> = Memo::bounded(3);
+        for k in 0..10 {
+            memo.get_or_insert_with(k, || k * 100);
+        }
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo.evictions(), 7);
+        assert_eq!(memo.capacity(), 3);
+    }
+
+    #[test]
+    fn eviction_prefers_the_least_recently_used_key() {
+        let memo: Memo<u32, u32> = Memo::bounded(2);
+        memo.get_or_insert_with(1, || 10);
+        memo.get_or_insert_with(2, || 20);
+        // Touch key 1 so key 2 becomes the stale one.
+        memo.get_or_insert_with(1, || unreachable!("cached"));
+        memo.get_or_insert_with(3, || 30);
+        assert_eq!(memo.len(), 2);
+        // Key 1 must still be cached; key 2 must recompute.
+        let misses_before = memo.misses();
+        memo.get_or_insert_with(1, || unreachable!("still cached"));
+        assert_eq!(memo.misses(), misses_before);
+        let mut recomputed = false;
+        memo.get_or_insert_with(2, || {
+            recomputed = true;
+            21
+        });
+        assert!(recomputed, "evicted key must recompute");
+    }
+
+    #[test]
+    fn zero_capacity_is_treated_as_one() {
+        let memo: Memo<u8, u8> = Memo::bounded(0);
+        assert_eq!(memo.capacity(), 1);
+        memo.get_or_insert_with(1, || 1);
+        memo.get_or_insert_with(2, || 2);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn evicted_values_survive_for_existing_holders() {
+        let memo: Memo<u8, u8> = Memo::bounded(1);
+        let first = memo.get_or_insert_with(1, || 11);
+        memo.get_or_insert_with(2, || 22);
+        assert_eq!(*first, 11, "Arc keeps the evicted value alive");
+        assert_eq!(memo.len(), 1);
     }
 }

@@ -246,6 +246,73 @@ where
     assemble(n_chunks, tagged)
 }
 
+/// Runs `f` over paired fixed-size chunks of two equal-length columns in
+/// parallel, returning the per-chunk results **in chunk order**.
+///
+/// This is the structure-of-arrays companion to [`par_chunks_mut`]: chunk
+/// `i` of `a` and chunk `i` of `b` cover the same index range
+/// `[i * chunk_size, …)`, so a kernel can update two columns of the same
+/// logical records in one pass (read-only columns are best captured by
+/// the closure and sliced with the same offset). Chunk boundaries depend
+/// only on `chunk_size`, making results bit-identical at any thread
+/// count; chunks are self-scheduled one at a time for load balance.
+pub fn par_chunks_mut2<A, B, U, F>(a: &mut [A], b: &mut [B], chunk_size: usize, f: F) -> Vec<U>
+where
+    A: Send,
+    B: Send,
+    U: Send,
+    F: Fn(usize, &mut [A], &mut [B]) -> U + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    assert_eq!(a.len(), b.len(), "paired columns must have equal length");
+    let n_chunks = a.len().div_ceil(chunk_size);
+    let workers = worker_count(n_chunks);
+    if workers <= 1 {
+        return a
+            .chunks_mut(chunk_size)
+            .zip(b.chunks_mut(chunk_size))
+            .enumerate()
+            .map(|(i, (ca, cb))| f(i, ca, cb))
+            .collect();
+    }
+    type PairQueue<'a, A, B> = Mutex<Vec<Option<(usize, (&'a mut [A], &'a mut [B]))>>>;
+    let queue: PairQueue<A, B> = Mutex::new(
+        a.chunks_mut(chunk_size)
+            .zip(b.chunks_mut(chunk_size))
+            .enumerate()
+            .map(Some)
+            .collect(),
+    );
+    let next = AtomicUsize::new(0);
+    let tagged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= n_chunks {
+                            break;
+                        }
+                        let (index, (chunk_a, chunk_b)) =
+                            queue.lock().expect("chunk queue poisoned")[slot]
+                                .take()
+                                .expect("chunk taken twice");
+                        local.push((index, f(index, chunk_a, chunk_b)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut tagged = Vec::with_capacity(n_chunks);
+        for handle in handles {
+            tagged.extend(handle.join().expect("worker panicked"));
+        }
+        tagged
+    });
+    assemble(n_chunks, tagged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +392,49 @@ mod tests {
         set_max_threads(None);
         assert_eq!(data1, data8);
         assert_eq!(sum1.to_bits(), sum8.to_bits());
+    }
+
+    #[test]
+    fn paired_chunks_share_boundaries_and_stay_invariant() {
+        let _guard = override_guard();
+        let run = |threads| {
+            set_max_threads(Some(threads));
+            let mut soft: Vec<f64> = (0..1000).map(|i| f64::from(i) * 0.001).collect();
+            let mut hard: Vec<f64> = (0..1000).map(|i| f64::from(i) * 0.002).collect();
+            let rates: Vec<f64> = (0..1000).map(|i| 1.0 + f64::from(i % 13)).collect();
+            let spans = par_chunks_mut2(&mut soft, &mut hard, 64, |ci, cs, ch| {
+                assert_eq!(cs.len(), ch.len());
+                let offset = ci * 64;
+                for (j, (s, h)) in cs.iter_mut().zip(ch.iter_mut()).enumerate() {
+                    let rate = rates[offset + j];
+                    let moved = *s / rate;
+                    *s -= moved;
+                    *h += moved;
+                }
+                (offset, offset + cs.len())
+            });
+            // Chunk index ranges must tile 0..n in order.
+            let mut expect_start = 0;
+            for (start, end) in &spans {
+                assert_eq!(*start, expect_start);
+                expect_start = *end;
+            }
+            assert_eq!(expect_start, 1000);
+            (soft, hard)
+        };
+        let (s1, h1) = run(1);
+        let (s8, h8) = run(8);
+        set_max_threads(None);
+        assert_eq!(s1, s8);
+        assert_eq!(h1, h8);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn paired_chunks_reject_mismatched_columns() {
+        let mut a = vec![0.0; 10];
+        let mut b = vec![0.0; 9];
+        par_chunks_mut2(&mut a, &mut b, 4, |_, _, _| ());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! because recovery accelerates with temperature (the paper's Fig. 12(a)
 //! dark-silicon argument).
 
-use dh_bti::{BtiDevice, RecoveryCondition, StressCondition};
+use dh_bti::{BtiDevice, RecoveryCondition, StressCondition, TrapEnsemble};
 use dh_circuit::assist::{AssistCircuit, Mode};
 use dh_em::black::BlackModel;
 use dh_thermal::{GridConfig, ThermalGrid};
@@ -137,6 +137,9 @@ pub struct ManyCoreSystem {
     /// Routes hot paths through the pre-optimization reference code
     /// (baseline measurements only).
     reference_mode: bool,
+    /// Optional CET trap ensemble shadowing core 0's stress/recovery
+    /// schedule — the Monte-Carlo cross-check of the analytic fleet.
+    trap_monitor: Option<TrapEnsemble>,
 }
 
 impl ManyCoreSystem {
@@ -190,7 +193,35 @@ impl ManyCoreSystem {
             epoch_index: 0,
             time: Seconds::ZERO,
             reference_mode: false,
+            trap_monitor: None,
         })
+    }
+
+    /// Attaches a CET trap-ensemble monitor that shadows core 0's full
+    /// stress/idle/deep-recovery schedule. The Monte-Carlo ensemble is the
+    /// paper's "Measurement" column, so the monitor cross-validates the
+    /// analytic per-core devices at fleet scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidConfig`] when the ensemble cannot be
+    /// calibrated (e.g. zero traps).
+    pub fn with_trap_monitor(mut self, traps: usize) -> Result<Self, SchedError> {
+        let ensemble = TrapEnsemble::paper_calibrated(traps)
+            .map_err(|e| SchedError::InvalidConfig(format!("trap monitor: {e}")))?;
+        self.trap_monitor = Some(ensemble);
+        Ok(self)
+    }
+
+    /// The monitor's |ΔVth| in millivolts, or `None` when no monitor is
+    /// attached.
+    pub fn trap_monitor_dvth_mv(&self) -> Option<f64> {
+        self.trap_monitor.as_ref().map(|m| m.delta_vth_mv())
+    }
+
+    /// The monitor's consolidated (permanent) component in millivolts.
+    pub fn trap_monitor_permanent_mv(&self) -> Option<f64> {
+        self.trap_monitor.as_ref().map(|m| m.permanent_mv())
     }
 
     /// Routes the thermal settle and BTI stress steps through the
@@ -323,6 +354,31 @@ impl ManyCoreSystem {
                         temperature: temp,
                     },
                 );
+            }
+
+            // The trap monitor shadows core 0's schedule exactly.
+            if i == 0 {
+                if let Some(monitor) = self.trap_monitor.as_mut() {
+                    monitor.stress(epoch * plan.run.value(), stress_cond);
+                    if plan.idle().value() > 0.0 {
+                        monitor.recover(
+                            epoch * plan.idle().value(),
+                            RecoveryCondition {
+                                gate_voltage: Volts::ZERO,
+                                temperature: temp,
+                            },
+                        );
+                    }
+                    if plan.bti_recovery.value() > 0.0 {
+                        monitor.recover(
+                            epoch * plan.bti_recovery.value(),
+                            RecoveryCondition {
+                                gate_voltage: self.config.bti_recovery_bias,
+                                temperature: temp,
+                            },
+                        );
+                    }
+                }
             }
 
             // --- EM (Miner's rule over the local grid) ---
@@ -568,6 +624,39 @@ mod tests {
             dark_seen.iter().all(|&d| d),
             "every core rotates dark: {dark_seen:?}"
         );
+    }
+
+    #[test]
+    fn trap_monitor_shadows_core_zero() {
+        let mut with_monitor = ManyCoreSystem::new(SystemConfig::default())
+            .unwrap()
+            .with_trap_monitor(800)
+            .unwrap();
+        let mut without = ManyCoreSystem::new(SystemConfig::default()).unwrap();
+        assert!(without.trap_monitor_dvth_mv().is_none());
+        for _ in 0..20 {
+            with_monitor.step(Policy::periodic_deep_default()).unwrap();
+            without.step(Policy::periodic_deep_default()).unwrap();
+        }
+        let monitor = with_monitor.trap_monitor_dvth_mv().unwrap();
+        let analytic = with_monitor.cores[0].bti.delta_vth_mv();
+        assert!(monitor > 0.0, "monitor must age: {monitor}");
+        assert!(
+            (monitor - analytic).abs() / analytic < 0.6,
+            "Monte-Carlo monitor {monitor} should track the analytic core {analytic}"
+        );
+        assert!(with_monitor.trap_monitor_permanent_mv().unwrap() >= 0.0);
+        // The monitor is an observer: the fleet itself is unchanged.
+        assert_eq!(
+            with_monitor.worst_delta_vth_mv(),
+            without.worst_delta_vth_mv()
+        );
+    }
+
+    #[test]
+    fn trap_monitor_rejects_empty_ensembles() {
+        let sys = ManyCoreSystem::new(SystemConfig::default()).unwrap();
+        assert!(sys.with_trap_monitor(0).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use deep_healing::circuit::ro_array::RoArray;
 use deep_healing::em::population::{simulate_population, TtfPopulation, VariationModel};
 use deep_healing::prelude::*;
 use deep_healing::sched::lifetime::monte_carlo_guardband;
+use proptest::prelude::*;
 
 /// Serialises tests that touch the global thread cap.
 fn lock() -> MutexGuard<'static, ()> {
@@ -111,6 +112,58 @@ fn cet_stress_and_recover_are_thread_count_invariant() {
     let again = with_threads(None, run);
     assert_bits_eq(&serial, &parallel, "CET trajectory, 1 thread vs default");
     assert_bits_eq(&parallel, &again, "CET trajectory, repeated");
+}
+
+/// One random stress/recover schedule: op 0 stresses, op 1 recovers, each
+/// for the given number of minutes.
+fn run_schedule(ops: &[(u8, u32)], kernel: bool) -> Vec<f64> {
+    let mut e = TrapEnsemble::paper_calibrated(600).unwrap();
+    let mut marks = Vec::with_capacity(ops.len() * 2);
+    for &(op, minutes) in ops {
+        let dt = Seconds::from_minutes(minutes as f64);
+        match (op, kernel) {
+            (0, true) => e.stress(dt, StressCondition::ACCELERATED),
+            (0, false) => e.stress_reference(dt, StressCondition::ACCELERATED),
+            (_, true) => e.recover(dt, RecoveryCondition::ACTIVE_ACCELERATED),
+            (_, false) => e.recover_reference(dt, RecoveryCondition::ACTIVE_ACCELERATED),
+        }
+        marks.push(e.delta_vth_mv());
+        marks.push(e.permanent_mv());
+    }
+    marks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any random stress/recover schedule through the SoA kernels is
+    /// bit-identical at 1 worker and at the default worker count, and the
+    /// aggregates stay within 1e-12 relative of the scalar reference path.
+    #[test]
+    fn random_cet_schedules_are_deterministic_and_match_the_reference(
+        ops in proptest::collection::vec((0u8..2, 1u32..600), 1..10),
+    ) {
+        let _g = lock();
+        let serial = with_threads(Some(1), || run_schedule(&ops, true));
+        let parallel = with_threads(None, || run_schedule(&ops, true));
+        prop_assert!(serial.len() == parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "mark {} differs across thread counts: {} vs {}",
+                i, a, b
+            );
+        }
+        let reference = with_threads(None, || run_schedule(&ops, false));
+        for (i, (k, r)) in serial.iter().zip(&reference).enumerate() {
+            let rel = (k - r).abs() / r.abs().max(1e-12);
+            prop_assert!(
+                rel <= 1e-12,
+                "mark {} drifts from the reference: kernel {} vs reference {} (rel {:e})",
+                i, k, r, rel
+            );
+        }
+    }
 }
 
 #[test]
