@@ -1,9 +1,9 @@
-//! Performance snapshot for the kernelized CET ensemble PR.
+//! Performance snapshot for the observability PR.
 //!
-//! Measures the structure-of-arrays CET kernels against the PR 1
-//! implementation **in the same run** (same binary, same machine, same
-//! optimization flags) and writes the results to `BENCH_pr2.json` in the
-//! workspace root (`BENCH_pr1.json` is kept as history):
+//! Measures the optimized engine against its in-tree baselines **in the
+//! same run** (same binary, same machine, same optimization flags) and
+//! writes the results to `BENCH_pr3.json` in the workspace root
+//! (`BENCH_pr1.json` / `BENCH_pr2.json` are kept as history):
 //!
 //! * CET ensemble stress, pinned to 1 thread: the SoA kernel with
 //!   precomputed rate tables and adaptive sub-stepping vs the PR 1
@@ -13,8 +13,19 @@
 //! * the same comparison at the default thread count;
 //! * CET ensemble recovery: the batched-exponential kernel vs the scalar
 //!   per-trap `powf` reference;
+//! * guardband Monte-Carlo: the parallel self-scheduling sweep vs the
+//!   seed's serial reference loop (re-established from `BENCH_pr1.json`,
+//!   now under the periodic-deep policy so recovery scheduling is on the
+//!   measured path);
 //! * calibration memo: first (fitting) vs second (cached) call for a
 //!   fresh trap count through the bounded memo.
+//!
+//! With `--obs` (and the `obs` feature compiled in), the snapshot also
+//! embeds the full `dh-obs` metrics registry — Memo hit/miss counts, CET
+//! sub-step totals, per-policy scheduler mode transitions — under a
+//! `"metrics"` key, so a perf regression can be read next to the work the
+//! engine actually did. Without the feature the flag only prints a
+//! warning: the default build must stay instrumentation-free.
 
 use std::time::Instant;
 
@@ -99,6 +110,13 @@ fn stress_row(name: &'static str, ensemble: &TrapEnsemble, threads: usize) -> Ro
 }
 
 fn main() {
+    let want_obs = std::env::args().skip(1).any(|a| a == "--obs");
+    if want_obs && !dh_obs::ENABLED {
+        eprintln!(
+            "warning: --obs requested but the `obs` feature is not compiled in; \
+             rebuild with `--features obs` to embed a metrics snapshot"
+        );
+    }
     let default_threads = dh_exec::max_threads();
     let mut rows = Vec::new();
 
@@ -154,6 +172,38 @@ fn main() {
         ),
     });
 
+    // --- Guardband Monte-Carlo ----------------------------------------------
+    let lifetime = LifetimeConfig {
+        years: 0.2,
+        ..LifetimeConfig::default()
+    };
+    let policy = Policy::periodic_deep_default();
+    let (base_s, base_gb) = timed(|| {
+        deep_healing::sched::lifetime::monte_carlo_guardband_baseline(&lifetime, policy, 0..8)
+            .unwrap()
+    });
+    let (opt_s, opt_gb) = timed(|| {
+        deep_healing::sched::lifetime::monte_carlo_guardband(&lifetime, policy, 0..8).unwrap()
+    });
+    let rel = base_gb
+        .iter()
+        .zip(&opt_gb)
+        .map(|(b, o)| (b - o).abs() / b.max(1e-12))
+        .fold(0.0, f64::max);
+    assert!(
+        rel <= 1e-8,
+        "parallel guardbands must match the serial reference: rel {rel:e}"
+    );
+    rows.push(Row {
+        name: "guardband_mc",
+        baseline_s: base_s,
+        optimized_s: opt_s,
+        note: format!(
+            "8 seeds x 0.2 y, periodic-deep policy; serial reference loop vs \
+             self-scheduling parallel sweep; guardbands agree to {rel:.1e} rel"
+        ),
+    });
+
     // --- Calibration memo ----------------------------------------------------
     // A trap count nothing else in this process uses, so the first call
     // really fits and the second really hits the bounded cache.
@@ -175,7 +225,8 @@ fn main() {
     });
 
     // --- Report -------------------------------------------------------------
-    let mut json = String::from("{\n  \"pr\": 2,\n  \"threads\": ");
+    let embed_metrics = want_obs && dh_obs::ENABLED;
+    let mut json = String::from("{\n  \"pr\": 3,\n  \"threads\": ");
     json.push_str(&default_threads.to_string());
     json.push_str(",\n");
     for (i, row) in rows.iter().enumerate() {
@@ -186,13 +237,18 @@ fn main() {
             row.optimized_s,
             row.speedup(),
             row.note,
-            if i + 1 < rows.len() { "," } else { "" },
+            if i + 1 < rows.len() || embed_metrics { "," } else { "" },
         ));
+    }
+    if embed_metrics {
+        json.push_str("  \"metrics\": ");
+        json.push_str(&dh_obs::snapshot().to_json());
+        json.push('\n');
     }
     json.push_str("}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
-    std::fs::write(path, &json).expect("write BENCH_pr2.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
+    std::fs::write(path, &json).expect("write BENCH_pr3.json");
 
     for row in &rows {
         println!(

@@ -296,6 +296,8 @@ impl TrapEnsemble {
         }
         CALIBRATIONS.try_get_or_insert_with(CalibrationKey::new(n_traps, targets), || {
             CALIBRATION_FIT_RUNS.fetch_add(1, Ordering::SeqCst);
+            dh_obs::counter!("bti.cet.calibration_fits").incr();
+            let _timer = dh_obs::span("bti.cet.calibration_fit_seconds");
             Self::fit(n_traps, targets)
         })
     }
@@ -543,13 +545,18 @@ impl TrapEnsemble {
             return;
         }
         let (steps, sub) = stress_schedule(dt.value(), self.window.value(), &self.permanent);
+        dh_obs::counter!("bti.cet.stress_calls").incr();
+        dh_obs::counter!("bti.cet.sub_steps").add(steps as u64);
+        dh_obs::histogram!("bti.cet.step_seconds").record(sub);
         let gates = self.gate_trajectory(steps, sub);
         let first_gate = gates[0];
         let amp_sub = self.capture_amplitude(cond) * sub;
         let harden_step = 1.0 - (-sub / self.permanent.tau_harden.value()).exp();
         let capture_base = &self.capture_base;
         let deep = &self.deep;
-        dh_exec::par_chunks_mut2(
+        // Each chunk reports how many of its traps took the saturated
+        // (transcendental-free) path, so obs can track the fraction.
+        let saturated_per_chunk = dh_exec::par_chunks_mut2(
             &mut self.occ_soft,
             &mut self.occ_hard,
             TRAP_CHUNK,
@@ -557,6 +564,7 @@ impl TrapEnsemble {
                 let offset = ci * TRAP_CHUNK;
                 let capture = &capture_base[offset..offset + soft.len()];
                 let deepw = &deep[offset..offset + soft.len()];
+                let mut saturated: u64 = 0;
                 for ((s, h), (&c, &d)) in soft
                     .iter_mut()
                     .zip(hard.iter_mut())
@@ -573,6 +581,7 @@ impl TrapEnsemble {
                     // The gate trajectory is non-decreasing, so the first
                     // step has the smallest capture exponent.
                     if x_shallow + x_deep * first_gate >= EXP_SATURATE {
+                        saturated += 1;
                         for &gate in &gates {
                             os += 1.0 - os - oh;
                             let harden = os * harden_scale * gate;
@@ -593,8 +602,14 @@ impl TrapEnsemble {
                     *s = os;
                     *h = oh;
                 }
+                saturated
             },
         );
+        if dh_obs::ENABLED {
+            dh_obs::counter!("bti.cet.traps_saturated")
+                .add(saturated_per_chunk.iter().sum::<u64>());
+            dh_obs::counter!("bti.cet.traps_stressed").add(self.occ_soft.len() as u64);
+        }
         self.window += Seconds::new(sub * steps as f64);
     }
 
@@ -688,6 +703,7 @@ impl TrapEnsemble {
         if dt.value() <= 0.0 {
             return;
         }
+        dh_obs::counter!("bti.cet.recover_calls").incr();
         let theta = self.acceleration.factor(cond);
         let depth = theta / self.theta4;
         // Deep recovery additionally relaxes precursor (soft) occupancy of

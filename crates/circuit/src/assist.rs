@@ -230,6 +230,34 @@ impl AssistCircuit {
         self
     }
 
+    /// Checks that every parameter yields a physical (finite, positive)
+    /// resistance before anything is stamped into the nodal matrix.
+    fn validate(&self) -> Result<(), CircuitError> {
+        let positive = |name: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(CircuitError::InvalidParameter(format!(
+                    "{name} must be finite and positive, got {v}"
+                )))
+            }
+        };
+        positive("vdd", self.vdd.value())?;
+        positive("r_grid", self.r_grid.value())?;
+        positive("load_active", self.load_active.value())?;
+        positive("load_idle", self.load_idle.value())?;
+        positive("header_width", self.header_width)?;
+        positive(
+            "p_device on-resistance",
+            self.p_device.on_resistance(self.vdd).value(),
+        )?;
+        positive(
+            "n_device on-resistance",
+            self.n_device.on_resistance(self.vdd).value(),
+        )?;
+        Ok(())
+    }
+
     fn pass_resistance(&self, device: Device, on: bool) -> f64 {
         if !on {
             return R_OFF;
@@ -245,9 +273,12 @@ impl AssistCircuit {
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::SingularMatrix`] only for degenerate
-    /// parameter choices (the built-in configurations always solve).
+    /// Returns [`CircuitError::InvalidParameter`] when a parameter yields a
+    /// non-physical resistance (e.g. a zero `header_width`), and
+    /// [`CircuitError::SingularMatrix`] when the resulting network cannot be
+    /// solved. The built-in configurations always solve.
     pub fn solve(&self, mode: Mode) -> Result<ModeSolution, CircuitError> {
+        self.validate()?;
         let mut net = NodalNetwork::new(6);
         let states = mode.device_states();
         let r = |d: Device| {
@@ -387,6 +418,27 @@ mod tests {
             .solve(Mode::Normal)
             .unwrap();
         assert!(upsized.droop(Volts::new(1.0)) < base.droop(Volts::new(1.0)));
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected_not_panicked() {
+        // A zero-width header has infinite pass resistance; before
+        // validation this panicked inside the nodal stamping asserts.
+        let zero_width = circuit().with_header_width(0.0);
+        for mode in Mode::ALL {
+            let err = zero_width.solve(mode).unwrap_err();
+            assert!(
+                matches!(err, CircuitError::InvalidParameter(ref why)
+                    if why.contains("header_width")),
+                "{mode}: {err}"
+            );
+        }
+
+        let bad_load = circuit().with_load_active(Ohms::new(f64::NAN));
+        assert!(matches!(
+            bad_load.solve(Mode::Normal),
+            Err(CircuitError::InvalidParameter(_))
+        ));
     }
 
     #[test]

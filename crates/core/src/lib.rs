@@ -51,6 +51,7 @@ pub mod rig;
 pub use dh_bti as bti;
 pub use dh_circuit as circuit;
 pub use dh_em as em;
+pub use dh_obs as obs;
 pub use dh_pdn as pdn;
 pub use dh_sched as sched;
 pub use dh_thermal as thermal;
@@ -64,7 +65,9 @@ pub mod prelude {
     pub use dh_circuit::{AssistCircuit, Mode, RingOscillator};
     pub use dh_em::{black::BlackModel, network::EmNetwork, EmWire, WireEnd};
     pub use dh_pdn::{PdnConfig, PdnMesh, Tower};
-    pub use dh_sched::{run_lifetime, LifetimeConfig, ManyCoreSystem, Policy, SystemConfig};
+    pub use dh_sched::{
+        run_lifetime, LifetimeConfig, ManyCoreSystem, MetricsReport, Policy, SystemConfig,
+    };
     pub use dh_thermal::{GridConfig, ThermalChamber, ThermalGrid};
     pub use dh_units::{
         Celsius, CurrentDensity, Fraction, Kelvin, Ohms, Seconds, TimeSeries, Volts,

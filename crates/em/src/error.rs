@@ -13,6 +13,16 @@ pub enum EmError {
     InvalidMesh(String),
     /// A material parameter is non-physical.
     InvalidMaterial(String),
+    /// A population statistic was requested but no wire failed.
+    EmptyPopulation,
+    /// A statistic needs more failed samples than the population holds
+    /// (e.g. a spread estimate from a single failure).
+    InsufficientSamples {
+        /// Failed samples available.
+        got: usize,
+        /// Minimum required by the statistic.
+        need: usize,
+    },
 }
 
 impl fmt::Display for EmError {
@@ -21,6 +31,10 @@ impl fmt::Display for EmError {
             Self::Quantity(e) => write!(f, "invalid quantity: {e}"),
             Self::InvalidMesh(why) => write!(f, "invalid mesh: {why}"),
             Self::InvalidMaterial(why) => write!(f, "invalid material: {why}"),
+            Self::EmptyPopulation => write!(f, "no wire in the population failed"),
+            Self::InsufficientSamples { got, need } => {
+                write!(f, "statistic needs {need} failed samples, got {got}")
+            }
         }
     }
 }

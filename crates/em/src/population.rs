@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 
 use dh_units::{CurrentDensity, Pascals, Seconds};
 
+use crate::error::EmError;
 use crate::material::EmMaterial;
 use crate::sim::EmWire;
 use crate::wire::WireGeometry;
@@ -52,41 +53,59 @@ impl TtfPopulation {
     /// sample counts, the midpoint of the two middle elements for even
     /// counts.
     ///
-    /// Returns `None` if nothing failed.
-    pub fn median(&self) -> Option<Seconds> {
+    /// # Errors
+    ///
+    /// [`EmError::EmptyPopulation`] if nothing failed.
+    pub fn median(&self) -> Result<Seconds, EmError> {
         let n = self.ttfs.len();
         if n == 0 {
-            return None;
+            return Err(EmError::EmptyPopulation);
         }
         if n % 2 == 1 {
-            Some(self.ttfs[n / 2])
+            Ok(self.ttfs[n / 2])
         } else {
-            Some(Seconds::new(
+            Ok(Seconds::new(
                 0.5 * (self.ttfs[n / 2 - 1].value() + self.ttfs[n / 2].value()),
             ))
         }
     }
 
-    /// Maximum-likelihood sigma of ln(TTF) (of the failed wires).
+    /// Sample standard deviation of ln(TTF) (of the failed wires), using
+    /// the unbiased n−1 (Bessel-corrected) variance estimator — the
+    /// divide-by-n form systematically understates the spread of the
+    /// small populations the repro binaries fit.
     ///
-    /// Returns `None` with fewer than two failures.
-    pub fn ln_sigma(&self) -> Option<f64> {
-        if self.ttfs.len() < 2 {
-            return None;
+    /// # Errors
+    ///
+    /// [`EmError::EmptyPopulation`] if nothing failed,
+    /// [`EmError::InsufficientSamples`] with a single failure (a spread
+    /// cannot be estimated from one sample).
+    pub fn ln_sigma(&self) -> Result<f64, EmError> {
+        let n = self.ttfs.len();
+        if n == 0 {
+            return Err(EmError::EmptyPopulation);
+        }
+        if n < 2 {
+            return Err(EmError::InsufficientSamples { got: n, need: 2 });
         }
         let logs: Vec<f64> = self.ttfs.iter().map(|t| t.value().ln()).collect();
-        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
-        let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
-        Some(var.sqrt())
+        let mean = logs.iter().sum::<f64>() / n as f64;
+        let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / (n - 1) as f64;
+        Ok(var.sqrt())
     }
 
     /// The `q`-quantile TTF of the failed wires (`q ∈ [0, 1]`).
-    pub fn quantile(&self, q: f64) -> Option<Seconds> {
+    ///
+    /// # Errors
+    ///
+    /// [`EmError::EmptyPopulation`] if nothing failed (the nearest-rank
+    /// index `q · (len − 1)` would underflow).
+    pub fn quantile(&self, q: f64) -> Result<Seconds, EmError> {
         if self.ttfs.is_empty() {
-            return None;
+            return Err(EmError::EmptyPopulation);
         }
         let idx = ((q.clamp(0.0, 1.0)) * (self.ttfs.len() - 1) as f64).round() as usize;
-        Some(self.ttfs[idx])
+        Ok(self.ttfs[idx])
     }
 }
 
@@ -108,6 +127,9 @@ pub fn simulate_population(
     horizon: Seconds,
     seed: u64,
 ) -> TtfPopulation {
+    let _timer = dh_obs::span("em.population.sweep_seconds");
+    dh_obs::counter!("em.population.sweeps").incr();
+    dh_obs::counter!("em.population.wires_simulated").add(n as u64);
     let outcomes = dh_exec::par_map_seeded(seed, "em-population", n, |_, rng| {
         simulate_one_wire(j, variation, horizon, rng)
     });
@@ -121,6 +143,8 @@ pub fn simulate_population(
         }
     }
     ttfs.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFs"));
+    dh_obs::counter!("em.population.wires_failed").add(ttfs.len() as u64);
+    dh_obs::counter!("em.population.wires_censored").add(censored as u64);
     TtfPopulation { ttfs, censored }
 }
 
@@ -300,13 +324,46 @@ mod tests {
     }
 
     #[test]
-    fn empty_population_edge_cases() {
+    fn empty_population_returns_typed_errors() {
         let pop = TtfPopulation {
             ttfs: vec![],
             censored: 5,
         };
-        assert!(pop.median().is_none());
-        assert!(pop.ln_sigma().is_none());
-        assert!(pop.quantile(0.5).is_none());
+        assert_eq!(pop.median(), Err(EmError::EmptyPopulation));
+        assert_eq!(pop.ln_sigma(), Err(EmError::EmptyPopulation));
+        assert_eq!(pop.quantile(0.5), Err(EmError::EmptyPopulation));
+        assert_eq!(pop.quantile(0.0), Err(EmError::EmptyPopulation));
+        assert_eq!(pop.quantile(1.0), Err(EmError::EmptyPopulation));
+    }
+
+    #[test]
+    fn one_element_population_has_location_but_no_spread() {
+        let pop = TtfPopulation {
+            ttfs: vec![Seconds::new(9.0)],
+            censored: 0,
+        };
+        assert_eq!(pop.median().unwrap().value(), 9.0);
+        assert_eq!(pop.quantile(0.0).unwrap().value(), 9.0);
+        assert_eq!(pop.quantile(1.0).unwrap().value(), 9.0);
+        assert_eq!(
+            pop.ln_sigma(),
+            Err(EmError::InsufficientSamples { got: 1, need: 2 })
+        );
+    }
+
+    #[test]
+    fn ln_sigma_uses_the_sample_variance_estimator() {
+        // ln-TTFs 0 and ln(e²) = 2: sample variance (n−1) is 2, so the
+        // estimator must return √2 — the biased divide-by-n form would
+        // give 1.
+        let pop = TtfPopulation {
+            ttfs: vec![Seconds::new(1.0), Seconds::new(std::f64::consts::E.powi(2))],
+            censored: 0,
+        };
+        let sigma = pop.ln_sigma().unwrap();
+        assert!(
+            (sigma - std::f64::consts::SQRT_2).abs() < 1e-12,
+            "expected √2, got {sigma}"
+        );
     }
 }

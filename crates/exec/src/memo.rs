@@ -112,9 +112,11 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         if let Some(entry) = state.entries.get_mut(&key) {
             entry.last_used = now;
             self.hits.fetch_add(1, Ordering::Relaxed);
+            dh_obs::counter!("exec.memo.hits").incr();
             return Ok(Arc::clone(&entry.value));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        dh_obs::counter!("exec.memo.misses").incr();
         let value = Arc::new(compute()?);
         if state.entries.len() >= self.capacity {
             // Evict the least-recently-returned entry. O(len) scan, but
@@ -134,6 +136,7 @@ impl<K: Eq + Hash, V> Memo<K, V> {
                     .entries
                     .retain(|_, entry| entry.last_used != stale_tick);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                dh_obs::counter!("exec.memo.evictions").incr();
             }
         }
         state.entries.insert(
@@ -241,6 +244,39 @@ mod tests {
         assert!(values
             .windows(2)
             .all(|pair| Arc::ptr_eq(&pair[0], &pair[1])));
+    }
+
+    #[test]
+    fn counters_stay_consistent_under_parallel_access() {
+        // 8 threads hammer a bounded memo with overlapping key ranges.
+        // Whatever interleaving happens, the accounting must balance:
+        // every lookup is exactly one hit or one miss, and the cache can
+        // never hold more than (misses − evictions) live entries.
+        const THREADS: u64 = 8;
+        const LOOKUPS: u64 = 1000;
+        static MEMO: Memo<u64, u64> = Memo::bounded(16);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..LOOKUPS {
+                        // 64 distinct keys, skewed so threads collide.
+                        let key = (t + i) % 64;
+                        let v = MEMO.get_or_insert_with(key, || key * 3);
+                        assert_eq!(*v, key * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(MEMO.hits() + MEMO.misses(), THREADS * LOOKUPS);
+        assert!(MEMO.misses() >= 1, "first lookup of each key misses");
+        assert_eq!(MEMO.len() as u64, MEMO.misses() - MEMO.evictions());
+        assert!(MEMO.len() <= MEMO.capacity());
+        assert!(
+            MEMO.evictions() >= MEMO.misses() - 64,
+            "64 keys through a 16-slot cache must evict: {} misses, {} evictions",
+            MEMO.misses(),
+            MEMO.evictions()
+        );
     }
 
     #[test]

@@ -53,6 +53,20 @@ fn worker_count(n_items: usize) -> usize {
     max_threads().min(n_items)
 }
 
+/// Records one worker's share of a self-scheduled run: the per-worker
+/// item count, and — as the self-scheduling analogue of work stealing —
+/// how many items it claimed beyond an even `⌈n/workers⌉` split (only
+/// possible because another worker was slower and yielded its share).
+fn observe_worker_share(label: &dh_obs::HistogramCell, taken: usize, fair_share: usize) {
+    label.get().record(taken as f64);
+    dh_obs::counter!("exec.pool.steals").add(taken.saturating_sub(fair_share) as u64);
+}
+
+static ITEMS_PER_WORKER: dh_obs::HistogramCell =
+    dh_obs::HistogramCell::new("exec.pool.items_per_worker");
+static CHUNKS_PER_WORKER: dh_obs::HistogramCell =
+    dh_obs::HistogramCell::new("exec.pool.chunks_per_worker");
+
 /// Reassembles `(index, value)` pairs produced by the workers into a
 /// dense index-ordered vector.
 fn assemble<U>(n: usize, tagged: Vec<(usize, U)>) -> Vec<U> {
@@ -77,9 +91,12 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let workers = worker_count(n);
+    dh_obs::counter!("exec.pool.par_maps").incr();
     if workers <= 1 {
+        observe_worker_share(&ITEMS_PER_WORKER, n, n);
         return (0..n).map(f).collect();
     }
+    let fair_share = n.div_ceil(workers);
     let next = AtomicUsize::new(0);
     let tagged = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -93,6 +110,7 @@ where
                         }
                         local.push((index, f(index)));
                     }
+                    observe_worker_share(&ITEMS_PER_WORKER, local.len(), fair_share);
                     local
                 })
             })
@@ -208,12 +226,14 @@ where
     let n_chunks = items.len().div_ceil(chunk_size);
     let workers = worker_count(n_chunks);
     if workers <= 1 {
+        observe_worker_share(&CHUNKS_PER_WORKER, n_chunks, n_chunks);
         return items
             .chunks_mut(chunk_size)
             .enumerate()
             .map(|(i, c)| f(i, c))
             .collect();
     }
+    let fair_share = n_chunks.div_ceil(workers);
     type ChunkQueue<'a, T> = Mutex<Vec<Option<(usize, &'a mut [T])>>>;
     let queue: ChunkQueue<T> =
         Mutex::new(items.chunks_mut(chunk_size).enumerate().map(Some).collect());
@@ -233,6 +253,7 @@ where
                             .expect("chunk taken twice");
                         local.push((index, f(index, chunk)));
                     }
+                    observe_worker_share(&CHUNKS_PER_WORKER, local.len(), fair_share);
                     local
                 })
             })
@@ -268,6 +289,7 @@ where
     let n_chunks = a.len().div_ceil(chunk_size);
     let workers = worker_count(n_chunks);
     if workers <= 1 {
+        observe_worker_share(&CHUNKS_PER_WORKER, n_chunks, n_chunks);
         return a
             .chunks_mut(chunk_size)
             .zip(b.chunks_mut(chunk_size))
@@ -275,6 +297,7 @@ where
             .map(|(i, (ca, cb))| f(i, ca, cb))
             .collect();
     }
+    let fair_share = n_chunks.div_ceil(workers);
     type PairQueue<'a, A, B> = Mutex<Vec<Option<(usize, (&'a mut [A], &'a mut [B]))>>>;
     let queue: PairQueue<A, B> = Mutex::new(
         a.chunks_mut(chunk_size)
@@ -300,6 +323,7 @@ where
                                 .expect("chunk taken twice");
                         local.push((index, f(index, chunk_a, chunk_b)));
                     }
+                    observe_worker_share(&CHUNKS_PER_WORKER, local.len(), fair_share);
                     local
                 })
             })

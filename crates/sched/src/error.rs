@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use dh_circuit::CircuitError;
 use dh_thermal::ThermalError;
 
 /// Error returned by system construction and lifetime runs.
@@ -11,6 +12,9 @@ pub enum SchedError {
     InvalidConfig(String),
     /// The thermal substrate rejected its inputs.
     Thermal(ThermalError),
+    /// The assist circuitry that supplies the deep-recovery bias could not
+    /// be solved (degenerate parameters or a singular network).
+    AssistCircuit(CircuitError),
 }
 
 impl fmt::Display for SchedError {
@@ -18,6 +22,7 @@ impl fmt::Display for SchedError {
         match self {
             Self::InvalidConfig(why) => write!(f, "invalid scheduler config: {why}"),
             Self::Thermal(e) => write!(f, "thermal model error: {e}"),
+            Self::AssistCircuit(e) => write!(f, "assist circuitry error: {e}"),
         }
     }
 }
@@ -26,6 +31,7 @@ impl std::error::Error for SchedError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Thermal(e) => Some(e),
+            Self::AssistCircuit(e) => Some(e),
             Self::InvalidConfig(_) => None,
         }
     }
@@ -34,6 +40,12 @@ impl std::error::Error for SchedError {
 impl From<ThermalError> for SchedError {
     fn from(e: ThermalError) -> Self {
         Self::Thermal(e)
+    }
+}
+
+impl From<CircuitError> for SchedError {
+    fn from(e: CircuitError) -> Self {
+        Self::AssistCircuit(e)
     }
 }
 
@@ -48,6 +60,9 @@ mod tests {
             .to_string()
             .contains('x'));
         let e: SchedError = ThermalError::InvalidPower(-1.0).into();
+        assert!(e.source().is_some());
+        let e: SchedError = CircuitError::InvalidParameter("header_width".into()).into();
+        assert!(e.to_string().contains("assist circuitry"));
         assert!(e.source().is_some());
     }
 }

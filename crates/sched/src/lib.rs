@@ -42,6 +42,7 @@
 pub mod adapt;
 pub mod error;
 pub mod lifetime;
+pub mod metrics;
 pub mod migration;
 pub mod policy;
 pub mod sensor;
@@ -50,5 +51,6 @@ pub mod workload;
 
 pub use error::SchedError;
 pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeOutcome};
+pub use metrics::{CoreMode, MetricsReport};
 pub use policy::Policy;
 pub use system::{ManyCoreSystem, SystemConfig};

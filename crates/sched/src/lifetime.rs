@@ -12,6 +12,7 @@ use dh_circuit::RingOscillator;
 use dh_units::{Fraction, Seconds, TimeSeries};
 
 use crate::error::SchedError;
+use crate::metrics::MetricsReport;
 use crate::policy::Policy;
 use crate::system::{ManyCoreSystem, SystemConfig};
 
@@ -61,6 +62,9 @@ pub struct LifetimeOutcome {
     /// fraction of the work demanded — usually far below the scheduled
     /// overhead because recovery intervals absorb idle time first.
     pub throughput_loss: Fraction,
+    /// What the scheduler did and what it bought: per-mode epoch counts,
+    /// mode transitions, recovery time scheduled, and wearout healed.
+    pub metrics: MetricsReport,
 }
 
 /// Runs one lifetime simulation.
@@ -152,6 +156,7 @@ fn run_lifetime_impl(
         final_permanent_mv: system.worst_permanent_mv(),
         recovery_overhead: policy.recovery_overhead(),
         throughput_loss: Fraction::clamped(displaced / demanded.max(1e-300)),
+        metrics: system.metrics().clone(),
     })
 }
 
@@ -337,6 +342,23 @@ mod tests {
         // Baselines displace nothing.
         let passive = run_lifetime(&config, Policy::PassiveIdle, 3).unwrap();
         assert_eq!(passive.throughput_loss.value(), 0.0);
+    }
+
+    #[test]
+    fn outcome_carries_the_scheduling_metrics() {
+        let config = short();
+        let deep = run_lifetime(&config, Policy::periodic_deep_default(), 3).unwrap();
+        let m = &deep.metrics;
+        let expected = (dh_units::Seconds::from_years(config.years) / config.system.epoch)
+            .ceil()
+            .max(1.0) as u64;
+        assert_eq!(m.epochs, expected);
+        assert_eq!(m.core_epochs, m.epochs * 16);
+        assert!(m.bti_recovery_seconds > 0.0);
+        assert!(m.bti_healed_mv > 0.0);
+        let none = run_lifetime(&config, Policy::NoRecovery, 3).unwrap();
+        assert_eq!(none.metrics.bti_recovery_seconds, 0.0);
+        assert_eq!(none.metrics.epochs_normal, none.metrics.core_epochs);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use dh_thermal::{GridConfig, ThermalGrid};
 use dh_units::{CurrentDensity, Fraction, Kelvin, Seconds, Volts};
 
 use crate::error::SchedError;
+use crate::metrics::{CoreMode, MetricsReport};
 use crate::policy::Policy;
 use crate::sensor::{BtiSensor, EmSensor};
 use crate::workload::WorkloadGenerator;
@@ -63,11 +64,13 @@ pub struct SystemConfig {
 impl Default for SystemConfig {
     fn default() -> Self {
         // The deep-recovery bias comes from the assist circuitry itself:
-        // the rail swap of Fig. 9(b) applies ≈−0.6 V to the idle load.
+        // the rail swap of Fig. 9(b) applies ≈−0.6 V to the idle load. The
+        // paper circuit always solves; the published Fig. 9(b) value keeps
+        // `default()` total if a future model change ever breaks that.
         let bias = AssistCircuit::paper_28nm()
             .solve(Mode::BtiActiveRecovery)
-            .expect("paper assist circuit solves")
-            .bti_recovery_bias();
+            .map(|s| s.bti_recovery_bias())
+            .unwrap_or(Volts::new(-0.593));
         Self {
             rows: 4,
             cols: 4,
@@ -91,6 +94,24 @@ impl SystemConfig {
     pub fn cores(&self) -> usize {
         self.rows * self.cols
     }
+
+    /// A default configuration whose deep-recovery bias is derived by
+    /// solving `circuit` in BTI-Active-Recovery mode — the explicit,
+    /// fallible form of what [`Default::default`] does with the paper's
+    /// 28 nm circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::AssistCircuit`] when the circuit has
+    /// non-physical parameters or its network is singular, so a malformed
+    /// assist design fails recoverably instead of panicking.
+    pub fn with_assist_circuit(circuit: &AssistCircuit) -> Result<Self, SchedError> {
+        let bias = circuit.solve(Mode::BtiActiveRecovery)?.bti_recovery_bias();
+        Ok(Self {
+            bti_recovery_bias: bias,
+            ..Self::default()
+        })
+    }
 }
 
 /// Per-core wearout and sensing state.
@@ -104,6 +125,9 @@ struct Core {
     /// Last sensed values (fed to the policy at the next epoch).
     sensed_dvth_mv: f64,
     sensed_em: Fraction,
+    /// Mode of the previous epoch (None before the first step), for
+    /// transition accounting.
+    last_mode: Option<CoreMode>,
 }
 
 /// Per-epoch, per-core record of what the scheduler did.
@@ -140,6 +164,9 @@ pub struct ManyCoreSystem {
     /// Optional CET trap ensemble shadowing core 0's stress/recovery
     /// schedule — the Monte-Carlo cross-check of the analytic fleet.
     trap_monitor: Option<TrapEnsemble>,
+    /// Always-on scheduling metrics (mode transitions, recovery time
+    /// scheduled, wearout healed).
+    metrics: MetricsReport,
 }
 
 impl ManyCoreSystem {
@@ -181,6 +208,7 @@ impl ManyCoreSystem {
                 em_sensor: EmSensor::new(config.em_sensor_noise, config.seed ^ (i as u64) << 8 | 2),
                 sensed_dvth_mv: 0.0,
                 sensed_em: Fraction::ZERO,
+                last_mode: None,
             })
             .collect();
         let workload = WorkloadGenerator::heterogeneous(config.cores(), config.seed);
@@ -194,6 +222,7 @@ impl ManyCoreSystem {
             time: Seconds::ZERO,
             reference_mode: false,
             trap_monitor: None,
+            metrics: MetricsReport::default(),
         })
     }
 
@@ -247,6 +276,12 @@ impl ManyCoreSystem {
     /// Epochs simulated so far.
     pub fn epochs(&self) -> usize {
         self.epoch_index
+    }
+
+    /// The scheduling metrics accumulated so far (always on; see
+    /// [`MetricsReport`]).
+    pub fn metrics(&self) -> &MetricsReport {
+        &self.metrics
     }
 
     /// Advances one epoch under `policy`, returning per-core status.
@@ -312,6 +347,7 @@ impl ManyCoreSystem {
         self.thermal.settle(&powers)?;
 
         let epoch = self.config.epoch;
+        let metrics_before = self.metrics.clone();
         let mut out = Vec::with_capacity(self.cores.len());
         for (i, core) in self.cores.iter_mut().enumerate() {
             let temp = self
@@ -320,6 +356,12 @@ impl ManyCoreSystem {
             let plan = plans[i];
             let util = utils[i];
             let executed = util.value().min(plan.run.value());
+
+            // --- Mode accounting (always on; the arithmetic is free) ---
+            let mode = CoreMode::classify(&plan);
+            self.metrics
+                .observe_core_epoch(mode, core.last_mode != Some(mode));
+            core.last_mode = Some(mode);
 
             // --- BTI ---
             let stress_cond = StressCondition {
@@ -347,6 +389,7 @@ impl ManyCoreSystem {
                 // Deep recovery at the assist circuitry's swap bias; the
                 // dark core is kept warm by its neighbours (temp is the
                 // settled tile temperature).
+                let dvth_before = core.bti.delta_vth_mv();
                 core.bti.recover(
                     epoch * plan.bti_recovery.value(),
                     RecoveryCondition {
@@ -354,6 +397,8 @@ impl ManyCoreSystem {
                         temperature: temp,
                     },
                 );
+                self.metrics.bti_recovery_seconds += epoch.value() * plan.bti_recovery.value();
+                self.metrics.bti_healed_mv += (dvth_before - core.bti.delta_vth_mv()).max(0.0);
             }
 
             // The trap monitor shadows core 0's schedule exactly.
@@ -389,6 +434,8 @@ impl ManyCoreSystem {
                 let d = plan.em_recovery_duty.value();
                 let eta = self.config.em_heal_efficiency.value();
                 let wear_factor = (1.0 - d) - eta * d;
+                self.metrics.em_damage_healed += stress_time / ttf.value() * eta * d;
+                self.metrics.em_recovery_core_seconds += stress_time * d;
                 core.em_damage += stress_time / ttf.value() * wear_factor;
                 core.em_peak = core.em_peak.max(core.em_damage);
                 // Healing cannot undo the pinned component.
@@ -416,6 +463,32 @@ impl ManyCoreSystem {
                 displaced_work: Fraction::clamped(util.value() - executed),
                 demanded_work: util,
             });
+        }
+
+        self.metrics.epochs += 1;
+        // Mirror this epoch's deltas into the global registry under
+        // per-policy names, so one process can compare policies. Compiles
+        // to nothing without the `obs` feature.
+        if dh_obs::ENABLED {
+            let m = &self.metrics;
+            let name = policy.name();
+            dh_obs::counter(&format!("sched.{name}.epochs")).incr();
+            dh_obs::counter(&format!("sched.{name}.transitions_to_normal"))
+                .add(m.transitions_to_normal - metrics_before.transitions_to_normal);
+            dh_obs::counter(&format!("sched.{name}.transitions_to_em_ar"))
+                .add(m.transitions_to_em_ar - metrics_before.transitions_to_em_ar);
+            dh_obs::counter(&format!("sched.{name}.transitions_to_bti_ar"))
+                .add(m.transitions_to_bti_ar - metrics_before.transitions_to_bti_ar);
+            dh_obs::counter(&format!("sched.{name}.core_epochs_normal"))
+                .add(m.epochs_normal - metrics_before.epochs_normal);
+            dh_obs::counter(&format!("sched.{name}.core_epochs_em_ar"))
+                .add(m.epochs_em_ar - metrics_before.epochs_em_ar);
+            dh_obs::counter(&format!("sched.{name}.core_epochs_bti_ar"))
+                .add(m.epochs_bti_ar - metrics_before.epochs_bti_ar);
+            dh_obs::histogram(&format!("sched.{name}.bti_recovery_seconds_per_epoch"))
+                .record(m.bti_recovery_seconds - metrics_before.bti_recovery_seconds);
+            dh_obs::histogram(&format!("sched.{name}.bti_healed_mv_per_epoch"))
+                .record(m.bti_healed_mv - metrics_before.bti_healed_mv);
         }
 
         self.epoch_index += 1;
@@ -468,6 +541,71 @@ mod tests {
             c.bti_recovery_bias < Volts::new(-0.5),
             "bias {}",
             c.bti_recovery_bias
+        );
+    }
+
+    #[test]
+    fn unsolvable_assist_circuit_is_a_typed_error_not_a_panic() {
+        let broken = AssistCircuit::paper_28nm().with_header_width(0.0);
+        let err = SystemConfig::with_assist_circuit(&broken).unwrap_err();
+        assert!(
+            matches!(err, SchedError::AssistCircuit(_)),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("header_width"), "{err}");
+    }
+
+    #[test]
+    fn config_from_assist_circuit_matches_default() {
+        let from_circuit = SystemConfig::with_assist_circuit(&AssistCircuit::paper_28nm()).unwrap();
+        assert_eq!(
+            from_circuit.bti_recovery_bias,
+            SystemConfig::default().bti_recovery_bias
+        );
+    }
+
+    #[test]
+    fn metrics_track_modes_transitions_and_healing() {
+        // Periodic deep recovery (period 1): every core is in BTI-AR every
+        // epoch — one power-on transition per core, recovery scheduled and
+        // ΔVth healed every epoch.
+        let deep = run(Policy::periodic_deep_default(), 40, 1);
+        let m = deep.metrics();
+        assert_eq!(m.epochs, 40);
+        assert_eq!(m.core_epochs, 40 * 16);
+        assert_eq!(m.epochs_bti_ar, 40 * 16);
+        assert_eq!(m.epochs_normal, 0);
+        assert_eq!(m.transitions_to_bti_ar, 16);
+        assert_eq!(m.mode_transitions(), 16);
+        // periodic_deep_default schedules 15 % of each 6 h epoch.
+        let expected = 40.0 * 16.0 * 0.15 * Seconds::from_hours(6.0).value();
+        assert!(
+            (m.bti_recovery_seconds - expected).abs() < 1e-6,
+            "scheduled {} vs expected {expected}",
+            m.bti_recovery_seconds
+        );
+        assert!(m.bti_healed_mv > 0.0, "deep recovery must heal ΔVth");
+        assert!(m.em_damage_healed > 0.0, "EM duty must heal damage");
+        assert!(m.em_recovery_core_seconds > 0.0);
+
+        // No recovery: everything is Normal and nothing heals.
+        let none = run(Policy::NoRecovery, 40, 1);
+        let m = none.metrics();
+        assert_eq!(m.epochs_normal, 40 * 16);
+        assert_eq!(m.transitions_to_normal, 16);
+        assert_eq!(m.bti_recovery_seconds, 0.0);
+        assert_eq!(m.bti_healed_mv, 0.0);
+        assert_eq!(m.em_damage_healed, 0.0);
+
+        // Rotation flips each core between dark (BTI-AR) and lit (EM duty)
+        // epochs, so transitions keep accumulating past power-on.
+        let rotation = run(Policy::rotation_default(), 40, 1);
+        let m = rotation.metrics();
+        assert!(m.epochs_bti_ar > 0 && m.epochs_em_ar > 0);
+        assert!(
+            m.mode_transitions() > 16,
+            "rotation must keep transitioning: {}",
+            m.mode_transitions()
         );
     }
 

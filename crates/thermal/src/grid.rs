@@ -293,6 +293,7 @@ impl ThermalGrid {
         let Some(factors) = self.factors.as_ref().filter(|_| !self.use_reference) else {
             return self.settle_reference(power_w);
         };
+        dh_obs::counter!("thermal.settle.lu_solves").incr();
         let c = self.config;
         let ambient = c.ambient.to_kelvin().value();
         let gv = 1.0 / c.r_vertical_k_per_w;
@@ -316,12 +317,15 @@ impl ThermalGrid {
     #[doc(hidden)]
     pub fn settle_reference(&mut self, power_w: &[f64]) -> Result<(), ThermalError> {
         self.validate_power(power_w)?;
+        dh_obs::counter!("thermal.settle.gauss_seidel_solves").incr();
         // Gauss–Seidel on the steady-state balance equations.
         let c = self.config;
         let ambient = c.ambient.to_kelvin().value();
         let gv = 1.0 / c.r_vertical_k_per_w;
         let gl = 1.0 / c.r_lateral_k_per_w;
+        let mut sweeps: u64 = 0;
         for _ in 0..10_000 {
+            sweeps += 1;
             let mut max_delta: f64 = 0.0;
             for r in 0..c.rows {
                 for col in 0..c.cols {
@@ -348,6 +352,8 @@ impl ThermalGrid {
                 break;
             }
         }
+        dh_obs::counter!("thermal.settle.gauss_seidel_iterations").add(sweeps);
+        dh_obs::histogram!("thermal.settle.iterations_per_solve").record(sweeps as f64);
         Ok(())
     }
 }
