@@ -1,9 +1,9 @@
-//! Performance snapshot for the observability PR.
+//! Performance snapshot for the fleet PR.
 //!
 //! Measures the optimized engine against its in-tree baselines **in the
 //! same run** (same binary, same machine, same optimization flags) and
-//! writes the results to `BENCH_pr3.json` in the workspace root
-//! (`BENCH_pr1.json` / `BENCH_pr2.json` are kept as history):
+//! writes the results to `BENCH_pr4.json` in the workspace root
+//! (`BENCH_pr1.json`–`BENCH_pr3.json` are kept as history):
 //!
 //! * CET ensemble stress, pinned to 1 thread: the SoA kernel with
 //!   precomputed rate tables and adaptive sub-stepping vs the PR 1
@@ -18,7 +18,12 @@
 //!   now under the periodic-deep policy so recovery scheduling is on the
 //!   measured path);
 //! * calibration memo: first (fitting) vs second (cached) call for a
-//!   fresh trap count through the bounded memo.
+//!   fresh trap count through the bounded memo;
+//! * fleet simulation: the same `dh-fleet` population stepped serially on
+//!   1 thread vs sharded across the default thread count — the speedup is
+//!   the parallel scaling and the row asserts the two reports are
+//!   bit-identical (report fingerprints equal), the fleet determinism
+//!   acceptance criterion.
 //!
 //! With `--obs` (and the `obs` feature compiled in), the snapshot also
 //! embeds the full `dh-obs` metrics registry — Memo hit/miss counts, CET
@@ -188,7 +193,7 @@ fn main() {
     let rel = base_gb
         .iter()
         .zip(&opt_gb)
-        .map(|(b, o)| (b - o).abs() / b.max(1e-12))
+        .map(|(b, o)| (b.guardband - o.guardband).abs() / b.guardband.max(1e-12))
         .fold(0.0, f64::max);
     assert!(
         rel <= 1e-8,
@@ -224,9 +229,39 @@ fn main() {
         note: "cold (fitting) vs warm (memoized) calibrated() call, 1234 traps".into(),
     });
 
+    // --- Fleet simulation ----------------------------------------------------
+    let fleet_config = FleetConfig {
+        devices: 8_192,
+        years: 0.5,
+        shard_size: 512,
+        ..FleetConfig::default()
+    };
+    dh_exec::set_max_threads(Some(1));
+    let (base_s, serial_report) = timed(|| run_fleet(&fleet_config).unwrap());
+    dh_exec::set_max_threads(None);
+    let (opt_s, parallel_report) = timed(|| run_fleet(&fleet_config).unwrap());
+    assert_eq!(
+        serial_report.fingerprint(),
+        parallel_report.fingerprint(),
+        "parallel fleet report must be bit-identical to the serial one"
+    );
+    rows.push(Row {
+        name: "fleet_sim",
+        baseline_s: base_s,
+        optimized_s: opt_s,
+        note: format!(
+            "{} devices x {} epochs, worst-first; 1 thread vs {} threads; \
+             reports bit-identical (fingerprint {:#018x})",
+            fleet_config.devices,
+            fleet_config.total_epochs(),
+            default_threads,
+            parallel_report.fingerprint(),
+        ),
+    });
+
     // --- Report -------------------------------------------------------------
     let embed_metrics = want_obs && dh_obs::ENABLED;
-    let mut json = String::from("{\n  \"pr\": 3,\n  \"threads\": ");
+    let mut json = String::from("{\n  \"pr\": 4,\n  \"threads\": ");
     json.push_str(&default_threads.to_string());
     json.push_str(",\n");
     for (i, row) in rows.iter().enumerate() {
@@ -247,8 +282,8 @@ fn main() {
     }
     json.push_str("}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
-    std::fs::write(path, &json).expect("write BENCH_pr3.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    std::fs::write(path, &json).expect("write BENCH_pr4.json");
 
     for row in &rows {
         println!(

@@ -110,7 +110,7 @@ impl DevicePopulation {
             .iter()
             .map(TrapEnsemble::delta_vth_mv)
             .collect();
-        shifts.sort_by(|a, b| a.partial_cmp(b).expect("finite shifts"));
+        shifts.sort_by(f64::total_cmp);
         let idx = ((q.clamp(0.0, 1.0)) * (shifts.len() - 1) as f64).round() as usize;
         shifts[idx]
     }

@@ -278,8 +278,7 @@ mod tests {
             .min_by(|&i, &j| {
                 a.sites()[i]
                     .process_factor
-                    .partial_cmp(&a.sites()[j].process_factor)
-                    .expect("finite factors")
+                    .total_cmp(&a.sites()[j].process_factor)
             })
             .unwrap();
         let raw = a.raw_reading(slow_site, 0.0);

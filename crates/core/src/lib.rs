@@ -23,6 +23,7 @@
 //! | [`circuit`] | MOSFET, ring oscillators, the three-mode assist circuitry (Figs. 8–10) |
 //! | [`pdn`] | layered PDN mesh, IR-drop solver, EM hazard maps (Fig. 11) |
 //! | [`sched`] | workloads, sensors, recovery policies, lifetime simulation (Fig. 12) |
+//! | [`fleet`] | fleet-scale population simulation: shards, streaming statistics, checkpoint/resume |
 //!
 //! The [`experiments`] module packages each of the paper's tables and
 //! figures as a one-call reproduction; the `dh-bench` crate's binaries
@@ -51,6 +52,7 @@ pub mod rig;
 pub use dh_bti as bti;
 pub use dh_circuit as circuit;
 pub use dh_em as em;
+pub use dh_fleet as fleet;
 pub use dh_obs as obs;
 pub use dh_pdn as pdn;
 pub use dh_sched as sched;
@@ -64,6 +66,7 @@ pub mod prelude {
     };
     pub use dh_circuit::{AssistCircuit, Mode, RingOscillator};
     pub use dh_em::{black::BlackModel, network::EmNetwork, EmWire, WireEnd};
+    pub use dh_fleet::{run_fleet, FleetConfig, FleetPolicy, FleetReport, MaintenanceBudget};
     pub use dh_pdn::{PdnConfig, PdnMesh, Tower};
     pub use dh_sched::{
         run_lifetime, LifetimeConfig, ManyCoreSystem, MetricsReport, Policy, SystemConfig,

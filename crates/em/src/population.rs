@@ -142,7 +142,7 @@ pub fn simulate_population(
             None => censored += 1,
         }
     }
-    ttfs.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFs"));
+    ttfs.sort_by(|a, b| a.value().total_cmp(&b.value()));
     dh_obs::counter!("em.population.wires_failed").add(ttfs.len() as u64);
     dh_obs::counter!("em.population.wires_censored").add(censored as u64);
     TtfPopulation { ttfs, censored }
@@ -218,7 +218,7 @@ pub fn simulate_population_baseline(
             censored += 1;
         }
     }
-    ttfs.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFs"));
+    ttfs.sort_by(|a, b| a.value().total_cmp(&b.value()));
     TtfPopulation { ttfs, censored }
 }
 

@@ -33,6 +33,6 @@ mod pool;
 
 pub use memo::{Memo, MEMO_DEFAULT_CAPACITY};
 pub use pool::{
-    max_threads, par_chunks_mut, par_chunks_mut2, par_map, par_map_indexed, par_map_seeded,
-    par_try_map, set_max_threads,
+    max_threads, par_chunks_mut, par_chunks_mut2, par_map, par_map_fold, par_map_indexed,
+    par_map_seeded, par_try_map, set_max_threads,
 };

@@ -147,6 +147,77 @@ where
     })
 }
 
+/// Parallel map over `0..n` whose results are folded **in index order**
+/// on the calling thread: returns the accumulator after
+/// `fold(fold(init, 0, f(0)), 1, f(1)) …` exactly as the serial loop
+/// would produce it, at any thread count.
+///
+/// Unlike [`par_map_indexed`] the mapped values are never collected into
+/// a `Vec`: workers stream `(index, value)` pairs over a channel and the
+/// caller holds only the out-of-order window (typically a few items, at
+/// worst the items produced while the slowest item blocks the fold).
+/// This is the streaming-aggregation primitive the fleet layer leans on:
+/// a million mapped shards fold into O(1) accumulator state.
+///
+/// `fold` runs on the calling thread, so it may freely capture `&mut`
+/// state (checkpoint writers, streaming accumulators) without `Sync`.
+pub fn par_map_fold<U, A, F, G>(n: usize, f: F, init: A, mut fold: G) -> A
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+    G: FnMut(A, usize, U) -> A,
+{
+    let workers = worker_count(n);
+    dh_obs::counter!("exec.pool.par_map_folds").incr();
+    if workers <= 1 {
+        observe_worker_share(&ITEMS_PER_WORKER, n, n);
+        return (0..n).fold(init, |acc, i| {
+            let value = f(i);
+            fold(acc, i, value)
+        });
+    }
+    let fair_share = n.div_ceil(workers);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, U)>(workers * 2);
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                let mut taken = 0usize;
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    taken += 1;
+                    // A send fails only when the receiver is gone, which
+                    // means the caller's fold panicked; just stop working.
+                    if tx.send((index, f(index))).is_err() {
+                        break;
+                    }
+                }
+                observe_worker_share(&ITEMS_PER_WORKER, taken, fair_share);
+            });
+        }
+        drop(tx);
+
+        let mut acc = init;
+        let mut pending: std::collections::BTreeMap<usize, U> = std::collections::BTreeMap::new();
+        let mut expect = 0usize;
+        for (index, value) in rx {
+            pending.insert(index, value);
+            while let Some(value) = pending.remove(&expect) {
+                acc = fold(acc, expect, value);
+                expect += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "worker skipped an index");
+        acc
+    })
+}
+
 /// Fallible parallel map: `Ok(out)` with `out[i] == f(&items[i])?`, or
 /// the error of the **lowest-index** failing item (deterministic even
 /// though workers race).
@@ -377,6 +448,36 @@ mod tests {
         set_max_threads(None);
         assert_eq!(one, four);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn map_fold_folds_in_index_order_at_any_thread_count() {
+        let _guard = override_guard();
+        // An order-sensitive fold (sequence hash): any out-of-order or
+        // dropped item changes the result.
+        let serial: u64 =
+            (0..311u64).fold(7, |acc, i| acc.wrapping_mul(31).wrapping_add(i * i + 1));
+        for threads in [1, 3, 8] {
+            set_max_threads(Some(threads));
+            let folded = par_map_fold(
+                311,
+                |i| (i as u64) * (i as u64) + 1,
+                7u64,
+                |acc, i, v| {
+                    assert_eq!(v, (i as u64) * (i as u64) + 1);
+                    acc.wrapping_mul(31).wrapping_add(v)
+                },
+            );
+            assert_eq!(folded, serial);
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn map_fold_handles_empty_and_single_item_ranges() {
+        let _guard = override_guard();
+        assert_eq!(par_map_fold(0, |i| i, 99usize, |a, _, v| a + v), 99);
+        assert_eq!(par_map_fold(1, |i| i + 5, 0usize, |a, _, v| a + v), 5);
     }
 
     #[test]

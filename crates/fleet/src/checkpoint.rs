@@ -1,0 +1,246 @@
+//! Versioned, hand-rolled checkpointing for fleet runs (the build has no
+//! serde; the format is a few dozen lines of explicit little-endian
+//! fields, which is also what makes it auditable).
+//!
+//! Layout, all integers little-endian:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `"DHFL"` |
+//! | 4      | 1    | format version (currently 1) |
+//! | 5      | 8    | config fingerprint ([`crate::FleetConfig::fingerprint`]) |
+//! | 13     | 8    | shard cursor (shards fully folded) |
+//! | 21     | 8    | payload length `L` |
+//! | 29     | `L`  | [`FleetAccumulator`] state (`f64`s as raw bit patterns) |
+//! | 29+L   | 8    | FNV-1a checksum of bytes `0..29+L` |
+//!
+//! Writes go through a temp file + atomic rename, so a kill mid-write
+//! leaves the previous checkpoint intact — the property the
+//! kill-and-resume acceptance test leans on.
+
+use std::path::Path;
+
+use crate::error::FleetError;
+use crate::sim::FleetAccumulator;
+use crate::wire::{fnv1a, put_u64, take_u64, FNV_OFFSET};
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"DHFL";
+/// Format version this build writes and reads.
+pub const VERSION: u8 = 1;
+
+/// A point-in-time image of a fleet run: everything needed to continue
+/// folding shards as if the process had never died.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Fingerprint of the config that produced this state.
+    pub config_fingerprint: u64,
+    /// Shards fully folded into the aggregates.
+    pub cursor: u64,
+    /// The streaming aggregate state.
+    pub(crate) acc: FleetAccumulator,
+}
+
+impl Snapshot {
+    /// Serializes to the wire format described in the module docs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.acc.encode(&mut payload);
+
+        let mut buf = Vec::with_capacity(37 + payload.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        put_u64(&mut buf, self.config_fingerprint);
+        put_u64(&mut buf, self.cursor);
+        put_u64(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(&payload);
+        let checksum = fnv1a(FNV_OFFSET, &buf);
+        put_u64(&mut buf, checksum);
+        buf
+    }
+
+    /// Parses and fully validates the wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Corrupt`] on bad magic, truncation, or checksum
+    /// mismatch; [`FleetError::Version`] on a format this build cannot
+    /// read.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FleetError> {
+        if bytes.len() < 37 {
+            return Err(FleetError::Corrupt(format!(
+                "{} bytes is shorter than the fixed header",
+                bytes.len()
+            )));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let mut tail = tail;
+        let stored = take_u64(&mut tail, "checksum")?;
+        let computed = fnv1a(FNV_OFFSET, body);
+        if stored != computed {
+            return Err(FleetError::Corrupt(format!(
+                "checksum {stored:#018x} does not match contents {computed:#018x}"
+            )));
+        }
+        if body[..4] != MAGIC {
+            return Err(FleetError::Corrupt(format!(
+                "bad magic {:02x?}",
+                &body[..4]
+            )));
+        }
+        let version = body[4];
+        if version != VERSION {
+            return Err(FleetError::Version {
+                found: version,
+                expected: VERSION,
+            });
+        }
+        let mut view = &body[5..];
+        let config_fingerprint = take_u64(&mut view, "config fingerprint")?;
+        let cursor = take_u64(&mut view, "cursor")?;
+        let payload_len = take_u64(&mut view, "payload length")? as usize;
+        if view.len() != payload_len {
+            return Err(FleetError::Corrupt(format!(
+                "payload length {payload_len} but {} bytes present",
+                view.len()
+            )));
+        }
+        let acc = FleetAccumulator::decode(&mut view)?;
+        if !view.is_empty() {
+            return Err(FleetError::Corrupt(format!(
+                "{} trailing payload bytes",
+                view.len()
+            )));
+        }
+        Ok(Self {
+            config_fingerprint,
+            cursor,
+            acc,
+        })
+    }
+
+    /// Writes atomically (temp file + rename) and returns the byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] on any filesystem failure.
+    pub fn write(&self, path: &Path) -> Result<u64, FleetError> {
+        let bytes = self.encode();
+        let tmp = path.with_extension("tmp");
+        let io = |e: std::io::Error| FleetError::Io(format!("{}: {e}", path.display()));
+        std::fs::write(&tmp, &bytes).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)?;
+        dh_obs::counter!("fleet.checkpoint_bytes").add(bytes.len() as u64);
+        dh_obs::counter!("fleet.checkpoints_written").incr();
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the file cannot be read; decode errors as
+    /// in [`Snapshot::decode`].
+    pub fn read(path: &Path) -> Result<Self, FleetError> {
+        let bytes =
+            std::fs::read(path).map_err(|e| FleetError::Io(format!("{}: {e}", path.display())))?;
+        Self::decode(&bytes)
+    }
+
+    /// [`Snapshot::read`], but a missing file is `Ok(None)` (fresh start)
+    /// while an unreadable or corrupt file stays an error — silently
+    /// restarting over a damaged checkpoint would discard real work.
+    pub fn read_if_exists(path: &Path) -> Result<Option<Self>, FleetError> {
+        match std::fs::read(path) {
+            Ok(bytes) => Self::decode(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(FleetError::Io(format!("{}: {e}", path.display()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{FleetConfig, FleetRun};
+
+    fn snapshot_after_one_step() -> (FleetConfig, Snapshot) {
+        let config = FleetConfig {
+            devices: 64,
+            years: 0.2,
+            shard_size: 32,
+            group_size: 16,
+            ..FleetConfig::default()
+        };
+        let mut run = FleetRun::new(config.clone()).unwrap();
+        run.step(1);
+        (config, run.snapshot())
+    }
+
+    #[test]
+    fn snapshots_round_trip_bit_exactly() {
+        let (_config, snap) = snapshot_after_one_step();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.cursor, snap.cursor);
+        assert_eq!(back.config_fingerprint, snap.config_fingerprint);
+        assert_eq!(back.acc, snap.acc);
+        // Re-encoding is byte-identical: the format is canonical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (_config, snap) = snapshot_after_one_step();
+        let bytes = snap.encode();
+
+        let mut flipped = bytes.clone();
+        flipped[20] ^= 0x40;
+        assert!(matches!(
+            Snapshot::decode(&flipped),
+            Err(FleetError::Corrupt(_))
+        ));
+
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 5);
+        assert!(Snapshot::decode(&truncated).is_err());
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = VERSION + 1;
+        // Fix the checksum so only the version differs.
+        let body_len = wrong_version.len() - 8;
+        let sum = crate::wire::fnv1a(crate::wire::FNV_OFFSET, &wrong_version[..body_len]);
+        wrong_version[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&wrong_version),
+            Err(FleetError::Version { found, expected })
+                if found == VERSION + 1 && expected == VERSION
+        ));
+    }
+
+    #[test]
+    fn files_round_trip_and_missing_files_are_none() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = std::env::temp_dir().join("dh-fleet-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.dhfl");
+        let bytes = snap.write(&path).unwrap();
+        assert_eq!(bytes, snap.encode().len() as u64);
+        let back = Snapshot::read(&path).unwrap();
+        assert_eq!(back.acc, snap.acc);
+        assert!(Snapshot::read_if_exists(&path).unwrap().is_some());
+        std::fs::remove_file(&path).unwrap();
+        assert!(Snapshot::read_if_exists(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_config() {
+        let (config, snap) = snapshot_after_one_step();
+        let mut other = config;
+        other.seed += 1;
+        assert!(matches!(
+            FleetRun::resume(other, snap),
+            Err(FleetError::ConfigMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,85 @@
+//! Little-endian encode/decode primitives for the hand-rolled checkpoint
+//! format (the build has no serde): fixed-width integers, `f64` as raw bit
+//! patterns (so NaN payloads and signed zeros round-trip bit-exactly), and
+//! the FNV-1a hash used for both config fingerprints and file checksums.
+
+use crate::error::FleetError;
+
+/// FNV-1a 64-bit offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a hash.
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Folds one `u64` (little-endian) into a running FNV-1a hash.
+pub(crate) fn fnv1a_u64(hash: u64, v: u64) -> u64 {
+    fnv1a(hash, &v.to_le_bytes())
+}
+
+/// Folds one `f64` bit pattern into a running FNV-1a hash.
+pub(crate) fn fnv1a_f64(hash: u64, v: f64) -> u64 {
+    fnv1a_u64(hash, v.to_bits())
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+pub(crate) fn take_u64(bytes: &mut &[u8], what: &str) -> Result<u64, FleetError> {
+    if bytes.len() < 8 {
+        return Err(FleetError::Corrupt(format!(
+            "truncated while reading {what}: {} bytes left",
+            bytes.len()
+        )));
+    }
+    let (head, rest) = bytes.split_at(8);
+    *bytes = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8-byte split")))
+}
+
+pub(crate) fn take_f64(bytes: &mut &[u8], what: &str) -> Result<f64, FleetError> {
+    take_u64(bytes, what).map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bit_patterns() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        let mut view = buf.as_slice();
+        assert_eq!(take_u64(&mut view, "a").unwrap(), u64::MAX);
+        assert_eq!(
+            take_f64(&mut view, "b").unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(
+            take_f64(&mut view, "c").unwrap().to_bits(),
+            f64::NAN.to_bits()
+        );
+        assert!(view.is_empty());
+        assert!(take_u64(&mut view, "d").is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

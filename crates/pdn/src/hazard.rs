@@ -42,11 +42,7 @@ impl HazardReport {
                 median_ttf: model.median_ttf(branch.density, temperature),
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            a.median_ttf
-                .partial_cmp(&b.median_ttf)
-                .expect("TTFs are finite")
-        });
+        ranked.sort_by(|a, b| a.median_ttf.value().total_cmp(&b.median_ttf.value()));
         Self {
             ranked,
             temperature,

@@ -187,8 +187,8 @@ impl Tower {
             .iter()
             .max_by(|a, b| {
                 a.density_for(tile_current)
-                    .partial_cmp(&b.density_for(tile_current))
-                    .expect("densities are finite")
+                    .value()
+                    .total_cmp(&b.density_for(tile_current).value())
             })
             .ok_or_else(|| PdnError::InvalidConfig("tower has no layers".into()))
     }

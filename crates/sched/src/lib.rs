@@ -50,7 +50,9 @@ pub mod system;
 pub mod workload;
 
 pub use error::SchedError;
-pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeOutcome};
+pub use lifetime::{
+    monte_carlo_guardband, run_lifetime, LifetimeConfig, LifetimeOutcome, SeedOutcome,
+};
 pub use metrics::{CoreMode, MetricsReport};
 pub use policy::Policy;
 pub use system::{ManyCoreSystem, SystemConfig};

@@ -177,8 +177,25 @@ pub fn compare_policies(
         .collect()
 }
 
+/// One seed's result in a Monte-Carlo guardband sweep: the seed that drove
+/// it, the guardband it required, and the full lifetime outcome behind that
+/// number. Keeping the triple together lets every consumer — the fleet
+/// layer's streaming aggregates, `perf_snapshot`, plotting — share one
+/// aggregation path instead of re-deriving context from a bare `Vec<f64>`.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The RNG seed this lifetime ran under.
+    pub seed: u64,
+    /// The run's required frequency guardband
+    /// ([`LifetimeOutcome::required_guardband`], duplicated for cheap
+    /// aggregation without touching the outcome).
+    pub guardband: f64,
+    /// The full lifetime outcome.
+    pub outcome: LifetimeOutcome,
+}
+
 /// Runs `seeds` independent lifetimes in parallel and returns each run's
-/// required guardband, in seed order.
+/// [`SeedOutcome`], in seed order.
 ///
 /// Seeds are handed out one at a time by [`dh_exec::par_try_map`]'s
 /// self-scheduling queue rather than pre-chunked: per-seed cost is
@@ -194,10 +211,14 @@ pub fn monte_carlo_guardband(
     config: &LifetimeConfig,
     policy: Policy,
     seeds: std::ops::Range<u64>,
-) -> Result<Vec<f64>, SchedError> {
+) -> Result<Vec<SeedOutcome>, SchedError> {
     let seeds: Vec<u64> = seeds.collect();
     dh_exec::par_try_map(&seeds, |&seed| {
-        run_lifetime(config, policy, seed).map(|o| o.required_guardband)
+        run_lifetime(config, policy, seed).map(|outcome| SeedOutcome {
+            seed,
+            guardband: outcome.required_guardband,
+            outcome,
+        })
     })
 }
 
@@ -209,9 +230,15 @@ pub fn monte_carlo_guardband_baseline(
     config: &LifetimeConfig,
     policy: Policy,
     seeds: std::ops::Range<u64>,
-) -> Result<Vec<f64>, SchedError> {
+) -> Result<Vec<SeedOutcome>, SchedError> {
     seeds
-        .map(|seed| run_lifetime_reference(config, policy, seed).map(|o| o.required_guardband))
+        .map(|seed| {
+            run_lifetime_reference(config, policy, seed).map(|outcome| SeedOutcome {
+                seed,
+                guardband: outcome.required_guardband,
+                outcome,
+            })
+        })
         .collect()
 }
 
@@ -303,12 +330,21 @@ mod tests {
             years: 0.05,
             ..short()
         };
-        let gbs = monte_carlo_guardband(&config, Policy::PassiveIdle, 0..6).unwrap();
-        assert_eq!(gbs.len(), 6);
-        assert!(gbs.iter().all(|g| *g > 0.0));
+        let outs = monte_carlo_guardband(&config, Policy::PassiveIdle, 0..6).unwrap();
+        assert_eq!(outs.len(), 6);
+        assert!(outs.iter().all(|o| o.guardband > 0.0));
+        // Results come back in seed order, carrying their seed and the
+        // guardband duplicated out of the full outcome.
+        for (o, seed) in outs.iter().zip(0u64..) {
+            assert_eq!(o.seed, seed);
+            assert_eq!(o.guardband, o.outcome.required_guardband);
+        }
         // Seeds differ, so outcomes differ (workload randomness).
-        let min = gbs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = gbs.iter().cloned().fold(0.0, f64::max);
+        let min = outs
+            .iter()
+            .map(|o| o.guardband)
+            .fold(f64::INFINITY, f64::min);
+        let max = outs.iter().map(|o| o.guardband).fold(0.0, f64::max);
         assert!(max > min);
     }
 
@@ -321,7 +357,12 @@ mod tests {
         let parallel = monte_carlo_guardband(&config, Policy::PassiveIdle, 10..13).unwrap();
         for (i, seed) in (10u64..13).enumerate() {
             let seq = run_lifetime(&config, Policy::PassiveIdle, seed).unwrap();
-            assert_eq!(parallel[i], seq.required_guardband);
+            assert_eq!(parallel[i].seed, seed);
+            assert_eq!(parallel[i].guardband, seq.required_guardband);
+            assert_eq!(
+                parallel[i].outcome.final_permanent_mv,
+                seq.final_permanent_mv
+            );
         }
     }
 

@@ -232,7 +232,7 @@ impl TimeSeries {
             .iter()
             .flat_map(|s| s.samples.iter().map(|x| x.time.value()))
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN times"));
+        times.sort_by(f64::total_cmp);
         times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
         let mut out = String::new();

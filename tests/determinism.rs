@@ -79,7 +79,13 @@ fn guardband_monte_carlo_is_thread_count_invariant_and_repeatable() {
         sample_every: 4,
         ..LifetimeConfig::default()
     };
-    let run = || monte_carlo_guardband(&config, Policy::PassiveIdle, 40..44).unwrap();
+    let run = || {
+        monte_carlo_guardband(&config, Policy::PassiveIdle, 40..44)
+            .unwrap()
+            .iter()
+            .map(|o| o.guardband)
+            .collect::<Vec<_>>()
+    };
 
     let serial = with_threads(Some(1), run);
     let parallel = with_threads(None, run);
