@@ -11,15 +11,24 @@
 //! ```text
 //! fleet --devices 100000 --years 3 --policy worst-first --budget 8
 //! fleet --devices 100000 --checkpoint /tmp/fleet.dhfl --checkpoint-every 4
+//! fleet --devices 20000 --inject panic=0.01,stuck-chip=5 --inject-seed 99
 //! ```
+//!
+//! `--inject` switches to the supervised engine: shard panics are caught
+//! and retried, poisoned kernel outputs are rejected, corrupted
+//! checkpoints fall back to the newest valid generation, and the run
+//! finishes with a degraded report instead of aborting.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use deep_healing::fault::FaultPlan;
 use deep_healing::fleet::{
-    run_fleet, run_fleet_checkpointed, FleetConfig, FleetPolicy, MaintenanceBudget,
+    run_fleet, run_fleet_checkpointed, run_fleet_supervised, CheckpointStore, FleetConfig,
+    FleetPolicy, MaintenanceBudget,
 };
 use dh_bench::banner;
+use dh_exec::RetryPolicy;
 
 const USAGE: &str = "\
 usage: fleet [flags]
@@ -34,6 +43,11 @@ usage: fleet [flags]
   --threads N           worker threads (0 = all cores)   (default 0)
   --checkpoint PATH     resume from / checkpoint to PATH
   --checkpoint-every N  shards folded between writes     (default 8)
+  --inject SPEC         fault plan, e.g. panic=0.01,ckpt-flip=1,stuck-chip=5
+                        (runs supervised; see dh-fault for the spec grammar)
+  --inject-seed N       fault-stream seed                (default: --seed)
+  --retry N             attempts per shard before quarantine (default 3)
+  --keep N              checkpoint generations retained  (default 3)
 ";
 
 struct Args {
@@ -41,6 +55,10 @@ struct Args {
     threads: Option<usize>,
     checkpoint: Option<std::path::PathBuf>,
     checkpoint_every: u64,
+    inject: Option<String>,
+    inject_seed: Option<u64>,
+    retry: u32,
+    keep: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +69,10 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = None;
     let mut checkpoint = None;
     let mut checkpoint_every = 8;
+    let mut inject = None;
+    let mut inject_seed = None;
+    let mut retry = 3;
+    let mut keep = 3;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +107,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--checkpoint" => checkpoint = Some(value.into()),
             "--checkpoint-every" => checkpoint_every = value.parse().map_err(|e| bad(&e))?,
+            "--inject" => inject = Some(value),
+            "--inject-seed" => inject_seed = Some(value.parse().map_err(|e| bad(&e))?),
+            "--retry" => retry = value.parse().map_err(|e| bad(&e))?,
+            "--keep" => keep = value.parse().map_err(|e| bad(&e))?,
             _ => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -93,6 +119,10 @@ fn parse_args() -> Result<Args, String> {
         threads,
         checkpoint,
         checkpoint_every,
+        inject,
+        inject_seed,
+        retry,
+        keep,
     })
 }
 
@@ -130,16 +160,55 @@ fn main() -> ExitCode {
     );
 
     let started = Instant::now();
-    let report = match &args.checkpoint {
-        Some(path) => {
+    let mut degraded = None;
+    let report = if let Some(spec) = &args.inject {
+        let seed = args.inject_seed.unwrap_or(config.seed);
+        let plan = match FaultPlan::parse(spec, seed) {
+            Ok(plan) => plan,
+            Err(why) => {
+                eprintln!("error: --inject {spec}: {why}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("injecting faults [{spec}] with fault seed {seed}\n");
+        let retry = RetryPolicy {
+            max_attempts: args.retry,
+            ..RetryPolicy::default()
+        };
+        let store = args
+            .checkpoint
+            .as_ref()
+            .map(|path| CheckpointStore::new(path, args.keep));
+        if let Some(path) = &args.checkpoint {
             println!(
-                "checkpointing to {} every {} shard(s)\n",
+                "checkpointing to {} every {} shard(s), keeping {} generation(s)\n",
                 path.display(),
-                args.checkpoint_every
+                args.checkpoint_every,
+                args.keep
             );
-            run_fleet_checkpointed(&config, path, args.checkpoint_every)
         }
-        None => run_fleet(&config),
+        run_fleet_supervised(
+            &config,
+            Some(&plan),
+            &retry,
+            store.as_ref().map(|s| (s, args.checkpoint_every)),
+        )
+        .map(|(report, deg)| {
+            degraded = Some(deg);
+            report
+        })
+    } else {
+        match &args.checkpoint {
+            Some(path) => {
+                println!(
+                    "checkpointing to {} every {} shard(s)\n",
+                    path.display(),
+                    args.checkpoint_every
+                );
+                run_fleet_checkpointed(&config, path, args.checkpoint_every)
+            }
+            None => run_fleet(&config),
+        }
     };
     let report = match report {
         Ok(report) => report,
@@ -151,6 +220,9 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed().as_secs_f64();
 
     println!("{}", report.render());
+    if let Some(deg) = &degraded {
+        println!("\n{}", deg.render());
+    }
     println!(
         "\nwall time: {:.2} s ({:.0} devices/s this invocation)",
         elapsed,

@@ -541,7 +541,7 @@ impl TrapEnsemble {
     /// see [`EXP_SATURATE`]) take a transcendental-free path; the rest use
     /// one `exp_m1` per step. Bit-identical at any thread count.
     pub fn stress(&mut self, dt: Seconds, cond: StressCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         let (steps, sub) = stress_schedule(dt.value(), self.window.value(), &self.permanent);
@@ -620,7 +620,7 @@ impl TrapEnsemble {
     /// on the aggregate observables. Not part of the API.
     #[doc(hidden)]
     pub fn stress_reference(&mut self, dt: Seconds, cond: StressCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         let (steps, sub) = stress_schedule(dt.value(), self.window.value(), &self.permanent);
@@ -655,7 +655,7 @@ impl TrapEnsemble {
     /// part of the API.
     #[doc(hidden)]
     pub fn stress_pr1(&mut self, dt: Seconds, cond: StressCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         let steps = ((dt.value() / 900.0).ceil() as usize).clamp(1, 400);
@@ -700,7 +700,7 @@ impl TrapEnsemble {
     /// column; exponents past [`EXP_UNDERFLOW`] zero the occupancy without
     /// evaluating `exp`. Bit-identical at any thread count.
     pub fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         dh_obs::counter!("bti.cet.recover_calls").incr();
@@ -733,7 +733,7 @@ impl TrapEnsemble {
     /// `powf` and sigmoid, serial). Not part of the API.
     #[doc(hidden)]
     pub fn recover_reference(&mut self, dt: Seconds, cond: RecoveryCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         let theta = self.acceleration.factor(cond);

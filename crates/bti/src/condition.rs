@@ -49,6 +49,13 @@ impl StressCondition {
             temperature: temperature.to_kelvin(),
         }
     }
+
+    /// Whether both fields are finite. Kernel entry points reject
+    /// non-finite conditions (a poisoned sensor or thermal solve must not
+    /// propagate NaN into the trap state).
+    pub fn is_finite(self) -> bool {
+        self.gate_voltage.value().is_finite() && self.temperature.value().is_finite()
+    }
 }
 
 impl fmt::Display for StressCondition {
@@ -141,6 +148,13 @@ impl RecoveryCondition {
     /// 20 °C room reference).
     pub fn is_accelerated(self) -> bool {
         self.temperature > Celsius::new(20.0).to_kelvin()
+    }
+
+    /// Whether both fields are finite. Kernel entry points reject
+    /// non-finite conditions (a poisoned sensor or thermal solve must not
+    /// propagate NaN into the trap state).
+    pub fn is_finite(self) -> bool {
+        self.gate_voltage.value().is_finite() && self.temperature.value().is_finite()
     }
 }
 

@@ -121,7 +121,7 @@ impl BtiDevice {
     /// reconstructs its equivalent stress age and advances along the power
     /// law.
     pub fn stress(&mut self, dt: Seconds, cond: StressCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         self.phase = Phase::Stressing;
@@ -137,7 +137,7 @@ impl BtiDevice {
     /// baseline for `perf_snapshot`. Not part of the API.
     #[doc(hidden)]
     pub fn stress_reference(&mut self, dt: Seconds, cond: StressCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         self.phase = Phase::Stressing;
@@ -177,7 +177,7 @@ impl BtiDevice {
     /// the exact universal-relaxation curve (step-size independent); a new
     /// segment starts whenever the condition changes or stress intervened.
     pub fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
-        if dt.value() <= 0.0 {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
         }
         // Small measurement-grade fluctuations (e.g. the paper's ±0.3 °C
@@ -448,5 +448,36 @@ mod tests {
         d.stress(Seconds::from_hours(3.0), StressCondition::ACCELERATED);
         assert_eq!(d.total_stress_time(), Seconds::from_hours(5.0));
         assert_eq!(d.total_recovery_time(), Seconds::from_hours(1.0));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_at_the_kernel_boundary() {
+        use dh_units::{Kelvin, Volts};
+        let mut d = BtiDevice::paper_calibrated();
+        d.stress(Seconds::from_hours(2.0), StressCondition::ACCELERATED);
+        let before = d.delta_vth_mv();
+        assert!(before.is_finite() && before > 0.0);
+
+        d.stress(Seconds::new(f64::NAN), StressCondition::ACCELERATED);
+        d.stress(
+            Seconds::from_hours(1.0),
+            StressCondition {
+                gate_voltage: Volts::new(f64::NAN),
+                temperature: StressCondition::ACCELERATED.temperature,
+            },
+        );
+        d.recover(
+            Seconds::from_hours(1.0),
+            RecoveryCondition {
+                gate_voltage: Volts::ZERO,
+                temperature: Kelvin::new(f64::INFINITY),
+            },
+        );
+        assert_eq!(
+            d.delta_vth_mv(),
+            before,
+            "poisoned inputs must be no-ops, not NaN propagation"
+        );
+        assert_eq!(d.total_stress_time(), Seconds::from_hours(2.0));
     }
 }

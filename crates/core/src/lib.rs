@@ -24,6 +24,7 @@
 //! | [`pdn`] | layered PDN mesh, IR-drop solver, EM hazard maps (Fig. 11) |
 //! | [`sched`] | workloads, sensors, recovery policies, lifetime simulation (Fig. 12) |
 //! | [`fleet`] | fleet-scale population simulation: shards, streaming statistics, checkpoint/resume |
+//! | [`fault`] | deterministic fault injection and degraded-run reporting (chaos testing) |
 //!
 //! The [`experiments`] module packages each of the paper's tables and
 //! figures as a one-call reproduction; the `dh-bench` crate's binaries
@@ -52,6 +53,7 @@ pub mod rig;
 pub use dh_bti as bti;
 pub use dh_circuit as circuit;
 pub use dh_em as em;
+pub use dh_fault as fault;
 pub use dh_fleet as fleet;
 pub use dh_obs as obs;
 pub use dh_pdn as pdn;

@@ -23,6 +23,12 @@ pub enum EmError {
         /// Minimum required by the statistic.
         need: usize,
     },
+    /// A current solve was requested on a network whose source and sink
+    /// no longer connect (the failure cascade completed).
+    Disconnected {
+        /// Segments that have failed open.
+        failed_segments: usize,
+    },
 }
 
 impl fmt::Display for EmError {
@@ -34,6 +40,12 @@ impl fmt::Display for EmError {
             Self::EmptyPopulation => write!(f, "no wire in the population failed"),
             Self::InsufficientSamples { got, need } => {
                 write!(f, "statistic needs {need} failed samples, got {got}")
+            }
+            Self::Disconnected { failed_segments } => {
+                write!(
+                    f,
+                    "network disconnected ({failed_segments} segments failed open)"
+                )
             }
         }
     }
@@ -65,5 +77,7 @@ mod tests {
             .contains("mesh"));
         let e: EmError = QuantityError::NegativeDuration(-1.0).into();
         assert!(e.to_string().contains("invalid quantity"));
+        let e = EmError::Disconnected { failed_segments: 2 };
+        assert!(e.to_string().contains("2 segments"));
     }
 }

@@ -191,10 +191,16 @@ impl EmNetwork {
     /// current injected at the source, via a dense nodal solve over the
     /// live segments' present resistances.
     ///
-    /// Returns `None` if the network is disconnected.
-    pub fn segment_currents(&self, supply: Amperes) -> Option<Vec<Amperes>> {
+    /// # Errors
+    ///
+    /// Returns [`EmError::Disconnected`] when source and sink no longer
+    /// connect, and [`EmError::InvalidMesh`] if the nodal system of the
+    /// surviving segments is singular (degenerate resistances).
+    pub fn segment_currents(&self, supply: Amperes) -> Result<Vec<Amperes>, EmError> {
         if !self.is_connected() {
-            return None;
+            return Err(EmError::Disconnected {
+                failed_segments: self.failed_segments(),
+            });
         }
         // Nodal system with the sink as ground.
         let n = self.nodes;
@@ -219,19 +225,19 @@ impl EmNetwork {
         g[self.sink * n + self.sink] = 1.0;
         rhs[self.sink] = 0.0;
 
-        let v = dense_solve(&mut g, &mut rhs, n)?;
-        Some(
-            self.segments
-                .iter()
-                .map(|s| {
-                    if s.is_failed() {
-                        Amperes::ZERO
-                    } else {
-                        Amperes::new((v[s.from] - v[s.to]) / s.wire.resistance().value())
-                    }
-                })
-                .collect(),
-        )
+        let v = dense_solve(&mut g, &mut rhs, n)
+            .ok_or_else(|| EmError::InvalidMesh("singular nodal system".into()))?;
+        Ok(self
+            .segments
+            .iter()
+            .map(|s| {
+                if s.is_failed() {
+                    Amperes::ZERO
+                } else {
+                    Amperes::new((v[s.from] - v[s.to]) / s.wire.resistance().value())
+                }
+            })
+            .collect())
     }
 
     /// Advances the network by `dt` with a supply current (signed: negative
@@ -242,7 +248,7 @@ impl EmNetwork {
         let mut remaining = dt;
         while remaining.value() > 0.0 {
             let step = remaining.min(resolve_every);
-            let Some(currents) = self.segment_currents(supply) else {
+            let Ok(currents) = self.segment_currents(supply) else {
                 // Dead network: time still passes.
                 self.time += remaining;
                 return;
@@ -326,25 +332,26 @@ mod tests {
     }
 
     #[test]
-    fn currents_split_by_branch_conductance() {
+    fn currents_split_by_branch_conductance() -> Result<(), EmError> {
         let net = EmNetwork::redundant_pair();
-        let currents = net.segment_currents(supply()).unwrap();
+        let currents = net.segment_currents(supply())?;
         assert_eq!(currents.len(), 2);
         // Inverse-length split: I_short/I_long = 180/140.
         let ratio = currents[0].value() / currents[1].value();
         assert!((ratio - 180.0 / 140.0).abs() < 1e-9, "split ratio {ratio}");
         let total = currents[0].value() + currents[1].value();
         assert!((total - supply().value()).abs() / supply().value() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn voided_branch_sheds_current_onto_its_twin() {
+    fn voided_branch_sheds_current_onto_its_twin() -> Result<(), EmError> {
         let mut net = EmNetwork::redundant_pair();
         // Age the pair until at least one branch has a void.
         net.advance(Seconds::from_hours(6.0), supply());
         // Grow some resistance asymmetry by perturbing one branch directly:
         // advance only the network long enough that voids exist.
-        let currents = net.segment_currents(supply()).unwrap();
+        let currents = net.segment_currents(supply())?;
         let r0 = net.segments()[0].wire.resistance().value();
         let r1 = net.segments()[1].wire.resistance().value();
         if (r0 - r1).abs() > 1e-9 {
@@ -355,13 +362,14 @@ mod tests {
         // Conservation regardless.
         let total = currents[0].value() + currents[1].value();
         assert!((total - supply().value()).abs() / supply().value() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn failure_cascades_and_disconnects_the_network() {
+    fn failure_cascades_and_disconnects_the_network() -> Result<(), EmError> {
         let mut net = EmNetwork::redundant_pair();
         let ttf = net.time_to_disconnect(supply(), Seconds::from_hours(80.0));
-        let ttf = ttf.expect("accelerated stress must kill the pair");
+        let ttf = ttf.ok_or(EmError::EmptyPopulation)?;
         assert_eq!(
             net.failed_segments(),
             2,
@@ -369,10 +377,11 @@ mod tests {
         );
         assert!(!net.is_connected());
         assert!(ttf > Seconds::from_hours(1.0));
+        Ok(())
     }
 
     #[test]
-    fn redundancy_extends_but_does_not_double_lifetime() {
+    fn redundancy_extends_but_does_not_double_lifetime() -> Result<(), EmError> {
         // The short branch alone, carrying its initial share, fails at t₁.
         // The pair disconnects later (the long branch survives the first
         // failure) but the survivor inherits the FULL supply, so the
@@ -387,16 +396,15 @@ mod tests {
             dh_units::Celsius::new(230.0).to_kelvin(),
             0,
             1,
-        )
-        .unwrap();
+        )?;
         let t_single = single
             .time_to_disconnect(short_share, Seconds::from_hours(120.0))
-            .expect("single branch fails");
+            .ok_or(EmError::EmptyPopulation)?;
 
         let mut pair = EmNetwork::redundant_pair();
         let t_pair = pair
             .time_to_disconnect(supply(), Seconds::from_hours(240.0))
-            .expect("pair fails");
+            .ok_or(EmError::EmptyPopulation)?;
         assert!(t_pair > t_single, "pair {t_pair:?} vs single {t_single:?}");
         assert!(
             t_pair < t_single * 1.9,
@@ -404,6 +412,7 @@ mod tests {
             t_pair.as_hours(),
             t_single.as_hours()
         );
+        Ok(())
     }
 
     #[test]
@@ -439,14 +448,16 @@ mod tests {
     }
 
     #[test]
-    fn disconnected_network_reports_no_currents() {
+    fn disconnected_network_reports_a_typed_error() -> Result<(), EmError> {
         let mut net = EmNetwork::redundant_pair();
         net.time_to_disconnect(supply(), Seconds::from_hours(80.0))
-            .expect("fails");
-        assert!(net.segment_currents(supply()).is_none());
+            .ok_or(EmError::EmptyPopulation)?;
+        let err = net.segment_currents(supply()).unwrap_err();
+        assert_eq!(err, EmError::Disconnected { failed_segments: 2 });
         // Advancing a dead network only passes time.
         let t = net.time();
         net.advance(Seconds::from_hours(1.0), supply());
         assert_eq!(net.time(), t + Seconds::from_hours(1.0));
+        Ok(())
     }
 }

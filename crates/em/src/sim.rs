@@ -285,7 +285,7 @@ impl EmWire {
         j: CurrentDensity,
         temp_at: impl Fn(f64) -> Kelvin,
     ) {
-        if dt.value() <= 0.0 || self.failed {
+        if !(dt.value() > 0.0) || self.failed || !j.value().is_finite() {
             return;
         }
         let n = self.sigma.len();
@@ -340,7 +340,7 @@ impl EmWire {
     /// equivalence oracle for the hoisted fast path. Not part of the API.
     #[doc(hidden)]
     pub fn advance_reference(&mut self, dt: Seconds, j: CurrentDensity) {
-        if dt.value() <= 0.0 || self.failed {
+        if !(dt.value() > 0.0) || self.failed || !j.value().is_finite() {
             return;
         }
         let n = self.sigma.len();
@@ -816,5 +816,28 @@ mod tests {
         .unwrap();
         cold.advance(Seconds::from_minutes(300.0), J_STRESS);
         assert!(!cold.has_void());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_at_the_kernel_boundary() {
+        let mut w = EmWire::new(
+            WireGeometry::paper(),
+            EmMaterial::damascene_copper(),
+            Celsius::new(230.0).to_kelvin(),
+            DEFAULT_NODES,
+        )
+        .unwrap();
+        w.advance(Seconds::from_hours(2.0), J_STRESS);
+        let before = w.delta_resistance();
+        let t_before = w.time();
+
+        w.advance(Seconds::new(f64::NAN), J_STRESS);
+        w.advance(Seconds::from_hours(1.0), CurrentDensity::new(f64::INFINITY));
+        assert_eq!(
+            w.delta_resistance(),
+            before,
+            "poisoned inputs must be no-ops, not NaN propagation"
+        );
+        assert_eq!(w.time(), t_before);
     }
 }

@@ -1,0 +1,36 @@
+//! Deterministic fault injection for the deep-healing workspace.
+//!
+//! The fleet layer runs million-chip simulations for hours across a
+//! thread pool with periodic checkpoints, and the scheduler layer trusts
+//! in-situ aging sensors. Hardening those paths is only testable if the
+//! faults themselves are reproducible, so everything here is driven by a
+//! seeded [`FaultPlan`]: every injection decision — "does shard 17 panic
+//! on attempt 2?", "which byte of checkpoint write 3 gets flipped?",
+//! "is chip 905's sensor stuck?" — is a pure function of
+//! `(seed, named stream, index)` via [`dh_units::rng::seeded_stream_rng`].
+//! Running the same plan twice, at any thread count, injects the same
+//! faults in the same places.
+//!
+//! The crate deliberately has no dependency on the execution, fleet, or
+//! scheduler crates: those layers *consume* a plan (asking it yes/no
+//! questions at their own injection points) and *produce* a
+//! [`DegradedReport`] describing what the run survived. A plan parsed
+//! from an empty spec injects nothing, so production paths can thread an
+//! `Option<&FaultPlan>` through unconditionally.
+//!
+//! Spec strings are compact `key=value` lists, e.g.
+//! `"panic=0.01,ckpt-flip=2,stuck-chip=5"` — see [`FaultSpec::parse`]
+//! for the full grammar. The same string works in tests, on the bench
+//! CLI (`fleet --inject <spec>`), and in the CI chaos job.
+
+#![warn(missing_docs)]
+
+mod plan;
+mod report;
+mod spec;
+
+pub use plan::{CheckpointCorruption, FaultPlan, PoisonKind};
+pub use report::{
+    CheckpointFallback, DegradedReport, SensorFaultKind, SensorIncident, ShardFailure,
+};
+pub use spec::{FaultSpec, FaultSpecError};

@@ -1,0 +1,331 @@
+//! The seeded plan that turns a [`FaultSpec`] into reproducible
+//! injection decisions.
+
+use rand::Rng;
+
+use crate::report::SensorFaultKind;
+use crate::spec::{FaultSpec, FaultSpecError};
+
+/// Named RNG stream for per-`(shard, attempt)` panic decisions.
+const PANIC_STREAM: &str = "fault/panic";
+/// Named RNG stream for per-`(shard, attempt)` poisoning decisions.
+const POISON_STREAM: &str = "fault/poison";
+/// Named RNG stream for per-write checkpoint corruption.
+const CKPT_STREAM: &str = "fault/ckpt";
+/// Named RNG stream for per-chip (per-core) sensor faults.
+const STUCK_STREAM: &str = "fault/stuck";
+
+/// The non-finite value a poisoning fault writes into a kernel output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonKind {
+    /// Quiet NaN.
+    Nan,
+    /// Positive infinity.
+    PosInf,
+    /// Negative infinity.
+    NegInf,
+}
+
+impl PoisonKind {
+    /// The `f64` this poison writes.
+    pub fn value(self) -> f64 {
+        match self {
+            Self::Nan => f64::NAN,
+            Self::PosInf => f64::INFINITY,
+            Self::NegInf => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// How a checkpoint write is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCorruption {
+    /// One bit of the encoded file is flipped.
+    BitFlip,
+    /// The encoded file is cut short.
+    Truncate,
+}
+
+/// A seeded, deterministic fault plan.
+///
+/// Every decision method is a pure function of the plan's seed and its
+/// arguments; no internal state advances between calls. That means the
+/// layers consuming a plan (pool supervisor, checkpoint store, chip
+/// simulation, core scheduler) can query it from any thread in any
+/// order and still inject an identical fault set run to run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a parsed spec and an injection seed.
+    ///
+    /// The seed is independent of any simulation seed so the same chaos
+    /// campaign can replay against different workloads.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        Self { spec, seed }
+    }
+
+    /// Parses `text` as a [`FaultSpec`] and builds the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] when the spec string does not parse.
+    pub fn parse(text: &str, seed: u64) -> Result<Self, FaultSpecError> {
+        Ok(Self::new(FaultSpec::parse(text)?, seed))
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The injection seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan injects nothing (supervised paths behave
+    /// exactly like unsupervised ones).
+    pub fn is_noop(&self) -> bool {
+        self.spec.is_empty()
+    }
+
+    /// Mixes `(shard, attempt)` into one stream index so retries of the
+    /// same shard draw fresh, but still deterministic, fault decisions.
+    fn attempt_index(shard: u64, attempt: u32) -> u64 {
+        shard
+            .wrapping_mul(1_000_003)
+            .wrapping_add(u64::from(attempt))
+    }
+
+    /// Draws a Bernoulli decision from a named stream.
+    fn coin(&self, stream: &str, index: u64, probability: f64) -> bool {
+        if probability <= 0.0 {
+            return false;
+        }
+        if probability >= 1.0 {
+            return true;
+        }
+        let mut rng = dh_units::rng::seeded_stream_rng(self.seed, stream, index);
+        rng.gen::<f64>() < probability
+    }
+
+    /// Should attempt `attempt` (1-based) of `shard` panic mid-task?
+    ///
+    /// A `kill-shard` directive panics on every attempt; the `panic`
+    /// probability is drawn fresh per `(shard, attempt)` so transient
+    /// panics can succeed on retry.
+    pub fn shard_panics(&self, shard: u64, attempt: u32) -> bool {
+        if self.spec.kill_shard == Some(shard) {
+            return true;
+        }
+        self.coin(
+            PANIC_STREAM,
+            Self::attempt_index(shard, attempt),
+            self.spec.panic_probability,
+        )
+    }
+
+    /// Does attempt `attempt` of `shard` poison one of its `chips`
+    /// outcomes, and if so which offset with which non-finite value?
+    ///
+    /// Returns `None` when `chips == 0` or the draw misses. Directed
+    /// poisoning (`poison-chip`) is separate — see
+    /// [`FaultPlan::poisoned_chip`].
+    pub fn poison(&self, shard: u64, attempt: u32, chips: u64) -> Option<(u64, PoisonKind)> {
+        if chips == 0 || self.spec.poison_probability <= 0.0 {
+            return None;
+        }
+        let mut rng = dh_units::rng::seeded_stream_rng(
+            self.seed,
+            POISON_STREAM,
+            Self::attempt_index(shard, attempt),
+        );
+        if rng.gen::<f64>() >= self.spec.poison_probability {
+            return None;
+        }
+        let offset = rng.gen_range(0..chips);
+        let kind = match rng.gen_range(0..3_u8) {
+            0 => PoisonKind::Nan,
+            1 => PoisonKind::PosInf,
+            _ => PoisonKind::NegInf,
+        };
+        Some((offset, kind))
+    }
+
+    /// The global chip index whose outcome is always poisoned (the
+    /// `poison-chip` directive), if any.
+    pub fn poisoned_chip(&self) -> Option<u64> {
+        self.spec.poison_chip
+    }
+
+    /// How checkpoint write number `write_index` (0-based, counted per
+    /// process invocation) is corrupted, if at all.
+    ///
+    /// Truncation wins when both periods land on the same write.
+    pub fn checkpoint_corruption(&self, write_index: u64) -> Option<CheckpointCorruption> {
+        let hits = |every: u64| every > 0 && (write_index + 1).is_multiple_of(every);
+        if hits(self.spec.checkpoint_truncate_every) {
+            Some(CheckpointCorruption::Truncate)
+        } else if hits(self.spec.checkpoint_flip_every) {
+            Some(CheckpointCorruption::BitFlip)
+        } else {
+            None
+        }
+    }
+
+    /// Applies this write's corruption (if any) to the encoded bytes,
+    /// returning a human-readable description of what was done.
+    ///
+    /// Bit position and truncation length are drawn from the `fault/ckpt`
+    /// stream at `write_index`, so a replayed campaign damages the same
+    /// bytes.
+    pub fn corrupt_checkpoint(&self, write_index: u64, bytes: &mut Vec<u8>) -> Option<String> {
+        let kind = self.checkpoint_corruption(write_index)?;
+        if bytes.is_empty() {
+            return None;
+        }
+        let mut rng = dh_units::rng::seeded_stream_rng(self.seed, CKPT_STREAM, write_index);
+        match kind {
+            CheckpointCorruption::BitFlip => {
+                let byte = rng.gen_range(0..bytes.len());
+                let bit = rng.gen_range(0..8_u8);
+                bytes[byte] ^= 1 << bit;
+                Some(format!("flipped bit {bit} of byte {byte}/{}", bytes.len()))
+            }
+            CheckpointCorruption::Truncate => {
+                let keep = rng.gen_range(0..bytes.len());
+                let total = bytes.len();
+                bytes.truncate(keep);
+                Some(format!("truncated to {keep}/{total} bytes"))
+            }
+        }
+    }
+
+    /// The sensor fault afflicting chip (or core) `index`, if any.
+    ///
+    /// Plan-driven sensor faults are always [`SensorFaultKind::Stuck`] —
+    /// the failure mode the paper's replica-path monitors actually
+    /// exhibit when their ring oscillator latches up. Dropped and noisy
+    /// faults can be injected directly at the scheduler layer.
+    pub fn sensor_fault(&self, index: u64) -> Option<SensorFaultKind> {
+        if self.spec.stuck_chip == Some(index)
+            || self.coin(STUCK_STREAM, index, self.spec.stuck_probability)
+        {
+            return Some(SensorFaultKind::Stuck);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(text: &str) -> FaultPlan {
+        FaultPlan::parse(text, 99).expect("test spec parses")
+    }
+
+    #[test]
+    fn decisions_are_reproducible_and_seed_dependent() {
+        let a = plan("panic=0.3,poison=0.3,stuck=0.3");
+        let b = plan("panic=0.3,poison=0.3,stuck=0.3");
+        let c = FaultPlan::parse("panic=0.3,poison=0.3,stuck=0.3", 100).unwrap();
+        let a_bits: Vec<bool> = (0..64).map(|s| a.shard_panics(s, 1)).collect();
+        let b_bits: Vec<bool> = (0..64).map(|s| b.shard_panics(s, 1)).collect();
+        let c_bits: Vec<bool> = (0..64).map(|s| c.shard_panics(s, 1)).collect();
+        assert_eq!(a_bits, b_bits);
+        assert_ne!(a_bits, c_bits, "a different seed must move the faults");
+        assert_eq!(a.poison(5, 1, 16), b.poison(5, 1, 16));
+        assert_eq!(a.sensor_fault(7), b.sensor_fault(7));
+    }
+
+    #[test]
+    fn retries_draw_fresh_decisions() {
+        let p = plan("panic=0.5");
+        let per_attempt: Vec<bool> = (1..=16).map(|a| p.shard_panics(3, a)).collect();
+        assert!(
+            per_attempt.iter().any(|&x| x) && per_attempt.iter().any(|&x| !x),
+            "attempts must not all share one fate: {per_attempt:?}"
+        );
+    }
+
+    #[test]
+    fn kill_shard_panics_every_attempt() {
+        let p = plan("kill-shard=4");
+        for attempt in 1..=8 {
+            assert!(p.shard_panics(4, attempt));
+        }
+        assert!(!p.shard_panics(5, 1));
+    }
+
+    #[test]
+    fn checkpoint_periods_select_writes() {
+        let p = plan("ckpt-flip=2,ckpt-truncate=3");
+        assert_eq!(p.checkpoint_corruption(0), None);
+        assert_eq!(
+            p.checkpoint_corruption(1),
+            Some(CheckpointCorruption::BitFlip)
+        );
+        // Truncation wins on write 5 (hit by both periods).
+        assert_eq!(
+            p.checkpoint_corruption(5),
+            Some(CheckpointCorruption::Truncate)
+        );
+    }
+
+    #[test]
+    fn corruption_damages_bytes_deterministically() {
+        let p = plan("ckpt-flip=1");
+        let clean: Vec<u8> = (0..64).collect();
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        let wa = p
+            .corrupt_checkpoint(0, &mut a)
+            .expect("write 0 is corrupted");
+        let wb = p
+            .corrupt_checkpoint(0, &mut b)
+            .expect("write 0 is corrupted");
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
+        assert_ne!(a, clean);
+        // Exactly one bit differs.
+        let bits: u32 = a
+            .iter()
+            .zip(&clean)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(bits, 1);
+    }
+
+    #[test]
+    fn truncation_shortens_the_file() {
+        let p = plan("ckpt-truncate=1");
+        let mut bytes: Vec<u8> = (0..64).collect();
+        p.corrupt_checkpoint(0, &mut bytes)
+            .expect("write 0 is corrupted");
+        assert!(bytes.len() < 64);
+    }
+
+    #[test]
+    fn noop_plan_injects_nothing() {
+        let p = plan("");
+        assert!(p.is_noop());
+        for i in 0..32 {
+            assert!(!p.shard_panics(i, 1));
+            assert_eq!(p.poison(i, 1, 16), None);
+            assert_eq!(p.checkpoint_corruption(i), None);
+            assert_eq!(p.sensor_fault(i), None);
+        }
+    }
+
+    #[test]
+    fn directed_stuck_sensor() {
+        let p = plan("stuck-chip=11");
+        assert_eq!(p.sensor_fault(11), Some(SensorFaultKind::Stuck));
+        assert_eq!(p.sensor_fault(12), None);
+    }
+}

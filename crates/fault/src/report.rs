@@ -1,0 +1,319 @@
+//! The structured record of everything a supervised run survived.
+
+use core::fmt;
+
+/// FNV-1a 64-bit offset basis (kept local: this crate sits below the
+/// fleet wire module on purpose).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv1a_u64(hash: u64, v: u64) -> u64 {
+    fnv1a(hash, &v.to_le_bytes())
+}
+
+/// The ways an aging sensor misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFaultKind {
+    /// The reading latches at its current value and never moves again
+    /// (a ring-oscillator monitor that stopped toggling).
+    Stuck,
+    /// The reading goes away entirely (dead monitor, no sample).
+    Dropped,
+    /// The reading is still live but its noise is amplified by this
+    /// factor.
+    Noisy(f64),
+}
+
+impl SensorFaultKind {
+    /// Stable wire discriminant (checkpoints persist incidents).
+    pub fn discriminant(self) -> u8 {
+        match self {
+            Self::Stuck => 0,
+            Self::Dropped => 1,
+            Self::Noisy(_) => 2,
+        }
+    }
+
+    /// The noise-amplification payload (0 for the other kinds).
+    pub fn payload(self) -> f64 {
+        match self {
+            Self::Noisy(factor) => factor,
+            _ => 0.0,
+        }
+    }
+
+    /// Rebuilds a kind from its wire pair. Returns `None` for an
+    /// unknown discriminant.
+    pub fn from_wire(discriminant: u8, payload: f64) -> Option<Self> {
+        match discriminant {
+            0 => Some(Self::Stuck),
+            1 => Some(Self::Dropped),
+            2 => Some(Self::Noisy(payload)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SensorFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Stuck => write!(f, "stuck"),
+            Self::Dropped => write!(f, "dropped"),
+            Self::Noisy(factor) => write!(f, "noisy(x{factor})"),
+        }
+    }
+}
+
+/// A shard that exhausted its retry budget and was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The shard's index in the run.
+    pub shard: u64,
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
+    /// The panic (or error) message from the final attempt.
+    pub error: String,
+}
+
+/// A sensor the simulation detected as bad and stopped trusting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorIncident {
+    /// Global chip (fleet layer) or core (sched layer) index.
+    pub chip: u64,
+    /// What the sensor was doing.
+    pub kind: SensorFaultKind,
+    /// The epoch at which staleness detection flagged it.
+    pub epoch: u64,
+}
+
+/// A checkpoint generation that failed validation during resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointFallback {
+    /// Which generation was skipped (0 = newest).
+    pub generation: u64,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// What a supervised run survived: quarantined shards, retries that
+/// eventually succeeded, rejected non-finite samples, distrusted
+/// sensors, and checkpoint generations that were skipped during resume.
+///
+/// An all-empty report (`!is_degraded()`) certifies the run took every
+/// fast path and its fleet aggregate is bit-identical to an
+/// unsupervised run of the same config.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradedReport {
+    /// Shards dropped from the aggregate after exhausting retries.
+    pub quarantined: Vec<ShardFailure>,
+    /// Task attempts that panicked and were re-executed (whether or not
+    /// the shard eventually succeeded).
+    pub retries: u64,
+    /// Chip samples rejected by the non-finite guards.
+    pub rejected_samples: u64,
+    /// Sensors flagged by staleness detection and degraded to the
+    /// conservative policy.
+    pub sensor_incidents: Vec<SensorIncident>,
+    /// Checkpoint generations skipped on resume.
+    pub checkpoint_fallbacks: Vec<CheckpointFallback>,
+}
+
+impl DegradedReport {
+    /// True when anything at all went wrong (or was injected).
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+            || self.retries > 0
+            || self.rejected_samples > 0
+            || !self.sensor_incidents.is_empty()
+            || !self.checkpoint_fallbacks.is_empty()
+    }
+
+    /// Folds another report into this one (used when a resumed run
+    /// merges the persisted degraded state with fresh incidents).
+    pub fn absorb(&mut self, other: DegradedReport) {
+        self.quarantined.extend(other.quarantined);
+        self.retries += other.retries;
+        self.rejected_samples += other.rejected_samples;
+        self.sensor_incidents.extend(other.sensor_incidents);
+        self.checkpoint_fallbacks.extend(other.checkpoint_fallbacks);
+    }
+
+    /// A stable FNV-1a fingerprint over every field — the golden value
+    /// the CI chaos job pins. Strings hash by their bytes, floats by
+    /// their bit patterns, so equal fingerprints mean equal reports.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, b"dh-degraded-report-v1");
+        h = fnv1a_u64(h, self.quarantined.len() as u64);
+        for q in &self.quarantined {
+            h = fnv1a_u64(h, q.shard);
+            h = fnv1a_u64(h, u64::from(q.attempts));
+            h = fnv1a(h, q.error.as_bytes());
+        }
+        h = fnv1a_u64(h, self.retries);
+        h = fnv1a_u64(h, self.rejected_samples);
+        h = fnv1a_u64(h, self.sensor_incidents.len() as u64);
+        for s in &self.sensor_incidents {
+            h = fnv1a_u64(h, s.chip);
+            h = fnv1a_u64(h, u64::from(s.kind.discriminant()));
+            h = fnv1a_u64(h, s.kind.payload().to_bits());
+            h = fnv1a_u64(h, s.epoch);
+        }
+        h = fnv1a_u64(h, self.checkpoint_fallbacks.len() as u64);
+        for c in &self.checkpoint_fallbacks {
+            h = fnv1a_u64(h, c.generation);
+            h = fnv1a(h, c.reason.as_bytes());
+        }
+        h
+    }
+
+    /// Renders the report as the human-readable block the bench CLI and
+    /// chaos CI print.
+    pub fn render(&self) -> String {
+        if !self.is_degraded() {
+            return "degraded report: clean run (no faults observed)".to_string();
+        }
+        let mut out = String::from("degraded report:\n");
+        out.push_str(&format!(
+            "  quarantined shards : {}\n",
+            self.quarantined.len()
+        ));
+        for q in &self.quarantined {
+            out.push_str(&format!(
+                "    shard {:>6}  after {} attempts: {}\n",
+                q.shard, q.attempts, q.error
+            ));
+        }
+        out.push_str(&format!("  retried attempts   : {}\n", self.retries));
+        out.push_str(&format!(
+            "  rejected samples   : {}\n",
+            self.rejected_samples
+        ));
+        out.push_str(&format!(
+            "  sensor incidents   : {}\n",
+            self.sensor_incidents.len()
+        ));
+        for s in &self.sensor_incidents {
+            out.push_str(&format!(
+                "    chip {:>7}  {} (flagged at epoch {})\n",
+                s.chip, s.kind, s.epoch
+            ));
+        }
+        out.push_str(&format!(
+            "  ckpt fallbacks     : {}\n",
+            self.checkpoint_fallbacks.len()
+        ));
+        for c in &self.checkpoint_fallbacks {
+            out.push_str(&format!("    generation {}  {}\n", c.generation, c.reason));
+        }
+        out.push_str(&format!(
+            "  fingerprint        : {:#018x}",
+            self.fingerprint()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DegradedReport {
+        DegradedReport {
+            quarantined: vec![ShardFailure {
+                shard: 4,
+                attempts: 3,
+                error: "injected fault: shard 4".to_string(),
+            }],
+            retries: 2,
+            rejected_samples: 1,
+            sensor_incidents: vec![SensorIncident {
+                chip: 11,
+                kind: SensorFaultKind::Stuck,
+                epoch: 9,
+            }],
+            checkpoint_fallbacks: vec![CheckpointFallback {
+                generation: 0,
+                reason: "checksum mismatch".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = DegradedReport::default();
+        assert!(!r.is_degraded());
+        assert!(r.render().contains("clean run"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = sample();
+        assert!(base.is_degraded());
+        let mut variants = vec![base.clone()];
+        let mut v = base.clone();
+        v.quarantined[0].shard = 5;
+        variants.push(v);
+        let mut v = base.clone();
+        v.retries = 3;
+        variants.push(v);
+        let mut v = base.clone();
+        v.rejected_samples = 0;
+        variants.push(v);
+        let mut v = base.clone();
+        v.sensor_incidents[0].kind = SensorFaultKind::Noisy(8.0);
+        variants.push(v);
+        let mut v = base.clone();
+        v.checkpoint_fallbacks[0].reason = "bad magic".to_string();
+        variants.push(v);
+        let prints: Vec<u64> = variants.iter().map(DegradedReport::fingerprint).collect();
+        for i in 0..prints.len() {
+            for j in (i + 1)..prints.len() {
+                assert_ne!(prints[i], prints[j], "variants {i} and {j} collide");
+            }
+        }
+        assert_eq!(base.fingerprint(), sample().fingerprint());
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_lists() {
+        let mut a = sample();
+        a.absorb(sample());
+        assert_eq!(a.quarantined.len(), 2);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.rejected_samples, 2);
+        assert_eq!(a.sensor_incidents.len(), 2);
+        assert_eq!(a.checkpoint_fallbacks.len(), 2);
+    }
+
+    #[test]
+    fn sensor_kind_wire_round_trips() {
+        for kind in [
+            SensorFaultKind::Stuck,
+            SensorFaultKind::Dropped,
+            SensorFaultKind::Noisy(8.0),
+        ] {
+            let back = SensorFaultKind::from_wire(kind.discriminant(), kind.payload())
+                .expect("known discriminant");
+            assert_eq!(back, kind);
+        }
+        assert_eq!(SensorFaultKind::from_wire(9, 0.0), None);
+    }
+
+    #[test]
+    fn render_enumerates_incidents() {
+        let text = sample().render();
+        assert!(text.contains("shard      4"));
+        assert!(text.contains("stuck"));
+        assert!(text.contains("checksum mismatch"));
+        assert!(text.contains("fingerprint"));
+    }
+}

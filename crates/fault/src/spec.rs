@@ -1,0 +1,242 @@
+//! The compact `key=value` grammar naming a set of faults to inject.
+
+use core::fmt;
+
+/// A parse error from [`FaultSpec::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// An item was not of the form `key=value`.
+    Malformed(String),
+    /// The key is not one the injector understands.
+    UnknownKey(String),
+    /// The value did not parse as the type the key expects, or was out
+    /// of range (probabilities must lie in `[0, 1]`).
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Malformed(item) => write!(f, "fault spec item `{item}` is not key=value"),
+            Self::UnknownKey(key) => write!(f, "unknown fault spec key `{key}`"),
+            Self::BadValue { key, value } => {
+                write!(f, "fault spec value `{value}` is invalid for key `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A declarative description of which faults to inject and how often.
+///
+/// Parsed from a spec string (see [`FaultSpec::parse`]); paired with a
+/// seed it becomes a deterministic [`crate::FaultPlan`]. The default
+/// spec injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that a `(shard, attempt)` task panics mid-flight.
+    pub panic_probability: f64,
+    /// A shard index that panics on *every* attempt (guaranteed
+    /// quarantine, regardless of retry budget).
+    pub kill_shard: Option<u64>,
+    /// Probability that a `(shard, attempt)` has one chip outcome
+    /// poisoned with a non-finite guardband.
+    pub poison_probability: f64,
+    /// A global chip index whose outcome is poisoned on every attempt
+    /// (guaranteed rejected sample — retries cannot outrun it).
+    pub poison_chip: Option<u64>,
+    /// Corrupt every Nth checkpoint write with a single bit flip
+    /// (0 = never).
+    pub checkpoint_flip_every: u64,
+    /// Truncate every Nth checkpoint write (0 = never).
+    pub checkpoint_truncate_every: u64,
+    /// Probability that a chip (or core) sensor is stuck for the whole
+    /// run.
+    pub stuck_probability: f64,
+    /// A chip/core index whose sensor is always stuck.
+    pub stuck_chip: Option<u64>,
+}
+
+impl FaultSpec {
+    /// Parses a comma-separated `key=value` spec string.
+    ///
+    /// Keys (all optional; whitespace around items is ignored):
+    ///
+    /// | key             | value        | meaning |
+    /// |-----------------|--------------|---------|
+    /// | `panic`         | prob in 0..1 | each `(shard, attempt)` panics with this probability |
+    /// | `kill-shard`    | shard index  | this shard panics on every attempt |
+    /// | `poison`        | prob in 0..1 | each `(shard, attempt)` emits one NaN/Inf chip outcome |
+    /// | `poison-chip`   | chip index   | this chip's outcome is always non-finite |
+    /// | `ckpt-flip`     | period N     | every Nth checkpoint write has one bit flipped |
+    /// | `ckpt-truncate` | period N     | every Nth checkpoint write is truncated |
+    /// | `stuck`         | prob in 0..1 | each chip/core sensor is stuck with this probability |
+    /// | `stuck-chip`    | chip index   | this chip/core's sensor is always stuck |
+    ///
+    /// An empty (or all-whitespace) string parses to the no-op spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] on malformed items, unknown keys, or
+    /// out-of-range values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let spec = dh_fault::FaultSpec::parse("panic=0.01,ckpt-flip=2,stuck-chip=5").unwrap();
+    /// assert_eq!(spec.panic_probability, 0.01);
+    /// assert_eq!(spec.checkpoint_flip_every, 2);
+    /// assert_eq!(spec.stuck_chip, Some(5));
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, FaultSpecError> {
+        let mut spec = Self::default();
+        for item in text.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::Malformed(item.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || FaultSpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            let prob = |slot: &mut f64| -> Result<(), FaultSpecError> {
+                let p: f64 = value.parse().map_err(|_| bad())?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(bad());
+                }
+                *slot = p;
+                Ok(())
+            };
+            match key {
+                "panic" => prob(&mut spec.panic_probability)?,
+                "poison" => prob(&mut spec.poison_probability)?,
+                "stuck" => prob(&mut spec.stuck_probability)?,
+                "kill-shard" => spec.kill_shard = Some(value.parse().map_err(|_| bad())?),
+                "poison-chip" => spec.poison_chip = Some(value.parse().map_err(|_| bad())?),
+                "stuck-chip" => spec.stuck_chip = Some(value.parse().map_err(|_| bad())?),
+                "ckpt-flip" => spec.checkpoint_flip_every = value.parse().map_err(|_| bad())?,
+                "ckpt-truncate" => {
+                    spec.checkpoint_truncate_every = value.parse().map_err(|_| bad())?;
+                }
+                _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// True when the spec injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    /// Renders the spec back in its canonical `key=value` form (only
+    /// the active keys, in grammar order).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut item = |f: &mut fmt::Formatter<'_>, text: String| -> fmt::Result {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            write!(f, "{text}")
+        };
+        if self.panic_probability > 0.0 {
+            item(f, format!("panic={}", self.panic_probability))?;
+        }
+        if let Some(shard) = self.kill_shard {
+            item(f, format!("kill-shard={shard}"))?;
+        }
+        if self.poison_probability > 0.0 {
+            item(f, format!("poison={}", self.poison_probability))?;
+        }
+        if let Some(chip) = self.poison_chip {
+            item(f, format!("poison-chip={chip}"))?;
+        }
+        if self.checkpoint_flip_every > 0 {
+            item(f, format!("ckpt-flip={}", self.checkpoint_flip_every))?;
+        }
+        if self.checkpoint_truncate_every > 0 {
+            item(
+                f,
+                format!("ckpt-truncate={}", self.checkpoint_truncate_every),
+            )?;
+        }
+        if self.stuck_probability > 0.0 {
+            item(f, format!("stuck={}", self.stuck_probability))?;
+        }
+        if let Some(chip) = self.stuck_chip {
+            item(f, format!("stuck-chip={chip}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_noop() -> Result<(), FaultSpecError> {
+        assert!(FaultSpec::parse("")?.is_empty());
+        assert!(FaultSpec::parse("  ,  ")?.is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn parses_every_key() -> Result<(), FaultSpecError> {
+        let spec = FaultSpec::parse(
+            "panic=0.25, kill-shard=3, poison=0.5, poison-chip=7, \
+             ckpt-flip=2, ckpt-truncate=4, stuck=0.1, stuck-chip=9",
+        )?;
+        assert_eq!(spec.panic_probability, 0.25);
+        assert_eq!(spec.kill_shard, Some(3));
+        assert_eq!(spec.poison_probability, 0.5);
+        assert_eq!(spec.poison_chip, Some(7));
+        assert_eq!(spec.checkpoint_flip_every, 2);
+        assert_eq!(spec.checkpoint_truncate_every, 4);
+        assert_eq!(spec.stuck_probability, 0.1);
+        assert_eq!(spec.stuck_chip, Some(9));
+        Ok(())
+    }
+
+    #[test]
+    fn display_round_trips() -> Result<(), FaultSpecError> {
+        let text = "panic=0.01,ckpt-flip=2,stuck-chip=5";
+        let spec = FaultSpec::parse(text)?;
+        assert_eq!(spec.to_string(), text);
+        assert_eq!(FaultSpec::parse(&spec.to_string())?, spec);
+        Ok(())
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            FaultSpec::parse("panic"),
+            Err(FaultSpecError::Malformed(_))
+        ));
+        assert!(matches!(
+            FaultSpec::parse("warp=0.5"),
+            Err(FaultSpecError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            FaultSpec::parse("panic=1.5"),
+            Err(FaultSpecError::BadValue { .. })
+        ));
+        assert!(matches!(
+            FaultSpec::parse("kill-shard=minus-one"),
+            Err(FaultSpecError::BadValue { .. })
+        ));
+    }
+}

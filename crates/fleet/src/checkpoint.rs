@@ -7,27 +7,40 @@
 //! | offset | size | field |
 //! |--------|------|-------|
 //! | 0      | 4    | magic `"DHFL"` |
-//! | 4      | 1    | format version (currently 1) |
+//! | 4      | 1    | format version (currently 2) |
 //! | 5      | 8    | config fingerprint ([`crate::FleetConfig::fingerprint`]) |
 //! | 13     | 8    | shard cursor (shards fully folded) |
 //! | 21     | 8    | payload length `L` |
-//! | 29     | `L`  | [`FleetAccumulator`] state (`f64`s as raw bit patterns) |
+//! | 29     | `L`  | [`FleetAccumulator`] state, then the degraded-state section |
 //! | 29+L   | 8    | FNV-1a checksum of bytes `0..29+L` |
+//!
+//! Version 2 appends a degraded-state section to the payload: retry and
+//! rejected-sample counts, quarantined shards (with their panic
+//! messages), sensor incidents, and checkpoint fallbacks. A kill/resume
+//! cycle therefore cannot launder a degraded run into a clean one — the
+//! quarantine record survives the process.
 //!
 //! Writes go through a temp file + atomic rename, so a kill mid-write
 //! leaves the previous checkpoint intact — the property the
-//! kill-and-resume acceptance test leans on.
+//! kill-and-resume acceptance test leans on. [`CheckpointStore`] layers
+//! generation keeping on top: writes rotate `base ← base.1 ← base.2 …`
+//! before landing, and [`CheckpointStore::read_newest_valid`] walks the
+//! generations newest-first, skipping (and recording) any that fail
+//! validation, so one corrupted write costs a replay window, never the
+//! run.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+use dh_fault::{CheckpointFallback, DegradedReport, SensorFaultKind, SensorIncident, ShardFailure};
 
 use crate::error::FleetError;
 use crate::sim::FleetAccumulator;
-use crate::wire::{fnv1a, put_u64, take_u64, FNV_OFFSET};
+use crate::wire::{fnv1a, put_str, put_u64, take_str, take_u64, FNV_OFFSET};
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"DHFL";
 /// Format version this build writes and reads.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// A point-in-time image of a fleet run: everything needed to continue
 /// folding shards as if the process had never died.
@@ -39,6 +52,80 @@ pub struct Snapshot {
     pub cursor: u64,
     /// The streaming aggregate state.
     pub(crate) acc: FleetAccumulator,
+    /// Everything the run has survived so far (empty for a clean run).
+    pub degraded: DegradedReport,
+}
+
+/// Appends the degraded-state section to the payload.
+fn encode_degraded(buf: &mut Vec<u8>, d: &DegradedReport) {
+    put_u64(buf, d.retries);
+    put_u64(buf, d.rejected_samples);
+    put_u64(buf, d.quarantined.len() as u64);
+    for q in &d.quarantined {
+        put_u64(buf, q.shard);
+        put_u64(buf, u64::from(q.attempts));
+        put_str(buf, &q.error);
+    }
+    put_u64(buf, d.sensor_incidents.len() as u64);
+    for s in &d.sensor_incidents {
+        put_u64(buf, s.chip);
+        put_u64(buf, u64::from(s.kind.discriminant()));
+        put_u64(buf, s.kind.payload().to_bits());
+        put_u64(buf, s.epoch);
+    }
+    put_u64(buf, d.checkpoint_fallbacks.len() as u64);
+    for c in &d.checkpoint_fallbacks {
+        put_u64(buf, c.generation);
+        put_str(buf, &c.reason);
+    }
+}
+
+/// Reads the degraded-state section back from the front of `bytes`.
+fn decode_degraded(bytes: &mut &[u8]) -> Result<DegradedReport, FleetError> {
+    let mut d = DegradedReport {
+        retries: take_u64(bytes, "degraded.retries")?,
+        rejected_samples: take_u64(bytes, "degraded.rejected")?,
+        ..DegradedReport::default()
+    };
+    let n = take_u64(bytes, "degraded.quarantined.len")?;
+    for _ in 0..n {
+        d.quarantined.push(ShardFailure {
+            shard: take_u64(bytes, "degraded.quarantined.shard")?,
+            attempts: take_u64(bytes, "degraded.quarantined.attempts")? as u32,
+            error: take_str(bytes, "degraded.quarantined.error")?,
+        });
+    }
+    let n = take_u64(bytes, "degraded.incidents.len")?;
+    for _ in 0..n {
+        let chip = take_u64(bytes, "degraded.incidents.chip")?;
+        let disc = take_u64(bytes, "degraded.incidents.kind")?;
+        let payload = f64::from_bits(take_u64(bytes, "degraded.incidents.payload")?);
+        let epoch = take_u64(bytes, "degraded.incidents.epoch")?;
+        let kind = SensorFaultKind::from_wire(disc as u8, payload).ok_or_else(|| {
+            FleetError::Corrupt(format!("unknown sensor-fault discriminant {disc}"))
+        })?;
+        d.sensor_incidents
+            .push(SensorIncident { chip, kind, epoch });
+    }
+    let n = take_u64(bytes, "degraded.fallbacks.len")?;
+    for _ in 0..n {
+        d.checkpoint_fallbacks.push(CheckpointFallback {
+            generation: take_u64(bytes, "degraded.fallbacks.generation")?,
+            reason: take_str(bytes, "degraded.fallbacks.reason")?,
+        });
+    }
+    Ok(d)
+}
+
+/// Writes `bytes` to `path` atomically (temp file + rename).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| FleetError::Io(format!("{}: {e}", path.display()));
+    std::fs::write(&tmp, bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)?;
+    dh_obs::counter!("fleet.checkpoint_bytes").add(bytes.len() as u64);
+    dh_obs::counter!("fleet.checkpoints_written").incr();
+    Ok(())
 }
 
 impl Snapshot {
@@ -46,6 +133,7 @@ impl Snapshot {
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         self.acc.encode(&mut payload);
+        encode_degraded(&mut payload, &self.degraded);
 
         let mut buf = Vec::with_capacity(37 + payload.len());
         buf.extend_from_slice(&MAGIC);
@@ -106,6 +194,7 @@ impl Snapshot {
             )));
         }
         let acc = FleetAccumulator::decode(&mut view)?;
+        let degraded = decode_degraded(&mut view)?;
         if !view.is_empty() {
             return Err(FleetError::Corrupt(format!(
                 "{} trailing payload bytes",
@@ -116,6 +205,7 @@ impl Snapshot {
             config_fingerprint,
             cursor,
             acc,
+            degraded,
         })
     }
 
@@ -126,12 +216,7 @@ impl Snapshot {
     /// [`FleetError::Io`] on any filesystem failure.
     pub fn write(&self, path: &Path) -> Result<u64, FleetError> {
         let bytes = self.encode();
-        let tmp = path.with_extension("tmp");
-        let io = |e: std::io::Error| FleetError::Io(format!("{}: {e}", path.display()));
-        std::fs::write(&tmp, &bytes).map_err(io)?;
-        std::fs::rename(&tmp, path).map_err(io)?;
-        dh_obs::counter!("fleet.checkpoint_bytes").add(bytes.len() as u64);
-        dh_obs::counter!("fleet.checkpoints_written").incr();
+        write_atomic(path, &bytes)?;
         Ok(bytes.len() as u64)
     }
 
@@ -159,6 +244,135 @@ impl Snapshot {
     }
 }
 
+/// A checkpoint file plus its last `keep - 1` predecessor generations:
+/// `base` is the newest, `base.1` the one before it, and so on. One
+/// corrupted (or torn, or truncated) write then costs a replay from the
+/// previous generation instead of the whole run.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    base: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// A store at `base` keeping `keep` generations (clamped to ≥ 1;
+    /// `keep == 1` degenerates to the plain single-file behavior).
+    pub fn new(base: impl Into<PathBuf>, keep: usize) -> Self {
+        Self {
+            base: base.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The newest generation's path.
+    pub fn base_path(&self) -> &Path {
+        &self.base
+    }
+
+    /// Generations kept.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// The path of generation `generation` (0 = newest).
+    pub fn generation_path(&self, generation: usize) -> PathBuf {
+        if generation == 0 {
+            self.base.clone()
+        } else {
+            PathBuf::from(format!("{}.{generation}", self.base.display()))
+        }
+    }
+
+    /// Shifts every generation one slot older (the oldest falls off),
+    /// making room for a fresh newest write. Missing generations are
+    /// skipped.
+    fn rotate(&self) -> Result<(), FleetError> {
+        for generation in (0..self.keep.saturating_sub(1)).rev() {
+            let from = self.generation_path(generation);
+            let to = self.generation_path(generation + 1);
+            match std::fs::rename(&from, &to) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(FleetError::Io(format!("{}: {e}", from.display())));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rotates the generations and writes `snapshot` as the newest.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] on any filesystem failure.
+    pub fn write(&self, snapshot: &Snapshot) -> Result<u64, FleetError> {
+        self.rotate()?;
+        snapshot.write(&self.base)
+    }
+
+    /// [`CheckpointStore::write`] with fault injection: after encoding,
+    /// the plan may flip a bit or truncate the bytes before they land on
+    /// disk. Returns the byte count and the corruption description (if
+    /// one was injected).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] on any filesystem failure.
+    pub fn write_injected(
+        &self,
+        snapshot: &Snapshot,
+        plan: Option<&dh_fault::FaultPlan>,
+        write_index: u64,
+    ) -> Result<(u64, Option<String>), FleetError> {
+        self.rotate()?;
+        let mut bytes = snapshot.encode();
+        let note = plan.and_then(|p| p.corrupt_checkpoint(write_index, &mut bytes));
+        write_atomic(&self.base, &bytes)?;
+        Ok((bytes.len() as u64, note))
+    }
+
+    /// Walks the generations newest-first and returns the first snapshot
+    /// that fully validates, together with a [`CheckpointFallback`]
+    /// record for every newer generation that had to be skipped.
+    ///
+    /// All generations missing (a fresh start) or all invalid both
+    /// return `Ok(None)` — the latter with the fallback records that say
+    /// why the run is starting over. A snapshot for a *different* config
+    /// still validates here; [`crate::FleetRun::resume`] rejects it.
+    pub fn read_newest_valid(
+        &self,
+    ) -> Result<(Option<Snapshot>, Vec<CheckpointFallback>), FleetError> {
+        let mut fallbacks = Vec::new();
+        for generation in 0..self.keep {
+            let path = self.generation_path(generation);
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    fallbacks.push(CheckpointFallback {
+                        generation: generation as u64,
+                        reason: format!("unreadable: {e}"),
+                    });
+                    continue;
+                }
+            };
+            match Snapshot::decode(&bytes) {
+                Ok(snapshot) => {
+                    dh_obs::counter!("fleet.checkpoint_fallbacks").add(fallbacks.len() as u64);
+                    return Ok((Some(snapshot), fallbacks));
+                }
+                Err(e) => fallbacks.push(CheckpointFallback {
+                    generation: generation as u64,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        dh_obs::counter!("fleet.checkpoint_fallbacks").add(fallbacks.len() as u64);
+        Ok((None, fallbacks))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,18 +387,46 @@ mod tests {
             ..FleetConfig::default()
         };
         let mut run = FleetRun::new(config.clone()).unwrap();
-        run.step(1);
+        run.step(1).unwrap();
         (config, run.snapshot())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dh-fleet-ckpt-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
     fn snapshots_round_trip_bit_exactly() {
-        let (_config, snap) = snapshot_after_one_step();
+        let (_config, mut snap) = snapshot_after_one_step();
+        // Populate the degraded section so the round trip covers it.
+        snap.degraded.retries = 3;
+        snap.degraded.quarantined.push(dh_fault::ShardFailure {
+            shard: 1,
+            attempts: 3,
+            error: "injected fault".to_string(),
+        });
+        snap.degraded
+            .sensor_incidents
+            .push(dh_fault::SensorIncident {
+                chip: 9,
+                kind: SensorFaultKind::Noisy(8.0),
+                epoch: 4,
+            });
+        snap.degraded
+            .checkpoint_fallbacks
+            .push(dh_fault::CheckpointFallback {
+                generation: 0,
+                reason: "checksum mismatch".to_string(),
+            });
         let bytes = snap.encode();
         let back = Snapshot::decode(&bytes).unwrap();
         assert_eq!(back.cursor, snap.cursor);
         assert_eq!(back.config_fingerprint, snap.config_fingerprint);
         assert_eq!(back.acc, snap.acc);
+        assert_eq!(back.degraded, snap.degraded);
         // Re-encoding is byte-identical: the format is canonical.
         assert_eq!(back.encode(), bytes);
     }
@@ -221,8 +463,7 @@ mod tests {
     #[test]
     fn files_round_trip_and_missing_files_are_none() {
         let (_config, snap) = snapshot_after_one_step();
-        let dir = std::env::temp_dir().join("dh-fleet-ckpt-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("single");
         let path = dir.join("snap.dhfl");
         let bytes = snap.write(&path).unwrap();
         assert_eq!(bytes, snap.encode().len() as u64);
@@ -242,5 +483,92 @@ mod tests {
             FleetRun::resume(other, snap),
             Err(FleetError::ConfigMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn store_rotates_generations_oldest_off_the_end() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("rotate");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 3);
+        // Three writes with distinct cursors: 5, 6, 7.
+        for cursor in 5..8 {
+            let mut s = snap.clone();
+            s.cursor = cursor;
+            store.write(&s).unwrap();
+        }
+        assert_eq!(Snapshot::read(&store.generation_path(0)).unwrap().cursor, 7);
+        assert_eq!(Snapshot::read(&store.generation_path(1)).unwrap().cursor, 6);
+        assert_eq!(Snapshot::read(&store.generation_path(2)).unwrap().cursor, 5);
+        // A fourth write drops cursor 5 off the end.
+        let mut s = snap.clone();
+        s.cursor = 8;
+        store.write(&s).unwrap();
+        assert_eq!(Snapshot::read(&store.generation_path(2)).unwrap().cursor, 6);
+        assert!(!store.generation_path(3).exists());
+    }
+
+    #[test]
+    fn read_newest_valid_falls_back_over_corruption() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("fallback");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 3);
+        for cursor in 1..4 {
+            let mut s = snap.clone();
+            s.cursor = cursor;
+            store.write(&s).unwrap();
+        }
+        // Corrupt the newest generation on disk.
+        let newest = store.generation_path(0);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        bytes[10] ^= 0xff;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (found, fallbacks) = store.read_newest_valid().unwrap();
+        assert_eq!(found.unwrap().cursor, 2, "fell back to generation 1");
+        assert_eq!(fallbacks.len(), 1);
+        assert_eq!(fallbacks[0].generation, 0);
+        assert!(fallbacks[0].reason.contains("checksum"));
+    }
+
+    #[test]
+    fn all_generations_invalid_restarts_with_the_record() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("all-bad");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 2);
+        store.write(&snap).unwrap();
+        store.write(&snap).unwrap();
+        for generation in 0..2 {
+            std::fs::write(store.generation_path(generation), b"garbage").unwrap();
+        }
+        let (found, fallbacks) = store.read_newest_valid().unwrap();
+        assert!(found.is_none());
+        assert_eq!(fallbacks.len(), 2);
+    }
+
+    #[test]
+    fn missing_generations_are_not_fallbacks() {
+        let dir = temp_dir("fresh");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 3);
+        let (found, fallbacks) = store.read_newest_valid().unwrap();
+        assert!(found.is_none());
+        assert!(fallbacks.is_empty(), "a fresh start is not a fallback");
+    }
+
+    #[test]
+    fn injected_writes_corrupt_exactly_the_planned_generations() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("inject");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 2);
+        let plan = dh_fault::FaultPlan::parse("ckpt-flip=2", 5).unwrap();
+        let (_, note0) = store.write_injected(&snap, Some(&plan), 0).unwrap();
+        assert!(note0.is_none());
+        assert!(Snapshot::read(&store.generation_path(0)).is_ok());
+        let (_, note1) = store.write_injected(&snap, Some(&plan), 1).unwrap();
+        assert!(note1.unwrap().contains("flipped bit"));
+        assert!(Snapshot::read(&store.generation_path(0)).is_err());
+        // The previous (clean) generation still resumes the run.
+        let (found, fallbacks) = store.read_newest_valid().unwrap();
+        assert!(found.is_some());
+        assert_eq!(fallbacks.len(), 1);
     }
 }

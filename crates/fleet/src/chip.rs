@@ -15,12 +15,19 @@
 use dh_bti::{BtiDevice, RecoveryCondition, StressCondition};
 use dh_circuit::RingOscillator;
 use dh_em::black::BlackModel;
+use dh_fault::SensorFaultKind;
 use dh_units::rng::{seeded_stream_rng, standard_normal};
 use dh_units::{CurrentDensity, Fraction, Kelvin, Seconds, Volts};
 
 /// The per-chip RNG stream label; combined with the fleet seed and the
 /// chip index this fully determines a chip's identity.
 pub(crate) const CHIP_STREAM: &str = "fleet/chip";
+
+/// Epochs of bit-identical (or missing) readings before a chip's wear
+/// sensor is declared bad and the scheduler stops trusting it. Healthy
+/// chips re-measure a continuously evolving score every epoch, so a
+/// handful of exact repeats is diagnostic, not coincidence.
+pub const SENSOR_STALE_EPOCHS: u32 = 4;
 
 /// Chip-to-chip variation knobs (lognormal corners, Gaussian placement
 /// temperature, clamped-Gaussian utilization).
@@ -133,8 +140,19 @@ pub(crate) struct ChipState {
     /// Worst frequency degradation observed so far (the chip's required
     /// guardband).
     pub guardband: f64,
-    /// Wear score the worst-first selector ranks by.
+    /// Wear score the worst-first selector ranks by. Under fault
+    /// injection this is the *sensed* value (a stuck sensor freezes it);
+    /// without a fault plan it is always the true score.
     pub score: f64,
+    /// Staleness detection latched this chip's sensor as bad; the
+    /// scheduler degrades to conservative always-heal for it.
+    pub sensor_flagged: bool,
+    /// Consecutive epochs the sensed score repeated bit-exactly (or went
+    /// missing).
+    stale_epochs: u32,
+    /// Bit pattern of the previous sensed score (NaN sentinel before the
+    /// first reading, which no finite reading can match).
+    last_sensed_bits: u64,
     pub epochs_run: u64,
     pub healed_epochs: u64,
     pub failed_at: Option<Seconds>,
@@ -172,6 +190,9 @@ impl ChipState {
             em_peak: 0.0,
             guardband: 0.0,
             score: 0.0,
+            sensor_flagged: false,
+            stale_epochs: 0,
+            last_sensed_bits: f64::NAN.to_bits(),
             epochs_run: 0,
             healed_epochs: 0,
             failed_at: None,
@@ -224,6 +245,45 @@ impl ChipState {
         if self.em_damage >= 1.0 || degradation >= ctx.fail_guardband {
             self.failed_at = Some(Seconds::new(self.epochs_run as f64 * epoch));
         }
+    }
+
+    /// The score the worst-first selector ranks this chip by: a chip
+    /// whose sensor has been flagged ranks worst-of-all, so the
+    /// scheduler heals it every epoch rather than silently skipping a
+    /// chip it can no longer see (conservative degradation).
+    pub(crate) fn rank_score(&self) -> f64 {
+        if self.sensor_flagged {
+            f64::INFINITY
+        } else {
+            self.score
+        }
+    }
+
+    /// Re-reads this chip's wear sensor after an epoch step, applying
+    /// `fault` and running staleness detection. Returns `true` on the
+    /// epoch the sensor is first flagged as bad.
+    ///
+    /// Only called when a fault plan is active; fault-free runs keep
+    /// [`ChipState::step`]'s exact score and never enter this path, so
+    /// their schedules are byte-identical to builds without injection.
+    pub(crate) fn sense(&mut self, fault: Option<SensorFaultKind>) -> bool {
+        let reading = match fault {
+            None | Some(SensorFaultKind::Noisy(_)) => self.score,
+            // A latched ring-oscillator monitor reads "fresh" forever.
+            Some(SensorFaultKind::Stuck) => 0.0,
+            Some(SensorFaultKind::Dropped) => f64::NAN,
+        };
+        let stale = !reading.is_finite() || reading.to_bits() == self.last_sensed_bits;
+        self.stale_epochs = if stale { self.stale_epochs + 1 } else { 0 };
+        self.last_sensed_bits = reading.to_bits();
+        if reading.is_finite() {
+            self.score = reading;
+        }
+        if !self.sensor_flagged && self.stale_epochs >= SENSOR_STALE_EPOCHS {
+            self.sensor_flagged = true;
+            return true;
+        }
+        false
     }
 
     pub fn outcome(&self) -> ChipOutcome {

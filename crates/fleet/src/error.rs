@@ -36,6 +36,16 @@ pub enum FleetError {
         /// Fingerprint of the config attempting to resume.
         expected: u64,
     },
+    /// A chip produced a NaN/Inf sample that would silently poison the
+    /// streaming quantile estimators. Strict runs abort with this error;
+    /// supervised runs reject the sample and record it in the
+    /// [`dh_fault::DegradedReport`].
+    NonFiniteSample {
+        /// The shard that produced the sample.
+        shard: u64,
+        /// The global chip index of the offending outcome.
+        chip: u64,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -56,6 +66,10 @@ impl fmt::Display for FleetError {
             Self::ConfigMismatch { found, expected } => write!(
                 f,
                 "checkpoint fingerprint {found:#018x} does not match config {expected:#018x}"
+            ),
+            Self::NonFiniteSample { shard, chip } => write!(
+                f,
+                "chip {chip} (shard {shard}) produced a non-finite sample"
             ),
         }
     }

@@ -24,6 +24,11 @@
 //!   the shard cursor plus the aggregate state, written atomically at
 //!   shard boundaries: a million-device run can be killed and resumed
 //!   with a byte-identical final report.
+//! * [`run_fleet_supervised`] is the hardened flavor of all of the above:
+//!   shard panics are retried and quarantined, non-finite samples
+//!   rejected, bad wear sensors degraded to conservative always-heal, and
+//!   corrupt checkpoint generations fallen back over — the run completes
+//!   with a [`dh_fault::DegradedReport`] instead of aborting.
 //! * [`MaintenanceBudget`] caps how many chips per maintenance group may
 //!   enter active recovery each epoch and [`FleetPolicy`] selects which —
 //!   a fixed set ([`FleetPolicy::Static`]), a rotating window
@@ -54,12 +59,14 @@ pub mod sim;
 pub mod stats;
 pub(crate) mod wire;
 
-pub use checkpoint::Snapshot;
-pub use chip::{ChipOutcome, ChipSpec, VariationModel};
+pub use checkpoint::{CheckpointStore, Snapshot};
+pub use chip::{ChipOutcome, ChipSpec, VariationModel, SENSOR_STALE_EPOCHS};
 pub use error::FleetError;
 pub use policy::{FleetPolicy, MaintenanceBudget};
-pub use sim::{run_fleet, run_fleet_checkpointed, FleetConfig, FleetReport, FleetRun};
-pub use stats::{P2Quantile, StreamingMoments, StreamingSummary, SummaryStats};
+pub use sim::{
+    run_fleet, run_fleet_checkpointed, run_fleet_supervised, FleetConfig, FleetReport, FleetRun,
+};
+pub use stats::{NonFinite, P2Quantile, StreamingMoments, StreamingSummary, SummaryStats};
 
 /// Streams the guardbands of a Monte-Carlo seed sweep through the same
 /// one-pass aggregation the fleet engine uses, so per-seed

@@ -116,7 +116,15 @@ impl FleetPolicy {
             }
             Self::WorstFirst => {
                 let mut ranked: Vec<usize> = (0..n).filter(|&i| chips[i].alive()).collect();
-                ranked.sort_by(|&a, &b| chips[b].score.total_cmp(&chips[a].score).then(a.cmp(&b)));
+                // rank_score, not score: a chip whose sensor was flagged
+                // as bad ranks worst-of-all so it is healed every epoch
+                // instead of silently starved.
+                ranked.sort_by(|&a, &b| {
+                    chips[b]
+                        .rank_score()
+                        .total_cmp(&chips[a].rank_score())
+                        .then(a.cmp(&b))
+                });
                 for &i in ranked.iter().take(slots) {
                     selected[i] = true;
                     healed += 1;

@@ -10,14 +10,29 @@
 //! [`FleetAccumulator`] **in canonical chip order**, which makes the final
 //! [`FleetReport`] bit-identical at any shard size and thread count while
 //! memory stays bounded by the in-flight shard window, never O(devices).
+//!
+//! Two execution modes share that engine. The **strict** mode
+//! ([`run_fleet`], [`FleetRun::step`]) treats any anomaly — a non-finite
+//! sample, a corrupt checkpoint — as fatal. The **supervised** mode
+//! ([`run_fleet_supervised`], [`FleetRun::step_supervised`]) wraps every
+//! shard in [`dh_exec::par_map_fold_supervised`]: panicking shards are
+//! retried with backoff and quarantined when they keep failing, poisoned
+//! samples are rejected at the fold, bad sensors degrade the worst-first
+//! schedule to conservative always-heal, and the run completes with a
+//! [`DegradedReport`] enumerating everything it survived. With no fault
+//! plan (or a no-op one) the supervised path folds the exact same values
+//! in the exact same order as the strict path, so its report fingerprint
+//! is bit-identical to the baseline.
 
 use std::path::Path;
 
 use dh_circuit::RingOscillator;
 use dh_em::black::BlackModel;
+use dh_exec::RetryPolicy;
+use dh_fault::{DegradedReport, FaultPlan, SensorFaultKind, SensorIncident, ShardFailure};
 use dh_units::{CurrentDensity, Fraction, Kelvin, Seconds, Volts};
 
-use crate::checkpoint::Snapshot;
+use crate::checkpoint::{CheckpointStore, Snapshot};
 use crate::chip::{ChipContext, ChipOutcome, ChipSpec, ChipState, VariationModel};
 use crate::error::FleetError;
 use crate::policy::{FleetPolicy, MaintenanceBudget};
@@ -201,17 +216,33 @@ struct ShardResult {
     outcomes: Vec<ChipOutcome>,
     /// Recovery slots the budget offered across the shard's group-epochs.
     budget_slots: u64,
+    /// Sensors staleness detection flagged as bad (empty without a plan).
+    incidents: Vec<SensorIncident>,
 }
 
 /// Simulates shard `shard` of `config`: every maintenance group it
 /// contains, stepped through the full lifetime. Pure; the engine may call
 /// this from any thread in any order.
-fn simulate_shard(config: &FleetConfig, ctx: &ChipContext, shard: u64) -> ShardResult {
+///
+/// With a fault `plan`, every live chip's wear sensor is re-read through
+/// [`ChipState::sense`] after each epoch step — injected stuck/dropped
+/// sensors corrupt the score the worst-first policy ranks by until
+/// staleness detection flags them, after which the chip is healed every
+/// epoch (conservative degradation, never silent starvation). Without a
+/// plan the sensing path is never entered and the shard is byte-identical
+/// to a build without fault injection.
+fn simulate_shard(
+    config: &FleetConfig,
+    ctx: &ChipContext,
+    shard: u64,
+    plan: Option<&FaultPlan>,
+) -> ShardResult {
     let lo = shard * config.shard_size;
     let hi = (lo + config.shard_size).min(config.devices);
     let epochs = config.total_epochs();
     let mut outcomes = Vec::with_capacity((hi - lo) as usize);
     let mut budget_slots = 0u64;
+    let mut incidents = Vec::new();
 
     let mut group_lo = lo;
     while group_lo < hi {
@@ -227,6 +258,12 @@ fn simulate_shard(config: &FleetConfig, ctx: &ChipContext, shard: u64) -> ShardR
                 )
             })
             .collect();
+        // A chip's sensor fault is part of its (injected) identity:
+        // resolved once per chip, constant over the lifetime.
+        let faults: Vec<Option<SensorFaultKind>> = match plan {
+            Some(p) => (group_lo..group_hi).map(|i| p.sensor_fault(i)).collect(),
+            None => Vec::new(),
+        };
         let mut selected = vec![false; chips.len()];
         let mut alive = chips.len();
         for epoch in 0..epochs {
@@ -244,6 +281,20 @@ fn simulate_shard(config: &FleetConfig, ctx: &ChipContext, shard: u64) -> ShardR
                     }
                 }
             }
+            if plan.is_some() {
+                for (chip, &fault) in chips.iter_mut().zip(&faults) {
+                    if chip.alive() && chip.sense(fault) {
+                        incidents.push(SensorIncident {
+                            chip: chip.spec.index,
+                            // Staleness can also latch on a genuinely
+                            // frozen score; the detector's verdict is
+                            // "stuck" either way.
+                            kind: fault.unwrap_or(SensorFaultKind::Stuck),
+                            epoch,
+                        });
+                    }
+                }
+            }
         }
         outcomes.extend(chips.iter().map(ChipState::outcome));
         group_lo = group_hi;
@@ -251,6 +302,23 @@ fn simulate_shard(config: &FleetConfig, ctx: &ChipContext, shard: u64) -> ShardR
     ShardResult {
         outcomes,
         budget_slots,
+        incidents,
+    }
+}
+
+/// Applies the plan's kernel-output poisoning to a freshly simulated
+/// shard: the probabilistic draw (keyed by `(shard, attempt)`, so a
+/// retried shard re-rolls) and the directed `poison-chip` target both
+/// overwrite a chip's guardband with a non-finite value the fold must
+/// reject.
+fn poison_outcomes(plan: &FaultPlan, shard: u64, attempt: u32, outcomes: &mut [ChipOutcome]) {
+    if let Some((offset, kind)) = plan.poison(shard, attempt, outcomes.len() as u64) {
+        outcomes[offset as usize].guardband = kind.value();
+    }
+    if let Some(target) = plan.poisoned_chip() {
+        if let Some(o) = outcomes.iter_mut().find(|o| o.index == target) {
+            o.guardband = f64::NAN;
+        }
     }
 }
 
@@ -280,15 +348,37 @@ impl FleetAccumulator {
         }
     }
 
-    fn fold_chip(&mut self, chip: &ChipOutcome) {
+    /// Folds one chip's outcome into the aggregates.
+    ///
+    /// Every sample is validated **before** anything mutates, so a
+    /// rejected chip leaves the accumulator exactly as it was — the
+    /// supervised fold counts the rejection and keeps going; the strict
+    /// fold aborts the run.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NonFiniteSample`] when the chip's guardband or TTF
+    /// is NaN/Inf.
+    fn fold_chip(&mut self, shard: u64, chip: &ChipOutcome) -> Result<(), FleetError> {
+        let reject = || FleetError::NonFiniteSample {
+            shard,
+            chip: chip.index,
+        };
+        let ttf_years = chip.ttf.map(|t| t.as_years());
+        if ttf_years.is_some_and(|y| !y.is_finite()) {
+            return Err(reject());
+        }
+        self.guardband
+            .try_push(chip.guardband)
+            .map_err(|_| reject())?;
         self.devices_done += 1;
         self.chip_epochs += chip.epochs_run;
         self.healed_chip_epochs += chip.healed_epochs;
-        self.guardband.push(chip.guardband);
-        if let Some(ttf) = chip.ttf {
+        if let Some(years) = ttf_years {
             self.failed += 1;
-            self.ttf_years.push(ttf.as_years());
+            self.ttf_years.push(years);
         }
+        Ok(())
     }
 
     /// Appends the full state to `buf` (checkpoint wire format).
@@ -323,6 +413,9 @@ pub struct FleetRun {
     /// Next shard to fold; shards `0..cursor` are fully aggregated.
     cursor: u64,
     acc: FleetAccumulator,
+    /// Everything a supervised run has survived so far. Stays empty on
+    /// the strict path (strict runs abort instead of degrading).
+    degraded: DegradedReport,
 }
 
 impl FleetRun {
@@ -333,10 +426,14 @@ impl FleetRun {
             config,
             cursor: 0,
             acc: FleetAccumulator::new(),
+            degraded: DegradedReport::default(),
         })
     }
 
-    /// Resumes from a snapshot, verifying it belongs to `config`.
+    /// Resumes from a snapshot, verifying it belongs to `config`. The
+    /// snapshot's degraded state (quarantines, rejected samples, …)
+    /// carries over: a kill/resume cycle cannot launder a degraded run
+    /// into a clean one.
     pub fn resume(config: FleetConfig, snapshot: Snapshot) -> Result<Self, FleetError> {
         config.validate()?;
         let expected = config.fingerprint();
@@ -357,6 +454,7 @@ impl FleetRun {
             config,
             cursor: snapshot.cursor,
             acc: snapshot.acc,
+            degraded: snapshot.degraded,
         })
     }
 
@@ -375,6 +473,11 @@ impl FleetRun {
         self.cursor >= self.config.shard_count()
     }
 
+    /// Everything the run has survived so far (empty for a clean run).
+    pub fn degraded(&self) -> &DegradedReport {
+        &self.degraded
+    }
+
     /// Executes and folds up to `max_shards` more shards (all remaining
     /// when saturated) and returns whether the run is now complete.
     ///
@@ -382,11 +485,18 @@ impl FleetRun {
     /// aggregates in canonical chip order on this thread, so any stepping
     /// pattern — one giant step, shard-by-shard with a checkpoint after
     /// each, killed and resumed — yields bit-identical aggregates.
-    pub fn step(&mut self, max_shards: u64) -> bool {
+    ///
+    /// This is the strict path: a worker panic propagates and a
+    /// non-finite sample aborts the batch with
+    /// [`FleetError::NonFiniteSample`] (the cursor does not advance; the
+    /// aggregates may hold part of the failed batch, so the run should
+    /// be abandoned or resumed from its last checkpoint). Use
+    /// [`FleetRun::step_supervised`] to degrade instead of aborting.
+    pub fn step(&mut self, max_shards: u64) -> Result<bool, FleetError> {
         let remaining = self.config.shard_count() - self.cursor;
         let batch = remaining.min(max_shards.max(1)) as usize;
         if batch == 0 {
-            return true;
+            return Ok(true);
         }
         let _span = dh_obs::span("fleet.step_seconds");
         let started = std::time::Instant::now();
@@ -394,19 +504,30 @@ impl FleetRun {
         let config = &self.config;
         let ctx = config.context();
         let acc = &mut self.acc;
+        let mut error: Option<FleetError> = None;
         dh_exec::par_map_fold(
             batch,
-            |i| simulate_shard(config, &ctx, first + i as u64),
+            |i| simulate_shard(config, &ctx, first + i as u64, None),
             (),
-            |(), _i, shard| {
+            |(), i, shard| {
+                if error.is_some() {
+                    return;
+                }
+                let shard_index = first + i as u64;
                 for chip in &shard.outcomes {
-                    acc.fold_chip(chip);
+                    if let Err(e) = acc.fold_chip(shard_index, chip) {
+                        error = Some(e);
+                        return;
+                    }
                 }
                 acc.budget_chip_epochs += shard.budget_slots;
                 dh_obs::counter!("fleet.shards_folded").incr();
                 dh_obs::counter!("fleet.devices_folded").add(shard.outcomes.len() as u64);
             },
         );
+        if let Some(e) = error {
+            return Err(e);
+        }
         self.cursor += batch as u64;
         if dh_obs::ENABLED {
             let elapsed = started.elapsed().as_secs_f64();
@@ -416,15 +537,91 @@ impl FleetRun {
             dh_obs::histogram!("fleet.devices_per_sec")
                 .record(batch_devices as f64 / elapsed.max(1e-9));
         }
+        Ok(self.is_done())
+    }
+
+    /// [`FleetRun::step`] under supervision: shard tasks run inside
+    /// `catch_unwind`, panicking shards (injected or real) are retried
+    /// per `retry` and quarantined when they keep failing, non-finite
+    /// samples are rejected at the fold, and every such event lands in
+    /// [`FleetRun::degraded`] instead of aborting the run. Returns
+    /// whether the run is complete; it cannot fail — that is the point.
+    ///
+    /// With `plan` absent or a no-op, the fold sequence is identical to
+    /// the strict path, so the final report stays bit-identical to an
+    /// unsupervised run.
+    pub fn step_supervised(
+        &mut self,
+        max_shards: u64,
+        plan: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+    ) -> bool {
+        let remaining = self.config.shard_count() - self.cursor;
+        let batch = remaining.min(max_shards.max(1)) as usize;
+        if batch == 0 {
+            return true;
+        }
+        let _span = dh_obs::span("fleet.step_seconds");
+        let first = self.cursor;
+        let config = &self.config;
+        let ctx = config.context();
+        let acc = &mut self.acc;
+        let degraded = &mut self.degraded;
+        let plan = plan.filter(|p| !p.is_noop());
+        let outcome = dh_exec::par_map_fold_supervised(
+            batch,
+            |i, attempt| {
+                let shard = first + i as u64;
+                if let Some(p) = plan {
+                    if p.shard_panics(shard, attempt) {
+                        panic!("injected fault: shard {shard} attempt {attempt}");
+                    }
+                }
+                let mut result = simulate_shard(config, &ctx, shard, plan);
+                if let Some(p) = plan {
+                    poison_outcomes(p, shard, attempt, &mut result.outcomes);
+                }
+                result
+            },
+            (),
+            |(), i, shard| {
+                let shard_index = first + i as u64;
+                for chip in &shard.outcomes {
+                    if acc.fold_chip(shard_index, chip).is_err() {
+                        degraded.rejected_samples += 1;
+                        dh_obs::counter!("fleet.rejected_samples").incr();
+                    }
+                }
+                degraded
+                    .sensor_incidents
+                    .extend(shard.incidents.iter().cloned());
+                acc.budget_chip_epochs += shard.budget_slots;
+                dh_obs::counter!("fleet.shards_folded").incr();
+                dh_obs::counter!("fleet.devices_folded").add(shard.outcomes.len() as u64);
+            },
+            retry,
+        );
+        degraded.retries += outcome.retries;
+        dh_obs::counter!("fleet.shards_quarantined").add(outcome.failures.len() as u64);
+        for f in outcome.failures {
+            degraded.quarantined.push(ShardFailure {
+                shard: first + f.index as u64,
+                attempts: f.attempts,
+                error: f.message,
+            });
+        }
+        self.cursor += batch as u64;
         self.is_done()
     }
 
-    /// Captures the current cursor + aggregate state for a checkpoint.
+    /// Captures the current cursor + aggregate + degraded state for a
+    /// checkpoint.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             config_fingerprint: self.config.fingerprint(),
             cursor: self.cursor,
             acc: self.acc.clone(),
+            degraded: self.degraded.clone(),
         }
     }
 
@@ -458,7 +655,9 @@ impl FleetRun {
 /// here, so two runs of the same config compare byte-identical.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
-    /// Chips simulated.
+    /// Chips simulated (chips in quarantined shards and chips whose
+    /// samples were rejected are **not** counted — see the run's
+    /// [`DegradedReport`]).
     pub devices: u64,
     /// Chips that failed inside the horizon (EM damage reached 1 or
     /// degradation crossed the failure threshold).
@@ -539,14 +738,15 @@ impl FleetReport {
     }
 }
 
-/// Runs a fleet to completion in one step (no checkpointing).
+/// Runs a fleet to completion in one step (no checkpointing, strict —
+/// any anomaly aborts).
 ///
 /// # Errors
 ///
-/// Propagates config validation.
+/// Propagates config validation and [`FleetError::NonFiniteSample`].
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, FleetError> {
     let mut run = FleetRun::new(config.clone())?;
-    while !run.step(u64::MAX) {}
+    while !run.step(u64::MAX)? {}
     run.report()
 }
 
@@ -568,11 +768,65 @@ pub fn run_fleet_checkpointed(
         Some(snapshot) => FleetRun::resume(config.clone(), snapshot)?,
         None => FleetRun::new(config.clone())?,
     };
-    while !run.step(every_shards.max(1)) {
+    while !run.step(every_shards.max(1))? {
         run.snapshot().write(path)?;
     }
     run.snapshot().write(path)?;
     run.report()
+}
+
+/// Runs a fleet to completion under supervision: shard panics are
+/// retried and quarantined, poisoned samples rejected, sensor faults
+/// tolerated, and (with `checkpoints`) corrupt checkpoint generations
+/// fallen back over — the run finishes and tells you what it survived
+/// instead of aborting.
+///
+/// `checkpoints` is the generation store plus the shard stride between
+/// writes; resuming picks the newest generation that validates and
+/// records every skipped one in the degraded report. `plan` injects
+/// deterministic faults (pass `None` for plain supervised execution —
+/// the report is then bit-identical to [`run_fleet`]).
+///
+/// # Errors
+///
+/// Config validation, checkpoint I/O (injected *corruption* is
+/// tolerated; an unwritable disk is not), and a valid checkpoint for a
+/// different config ([`FleetError::ConfigMismatch`] — never silently
+/// restarted).
+pub fn run_fleet_supervised(
+    config: &FleetConfig,
+    plan: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    checkpoints: Option<(&CheckpointStore, u64)>,
+) -> Result<(FleetReport, DegradedReport), FleetError> {
+    let mut run = match checkpoints {
+        Some((store, _)) => {
+            let (snapshot, fallbacks) = store.read_newest_valid()?;
+            let mut run = match snapshot {
+                Some(s) => FleetRun::resume(config.clone(), s)?,
+                None => FleetRun::new(config.clone())?,
+            };
+            run.degraded.checkpoint_fallbacks.extend(fallbacks);
+            run
+        }
+        None => FleetRun::new(config.clone())?,
+    };
+    match checkpoints {
+        Some((store, every)) => {
+            // Write indices count this process's writes from 0, so an
+            // injected `ckpt-flip=N` plan corrupts the same generations
+            // on every identically-seeded invocation.
+            let mut write_index = 0u64;
+            while !run.step_supervised(every.max(1), plan, retry) {
+                store.write_injected(&run.snapshot(), plan, write_index)?;
+                write_index += 1;
+            }
+            store.write_injected(&run.snapshot(), plan, write_index)?;
+        }
+        None => while !run.step_supervised(u64::MAX, plan, retry) {},
+    }
+    let report = run.report()?;
+    Ok((report, run.degraded))
 }
 
 #[cfg(test)]
@@ -662,10 +916,78 @@ mod tests {
         let config = tiny(FleetPolicy::RoundRobin);
         let whole = run_fleet(&config).unwrap();
         let mut run = FleetRun::new(config).unwrap();
-        while !run.step(1) {}
+        while !run.step(1).unwrap() {}
         let stepped = run.report().unwrap();
         assert_eq!(whole.fingerprint(), stepped.fingerprint());
         assert_eq!(whole.render(), stepped.render());
+    }
+
+    #[test]
+    fn supervised_without_faults_is_bit_identical_to_strict() {
+        let config = tiny(FleetPolicy::WorstFirst);
+        let strict = run_fleet(&config).unwrap();
+        let (supervised, degraded) =
+            run_fleet_supervised(&config, None, &RetryPolicy::immediate(3), None).unwrap();
+        assert_eq!(strict.fingerprint(), supervised.fingerprint());
+        assert!(!degraded.is_degraded(), "{}", degraded.render());
+        // A noop plan must also stay on the identical path.
+        let plan = FaultPlan::parse("", 9).unwrap();
+        let (noop, _) =
+            run_fleet_supervised(&config, Some(&plan), &RetryPolicy::immediate(3), None).unwrap();
+        assert_eq!(strict.fingerprint(), noop.fingerprint());
+    }
+
+    #[test]
+    fn killed_shards_are_quarantined_and_the_run_completes() {
+        let config = tiny(FleetPolicy::WorstFirst);
+        let plan = FaultPlan::parse("kill-shard=1", 11).unwrap();
+        let (report, degraded) =
+            run_fleet_supervised(&config, Some(&plan), &RetryPolicy::immediate(2), None).unwrap();
+        assert_eq!(degraded.quarantined.len(), 1);
+        assert_eq!(degraded.quarantined[0].shard, 1);
+        assert_eq!(degraded.quarantined[0].attempts, 2);
+        assert!(degraded.quarantined[0].error.contains("injected fault"));
+        assert_eq!(degraded.retries, 1, "one re-execution before quarantine");
+        // The other two 32-chip shards still made it into the aggregate.
+        assert_eq!(report.devices, 64);
+        assert!(degraded.is_degraded());
+    }
+
+    #[test]
+    fn poisoned_samples_are_rejected_not_folded() {
+        let config = tiny(FleetPolicy::WorstFirst);
+        let clean = run_fleet(&config).unwrap();
+        let plan = FaultPlan::parse("poison-chip=40", 13).unwrap();
+        let (report, degraded) =
+            run_fleet_supervised(&config, Some(&plan), &RetryPolicy::immediate(2), None).unwrap();
+        assert_eq!(degraded.rejected_samples, 1);
+        assert_eq!(report.devices, clean.devices - 1);
+        assert!(
+            report.guardband.mean.is_finite(),
+            "the NaN never reached the aggregates"
+        );
+    }
+
+    #[test]
+    fn stuck_sensors_are_flagged_and_reported() {
+        let config = tiny(FleetPolicy::WorstFirst);
+        let plan = FaultPlan::parse("stuck-chip=5", 17).unwrap();
+        let (report, degraded) =
+            run_fleet_supervised(&config, Some(&plan), &RetryPolicy::immediate(2), None).unwrap();
+        assert_eq!(report.devices, 96, "no samples lost to a bad sensor");
+        let incident = degraded
+            .sensor_incidents
+            .iter()
+            .find(|i| i.chip == 5)
+            .expect("chip 5's sensor was flagged");
+        assert_eq!(incident.kind, SensorFaultKind::Stuck);
+        // Epoch 0 primes the comparator; the four bit-identical repeats
+        // that fill the staleness window land on epochs 1..=4.
+        assert_eq!(
+            incident.epoch,
+            u64::from(crate::chip::SENSOR_STALE_EPOCHS),
+            "flagged as soon as the staleness window filled"
+        );
     }
 
     #[test]

@@ -20,6 +20,24 @@
 use crate::error::FleetError;
 use crate::wire::{put_f64, put_u64, take_f64, take_u64};
 
+/// A rejected non-finite observation (carries the offending value).
+///
+/// NaN in particular is insidious here: `NaN.min(x)` propagates, a NaN
+/// mean never recovers, and a NaN P² marker height silently corrupts
+/// every later quantile estimate. The `try_push` guards turn that into
+/// a structured rejection; the fleet layer maps it to
+/// [`FleetError::NonFiniteSample`] with shard/chip attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFinite(pub f64);
+
+impl core::fmt::Display for NonFinite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "non-finite sample {}", self.0)
+    }
+}
+
+impl std::error::Error for NonFinite {}
+
 /// Welford single-pass moments with min/max tracking.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingMoments {
@@ -56,6 +74,16 @@ impl StreamingMoments {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+    }
+
+    /// [`StreamingMoments::push`] that rejects NaN/Inf instead of
+    /// poisoning the running mean, M2, and extrema.
+    pub fn try_push(&mut self, x: f64) -> Result<(), NonFinite> {
+        if !x.is_finite() {
+            return Err(NonFinite(x));
+        }
+        self.push(x);
+        Ok(())
     }
 
     /// Observations folded so far.
@@ -208,6 +236,17 @@ impl P2Quantile {
         }
     }
 
+    /// [`P2Quantile::push`] that rejects NaN/Inf instead of corrupting
+    /// the marker heights (a single NaN breaks the sorted-marker
+    /// invariant and every later estimate).
+    pub fn try_push(&mut self, x: f64) -> Result<(), NonFinite> {
+        if !x.is_finite() {
+            return Err(NonFinite(x));
+        }
+        self.push(x);
+        Ok(())
+    }
+
     /// The P² parabolic height prediction for marker `i` moved by `d`.
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (q, n) = (&self.heights, &self.positions);
@@ -312,6 +351,17 @@ impl StreamingSummary {
         self.p50.push(x);
         self.p90.push(x);
         self.p99.push(x);
+    }
+
+    /// [`StreamingSummary::push`] that rejects NaN/Inf before *any*
+    /// estimator sees the sample, so a rejection leaves the whole
+    /// summary untouched.
+    pub fn try_push(&mut self, x: f64) -> Result<(), NonFinite> {
+        if !x.is_finite() {
+            return Err(NonFinite(x));
+        }
+        self.push(x);
+        Ok(())
     }
 
     /// Observations folded so far.
@@ -504,6 +554,32 @@ mod tests {
             b.push(x);
         }
         assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_without_side_effects() {
+        let mut s = StreamingSummary::new();
+        for i in 0..64 {
+            s.push(f64::from(i) * 0.5);
+        }
+        let before = s.clone();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            // NaN defeats ==, so compare the carried value by bit pattern.
+            assert!(matches!(
+                s.try_push(bad),
+                Err(NonFinite(v)) if v.to_bits() == bad.to_bits()
+            ));
+            assert_eq!(s, before, "rejected sample must leave no trace");
+        }
+        assert!(s.try_push(3.25).is_ok());
+        assert_eq!(s.count(), 65);
+        // The per-estimator guards behave the same way.
+        let mut m = StreamingMoments::new();
+        assert!(m.try_push(f64::NAN).is_err());
+        assert_eq!(m.count(), 0);
+        let mut p = P2Quantile::new(0.5);
+        assert!(p.try_push(f64::INFINITY).is_err());
+        assert_eq!(p.count(), 0);
     }
 
     #[test]

@@ -53,6 +53,27 @@ pub(crate) fn take_f64(bytes: &mut &[u8], what: &str) -> Result<f64, FleetError>
     take_u64(bytes, what).map(f64::from_bits)
 }
 
+/// Length-prefixed UTF-8 string (degraded-state sections carry panic
+/// messages and fallback reasons).
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn take_str(bytes: &mut &[u8], what: &str) -> Result<String, FleetError> {
+    let len = take_u64(bytes, what)? as usize;
+    if bytes.len() < len {
+        return Err(FleetError::Corrupt(format!(
+            "truncated while reading {what}: {} of {len} string bytes",
+            bytes.len()
+        )));
+    }
+    let (head, rest) = bytes.split_at(len);
+    *bytes = rest;
+    String::from_utf8(head.to_vec())
+        .map_err(|_| FleetError::Corrupt(format!("{what} is not valid UTF-8")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

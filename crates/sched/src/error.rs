@@ -15,6 +15,13 @@ pub enum SchedError {
     /// The assist circuitry that supplies the deep-recovery bias could not
     /// be solved (degenerate parameters or a singular network).
     AssistCircuit(CircuitError),
+    /// A per-core operation named a core the system does not have.
+    CoreOutOfRange {
+        /// The requested core index.
+        core: usize,
+        /// How many cores the system actually has.
+        cores: usize,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -23,6 +30,9 @@ impl fmt::Display for SchedError {
             Self::InvalidConfig(why) => write!(f, "invalid scheduler config: {why}"),
             Self::Thermal(e) => write!(f, "thermal model error: {e}"),
             Self::AssistCircuit(e) => write!(f, "assist circuitry error: {e}"),
+            Self::CoreOutOfRange { core, cores } => {
+                write!(f, "core {core} out of range (system has {cores} cores)")
+            }
         }
     }
 }
@@ -32,7 +42,7 @@ impl std::error::Error for SchedError {
         match self {
             Self::Thermal(e) => Some(e),
             Self::AssistCircuit(e) => Some(e),
-            Self::InvalidConfig(_) => None,
+            Self::InvalidConfig(_) | Self::CoreOutOfRange { .. } => None,
         }
     }
 }
@@ -64,5 +74,8 @@ mod tests {
         let e: SchedError = CircuitError::InvalidParameter("header_width".into()).into();
         assert!(e.to_string().contains("assist circuitry"));
         assert!(e.source().is_some());
+        let e = SchedError::CoreOutOfRange { core: 9, cores: 4 };
+        assert!(e.to_string().contains("core 9"));
+        assert!(e.source().is_none());
     }
 }

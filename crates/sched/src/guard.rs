@@ -1,0 +1,186 @@
+//! Sensor-fault tolerance for the closed-loop scheduler: a
+//! median-of-window filter in front of every wear sensor, plus staleness
+//! detection that latches a sensor as bad.
+//!
+//! The paper's Fig. 12(b) feedback loop trusts its sensors; a real
+//! deployment cannot. [`SensorGuard`] sits between a raw
+//! [`crate::sensor::BtiSensor`] reading and the policy that acts on it:
+//!
+//! * **Spike rejection** — the policy sees the median of the last few
+//!   finite readings, so a single wild sample (a glitched counter, an
+//!   injected noise burst) cannot trigger or suppress a recovery epoch
+//!   by itself.
+//! * **Dropout tolerance** — a NaN/Inf reading never enters the window;
+//!   the guard keeps reporting the median of the last good readings.
+//! * **Staleness detection** — consecutive missing readings, or a
+//!   *nonzero* reading repeating bit-for-bit (a real counter carries
+//!   noise in its low bits; exact repeats of a nonzero value are
+//!   diagnostic of a latched sensor, not coincidence), eventually latch
+//!   the guard as [`SensorGuard::faulted`]. The scheduler then stops
+//!   trusting the channel and degrades that core to a conservative
+//!   always-heal policy — recovery is never silently skipped.
+//!
+//! Readings of exactly zero are deliberately exempt from the repeat rule:
+//! the BTI sensor clamps sub-floor inferences to zero, so a fresh, healthy
+//! device legitimately reads 0.0 for epochs on end.
+
+/// A per-sensor fault filter: median-of-window smoothing plus a latched
+/// staleness verdict.
+#[derive(Debug, Clone)]
+pub struct SensorGuard {
+    /// Ring buffer of the last finite readings.
+    window: Vec<f64>,
+    /// Next ring slot to overwrite once the window is full.
+    next: usize,
+    /// Window capacity.
+    capacity: usize,
+    /// Consecutive suspicious epochs (missing or nonzero-identical).
+    stale_epochs: u32,
+    /// Suspicious epochs before the fault verdict latches.
+    stale_after: u32,
+    /// Bit pattern of the previous reading (NaN sentinel before the
+    /// first, which no finite reading can match).
+    last_bits: u64,
+    /// Latched verdict; never clears (a sensor that froze once cannot be
+    /// trusted again without service).
+    faulted: bool,
+}
+
+impl SensorGuard {
+    /// A guard smoothing over the last `window` finite readings (clamped
+    /// to ≥ 1; a window of 1 is a pass-through) and latching the fault
+    /// verdict after `stale_after` consecutive suspicious epochs.
+    pub fn new(window: usize, stale_after: u32) -> Self {
+        let capacity = window.max(1);
+        Self {
+            window: Vec::with_capacity(capacity),
+            next: 0,
+            capacity,
+            stale_epochs: 0,
+            stale_after: stale_after.max(1),
+            last_bits: f64::NAN.to_bits(),
+            faulted: false,
+        }
+    }
+
+    /// Whether the staleness detector has latched this sensor as bad.
+    pub fn faulted(&self) -> bool {
+        self.faulted
+    }
+
+    /// Feeds one raw reading and returns the filtered value the policy
+    /// should act on: the median of the last finite readings (0.0 before
+    /// the first finite reading ever arrives — indistinguishable from a
+    /// fresh device, which is the conservative direction for a
+    /// threshold-triggered policy only until staleness latches).
+    pub fn filter(&mut self, reading: f64) -> f64 {
+        if reading.is_finite() {
+            let repeat = reading.to_bits() == self.last_bits && reading != 0.0;
+            self.stale_epochs = if repeat { self.stale_epochs + 1 } else { 0 };
+            self.last_bits = reading.to_bits();
+            if self.window.len() < self.capacity {
+                self.window.push(reading);
+            } else {
+                self.window[self.next] = reading;
+                self.next = (self.next + 1) % self.capacity;
+            }
+        } else {
+            self.stale_epochs += 1;
+        }
+        if self.stale_epochs >= self.stale_after {
+            self.faulted = true;
+        }
+        self.median()
+    }
+
+    /// The median of the current window (0.0 when empty). An even window
+    /// averages the two middle readings.
+    fn median(&self) -> f64 {
+        let n = self.window.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.window.clone();
+        sorted.sort_by(f64::total_cmp);
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_rejects_isolated_spikes() {
+        let mut g = SensorGuard::new(5, 4);
+        // A 100x glitch every third reading: the spikes never reach a
+        // majority of the window, so the median tracks the clean level
+        // throughout.
+        for i in 0..20 {
+            let clean = 10.0 + 0.01 * i as f64;
+            let reading = if i % 3 == 1 { clean * 100.0 } else { clean };
+            let filtered = g.filter(reading);
+            if i >= 4 {
+                assert!(
+                    (filtered - clean).abs() < 1.0,
+                    "epoch {i}: filtered {filtered} vs clean {clean}"
+                );
+            }
+        }
+        assert!(!g.faulted(), "spikes alone must not latch the verdict");
+    }
+
+    #[test]
+    fn dropouts_latch_after_the_staleness_window() {
+        let mut g = SensorGuard::new(5, 4);
+        g.filter(12.0);
+        for i in 0..3 {
+            let filtered = g.filter(f64::NAN);
+            assert_eq!(filtered, 12.0, "last good estimate survives dropout");
+            assert!(!g.faulted(), "not yet at epoch {i}");
+        }
+        g.filter(f64::NAN);
+        assert!(g.faulted(), "four consecutive dropouts latch the verdict");
+    }
+
+    #[test]
+    fn nonzero_bit_identical_repeats_latch_but_zero_does_not() {
+        let mut stuck = SensorGuard::new(3, 4);
+        for _ in 0..5 {
+            stuck.filter(7.25);
+        }
+        assert!(stuck.faulted(), "a latched nonzero reading is diagnostic");
+
+        let mut fresh = SensorGuard::new(3, 4);
+        for _ in 0..50 {
+            fresh.filter(0.0);
+        }
+        assert!(
+            !fresh.faulted(),
+            "a fresh device legitimately reads exactly zero"
+        );
+    }
+
+    #[test]
+    fn verdict_never_clears() {
+        let mut g = SensorGuard::new(3, 2);
+        g.filter(f64::NAN);
+        g.filter(f64::NAN);
+        assert!(g.faulted());
+        for i in 0..10 {
+            g.filter(1.0 + i as f64);
+        }
+        assert!(g.faulted(), "recovered readings do not restore trust");
+    }
+
+    #[test]
+    fn degenerate_window_is_a_pass_through() {
+        let mut g = SensorGuard::new(0, 3);
+        assert_eq!(g.filter(5.0), 5.0);
+        assert_eq!(g.filter(9.0), 9.0);
+    }
+}

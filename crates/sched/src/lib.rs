@@ -17,6 +17,10 @@
 //!   can be employed to track wearout");
 //! * [`policy`] — recovery policies: no recovery, passive idle recovery,
 //!   periodic scheduled deep recovery, and sensor-driven adaptive recovery;
+//! * [`guard`] — sensor-fault tolerance for the closed loop: a
+//!   median-of-window filter plus staleness detection, so a stuck, dead,
+//!   or noisy sensor degrades its core to a conservative always-heal
+//!   schedule instead of silently skipping recovery;
 //! * [`system`] — a many-core system stepping BTI devices, EM damage, and a
 //!   thermal grid per epoch under a policy;
 //! * [`lifetime`] — multi-year lifetime runs producing the Fig. 12(b)
@@ -41,6 +45,7 @@
 
 pub mod adapt;
 pub mod error;
+pub mod guard;
 pub mod lifetime;
 pub mod metrics;
 pub mod migration;
@@ -50,6 +55,7 @@ pub mod system;
 pub mod workload;
 
 pub use error::SchedError;
+pub use guard::SensorGuard;
 pub use lifetime::{
     monte_carlo_guardband, run_lifetime, LifetimeConfig, LifetimeOutcome, SeedOutcome,
 };

@@ -94,6 +94,12 @@ pub struct MetricsReport {
     /// Miner's-rule damage units healed by EM current reversal (before the
     /// pinned-floor clamp) — the EM wearout avoided.
     pub em_damage_healed: f64,
+    /// Wear sensors flagged as bad by staleness detection (each sensor
+    /// counts once, when its verdict latches).
+    pub sensor_faults_detected: u64,
+    /// Core-epochs scheduled by the conservative fallback policy because
+    /// the core's sensor was distrusted.
+    pub conservative_core_epochs: u64,
 }
 
 impl MetricsReport {

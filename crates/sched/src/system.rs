@@ -19,10 +19,12 @@
 use dh_bti::{BtiDevice, RecoveryCondition, StressCondition, TrapEnsemble};
 use dh_circuit::assist::{AssistCircuit, Mode};
 use dh_em::black::BlackModel;
+use dh_fault::{FaultPlan, SensorFaultKind, SensorIncident};
 use dh_thermal::{GridConfig, ThermalGrid};
 use dh_units::{CurrentDensity, Fraction, Kelvin, Seconds, Volts};
 
 use crate::error::SchedError;
+use crate::guard::SensorGuard;
 use crate::metrics::{CoreMode, MetricsReport};
 use crate::policy::Policy;
 use crate::sensor::{BtiSensor, EmSensor};
@@ -57,6 +59,12 @@ pub struct SystemConfig {
     pub bti_sensor_noise: f64,
     /// Relative noise of the EM sensors.
     pub em_sensor_noise: f64,
+    /// Median-filter window over each core's BTI sensor readings (the
+    /// [`SensorGuard`]); 1 disables smoothing.
+    pub sensor_window: usize,
+    /// Consecutive suspicious sensor epochs before a core's sensor is
+    /// distrusted and the core degrades to the conservative policy.
+    pub sensor_stale_epochs: u32,
     /// Root seed for workloads and sensors.
     pub seed: u64,
 }
@@ -84,6 +92,8 @@ impl Default for SystemConfig {
             em_pinned_floor: Fraction::clamped(0.05),
             bti_sensor_noise: 0.002,
             em_sensor_noise: 0.05,
+            sensor_window: 5,
+            sensor_stale_epochs: 4,
             seed: 42,
         }
     }
@@ -128,6 +138,13 @@ struct Core {
     /// Mode of the previous epoch (None before the first step), for
     /// transition accounting.
     last_mode: Option<CoreMode>,
+    /// Median filter + staleness detector over the BTI sensor channel.
+    guard: SensorGuard,
+    /// Injected sensor fault (None = healthy hardware).
+    fault: Option<SensorFaultKind>,
+    /// For a stuck sensor: the reading it latched at (NaN until the first
+    /// post-injection reading fixes it).
+    stuck_latch: f64,
 }
 
 /// Per-epoch, per-core record of what the scheduler did.
@@ -167,6 +184,8 @@ pub struct ManyCoreSystem {
     /// Always-on scheduling metrics (mode transitions, recovery time
     /// scheduled, wearout healed).
     metrics: MetricsReport,
+    /// Sensors flagged as bad by staleness detection, in flag order.
+    sensor_incidents: Vec<SensorIncident>,
 }
 
 impl ManyCoreSystem {
@@ -184,6 +203,11 @@ impl ManyCoreSystem {
         }
         if !(config.epoch.value() > 0.0) {
             return Err(SchedError::InvalidConfig("epoch must be positive".into()));
+        }
+        if config.sensor_window == 0 {
+            return Err(SchedError::InvalidConfig(
+                "sensor window must hold at least one reading".into(),
+            ));
         }
         if config.bti_recovery_bias >= Volts::ZERO {
             return Err(SchedError::InvalidConfig(
@@ -209,6 +233,9 @@ impl ManyCoreSystem {
                 sensed_dvth_mv: 0.0,
                 sensed_em: Fraction::ZERO,
                 last_mode: None,
+                guard: SensorGuard::new(config.sensor_window, config.sensor_stale_epochs),
+                fault: None,
+                stuck_latch: f64::NAN,
             })
             .collect();
         let workload = WorkloadGenerator::heterogeneous(config.cores(), config.seed);
@@ -223,6 +250,7 @@ impl ManyCoreSystem {
             reference_mode: false,
             trap_monitor: None,
             metrics: MetricsReport::default(),
+            sensor_incidents: Vec::new(),
         })
     }
 
@@ -284,6 +312,55 @@ impl ManyCoreSystem {
         &self.metrics
     }
 
+    /// Injects a hardware fault into one core's BTI wear sensor, effective
+    /// from the next sensing epoch. The simulation keeps running: the
+    /// [`SensorGuard`] is expected to notice (stuck/dropped) or absorb
+    /// (noisy) the fault, and a noticed sensor degrades its core to the
+    /// conservative recovery schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::CoreOutOfRange`] when `core` does not exist.
+    pub fn inject_sensor_fault(
+        &mut self,
+        core: usize,
+        kind: SensorFaultKind,
+    ) -> Result<(), SchedError> {
+        let cores = self.cores.len();
+        let slot = self
+            .cores
+            .get_mut(core)
+            .ok_or(SchedError::CoreOutOfRange { core, cores })?;
+        slot.fault = Some(kind);
+        slot.stuck_latch = f64::NAN;
+        Ok(())
+    }
+
+    /// Applies every sensor fault a [`FaultPlan`] directs at this system's
+    /// cores (both the probabilistic `stuck=` draws and the directed
+    /// `stuck-chip=` target), treating core indices as the plan's chip
+    /// indices.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if let Some(kind) = plan.sensor_fault(i as u64) {
+                core.fault = Some(kind);
+                core.stuck_latch = f64::NAN;
+            }
+        }
+    }
+
+    /// Sensors flagged as bad so far, in the order staleness detection
+    /// latched them.
+    pub fn sensor_incidents(&self) -> &[SensorIncident] {
+        &self.sensor_incidents
+    }
+
+    /// How many cores are currently scheduled by the conservative fallback
+    /// policy because their sensor is distrusted.
+    pub fn degraded_cores(&self) -> usize {
+        self.cores.iter().filter(|c| c.guard.faulted()).count()
+    }
+
     /// Advances one epoch under `policy`, returning per-core status.
     ///
     /// # Errors
@@ -316,14 +393,25 @@ impl ManyCoreSystem {
             }
         }
 
-        // Plans come from last epoch's sensor readings.
+        // Plans come from last epoch's sensor readings. A core whose
+        // sensor the guard has distrusted cannot be planned from those
+        // readings: it falls back to the conservative periodic-deep
+        // schedule, which heals every epoch without consulting sensors —
+        // degraded, never silently skipping recovery.
+        let mut conservative = 0u64;
         let plans: Vec<_> = self
             .cores
             .iter()
             .enumerate()
             .zip(&utils)
             .map(|((i, core), &util)| {
-                policy.plan(
+                let effective = if policy.uses_sensors() && core.guard.faulted() {
+                    conservative += 1;
+                    Policy::periodic_deep_default()
+                } else {
+                    policy
+                };
+                effective.plan(
                     self.epoch_index,
                     i,
                     n,
@@ -348,6 +436,7 @@ impl ManyCoreSystem {
 
         let epoch = self.config.epoch;
         let metrics_before = self.metrics.clone();
+        self.metrics.conservative_core_epochs += conservative;
         let mut out = Vec::with_capacity(self.cores.len());
         for (i, core) in self.cores.iter_mut().enumerate() {
             let temp = self
@@ -451,7 +540,38 @@ impl ManyCoreSystem {
                 core.sensed_dvth_mv = core.bti_sensor.measure_reference(core.bti.delta_vth_mv());
                 core.sensed_em = core.em_sensor.measure(Fraction::clamped(core.em_damage));
             } else if policy.uses_sensors() {
-                core.sensed_dvth_mv = core.bti_sensor.measure(core.bti.delta_vth_mv());
+                let raw = core.bti_sensor.measure(core.bti.delta_vth_mv());
+                // Hardware fault model: a stuck sensor latches whatever it
+                // read first after the fault hit; a dropped sensor returns
+                // nothing (NaN); a noisy one glitches every third epoch
+                // (isolated spikes — a minority of any filter window).
+                let reading = match core.fault {
+                    None => raw,
+                    Some(SensorFaultKind::Stuck) => {
+                        if core.stuck_latch.is_nan() {
+                            core.stuck_latch = raw;
+                        }
+                        core.stuck_latch
+                    }
+                    Some(SensorFaultKind::Dropped) => f64::NAN,
+                    Some(SensorFaultKind::Noisy(factor)) => {
+                        if self.epoch_index % 3 == 1 {
+                            raw * factor
+                        } else {
+                            raw
+                        }
+                    }
+                };
+                let trusted = !core.guard.faulted();
+                core.sensed_dvth_mv = core.guard.filter(reading);
+                if trusted && core.guard.faulted() {
+                    self.metrics.sensor_faults_detected += 1;
+                    self.sensor_incidents.push(SensorIncident {
+                        chip: i as u64,
+                        kind: core.fault.unwrap_or(SensorFaultKind::Stuck),
+                        epoch: self.epoch_index as u64,
+                    });
+                }
                 core.sensed_em = core.em_sensor.measure(Fraction::clamped(core.em_damage));
             }
 
@@ -489,6 +609,10 @@ impl ManyCoreSystem {
                 .record(m.bti_recovery_seconds - metrics_before.bti_recovery_seconds);
             dh_obs::histogram(&format!("sched.{name}.bti_healed_mv_per_epoch"))
                 .record(m.bti_healed_mv - metrics_before.bti_healed_mv);
+            dh_obs::counter(&format!("sched.{name}.sensor_faults_detected"))
+                .add(m.sensor_faults_detected - metrics_before.sensor_faults_detected);
+            dh_obs::counter(&format!("sched.{name}.conservative_core_epochs"))
+                .add(m.conservative_core_epochs - metrics_before.conservative_core_epochs);
         }
 
         self.epoch_index += 1;
@@ -522,16 +646,16 @@ impl ManyCoreSystem {
 mod tests {
     use super::*;
 
-    fn run(policy: Policy, epochs: usize, seed: u64) -> ManyCoreSystem {
+    fn run(policy: Policy, epochs: usize, seed: u64) -> Result<ManyCoreSystem, SchedError> {
         let config = SystemConfig {
             seed,
             ..SystemConfig::default()
         };
-        let mut sys = ManyCoreSystem::new(config).unwrap();
+        let mut sys = ManyCoreSystem::new(config)?;
         for _ in 0..epochs {
-            sys.step(policy).unwrap();
+            sys.step(policy)?;
         }
-        sys
+        Ok(sys)
     }
 
     #[test]
@@ -556,20 +680,21 @@ mod tests {
     }
 
     #[test]
-    fn config_from_assist_circuit_matches_default() {
-        let from_circuit = SystemConfig::with_assist_circuit(&AssistCircuit::paper_28nm()).unwrap();
+    fn config_from_assist_circuit_matches_default() -> Result<(), SchedError> {
+        let from_circuit = SystemConfig::with_assist_circuit(&AssistCircuit::paper_28nm())?;
         assert_eq!(
             from_circuit.bti_recovery_bias,
             SystemConfig::default().bti_recovery_bias
         );
+        Ok(())
     }
 
     #[test]
-    fn metrics_track_modes_transitions_and_healing() {
+    fn metrics_track_modes_transitions_and_healing() -> Result<(), SchedError> {
         // Periodic deep recovery (period 1): every core is in BTI-AR every
         // epoch — one power-on transition per core, recovery scheduled and
         // ΔVth healed every epoch.
-        let deep = run(Policy::periodic_deep_default(), 40, 1);
+        let deep = run(Policy::periodic_deep_default(), 40, 1)?;
         let m = deep.metrics();
         assert_eq!(m.epochs, 40);
         assert_eq!(m.core_epochs, 40 * 16);
@@ -589,7 +714,7 @@ mod tests {
         assert!(m.em_recovery_core_seconds > 0.0);
 
         // No recovery: everything is Normal and nothing heals.
-        let none = run(Policy::NoRecovery, 40, 1);
+        let none = run(Policy::NoRecovery, 40, 1)?;
         let m = none.metrics();
         assert_eq!(m.epochs_normal, 40 * 16);
         assert_eq!(m.transitions_to_normal, 16);
@@ -599,7 +724,7 @@ mod tests {
 
         // Rotation flips each core between dark (BTI-AR) and lit (EM duty)
         // epochs, so transitions keep accumulating past power-on.
-        let rotation = run(Policy::rotation_default(), 40, 1);
+        let rotation = run(Policy::rotation_default(), 40, 1)?;
         let m = rotation.metrics();
         assert!(m.epochs_bti_ar > 0 && m.epochs_em_ar > 0);
         assert!(
@@ -607,11 +732,12 @@ mod tests {
             "rotation must keep transitioning: {}",
             m.mode_transitions()
         );
+        Ok(())
     }
 
     #[test]
-    fn wearout_accumulates_without_recovery() {
-        let sys = run(Policy::NoRecovery, 120, 1);
+    fn wearout_accumulates_without_recovery() -> Result<(), SchedError> {
+        let sys = run(Policy::NoRecovery, 120, 1)?;
         assert!(
             sys.worst_delta_vth_mv() > 1.0,
             "ΔVth {}",
@@ -620,24 +746,26 @@ mod tests {
         assert!(sys.worst_em_damage().value() > 0.0);
         assert_eq!(sys.epochs(), 120);
         assert_eq!(sys.time(), Seconds::from_hours(720.0));
+        Ok(())
     }
 
     #[test]
-    fn passive_idle_is_better_than_no_recovery() {
-        let none = run(Policy::NoRecovery, 120, 1);
-        let passive = run(Policy::PassiveIdle, 120, 1);
+    fn passive_idle_is_better_than_no_recovery() -> Result<(), SchedError> {
+        let none = run(Policy::NoRecovery, 120, 1)?;
+        let passive = run(Policy::PassiveIdle, 120, 1)?;
         assert!(
             passive.worst_delta_vth_mv() < none.worst_delta_vth_mv(),
             "passive {} vs none {}",
             passive.worst_delta_vth_mv(),
             none.worst_delta_vth_mv()
         );
+        Ok(())
     }
 
     #[test]
-    fn periodic_deep_recovery_beats_passive_idle() {
-        let passive = run(Policy::PassiveIdle, 120, 1);
-        let deep = run(Policy::periodic_deep_default(), 120, 1);
+    fn periodic_deep_recovery_beats_passive_idle() -> Result<(), SchedError> {
+        let passive = run(Policy::PassiveIdle, 120, 1)?;
+        let deep = run(Policy::periodic_deep_default(), 120, 1)?;
         assert!(
             deep.worst_delta_vth_mv() < passive.worst_delta_vth_mv(),
             "deep {} vs passive {}",
@@ -646,39 +774,44 @@ mod tests {
         );
         // EM duty also reduces grid damage.
         assert!(deep.worst_em_damage() < passive.worst_em_damage());
+        Ok(())
     }
 
     #[test]
-    fn em_damage_respects_the_pinned_floor() {
-        let sys = run(Policy::periodic_deep_default(), 200, 2);
+    fn em_damage_respects_the_pinned_floor() -> Result<(), SchedError> {
+        let sys = run(Policy::periodic_deep_default(), 200, 2)?;
         for core in &sys.cores {
             assert!(core.em_damage >= sys.config.em_pinned_floor.value() * core.em_peak - 1e-12);
             assert!(core.em_damage <= 1.0);
         }
+        Ok(())
     }
 
     #[test]
-    fn same_seed_is_bit_reproducible() {
-        let a = run(Policy::adaptive_default(), 60, 5);
-        let b = run(Policy::adaptive_default(), 60, 5);
+    fn same_seed_is_bit_reproducible() -> Result<(), SchedError> {
+        let a = run(Policy::adaptive_default(), 60, 5)?;
+        let b = run(Policy::adaptive_default(), 60, 5)?;
         assert_eq!(a.worst_delta_vth_mv(), b.worst_delta_vth_mv());
         assert_eq!(a.worst_em_damage(), b.worst_em_damage());
+        Ok(())
     }
 
     #[test]
-    fn different_seeds_differ() {
-        let a = run(Policy::adaptive_default(), 60, 5);
-        let b = run(Policy::adaptive_default(), 60, 6);
+    fn different_seeds_differ() -> Result<(), SchedError> {
+        let a = run(Policy::adaptive_default(), 60, 5)?;
+        let b = run(Policy::adaptive_default(), 60, 6)?;
         assert_ne!(a.worst_delta_vth_mv(), b.worst_delta_vth_mv());
+        Ok(())
     }
 
     #[test]
-    fn busy_cores_run_hotter_than_ambient() {
-        let mut sys = ManyCoreSystem::new(SystemConfig::default()).unwrap();
-        let status = sys.step(Policy::PassiveIdle).unwrap();
+    fn busy_cores_run_hotter_than_ambient() -> Result<(), SchedError> {
+        let mut sys = ManyCoreSystem::new(SystemConfig::default())?;
+        let status = sys.step(Policy::PassiveIdle)?;
         for s in &status {
             assert!(s.temperature.to_celsius().value() > 45.0);
         }
+        Ok(())
     }
 
     #[test]
@@ -693,10 +826,13 @@ mod tests {
         let mut c = SystemConfig::default();
         c.bti_recovery_bias = Volts::new(0.3);
         assert!(ManyCoreSystem::new(c).is_err());
+        let mut c = SystemConfig::default();
+        c.sensor_window = 0;
+        assert!(ManyCoreSystem::new(c).is_err());
     }
 
     #[test]
-    fn rotation_at_epoch_granularity_cannot_prevent_permanent_damage() {
+    fn rotation_at_epoch_granularity_cannot_prevent_permanent_damage() -> Result<(), SchedError> {
         // An honest negative result that *confirms* the paper's in-time
         // requirement: with 2 of 16 cores dark per 6 h epoch, each core is
         // deep-healed only every 48 h — far beyond the ~2 h consolidation
@@ -705,9 +841,9 @@ mod tests {
         // recoverable ripple on the lit cores). Effective rotation must
         // cycle faster than consolidation, which is what the per-epoch
         // `periodic_deep_default` schedule achieves.
-        let passive = run(Policy::PassiveIdle, 160, 7);
-        let rotation = run(Policy::rotation_default(), 160, 7);
-        let periodic = run(Policy::periodic_deep_default(), 160, 7);
+        let passive = run(Policy::PassiveIdle, 160, 7)?;
+        let rotation = run(Policy::rotation_default(), 160, 7)?;
+        let periodic = run(Policy::periodic_deep_default(), 160, 7)?;
         assert!(
             rotation.worst_permanent_mv() > 0.7 * passive.worst_permanent_mv(),
             "48 h rotation should not beat passive on permanent damage: {} vs {}",
@@ -720,15 +856,16 @@ mod tests {
             periodic.worst_permanent_mv(),
             rotation.worst_permanent_mv()
         );
+        Ok(())
     }
 
     #[test]
-    fn rotation_periodically_refreshes_each_core() {
+    fn rotation_periodically_refreshes_each_core() -> Result<(), SchedError> {
         // What rotation *does* deliver: right after its dark epoch a core
         // is near-fresh, far below the fleet's worst.
-        let mut sys = ManyCoreSystem::new(SystemConfig::default()).unwrap();
+        let mut sys = ManyCoreSystem::new(SystemConfig::default())?;
         for _ in 0..32 {
-            sys.step(Policy::rotation_default()).unwrap();
+            sys.step(Policy::rotation_default())?;
         }
         // Core darkened in the previous epoch: epoch 31 darkens cores
         // (31·2)%16 = 14 and 15.
@@ -739,14 +876,15 @@ mod tests {
             fresh < 0.5 * worst,
             "just-healed core {fresh} vs worst {worst}"
         );
+        Ok(())
     }
 
     #[test]
-    fn rotation_darkens_cores_in_turn() {
-        let mut sys = ManyCoreSystem::new(SystemConfig::default()).unwrap();
+    fn rotation_darkens_cores_in_turn() -> Result<(), SchedError> {
+        let mut sys = ManyCoreSystem::new(SystemConfig::default())?;
         let mut dark_seen = vec![false; 16];
         for _ in 0..8 {
-            let status = sys.step(Policy::rotation_default()).unwrap();
+            let status = sys.step(Policy::rotation_default())?;
             let dark: Vec<usize> = status
                 .iter()
                 .enumerate()
@@ -762,52 +900,59 @@ mod tests {
             dark_seen.iter().all(|&d| d),
             "every core rotates dark: {dark_seen:?}"
         );
+        Ok(())
     }
 
     #[test]
-    fn trap_monitor_shadows_core_zero() {
-        let mut with_monitor = ManyCoreSystem::new(SystemConfig::default())
-            .unwrap()
-            .with_trap_monitor(800)
-            .unwrap();
-        let mut without = ManyCoreSystem::new(SystemConfig::default()).unwrap();
+    fn trap_monitor_shadows_core_zero() -> Result<(), SchedError> {
+        let missing = || SchedError::InvalidConfig("monitor not attached".into());
+        let mut with_monitor =
+            ManyCoreSystem::new(SystemConfig::default())?.with_trap_monitor(800)?;
+        let mut without = ManyCoreSystem::new(SystemConfig::default())?;
         assert!(without.trap_monitor_dvth_mv().is_none());
         for _ in 0..20 {
-            with_monitor.step(Policy::periodic_deep_default()).unwrap();
-            without.step(Policy::periodic_deep_default()).unwrap();
+            with_monitor.step(Policy::periodic_deep_default())?;
+            without.step(Policy::periodic_deep_default())?;
         }
-        let monitor = with_monitor.trap_monitor_dvth_mv().unwrap();
+        let monitor = with_monitor.trap_monitor_dvth_mv().ok_or_else(missing)?;
         let analytic = with_monitor.cores[0].bti.delta_vth_mv();
         assert!(monitor > 0.0, "monitor must age: {monitor}");
         assert!(
             (monitor - analytic).abs() / analytic < 0.6,
             "Monte-Carlo monitor {monitor} should track the analytic core {analytic}"
         );
-        assert!(with_monitor.trap_monitor_permanent_mv().unwrap() >= 0.0);
+        assert!(
+            with_monitor
+                .trap_monitor_permanent_mv()
+                .ok_or_else(missing)?
+                >= 0.0
+        );
         // The monitor is an observer: the fleet itself is unchanged.
         assert_eq!(
             with_monitor.worst_delta_vth_mv(),
             without.worst_delta_vth_mv()
         );
+        Ok(())
     }
 
     #[test]
-    fn trap_monitor_rejects_empty_ensembles() {
-        let sys = ManyCoreSystem::new(SystemConfig::default()).unwrap();
+    fn trap_monitor_rejects_empty_ensembles() -> Result<(), SchedError> {
+        let sys = ManyCoreSystem::new(SystemConfig::default())?;
         assert!(sys.with_trap_monitor(0).is_err());
+        Ok(())
     }
 
     #[test]
-    fn adaptive_policy_reacts_to_accumulating_wearout() {
+    fn adaptive_policy_reacts_to_accumulating_wearout() -> Result<(), SchedError> {
         // Early on, no recovery is scheduled; once the sensed shift
         // crosses the threshold, recovery epochs appear.
         let config = SystemConfig::default();
-        let mut sys = ManyCoreSystem::new(config).unwrap();
+        let mut sys = ManyCoreSystem::new(config)?;
         let policy = Policy::adaptive_default();
         let mut early_recovery = 0.0;
         let mut late_recovery = 0.0;
         for epoch in 0..400 {
-            let status = sys.step(policy).unwrap();
+            let status = sys.step(policy)?;
             let total: f64 = status.iter().map(|s| s.bti_recovery.value()).sum();
             if epoch < 20 {
                 early_recovery += total;
@@ -819,5 +964,145 @@ mod tests {
             late_recovery > early_recovery,
             "late {late_recovery} vs early {early_recovery}"
         );
+        Ok(())
+    }
+
+    #[test]
+    fn healthy_sensors_are_never_flagged() -> Result<(), SchedError> {
+        // The BTI sensor clamps sub-floor inferences to exactly 0.0, so a
+        // young fleet emits long runs of repeated zeros — the staleness
+        // detector must not mistake those for a latched sensor.
+        let sys = run(Policy::adaptive_default(), 400, 5)?;
+        assert!(
+            sys.sensor_incidents().is_empty(),
+            "false positives: {:?}",
+            sys.sensor_incidents()
+        );
+        assert_eq!(sys.metrics().sensor_faults_detected, 0);
+        assert_eq!(sys.metrics().conservative_core_epochs, 0);
+        assert_eq!(sys.degraded_cores(), 0);
+        Ok(())
+    }
+
+    #[test]
+    fn stuck_sensor_degrades_its_core_to_conservative_healing() -> Result<(), SchedError> {
+        let mut sys = ManyCoreSystem::new(SystemConfig::default())?;
+        let policy = Policy::adaptive_default();
+        // Age the fleet first so the latched reading is nonzero (a sensor
+        // stuck at a fresh device's legitimate 0.0 is indistinguishable
+        // from health until wear appears).
+        for _ in 0..120 {
+            sys.step(policy)?;
+        }
+        sys.inject_sensor_fault(3, SensorFaultKind::Stuck)?;
+        let mut healed_after_flag = false;
+        for _ in 0..40 {
+            let status = sys.step(policy)?;
+            if sys.cores[3].guard.faulted() && status[3].bti_recovery.value() > 0.0 {
+                healed_after_flag = true;
+            }
+        }
+        let incidents = sys.sensor_incidents();
+        assert_eq!(incidents.len(), 1, "exactly one flagged sensor");
+        assert_eq!(incidents[0].chip, 3);
+        assert_eq!(incidents[0].kind, SensorFaultKind::Stuck);
+        assert_eq!(sys.metrics().sensor_faults_detected, 1);
+        assert!(
+            sys.metrics().conservative_core_epochs > 0,
+            "the distrusted core must fall back to the conservative policy"
+        );
+        assert_eq!(sys.degraded_cores(), 1);
+        assert!(
+            healed_after_flag,
+            "degradation must still schedule recovery, never skip it"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn dropped_sensor_is_flagged_within_the_staleness_window() -> Result<(), SchedError> {
+        let config = SystemConfig::default();
+        let stale_after = config.sensor_stale_epochs as usize;
+        let mut sys = ManyCoreSystem::new(config)?;
+        sys.inject_sensor_fault(0, SensorFaultKind::Dropped)?;
+        for _ in 0..(stale_after + 2) {
+            sys.step(Policy::adaptive_default())?;
+        }
+        // A dead sensor returns NaN from its very first reading, so the
+        // flag lands as soon as the window fills — wear level irrelevant.
+        assert_eq!(sys.sensor_incidents().len(), 1);
+        assert_eq!(sys.sensor_incidents()[0].kind, SensorFaultKind::Dropped);
+        assert_eq!(
+            sys.sensor_incidents()[0].epoch,
+            stale_after as u64 - 1,
+            "flagged on the last epoch of the staleness window"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn noisy_sensor_is_absorbed_by_the_median_filter() -> Result<(), SchedError> {
+        // Periodic 50x spikes on one core's sensor: the median filter
+        // rejects them, so the adaptive trajectory stays close to the
+        // clean run and the sensor is never flagged (it is live, just
+        // noisy — staleness is the wrong verdict).
+        let clean = run(Policy::adaptive_default(), 200, 5)?;
+        let mut noisy = ManyCoreSystem::new(SystemConfig {
+            seed: 5,
+            ..SystemConfig::default()
+        })?;
+        noisy.inject_sensor_fault(7, SensorFaultKind::Noisy(50.0))?;
+        for _ in 0..200 {
+            noisy.step(Policy::adaptive_default())?;
+        }
+        assert!(noisy.sensor_incidents().is_empty());
+        let a = clean.worst_delta_vth_mv();
+        let b = noisy.worst_delta_vth_mv();
+        assert!(
+            (a - b).abs() / a < 0.25,
+            "noisy run {b} must stay close to clean run {a}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn fault_plans_map_onto_cores() -> Result<(), SchedError> {
+        let plan = FaultPlan::parse("stuck-chip=6", 9)
+            .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
+        let mut sys = ManyCoreSystem::new(SystemConfig::default())?;
+        sys.apply_fault_plan(&plan);
+        assert_eq!(sys.cores[6].fault, Some(SensorFaultKind::Stuck));
+        assert!(sys.cores.iter().filter(|c| c.fault.is_some()).count() == 1);
+        Ok(())
+    }
+
+    #[test]
+    fn sensor_fault_injection_rejects_missing_cores() -> Result<(), SchedError> {
+        let mut sys = ManyCoreSystem::new(SystemConfig::default())?;
+        let err = sys
+            .inject_sensor_fault(99, SensorFaultKind::Dropped)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::CoreOutOfRange {
+                core: 99,
+                cores: 16
+            }
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn open_loop_policies_ignore_sensor_faults() -> Result<(), SchedError> {
+        // Periodic deep recovery never reads sensors, so even a dead
+        // sensor changes nothing — no incidents, no degraded cores.
+        let mut sys = ManyCoreSystem::new(SystemConfig::default())?;
+        sys.inject_sensor_fault(2, SensorFaultKind::Dropped)?;
+        for _ in 0..20 {
+            sys.step(Policy::periodic_deep_default())?;
+        }
+        assert!(sys.sensor_incidents().is_empty());
+        assert_eq!(sys.degraded_cores(), 0);
+        Ok(())
     }
 }

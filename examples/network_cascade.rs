@@ -32,7 +32,7 @@ fn main() {
                         .collect::<Vec<_>>()
                         .join(", ")
                 })
-                .unwrap_or_else(|| "—".into());
+                .unwrap_or_else(|_| "—".into());
             println!("t = {hour:>3} h: {failed} segment(s) failed; surviving currents: {currents}");
             last_failed = failed;
         }

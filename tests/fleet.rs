@@ -152,7 +152,10 @@ fn killed_and_resumed_run_reports_byte_identically() {
     // drop the run without finishing it.
     {
         let mut run = FleetRun::new(config.clone()).unwrap();
-        assert!(!run.step(2), "two of six shards must not finish the run");
+        assert!(
+            !run.step(2).unwrap(),
+            "two of six shards must not finish the run"
+        );
         run.snapshot().write(&path).unwrap();
     }
     let snap = Snapshot::read(&path).unwrap();
@@ -181,7 +184,7 @@ fn resume_is_thread_count_invariant() {
     let _ = std::fs::remove_file(&path);
     with_threads(Some(1), || {
         let mut run = FleetRun::new(config.clone()).unwrap();
-        run.step(3);
+        run.step(3).unwrap();
         run.snapshot().write(&path).unwrap();
     });
     let resumed = with_threads(None, || run_fleet_checkpointed(&config, &path, 2).unwrap());
