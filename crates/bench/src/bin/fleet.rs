@@ -24,8 +24,8 @@ use std::time::Instant;
 
 use deep_healing::fault::FaultPlan;
 use deep_healing::fleet::{
-    run_fleet, run_fleet_checkpointed, run_fleet_supervised, CheckpointStore, FleetConfig,
-    FleetPolicy, MaintenanceBudget,
+    run_fleet, run_fleet_checkpointed_with, run_fleet_supervised_with, CheckpointMode,
+    CheckpointStore, FleetConfig, FleetPolicy, MaintenanceBudget,
 };
 use dh_bench::banner;
 use dh_exec::RetryPolicy;
@@ -43,6 +43,7 @@ usage: fleet [flags]
   --threads N           worker threads (0 = all cores)   (default 0)
   --checkpoint PATH     resume from / checkpoint to PATH
   --checkpoint-every N  shards folded between writes     (default 8)
+  --checkpoint-mode M   sync | async writer thread       (default async)
   --inject SPEC         fault plan, e.g. panic=0.01,ckpt-flip=1,stuck-chip=5
                         (runs supervised; see dh-fault for the spec grammar)
   --inject-seed N       fault-stream seed                (default: --seed)
@@ -55,6 +56,7 @@ struct Args {
     threads: Option<usize>,
     checkpoint: Option<std::path::PathBuf>,
     checkpoint_every: u64,
+    checkpoint_mode: CheckpointMode,
     inject: Option<String>,
     inject_seed: Option<u64>,
     retry: u32,
@@ -69,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = None;
     let mut checkpoint = None;
     let mut checkpoint_every = 8;
+    let mut checkpoint_mode = CheckpointMode::default();
     let mut inject = None;
     let mut inject_seed = None;
     let mut retry = 3;
@@ -107,6 +110,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--checkpoint" => checkpoint = Some(value.into()),
             "--checkpoint-every" => checkpoint_every = value.parse().map_err(|e| bad(&e))?,
+            "--checkpoint-mode" => {
+                checkpoint_mode = CheckpointMode::parse(&value)
+                    .ok_or_else(|| bad(&format_args!("expected sync or async")))?;
+            }
             "--inject" => inject = Some(value),
             "--inject-seed" => inject_seed = Some(value.parse().map_err(|e| bad(&e))?),
             "--retry" => retry = value.parse().map_err(|e| bad(&e))?,
@@ -119,6 +126,7 @@ fn parse_args() -> Result<Args, String> {
         threads,
         checkpoint,
         checkpoint_every,
+        checkpoint_mode,
         inject,
         inject_seed,
         retry,
@@ -181,17 +189,19 @@ fn main() -> ExitCode {
             .map(|path| CheckpointStore::new(path, args.keep));
         if let Some(path) = &args.checkpoint {
             println!(
-                "checkpointing to {} every {} shard(s), keeping {} generation(s)\n",
+                "checkpointing ({:?}) to {} every {} shard(s), keeping {} generation(s)\n",
+                args.checkpoint_mode,
                 path.display(),
                 args.checkpoint_every,
                 args.keep
             );
         }
-        run_fleet_supervised(
+        run_fleet_supervised_with(
             &config,
             Some(&plan),
             &retry,
             store.as_ref().map(|s| (s, args.checkpoint_every)),
+            args.checkpoint_mode,
         )
         .map(|(report, deg)| {
             degraded = Some(deg);
@@ -201,11 +211,17 @@ fn main() -> ExitCode {
         match &args.checkpoint {
             Some(path) => {
                 println!(
-                    "checkpointing to {} every {} shard(s)\n",
+                    "checkpointing ({:?}) to {} every {} shard(s)\n",
+                    args.checkpoint_mode,
                     path.display(),
                     args.checkpoint_every
                 );
-                run_fleet_checkpointed(&config, path, args.checkpoint_every)
+                run_fleet_checkpointed_with(
+                    &config,
+                    path,
+                    args.checkpoint_every,
+                    args.checkpoint_mode,
+                )
             }
             None => run_fleet(&config),
         }

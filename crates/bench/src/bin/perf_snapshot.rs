@@ -1,41 +1,87 @@
-//! Performance snapshot for the fleet PR.
+//! Performance snapshot for the SIMD-kernels + async-checkpointing PR.
 //!
 //! Measures the optimized engine against its in-tree baselines **in the
 //! same run** (same binary, same machine, same optimization flags) and
-//! writes the results to `BENCH_pr4.json` in the workspace root
-//! (`BENCH_pr1.json`–`BENCH_pr3.json` are kept as history):
+//! writes the results to `BENCH_pr6.json` in the workspace root
+//! (`BENCH_pr1.json`–`BENCH_pr4.json` are kept as history). The headline
+//! metric for the fleet rows is **device·epochs per second**.
 //!
-//! * CET ensemble stress, pinned to 1 thread: the SoA kernel with
-//!   precomputed rate tables and adaptive sub-stepping vs the PR 1
-//!   fixed-stride per-trap-transcendental kernel — the acceptance metric
-//!   is a ≥2× single-thread speedup with ≤1e-12 relative dVth agreement
-//!   against the scalar reference;
-//! * the same comparison at the default thread count;
-//! * CET ensemble recovery: the batched-exponential kernel vs the scalar
-//!   per-trap `powf` reference;
-//! * guardband Monte-Carlo: the parallel self-scheduling sweep vs the
-//!   seed's serial reference loop (re-established from `BENCH_pr1.json`,
-//!   now under the periodic-deep policy so recovery scheduling is on the
-//!   measured path);
-//! * calibration memo: first (fitting) vs second (cached) call for a
-//!   fresh trap count through the bounded memo;
-//! * fleet simulation: the same `dh-fleet` population stepped serially on
-//!   1 thread vs sharded across the default thread count — the speedup is
-//!   the parallel scaling and the row asserts the two reports are
-//!   bit-identical (report fingerprints equal), the fleet determinism
-//!   acceptance criterion.
+//! * CET ensemble stress, pinned to 1 thread: the lane-batched `dh-simd`
+//!   kernel (group-granular saturated fast path, reused thread-local gate
+//!   scratch) vs the retained PR 2 SoA libm kernel — the acceptance
+//!   metric is a ≥2× single-thread speedup with ≤1e-12 relative dVth
+//!   agreement against the scalar reference. The row also reports the
+//!   per-call allocation counts before/after the scratch-reuse change.
+//! * The same comparison at the default thread count.
+//! * CET ensemble recovery: the `dh-simd` `exp(−x)` kernel vs the PR 2
+//!   per-trap libm kernel.
+//! * EM stress-PDE stencil: the vectorized flux/update stencil with
+//!   hoisted reciprocal tables vs the retained PR 4 division-based
+//!   substep (≤1e-9 relative resistance agreement — the two differ only
+//!   in rounding).
+//! * Guardband Monte-Carlo and calibration memo: unchanged from PR 2/4,
+//!   re-measured for history.
+//! * Fleet simulation: the **serial reference** (1 worker) vs the sharded
+//!   engine at the default thread count, with device·epochs/s for both;
+//!   the row asserts the reports are bit-identical, and additionally that
+//!   the fingerprint is invariant under `DH_SIMD` backend forcing.
+//! * Fleet thread-scaling rows at 4/8/16 workers against the same serial
+//!   reference (all fingerprints equal). The JSON records the host core
+//!   count — on a 1-core host the extra workers cannot speed anything up
+//!   and the rows measure scheduling overhead honestly.
+//! * Fleet scale rows: 10^6 devices, and a completed 10^7-device row
+//!   (one epoch), both with device·epochs/s.
+//! * Checkpointed fleet run: the synchronous per-shard writer vs the
+//!   double-buffered async writer thread — fingerprints equal and the
+//!   final checkpoint **bytes identical**, the DHFL v2 compatibility
+//!   criterion.
 //!
 //! With `--obs` (and the `obs` feature compiled in), the snapshot also
-//! embeds the full `dh-obs` metrics registry — Memo hit/miss counts, CET
-//! sub-step totals, per-policy scheduler mode transitions — under a
-//! `"metrics"` key, so a perf regression can be read next to the work the
-//! engine actually did. Without the feature the flag only prints a
-//! warning: the default build must stay instrumentation-free.
+//! embeds the full `dh-obs` metrics registry under a `"metrics"` key.
+//! Without the feature the flag only prints a warning: the default build
+//! must stay instrumentation-free.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use deep_healing::bti::calibration::TableOneTargets;
+use deep_healing::fleet::{run_fleet_checkpointed_with, CheckpointMode};
 use deep_healing::prelude::*;
+
+/// Counts every heap allocation so the scratch-reuse rows can report
+/// before/after allocation counts, not just wall time.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed while `f` ran (this thread and every
+/// worker — the counter is process-global).
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let v = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, v)
+}
 
 /// Times a closure, returning (seconds, result).
 fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
@@ -76,16 +122,21 @@ const TRAPS: usize = 2000;
 const STRESS_HOURS: f64 = 6.0;
 const REPS: usize = 9;
 
-/// Benchmarks one stress configuration: PR 1 fixed-stride kernel as the
-/// baseline, the SoA kernel as the optimized path, and the scalar reference
-/// as the agreement anchor (same adaptive schedule as the kernel).
+/// Device·epochs folded per second — the fleet throughput headline.
+fn throughput(config: &FleetConfig, secs: f64) -> f64 {
+    (config.devices * config.total_epochs()) as f64 / secs.max(1e-12)
+}
+
+/// Benchmarks one stress configuration: the PR 2 SoA libm kernel as the
+/// baseline, the SIMD kernel as the optimized path, and the scalar
+/// reference as the agreement anchor (same adaptive schedule as both).
 fn stress_row(name: &'static str, ensemble: &TrapEnsemble, threads: usize) -> Row {
     let dt = Seconds::from_hours(STRESS_HOURS);
     let cond = StressCondition::ACCELERATED;
 
-    let (base_s, _pr1_mv) = timed_best(REPS, || {
+    let (base_s, _pr2_mv) = timed_best(REPS, || {
         let mut e = ensemble.clone();
-        e.stress_pr1(dt, cond);
+        e.stress_pr2(dt, cond);
         e.delta_vth_mv()
     });
     let (opt_s, opt_mv) = timed_best(REPS, || {
@@ -101,15 +152,28 @@ fn stress_row(name: &'static str, ensemble: &TrapEnsemble, threads: usize) -> Ro
     let rel = (ref_mv - opt_mv).abs() / ref_mv.max(1e-12);
     assert!(
         rel <= 1e-12,
-        "SoA kernel must match the scalar reference: rel {rel:e}"
+        "SIMD kernel must match the scalar reference: rel {rel:e}"
     );
+
+    // Scratch-reuse satellite: per-call allocation counts, measured warm
+    // (the thread-local gate scratch is already grown). The PR 2 kernel
+    // allocates its gate trajectory every call; the SIMD kernel must not.
+    let mut warm = ensemble.clone();
+    warm.stress(dt, cond); // grow the scratch once
+    let mut e = ensemble.clone();
+    let (opt_allocs, _) = count_allocs(|| e.stress(dt, cond));
+    let mut e = ensemble.clone();
+    let (base_allocs, _) = count_allocs(|| e.stress_pr2(dt, cond));
+
     Row {
         name,
         baseline_s: base_s,
         optimized_s: opt_s,
         note: format!(
-            "{TRAPS} traps x {STRESS_HOURS} h, {threads} thread(s); \
-             PR1 fixed-stride vs SoA kernel; dVth agrees with reference to {rel:.1e} rel"
+            "{TRAPS} traps x {STRESS_HOURS} h, {threads} thread(s), {} backend; \
+             PR2 SoA libm kernel vs dh-simd lane kernel; dVth agrees with reference \
+             to {rel:.1e} rel; warm allocs/call {base_allocs} -> {opt_allocs}",
+            deep_healing::simd::backend_name(),
         ),
     }
 }
@@ -123,6 +187,7 @@ fn main() {
         );
     }
     let default_threads = dh_exec::max_threads();
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
     let mut rows = Vec::new();
 
     let ensemble = TrapEnsemble::paper_calibrated(TRAPS).unwrap();
@@ -152,9 +217,9 @@ fn main() {
         e
     };
     let recover_dt = Seconds::from_hours(STRESS_HOURS);
-    let (base_s, ref_mv) = timed_best(REPS, || {
+    let (base_s, _pr2_mv) = timed_best(REPS, || {
         let mut e = stressed.clone();
-        e.recover_reference(recover_dt, RecoveryCondition::ACTIVE_ACCELERATED);
+        e.recover_pr2(recover_dt, RecoveryCondition::ACTIVE_ACCELERATED);
         e.delta_vth_mv()
     });
     let (opt_s, opt_mv) = timed_best(REPS, || {
@@ -162,6 +227,11 @@ fn main() {
         e.recover(recover_dt, RecoveryCondition::ACTIVE_ACCELERATED);
         e.delta_vth_mv()
     });
+    let ref_mv = {
+        let mut e = stressed.clone();
+        e.recover_reference(recover_dt, RecoveryCondition::ACTIVE_ACCELERATED);
+        e.delta_vth_mv()
+    };
     let rel = (ref_mv - opt_mv).abs() / ref_mv.max(1e-12);
     assert!(
         rel <= 1e-12,
@@ -173,7 +243,36 @@ fn main() {
         optimized_s: opt_s,
         note: format!(
             "{TRAPS} traps x {STRESS_HOURS} h active-accelerated recovery; \
-             scalar powf reference vs rate-table kernel; dVth agrees to {rel:.1e} rel"
+             PR2 per-trap libm kernel vs dh-simd exp(-x) kernel; dVth agrees \
+             with reference to {rel:.1e} rel"
+        ),
+    });
+
+    // --- EM stress-PDE stencil ----------------------------------------------
+    let j = CurrentDensity::from_ma_per_cm2(7.96);
+    let em_dt = Seconds::from_minutes(60.0);
+    let (base_s, base_r) = timed_best(REPS, || {
+        let mut w = EmWire::paper_wire();
+        w.advance_pr4(em_dt, j);
+        w.resistance().value()
+    });
+    let (opt_s, opt_r) = timed_best(REPS, || {
+        let mut w = EmWire::paper_wire();
+        w.advance(em_dt, j);
+        w.resistance().value()
+    });
+    let rel = (base_r - opt_r).abs() / base_r.max(1e-12);
+    assert!(
+        rel <= 1e-9,
+        "vectorized stencil must track the PR4 substep: rel {rel:e}"
+    );
+    rows.push(Row {
+        name: "em_stencil",
+        baseline_s: base_s,
+        optimized_s: opt_s,
+        note: format!(
+            "paper wire, 60 min stress; PR4 division substep vs vectorized stencil \
+             with hoisted reciprocals; resistance agrees to {rel:.1e} rel"
         ),
     });
 
@@ -229,7 +328,7 @@ fn main() {
         note: "cold (fitting) vs warm (memoized) calibrated() call, 1234 traps".into(),
     });
 
-    // --- Fleet simulation ----------------------------------------------------
+    // --- Fleet simulation: serial reference vs default threads ---------------
     let fleet_config = FleetConfig {
         devices: 8_192,
         years: 0.5,
@@ -237,33 +336,180 @@ fn main() {
         ..FleetConfig::default()
     };
     dh_exec::set_max_threads(Some(1));
-    let (base_s, serial_report) = timed(|| run_fleet(&fleet_config).unwrap());
+    let (serial_s, serial_report) = timed(|| run_fleet(&fleet_config).unwrap());
     dh_exec::set_max_threads(None);
     let (opt_s, parallel_report) = timed(|| run_fleet(&fleet_config).unwrap());
+    let (fleet_allocs, _) = count_allocs(|| run_fleet(&fleet_config).unwrap());
     assert_eq!(
         serial_report.fingerprint(),
         parallel_report.fingerprint(),
-        "parallel fleet report must be bit-identical to the serial one"
+        "parallel fleet report must be bit-identical to the serial reference"
+    );
+    // SIMD-backend invariance: forcing the scalar backend must not move a
+    // single bit of the fleet report.
+    deep_healing::simd::force_scalar(true);
+    let scalar_report = run_fleet(&fleet_config).unwrap();
+    deep_healing::simd::force_scalar(false);
+    assert_eq!(
+        serial_report.fingerprint(),
+        scalar_report.fingerprint(),
+        "fleet report must be bit-identical with the SIMD backend forced off"
     );
     rows.push(Row {
         name: "fleet_sim",
-        baseline_s: base_s,
+        baseline_s: serial_s,
         optimized_s: opt_s,
         note: format!(
-            "{} devices x {} epochs, worst-first; 1 thread vs {} threads; \
-             reports bit-identical (fingerprint {:#018x})",
+            "{} devices x {} epochs, worst-first; serial reference {:.2e} vs \
+             {} threads {:.2e} device-epochs/s; {} allocs/run; fingerprints \
+             bit-identical across thread counts and SIMD backends ({:#018x})",
             fleet_config.devices,
             fleet_config.total_epochs(),
+            throughput(&fleet_config, serial_s),
             default_threads,
+            throughput(&fleet_config, opt_s),
+            fleet_allocs,
             parallel_report.fingerprint(),
+        ),
+    });
+
+    // --- Fleet thread scaling: 4 / 8 / 16 workers ----------------------------
+    for &threads in &[4usize, 8, 16] {
+        dh_exec::set_max_threads(Some(threads));
+        let (t_s, report) = timed(|| run_fleet(&fleet_config).unwrap());
+        dh_exec::set_max_threads(None);
+        assert_eq!(
+            report.fingerprint(),
+            serial_report.fingerprint(),
+            "fleet report must be bit-identical at {threads} threads"
+        );
+        rows.push(Row {
+            name: match threads {
+                4 => "fleet_threads_4",
+                8 => "fleet_threads_8",
+                _ => "fleet_threads_16",
+            },
+            baseline_s: serial_s,
+            optimized_s: t_s,
+            note: format!(
+                "{} devices x {} epochs on {threads} workers ({host_cores} host \
+                 core(s)): {:.2e} device-epochs/s, fingerprint identical to the \
+                 serial reference",
+                fleet_config.devices,
+                fleet_config.total_epochs(),
+                throughput(&fleet_config, t_s),
+            ),
+        });
+    }
+
+    // --- Fleet scale: 10^6 and 10^7 devices ----------------------------------
+    let mega = FleetConfig {
+        devices: 1_000_000,
+        years: 0.1,
+        shard_size: 8_192,
+        ..FleetConfig::default()
+    };
+    dh_exec::set_max_threads(Some(1));
+    let (mega_serial_s, mega_serial) = timed(|| run_fleet(&mega).unwrap());
+    dh_exec::set_max_threads(None);
+    let (mega_s, mega_report) = timed(|| run_fleet(&mega).unwrap());
+    assert_eq!(mega_serial.fingerprint(), mega_report.fingerprint());
+    rows.push(Row {
+        name: "fleet_scale_1e6",
+        baseline_s: mega_serial_s,
+        optimized_s: mega_s,
+        note: format!(
+            "10^6 devices x {} epochs: serial {:.2e} vs {} threads {:.2e} \
+             device-epochs/s",
+            mega.total_epochs(),
+            throughput(&mega, mega_serial_s),
+            default_threads,
+            throughput(&mega, mega_s),
+        ),
+    });
+
+    let deca = FleetConfig {
+        devices: 10_000_000,
+        years: 0.01, // one scheduling epoch: the row must *complete*
+        shard_size: 8_192,
+        ..FleetConfig::default()
+    };
+    dh_exec::set_max_threads(Some(1));
+    let (deca_serial_s, deca_serial) = timed(|| run_fleet(&deca).unwrap());
+    dh_exec::set_max_threads(None);
+    let (deca_s, deca_report) = timed(|| run_fleet(&deca).unwrap());
+    assert_eq!(deca_serial.fingerprint(), deca_report.fingerprint());
+    rows.push(Row {
+        name: "fleet_scale_1e7",
+        baseline_s: deca_serial_s,
+        optimized_s: deca_s,
+        note: format!(
+            "10^7 devices x {} epoch(s), completed: serial {:.2e} vs {} threads \
+             {:.2e} device-epochs/s (fingerprint {:#018x})",
+            deca.total_epochs(),
+            throughput(&deca, deca_serial_s),
+            default_threads,
+            throughput(&deca, deca_s),
+            deca_report.fingerprint(),
+        ),
+    });
+
+    // --- Checkpointing: sync writer vs async writer thread --------------------
+    let ckpt_config = FleetConfig {
+        devices: 65_536,
+        years: 0.25,
+        shard_size: 2_048,
+        ..FleetConfig::default()
+    };
+    let dir = std::env::temp_dir().join("dh-perf-snapshot-ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let path = dir.join("run.dhfl");
+
+    let (sync_s, sync_report) = timed(|| {
+        run_fleet_checkpointed_with(&ckpt_config, &path, 1, CheckpointMode::Sync).unwrap()
+    });
+    let sync_bytes = std::fs::read(&path).expect("read sync checkpoint");
+    std::fs::remove_file(&path).expect("reset checkpoint");
+    let (async_s, async_report) = timed(|| {
+        run_fleet_checkpointed_with(&ckpt_config, &path, 1, CheckpointMode::Async).unwrap()
+    });
+    let async_bytes = std::fs::read(&path).expect("read async checkpoint");
+    assert_eq!(
+        sync_report.fingerprint(),
+        async_report.fingerprint(),
+        "checkpoint writer mode must not change the report"
+    );
+    assert_eq!(
+        sync_bytes, async_bytes,
+        "final checkpoint bytes must be identical sync vs async"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    rows.push(Row {
+        name: "checkpoint_async",
+        baseline_s: sync_s,
+        optimized_s: async_s,
+        note: format!(
+            "{} devices x {} epochs, checkpoint every shard ({} shards): sync \
+             writer vs double-buffered async writer thread; {:.2e} vs {:.2e} \
+             device-epochs/s; reports and final checkpoint bytes identical",
+            ckpt_config.devices,
+            ckpt_config.total_epochs(),
+            ckpt_config.shard_count(),
+            throughput(&ckpt_config, sync_s),
+            throughput(&ckpt_config, async_s),
         ),
     });
 
     // --- Report -------------------------------------------------------------
     let embed_metrics = want_obs && dh_obs::ENABLED;
-    let mut json = String::from("{\n  \"pr\": 4,\n  \"threads\": ");
+    let mut json = String::from("{\n  \"pr\": 6,\n  \"threads\": ");
     json.push_str(&default_threads.to_string());
-    json.push_str(",\n");
+    json.push_str(",\n  \"host_cores\": ");
+    json.push_str(&host_cores.to_string());
+    json.push_str(",\n  \"simd_backend\": \"");
+    json.push_str(deep_healing::simd::backend_name());
+    json.push_str("\",\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
             "  \"{}\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}, \"speedup\": {:.2}, \"note\": \"{}\"}}{}\n",
@@ -282,8 +528,8 @@ fn main() {
     }
     json.push_str("}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
-    std::fs::write(path, &json).expect("write BENCH_pr4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+    std::fs::write(path, &json).expect("write BENCH_pr6.json");
 
     for row in &rows {
         println!(

@@ -43,8 +43,20 @@
 //! they are precomputed once at construction (and after
 //! [`TrapEnsemble::with_variation`]) into rate-table columns; the
 //! stress/recover hot loops are then straight-line arithmetic plus one
-//! `exp` per trap-step, chunked across threads with fixed boundaries
-//! (bit-identical at any worker count). Stress sub-stepping is adaptive:
+//! exponential per trap-step, chunked across threads with fixed
+//! boundaries (bit-identical at any worker count).
+//!
+//! The exponentials run through `dh-simd`: traps advance in lane groups
+//! of [`dh_simd::LANES`] through branch-free polynomial
+//! `exp(−x)`/`1 − exp(−x)` kernels that LLVM vectorizes under
+//! `#[target_feature(enable = "avx2")]`, with a scalar compilation of the
+//! *same source* selected at runtime when AVX2 is unavailable (or forced
+//! off) — both backends execute the identical per-element IEEE op
+//! sequence, so results are bit-identical either way. The saturated fast
+//! path (skipping the polynomial once every lane of a group saturates) is
+//! widened to lane granularity; because `dh_simd::one_minus_exp_neg`
+//! returns exactly 1.0 at saturation, the skip is a pure optimization and
+//! never changes a bit. Stress sub-stepping is adaptive:
 //! the step count is chosen so the deep-capture gate moves by at most
 //! [`GATE_STEP_TOL`] per step and hardening is resolved at `τ_harden/2`,
 //! so long quiet intervals take few steps while transients stay resolved.
@@ -104,6 +116,11 @@ const EXP_SATURATE: f64 = 37.0;
 /// Recovery exponent beyond which `exp(−x)` is subnormal-or-zero; the
 /// kernel zeroes the occupancy outright instead of multiplying by it.
 const EXP_UNDERFLOW: f64 = 700.0;
+// The kernels lean on dh-simd returning exactly 1.0 / 0.0 at these same
+// thresholds; a drift between the two constants would silently break the
+// fast-path bit-identity argument.
+const _: () = assert!(EXP_SATURATE == dh_simd::ONE_MINUS_EXP_NEG_SATURATE);
+const _: () = assert!(EXP_UNDERFLOW == dh_simd::EXP_NEG_UNDERFLOW);
 
 /// Identity of one calibration: the trap count plus the exact bit
 /// patterns of every target parameter.
@@ -243,6 +260,154 @@ fn stress_schedule(dt: f64, window0: f64, permanent: &PermanentParams) -> (usize
 /// The window-gating factor `1 − exp(−(w/τ_onset)^m)` of deep capture.
 fn gate_value(window: f64, tau_onset: f64, m: f64) -> f64 {
     1.0 - (-((window / tau_onset).powf(m))).exp()
+}
+
+/// SIMD lane width the stress kernel advances traps at. The saturated
+/// fast-path decision is made per lane *group* (all lanes saturated), and
+/// because that decision is part of the shared kernel body it is the same
+/// under every backend.
+const LANES: usize = dh_simd::LANES;
+
+/// Advances one lane group of traps through every sub-step of a stress
+/// call. `gates` is non-decreasing, so if every lane's first-step capture
+/// exponent saturates, every exponent of the whole group does — the
+/// polynomial (which returns exactly 1.0 there) can be skipped without
+/// changing a bit. Returns the number of lanes whose exponent saturates
+/// (an observability statistic, not a control input).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stress_lane_group(
+    s: &mut [f64; LANES],
+    h: &mut [f64; LANES],
+    c: &[f64; LANES],
+    d: &[f64; LANES],
+    gates: &[f64],
+    amp_sub: f64,
+    harden_step: f64,
+    first_gate: f64,
+) -> u64 {
+    // Per-step capture exponent x = amp·c·((1−d) + d·g)·sub, split into
+    // its gate-independent and gate-proportional parts so the inner loop
+    // is one mul-add per lane.
+    let mut x_shallow = [0.0; LANES];
+    let mut x_deep = [0.0; LANES];
+    let mut harden_scale = [0.0; LANES];
+    let mut saturated = 0u64;
+    let mut all_saturated = true;
+    for l in 0..LANES {
+        x_shallow[l] = amp_sub * c[l] * (1.0 - d[l]);
+        x_deep[l] = amp_sub * c[l] * d[l];
+        harden_scale[l] = d[l] * harden_step;
+        let sat = x_shallow[l] + x_deep[l] * first_gate >= EXP_SATURATE;
+        saturated += sat as u64;
+        all_saturated &= sat;
+    }
+    if all_saturated {
+        for &gate in gates {
+            for l in 0..LANES {
+                // What the full path computes with the polynomial pinned
+                // at its exact saturated value 1.0.
+                let captured = 1.0 - s[l] - h[l];
+                let os = s[l] + captured;
+                let harden = os * harden_scale[l] * gate;
+                s[l] = os - harden;
+                h[l] += harden;
+            }
+        }
+    } else {
+        for &gate in gates {
+            for l in 0..LANES {
+                let x = x_shallow[l] + x_deep[l] * gate;
+                let captured = (1.0 - s[l] - h[l]) * dh_simd::one_minus_exp_neg(x);
+                let os = s[l] + captured;
+                let harden = os * harden_scale[l] * gate;
+                s[l] = os - harden;
+                h[l] += harden;
+            }
+        }
+    }
+    saturated
+}
+
+dh_simd::dispatch! {
+    /// One parallel chunk of the stress kernel: traps advance in lane
+    /// groups of [`LANES`]; the remainder group is padded with zero-rate
+    /// lanes (`x = 0`: nothing is captured, nothing hardens, and a
+    /// zero-exponent lane can never saturate, so padding never flips the
+    /// group fast path — which would be harmless anyway, see
+    /// [`stress_lane_group`]). Returns the chunk's saturated-lane count.
+    #[allow(clippy::too_many_arguments)]
+    fn stress_chunk_kernel(
+        soft: &mut [f64],
+        hard: &mut [f64],
+        capture: &[f64],
+        deepw: &[f64],
+        gates: &[f64],
+        amp_sub: f64,
+        harden_step: f64,
+        first_gate: f64,
+    ) -> u64 {
+        let n = soft.len();
+        let mut saturated = 0u64;
+        let mut i = 0;
+        while i + LANES <= n {
+            let mut s: [f64; LANES] = soft[i..i + LANES].try_into().unwrap();
+            let mut h: [f64; LANES] = hard[i..i + LANES].try_into().unwrap();
+            let c: [f64; LANES] = capture[i..i + LANES].try_into().unwrap();
+            let d: [f64; LANES] = deepw[i..i + LANES].try_into().unwrap();
+            saturated +=
+                stress_lane_group(&mut s, &mut h, &c, &d, gates, amp_sub, harden_step, first_gate);
+            soft[i..i + LANES].copy_from_slice(&s);
+            hard[i..i + LANES].copy_from_slice(&h);
+            i += LANES;
+        }
+        if i < n {
+            let rem = n - i;
+            let mut s = [0.0; LANES];
+            let mut h = [0.0; LANES];
+            let mut c = [0.0; LANES];
+            let mut d = [0.0; LANES];
+            s[..rem].copy_from_slice(&soft[i..]);
+            h[..rem].copy_from_slice(&hard[i..]);
+            c[..rem].copy_from_slice(&capture[i..]);
+            d[..rem].copy_from_slice(&deepw[i..]);
+            saturated +=
+                stress_lane_group(&mut s, &mut h, &c, &d, gates, amp_sub, harden_step, first_gate);
+            soft[i..].copy_from_slice(&s[..rem]);
+            hard[i..].copy_from_slice(&h[..rem]);
+        }
+        saturated
+    }
+}
+
+dh_simd::dispatch! {
+    /// One parallel chunk of the recovery kernel: element-wise
+    /// `s ← s · exp(−x)` with `dh_simd::exp_neg` flushing to exactly 0.0
+    /// past the underflow threshold (occupancies are non-negative, so the
+    /// multiply zeroes the lane just as the old explicit store did). No
+    /// group-granular decisions, so no padding is needed — the straight
+    /// loop is bit-identical under every backend.
+    fn recover_chunk_kernel(
+        soft: &mut [f64],
+        emit: &[f64],
+        deepw: &[f64],
+        theta: f64,
+        anneal: f64,
+        dt_s: f64,
+    ) {
+        for ((s, &e), &d) in soft.iter_mut().zip(emit).zip(deepw) {
+            let x = (theta * e + anneal * d) * dt_s;
+            *s *= dh_simd::exp_neg(x);
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable gate-trajectory buffer: `stress` fills it once per call,
+    /// keeping the hot path allocation-free after the first call on each
+    /// thread (the baselines `stress_pr2`/`stress_pr1` deliberately keep
+    /// their per-call allocation for the bench comparison).
+    static GATES_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl TrapEnsemble {
@@ -522,24 +687,36 @@ impl TrapEnsemble {
             .min(1.0e3)
     }
 
-    /// Midpoint gate values for each sub-step of a stress call.
-    fn gate_trajectory(&self, steps: usize, sub: f64) -> Vec<f64> {
+    /// Midpoint gate values for each sub-step of a stress call, written
+    /// into `buf` (cleared first; capacity is reused across calls).
+    fn fill_gate_trajectory(&self, buf: &mut Vec<f64>, steps: usize, sub: f64) {
         let tau_onset = self.permanent.tau_onset.value();
         let m = self.permanent.m;
         let window0 = self.window.value();
-        (0..steps)
-            .map(|k| gate_value(window0 + (k as f64 + 0.5) * sub, tau_onset, m))
-            .collect()
+        buf.clear();
+        buf.extend((0..steps).map(|k| gate_value(window0 + (k as f64 + 0.5) * sub, tau_onset, m)));
+    }
+
+    /// Allocating form of [`TrapEnsemble::fill_gate_trajectory`], used by
+    /// the retained baseline kernels.
+    fn gate_trajectory(&self, steps: usize, sub: f64) -> Vec<f64> {
+        let mut gates = Vec::with_capacity(steps);
+        self.fill_gate_trajectory(&mut gates, steps, sub);
+        gates
     }
 
     /// Applies `dt` of stress at `cond`.
     ///
-    /// Runs the structure-of-arrays kernel: the adaptive sub-step schedule
-    /// and the per-step gate trajectory are computed once, then each trap
-    /// evolves through all steps using its precomputed rate-table entries.
-    /// Traps whose capture exponent saturates (`1 − exp(−x)` rounds to 1,
-    /// see [`EXP_SATURATE`]) take a transcendental-free path; the rest use
-    /// one `exp_m1` per step. Bit-identical at any thread count.
+    /// Runs the SIMD structure-of-arrays kernel: the adaptive sub-step
+    /// schedule and the per-step gate trajectory are computed once (into a
+    /// reused thread-local buffer — no per-call allocation), then traps
+    /// evolve through all steps in lane groups of [`LANES`] using their
+    /// precomputed rate-table entries and the `dh-simd` polynomial
+    /// `1 − exp(−x)`. Lane groups whose every capture exponent saturates
+    /// (see [`EXP_SATURATE`]) skip the polynomial bit-exactly. The kernel
+    /// body is compiled for both AVX2 and plain scalar and dispatched at
+    /// runtime; results are bit-identical at any thread count and under
+    /// either backend.
     pub fn stress(&mut self, dt: Seconds, cond: StressCondition) {
         if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
@@ -548,15 +725,63 @@ impl TrapEnsemble {
         dh_obs::counter!("bti.cet.stress_calls").incr();
         dh_obs::counter!("bti.cet.sub_steps").add(steps as u64);
         dh_obs::histogram!("bti.cet.step_seconds").record(sub);
+        GATES_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            self.fill_gate_trajectory(&mut buf, steps, sub);
+            let gates: &[f64] = &buf;
+            let first_gate = gates[0];
+            let amp_sub = self.capture_amplitude(cond) * sub;
+            let harden_step = 1.0 - (-sub / self.permanent.tau_harden.value()).exp();
+            let capture_base = &self.capture_base;
+            let deep = &self.deep;
+            // Each chunk reports how many of its lanes saturated, so obs
+            // can track the fraction of transcendental-free traps.
+            let saturated_per_chunk = dh_exec::par_chunks_mut2(
+                &mut self.occ_soft,
+                &mut self.occ_hard,
+                TRAP_CHUNK,
+                |ci, soft, hard| {
+                    let offset = ci * TRAP_CHUNK;
+                    let capture = &capture_base[offset..offset + soft.len()];
+                    let deepw = &deep[offset..offset + soft.len()];
+                    stress_chunk_kernel(
+                        soft,
+                        hard,
+                        capture,
+                        deepw,
+                        gates,
+                        amp_sub,
+                        harden_step,
+                        first_gate,
+                    )
+                },
+            );
+            if dh_obs::ENABLED {
+                dh_obs::counter!("bti.cet.traps_saturated")
+                    .add(saturated_per_chunk.iter().sum::<u64>());
+                dh_obs::counter!("bti.cet.traps_stressed").add(self.occ_soft.len() as u64);
+            }
+        });
+        self.window += Seconds::new(sub * steps as f64);
+    }
+
+    /// The PR 2 SoA stress kernel (per-trap scalar loop, libm `exp_m1`,
+    /// per-trap saturated fast path, allocating gate trajectory): kept as
+    /// the measured baseline for `perf_snapshot`'s SIMD speedup row. Not
+    /// part of the API.
+    #[doc(hidden)]
+    pub fn stress_pr2(&mut self, dt: Seconds, cond: StressCondition) {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
+            return;
+        }
+        let (steps, sub) = stress_schedule(dt.value(), self.window.value(), &self.permanent);
         let gates = self.gate_trajectory(steps, sub);
         let first_gate = gates[0];
         let amp_sub = self.capture_amplitude(cond) * sub;
         let harden_step = 1.0 - (-sub / self.permanent.tau_harden.value()).exp();
         let capture_base = &self.capture_base;
         let deep = &self.deep;
-        // Each chunk reports how many of its traps took the saturated
-        // (transcendental-free) path, so obs can track the fraction.
-        let saturated_per_chunk = dh_exec::par_chunks_mut2(
+        dh_exec::par_chunks_mut2(
             &mut self.occ_soft,
             &mut self.occ_hard,
             TRAP_CHUNK,
@@ -570,9 +795,6 @@ impl TrapEnsemble {
                     .zip(hard.iter_mut())
                     .zip(capture.iter().zip(deepw))
                 {
-                    // Per-step capture exponent x = amp·c·((1−d) + d·g)·sub,
-                    // split into its gate-independent and gate-proportional
-                    // parts so the inner loop is one fma-shaped update.
                     let x_shallow = amp_sub * c * (1.0 - d);
                     let x_deep = amp_sub * c * d;
                     let harden_scale = d * harden_step;
@@ -605,11 +827,6 @@ impl TrapEnsemble {
                 saturated
             },
         );
-        if dh_obs::ENABLED {
-            dh_obs::counter!("bti.cet.traps_saturated")
-                .add(saturated_per_chunk.iter().sum::<u64>());
-            dh_obs::counter!("bti.cet.traps_stressed").add(self.occ_soft.len() as u64);
-        }
         self.window += Seconds::new(sub * steps as f64);
     }
 
@@ -696,9 +913,12 @@ impl TrapEnsemble {
 
     /// Applies `dt` of recovery at `cond`.
     ///
-    /// One exact exponential per trap over the precomputed emission-rate
-    /// column; exponents past [`EXP_UNDERFLOW`] zero the occupancy without
-    /// evaluating `exp`. Bit-identical at any thread count.
+    /// One exponential per trap over the precomputed emission-rate column,
+    /// evaluated by the `dh-simd` polynomial `exp(−x)` (exactly 0.0 past
+    /// [`EXP_UNDERFLOW`], zeroing the occupancy as the scalar kernel's
+    /// explicit store did). The kernel body is compiled for both AVX2 and
+    /// plain scalar and dispatched at runtime; bit-identical at any thread
+    /// count and under either backend.
     pub fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
         if !(dt.value() > 0.0) || !cond.is_finite() {
             return;
@@ -716,6 +936,30 @@ impl TrapEnsemble {
             let offset = ci * TRAP_CHUNK;
             let emit = &emit_base[offset..offset + soft.len()];
             let deepw = &deep[offset..offset + soft.len()];
+            recover_chunk_kernel(soft, emit, deepw, theta, anneal, dt_s);
+        });
+        // Deep recovery resets the continuous-stress window.
+        self.window = self.window * (-depth * dt_s / self.permanent.tau_window_reset.value()).exp();
+    }
+
+    /// The PR 2 recovery kernel (libm `exp`, explicit underflow store):
+    /// kept as the measured baseline for `perf_snapshot`. Not part of the
+    /// API.
+    #[doc(hidden)]
+    pub fn recover_pr2(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        if !(dt.value() > 0.0) || !cond.is_finite() {
+            return;
+        }
+        let theta = self.acceleration.factor(cond);
+        let depth = theta / self.theta4;
+        let anneal = depth / self.permanent.tau_soft_anneal.value();
+        let dt_s = dt.value();
+        let emit_base = &self.emit_base;
+        let deep = &self.deep;
+        dh_exec::par_chunks_mut(&mut self.occ_soft, TRAP_CHUNK, |ci, soft| {
+            let offset = ci * TRAP_CHUNK;
+            let emit = &emit_base[offset..offset + soft.len()];
+            let deepw = &deep[offset..offset + soft.len()];
             for ((s, &e), &d) in soft.iter_mut().zip(emit).zip(deepw) {
                 let x = (theta * e + anneal * d) * dt_s;
                 *s = if x >= EXP_UNDERFLOW {
@@ -725,7 +969,6 @@ impl TrapEnsemble {
                 };
             }
         });
-        // Deep recovery resets the continuous-stress window.
         self.window = self.window * (-depth * dt_s / self.permanent.tau_window_reset.value()).exp();
     }
 
@@ -1059,6 +1302,67 @@ mod tests {
                 "post-recovery divergence after {hours} h"
             );
         }
+    }
+
+    #[test]
+    fn simd_and_scalar_backends_are_bit_identical() {
+        // The dispatch!-generated kernels compile one body twice; flipping
+        // the backend mid-process must not change a single bit of any
+        // occupancy column (this also makes the flip safe while other
+        // tests run concurrently).
+        let run = || {
+            let mut e = ensemble();
+            e.stress(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+            e.recover(
+                Seconds::from_hours(1.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+            e.stress(Seconds::from_hours(24.0), StressCondition::ACCELERATED);
+            e.recover(Seconds::from_hours(6.0), RecoveryCondition::PASSIVE);
+            e
+        };
+        let auto = run();
+        dh_simd::force_scalar(true);
+        let scalar = run();
+        dh_simd::force_scalar(false);
+        let (sa, ha) = auto.occupancy_columns();
+        let (ss, hs) = scalar.occupancy_columns();
+        for i in 0..sa.len() {
+            assert_eq!(sa[i].to_bits(), ss[i].to_bits(), "soft occupancy lane {i}");
+            assert_eq!(ha[i].to_bits(), hs[i].to_bits(), "hard occupancy lane {i}");
+        }
+    }
+
+    #[test]
+    fn pr2_baseline_kernel_stays_within_tolerance() {
+        // The retained PR 2 kernel (libm exp_m1/exp) and the SIMD
+        // polynomial kernel differ by a few ulp per step; the aggregates
+        // must stay inside the same 1e-12 budget as the scalar reference.
+        let mut new = ensemble();
+        let mut pr2 = ensemble();
+        for _ in 0..4 {
+            new.stress(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+            pr2.stress_pr2(Seconds::from_hours(6.0), StressCondition::ACCELERATED);
+            new.recover(
+                Seconds::from_minutes(30.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+            pr2.recover_pr2(
+                Seconds::from_minutes(30.0),
+                RecoveryCondition::ACTIVE_ACCELERATED,
+            );
+        }
+        assert!(
+            rel_diff(new.delta_vth_mv(), pr2.delta_vth_mv()) < 1e-12,
+            "SIMD {} vs pr2 {}",
+            new.delta_vth_mv(),
+            pr2.delta_vth_mv()
+        );
+        assert!(
+            (new.permanent_mv() - pr2.permanent_mv()).abs()
+                <= 1e-12 * pr2.permanent_mv().abs().max(1.0),
+            "permanent diverged"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`units`] | physical-quantity newtypes, constants, time series |
+//! | [`simd`] | batched `exp(−x)`/`1−exp(−x)` kernels with runtime AVX2/scalar dispatch |
 //! | [`bti`] | BTI models: analytic universal relaxation + CET trap ensemble (Table I, Fig. 4) |
 //! | [`em`] | EM models: Korhonen stress PDE, void growth/healing, Black statistics (Figs. 5–7) |
 //! | [`thermal`] | thermal chamber and RC floorplan grid (dark-silicon healing) |
@@ -58,6 +59,7 @@ pub use dh_fleet as fleet;
 pub use dh_obs as obs;
 pub use dh_pdn as pdn;
 pub use dh_sched as sched;
+pub use dh_simd as simd;
 pub use dh_thermal as thermal;
 pub use dh_units as units;
 

@@ -52,6 +52,7 @@ pub mod network;
 pub mod population;
 pub mod schedule;
 pub mod sim;
+mod stencil;
 pub mod wire;
 
 pub use error::EmError;

@@ -203,17 +203,32 @@ where
         }
         drop(tx);
 
+        // Reorder window: a ring of slots where `window[index − expect]`
+        // parks the value for `index` until every earlier index has been
+        // folded. Unlike a map keyed by index, the ring's backing buffer
+        // is reused for the whole run — zero allocations in steady state,
+        // one growth per high-water mark (bounded by the channel depth
+        // plus in-flight items, not by `n`).
         let mut acc = init;
-        let mut pending: std::collections::BTreeMap<usize, U> = std::collections::BTreeMap::new();
+        let mut window: std::collections::VecDeque<Option<U>> = std::collections::VecDeque::new();
         let mut expect = 0usize;
         for (index, value) in rx {
-            pending.insert(index, value);
-            while let Some(value) = pending.remove(&expect) {
+            let offset = index - expect;
+            if offset >= window.len() {
+                window.resize_with(offset + 1, || None);
+            }
+            debug_assert!(window[offset].is_none(), "item {index} produced twice");
+            window[offset] = Some(value);
+            while let Some(Some(_)) = window.front() {
+                let value = window.pop_front().flatten().expect("front checked");
                 acc = fold(acc, expect, value);
                 expect += 1;
             }
         }
-        debug_assert!(pending.is_empty(), "worker skipped an index");
+        debug_assert!(
+            window.iter().all(Option::is_none),
+            "worker skipped an index"
+        );
         acc
     })
 }

@@ -131,20 +131,30 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
 impl Snapshot {
     /// Serializes to the wire format described in the module docs.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::new();
-        self.acc.encode(&mut payload);
-        encode_degraded(&mut payload, &self.degraded);
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
 
-        let mut buf = Vec::with_capacity(37 + payload.len());
+    /// [`Snapshot::encode`] into a caller-owned buffer (cleared first),
+    /// so a long run's checkpoint cadence reuses one allocation. The
+    /// payload is encoded in place and the length field patched
+    /// afterwards — no temporary payload vector either.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
         buf.extend_from_slice(&MAGIC);
         buf.push(VERSION);
-        put_u64(&mut buf, self.config_fingerprint);
-        put_u64(&mut buf, self.cursor);
-        put_u64(&mut buf, payload.len() as u64);
-        buf.extend_from_slice(&payload);
-        let checksum = fnv1a(FNV_OFFSET, &buf);
-        put_u64(&mut buf, checksum);
-        buf
+        put_u64(buf, self.config_fingerprint);
+        put_u64(buf, self.cursor);
+        let len_at = buf.len();
+        put_u64(buf, 0); // payload length, patched below
+        let payload_start = buf.len();
+        self.acc.encode(buf);
+        encode_degraded(buf, &self.degraded);
+        let payload_len = (buf.len() - payload_start) as u64;
+        buf[len_at..len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
+        let checksum = fnv1a(FNV_OFFSET, buf);
+        put_u64(buf, checksum);
     }
 
     /// Parses and fully validates the wire format.
@@ -325,11 +335,29 @@ impl CheckpointStore {
         plan: Option<&dh_fault::FaultPlan>,
         write_index: u64,
     ) -> Result<(u64, Option<String>), FleetError> {
+        self.write_injected_with(snapshot, plan, write_index, &mut Vec::new())
+    }
+
+    /// [`CheckpointStore::write_injected`] encoding into a caller-owned
+    /// scratch buffer, so a checkpoint cadence (in particular the
+    /// [`AsyncCheckpointer`] writer thread) reuses one allocation across
+    /// every write of the run.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] on any filesystem failure.
+    pub fn write_injected_with(
+        &self,
+        snapshot: &Snapshot,
+        plan: Option<&dh_fault::FaultPlan>,
+        write_index: u64,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(u64, Option<String>), FleetError> {
         self.rotate()?;
-        let mut bytes = snapshot.encode();
-        let note = plan.and_then(|p| p.corrupt_checkpoint(write_index, &mut bytes));
-        write_atomic(&self.base, &bytes)?;
-        Ok((bytes.len() as u64, note))
+        snapshot.encode_into(scratch);
+        let note = plan.and_then(|p| p.corrupt_checkpoint(write_index, scratch));
+        write_atomic(&self.base, scratch)?;
+        Ok((scratch.len() as u64, note))
     }
 
     /// Walks the generations newest-first and returns the first snapshot
@@ -370,6 +398,171 @@ impl CheckpointStore {
         }
         dh_obs::counter!("fleet.checkpoint_fallbacks").add(fallbacks.len() as u64);
         Ok((None, fallbacks))
+    }
+}
+
+/// How checkpoint writes are scheduled relative to the shard-folding
+/// loop.
+///
+/// Both modes produce the same sequence of `(snapshot, write index)`
+/// pairs through the same rotate-then-atomic-write path, so the on-disk
+/// generations — and therefore every kill/resume trajectory — are
+/// byte-identical; the only difference is *which thread* pays for the
+/// encode, checksum, and I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointMode {
+    /// Encode, checksum, and write on the folding thread between shard
+    /// batches (the pre-async behavior).
+    Sync,
+    /// Hand each snapshot to a dedicated writer thread over a bounded
+    /// double-buffer channel: the folding loop never blocks on disk
+    /// unless it laps the writer by two checkpoints.
+    #[default]
+    Async,
+}
+
+impl CheckpointMode {
+    /// Parses `"sync"` / `"async"` (CLI flag value).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sync" => Some(Self::Sync),
+            "async" => Some(Self::Async),
+            _ => None,
+        }
+    }
+}
+
+/// The snapshot a writer-thread job carries, plus its position in the
+/// write sequence (fault plans key corruption on the write index, so it
+/// must be assigned on the submitting side, in submission order).
+struct WriteJob {
+    snapshot: Snapshot,
+    write_index: u64,
+}
+
+/// A dedicated checkpoint writer thread: [`AsyncCheckpointer::submit`]
+/// hands over a cheap O(aggregate-state) snapshot clone and returns
+/// immediately; the thread does the encode, checksum, generation
+/// rotation, and atomic write off the folding hot path, reusing one
+/// encode buffer for the whole run.
+///
+/// Jobs flow through a bounded channel of depth 1 — a double buffer:
+/// one checkpoint in flight on the writer plus one queued. Submitting a
+/// third before the first lands blocks (backpressure), so a crashed
+/// process has lost at most the last two submitted checkpoints, exactly
+/// like a sync writer that was two batches behind. Writes happen
+/// strictly in submission order with the same write indices a sync loop
+/// would use, so the on-disk generation history is byte-identical to
+/// [`CheckpointMode::Sync`].
+///
+/// I/O errors surface at the next [`AsyncCheckpointer::submit`] or at
+/// [`AsyncCheckpointer::finish`], which must be called to guarantee the
+/// final snapshot is durable before the run's report is trusted.
+#[derive(Debug)]
+pub struct AsyncCheckpointer {
+    tx: Option<std::sync::mpsc::SyncSender<WriteJob>>,
+    handle: Option<std::thread::JoinHandle<Result<(), FleetError>>>,
+    next_index: u64,
+}
+
+impl std::fmt::Debug for WriteJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteJob")
+            .field("write_index", &self.write_index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AsyncCheckpointer {
+    /// Spawns the writer thread for `store`, threading an optional fault
+    /// plan through to [`CheckpointStore::write_injected_with`] so
+    /// injected corruption hits the same write indices as in sync mode.
+    pub fn spawn(store: CheckpointStore, plan: Option<dh_fault::FaultPlan>) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<WriteJob>(1);
+        let handle = std::thread::Builder::new()
+            .name("dh-fleet-ckpt".into())
+            .spawn(move || {
+                let mut scratch = Vec::new();
+                for job in rx {
+                    store.write_injected_with(
+                        &job.snapshot,
+                        plan.as_ref(),
+                        job.write_index,
+                        &mut scratch,
+                    )?;
+                }
+                Ok(())
+            })
+            .expect("failed to spawn checkpoint writer thread");
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            next_index: 0,
+        }
+    }
+
+    /// Enqueues `snapshot` as the next write. Blocks only when both
+    /// double-buffer slots are full.
+    ///
+    /// # Errors
+    ///
+    /// The writer thread's [`FleetError::Io`] if it has already died; the
+    /// snapshot that triggered the discovery is lost with it (the run
+    /// should abort — its durability guarantee is gone).
+    pub fn submit(&mut self, snapshot: Snapshot) -> Result<(), FleetError> {
+        let job = WriteJob {
+            snapshot,
+            write_index: self.next_index,
+        };
+        let tx = self.tx.as_ref().expect("submit after finish");
+        if tx.send(job).is_err() {
+            // The receiver is gone: the writer bailed on an I/O error.
+            // Join it and surface that error instead of a channel error.
+            return Err(self.join_writer());
+        }
+        self.next_index += 1;
+        Ok(())
+    }
+
+    /// Closes the queue, waits for every submitted write to land, and
+    /// returns the first I/O error the writer hit (if any).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] from any submitted write.
+    pub fn finish(mut self) -> Result<(), FleetError> {
+        self.tx = None; // close the channel; the writer drains and exits
+        match self.handle.take() {
+            Some(handle) => match handle.join() {
+                Ok(result) => result,
+                Err(_) => Err(FleetError::Io("checkpoint writer panicked".into())),
+            },
+            None => Ok(()),
+        }
+    }
+
+    /// Joins the (already dead) writer and converts its exit into an
+    /// error for the caller.
+    fn join_writer(&mut self) -> FleetError {
+        match self.handle.take().map(std::thread::JoinHandle::join) {
+            Some(Ok(Err(e))) => e,
+            Some(Err(_)) => FleetError::Io("checkpoint writer panicked".into()),
+            // A clean exit with the channel closed cannot happen while
+            // `tx` is still held; treat it as the writer vanishing.
+            _ => FleetError::Io("checkpoint writer exited early".into()),
+        }
+    }
+}
+
+impl Drop for AsyncCheckpointer {
+    fn drop(&mut self) {
+        // Close the queue and wait for in-flight writes so a dropped
+        // (not `finish`ed) checkpointer still leaves a consistent disk
+        // state; errors here have nowhere to go and are dropped with it.
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -552,6 +745,115 @@ mod tests {
         let (found, fallbacks) = store.read_newest_valid().unwrap();
         assert!(found.is_none());
         assert!(fallbacks.is_empty(), "a fresh start is not a fallback");
+    }
+
+    #[test]
+    fn async_and_sync_checkpointing_are_byte_identical_on_disk() {
+        let config = FleetConfig {
+            devices: 96,
+            years: 0.3,
+            shard_size: 16,
+            group_size: 16,
+            ..FleetConfig::default()
+        };
+        let dir = temp_dir("mode-parity");
+        let sync_path = dir.join("sync.dhfl");
+        let async_path = dir.join("async.dhfl");
+        let sync_report =
+            crate::sim::run_fleet_checkpointed_with(&config, &sync_path, 1, CheckpointMode::Sync)
+                .unwrap();
+        let async_report =
+            crate::sim::run_fleet_checkpointed_with(&config, &async_path, 1, CheckpointMode::Async)
+                .unwrap();
+        assert_eq!(sync_report.fingerprint(), async_report.fingerprint());
+        assert_eq!(
+            std::fs::read(&sync_path).unwrap(),
+            std::fs::read(&async_path).unwrap(),
+            "final checkpoints must match byte for byte"
+        );
+    }
+
+    #[test]
+    fn async_supervised_matches_sync_under_injected_corruption() {
+        let config = FleetConfig {
+            devices: 96,
+            years: 0.3,
+            shard_size: 16,
+            group_size: 16,
+            ..FleetConfig::default()
+        };
+        let dir = temp_dir("mode-parity-injected");
+        let retry = dh_exec::RetryPolicy::immediate(2);
+        let run = |tag: &str, mode: CheckpointMode| {
+            let store = CheckpointStore::new(dir.join(format!("{tag}.dhfl")), 3);
+            let plan = dh_fault::FaultPlan::parse("ckpt-flip=2", 23).unwrap();
+            let out = crate::sim::run_fleet_supervised_with(
+                &config,
+                Some(&plan),
+                &retry,
+                Some((&store, 1)),
+                mode,
+            )
+            .unwrap();
+            (store, out)
+        };
+        let (sync_store, (sync_report, sync_degraded)) = run("sync", CheckpointMode::Sync);
+        let (async_store, (async_report, async_degraded)) = run("async", CheckpointMode::Async);
+        assert_eq!(sync_report.fingerprint(), async_report.fingerprint());
+        assert_eq!(sync_degraded, async_degraded);
+        for generation in 0..3 {
+            assert_eq!(
+                std::fs::read(sync_store.generation_path(generation)).unwrap(),
+                std::fs::read(async_store.generation_path(generation)).unwrap(),
+                "generation {generation} diverged between modes"
+            );
+        }
+        // The plan flipped a bit in write 2 of both histories; the
+        // fallback walk lands on the same snapshot either way.
+        let (sync_snap, sync_fb) = sync_store.read_newest_valid().unwrap();
+        let (async_snap, async_fb) = async_store.read_newest_valid().unwrap();
+        assert_eq!(sync_snap.unwrap().cursor, async_snap.unwrap().cursor);
+        assert_eq!(sync_fb.len(), async_fb.len());
+    }
+
+    #[test]
+    fn async_writer_surfaces_io_errors() {
+        let dir = temp_dir("async-io-error");
+        let missing = dir.join("no-such-subdir").join("snap.dhfl");
+        let (_config, snap) = snapshot_after_one_step();
+        let mut writer = AsyncCheckpointer::spawn(CheckpointStore::new(&missing, 2), None);
+        // The first submit is accepted into the queue; the failure lands
+        // on a later submit or on the final drain.
+        let mut saw_error = writer.submit(snap.clone()).is_err();
+        for _ in 0..4 {
+            if writer.submit(snap.clone()).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        let finish = writer.finish();
+        assert!(
+            saw_error || finish.is_err(),
+            "a doomed write path must produce an error before the run is declared durable"
+        );
+        if let Err(e) = finish {
+            assert!(matches!(e, FleetError::Io(_)), "unexpected error: {e}");
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let (_config, mut snap) = snapshot_after_one_step();
+        let mut buf = Vec::new();
+        snap.encode_into(&mut buf);
+        assert_eq!(buf, snap.encode());
+        let capacity = buf.capacity();
+        // A second encode of a slightly-advanced snapshot reuses the
+        // allocation (same payload size → no growth).
+        snap.cursor += 1;
+        snap.encode_into(&mut buf);
+        assert_eq!(buf.capacity(), capacity);
+        assert_eq!(buf, snap.encode());
     }
 
     #[test]

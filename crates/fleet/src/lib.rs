@@ -59,12 +59,13 @@ pub mod sim;
 pub mod stats;
 pub(crate) mod wire;
 
-pub use checkpoint::{CheckpointStore, Snapshot};
+pub use checkpoint::{AsyncCheckpointer, CheckpointMode, CheckpointStore, Snapshot};
 pub use chip::{ChipOutcome, ChipSpec, VariationModel, SENSOR_STALE_EPOCHS};
 pub use error::FleetError;
 pub use policy::{FleetPolicy, MaintenanceBudget};
 pub use sim::{
-    run_fleet, run_fleet_checkpointed, run_fleet_supervised, FleetConfig, FleetReport, FleetRun,
+    run_fleet, run_fleet_checkpointed, run_fleet_checkpointed_with, run_fleet_supervised,
+    run_fleet_supervised_with, FleetConfig, FleetReport, FleetRun,
 };
 pub use stats::{NonFinite, P2Quantile, StreamingMoments, StreamingSummary, SummaryStats};
 

@@ -32,7 +32,7 @@ use dh_exec::RetryPolicy;
 use dh_fault::{DegradedReport, FaultPlan, SensorFaultKind, SensorIncident, ShardFailure};
 use dh_units::{CurrentDensity, Fraction, Kelvin, Seconds, Volts};
 
-use crate::checkpoint::{CheckpointStore, Snapshot};
+use crate::checkpoint::{AsyncCheckpointer, CheckpointMode, CheckpointStore, Snapshot};
 use crate::chip::{ChipContext, ChipOutcome, ChipSpec, ChipState, VariationModel};
 use crate::error::FleetError;
 use crate::policy::{FleetPolicy, MaintenanceBudget};
@@ -753,6 +753,8 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, FleetError> {
 /// Runs a fleet with checkpointing: resumes from `path` when a matching
 /// snapshot exists, folds `every_shards` shards between checkpoint
 /// writes, and leaves the final snapshot on disk next to the report.
+/// Writes go through the default [`CheckpointMode::Async`] writer
+/// thread; [`run_fleet_checkpointed_with`] picks the mode explicitly.
 ///
 /// # Errors
 ///
@@ -764,14 +766,45 @@ pub fn run_fleet_checkpointed(
     path: &Path,
     every_shards: u64,
 ) -> Result<FleetReport, FleetError> {
+    run_fleet_checkpointed_with(config, path, every_shards, CheckpointMode::default())
+}
+
+/// [`run_fleet_checkpointed`] with an explicit [`CheckpointMode`]. The
+/// two modes leave byte-identical disk state and reports; sync mode
+/// exists as the baseline (and for the tests that prove that claim).
+///
+/// # Errors
+///
+/// As [`run_fleet_checkpointed`]; in async mode a writer-thread I/O
+/// error surfaces at the next checkpoint boundary or at the final
+/// drain.
+pub fn run_fleet_checkpointed_with(
+    config: &FleetConfig,
+    path: &Path,
+    every_shards: u64,
+    mode: CheckpointMode,
+) -> Result<FleetReport, FleetError> {
     let mut run = match Snapshot::read_if_exists(path)? {
         Some(snapshot) => FleetRun::resume(config.clone(), snapshot)?,
         None => FleetRun::new(config.clone())?,
     };
-    while !run.step(every_shards.max(1))? {
-        run.snapshot().write(path)?;
+    match mode {
+        CheckpointMode::Sync => {
+            while !run.step(every_shards.max(1))? {
+                run.snapshot().write(path)?;
+            }
+            run.snapshot().write(path)?;
+        }
+        CheckpointMode::Async => {
+            let store = CheckpointStore::new(path, 1);
+            let mut writer = AsyncCheckpointer::spawn(store, None);
+            while !run.step(every_shards.max(1))? {
+                writer.submit(run.snapshot())?;
+            }
+            writer.submit(run.snapshot())?;
+            writer.finish()?;
+        }
     }
-    run.snapshot().write(path)?;
     run.report()
 }
 
@@ -799,6 +832,25 @@ pub fn run_fleet_supervised(
     retry: &RetryPolicy,
     checkpoints: Option<(&CheckpointStore, u64)>,
 ) -> Result<(FleetReport, DegradedReport), FleetError> {
+    run_fleet_supervised_with(config, plan, retry, checkpoints, CheckpointMode::default())
+}
+
+/// [`run_fleet_supervised`] with an explicit [`CheckpointMode`]. Both
+/// modes drive [`CheckpointStore::write_injected_with`] through the same
+/// write-index sequence, so injected checkpoint corruption (and the
+/// multi-generation fallback it exercises) behaves identically; sync
+/// mode is the baseline the byte-identity tests compare against.
+///
+/// # Errors
+///
+/// As [`run_fleet_supervised`].
+pub fn run_fleet_supervised_with(
+    config: &FleetConfig,
+    plan: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    checkpoints: Option<(&CheckpointStore, u64)>,
+    mode: CheckpointMode,
+) -> Result<(FleetReport, DegradedReport), FleetError> {
     let mut run = match checkpoints {
         Some((store, _)) => {
             let (snapshot, fallbacks) = store.read_newest_valid()?;
@@ -812,17 +864,28 @@ pub fn run_fleet_supervised(
         None => FleetRun::new(config.clone())?,
     };
     match checkpoints {
-        Some((store, every)) => {
-            // Write indices count this process's writes from 0, so an
-            // injected `ckpt-flip=N` plan corrupts the same generations
-            // on every identically-seeded invocation.
-            let mut write_index = 0u64;
-            while !run.step_supervised(every.max(1), plan, retry) {
-                store.write_injected(&run.snapshot(), plan, write_index)?;
-                write_index += 1;
+        // Write indices count this process's writes from 0, so an
+        // injected `ckpt-flip=N` plan corrupts the same generations
+        // on every identically-seeded invocation, in either mode.
+        Some((store, every)) => match mode {
+            CheckpointMode::Sync => {
+                let mut write_index = 0u64;
+                let mut scratch = Vec::new();
+                while !run.step_supervised(every.max(1), plan, retry) {
+                    store.write_injected_with(&run.snapshot(), plan, write_index, &mut scratch)?;
+                    write_index += 1;
+                }
+                store.write_injected_with(&run.snapshot(), plan, write_index, &mut scratch)?;
             }
-            store.write_injected(&run.snapshot(), plan, write_index)?;
-        }
+            CheckpointMode::Async => {
+                let mut writer = AsyncCheckpointer::spawn((*store).clone(), plan.cloned());
+                while !run.step_supervised(every.max(1), plan, retry) {
+                    writer.submit(run.snapshot())?;
+                }
+                writer.submit(run.snapshot())?;
+                writer.finish()?;
+            }
+        },
         None => while !run.step_supervised(u64::MAX, plan, retry) {},
     }
     let report = run.report()?;

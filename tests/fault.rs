@@ -19,8 +19,8 @@ use std::path::PathBuf;
 
 use deep_healing::fault::{FaultPlan, SensorFaultKind};
 use deep_healing::fleet::{
-    run_fleet, run_fleet_supervised, CheckpointStore, FleetConfig, FleetPolicy, FleetRun,
-    MaintenanceBudget, SENSOR_STALE_EPOCHS,
+    run_fleet, run_fleet_supervised, run_fleet_supervised_with, CheckpointMode, CheckpointStore,
+    FleetConfig, FleetPolicy, FleetRun, MaintenanceBudget, SENSOR_STALE_EPOCHS,
 };
 use dh_exec::RetryPolicy;
 use proptest::prelude::*;
@@ -61,13 +61,17 @@ proptest! {
     /// Damage any one retained generation, any way: the resume still
     /// reproduces the uninterrupted run bit for bit, and records a
     /// fallback exactly when the newest generation was the victim.
+    /// Resumes alternate between the sync and async checkpoint writers —
+    /// multi-generation fallback must hold under both.
     #[test]
     fn corrupted_generations_fall_back_to_fingerprint_identical_resume(
         generation in 0usize..3,
         mode in 0u8..2,
+        async_writer in 0u8..2,
         damage in 0u64..u64::MAX,
     ) {
         let truncate = mode == 1;
+        let ckpt_mode = if async_writer == 1 { CheckpointMode::Async } else { CheckpointMode::Sync };
         let config = small_fleet();
         let baseline = run_fleet(&config).unwrap();
 
@@ -88,11 +92,12 @@ proptest! {
         }
         std::fs::write(&victim, &bytes).unwrap();
 
-        let (resumed, degraded) = run_fleet_supervised(
+        let (resumed, degraded) = run_fleet_supervised_with(
             &config,
             None,
             &RetryPolicy::immediate(1),
             Some((&store, 1)),
+            ckpt_mode,
         )
         .unwrap();
 

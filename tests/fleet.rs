@@ -15,8 +15,9 @@
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use deep_healing::fleet::{
-    run_fleet_checkpointed, FleetConfig, FleetPolicy, FleetReport, FleetRun, MaintenanceBudget,
-    Snapshot, StreamingSummary,
+    run_fleet_checkpointed, run_fleet_checkpointed_with, AsyncCheckpointer, CheckpointMode,
+    CheckpointStore, FleetConfig, FleetPolicy, FleetReport, FleetRun, MaintenanceBudget, Snapshot,
+    StreamingSummary,
 };
 use deep_healing::prelude::*;
 use proptest::prelude::*;
@@ -168,6 +169,52 @@ fn killed_and_resumed_run_reports_byte_identically() {
     // The final checkpoint left on disk is the completed run.
     let final_snap = Snapshot::read(&path).unwrap();
     assert_eq!(final_snap.cursor, config.shard_count());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checkpoint_mode_is_invisible_to_kill_and_resume() {
+    let _g = lock();
+    let config = small_fleet();
+    let uninterrupted = run_fleet(&config).unwrap();
+
+    let dir = std::env::temp_dir().join("dh-fleet-resume-mode-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.dhfl");
+    let _ = std::fs::remove_file(&path);
+
+    // "Kill" mid-run with the checkpoint written through the async
+    // writer thread (submit + drop — the drop drains the queue, like a
+    // process that dies after its last write landed)...
+    {
+        let mut run = FleetRun::new(config.clone()).unwrap();
+        assert!(!run.step(2).unwrap());
+        let mut writer = AsyncCheckpointer::spawn(CheckpointStore::new(&path, 1), None);
+        writer.submit(run.snapshot()).unwrap();
+        writer.finish().unwrap();
+    }
+    // ...then resume with the sync writer: the modes must be fully
+    // interchangeable across the kill boundary.
+    let resumed_sync =
+        run_fleet_checkpointed_with(&config, &path, 1, CheckpointMode::Sync).unwrap();
+    assert_reports_identical(&uninterrupted, &resumed_sync, "async kill, sync resume");
+    let after_sync = std::fs::read(&path).unwrap();
+
+    // The reverse: sync mid-kill write, async resume.
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut run = FleetRun::new(config.clone()).unwrap();
+        assert!(!run.step(2).unwrap());
+        run.snapshot().write(&path).unwrap();
+    }
+    let resumed_async =
+        run_fleet_checkpointed_with(&config, &path, 1, CheckpointMode::Async).unwrap();
+    assert_reports_identical(&uninterrupted, &resumed_async, "sync kill, async resume");
+    let after_async = std::fs::read(&path).unwrap();
+    assert_eq!(
+        after_sync, after_async,
+        "final checkpoint bytes must not depend on the writer mode"
+    );
     std::fs::remove_file(&path).unwrap();
 }
 
