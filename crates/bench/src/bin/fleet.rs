@@ -38,7 +38,8 @@ usage: fleet [flags]
                         (groups cycle through the list;  default worst-first)
   --budget N            recovery slots per group-epoch   (default 8)
   --group N             chips per maintenance group      (default 64)
-  --shard-size N        chips per shard (multiple of --group; default 1024)
+  --shard-size N        chips per shard (multiple of --group;
+                        default: sized from --devices and the worker count)
   --seed N              root seed                        (default 7)
   --threads N           worker threads (0 = all cores)   (default 0)
   --checkpoint PATH     resume from / checkpoint to PATH
@@ -53,6 +54,7 @@ usage: fleet [flags]
 
 struct Args {
     config: FleetConfig,
+    shard_size_given: bool,
     threads: Option<usize>,
     checkpoint: Option<std::path::PathBuf>,
     checkpoint_every: u64,
@@ -68,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         devices: 100_000,
         ..FleetConfig::default()
     };
+    let mut shard_size_given = false;
     let mut threads = None;
     let mut checkpoint = None;
     let mut checkpoint_every = 8;
@@ -102,7 +105,10 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--group" => config.group_size = value.parse().map_err(|e| bad(&e))?,
-            "--shard-size" => config.shard_size = value.parse().map_err(|e| bad(&e))?,
+            "--shard-size" => {
+                config.shard_size = value.parse().map_err(|e| bad(&e))?;
+                shard_size_given = true;
+            }
             "--seed" => config.seed = value.parse().map_err(|e| bad(&e))?,
             "--threads" => {
                 let n: usize = value.parse().map_err(|e| bad(&e))?;
@@ -123,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         config,
+        shard_size_given,
         threads,
         checkpoint,
         checkpoint_every,
@@ -150,7 +157,14 @@ fn main() -> ExitCode {
         Some(n) => dh_exec::set_max_threads(Some(n)),
     }
 
-    let config = args.config;
+    let mut config = args.config;
+    if !args.shard_size_given {
+        // Size shards from the population and worker count (about four
+        // shards per worker, capped for cache residency). The report is
+        // shard-size invariant, but a checkpoint's cursor is not: pass an
+        // explicit --shard-size when resuming across a --threads change.
+        config.shard_size = config.auto_shard_size(dh_exec::max_threads());
+    }
     let policy_names: Vec<&str> = config.policies.iter().map(|p| p.name()).collect();
     banner("Fleet lifetime simulation");
     println!(

@@ -1,9 +1,9 @@
-//! Performance snapshot for the SIMD-kernels + async-checkpointing PR.
+//! Performance snapshot for the columnar fleet chip-store PR.
 //!
 //! Measures the optimized engine against its in-tree baselines **in the
 //! same run** (same binary, same machine, same optimization flags) and
-//! writes the results to `BENCH_pr6.json` in the workspace root
-//! (`BENCH_pr1.json`–`BENCH_pr4.json` are kept as history). The headline
+//! writes the results to `BENCH_pr7.json` in the workspace root
+//! (`BENCH_pr1.json`–`BENCH_pr6.json` are kept as history). The headline
 //! metric for the fleet rows is **device·epochs per second**.
 //!
 //! * CET ensemble stress, pinned to 1 thread: the lane-batched `dh-simd`
@@ -21,16 +21,23 @@
 //!   in rounding).
 //! * Guardband Monte-Carlo and calibration memo: unchanged from PR 2/4,
 //!   re-measured for history.
-//! * Fleet simulation: the **serial reference** (1 worker) vs the sharded
-//!   engine at the default thread count, with device·epochs/s for both;
-//!   the row asserts the reports are bit-identical, and additionally that
-//!   the fingerprint is invariant under `DH_SIMD` backend forcing.
+//! * Fleet simulation: the retained **per-chip reference path**
+//!   (`run_fleet_reference`, serial AoS chip stepping) vs the columnar
+//!   `ChipStore` engine at the default thread count, with
+//!   device·epochs/s for both. The row asserts the reports are
+//!   bit-identical, that the fingerprint is invariant under `DH_SIMD`
+//!   backend forcing, and — the allocation satellite — that the
+//!   columnar engine's steady-state allocations/run dropped well below
+//!   the PR 6 count (17,557/run): the slab pool reuses every column and
+//!   outcome buffer across shards.
 //! * Fleet thread-scaling rows at 4/8/16 workers against the same serial
 //!   reference (all fingerprints equal). The JSON records the host core
 //!   count — on a 1-core host the extra workers cannot speed anything up
 //!   and the rows measure scheduling overhead honestly.
 //! * Fleet scale rows: 10^6 devices, and a completed 10^7-device row
-//!   (one epoch), both with device·epochs/s.
+//!   (one epoch), both with device·epochs/s and shards sized by
+//!   `auto_shard_size` from the worker count (the PR 6 fixed 8,192-chip
+//!   shards are what regressed the 10^6 parallel row to 0.89×).
 //! * Checkpointed fleet run: the synchronous per-shard writer vs the
 //!   double-buffered async writer thread — fingerprints equal and the
 //!   final checkpoint **bytes identical**, the DHFL v2 compatibility
@@ -46,7 +53,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use deep_healing::bti::calibration::TableOneTargets;
-use deep_healing::fleet::{run_fleet_checkpointed_with, CheckpointMode};
+use deep_healing::fleet::{run_fleet_checkpointed_with, run_fleet_reference, CheckpointMode};
 use deep_healing::prelude::*;
 
 /// Counts every heap allocation so the scratch-reuse rows can report
@@ -328,22 +335,30 @@ fn main() {
         note: "cold (fitting) vs warm (memoized) calibrated() call, 1234 traps".into(),
     });
 
-    // --- Fleet simulation: serial reference vs default threads ---------------
+    // --- Fleet simulation: per-chip reference vs the columnar engine ---------
     let fleet_config = FleetConfig {
         devices: 8_192,
         years: 0.5,
         shard_size: 512,
         ..FleetConfig::default()
     };
-    dh_exec::set_max_threads(Some(1));
-    let (serial_s, serial_report) = timed(|| run_fleet(&fleet_config).unwrap());
-    dh_exec::set_max_threads(None);
+    let (serial_s, (serial_report, _)) =
+        timed(|| run_fleet_reference(&fleet_config, None).unwrap());
     let (opt_s, parallel_report) = timed(|| run_fleet(&fleet_config).unwrap());
     let (fleet_allocs, _) = count_allocs(|| run_fleet(&fleet_config).unwrap());
+    let (ref_allocs, _) = count_allocs(|| run_fleet_reference(&fleet_config, None).unwrap());
     assert_eq!(
         serial_report.fingerprint(),
         parallel_report.fingerprint(),
-        "parallel fleet report must be bit-identical to the serial reference"
+        "columnar fleet report must be bit-identical to the per-chip reference"
+    );
+    // Allocation satellite: the slab pool reuses every column and outcome
+    // buffer across shards, so the columnar engine must run in a small
+    // fraction of the PR 6 steady-state allocation count (17,557/run).
+    assert!(
+        fleet_allocs < 17_557 / 2,
+        "columnar fleet run allocated {fleet_allocs} times; the slab pool \
+         must cut the PR 6 count (17,557) by well over half"
     );
     // SIMD-backend invariance: forcing the scalar backend must not move a
     // single bit of the fleet report.
@@ -360,15 +375,16 @@ fn main() {
         baseline_s: serial_s,
         optimized_s: opt_s,
         note: format!(
-            "{} devices x {} epochs, worst-first; serial reference {:.2e} vs \
-             {} threads {:.2e} device-epochs/s; {} allocs/run; fingerprints \
-             bit-identical across thread counts and SIMD backends ({:#018x})",
+            "{} devices x {} epochs, worst-first; per-chip reference {:.2e} vs \
+             columnar on {} threads {:.2e} device-epochs/s; allocs/run \
+             {ref_allocs} -> {fleet_allocs} (PR6: 17557); fingerprints \
+             bit-identical across engines, thread counts and SIMD backends \
+             ({:#018x})",
             fleet_config.devices,
             fleet_config.total_epochs(),
             throughput(&fleet_config, serial_s),
             default_threads,
             throughput(&fleet_config, opt_s),
-            fleet_allocs,
             parallel_report.fingerprint(),
         ),
     });
@@ -403,52 +419,75 @@ fn main() {
     }
 
     // --- Fleet scale: 10^6 and 10^7 devices ----------------------------------
-    let mega = FleetConfig {
+    // Shards are sized from the worker count (`auto_shard_size`) exactly
+    // as the fleet bin now does by default; the serial baseline gets the
+    // 1-worker sizing so each path runs its own best configuration. The
+    // report is shard-size invariant, so the fingerprints must still match.
+    let mega_base = FleetConfig {
         devices: 1_000_000,
         years: 0.1,
-        shard_size: 8_192,
         ..FleetConfig::default()
     };
+    let mega_serial_cfg = FleetConfig {
+        shard_size: mega_base.auto_shard_size(1),
+        ..mega_base.clone()
+    };
+    let mega = FleetConfig {
+        shard_size: mega_base.auto_shard_size(default_threads),
+        ..mega_base
+    };
     dh_exec::set_max_threads(Some(1));
-    let (mega_serial_s, mega_serial) = timed(|| run_fleet(&mega).unwrap());
+    let (mega_serial_s, mega_serial) = timed_best(3, || run_fleet(&mega_serial_cfg).unwrap());
     dh_exec::set_max_threads(None);
-    let (mega_s, mega_report) = timed(|| run_fleet(&mega).unwrap());
+    let (mega_s, mega_report) = timed_best(3, || run_fleet(&mega).unwrap());
     assert_eq!(mega_serial.fingerprint(), mega_report.fingerprint());
     rows.push(Row {
         name: "fleet_scale_1e6",
         baseline_s: mega_serial_s,
         optimized_s: mega_s,
         note: format!(
-            "10^6 devices x {} epochs: serial {:.2e} vs {} threads {:.2e} \
-             device-epochs/s",
+            "10^6 devices x {} epochs, auto-sized shards ({} serial / {} on \
+             {} workers): serial {:.2e} vs parallel {:.2e} device-epochs/s",
             mega.total_epochs(),
-            throughput(&mega, mega_serial_s),
+            mega_serial_cfg.shard_size,
+            mega.shard_size,
             default_threads,
+            throughput(&mega, mega_serial_s),
             throughput(&mega, mega_s),
         ),
     });
 
-    let deca = FleetConfig {
+    let deca_base = FleetConfig {
         devices: 10_000_000,
         years: 0.01, // one scheduling epoch: the row must *complete*
-        shard_size: 8_192,
         ..FleetConfig::default()
     };
+    let deca_serial_cfg = FleetConfig {
+        shard_size: deca_base.auto_shard_size(1),
+        ..deca_base.clone()
+    };
+    let deca = FleetConfig {
+        shard_size: deca_base.auto_shard_size(default_threads),
+        ..deca_base
+    };
     dh_exec::set_max_threads(Some(1));
-    let (deca_serial_s, deca_serial) = timed(|| run_fleet(&deca).unwrap());
+    let (deca_serial_s, deca_serial) = timed_best(3, || run_fleet(&deca_serial_cfg).unwrap());
     dh_exec::set_max_threads(None);
-    let (deca_s, deca_report) = timed(|| run_fleet(&deca).unwrap());
+    let (deca_s, deca_report) = timed_best(3, || run_fleet(&deca).unwrap());
     assert_eq!(deca_serial.fingerprint(), deca_report.fingerprint());
     rows.push(Row {
         name: "fleet_scale_1e7",
         baseline_s: deca_serial_s,
         optimized_s: deca_s,
         note: format!(
-            "10^7 devices x {} epoch(s), completed: serial {:.2e} vs {} threads \
+            "10^7 devices x {} epoch(s), completed, auto-sized shards \
+             ({} serial / {} on {} workers): serial {:.2e} vs parallel \
              {:.2e} device-epochs/s (fingerprint {:#018x})",
             deca.total_epochs(),
-            throughput(&deca, deca_serial_s),
+            deca_serial_cfg.shard_size,
+            deca.shard_size,
             default_threads,
+            throughput(&deca, deca_serial_s),
             throughput(&deca, deca_s),
             deca_report.fingerprint(),
         ),
@@ -503,7 +542,7 @@ fn main() {
 
     // --- Report -------------------------------------------------------------
     let embed_metrics = want_obs && dh_obs::ENABLED;
-    let mut json = String::from("{\n  \"pr\": 6,\n  \"threads\": ");
+    let mut json = String::from("{\n  \"pr\": 7,\n  \"threads\": ");
     json.push_str(&default_threads.to_string());
     json.push_str(",\n  \"host_cores\": ");
     json.push_str(&host_cores.to_string());
@@ -528,8 +567,8 @@ fn main() {
     }
     json.push_str("}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
-    std::fs::write(path, &json).expect("write BENCH_pr6.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    std::fs::write(path, &json).expect("write BENCH_pr7.json");
 
     for row in &rows {
         println!(

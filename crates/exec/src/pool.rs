@@ -178,18 +178,42 @@ where
     }
     let fair_share = n.div_ceil(workers);
     let next = AtomicUsize::new(0);
+    // Reorder-window backpressure: a worker may start an item at most
+    // `ahead` indices past the fold cursor. Without this, one slow
+    // low-index item lets the fast workers race through the entire
+    // remaining range and park every result in the reorder window —
+    // O(n) buffering on exactly the skewed workloads the
+    // self-scheduling exists for. With it, the window (plus the channel)
+    // holds O(workers) values no matter how skewed the item costs are.
+    let ahead = workers * 2;
+    let cursor = Mutex::new((0usize, false)); // (items folded, receiver gone)
+    let advanced = std::sync::Condvar::new();
+    let relock = std::sync::PoisonError::into_inner;
     std::thread::scope(|scope| {
         let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, U)>(workers * 2);
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
+            let cursor = &cursor;
+            let advanced = &advanced;
             scope.spawn(move || {
                 let mut taken = 0usize;
                 loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= n {
                         break;
+                    }
+                    if index >= ahead {
+                        let mut state = cursor.lock().unwrap_or_else(relock);
+                        while !state.1 && index >= state.0 + ahead {
+                            state = advanced.wait(state).unwrap_or_else(relock);
+                        }
+                        if state.1 {
+                            // The receiver is gone: the caller's fold
+                            // panicked. Stop working.
+                            break;
+                        }
                     }
                     taken += 1;
                     // A send fails only when the receiver is gone, which
@@ -203,15 +227,30 @@ where
         }
         drop(tx);
 
+        // Wakes every backpressure-parked worker when the receiver exits,
+        // normally or by unwinding out of a panicked fold.
+        struct ReceiverGone<'a>(&'a Mutex<(usize, bool)>, &'a std::sync::Condvar);
+        impl Drop for ReceiverGone<'_> {
+            fn drop(&mut self) {
+                self.0
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .1 = true;
+                self.1.notify_all();
+            }
+        }
+        let _gone = ReceiverGone(&cursor, &advanced);
+
         // Reorder window: a ring of slots where `window[index − expect]`
         // parks the value for `index` until every earlier index has been
         // folded. Unlike a map keyed by index, the ring's backing buffer
         // is reused for the whole run — zero allocations in steady state,
-        // one growth per high-water mark (bounded by the channel depth
-        // plus in-flight items, not by `n`).
+        // one growth per high-water mark (bounded by `ahead` plus the
+        // channel depth, not by `n`).
         let mut acc = init;
         let mut window: std::collections::VecDeque<Option<U>> = std::collections::VecDeque::new();
         let mut expect = 0usize;
+        let mut published = 0usize;
         for (index, value) in rx {
             let offset = index - expect;
             if offset >= window.len() {
@@ -223,6 +262,11 @@ where
                 let value = window.pop_front().flatten().expect("front checked");
                 acc = fold(acc, expect, value);
                 expect += 1;
+            }
+            if expect != published {
+                cursor.lock().unwrap_or_else(relock).0 = expect;
+                advanced.notify_all();
+                published = expect;
             }
         }
         debug_assert!(
@@ -486,6 +530,48 @@ mod tests {
             assert_eq!(folded, serial);
         }
         set_max_threads(None);
+    }
+
+    #[test]
+    fn map_fold_window_stays_bounded_when_item_zero_is_slow() {
+        let _guard = override_guard();
+        let workers = 4;
+        set_max_threads(Some(workers));
+        // Worst case for the reorder window: item 0 stalls the fold while
+        // every other item is instant. Count values that exist but have
+        // not been folded (channel + window occupancy); without the
+        // fold-cursor backpressure the fast workers would race through
+        // all 63 remaining items and the peak would be ~n.
+        let n = 64usize;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let sum = par_map_fold(
+            n,
+            |i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                }
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                i
+            },
+            0usize,
+            |acc, _, v| {
+                live.fetch_sub(1, Ordering::SeqCst);
+                acc + v
+            },
+        );
+        set_max_threads(None);
+        assert_eq!(sum, n * (n - 1) / 2);
+        // Every unfolded value was started while its index was within
+        // `ahead = workers * 2` of the fold cursor, so at most `ahead`
+        // values can be live at once (+1 slop for the count/fold race).
+        let bound = workers * 2 + 1;
+        let seen = peak.load(Ordering::SeqCst);
+        assert!(
+            seen <= bound,
+            "reorder window buffered {seen} values (bound {bound})"
+        );
     }
 
     #[test]

@@ -214,6 +214,14 @@ where
         acc
     } else {
         let next = AtomicUsize::new(0);
+        // Reorder backpressure, mirroring `par_map_fold`: a worker may
+        // start an item at most `ahead` indices past the fold cursor, so
+        // one slow (or retrying) low-index shard cannot make the fast
+        // workers buffer the whole remaining range in `pending`.
+        let ahead = workers * 2;
+        let cursor = std::sync::Mutex::new((0usize, false)); // (folded, receiver gone)
+        let advanced = std::sync::Condvar::new();
+        let relock = std::sync::PoisonError::into_inner;
         std::thread::scope(|scope| {
             type Tagged<U> = (usize, Result<U, ShardError>, u64);
             let (tx, rx) = std::sync::mpsc::sync_channel::<Tagged<U>>(workers * 2);
@@ -221,10 +229,21 @@ where
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
+                let cursor = &cursor;
+                let advanced = &advanced;
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= n {
                         break;
+                    }
+                    if index >= ahead {
+                        let mut state = cursor.lock().unwrap_or_else(relock);
+                        while !state.1 && index >= state.0 + ahead {
+                            state = advanced.wait(state).unwrap_or_else(relock);
+                        }
+                        if state.1 {
+                            break;
+                        }
                     }
                     let (result, retried) = run_attempts(f, index, retry);
                     // A send fails only when the caller's fold panicked;
@@ -236,10 +255,25 @@ where
             }
             drop(tx);
 
+            // Wakes backpressure-parked workers when the receiver exits,
+            // normally or by unwinding out of a panicked fold.
+            struct ReceiverGone<'a>(&'a std::sync::Mutex<(usize, bool)>, &'a std::sync::Condvar);
+            impl Drop for ReceiverGone<'_> {
+                fn drop(&mut self) {
+                    self.0
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .1 = true;
+                    self.1.notify_all();
+                }
+            }
+            let _gone = ReceiverGone(&cursor, &advanced);
+
             let mut acc = init;
             let mut pending: std::collections::BTreeMap<usize, Result<U, ShardError>> =
                 std::collections::BTreeMap::new();
             let mut expect = 0usize;
+            let mut published = 0usize;
             for (index, result, retried) in rx {
                 retries += retried;
                 pending.insert(index, result);
@@ -249,6 +283,11 @@ where
                         Err(error) => failures.push(error),
                     }
                     expect += 1;
+                }
+                if expect != published {
+                    cursor.lock().unwrap_or_else(relock).0 = expect;
+                    advanced.notify_all();
+                    published = expect;
                 }
             }
             debug_assert!(pending.is_empty(), "worker skipped an index");

@@ -7,18 +7,38 @@
 //! | offset | size | field |
 //! |--------|------|-------|
 //! | 0      | 4    | magic `"DHFL"` |
-//! | 4      | 1    | format version (currently 2) |
+//! | 4      | 1    | format version (currently 3) |
 //! | 5      | 8    | config fingerprint ([`crate::FleetConfig::fingerprint`]) |
 //! | 13     | 8    | shard cursor (shards fully folded) |
 //! | 21     | 8    | payload length `L` |
-//! | 29     | `L`  | [`FleetAccumulator`] state, then the degraded-state section |
+//! | 29     | `L`  | payload (see below) |
 //! | 29+L   | 8    | FNV-1a checksum of bytes `0..29+L` |
 //!
-//! Version 2 appends a degraded-state section to the payload: retry and
-//! rejected-sample counts, quarantined shards (with their panic
-//! messages), sensor incidents, and checkpoint fallbacks. A kill/resume
-//! cycle therefore cannot launder a degraded run into a clean one — the
-//! quarantine record survives the process.
+//! The **version 3** payload is a sequence of independently checksummed
+//! slabs — each a contiguous little-endian dump appended with one
+//! `extend_from_slice`-class memcpy, no per-field framing:
+//!
+//! | field | size | |
+//! |-------|------|---|
+//! | slab count | 8 | currently 2 |
+//! | per slab: tag | 8 | [`SLAB_ACC`] / [`SLAB_DEGRADED`] |
+//! | per slab: body length `B` | 8 | |
+//! | per slab: body | `B` | the slab's linear state dump |
+//! | per slab: checksum | 8 | FNV-1a of the body alone |
+//!
+//! The per-slab checksums localize corruption (a flipped bit names the
+//! slab it hit, under the whole-file checksum that already rejects the
+//! file) and let the writer assemble the payload as straight memcpys of
+//! pre-encoded state through the [`AsyncCheckpointer`] double buffer.
+//!
+//! **Version 2** (the legacy format this build still resumes from) holds
+//! the same two sections bare: [`FleetAccumulator`] state immediately
+//! followed by the degraded-state section, no slab framing. The
+//! degraded-state section carries retry and rejected-sample counts,
+//! quarantined shards (with their panic messages), sensor incidents, and
+//! checkpoint fallbacks, so a kill/resume cycle cannot launder a
+//! degraded run into a clean one — the quarantine record survives the
+//! process.
 //!
 //! Writes go through a temp file + atomic rename, so a kill mid-write
 //! leaves the previous checkpoint intact — the property the
@@ -39,8 +59,15 @@ use crate::wire::{fnv1a, put_str, put_u64, take_str, take_u64, FNV_OFFSET};
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"DHFL";
-/// Format version this build writes and reads.
-pub const VERSION: u8 = 2;
+/// Format version this build writes.
+pub const VERSION: u8 = 3;
+/// Oldest format version this build still resumes from.
+pub const LEGACY_VERSION: u8 = 2;
+
+/// Slab tag: the [`FleetAccumulator`] linear dump.
+const SLAB_ACC: u64 = 1;
+/// Slab tag: the degraded-state section.
+const SLAB_DEGRADED: u64 = 2;
 
 /// A point-in-time image of a fleet run: everything needed to continue
 /// folding shards as if the process had never died.
@@ -117,6 +144,43 @@ fn decode_degraded(bytes: &mut &[u8]) -> Result<DegradedReport, FleetError> {
     Ok(d)
 }
 
+/// Appends one v3 slab to `buf`: tag, body length (patched after the
+/// fill), the body itself, and the FNV-1a checksum of the body alone.
+fn encode_slab(buf: &mut Vec<u8>, tag: u64, fill: impl FnOnce(&mut Vec<u8>)) {
+    put_u64(buf, tag);
+    let len_at = buf.len();
+    put_u64(buf, 0); // body length, patched below
+    let start = buf.len();
+    fill(buf);
+    let body_len = (buf.len() - start) as u64;
+    buf[len_at..len_at + 8].copy_from_slice(&body_len.to_le_bytes());
+    let checksum = fnv1a(FNV_OFFSET, &buf[start..]);
+    put_u64(buf, checksum);
+}
+
+/// Splits the next v3 slab off the front of `bytes`, verifying its body
+/// checksum, and returns `(tag, body)`.
+fn take_slab<'a>(bytes: &mut &'a [u8]) -> Result<(u64, &'a [u8]), FleetError> {
+    let tag = take_u64(bytes, "slab.tag")?;
+    let body_len = take_u64(bytes, "slab.len")? as usize;
+    if bytes.len() < body_len + 8 {
+        return Err(FleetError::Corrupt(format!(
+            "slab {tag} claims {body_len} bytes but only {} remain",
+            bytes.len().saturating_sub(8)
+        )));
+    }
+    let (body, rest) = bytes.split_at(body_len);
+    *bytes = rest;
+    let stored = take_u64(bytes, "slab.checksum")?;
+    let computed = fnv1a(FNV_OFFSET, body);
+    if stored != computed {
+        return Err(FleetError::Corrupt(format!(
+            "slab {tag} checksum {stored:#018x} does not match body {computed:#018x}"
+        )));
+    }
+    Ok((tag, body))
+}
+
 /// Writes `bytes` to `path` atomically (temp file + rename).
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
     let tmp = path.with_extension("tmp");
@@ -149,8 +213,9 @@ impl Snapshot {
         let len_at = buf.len();
         put_u64(buf, 0); // payload length, patched below
         let payload_start = buf.len();
-        self.acc.encode(buf);
-        encode_degraded(buf, &self.degraded);
+        put_u64(buf, 2); // slab count
+        encode_slab(buf, SLAB_ACC, |b| self.acc.encode(b));
+        encode_slab(buf, SLAB_DEGRADED, |b| encode_degraded(b, &self.degraded));
         let payload_len = (buf.len() - payload_start) as u64;
         buf[len_at..len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
         let checksum = fnv1a(FNV_OFFSET, buf);
@@ -187,7 +252,7 @@ impl Snapshot {
             )));
         }
         let version = body[4];
-        if version != VERSION {
+        if version != VERSION && version != LEGACY_VERSION {
             return Err(FleetError::Version {
                 found: version,
                 expected: VERSION,
@@ -203,8 +268,50 @@ impl Snapshot {
                 view.len()
             )));
         }
-        let acc = FleetAccumulator::decode(&mut view)?;
-        let degraded = decode_degraded(&mut view)?;
+        let (acc, degraded) = if version == LEGACY_VERSION {
+            // v2: the two sections bare, back to back, no slab framing.
+            (
+                FleetAccumulator::decode(&mut view)?,
+                decode_degraded(&mut view)?,
+            )
+        } else {
+            let count = take_u64(&mut view, "slab count")?;
+            let mut acc = None;
+            let mut degraded = None;
+            for _ in 0..count {
+                let (tag, mut slab) = take_slab(&mut view)?;
+                let taken = match tag {
+                    SLAB_ACC if acc.is_none() => {
+                        acc = Some(FleetAccumulator::decode(&mut slab)?);
+                        true
+                    }
+                    SLAB_DEGRADED if degraded.is_none() => {
+                        degraded = Some(decode_degraded(&mut slab)?);
+                        true
+                    }
+                    _ => false,
+                };
+                if !taken {
+                    return Err(FleetError::Corrupt(format!(
+                        "unexpected or duplicate slab tag {tag}"
+                    )));
+                }
+                if !slab.is_empty() {
+                    return Err(FleetError::Corrupt(format!(
+                        "{} trailing bytes in slab {tag}",
+                        slab.len()
+                    )));
+                }
+            }
+            match (acc, degraded) {
+                (Some(a), Some(d)) => (a, d),
+                _ => {
+                    return Err(FleetError::Corrupt(
+                        "v3 payload is missing a required slab".into(),
+                    ));
+                }
+            }
+        };
         if !view.is_empty() {
             return Err(FleetError::Corrupt(format!(
                 "{} trailing payload bytes",
@@ -651,6 +758,67 @@ mod tests {
             Err(FleetError::Version { found, expected })
                 if found == VERSION + 1 && expected == VERSION
         ));
+    }
+
+    /// Encodes `snap` in the legacy v2 layout (bare sections, no slabs).
+    fn encode_v2(snap: &Snapshot) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(LEGACY_VERSION);
+        put_u64(&mut buf, snap.config_fingerprint);
+        put_u64(&mut buf, snap.cursor);
+        let len_at = buf.len();
+        put_u64(&mut buf, 0);
+        let start = buf.len();
+        snap.acc.encode(&mut buf);
+        encode_degraded(&mut buf, &snap.degraded);
+        let payload_len = (buf.len() - start) as u64;
+        buf[len_at..len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
+        let sum = fnv1a(FNV_OFFSET, &buf);
+        put_u64(&mut buf, sum);
+        buf
+    }
+
+    #[test]
+    fn legacy_v2_snapshots_still_decode() {
+        let (_config, mut snap) = snapshot_after_one_step();
+        snap.degraded.retries = 2;
+        snap.degraded
+            .sensor_incidents
+            .push(dh_fault::SensorIncident {
+                chip: 3,
+                kind: SensorFaultKind::Dropped,
+                epoch: 7,
+            });
+        let bytes = encode_v2(&snap);
+        assert_eq!(bytes[4], LEGACY_VERSION);
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.cursor, snap.cursor);
+        assert_eq!(back.config_fingerprint, snap.config_fingerprint);
+        assert_eq!(back.acc, snap.acc);
+        assert_eq!(back.degraded, snap.degraded);
+        // Re-encoding upgrades to the current version.
+        assert_eq!(back.encode()[4], VERSION);
+        assert_eq!(back.encode(), snap.encode());
+    }
+
+    #[test]
+    fn slab_corruption_is_detected_under_a_fixed_file_checksum() {
+        let (_config, snap) = snapshot_after_one_step();
+        let mut bytes = snap.encode();
+        // Flip one bit inside the first slab body (header is 29 bytes,
+        // then slab count, tag, and body length precede the body), then
+        // re-fix the *file* checksum so only the slab checksum can catch
+        // it.
+        bytes[29 + 24 + 4] ^= 0x10;
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(FNV_OFFSET, &bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = Snapshot::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, FleetError::Corrupt(m) if m.contains("slab")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

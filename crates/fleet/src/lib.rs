@@ -54,9 +54,11 @@
 pub mod checkpoint;
 pub mod chip;
 pub mod error;
+pub(crate) mod kernel;
 pub mod policy;
 pub mod sim;
 pub mod stats;
+pub(crate) mod store;
 pub(crate) mod wire;
 
 pub use checkpoint::{AsyncCheckpointer, CheckpointMode, CheckpointStore, Snapshot};
@@ -64,8 +66,8 @@ pub use chip::{ChipOutcome, ChipSpec, VariationModel, SENSOR_STALE_EPOCHS};
 pub use error::FleetError;
 pub use policy::{FleetPolicy, MaintenanceBudget};
 pub use sim::{
-    run_fleet, run_fleet_checkpointed, run_fleet_checkpointed_with, run_fleet_supervised,
-    run_fleet_supervised_with, FleetConfig, FleetReport, FleetRun,
+    run_fleet, run_fleet_checkpointed, run_fleet_checkpointed_with, run_fleet_reference,
+    run_fleet_supervised, run_fleet_supervised_with, FleetConfig, FleetReport, FleetRun,
 };
 pub use stats::{NonFinite, P2Quantile, StreamingMoments, StreamingSummary, SummaryStats};
 

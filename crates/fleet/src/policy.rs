@@ -135,6 +135,77 @@ impl FleetPolicy {
     }
 }
 
+impl FleetPolicy {
+    /// [`FleetPolicy::select`] over [`crate::store::ChipStore`] column
+    /// slices: same slot assignment, same tie-breaks, but ranking reads
+    /// the score/flagged columns directly and reuses the caller's
+    /// `ranked` scratch so the hot loop allocates nothing. `alive` is
+    /// the group's `failed_epoch` column ([`crate::store::ALIVE`] =
+    /// still alive).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn select_columnar(
+        self,
+        epoch: u64,
+        budget: MaintenanceBudget,
+        alive: &[u32],
+        score: &[f64],
+        flagged: &[u8],
+        selected: &mut [bool],
+        ranked: &mut Vec<u32>,
+    ) -> u64 {
+        debug_assert_eq!(alive.len(), selected.len());
+        selected.fill(false);
+        let n = alive.len();
+        let is_alive = |i: usize| alive[i] == crate::store::ALIVE;
+        let slots = (budget.slots_per_group as usize).min(n);
+        if slots == 0 {
+            return 0;
+        }
+        let mut healed = 0;
+        match self {
+            Self::Static => {
+                for (i, slot) in selected.iter_mut().enumerate().take(slots) {
+                    if alive[i] == crate::store::ALIVE {
+                        *slot = true;
+                        healed += 1;
+                    }
+                }
+            }
+            Self::RoundRobin => {
+                let start = (epoch as usize * slots) % n;
+                for j in 0..slots {
+                    let i = (start + j) % n;
+                    if is_alive(i) {
+                        selected[i] = true;
+                        healed += 1;
+                    }
+                }
+            }
+            Self::WorstFirst => {
+                // rank_score semantics: a flagged sensor ranks worst-of-all
+                // so the chip is healed every epoch, never silently starved.
+                let rank = |i: u32| {
+                    if flagged[i as usize] != 0 {
+                        f64::INFINITY
+                    } else {
+                        score[i as usize]
+                    }
+                };
+                ranked.clear();
+                ranked.extend((0..n as u32).filter(|&i| is_alive(i as usize)));
+                // The comparator is a total order (index tie-break), so an
+                // unstable sort is deterministic here.
+                ranked.sort_unstable_by(|&a, &b| rank(b).total_cmp(&rank(a)).then(a.cmp(&b)));
+                for &i in ranked.iter().take(slots) {
+                    selected[i as usize] = true;
+                    healed += 1;
+                }
+            }
+        }
+        healed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

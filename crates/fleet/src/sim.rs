@@ -25,6 +25,7 @@
 //! is bit-identical to the baseline.
 
 use std::path::Path;
+use std::sync::Mutex;
 
 use dh_circuit::RingOscillator;
 use dh_em::black::BlackModel;
@@ -35,8 +36,12 @@ use dh_units::{CurrentDensity, Fraction, Kelvin, Seconds, Volts};
 use crate::checkpoint::{AsyncCheckpointer, CheckpointMode, CheckpointStore, Snapshot};
 use crate::chip::{ChipContext, ChipOutcome, ChipSpec, ChipState, VariationModel};
 use crate::error::FleetError;
+use crate::kernel::{
+    epoch_step_columns, sensor_sweep_columns, FAULT_DROPPED, FAULT_NONE, FAULT_STUCK,
+};
 use crate::policy::{FleetPolicy, MaintenanceBudget};
 use crate::stats::{StreamingSummary, SummaryStats};
+use crate::store::{ChipStore, ColumnarCtx, ALIVE};
 use crate::wire::{fnv1a, fnv1a_f64, fnv1a_u64, put_u64, take_u64, FNV_OFFSET};
 
 /// Everything that defines a fleet run. Two configs with the same
@@ -154,6 +159,20 @@ impl FleetConfig {
         self.devices.div_ceil(self.shard_size)
     }
 
+    /// Picks a shard size for `workers` parallel workers: about four
+    /// shards per worker so the reorder fold never starves behind one
+    /// slow shard, rounded up to whole maintenance groups and capped so
+    /// one shard's columns stay cache-resident. `shard_size` has no
+    /// effect on the report — this is purely a throughput knob, and the
+    /// fleet bin / benches use it as their default.
+    pub fn auto_shard_size(&self, workers: usize) -> u64 {
+        let workers = workers.max(1) as u64;
+        let target = self.devices.div_ceil(workers * 4).max(1);
+        let groups = target.div_ceil(self.group_size);
+        let cap_groups = (65_536 / self.group_size).max(1);
+        groups.min(cap_groups) * self.group_size
+    }
+
     /// An FNV-1a hash over every field that influences the simulation,
     /// stored in checkpoints so a resume cannot silently mix two different
     /// runs. `shard_size` is deliberately **included**: the report does
@@ -211,7 +230,7 @@ impl FleetConfig {
     }
 }
 
-/// What one shard hands back to the fold.
+/// What one reference-path shard hands back to the fold.
 struct ShardResult {
     outcomes: Vec<ChipOutcome>,
     /// Recovery slots the budget offered across the shard's group-epochs.
@@ -220,9 +239,10 @@ struct ShardResult {
     incidents: Vec<SensorIncident>,
 }
 
-/// Simulates shard `shard` of `config`: every maintenance group it
-/// contains, stepped through the full lifetime. Pure; the engine may call
-/// this from any thread in any order.
+/// The original per-chip (AoS) shard simulation, kept as the measured
+/// baseline and the bit-identity reference the columnar kernels are
+/// pinned against (`fleet_columnar` proptest, `perf_snapshot`). The
+/// engine itself always runs [`simulate_shard_columnar`].
 ///
 /// With a fault `plan`, every live chip's wear sensor is re-read through
 /// [`ChipState::sense`] after each epoch step — injected stuck/dropped
@@ -231,7 +251,7 @@ struct ShardResult {
 /// epoch (conservative degradation, never silent starvation). Without a
 /// plan the sensing path is never entered and the shard is byte-identical
 /// to a build without fault injection.
-fn simulate_shard(
+fn simulate_shard_reference(
     config: &FleetConfig,
     ctx: &ChipContext,
     shard: u64,
@@ -306,6 +326,127 @@ fn simulate_shard(
     }
 }
 
+/// One shard's reusable working set: the columnar [`ChipStore`] plus
+/// every scratch buffer the epoch loop needs. Slabs live in the
+/// [`FleetRun`] pool and are recycled across shards, so steady-state
+/// simulation performs no per-shard allocation — shards are zero-copy
+/// column-range views over the store, never materialized `ChipState`s
+/// or per-shard outcome `Vec`s.
+#[derive(Debug, Default)]
+struct ShardSlab {
+    store: ChipStore,
+    /// Group-local slot assignment for the current epoch.
+    selected: Vec<bool>,
+    /// Worst-first ranking scratch.
+    ranked: Vec<u32>,
+    /// Group-local injected sensor faults (plan runs only) and their
+    /// kernel codes.
+    faults: Vec<Option<SensorFaultKind>>,
+    fault_code: Vec<u8>,
+    /// Group-local "sensor first flagged this epoch" marks.
+    newly: Vec<u8>,
+    incidents: Vec<SensorIncident>,
+    budget_slots: u64,
+}
+
+/// [`simulate_shard_reference`] on the columnar store: every maintenance
+/// group of shard `shard`, stepped through the full lifetime by the
+/// [`crate::kernel`] column sweeps. Pure in `(config, shard)`; the slab
+/// only provides reusable capacity. Bit-identical to the reference path
+/// by construction (same operations in the same order per chip).
+fn simulate_shard_columnar(
+    config: &FleetConfig,
+    cctx: &ColumnarCtx,
+    shard: u64,
+    plan: Option<&FaultPlan>,
+    slab: &mut ShardSlab,
+) {
+    let lo = shard * config.shard_size;
+    let hi = (lo + config.shard_size).min(config.devices);
+    let epochs = config.total_epochs();
+    slab.store.reset(config, cctx, lo, hi);
+    slab.budget_slots = 0;
+    slab.incidents.clear();
+
+    let mut group_lo = lo;
+    while group_lo < hi {
+        let group_hi = (group_lo + config.group_size).min(hi);
+        let glo = (group_lo - lo) as usize;
+        let ghi = (group_hi - lo) as usize;
+        let len = ghi - glo;
+        let group_index = group_lo / config.group_size;
+        let policy = config.policies[(group_index % config.policies.len() as u64) as usize];
+
+        slab.selected.clear();
+        slab.selected.resize(len, false);
+        if let Some(p) = plan {
+            // A chip's sensor fault is part of its (injected) identity:
+            // resolved once per chip, constant over the lifetime.
+            slab.faults.clear();
+            slab.fault_code.clear();
+            for i in group_lo..group_hi {
+                let fault = p.sensor_fault(i);
+                slab.fault_code.push(match fault {
+                    Some(SensorFaultKind::Stuck) => FAULT_STUCK,
+                    Some(SensorFaultKind::Dropped) => FAULT_DROPPED,
+                    _ => FAULT_NONE,
+                });
+                slab.faults.push(fault);
+            }
+        }
+
+        let mut alive = len as u64;
+        for epoch in 0..epochs {
+            if alive == 0 {
+                break;
+            }
+            let healed = policy.select_columnar(
+                epoch,
+                config.budget,
+                &slab.store.failed_epoch[glo..ghi],
+                &slab.store.score[glo..ghi],
+                &slab.store.flagged[glo..ghi],
+                &mut slab.selected,
+                &mut slab.ranked,
+            );
+            slab.budget_slots += config.budget.slots_per_group.min(len as u64);
+            dh_obs::counter!("fleet.chips_healed").add(healed);
+            alive -= epoch_step_columns(&mut slab.store, *cctx, glo, ghi, &slab.selected, epoch);
+            if plan.is_some() {
+                slab.newly.clear();
+                slab.newly.resize(len, 0);
+                sensor_sweep_columns(&mut slab.store, glo, ghi, &slab.fault_code, &mut slab.newly);
+                for (j, &mark) in slab.newly.iter().enumerate() {
+                    if mark != 0 {
+                        slab.incidents.push(SensorIncident {
+                            chip: group_lo + j as u64,
+                            // Staleness can also latch on a genuinely
+                            // frozen score; the detector's verdict is
+                            // "stuck" either way.
+                            kind: slab.faults[j].unwrap_or(SensorFaultKind::Stuck),
+                            epoch,
+                        });
+                    }
+                }
+            }
+        }
+        group_lo = group_hi;
+    }
+}
+
+/// [`poison_outcomes`] against the columnar store: overwrites the same
+/// chips' guardband column entries the reference path would poison.
+fn poison_store(plan: &FaultPlan, shard: u64, attempt: u32, store: &mut ChipStore) {
+    if let Some((offset, kind)) = plan.poison(shard, attempt, store.len as u64) {
+        store.guardband[offset as usize] = kind.value();
+    }
+    if let Some(target) = plan.poisoned_chip() {
+        if target >= store.lo && target < store.lo + store.len as u64 {
+            store.guardband[(target - store.lo) as usize] = f64::NAN;
+        }
+    }
+}
+
 /// Applies the plan's kernel-output poisoning to a freshly simulated
 /// shard: the probabilistic draw (keyed by `(shard, attempt)`, so a
 /// retried shard re-rolls) and the directed `poison-chip` target both
@@ -320,6 +461,46 @@ fn poison_outcomes(plan: &FaultPlan, shard: u64, attempt: u32, outcomes: &mut [C
             o.guardband = f64::NAN;
         }
     }
+}
+
+/// Reconstructs chip `k`'s [`ChipOutcome`] from the store columns — on
+/// the stack, at fold time, so the columnar engine never materializes
+/// per-shard outcome `Vec`s. The TTF product `epochs_run * epoch` is the
+/// same f64 multiply the reference performs at failure time, so the
+/// reconstruction is bit-exact.
+fn chip_outcome(store: &ChipStore, k: usize, epoch_s: f64) -> ChipOutcome {
+    ChipOutcome {
+        index: store.lo + k as u64,
+        guardband: store.guardband[k],
+        ttf: (store.failed_epoch[k] != ALIVE)
+            .then(|| Seconds::new(f64::from(store.epochs_run[k]) * epoch_s)),
+        epochs_run: u64::from(store.epochs_run[k]),
+        healed_epochs: u64::from(store.healed[k]),
+    }
+}
+
+/// The strict fold for one columnar shard: every chip in canonical order,
+/// aborting at the first non-finite sample (the accumulator is left
+/// exactly as the last good chip left it; the shard's budget and the
+/// fold counters are only credited on full success, matching the
+/// reference fold's abort semantics).
+fn fold_slab_strict(
+    acc: &mut FleetAccumulator,
+    shard_index: u64,
+    slab: &ShardSlab,
+    epoch_s: f64,
+    error: &mut Option<FleetError>,
+) {
+    let store = &slab.store;
+    for k in 0..store.len {
+        if let Err(e) = acc.fold_chip(shard_index, &chip_outcome(store, k, epoch_s)) {
+            *error = Some(e);
+            return;
+        }
+    }
+    acc.budget_chip_epochs += slab.budget_slots;
+    dh_obs::counter!("fleet.shards_folded").incr();
+    dh_obs::counter!("fleet.devices_folded").add(store.len as u64);
 }
 
 /// The O(1)-per-fleet streaming state every chip outcome folds into, in
@@ -406,7 +587,8 @@ impl FleetAccumulator {
     }
 }
 
-/// A resumable fleet run: the shard cursor plus the streaming aggregates.
+/// A resumable fleet run: the shard cursor plus the streaming aggregates,
+/// the hoisted kernel context, and the pool of reusable shard slabs.
 #[derive(Debug)]
 pub struct FleetRun {
     config: FleetConfig,
@@ -416,18 +598,39 @@ pub struct FleetRun {
     /// Everything a supervised run has survived so far. Stays empty on
     /// the strict path (strict runs abort instead of degrading).
     degraded: DegradedReport,
+    /// Run-wide kernel constants, built once instead of per step.
+    cctx: ColumnarCtx,
+    /// Recycled shard working sets (bounded by the in-flight window).
+    pool: Mutex<Vec<ShardSlab>>,
 }
 
 impl FleetRun {
+    fn from_parts(
+        config: FleetConfig,
+        cursor: u64,
+        acc: FleetAccumulator,
+        degraded: DegradedReport,
+    ) -> Self {
+        let cctx = ColumnarCtx::new(&config);
+        Self {
+            config,
+            cursor,
+            acc,
+            degraded,
+            cctx,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
     /// Starts a fresh run.
     pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
         config.validate()?;
-        Ok(Self {
+        Ok(Self::from_parts(
             config,
-            cursor: 0,
-            acc: FleetAccumulator::new(),
-            degraded: DegradedReport::default(),
-        })
+            0,
+            FleetAccumulator::new(),
+            DegradedReport::default(),
+        ))
     }
 
     /// Resumes from a snapshot, verifying it belongs to `config`. The
@@ -450,12 +653,12 @@ impl FleetRun {
                 config.shard_count()
             )));
         }
-        Ok(Self {
+        Ok(Self::from_parts(
             config,
-            cursor: snapshot.cursor,
-            acc: snapshot.acc,
-            degraded: snapshot.degraded,
-        })
+            snapshot.cursor,
+            snapshot.acc,
+            snapshot.degraded,
+        ))
     }
 
     /// The run's configuration.
@@ -502,27 +705,25 @@ impl FleetRun {
         let started = std::time::Instant::now();
         let first = self.cursor;
         let config = &self.config;
-        let ctx = config.context();
+        let cctx = &self.cctx;
+        let pool = &self.pool;
+        let epoch_s = config.epoch.value();
         let acc = &mut self.acc;
         let mut error: Option<FleetError> = None;
         dh_exec::par_map_fold(
             batch,
-            |i| simulate_shard(config, &ctx, first + i as u64, None),
+            |i| {
+                let mut slab = pool.lock().unwrap().pop().unwrap_or_default();
+                simulate_shard_columnar(config, cctx, first + i as u64, None, &mut slab);
+                slab
+            },
             (),
-            |(), i, shard| {
-                if error.is_some() {
-                    return;
-                }
+            |(), i, slab| {
                 let shard_index = first + i as u64;
-                for chip in &shard.outcomes {
-                    if let Err(e) = acc.fold_chip(shard_index, chip) {
-                        error = Some(e);
-                        return;
-                    }
+                if error.is_none() {
+                    fold_slab_strict(acc, shard_index, &slab, epoch_s, &mut error);
                 }
-                acc.budget_chip_epochs += shard.budget_slots;
-                dh_obs::counter!("fleet.shards_folded").incr();
-                dh_obs::counter!("fleet.devices_folded").add(shard.outcomes.len() as u64);
+                pool.lock().unwrap().push(slab);
             },
         );
         if let Some(e) = error {
@@ -564,7 +765,9 @@ impl FleetRun {
         let _span = dh_obs::span("fleet.step_seconds");
         let first = self.cursor;
         let config = &self.config;
-        let ctx = config.context();
+        let cctx = &self.cctx;
+        let pool = &self.pool;
+        let epoch_s = config.epoch.value();
         let acc = &mut self.acc;
         let degraded = &mut self.degraded;
         let plan = plan.filter(|p| !p.is_noop());
@@ -577,27 +780,33 @@ impl FleetRun {
                         panic!("injected fault: shard {shard} attempt {attempt}");
                     }
                 }
-                let mut result = simulate_shard(config, &ctx, shard, plan);
+                let mut slab = pool.lock().unwrap().pop().unwrap_or_default();
+                simulate_shard_columnar(config, cctx, shard, plan, &mut slab);
                 if let Some(p) = plan {
-                    poison_outcomes(p, shard, attempt, &mut result.outcomes);
+                    poison_store(p, shard, attempt, &mut slab.store);
                 }
-                result
+                slab
             },
             (),
-            |(), i, shard| {
+            |(), i, slab| {
                 let shard_index = first + i as u64;
-                for chip in &shard.outcomes {
-                    if acc.fold_chip(shard_index, chip).is_err() {
+                let store = &slab.store;
+                for k in 0..store.len {
+                    if acc
+                        .fold_chip(shard_index, &chip_outcome(store, k, epoch_s))
+                        .is_err()
+                    {
                         degraded.rejected_samples += 1;
                         dh_obs::counter!("fleet.rejected_samples").incr();
                     }
                 }
                 degraded
                     .sensor_incidents
-                    .extend(shard.incidents.iter().cloned());
-                acc.budget_chip_epochs += shard.budget_slots;
+                    .extend(slab.incidents.iter().cloned());
+                acc.budget_chip_epochs += slab.budget_slots;
                 dh_obs::counter!("fleet.shards_folded").incr();
-                dh_obs::counter!("fleet.devices_folded").add(shard.outcomes.len() as u64);
+                dh_obs::counter!("fleet.devices_folded").add(store.len as u64);
+                pool.lock().unwrap().push(slab);
             },
             retry,
         );
@@ -637,16 +846,21 @@ impl FleetRun {
                 total: self.config.shard_count(),
             });
         }
-        Ok(FleetReport {
-            devices: self.acc.devices_done,
-            failed: self.acc.failed,
-            epochs_per_device: self.config.total_epochs(),
-            chip_epochs: self.acc.chip_epochs,
-            healed_chip_epochs: self.acc.healed_chip_epochs,
-            budget_chip_epochs: self.acc.budget_chip_epochs,
-            guardband: self.acc.guardband.finalize(),
-            ttf_years: self.acc.ttf_years.finalize(),
-        })
+        Ok(make_report(&self.config, &self.acc))
+    }
+}
+
+/// Freezes an accumulator into the deterministic report.
+fn make_report(config: &FleetConfig, acc: &FleetAccumulator) -> FleetReport {
+    FleetReport {
+        devices: acc.devices_done,
+        failed: acc.failed,
+        epochs_per_device: config.total_epochs(),
+        chip_epochs: acc.chip_epochs,
+        healed_chip_epochs: acc.healed_chip_epochs,
+        budget_chip_epochs: acc.budget_chip_epochs,
+        guardband: acc.guardband.finalize(),
+        ttf_years: acc.ttf_years.finalize(),
     }
 }
 
@@ -750,6 +964,46 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, FleetError> {
     run.report()
 }
 
+/// Runs the fleet serially through the per-chip **reference path**
+/// ([`simulate_shard_reference`]) with the supervised fold semantics:
+/// poisoned samples are rejected into the [`DegradedReport`], sensor
+/// incidents are collected, and the run completes. This is the oracle
+/// the `fleet_columnar` proptest and `perf_snapshot` pin the columnar
+/// engine against — not a production entry point.
+///
+/// Kill/panic faults in `plan` are ignored (no supervision, no retries:
+/// every shard runs exactly once at attempt 1, which is also what the
+/// columnar supervised path sees for non-killing plans).
+///
+/// # Errors
+///
+/// Propagates config validation.
+#[doc(hidden)]
+pub fn run_fleet_reference(
+    config: &FleetConfig,
+    plan: Option<&FaultPlan>,
+) -> Result<(FleetReport, DegradedReport), FleetError> {
+    config.validate()?;
+    let ctx = config.context();
+    let plan = plan.filter(|p| !p.is_noop());
+    let mut acc = FleetAccumulator::new();
+    let mut degraded = DegradedReport::default();
+    for shard in 0..config.shard_count() {
+        let mut result = simulate_shard_reference(config, &ctx, shard, plan);
+        if let Some(p) = plan {
+            poison_outcomes(p, shard, 1, &mut result.outcomes);
+        }
+        for chip in &result.outcomes {
+            if acc.fold_chip(shard, chip).is_err() {
+                degraded.rejected_samples += 1;
+            }
+        }
+        degraded.sensor_incidents.extend(result.incidents);
+        acc.budget_chip_epochs += result.budget_slots;
+    }
+    Ok((make_report(config, &acc), degraded))
+}
+
 /// Runs a fleet with checkpointing: resumes from `path` when a matching
 /// snapshot exists, folds `every_shards` shards between checkpoint
 /// writes, and leaves the final snapshot on disk next to the report.
@@ -784,9 +1038,11 @@ pub fn run_fleet_checkpointed_with(
     every_shards: u64,
     mode: CheckpointMode,
 ) -> Result<FleetReport, FleetError> {
+    // One clone total: the match arms move it, and only one arm runs.
+    let config = config.clone();
     let mut run = match Snapshot::read_if_exists(path)? {
-        Some(snapshot) => FleetRun::resume(config.clone(), snapshot)?,
-        None => FleetRun::new(config.clone())?,
+        Some(snapshot) => FleetRun::resume(config, snapshot)?,
+        None => FleetRun::new(config)?,
     };
     match mode {
         CheckpointMode::Sync => {
@@ -851,17 +1107,19 @@ pub fn run_fleet_supervised_with(
     checkpoints: Option<(&CheckpointStore, u64)>,
     mode: CheckpointMode,
 ) -> Result<(FleetReport, DegradedReport), FleetError> {
+    // One clone total: the match arms move it, and only one arm runs.
+    let config = config.clone();
     let mut run = match checkpoints {
         Some((store, _)) => {
             let (snapshot, fallbacks) = store.read_newest_valid()?;
             let mut run = match snapshot {
-                Some(s) => FleetRun::resume(config.clone(), s)?,
-                None => FleetRun::new(config.clone())?,
+                Some(s) => FleetRun::resume(config, s)?,
+                None => FleetRun::new(config)?,
             };
             run.degraded.checkpoint_fallbacks.extend(fallbacks);
             run
         }
-        None => FleetRun::new(config.clone())?,
+        None => FleetRun::new(config)?,
     };
     match checkpoints {
         // Write indices count this process's writes from 0, so an

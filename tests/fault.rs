@@ -190,6 +190,51 @@ fn stuck_sensor_is_flagged_and_reported() {
     assert_eq!(report.devices, 96);
 }
 
+/// FNV-1a, re-implemented here so the test can forge a valid *file*
+/// checksum around a corrupted slab (the wire helpers are crate-private
+/// on purpose).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn slab_checksum_catches_corruption_the_file_checksum_misses() {
+    let config = small_fleet();
+    let baseline = run_fleet(&config).unwrap();
+    let dir = fresh_dir("slab");
+    let store = CheckpointStore::new(dir.join("run.dhfl"), 3);
+    seed_generations(&config, &store);
+
+    // Flip one bit inside the newest generation's accumulator slab body
+    // (29-byte envelope header, then slab count + tag + body length),
+    // then forge the file checksum so only the per-slab checksum can
+    // object — the adversarial case DHFL v3 added the slab checksums for.
+    let victim = store.generation_path(0);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[29 + 24 + 4] ^= 0x08;
+    let body_len = bytes.len() - 8;
+    let sum = fnv1a(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let (resumed, degraded) =
+        run_fleet_supervised(&config, None, &RetryPolicy::immediate(1), Some((&store, 1))).unwrap();
+    assert_eq!(resumed.fingerprint(), baseline.fingerprint());
+    assert_eq!(degraded.checkpoint_fallbacks.len(), 1);
+    assert_eq!(degraded.checkpoint_fallbacks[0].generation, 0);
+    assert!(
+        degraded.checkpoint_fallbacks[0].reason.contains("slab"),
+        "the slab checksum must be what rejected it: {}",
+        degraded.checkpoint_fallbacks[0].reason
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn identically_seeded_chaos_campaigns_are_bit_identical() {
     let config = small_fleet();

@@ -219,6 +219,35 @@ fn checkpoint_mode_is_invisible_to_kill_and_resume() {
 }
 
 #[test]
+fn legacy_v2_checkpoint_fixture_resumes_to_the_pinned_report() {
+    let _g = lock();
+    let config = small_fleet();
+    // The fixture was generated from exactly this config by a DHFL v2
+    // build; if the config fingerprint drifts the fixture must be
+    // regenerated, not the assertion loosened.
+    assert_eq!(
+        config.fingerprint(),
+        0xc13c_bfe2_456c_6849,
+        "fixture config drifted"
+    );
+    let fixture =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/fleet_v2.dhfl");
+    let snap = Snapshot::read(&fixture).expect("checked-in v2 checkpoint decodes");
+    assert_eq!(snap.cursor, 2, "fixture holds two of six folded shards");
+
+    let mut run = FleetRun::resume(config.clone(), snap).unwrap();
+    while !run.step(1).unwrap() {}
+    let resumed = run.report().unwrap();
+    let whole = run_fleet(&config).unwrap();
+    assert_reports_identical(&whole, &resumed, "v2 fixture resume vs fresh run");
+    assert_eq!(
+        resumed.fingerprint(),
+        0x14f3_6d23_87f3_7887,
+        "pinned v2-resume report fingerprint"
+    );
+}
+
+#[test]
 fn resume_is_thread_count_invariant() {
     let _g = lock();
     let config = small_fleet();

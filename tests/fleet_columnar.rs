@@ -1,0 +1,119 @@
+//! The columnar fleet engine's bit-identity contract against the
+//! per-chip reference path.
+//!
+//! The production engine steps shards as structure-of-arrays column
+//! sweeps ([`dh_fleet`]'s `ChipStore` + `dispatch!` kernels); the
+//! original per-chip implementation survives as a `#[doc(hidden)]`
+//! reference oracle. These tests pin the two together:
+//!
+//! * property-tested over random population geometries, seeds, policy
+//!   mixes, budgets, and sensor/poison fault plans, the columnar report
+//!   and degraded-report fingerprints equal the reference's **bit for
+//!   bit** (and the headline statistics agree to ≤ 1e-12, which bit
+//!   identity makes trivial);
+//! * the forced-scalar SIMD backend reproduces the same fingerprints as
+//!   the autovectorized one (the `DH_SIMD=scalar` CI job runs the whole
+//!   suite that way; this test flips the override at runtime).
+
+use deep_healing::fault::FaultPlan;
+use deep_healing::fleet::{
+    run_fleet, run_fleet_reference, run_fleet_supervised, FleetConfig, FleetPolicy,
+    MaintenanceBudget,
+};
+use dh_exec::RetryPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any population, any geometry, any (non-killing) fault plan: the
+    /// columnar engine folds the exact bits the reference path folds.
+    #[test]
+    fn columnar_engine_matches_the_reference_path(
+        devices in 1u64..160,
+        group_size in 1u64..24,
+        shard_groups in 1u64..4,
+        seed in 0u64..1_000,
+        policy_mix in 0usize..4,
+        slots in 0u64..4,
+        years in 0.05f64..0.3,
+        plan_sel in 0usize..4,
+    ) {
+        let config = FleetConfig {
+            devices,
+            seed,
+            years,
+            shard_size: group_size * shard_groups,
+            group_size,
+            policies: match policy_mix {
+                0 => vec![FleetPolicy::WorstFirst],
+                1 => vec![FleetPolicy::Static],
+                2 => vec![FleetPolicy::RoundRobin],
+                _ => vec![
+                    FleetPolicy::WorstFirst,
+                    FleetPolicy::RoundRobin,
+                    FleetPolicy::Static,
+                ],
+            },
+            budget: MaintenanceBudget { slots_per_group: slots },
+            ..FleetConfig::default()
+        };
+        // Sensor and poison faults only — kill/panic faults exercise the
+        // retry machinery the serial reference deliberately lacks.
+        let plan = match plan_sel {
+            1 => Some(FaultPlan::parse("stuck-chip=3,stuck=0.05", seed).unwrap()),
+            2 => Some(FaultPlan::parse("poison-chip=5,poison=0.3", seed).unwrap()),
+            3 => Some(FaultPlan::parse("stuck=0.1,poison=0.2", seed).unwrap()),
+            _ => None,
+        };
+
+        let (ref_report, ref_degraded) =
+            run_fleet_reference(&config, plan.as_ref()).unwrap();
+        let (col_report, col_degraded) =
+            run_fleet_supervised(&config, plan.as_ref(), &RetryPolicy::immediate(1), None)
+                .unwrap();
+
+        prop_assert!(
+            ref_report.fingerprint() == col_report.fingerprint(),
+            "report fingerprints diverged:\n{}\nvs\n{}",
+            ref_report.render(),
+            col_report.render()
+        );
+        prop_assert!(ref_report.render() == col_report.render());
+        prop_assert!(
+            ref_degraded.fingerprint() == col_degraded.fingerprint(),
+            "degraded fingerprints diverged:\n{}\nvs\n{}",
+            ref_degraded.render(),
+            col_degraded.render()
+        );
+        // The ≤ 1e-12 agreement the issue asks for is implied by bit
+        // identity; assert it anyway so a future loosening of the
+        // fingerprint comparison cannot silently weaken this bound.
+        prop_assert!((ref_report.guardband.mean - col_report.guardband.mean).abs() <= 1e-12);
+        prop_assert!((ref_report.guardband.max - col_report.guardband.max).abs() <= 1e-12);
+    }
+}
+
+#[test]
+fn forced_scalar_backend_reproduces_the_simd_fingerprint() {
+    let config = FleetConfig {
+        devices: 96,
+        years: 0.25,
+        shard_size: 16,
+        group_size: 16,
+        policies: vec![FleetPolicy::WorstFirst, FleetPolicy::RoundRobin],
+        budget: MaintenanceBudget { slots_per_group: 2 },
+        ..FleetConfig::default()
+    };
+    let native = run_fleet(&config).unwrap();
+    dh_simd::force_scalar(true);
+    let scalar = run_fleet(&config).unwrap();
+    dh_simd::force_scalar(false);
+    assert_eq!(
+        native.fingerprint(),
+        scalar.fingerprint(),
+        "scalar and {} backends must agree bit for bit",
+        dh_simd::backend_name()
+    );
+    assert_eq!(native.render(), scalar.render());
+}
