@@ -165,6 +165,14 @@ fn main() -> ExitCode {
         // explicit --shard-size when resuming across a --threads change.
         config.shard_size = config.auto_shard_size(dh_exec::max_threads());
     }
+    // Reject bad numeric input at the CLI boundary with the field named,
+    // instead of panicking (or NaN-poisoning an aggregate) deep in the
+    // kernels. The run_fleet* entry points validate again; this check
+    // just fails before the banner goes out.
+    if let Err(why) = config.validate() {
+        eprintln!("error: {why}");
+        return ExitCode::from(2);
+    }
     let policy_names: Vec<&str> = config.policies.iter().map(|p| p.name()).collect();
     banner("Fleet lifetime simulation");
     println!(

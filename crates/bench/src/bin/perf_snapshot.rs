@@ -1,9 +1,9 @@
-//! Performance snapshot for the columnar fleet chip-store PR.
+//! Performance snapshot for the `dh-serve` daemon PR.
 //!
 //! Measures the optimized engine against its in-tree baselines **in the
 //! same run** (same binary, same machine, same optimization flags) and
-//! writes the results to `BENCH_pr7.json` in the workspace root
-//! (`BENCH_pr1.json`–`BENCH_pr6.json` are kept as history). The headline
+//! writes the results to `BENCH_pr8.json` in the workspace root
+//! (`BENCH_pr1.json`–`BENCH_pr7.json` are kept as history). The headline
 //! metric for the fleet rows is **device·epochs per second**.
 //!
 //! * CET ensemble stress, pinned to 1 thread: the lane-batched `dh-simd`
@@ -42,6 +42,10 @@
 //!   double-buffered async writer thread — fingerprints equal and the
 //!   final checkpoint **bytes identical**, the DHFL v2 compatibility
 //!   criterion.
+//! * `dh-serve` daemon row: an in-process server driven by concurrent
+//!   HTTP clients over real sockets — sustained jobs/sec and the p99
+//!   submit→first-event latency, with every job's fingerprint checked
+//!   against a direct in-process engine run of the same config.
 //!
 //! With `--obs` (and the `obs` feature compiled in), the snapshot also
 //! embeds the full `dh-obs` metrics registry under a `"metrics"` key.
@@ -49,12 +53,15 @@
 //! must stay instrumentation-free.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use deep_healing::bti::calibration::TableOneTargets;
 use deep_healing::fleet::{run_fleet_checkpointed_with, run_fleet_reference, CheckpointMode};
 use deep_healing::prelude::*;
+use dh_serve::{client as serve_client, ServeConfig, Server};
 
 /// Counts every heap allocation so the scratch-reuse rows can report
 /// before/after allocation counts, not just wall time.
@@ -132,6 +139,51 @@ const REPS: usize = 9;
 /// Device·epochs folded per second — the fleet throughput headline.
 fn throughput(config: &FleetConfig, secs: f64) -> f64 {
     (config.devices * config.total_epochs()) as f64 / secs.max(1e-12)
+}
+
+/// Submits one job to a `dh-serve` daemon and tails its SSE stream on a
+/// raw socket. Returns the submit→first-event latency in seconds and
+/// the fingerprint string from the terminal `completed` event.
+fn serve_job_round_trip(addr: SocketAddr, body: &str) -> (f64, String) {
+    let t0 = Instant::now();
+    let accepted = serve_client::request(addr, "POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(accepted.status, 202, "submit refused: {}", accepted.body);
+    let id: u64 = accepted
+        .body
+        .split("\"id\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("202 body carries the job id");
+
+    // Stream the events endpoint line by line so the first-event
+    // timestamp is real, not read-to-EOF time.
+    let mut stream = TcpStream::connect(addr).expect("connect SSE");
+    let head = format!(
+        "GET /jobs/{id}/events HTTP/1.1\r\nHost: dh-serve\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes()).expect("send SSE request");
+    let mut reader = BufReader::new(stream);
+    let mut first_event_s = None;
+    let mut last_data = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read SSE") == 0 {
+            break;
+        }
+        if let Some(data) = line.strip_prefix("data: ") {
+            first_event_s.get_or_insert_with(|| t0.elapsed().as_secs_f64());
+            last_data = data.trim_end().to_string();
+        }
+    }
+    let fingerprint = last_data
+        .split("\"fingerprint\": \"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("terminal event carries the fingerprint")
+        .to_string();
+    (first_event_s.expect("at least one event"), fingerprint)
 }
 
 /// Benchmarks one stress configuration: the PR 2 SoA libm kernel as the
@@ -540,9 +592,86 @@ fn main() {
         ),
     });
 
+    // --- dh-serve daemon: jobs/sec and submit -> first-event latency ----------
+    let serve_dir = std::env::temp_dir().join("dh-perf-snapshot-serve");
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: 64,
+        concurrency: 2,
+        step_shards: 8,
+        pace: std::time::Duration::ZERO,
+        data_dir: serve_dir.clone(),
+    })
+    .expect("start dh-serve");
+    let serve_addr = server.local_addr();
+    // The job the clients hammer: defaults except where stated, so the
+    // daemon and the in-process engine build the identical FleetConfig.
+    let serve_config = FleetConfig {
+        devices: 2_048,
+        years: 0.1,
+        shard_size: 256,
+        ..FleetConfig::default()
+    };
+    let serve_body =
+        "{\"config\": {\"devices\": 2048, \"years\": 0.1, \"shard_size\": 256}}".to_string();
+    let (direct_s, direct_report) = timed(|| run_fleet(&serve_config).unwrap());
+    let expected_fp = format!("{:#018x}", direct_report.fingerprint());
+
+    const SERVE_CLIENTS: usize = 4;
+    const SERVE_JOBS_PER_CLIENT: usize = 8;
+    let (serve_wall_s, mut latencies) = timed(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SERVE_CLIENTS)
+                .map(|_| {
+                    let body = &serve_body;
+                    let expected = &expected_fp;
+                    scope.spawn(move || {
+                        (0..SERVE_JOBS_PER_CLIENT)
+                            .map(|_| {
+                                let (latency_s, fp) = serve_job_round_trip(serve_addr, body);
+                                assert_eq!(
+                                    &fp, expected,
+                                    "daemon job fingerprint diverged from the engine"
+                                );
+                                latency_s
+                            })
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("serve client thread"))
+                .collect::<Vec<f64>>()
+        })
+    });
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    latencies.sort_by(f64::total_cmp);
+    let total_jobs = latencies.len();
+    let quantile = |q: f64| latencies[((total_jobs - 1) as f64 * q).round() as usize];
+    let jobs_per_sec = total_jobs as f64 / serve_wall_s.max(1e-12);
+    rows.push(Row {
+        name: "serve_daemon",
+        baseline_s: direct_s,
+        optimized_s: serve_wall_s / total_jobs as f64,
+        note: format!(
+            "{total_jobs} jobs ({} devices x {} epochs each) from {SERVE_CLIENTS} \
+             concurrent HTTP clients over 2 workers: {jobs_per_sec:.2} jobs/s \
+             sustained, submit->first-event p50 {:.1} ms / p99 {:.1} ms; every \
+             job's fingerprint equals the in-process engine's ({expected_fp}); \
+             baseline is one direct run_fleet of the same config",
+            serve_config.devices,
+            serve_config.total_epochs(),
+            quantile(0.50) * 1e3,
+            quantile(0.99) * 1e3,
+        ),
+    });
+
     // --- Report -------------------------------------------------------------
     let embed_metrics = want_obs && dh_obs::ENABLED;
-    let mut json = String::from("{\n  \"pr\": 7,\n  \"threads\": ");
+    let mut json = String::from("{\n  \"pr\": 8,\n  \"threads\": ");
     json.push_str(&default_threads.to_string());
     json.push_str(",\n  \"host_cores\": ");
     json.push_str(&host_cores.to_string());
@@ -567,8 +696,8 @@ fn main() {
     }
     json.push_str("}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
-    std::fs::write(path, &json).expect("write BENCH_pr7.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
+    std::fs::write(path, &json).expect("write BENCH_pr8.json");
 
     for row in &rows {
         println!(

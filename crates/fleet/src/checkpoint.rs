@@ -869,6 +869,62 @@ mod tests {
     }
 
     #[test]
+    fn async_rotation_retains_exactly_keep_generations() {
+        // The `--keep k` contract, across the async writer: after any
+        // number of writes, exactly k generations exist — `base` plus
+        // `base.1 ..= base.{k-1}` — holding the k newest snapshots in
+        // order, and `base.k` never appears (the off-by-one this test
+        // pins down).
+        let (_config, snap) = snapshot_after_one_step();
+        let keep = 3;
+        let dir = temp_dir("async-retention");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), keep);
+        let mut writer = AsyncCheckpointer::spawn(store.clone(), None);
+        for cursor in 1..=7 {
+            let mut s = snap.clone();
+            s.cursor = cursor;
+            writer.submit(s).unwrap();
+        }
+        writer.finish().unwrap();
+        for generation in 0..keep {
+            let snap = Snapshot::read(&store.generation_path(generation)).unwrap();
+            assert_eq!(
+                snap.cursor,
+                7 - generation as u64,
+                "generation {generation} holds the wrong write"
+            );
+        }
+        assert!(
+            !store.generation_path(keep).exists(),
+            "a {keep}-generation store must never leave a generation {keep} file"
+        );
+        assert!(!store.generation_path(keep + 1).exists());
+    }
+
+    #[test]
+    fn truncated_newest_generation_falls_back_to_the_previous() {
+        // A torn write that truncates the newest generation (as opposed
+        // to flipping a bit inside it) must cost one replay window, not
+        // the run.
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("truncated-newest");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 3);
+        for cursor in 1..3 {
+            let mut s = snap.clone();
+            s.cursor = cursor;
+            store.write(&s).unwrap();
+        }
+        let newest = store.generation_path(0);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (found, fallbacks) = store.read_newest_valid().unwrap();
+        assert_eq!(found.unwrap().cursor, 1, "fell back to generation 1");
+        assert_eq!(fallbacks.len(), 1);
+        assert_eq!(fallbacks[0].generation, 0);
+    }
+
+    #[test]
     fn read_newest_valid_falls_back_over_corruption() {
         let (_config, snap) = snapshot_after_one_step();
         let dir = temp_dir("fallback");

@@ -67,9 +67,11 @@ pub use error::FleetError;
 pub use policy::{FleetPolicy, MaintenanceBudget};
 pub use sim::{
     run_fleet, run_fleet_checkpointed, run_fleet_checkpointed_with, run_fleet_reference,
-    run_fleet_supervised, run_fleet_supervised_with, FleetConfig, FleetReport, FleetRun,
+    run_fleet_supervised, run_fleet_supervised_with, FleetConfig, FleetProgress, FleetReport,
+    FleetRun,
 };
 pub use stats::{NonFinite, P2Quantile, StreamingMoments, StreamingSummary, SummaryStats};
+pub use store::StoreView;
 
 /// Streams the guardbands of a Monte-Carlo seed sweep through the same
 /// one-pass aggregation the fleet engine uses, so per-seed

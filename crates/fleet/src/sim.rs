@@ -25,7 +25,7 @@
 //! is bit-identical to the baseline.
 
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use dh_circuit::RingOscillator;
 use dh_em::black::BlackModel;
@@ -41,7 +41,7 @@ use crate::kernel::{
 };
 use crate::policy::{FleetPolicy, MaintenanceBudget};
 use crate::stats::{StreamingSummary, SummaryStats};
-use crate::store::{ChipStore, ColumnarCtx, ALIVE};
+use crate::store::{ChipStore, ColumnarCtx, StoreView, ALIVE};
 use crate::wire::{fnv1a, fnv1a_f64, fnv1a_u64, put_u64, take_u64, FNV_OFFSET};
 
 /// Everything that defines a fleet run. Two configs with the same
@@ -141,8 +141,48 @@ impl FleetConfig {
         if self.heal_fraction.value() >= 1.0 {
             return bad("heal_fraction must leave time to run".into());
         }
-        if !(self.fail_guardband > 0.0) {
-            return bad("fail_guardband must be positive".into());
+        if !self.fail_guardband.is_finite() || !(self.fail_guardband > 0.0) {
+            return bad(format!(
+                "fail_guardband must be positive and finite, got {}",
+                self.fail_guardband
+            ));
+        }
+        // The physics corner parameters feed transcendental kernels; a
+        // NaN/Inf here surfaces epochs later as a poisoned aggregate, so
+        // reject it at the boundary with the field named.
+        for (name, v) in [
+            ("epoch", self.epoch.value()),
+            ("recovery_bias", self.recovery_bias.value()),
+            ("vdd", self.vdd.value()),
+            ("base_temperature", self.base_temperature.value()),
+            ("j_local", self.j_local.value()),
+        ] {
+            if !v.is_finite() {
+                return bad(format!("{name} must be finite, got {v}"));
+            }
+        }
+        if self.base_temperature.value() <= 0.0 {
+            return bad(format!(
+                "base_temperature must be positive kelvin, got {}",
+                self.base_temperature.value()
+            ));
+        }
+        for (name, v) in [
+            ("variation.process_sigma", self.variation.process_sigma),
+            ("variation.em_sigma", self.variation.em_sigma),
+            ("variation.temp_sigma_c", self.variation.temp_sigma_c),
+            (
+                "variation.utilization_mean",
+                self.variation.utilization_mean,
+            ),
+            (
+                "variation.utilization_sigma",
+                self.variation.utilization_sigma,
+            ),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return bad(format!("{name} must be finite and non-negative, got {v}"));
+            }
         }
         Ok(())
     }
@@ -347,6 +387,16 @@ struct ShardSlab {
     newly: Vec<u8>,
     incidents: Vec<SensorIncident>,
     budget_slots: u64,
+}
+
+/// Locks the slab pool, recovering a poisoned guard. A worker that
+/// panics while holding the pool poisons the `Mutex`; the pool only
+/// holds recycled capacity (never partially-folded results — those live
+/// on the worker's stack and die with it), so the contents are intact
+/// and surviving workers must keep going instead of cascading
+/// `PoisonError` unwraps out of one supervised-and-retried fault.
+fn lock_pool(pool: &Mutex<Vec<ShardSlab>>) -> MutexGuard<'_, Vec<ShardSlab>> {
+    pool.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// [`simulate_shard_reference`] on the columnar store: every maintenance
@@ -633,6 +683,30 @@ impl FleetRun {
         ))
     }
 
+    /// Resumes from the newest valid generation of a [`CheckpointStore`]
+    /// (a fresh run when no generation exists), recording every skipped
+    /// generation in the degraded report. This is the resume path
+    /// [`run_fleet_supervised_with`] and the `dh-serve` daemon share: a
+    /// corrupted newest generation costs a replay window, never the run.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O, config validation, and
+    /// [`FleetError::ConfigMismatch`] when the newest valid generation
+    /// belongs to a different config.
+    pub fn resume_from_store(
+        config: FleetConfig,
+        store: &CheckpointStore,
+    ) -> Result<Self, FleetError> {
+        let (snapshot, fallbacks) = store.read_newest_valid()?;
+        let mut run = match snapshot {
+            Some(s) => Self::resume(config, s)?,
+            None => Self::new(config)?,
+        };
+        run.degraded.checkpoint_fallbacks.extend(fallbacks);
+        Ok(run)
+    }
+
     /// Resumes from a snapshot, verifying it belongs to `config`. The
     /// snapshot's degraded state (quarantines, rejected samples, …)
     /// carries over: a kill/resume cycle cannot launder a degraded run
@@ -681,6 +755,31 @@ impl FleetRun {
         &self.degraded
     }
 
+    /// A point-in-time progress view, cheap enough to poll between step
+    /// batches: the shard cursor plus the streaming guardband aggregate
+    /// frozen as it stands (a partial distribution over the chips folded
+    /// so far).
+    pub fn progress(&self) -> FleetProgress {
+        FleetProgress {
+            shards_done: self.cursor,
+            shard_count: self.config.shard_count(),
+            devices_done: self.acc.devices_done,
+            failed: self.acc.failed,
+            guardband: self.acc.guardband.finalize(),
+        }
+    }
+
+    /// Runs `f` over read-only [`StoreView`]s of the pooled shard slabs —
+    /// the column state the most recently folded shards left behind.
+    /// The pool is locked for the duration of `f` (workers recycling
+    /// slabs block on it), so keep `f` short; the daemon uses it to
+    /// render per-shard summaries for its progress endpoint.
+    pub fn with_store_views<R>(&self, f: impl FnOnce(&[StoreView<'_>]) -> R) -> R {
+        let pool = lock_pool(&self.pool);
+        let views: Vec<StoreView<'_>> = pool.iter().map(|slab| slab.store.view()).collect();
+        f(&views)
+    }
+
     /// Executes and folds up to `max_shards` more shards (all remaining
     /// when saturated) and returns whether the run is now complete.
     ///
@@ -713,7 +812,7 @@ impl FleetRun {
         dh_exec::par_map_fold(
             batch,
             |i| {
-                let mut slab = pool.lock().unwrap().pop().unwrap_or_default();
+                let mut slab = lock_pool(pool).pop().unwrap_or_default();
                 simulate_shard_columnar(config, cctx, first + i as u64, None, &mut slab);
                 slab
             },
@@ -723,7 +822,7 @@ impl FleetRun {
                 if error.is_none() {
                     fold_slab_strict(acc, shard_index, &slab, epoch_s, &mut error);
                 }
-                pool.lock().unwrap().push(slab);
+                lock_pool(pool).push(slab);
             },
         );
         if let Some(e) = error {
@@ -780,7 +879,7 @@ impl FleetRun {
                         panic!("injected fault: shard {shard} attempt {attempt}");
                     }
                 }
-                let mut slab = pool.lock().unwrap().pop().unwrap_or_default();
+                let mut slab = lock_pool(pool).pop().unwrap_or_default();
                 simulate_shard_columnar(config, cctx, shard, plan, &mut slab);
                 if let Some(p) = plan {
                     poison_store(p, shard, attempt, &mut slab.store);
@@ -806,7 +905,7 @@ impl FleetRun {
                 acc.budget_chip_epochs += slab.budget_slots;
                 dh_obs::counter!("fleet.shards_folded").incr();
                 dh_obs::counter!("fleet.devices_folded").add(store.len as u64);
-                pool.lock().unwrap().push(slab);
+                lock_pool(pool).push(slab);
             },
             retry,
         );
@@ -848,6 +947,24 @@ impl FleetRun {
         }
         Ok(make_report(&self.config, &self.acc))
     }
+}
+
+/// A point-in-time view of a running fleet simulation, as exposed to
+/// progress consumers (the `dh-serve` daemon's status and SSE
+/// endpoints). Unlike a [`FleetReport`] this can be taken mid-run; the
+/// distributions cover only the chips folded so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetProgress {
+    /// Shards fully folded.
+    pub shards_done: u64,
+    /// Total shards in the run.
+    pub shard_count: u64,
+    /// Chips folded into the aggregates so far.
+    pub devices_done: u64,
+    /// Chips that failed inside the horizon so far.
+    pub failed: u64,
+    /// The guardband distribution over the chips folded so far.
+    pub guardband: SummaryStats,
 }
 
 /// Freezes an accumulator into the deterministic report.
@@ -1110,15 +1227,7 @@ pub fn run_fleet_supervised_with(
     // One clone total: the match arms move it, and only one arm runs.
     let config = config.clone();
     let mut run = match checkpoints {
-        Some((store, _)) => {
-            let (snapshot, fallbacks) = store.read_newest_valid()?;
-            let mut run = match snapshot {
-                Some(s) => FleetRun::resume(config, s)?,
-                None => FleetRun::new(config)?,
-            };
-            run.degraded.checkpoint_fallbacks.extend(fallbacks);
-            run
-        }
+        Some((store, _)) => FleetRun::resume_from_store(config, store)?,
         None => FleetRun::new(config)?,
     };
     match checkpoints {
@@ -1309,6 +1418,110 @@ mod tests {
             u64::from(crate::chip::SENSOR_STALE_EPOCHS),
             "flagged as soon as the staleness window filled"
         );
+    }
+
+    #[test]
+    fn poisoned_slab_pool_recovers_and_the_run_completes() {
+        let config = tiny(FleetPolicy::WorstFirst);
+        let clean = run_fleet(&config).unwrap();
+        let mut run = FleetRun::new(config).unwrap();
+        assert!(!run.step_supervised(1, None, &RetryPolicy::immediate(2)));
+        // Poison the pool the way a worker dying mid-recycle would:
+        // panic on another thread while holding the guard. (Injected
+        // `shard_panics` faults fire before the pool is locked, so this
+        // is the only way to actually poison it.)
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = run.pool.lock().unwrap();
+                panic!("injected: worker died holding the slab pool");
+            })
+            .join()
+        });
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        assert!(run.pool.lock().is_err(), "the pool mutex is poisoned");
+        // Surviving workers recover the guard and finish the run — in
+        // both the supervised and the strict stepping path.
+        while !run.step_supervised(1, None, &RetryPolicy::immediate(2)) {}
+        let supervised = run.report().unwrap();
+        assert_eq!(supervised.fingerprint(), clean.fingerprint());
+        assert!(!run.degraded().is_degraded());
+
+        let mut strict = FleetRun::new(tiny(FleetPolicy::WorstFirst)).unwrap();
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = strict.pool.lock().unwrap();
+                panic!("injected: worker died holding the slab pool");
+            })
+            .join()
+        });
+        assert!(strict.pool.lock().is_err());
+        while !strict.step(1).unwrap() {}
+        assert_eq!(strict.report().unwrap().fingerprint(), clean.fingerprint());
+    }
+
+    #[test]
+    fn panicking_shard_under_injection_leaves_the_pool_usable() {
+        // The chaos path end to end: one shard panics (and is retried
+        // then quarantined), the remaining shards keep recycling slabs
+        // through the pool and complete into a degraded report.
+        let config = tiny(FleetPolicy::WorstFirst);
+        let plan = FaultPlan::parse("kill-shard=1", 11).unwrap();
+        let mut run = FleetRun::new(config).unwrap();
+        while !run.step_supervised(1, Some(&plan), &RetryPolicy::immediate(2)) {}
+        assert!(run.pool.lock().is_ok(), "pool must not be poisoned");
+        let report = run.report().unwrap();
+        assert_eq!(report.devices, 64, "the two surviving shards folded");
+        assert!(run.degraded().is_degraded());
+        assert_eq!(run.degraded().quarantined.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_corner_parameters_are_rejected_at_the_boundary() {
+        let assert_rejects = |mutate: &dyn Fn(&mut FleetConfig), needle: &str| {
+            let mut c = FleetConfig::default();
+            mutate(&mut c);
+            match c.validate() {
+                Err(FleetError::InvalidConfig(why)) => assert!(
+                    why.contains(needle),
+                    "error {why:?} does not name {needle:?}"
+                ),
+                other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+            }
+        };
+        assert_rejects(&|c| c.vdd = Volts::new(f64::NAN), "vdd");
+        assert_rejects(
+            &|c| c.recovery_bias = Volts::new(f64::NEG_INFINITY),
+            "recovery_bias",
+        );
+        assert_rejects(
+            &|c| c.base_temperature = Kelvin::new(f64::INFINITY),
+            "base_temperature",
+        );
+        assert_rejects(
+            &|c| c.base_temperature = Kelvin::new(-4.0),
+            "base_temperature",
+        );
+        assert_rejects(
+            &|c| c.j_local = CurrentDensity::from_ma_per_cm2(f64::NAN),
+            "j_local",
+        );
+        assert_rejects(&|c| c.years = f64::INFINITY, "years");
+        assert_rejects(&|c| c.fail_guardband = f64::INFINITY, "fail_guardband");
+        assert_rejects(
+            &|c| c.variation.process_sigma = f64::NAN,
+            "variation.process_sigma",
+        );
+        assert_rejects(
+            &|c| c.variation.utilization_sigma = -0.1,
+            "variation.utilization_sigma",
+        );
+        // And the entry points refuse to run such a config.
+        let c = FleetConfig {
+            vdd: Volts::new(f64::NAN),
+            ..FleetConfig::default()
+        };
+        assert!(matches!(run_fleet(&c), Err(FleetError::InvalidConfig(_))));
+        assert!(FleetRun::new(c).is_err());
     }
 
     #[test]

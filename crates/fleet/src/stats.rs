@@ -262,8 +262,16 @@ impl P2Quantile {
         q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
     }
 
-    /// The current quantile estimate: exact (nearest rank) up to five
-    /// observations, the middle P² marker after; NaN when empty.
+    /// The current quantile estimate: **exact** up to five observations
+    /// (linear interpolation between the sorted order statistics, the
+    /// same type-7 rule `quantile()` in R and NumPy default to), the
+    /// middle P² marker after; NaN when empty.
+    ///
+    /// The exact small-n path matters beyond the 5-sample warm-up
+    /// window: a tiny run — a dh-serve smoke job, a fleet where only a
+    /// couple of chips failed — reports its p50/p90/p99 from one to five
+    /// real samples, and the previous nearest-rank rounding answered the
+    /// median of `[1, 100]` with `100`.
     pub fn estimate(&self) -> f64 {
         match self.count {
             0 => f64::NAN,
@@ -272,8 +280,11 @@ impl P2Quantile {
                 let mut head = [0.0; 5];
                 head[..n].copy_from_slice(&self.heights[..n]);
                 head[..n].sort_by(f64::total_cmp);
-                let rank = (self.q * (n - 1) as f64).round() as usize;
-                head[rank.min(n - 1)]
+                let rank = self.q * (n - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let t = rank - lo as f64;
+                head[lo] * (1.0 - t) + head[hi] * t
             }
             _ => self.heights[2],
         }
@@ -531,6 +542,53 @@ mod tests {
         assert!(empty.estimate().is_nan());
         empty.push(2.5);
         assert_eq!(empty.estimate(), 2.5);
+    }
+
+    #[test]
+    fn small_n_estimates_interpolate_between_order_statistics() {
+        // The median of two samples is their midpoint, not the larger
+        // one — the regression nearest-rank rounding used to produce.
+        let mut p = P2Quantile::new(0.5);
+        p.push(1.0);
+        p.push(100.0);
+        assert_eq!(p.estimate(), 50.5);
+
+        // Every n in 1..=5 and every fleet quantile matches the exact
+        // whole-population interpolation bit for bit, regardless of
+        // arrival order.
+        let samples = [7.0, -2.0, 11.5, 3.25, 0.5];
+        for n in 1..=samples.len() {
+            let mut sorted = samples[..n].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            for q in [0.5, 0.9, 0.99] {
+                let mut p = P2Quantile::new(q);
+                for &x in &samples[..n] {
+                    p.push(x);
+                }
+                assert_eq!(
+                    p.estimate(),
+                    exact_quantile(&sorted, q),
+                    "n={n} q={q} diverged from the exact order statistics"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_summary_quantiles_are_finite_and_ordered() {
+        // The shape a tiny dh-serve smoke job reports: n < 5 must still
+        // yield sane, ordered, in-range p50/p90/p99 — never NaN.
+        let mut s = StreamingSummary::new();
+        for x in [4.0, 1.0, 2.0] {
+            s.push(x);
+        }
+        let stats = s.finalize();
+        for v in [stats.p50, stats.p90, stats.p99] {
+            assert!(v.is_finite());
+            assert!(stats.min <= v && v <= stats.max);
+        }
+        assert!(stats.p50 <= stats.p90 && stats.p90 <= stats.p99);
+        assert_eq!(stats.p50, 2.0);
     }
 
     #[test]

@@ -184,6 +184,86 @@ pub(crate) struct ChipStore {
     pub flags: Vec<u32>,
 }
 
+/// A read-only view over one shard slab's result columns: the snapshot
+/// surface the `dh-serve` progress endpoint renders per-shard summaries
+/// from without copying columns or materializing per-chip structs.
+/// Borrowed from the [`crate::FleetRun`] slab pool via
+/// [`crate::FleetRun::with_store_views`], so a view always shows the
+/// state the most recently folded shard left behind.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreView<'a> {
+    lo: u64,
+    len: usize,
+    guardband: &'a [f64],
+    failed_epoch: &'a [u32],
+    healed: &'a [u32],
+    epochs_run: &'a [u32],
+}
+
+impl StoreView<'_> {
+    /// First global chip index covered by the view.
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Chips in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view covers no chips (a never-used slab).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Chips still alive at the end of the shard's simulated lifetime.
+    pub fn alive(&self) -> usize {
+        self.failed_epoch[..self.len]
+            .iter()
+            .filter(|&&e| e == ALIVE)
+            .count()
+    }
+
+    /// Chips that failed inside the horizon.
+    pub fn failed(&self) -> usize {
+        self.len - self.alive()
+    }
+
+    /// Largest required guardband across the shard (`-inf` when empty).
+    pub fn worst_guardband(&self) -> f64 {
+        self.guardband[..self.len]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean required guardband across the shard (0 when empty).
+    pub fn mean_guardband(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.guardband[..self.len].iter().sum::<f64>() / self.len as f64
+    }
+
+    /// Recovery epochs granted across the shard.
+    pub fn healed_epochs(&self) -> u64 {
+        self.healed[..self.len].iter().map(|&h| u64::from(h)).sum()
+    }
+
+    /// Chip-epochs actually stepped across the shard.
+    pub fn chip_epochs(&self) -> u64 {
+        self.epochs_run[..self.len]
+            .iter()
+            .map(|&e| u64::from(e))
+            .sum()
+    }
+
+    /// Chip `k`'s global index and required guardband.
+    pub fn chip(&self, k: usize) -> (u64, f64) {
+        (self.lo + k as u64, self.guardband[k])
+    }
+}
+
 impl std::fmt::Debug for ChipStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChipStore")
@@ -239,6 +319,18 @@ macro_rules! for_each_f64_column {
 }
 
 impl ChipStore {
+    /// Borrows the result columns as a read-only [`StoreView`].
+    pub(crate) fn view(&self) -> StoreView<'_> {
+        StoreView {
+            lo: self.lo,
+            len: self.len,
+            guardband: &self.guardband,
+            failed_epoch: &self.failed_epoch,
+            healed: &self.healed,
+            epochs_run: &self.epochs_run,
+        }
+    }
+
     pub(crate) fn new() -> Self {
         Self {
             lo: 0,

@@ -1,0 +1,98 @@
+//! A tiny blocking HTTP client for the daemon's own tests, benches, and
+//! smoke scripts. Hidden from docs: it speaks exactly the dialect the
+//! server emits (`Connection: close`, one exchange per connection) and
+//! nothing more — it is a test fixture, not an SDK.
+#![doc(hidden)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A fully-read response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one request and reads the whole response (the server closes
+/// the connection after each exchange).
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: dh-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Opens `GET {path}` as an SSE stream and reads it to EOF, returning
+/// the `(event, data)` frames in order. Blocks until the server hangs
+/// up — for the daemon that means the job reached a terminal state.
+pub fn sse(addr: SocketAddr, path: &str) -> std::io::Result<Vec<(String, String)>> {
+    let response = request(addr, "GET", path, None)?;
+    if response.status != 200 {
+        return Err(std::io::Error::other(format!(
+            "SSE request got {}: {}",
+            response.status, response.body
+        )));
+    }
+    let mut frames = Vec::new();
+    let mut event = String::new();
+    for line in response.body.lines() {
+        if let Some(name) = line.strip_prefix("event: ") {
+            event = name.to_string();
+        } else if let Some(data) = line.strip_prefix("data: ") {
+            frames.push((std::mem::take(&mut event), data.to_string()));
+        }
+    }
+    Ok(frames)
+}

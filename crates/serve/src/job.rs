@@ -1,0 +1,589 @@
+//! Jobs, the bounded queue, and the runner that executes them.
+//!
+//! A job is a [`JobSpec`] plus observable state: a status, a progress
+//! cursor, and an append-only event log that the SSE endpoint replays
+//! and tails. The registry holds every job ever submitted (the daemon
+//! is an operator tool, not a public service; completed jobs stay
+//! queryable until shutdown) and a bounded pending queue drained by a
+//! fixed worker pool — the submit path refuses with a 429 rather than
+//! queueing unboundedly.
+//!
+//! The runner is deliberately a re-statement of
+//! [`dh_fleet::run_fleet_supervised_with`]'s loop with the daemon's
+//! concerns woven between batches: cancel checks, progress events, and
+//! the same checkpoint write-index sequence, so a job that is killed
+//! and resubmitted resumes from disk and lands on a report
+//! byte-identical to an uninterrupted run.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use dh_exec::RetryPolicy;
+use dh_fleet::{AsyncCheckpointer, CheckpointMode, CheckpointStore, FleetRun};
+
+use crate::api::{retry_after_hint, JobSpec, ServeError};
+use crate::json::{escape, num};
+
+/// At most this many per-shard summaries ride on one progress event;
+/// a 100k-device run should not emit megabyte frames.
+const MAX_SHARD_VIEWS: usize = 8;
+
+/// A simulation job runs panic-supervised, so a poisoned lock means a
+/// sibling died mid-section, not that the data is bad — recover the
+/// guard, same as the fleet layer's slab pool.
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker slot.
+    Queued,
+    /// A worker is stepping it.
+    Running,
+    /// Finished; the fingerprint is final.
+    Completed,
+    /// Aborted on an error (I/O, config mismatch on resume, …).
+    Failed,
+    /// Stopped by `DELETE /jobs/{id}` (or daemon shutdown).
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Completed => "completed",
+            Self::Failed => "failed",
+            Self::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Self::Completed | Self::Failed | Self::Cancelled)
+    }
+}
+
+#[derive(Debug)]
+struct JobInner {
+    status: JobStatus,
+    shards_done: u64,
+    shard_count: u64,
+    /// Set once on completion.
+    fingerprint: Option<u64>,
+    /// Set once on failure.
+    error: Option<String>,
+    /// `(event name, single-line JSON data)`, append-only.
+    events: Vec<(String, String)>,
+}
+
+/// One submitted job and everything observable about it.
+#[derive(Debug)]
+pub struct Job {
+    /// Daemon-unique id, assigned at submit.
+    pub id: u64,
+    /// The validated submission.
+    pub spec: JobSpec,
+    cancel: AtomicBool,
+    inner: Mutex<JobInner>,
+    /// Signals event-log growth and terminal transitions.
+    cond: Condvar,
+}
+
+impl Job {
+    fn new(id: u64, spec: JobSpec) -> Self {
+        let shard_count = spec.config.shard_count();
+        Self {
+            id,
+            spec,
+            cancel: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                status: JobStatus::Queued,
+                shards_done: 0,
+                shard_count,
+                fingerprint: None,
+                error: None,
+                events: Vec::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Asks the runner to stop at the next batch boundary. Idempotent.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The job's current status.
+    pub fn status(&self) -> JobStatus {
+        lock(&self.inner).status
+    }
+
+    fn set_running(&self) {
+        lock(&self.inner).status = JobStatus::Running;
+    }
+
+    /// Appends an event and wakes every SSE tail.
+    fn push_event(&self, event: &str, data: String) {
+        let mut inner = lock(&self.inner);
+        inner.events.push((event.to_string(), data));
+        self.cond.notify_all();
+    }
+
+    fn finish(&self, status: JobStatus, event: &str, data: String) {
+        let mut inner = lock(&self.inner);
+        inner.status = status;
+        inner.events.push((event.to_string(), data));
+        self.cond.notify_all();
+    }
+
+    /// Returns event `index`, blocking until it exists. `None` means the
+    /// job reached a terminal state and the log is fully drained — the
+    /// SSE handler's signal to hang up.
+    pub fn next_event(&self, index: usize) -> Option<(String, String)> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(frame) = inner.events.get(index) {
+                return Some(frame.clone());
+            }
+            if inner.status.is_terminal() {
+                return None;
+            }
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state and returns it.
+    pub fn wait_terminal(&self) -> JobStatus {
+        let mut inner = lock(&self.inner);
+        while !inner.status.is_terminal() {
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        inner.status
+    }
+
+    /// The job's status document (the `GET /jobs/{id}` body).
+    pub fn status_json(&self) -> String {
+        let inner = lock(&self.inner);
+        let fingerprint = match inner.fingerprint {
+            Some(fp) => format!("\"{fp:#018x}\""),
+            None => "null".to_string(),
+        };
+        let error = match &inner.error {
+            Some(e) => format!("\"{}\"", escape(e)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"id\": {}, \"status\": \"{}\", \"shards_done\": {}, \"shard_count\": {}, \
+             \"devices\": {}, \"fingerprint\": {}, \"error\": {}}}",
+            self.id,
+            inner.status.name(),
+            inner.shards_done,
+            inner.shard_count,
+            self.spec.config.devices,
+            fingerprint,
+            error,
+        )
+    }
+}
+
+/// Knobs the runner and queue need from the server configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerSettings {
+    /// Queued-job bound; the submit path 429s beyond it.
+    pub queue_capacity: usize,
+    /// Shards folded per batch when the job does not checkpoint
+    /// (checkpointing jobs batch by their `checkpoint_every`).
+    pub step_shards: u64,
+    /// Artificial delay between batches. Zero in production; tests use
+    /// it to hold jobs observably in-flight.
+    pub pace: Duration,
+    /// Directory for job checkpoint files.
+    pub data_dir: PathBuf,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    jobs: Vec<Arc<Job>>,
+    pending: VecDeque<Arc<Job>>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// Every job the daemon knows about, plus the bounded pending queue.
+#[derive(Debug)]
+pub struct JobRegistry {
+    settings: RunnerSettings,
+    inner: Mutex<RegistryInner>,
+    /// Wakes workers when the queue grows or shutdown begins.
+    queue_cond: Condvar,
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    pub fn new(settings: RunnerSettings) -> Self {
+        Self {
+            settings,
+            inner: Mutex::new(RegistryInner {
+                next_id: 1,
+                ..RegistryInner::default()
+            }),
+            queue_cond: Condvar::new(),
+        }
+    }
+
+    /// The runner/queue settings this registry was built with.
+    pub fn settings(&self) -> &RunnerSettings {
+        &self.settings
+    }
+
+    /// Accepts a job into the queue, or refuses: 429 when the pending
+    /// queue is at capacity (running jobs do not count — their slots are
+    /// the concurrency bound, not the queue bound), 409 during shutdown.
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, ServeError> {
+        let mut inner = lock(&self.inner);
+        if inner.shutdown {
+            return Err(ServeError::Conflict("daemon is shutting down".into()));
+        }
+        if inner.pending.len() >= self.settings.queue_capacity {
+            return Err(ServeError::QueueFull {
+                retry_after: retry_after_hint(self.settings.pace),
+            });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let job = Arc::new(Job::new(id, spec));
+        inner.jobs.push(Arc::clone(&job));
+        inner.pending.push_back(Arc::clone(&job));
+        self.queue_cond.notify_one();
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        lock(&self.inner).jobs.iter().find(|j| j.id == id).cloned()
+    }
+
+    /// Cancels a job: a queued job is removed from the queue and goes
+    /// terminal immediately; a running one stops at its next batch
+    /// boundary. Terminal jobs are left untouched (cancel is
+    /// idempotent). Returns the job for a status body.
+    pub fn cancel(&self, id: u64) -> Result<Arc<Job>, ServeError> {
+        let job = self
+            .get(id)
+            .ok_or_else(|| ServeError::NotFound(format!("no job {id}")))?;
+        job.request_cancel();
+        let mut inner = lock(&self.inner);
+        if let Some(at) = inner.pending.iter().position(|j| j.id == id) {
+            let queued = inner.pending.remove(at).expect("position just found");
+            drop(inner);
+            queued.finish(
+                JobStatus::Cancelled,
+                "cancelled",
+                format!("{{\"job\": {id}, \"shards_done\": 0}}"),
+            );
+        }
+        Ok(job)
+    }
+
+    /// The `GET /jobs` body.
+    pub fn list_json(&self) -> String {
+        let jobs = lock(&self.inner).jobs.clone();
+        let rows: Vec<String> = jobs.iter().map(|j| j.status_json()).collect();
+        format!("{{\"jobs\": [{}]}}", rows.join(", "))
+    }
+
+    /// Begins shutdown: refuses new submissions, cancels queued jobs,
+    /// asks running jobs to stop, and releases every worker.
+    pub fn shutdown(&self) {
+        let drained: Vec<Arc<Job>> = {
+            let mut inner = lock(&self.inner);
+            inner.shutdown = true;
+            let drained = inner.pending.drain(..).collect();
+            for job in &inner.jobs {
+                job.request_cancel();
+            }
+            self.queue_cond.notify_all();
+            drained
+        };
+        for job in drained {
+            job.finish(
+                JobStatus::Cancelled,
+                "cancelled",
+                format!("{{\"job\": {}, \"shards_done\": 0}}", job.id),
+            );
+        }
+    }
+
+    /// One worker thread's life: claim, run, repeat, exit on shutdown.
+    pub fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut inner = lock(&self.inner);
+                loop {
+                    if let Some(job) = inner.pending.pop_front() {
+                        break job;
+                    }
+                    if inner.shutdown {
+                        return;
+                    }
+                    inner = self
+                        .queue_cond
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            run_job(&job, &self.settings);
+        }
+    }
+}
+
+/// The checkpoint writer a job threads its snapshots through — the same
+/// write-index discipline as `run_fleet_supervised_with`, so injected
+/// `ckpt-flip=N` corruption hits the same generations whether a run
+/// goes through the CLI or the daemon.
+enum Writer {
+    None,
+    Sync {
+        store: CheckpointStore,
+        write_index: u64,
+        scratch: Vec<u8>,
+    },
+    Async(AsyncCheckpointer),
+}
+
+impl Writer {
+    fn open(spec: &JobSpec, store: Option<&CheckpointStore>) -> Self {
+        match (store, spec.checkpoint_mode) {
+            (None, _) => Self::None,
+            (Some(store), CheckpointMode::Sync) => Self::Sync {
+                store: store.clone(),
+                write_index: 0,
+                scratch: Vec::new(),
+            },
+            (Some(store), CheckpointMode::Async) => {
+                Self::Async(AsyncCheckpointer::spawn(store.clone(), spec.fault_plan()))
+            }
+        }
+    }
+
+    fn write(&mut self, run: &FleetRun, spec: &JobSpec) -> Result<(), dh_fleet::FleetError> {
+        match self {
+            Self::None => Ok(()),
+            Self::Sync {
+                store,
+                write_index,
+                scratch,
+            } => {
+                store.write_injected_with(
+                    &run.snapshot(),
+                    spec.fault_plan().as_ref(),
+                    *write_index,
+                    scratch,
+                )?;
+                *write_index += 1;
+                Ok(())
+            }
+            Self::Async(writer) => writer.submit(run.snapshot()),
+        }
+    }
+
+    fn finish(self) -> Result<(), dh_fleet::FleetError> {
+        match self {
+            Self::Async(writer) => writer.finish(),
+            _ => Ok(()),
+        }
+    }
+}
+
+fn progress_event(job: &Job, run: &FleetRun) -> String {
+    let p = run.progress();
+    let shards = run.with_store_views(|views| {
+        let rows: Vec<String> = views
+            .iter()
+            .filter(|v| !v.is_empty())
+            .take(MAX_SHARD_VIEWS)
+            .map(|v| {
+                format!(
+                    "{{\"lo\": {}, \"chips\": {}, \"alive\": {}, \"failed\": {}, \
+                     \"worst_guardband\": {}, \"mean_guardband\": {}}}",
+                    v.lo(),
+                    v.len(),
+                    v.alive(),
+                    v.failed(),
+                    num(v.worst_guardband()),
+                    num(v.mean_guardband()),
+                )
+            })
+            .collect();
+        rows.join(", ")
+    });
+    let obs = if dh_obs::ENABLED {
+        format!(", \"obs\": {}", dh_obs::snapshot().to_json())
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"job\": {}, \"shards_done\": {}, \"shard_count\": {}, \"devices_done\": {}, \
+         \"failed\": {}, \"guardband\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \
+         \"p90\": {}, \"p99\": {}}}, \"shards\": [{}]{}}}",
+        job.id,
+        p.shards_done,
+        p.shard_count,
+        p.devices_done,
+        p.failed,
+        p.guardband.count,
+        num(p.guardband.mean),
+        num(p.guardband.p50),
+        num(p.guardband.p90),
+        num(p.guardband.p99),
+        shards,
+        obs,
+    )
+}
+
+fn fail_job(job: &Job, why: String) {
+    let mut inner = lock(&job.inner);
+    inner.status = JobStatus::Failed;
+    inner.error = Some(why.clone());
+    inner.events.push((
+        "failed".to_string(),
+        format!("{{\"job\": {}, \"error\": \"{}\"}}", job.id, escape(&why)),
+    ));
+    job.cond.notify_all();
+}
+
+/// Executes one job start to finish on the calling worker thread. Every
+/// outcome — completion, failure, cancellation — lands as a terminal
+/// event; nothing here panics the worker (the shard loop underneath is
+/// the supervised one).
+fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
+    job.set_running();
+    let spec = &job.spec;
+    let plan = spec.fault_plan();
+    let retry = RetryPolicy {
+        max_attempts: spec.retry,
+        ..RetryPolicy::default()
+    };
+    let store = spec
+        .checkpoint
+        .as_ref()
+        .map(|name| CheckpointStore::new(settings.data_dir.join(name), spec.keep));
+
+    let opened = match &store {
+        Some(store) => FleetRun::resume_from_store(spec.config.clone(), store),
+        None => FleetRun::new(spec.config.clone()),
+    };
+    let mut run = match opened {
+        Ok(run) => run,
+        Err(e) => {
+            fail_job(job, e.to_string());
+            return;
+        }
+    };
+    {
+        let mut inner = lock(&job.inner);
+        inner.shards_done = run.cursor();
+    }
+    job.push_event(
+        "started",
+        format!(
+            "{{\"job\": {}, \"resumed_from\": {}, \"shard_count\": {}, \"checkpoint_fallbacks\": {}}}",
+            job.id,
+            run.cursor(),
+            run.config().shard_count(),
+            run.degraded().checkpoint_fallbacks.len(),
+        ),
+    );
+
+    // Checkpointing jobs batch by their write stride (mirroring the CLI
+    // engine); others by the server's progress granularity.
+    let step = match &store {
+        Some(_) => spec.checkpoint_every,
+        None => settings.step_shards,
+    }
+    .max(1);
+    let mut writer = Writer::open(spec, store.as_ref());
+
+    let mut done = run.is_done();
+    while !done {
+        if job.cancel_requested() {
+            if let Err(e) = writer.finish() {
+                fail_job(job, e.to_string());
+                return;
+            }
+            job.finish(
+                JobStatus::Cancelled,
+                "cancelled",
+                format!("{{\"job\": {}, \"shards_done\": {}}}", job.id, run.cursor()),
+            );
+            return;
+        }
+        done = run.step_supervised(step, plan.as_ref(), &retry);
+        if let Err(e) = writer.write(&run, spec) {
+            fail_job(job, e.to_string());
+            return;
+        }
+        {
+            let mut inner = lock(&job.inner);
+            inner.shards_done = run.cursor();
+        }
+        job.push_event("progress", progress_event(job, &run));
+        if !done && !settings.pace.is_zero() {
+            std::thread::sleep(settings.pace);
+        }
+    }
+    if let Err(e) = writer.finish() {
+        fail_job(job, e.to_string());
+        return;
+    }
+
+    let report = match run.report() {
+        Ok(report) => report,
+        Err(e) => {
+            fail_job(job, e.to_string());
+            return;
+        }
+    };
+    let fingerprint = report.fingerprint();
+    let degraded = run.degraded();
+    {
+        let mut inner = lock(&job.inner);
+        inner.fingerprint = Some(fingerprint);
+    }
+    job.finish(
+        JobStatus::Completed,
+        "completed",
+        format!(
+            "{{\"job\": {}, \"fingerprint\": \"{:#018x}\", \"devices\": {}, \"failed\": {}, \
+             \"degraded\": {}, \"quarantined_shards\": {}, \"retries\": {}, \
+             \"rejected_samples\": {}, \"checkpoint_fallbacks\": {}}}",
+            job.id,
+            fingerprint,
+            report.devices,
+            report.failed,
+            degraded.is_degraded(),
+            degraded.quarantined.len(),
+            degraded.retries,
+            degraded.rejected_samples,
+            degraded.checkpoint_fallbacks.len(),
+        ),
+    );
+}

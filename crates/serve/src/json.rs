@@ -1,0 +1,408 @@
+//! A minimal JSON value, parser, and string escaper.
+//!
+//! The build vendors no serde (and no registry access to get one), so
+//! the daemon parses its request bodies with the same philosophy as the
+//! DHFL checkpoint format: a few dozen explicit lines instead of a
+//! dependency. The parser is strict — trailing garbage, duplicate-free
+//! object handling, and a recursion cap are all enforced — because every
+//! byte it accepts comes off a network socket.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth a request body may use. Fleet job specs are
+/// two levels deep; 32 leaves headroom without letting a hostile body
+/// recurse the parser off the stack.
+const MAX_DEPTH: u32 = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `text` as a single JSON document (trailing garbage is an
+    /// error).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax error, with its
+    /// byte offset.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.at));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number that
+    /// fits u64 exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Self::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object's fields, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Self::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), String> {
+        if self.bytes[self.at..].starts_with(token.as_bytes()) {
+            self.at += token.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{token}` at offset {}", self.at))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte {:?} at offset {}",
+                b as char, self.at
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii slice");
+        let v: f64 = text
+            .parse()
+            .map_err(|_| format!("bad number `{text}` at offset {start}"))?;
+        if !v.is_finite() {
+            return Err(format!("number `{text}` overflows f64 at offset {start}"));
+        }
+        Ok(Json::Num(v))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.at += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&hi) {
+                                // A surrogate pair: require the low half.
+                                self.eat("\\u")?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err("bad low surrogate".into());
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code).ok_or("bad surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("lone surrogate half")?
+                            };
+                            out.push(ch);
+                        }
+                        _ => return Err(format!("bad escape `\\{}`", esc as char)),
+                    }
+                }
+                // The input is a &str, so multi-byte UTF-8 is already
+                // valid; copy continuation bytes through untouched.
+                _ => {
+                    let len = match b {
+                        0x00..=0x1f => return Err("unescaped control byte in string".into()),
+                        0x20..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.at - 1;
+                    self.at = start + len;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.at])
+                            .map_err(|_| "bad UTF-8".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.bytes.len() < self.at + 4 {
+            return Err("truncated \\u escape".into());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.at..self.at + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        self.at += 4;
+        u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape `{text}`"))
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, String> {
+        self.at += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, String> {
+        self.at += 1; // {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(format!("expected a key string at offset {}", self.at));
+            }
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(format!("expected `:` at offset {}", self.at));
+            }
+            self.at += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.at)),
+            }
+        }
+    }
+}
+
+/// Escapes `s` as the *contents* of a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 as a JSON-safe token (`null` for NaN/Inf, which JSON
+/// cannot carry).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_job_shaped_document() {
+        let doc = r#"{
+            "config": {"devices": 512, "years": 0.25, "policies": ["worst-first", "static"]},
+            "inject": "panic=0.01",
+            "retry": 3,
+            "nested": {"a": [1, -2.5e1, true, null], "b": "x\ny\u0041"}
+        }"#;
+        let v = Json::parse(doc).unwrap();
+        let config = v.get("config").unwrap();
+        assert_eq!(config.get("devices").unwrap().as_u64(), Some(512));
+        assert_eq!(config.get("years").unwrap().as_f64(), Some(0.25));
+        let policies = config.get("policies").unwrap().as_arr().unwrap();
+        assert_eq!(policies[0].as_str(), Some("worst-first"));
+        assert_eq!(v.get("inject").unwrap().as_str(), Some("panic=0.01"));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(
+            nested.get("a").unwrap().as_arr().unwrap(),
+            &[
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Bool(true),
+                Json::Null
+            ]
+        );
+        assert_eq!(nested.get("b").unwrap().as_str(), Some("x\nyA"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{}}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "{\"a\": 1, \"a\": 2}",
+            "\"\\q\"",
+            "\"unterminated",
+            "nul",
+            "01e999",
+            "{\"a\": \u{1}\"\"}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // The recursion cap holds.
+        let deep = "[".repeat(64) + &"]".repeat(64);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f✓";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn num_guards_non_finite() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,321 @@
+//! End-to-end daemon tests over real sockets: backpressure, cancel,
+//! SSE lifecycle, validation, checkpoint resume byte-identity, and the
+//! fault-injection path. Every test runs its own server on an
+//! OS-assigned port with its own data directory.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use dh_fleet::{run_fleet, FleetConfig, FleetPolicy, MaintenanceBudget};
+use dh_serve::client::{request, sse, Response};
+use dh_serve::{ServeConfig, Server};
+
+static NEXT_DIR: AtomicU32 = AtomicU32::new(0);
+
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dh-serve-test-{}-{tag}-{n}", std::process::id()))
+}
+
+fn start(tag: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (Server, SocketAddr, PathBuf) {
+    let data_dir = temp_data_dir(tag);
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.clone(),
+        ..ServeConfig::default()
+    };
+    tweak(&mut config);
+    let server = Server::start(config).expect("server should bind");
+    let addr = server.local_addr();
+    (server, addr, data_dir)
+}
+
+/// A job body matching [`test_config`]: 256 devices in 8 shards of 32,
+/// short horizon, fixed shard size so the report's checkpoint cursor is
+/// machine-independent.
+fn job_body(extra: &str) -> String {
+    format!(
+        "{{\"config\": {{\"devices\": 256, \"years\": 0.2, \"shard_size\": 32, \
+         \"group_size\": 16, \"budget\": 2, \"seed\": 11}}{extra}}}"
+    )
+}
+
+fn test_config() -> FleetConfig {
+    FleetConfig {
+        devices: 256,
+        years: 0.2,
+        shard_size: 32,
+        group_size: 16,
+        budget: MaintenanceBudget { slots_per_group: 2 },
+        seed: 11,
+        policies: vec![FleetPolicy::WorstFirst],
+        ..FleetConfig::default()
+    }
+}
+
+fn submit(addr: SocketAddr, body: &str) -> Response {
+    request(addr, "POST", "/jobs", Some(body)).expect("submit request should complete")
+}
+
+fn job_field(body: &str, field: &str) -> String {
+    // Fish a scalar field out of a status document without a JSON dep
+    // in the test: `"field": value` with value ending at `,` or `}`.
+    let needle = format!("\"{field}\": ");
+    let at = body.find(&needle).unwrap_or_else(|| {
+        panic!("no field {field:?} in {body}");
+    }) + needle.len();
+    body[at..]
+        .split([',', '}'])
+        .next()
+        .expect("split yields at least one piece")
+        .trim()
+        .trim_matches('"')
+        .to_string()
+}
+
+fn wait_for<T>(what: &str, timeout: Duration, mut poll: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(v) = poll() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn wait_status(addr: SocketAddr, id: &str, wanted: &str) -> String {
+    wait_for(
+        &format!("job {id} to reach {wanted}"),
+        Duration::from_secs(30),
+        || {
+            let r = request(addr, "GET", &format!("/jobs/{id}"), None).ok()?;
+            (job_field(&r.body, "status") == wanted).then_some(r.body)
+        },
+    )
+}
+
+#[test]
+fn health_and_unknown_routes() {
+    let (server, addr, _) = start("health", |_| {});
+    let ok = request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(ok.status, 200);
+    assert!(ok.body.contains("ok"));
+
+    let missing = request(addr, "GET", "/nowhere", None).unwrap();
+    assert_eq!(missing.status, 404);
+    let wrong_method = request(addr, "DELETE", "/healthz", None).unwrap();
+    assert_eq!(wrong_method.status, 405);
+    let no_such_job = request(addr, "GET", "/jobs/999", None).unwrap();
+    assert_eq!(no_such_job.status, 404);
+    let bad_id = request(addr, "GET", "/jobs/banana", None).unwrap();
+    assert_eq!(bad_id.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn submissions_are_validated_with_typed_errors() {
+    let (server, addr, _) = start("validate", |_| {});
+    let zero_devices = submit(addr, "{\"config\": {\"devices\": 0}}");
+    assert_eq!(zero_devices.status, 422);
+    assert_eq!(job_field(&zero_devices.body, "error"), "invalid_config");
+
+    let malformed = submit(addr, "this is not json");
+    assert_eq!(malformed.status, 400);
+    assert_eq!(job_field(&malformed.body, "error"), "bad_request");
+
+    let unknown_field = submit(addr, "{\"config\": {\"devices\": 64}, \"spline\": 1}");
+    assert_eq!(unknown_field.status, 400);
+    assert!(unknown_field.body.contains("spline"));
+
+    let nan_corner = submit(
+        addr,
+        "{\"config\": {\"devices\": 64, \"fail_guardband\": 0.0}}",
+    );
+    assert_eq!(nan_corner.status, 422);
+    server.shutdown();
+}
+
+#[test]
+fn a_job_streams_events_and_completes() {
+    let (server, addr, _) = start("sse", |c| c.step_shards = 2);
+    let accepted = submit(addr, &job_body(""));
+    assert_eq!(accepted.status, 202);
+    let id = job_field(&accepted.body, "id");
+
+    // The SSE stream replays from the first event, tails to the
+    // terminal one, and then the server hangs up (read-to-EOF returns).
+    let frames = sse(addr, &format!("/jobs/{id}/events")).unwrap();
+    assert_eq!(frames.first().map(|(e, _)| e.as_str()), Some("started"));
+    assert_eq!(frames.last().map(|(e, _)| e.as_str()), Some("completed"));
+    let progress: Vec<&(String, String)> = frames.iter().filter(|(e, _)| e == "progress").collect();
+    // 8 shards in steps of 2.
+    assert_eq!(progress.len(), 4, "frames: {frames:?}");
+    assert!(progress[0].1.contains("\"shards_done\": 2"));
+    assert!(progress.last().unwrap().1.contains("\"devices_done\": 256"));
+
+    // The status document agrees with the in-process engine.
+    let status = request(addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(job_field(&status.body, "status"), "completed");
+    let expected = run_fleet(&test_config()).unwrap().fingerprint();
+    assert_eq!(
+        job_field(&status.body, "fingerprint"),
+        format!("{expected:#018x}"),
+    );
+    server.shutdown();
+}
+
+#[test]
+fn a_full_queue_backpressures_with_429_not_a_crash() {
+    let (server, addr, _) = start("backpressure", |c| {
+        c.concurrency = 1;
+        c.queue_capacity = 1;
+        c.step_shards = 1;
+        c.pace = Duration::from_millis(150);
+    });
+    // Job 1 occupies the single worker (8 shards x 150 ms pace), job 2
+    // fills the one queue slot, job 3 must bounce.
+    let first = submit(addr, &job_body(""));
+    assert_eq!(first.status, 202);
+    wait_status(addr, &job_field(&first.body, "id"), "running");
+    let second = submit(addr, &job_body(""));
+    assert_eq!(second.status, 202);
+    let third = submit(addr, &job_body(""));
+    assert_eq!(third.status, 429);
+    assert_eq!(job_field(&third.body, "error"), "queue_full");
+    let retry_after: u64 = third
+        .header("Retry-After")
+        .expect("429 must carry Retry-After")
+        .parse()
+        .expect("Retry-After must be integral seconds");
+    assert!(retry_after >= 1);
+
+    // The daemon is still fully alive behind the 429.
+    assert_eq!(request(addr, "GET", "/healthz", None).unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn cancelling_a_running_job_releases_its_slot() {
+    let (server, addr, _) = start("cancel", |c| {
+        c.concurrency = 1;
+        c.queue_capacity = 2;
+        c.step_shards = 1;
+        c.pace = Duration::from_millis(150);
+    });
+    let slow = submit(addr, &job_body(""));
+    let slow_id = job_field(&slow.body, "id");
+    wait_status(addr, &slow_id, "running");
+    let queued = submit(addr, &job_body(""));
+    assert_eq!(queued.status, 202);
+    let queued_id = job_field(&queued.body, "id");
+
+    let cancelled = request(addr, "DELETE", &format!("/jobs/{slow_id}"), None).unwrap();
+    assert_eq!(cancelled.status, 200);
+    wait_status(addr, &slow_id, "cancelled");
+    // The worker slot freed: the queued job runs to completion.
+    let final_status = wait_status(addr, &queued_id, "completed");
+    assert_ne!(job_field(&final_status, "fingerprint"), "null");
+
+    // Cancelling a queued job removes it before it ever runs.
+    let third = submit(addr, &job_body(""));
+    let fourth = submit(addr, &job_body(""));
+    let fourth_id = job_field(&fourth.body, "id");
+    let _ = request(addr, "DELETE", &format!("/jobs/{fourth_id}"), None).unwrap();
+    wait_status(addr, &fourth_id, "cancelled");
+    wait_status(addr, &job_field(&third.body, "id"), "completed");
+    server.shutdown();
+}
+
+#[test]
+fn resume_from_checkpoint_matches_the_uninterrupted_fingerprint() {
+    let (server, addr, data_dir) = start("resume", |c| {
+        c.concurrency = 1;
+        c.step_shards = 1;
+        c.pace = Duration::from_millis(120);
+    });
+    let body = job_body(
+        ", \"checkpoint\": \"resume-me.dhfl\", \"checkpoint_every\": 1, \
+         \"checkpoint_mode\": \"sync\", \"keep\": 3",
+    );
+
+    // Kill the first attempt mid-run, after at least one checkpoint.
+    let first = submit(addr, &body);
+    let first_id = job_field(&first.body, "id");
+    wait_for("a checkpointed shard", Duration::from_secs(30), || {
+        let r = request(addr, "GET", &format!("/jobs/{first_id}"), None).ok()?;
+        let done: u64 = job_field(&r.body, "shards_done").parse().ok()?;
+        (done >= 2).then_some(())
+    });
+    let _ = request(addr, "DELETE", &format!("/jobs/{first_id}"), None).unwrap();
+    let killed = wait_status(addr, &first_id, "cancelled");
+    let done_at_kill: u64 = job_field(&killed, "shards_done").parse().unwrap();
+    assert!(
+        done_at_kill < 8,
+        "the job finished before it could be killed; raise the pace"
+    );
+    assert!(data_dir.join("resume-me.dhfl").exists());
+
+    // Resubmit the identical body: the daemon resumes from disk...
+    let second = submit(addr, &body);
+    let second_id = job_field(&second.body, "id");
+    let frames = sse(addr, &format!("/jobs/{second_id}/events")).unwrap();
+    let started = &frames.first().expect("started frame").1;
+    let resumed_from: u64 = job_field(started, "resumed_from").parse().unwrap();
+    assert!(resumed_from > 0, "second attempt did not resume: {started}");
+    assert_eq!(frames.last().unwrap().0, "completed");
+
+    // ...and the stitched run's report is byte-identical to an
+    // uninterrupted in-process run of the same config.
+    let expected = run_fleet(&test_config()).unwrap().fingerprint();
+    assert_eq!(
+        job_field(&frames.last().unwrap().1, "fingerprint"),
+        format!("{expected:#018x}"),
+    );
+    server.shutdown();
+}
+
+#[test]
+fn injected_shard_kills_degrade_the_job_not_the_daemon() {
+    let (server, addr, _) = start("chaos", |c| c.step_shards = 4);
+    // kill-shard=1 makes one shard panic on every attempt: it must end
+    // quarantined while the other 7 shards complete.
+    let accepted = submit(
+        addr,
+        &job_body(", \"inject\": \"kill-shard=1\", \"retry\": 2, \"inject_seed\": 99"),
+    );
+    assert_eq!(accepted.status, 202);
+    let id = job_field(&accepted.body, "id");
+    let frames = sse(addr, &format!("/jobs/{id}/events")).unwrap();
+    let (last_event, last_data) = frames.last().unwrap();
+    assert_eq!(last_event, "completed", "frames: {frames:?}");
+    assert_eq!(job_field(last_data, "degraded"), "true");
+    assert_eq!(job_field(last_data, "quarantined_shards"), "1");
+    assert_eq!(job_field(last_data, "devices"), "224");
+
+    // The daemon shrugged it off: health is green and a clean job still
+    // produces the engine's exact fingerprint.
+    assert_eq!(request(addr, "GET", "/healthz", None).unwrap().status, 200);
+    let clean = submit(addr, &job_body(""));
+    let clean_done = wait_status(addr, &job_field(&clean.body, "id"), "completed");
+    let expected = run_fleet(&test_config()).unwrap().fingerprint();
+    assert_eq!(
+        job_field(&clean_done, "fingerprint"),
+        format!("{expected:#018x}"),
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_daemon() {
+    let (server, addr, _) = start("shutdown", |_| {});
+    let r = request(addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(r.status, 200);
+    server.wait_for_shutdown();
+    server.shutdown();
+    // New submissions are refused once the registry is gone; the socket
+    // may or may not still accept before the listener thread exits, so
+    // the strong assertion is just that wait_for_shutdown returned.
+}

@@ -109,6 +109,13 @@ proptest! {
                 stats.min <= est && est <= stats.max,
                 "p{} estimate {} outside [{}, {}]", q * 100.0, est, stats.min, stats.max
             );
+            if values.len() <= 5 {
+                prop_assert!(
+                    est == exact,
+                    "p{} estimate {} must be the exact order statistic {} for n={}",
+                    q * 100.0, est, exact, values.len()
+                );
+            }
             if values.len() >= 50 {
                 prop_assert!(
                     (est - exact).abs() < 0.25,
