@@ -18,6 +18,16 @@
 //! and retried, poisoned kernel outputs are rejected, corrupted
 //! checkpoints fall back to the newest valid generation, and the run
 //! finishes with a degraded report instead of aborting.
+//!
+//! `--scenario` switches to the `dh-scenario` engine instead: the named
+//! (or file-loaded) scenario pack is integrated end to end, with the
+//! same kill/resume contract through `--checkpoint`:
+//!
+//! ```text
+//! fleet --list-scenarios
+//! fleet --scenario sram-decoder
+//! fleet --scenario ./my-pack.json --checkpoint /tmp/run.dhsp
+//! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -29,6 +39,7 @@ use deep_healing::fleet::{
 };
 use dh_bench::banner;
 use dh_exec::RetryPolicy;
+use dh_scenario::{ScenarioRegistry, ScenarioRun};
 
 const USAGE: &str = "\
 usage: fleet [flags]
@@ -50,6 +61,10 @@ usage: fleet [flags]
   --inject-seed N       fault-stream seed                (default: --seed)
   --retry N             attempts per shard before quarantine (default 3)
   --keep N              checkpoint generations retained  (default 3)
+  --scenario NAME|PATH  run a dh-scenario pack instead of a fleet config
+  --scenario-dir DIR    extra pack files (*.json) joining the registry
+  --epochs N            override the pack's epoch count (scenario mode)
+  --list-scenarios      print the scenario registry and exit
 ";
 
 struct Args {
@@ -63,6 +78,10 @@ struct Args {
     inject_seed: Option<u64>,
     retry: u32,
     keep: usize,
+    scenario: Option<String>,
+    scenario_dir: Option<std::path::PathBuf>,
+    epochs: Option<u64>,
+    list_scenarios: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,11 +98,19 @@ fn parse_args() -> Result<Args, String> {
     let mut inject_seed = None;
     let mut retry = 3;
     let mut keep = 3;
+    let mut scenario = None;
+    let mut scenario_dir = None;
+    let mut epochs = None;
+    let mut list_scenarios = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(String::new());
+        }
+        if flag == "--list-scenarios" {
+            list_scenarios = true;
+            continue;
         }
         let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
         let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
@@ -124,6 +151,9 @@ fn parse_args() -> Result<Args, String> {
             "--inject-seed" => inject_seed = Some(value.parse().map_err(|e| bad(&e))?),
             "--retry" => retry = value.parse().map_err(|e| bad(&e))?,
             "--keep" => keep = value.parse().map_err(|e| bad(&e))?,
+            "--scenario" => scenario = Some(value),
+            "--scenario-dir" => scenario_dir = Some(value.into()),
+            "--epochs" => epochs = Some(value.parse().map_err(|e| bad(&e))?),
             _ => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -138,7 +168,129 @@ fn parse_args() -> Result<Args, String> {
         inject_seed,
         retry,
         keep,
+        scenario,
+        scenario_dir,
+        epochs,
+        list_scenarios,
     })
+}
+
+/// Builds the registry the `--scenario*` flags ask for.
+fn scenario_registry(args: &Args) -> Result<ScenarioRegistry, dh_scenario::ScenarioError> {
+    match &args.scenario_dir {
+        Some(dir) => ScenarioRegistry::with_dir(dir),
+        None => Ok(ScenarioRegistry::builtin()),
+    }
+}
+
+/// The `--list-scenarios` table.
+fn list_scenarios(args: &Args) -> ExitCode {
+    let registry = match scenario_registry(args) {
+        Ok(reg) => reg,
+        Err(why) => {
+            eprintln!("error: {why}");
+            return ExitCode::from(2);
+        }
+    };
+    banner("Scenario registry");
+    for entry in registry.entries() {
+        let p = &entry.pack;
+        println!(
+            "{:<20} [{:<9}] {} epochs, {} elements in {} group(s)\n    {}",
+            p.name,
+            entry.source.name(),
+            p.epochs,
+            p.total_elements(),
+            p.blocks.len(),
+            p.description,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--scenario` run path: resolve, maybe resume, integrate in
+/// checkpoint-sized batches, report.
+fn run_scenario(args: &Args, arg: &str) -> ExitCode {
+    let pack = match scenario_registry(args).and_then(|reg| reg.resolve(arg)) {
+        Ok(mut pack) => {
+            if let Some(epochs) = args.epochs {
+                pack.epochs = epochs;
+            }
+            match pack.validate() {
+                Ok(()) => pack,
+                Err(why) => {
+                    eprintln!("error: {why}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Err(why) => {
+            eprintln!("error: {why}");
+            return ExitCode::from(2);
+        }
+    };
+
+    banner("Scenario run");
+    println!(
+        "scenario {:?} (pack fingerprint {:#018x}): {} elements in {} group(s), \
+         {} epochs of {} h, maintenance {} every {} epoch(s)\n",
+        pack.name,
+        pack.fingerprint(),
+        pack.total_elements(),
+        pack.blocks.len(),
+        pack.epochs,
+        pack.epoch_hours,
+        pack.maintenance.policy.name(),
+        pack.maintenance.interval_epochs,
+    );
+
+    let resume = args.checkpoint.as_ref().filter(|p| p.exists());
+    let mut run = match resume {
+        Some(path) => match ScenarioRun::resume_from(pack, path) {
+            Ok(run) => {
+                let p = run.progress();
+                println!(
+                    "resumed from {} at epoch {}/{}, shard {}/{}\n",
+                    path.display(),
+                    p.epoch,
+                    p.total_epochs,
+                    p.shard_cursor,
+                    p.shards
+                );
+                run
+            }
+            Err(why) => {
+                eprintln!("error: {why}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ScenarioRun::new(pack),
+    };
+
+    let started = Instant::now();
+    let batch = args.checkpoint_every.max(1) as usize;
+    while !run.progress().done {
+        run.step(batch);
+        if let Some(path) = &args.checkpoint {
+            if let Err(why) = run.save_checkpoint(path) {
+                eprintln!("error: {why}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let report = run.report();
+    println!("{}", report.render());
+    println!(
+        "\nwall time: {:.2} s ({:.0} element-epochs/s this invocation)",
+        elapsed,
+        (run.pack().total_elements() * run.pack().epochs) as f64 / elapsed.max(1e-9)
+    );
+    if dh_obs::ENABLED {
+        println!("\nmetrics:\n{}", dh_obs::snapshot().to_json());
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -155,6 +307,13 @@ fn main() -> ExitCode {
     match args.threads {
         Some(0) | None => dh_exec::set_max_threads(None),
         Some(n) => dh_exec::set_max_threads(Some(n)),
+    }
+
+    if args.list_scenarios {
+        return list_scenarios(&args);
+    }
+    if let Some(arg) = args.scenario.clone() {
+        return run_scenario(&args, &arg);
     }
 
     let mut config = args.config;

@@ -2,7 +2,7 @@
 //!
 //! Measures the optimized engine against its in-tree baselines **in the
 //! same run** (same binary, same machine, same optimization flags) and
-//! writes the results to `BENCH_pr8.json` in the workspace root
+//! writes the results to `BENCH_pr9.json` in the workspace root
 //! (`BENCH_pr1.json`–`BENCH_pr7.json` are kept as history). The headline
 //! metric for the fleet rows is **device·epochs per second**.
 //!
@@ -46,6 +46,10 @@
 //!   HTTP clients over real sockets — sustained jobs/sec and the p99
 //!   submit→first-event latency, with every job's fingerprint checked
 //!   against a direct in-process engine run of the same config.
+//! * Scenario pack row: the built-in SRAM-decoder pack integrated
+//!   element by element through the scalar `WearModel` reference vs the
+//!   sharded columnar scenario engine (element·epochs/s, mean ΔVth
+//!   agreement ≤1e-9 mV, run fingerprint recorded).
 //!
 //! With `--obs` (and the `obs` feature compiled in), the snapshot also
 //! embeds the full `dh-obs` metrics registry under a `"metrics"` key.
@@ -602,6 +606,7 @@ fn main() {
         step_shards: 8,
         pace: std::time::Duration::ZERO,
         data_dir: serve_dir.clone(),
+        scenario_dir: None,
     })
     .expect("start dh-serve");
     let serve_addr = server.local_addr();
@@ -669,9 +674,74 @@ fn main() {
         ),
     });
 
+    // --- Scenario pack: scalar WearModel reference vs columnar engine --------
+    // The built-in SRAM-decoder pack, integrated twice: element by
+    // element through the scalar `WearModel` reference units, and
+    // through the sharded columnar engine. The two are the same math by
+    // the crate's proptest contract; the row records what the batched
+    // path buys at pack scale (metric: element-epochs/s).
+    let scenario_pack = dh_scenario::ScenarioRegistry::builtin()
+        .get("sram-decoder")
+        .expect("builtin pack")
+        .pack
+        .clone();
+    let scenario_work = scenario_pack.total_elements() * scenario_pack.epochs;
+    let (scalar_s, scalar_mean) = timed(|| {
+        let mut sum = 0.0f64;
+        for (gi, block) in scenario_pack.blocks.iter().enumerate() {
+            let g = scenario_pack.group_ctx(gi);
+            let stress = g.stress_condition();
+            let (passive, active) = g.recovery_conditions();
+            let dh_scenario::BlockModel::SramDecoder { skew } = &block.model else {
+                panic!("sram-decoder pack grew a non-SRAM group");
+            };
+            for rank in 0..block.count {
+                let mut unit = dh_scenario::SramDecoder::from_group(g, *skew, rank);
+                for e in 1..=scenario_pack.epochs {
+                    let ctx = scenario_pack.epoch_ctx(e);
+                    let rec = if ctx.active_recovery { active } else { passive };
+                    unit.run_epoch(ctx, stress, rec);
+                }
+                sum += dh_bti::WearModel::delta_vth_mv(&unit);
+            }
+        }
+        sum / scenario_pack.total_elements() as f64
+    });
+    let (columnar_s, scenario_report) = timed(|| dh_scenario::run_pack(scenario_pack.clone()));
+    let columnar_mean = {
+        let total: f64 = scenario_report
+            .groups
+            .iter()
+            .map(|g| g.mean_metric_mv * g.count as f64)
+            .sum();
+        total / scenario_pack.total_elements() as f64
+    };
+    assert!(
+        (scalar_mean - columnar_mean).abs() <= 1e-9,
+        "scenario engine drifted from the scalar reference: {scalar_mean} vs {columnar_mean}"
+    );
+    rows.push(Row {
+        name: "scenario_pack",
+        baseline_s: scalar_s,
+        optimized_s: columnar_s,
+        note: format!(
+            "built-in {} pack ({} elements x {} epochs): scalar WearModel \
+             reference vs sharded columnar engine; {:.2e} vs {:.2e} \
+             element-epochs/s; mean dVth agrees to <=1e-9 mV ({:.3} mV), run \
+             fingerprint {:#018x}",
+            scenario_report.scenario,
+            scenario_pack.total_elements(),
+            scenario_pack.epochs,
+            scenario_work as f64 / scalar_s.max(1e-12),
+            scenario_work as f64 / columnar_s.max(1e-12),
+            columnar_mean,
+            scenario_report.fingerprint,
+        ),
+    });
+
     // --- Report -------------------------------------------------------------
     let embed_metrics = want_obs && dh_obs::ENABLED;
-    let mut json = String::from("{\n  \"pr\": 8,\n  \"threads\": ");
+    let mut json = String::from("{\n  \"pr\": 9,\n  \"threads\": ");
     json.push_str(&default_threads.to_string());
     json.push_str(",\n  \"host_cores\": ");
     json.push_str(&host_cores.to_string());
@@ -696,8 +766,8 @@ fn main() {
     }
     json.push_str("}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
-    std::fs::write(path, &json).expect("write BENCH_pr8.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+    std::fs::write(path, &json).expect("write BENCH_pr9.json");
 
     for row in &rows {
         println!(

@@ -1,11 +1,19 @@
 //! A minimal JSON value, parser, and string escaper.
 //!
 //! The build vendors no serde (and no registry access to get one), so
-//! the daemon parses its request bodies with the same philosophy as the
-//! DHFL checkpoint format: a few dozen explicit lines instead of a
-//! dependency. The parser is strict — trailing garbage, duplicate-free
-//! object handling, and a recursion cap are all enforced — because every
-//! byte it accepts comes off a network socket.
+//! both the `dh-serve` daemon and the `dh-scenario` pack loader parse
+//! their documents with the same philosophy as the DHFL checkpoint
+//! format: a few dozen explicit lines instead of a dependency. The
+//! parser is strict — trailing garbage, duplicate-free object handling,
+//! and a recursion cap are all enforced — because every byte it accepts
+//! comes off a network socket or an operator-supplied file.
+//!
+//! This lived inside `crates/serve` until the scenario registry needed
+//! it without dragging in the HTTP daemon; `serve::json` remains as a
+//! re-export, so daemon-side call sites are unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Write as _;
 

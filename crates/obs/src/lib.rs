@@ -147,6 +147,10 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Free-form identity labels by name (who/what this process is
+    /// currently measuring — e.g. the running scenario pack), set via
+    /// [`label`]. Last write per name wins.
+    pub labels: BTreeMap<String, String>,
 }
 
 impl Snapshot {
@@ -173,9 +177,16 @@ impl Snapshot {
             .sum()
     }
 
+    /// The label `name`, if set.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels.get(name).map(String::as_str)
+    }
+
     /// Renders the snapshot as a deterministic JSON object:
     /// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
-    /// mean, p50, p99, buckets: [[upper, count], ...]}, ...}}`.
+    /// mean, p50, p99, buckets: [[upper, count], ...]}, ...},
+    /// "labels": {...}}`.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\": {");
@@ -209,9 +220,34 @@ impl Snapshot {
             }
             out.push_str("]}");
         }
+        out.push_str("}, \"labels\": {");
+        for (i, (name, value)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": \"{}\"", json_escape(value)));
+        }
         out.push_str("}}");
         out
     }
+}
+
+/// Minimal JSON string escaping for label values (metric names follow
+/// the dotted-lowercase convention and never need it).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A finite-f64-or-null JSON scalar (JSON has no Infinity/NaN).
@@ -285,6 +321,7 @@ mod live {
     struct Registry {
         counters: BTreeMap<String, &'static CounterInner>,
         histograms: BTreeMap<String, &'static HistogramInner>,
+        labels: BTreeMap<String, String>,
     }
 
     fn registry() -> &'static Mutex<Registry> {
@@ -400,6 +437,10 @@ mod live {
         Span::new(name)
     }
 
+    pub fn label(name: &str, value: &str) {
+        lock().labels.insert(name.to_string(), value.to_string());
+    }
+
     pub fn snapshot() -> Snapshot {
         let reg = lock();
         let counters = reg
@@ -436,17 +477,19 @@ mod live {
         Snapshot {
             counters,
             histograms,
+            labels: reg.labels.clone(),
         }
     }
 
     pub fn reset() {
-        let reg = lock();
+        let mut reg = lock();
         for c in reg.counters.values() {
             c.value.store(0, Ordering::Relaxed);
         }
         for h in reg.histograms.values() {
             h.reset();
         }
+        reg.labels.clear();
     }
 }
 
@@ -511,6 +554,9 @@ mod live {
     }
 
     #[inline(always)]
+    pub fn label(_name: &str, _value: &str) {}
+
+    #[inline(always)]
     pub fn snapshot() -> Snapshot {
         Snapshot::default()
     }
@@ -541,6 +587,14 @@ pub fn histogram(name: &str) -> Histogram {
 #[inline]
 pub fn span(name: &str) -> Span {
     live::span(name)
+}
+
+/// Sets (or overwrites) the identity label `name` for subsequent
+/// snapshots — e.g. `label("scenario", "sram-decoder")` so SSE progress
+/// frames identify the pack being integrated. No-op when disabled.
+#[inline]
+pub fn label(name: &str, value: &str) {
+    live::label(name, value)
 }
 
 /// Copies every registered metric out of the registry. Empty when the
@@ -690,17 +744,39 @@ mod tests {
         assert_eq!(c.get(), 0);
         histogram("obs.test.noop_h").record(1.0);
         let _noop = span("obs.test.noop_seconds");
+        label("scenario", "noop");
         let snap = snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.histograms.is_empty());
+        assert!(snap.labels.is_empty());
         assert_eq!(snap.counter("anything"), 0);
-        assert_eq!(snap.to_json(), "{\"counters\": {}, \"histograms\": {}}");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\": {}, \"histograms\": {}, \"labels\": {}}"
+        );
     }
 
     #[test]
     fn snapshot_json_is_valid_shape_when_empty() {
         let snap = Snapshot::default();
-        assert_eq!(snap.to_json(), "{\"counters\": {}, \"histograms\": {}}");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\": {}, \"histograms\": {}, \"labels\": {}}"
+        );
+    }
+
+    #[test]
+    fn label_json_is_escaped() {
+        let mut snap = Snapshot::default();
+        snap.labels
+            .insert("scenario".into(), "a\"b\\c\nd".to_string());
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\": {}, \"histograms\": {}, \
+             \"labels\": {\"scenario\": \"a\\\"b\\\\c\\nd\"}}"
+        );
+        assert_eq!(snap.label("scenario"), Some("a\"b\\c\nd"));
+        assert_eq!(snap.label("missing"), None);
     }
 
     #[test]
@@ -785,6 +861,15 @@ mod tests {
             assert!(counter("obs.test.macro_counter").get() >= 2);
             histogram!("obs.test.macro_hist").record(2.0);
             assert!(histogram("obs.test.macro_hist").count() >= 1);
+        }
+
+        #[test]
+        fn labels_snapshot_with_last_write_winning() {
+            label("obs.test.label", "one");
+            label("obs.test.label", "two");
+            let snap = snapshot();
+            assert_eq!(snap.label("obs.test.label"), Some("two"));
+            assert!(snap.to_json().contains("\"obs.test.label\": \"two\""));
         }
 
         #[test]

@@ -1,0 +1,45 @@
+//! `dh-scenario`: data-driven wearout scenarios.
+//!
+//! The earlier crates model one device ([`dh_bti`]) and one synthetic
+//! fleet (`dh-fleet`); this crate closes the loop with the paper's
+//! *victim circuits*: what actually wears out in a deployed design, and
+//! what the recovery knobs buy for each. It ships three victim models —
+//!
+//! * [`SramDecoder`] — SRAM row decoders aging under the inverse of the
+//!   address-access histogram, healed by idle-row inversion;
+//! * [`WeightMemory`] — DNN weight banks aging under the stored weight
+//!   distribution (DNN-Life style), healed by periodic weight
+//!   inversion; and
+//! * [`AgedMultiplier`] — multiplier critical paths slowing down with
+//!   NBTI ΔVth across process corners, healed by power gating —
+//!
+//! each as a scalar [`dh_bti::WearModel`] reference plus a columnar
+//! store with a [`dh_simd::dispatch!`]-compiled epoch kernel.
+//!
+//! Experiments are described by **scenario packs**: JSON documents
+//! ([`ScenarioPack`]) naming the block mix, workload trace, maintenance
+//! policy, and epoch grid. A [`ScenarioRegistry`] serves three built-in
+//! packs and any `--scenario-dir` overrides; [`ScenarioRun`] integrates
+//! a pack deterministically (bit-identical at any thread count),
+//! checkpoints mid-run, and reports a fingerprint CI can pin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod models;
+mod pack;
+mod registry;
+mod run;
+mod wire;
+
+pub use error::ScenarioError;
+pub use models::{
+    AgedMultiplier, EpochCtx, GroupCtx, MultiplierStore, SramDecoder, SramStore, WeightMemory,
+    WeightStore,
+};
+pub use pack::{
+    BlockGroup, BlockModel, Corner, Maintenance, MaintenancePolicy, ScenarioPack, Workload,
+};
+pub use registry::{load_pack_file, PackSource, RegisteredPack, ScenarioRegistry};
+pub use run::{run_pack, GroupReport, Progress, ScenarioReport, ScenarioRun};

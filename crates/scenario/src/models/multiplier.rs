@@ -1,0 +1,383 @@
+//! Aged-multiplier critical-path model: NBTI ΔVth accumulated on the
+//! partial-product tree translated into delay slowdown, across
+//! per-chip process-variation corners.
+//!
+//! Each element is one multiplier instance on one chip. The pack names
+//! a set of process corners (`slow`/`typical`/`fast`, arbitrary names);
+//! instances are assigned to corners by a weighted deterministic hash,
+//! and each corner scales both the fresh critical-path delay and the
+//! aging rates. The delivered delay is
+//! `d0 · (1 + DELAY_PER_MV · ΔVth)`, the usual first-order
+//! delay-per-millivolt linearization. Maintenance options are power
+//! gating (duty to zero) and operand inversion, which alternates the
+//! stressed device of each complementary pair and so halves the
+//! effective per-device duty.
+
+use dh_bti::{RecoveryCondition, StressCondition, WearModel};
+use dh_units::Seconds;
+
+use super::{
+    clamp01, note_failure, recovery_rate_per_hour, recovery_step, stress_rate_per_hour,
+    stress_step, EpochCtx, GroupCtx, DELAY_PER_MV,
+};
+use crate::pack::Corner;
+
+/// Per-instance duty jitter band around the epoch activity: an
+/// instance's utilization is `activity · (1 ± DUTY_JITTER/2)`.
+const DUTY_JITTER: f64 = 0.3;
+
+/// The corner index instance `rank` lands in: a weighted draw from the
+/// group's deterministic hash stream.
+pub(crate) fn corner_of(ctx: GroupCtx, corners: &[Corner], rank: u64) -> usize {
+    let total: f64 = corners.iter().map(|c| c.weight).sum();
+    let mut target = ctx.draw("corner", rank) * total;
+    for (i, c) in corners.iter().enumerate() {
+        target -= c.weight;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    corners.len() - 1
+}
+
+/// The per-instance utilization scale of `rank` (applied to the epoch
+/// activity).
+#[inline(always)]
+pub(crate) fn duty_scale(ctx: GroupCtx, rank: u64) -> f64 {
+    1.0 + DUTY_JITTER * (ctx.draw("duty", rank) - 0.5)
+}
+
+/// The effective stressed duty of an instance in one epoch.
+#[inline(always)]
+fn effective_duty(scale: f64, ctx: EpochCtx) -> f64 {
+    if ctx.gated {
+        return 0.0;
+    }
+    let duty = clamp01(scale * ctx.activity);
+    if ctx.inverted {
+        duty * 0.5
+    } else {
+        duty
+    }
+}
+
+/// Scalar reference unit: one multiplier instance as a [`WearModel`].
+#[derive(Debug, Clone)]
+pub struct AgedMultiplier {
+    /// Utilization scale on the epoch activity.
+    pub duty_scale: f64,
+    /// Combined rate multiplier: process variation × corner rate scale.
+    pub variation: f64,
+    /// Fresh critical-path delay at this instance's corner, ps.
+    pub fresh_delay_ps: f64,
+    r: f64,
+    p: f64,
+}
+
+impl AgedMultiplier {
+    /// A fresh instance.
+    pub fn new(duty_scale: f64, variation: f64, fresh_delay_ps: f64) -> Self {
+        Self {
+            duty_scale,
+            variation,
+            fresh_delay_ps,
+            r: 0.0,
+            p: 0.0,
+        }
+    }
+
+    /// The instance the store would build at `(ctx, rank)` — the
+    /// reference path for the columnar proptests.
+    pub fn from_group(ctx: GroupCtx, base_delay_ps: f64, corners: &[Corner], rank: u64) -> Self {
+        let corner = &corners[corner_of(ctx, corners, rank)];
+        Self::new(
+            duty_scale(ctx, rank),
+            ctx.variation(rank) * corner.rate_scale,
+            base_delay_ps * corner.delay_scale,
+        )
+    }
+
+    /// The delivered critical-path delay after aging, ps.
+    pub fn delay_ps(&self) -> f64 {
+        self.fresh_delay_ps * (1.0 + DELAY_PER_MV * (self.r + self.p))
+    }
+
+    /// Integrates one scenario epoch through the [`WearModel`] calls.
+    pub fn run_epoch(
+        &mut self,
+        ctx: EpochCtx,
+        stress: StressCondition,
+        recovery: RecoveryCondition,
+    ) {
+        let duty = effective_duty(self.duty_scale, ctx);
+        self.stress(Seconds::from_hours(ctx.epoch_hours * duty), stress);
+        self.recover(
+            Seconds::from_hours(ctx.epoch_hours * (1.0 - duty)),
+            recovery,
+        );
+    }
+}
+
+impl WearModel for AgedMultiplier {
+    fn stress(&mut self, dt: Seconds, cond: StressCondition) {
+        let rate = stress_rate_per_hour(cond.gate_voltage.value(), cond.temperature.value())
+            * self.variation;
+        (self.r, self.p) = stress_step(self.r, self.p, rate, dt.as_hours());
+    }
+
+    fn recover(&mut self, dt: Seconds, cond: RecoveryCondition) {
+        let rate = recovery_rate_per_hour(cond.reverse_bias().value(), cond.temperature.value())
+            * self.variation;
+        self.r = recovery_step(self.r, rate, dt.as_hours());
+    }
+
+    fn delta_vth_mv(&self) -> f64 {
+        self.r + self.p
+    }
+
+    fn permanent_mv(&self) -> f64 {
+        self.p
+    }
+}
+
+dh_simd::dispatch! {
+    /// One epoch over a shard of multiplier instances — the columnar
+    /// twin of [`AgedMultiplier::run_epoch`].
+    #[allow(clippy::too_many_arguments)]
+    fn multiplier_epoch_kernel(
+        duty_scale: &[f64],
+        rate_s: &[f64],
+        rate_r: &[f64],
+        rate_ra: &[f64],
+        r: &mut [f64],
+        p: &mut [f64],
+        failed: &mut [u64],
+        ctx: EpochCtx,
+    ) {
+        let rates_r = if ctx.active_recovery { rate_ra } else { rate_r };
+        for i in 0..r.len() {
+            let duty = effective_duty(duty_scale[i], ctx);
+            let (nr, np) = stress_step(r[i], p[i], rate_s[i], ctx.epoch_hours * duty);
+            let nr = recovery_step(nr, rates_r[i], ctx.epoch_hours * (1.0 - duty));
+            r[i] = nr;
+            p[i] = np;
+            note_failure(&mut failed[i], nr + np, ctx);
+        }
+    }
+}
+
+/// Columnar state for a shard of multiplier instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiplierStore {
+    duty_scale: Vec<f64>,
+    rate_s: Vec<f64>,
+    rate_r: Vec<f64>,
+    rate_ra: Vec<f64>,
+    fresh_delay_ps: Vec<f64>,
+    r: Vec<f64>,
+    p: Vec<f64>,
+    failed: Vec<u64>,
+}
+
+impl MultiplierStore {
+    /// Builds the shard covering instances `lo .. lo + len` of a group.
+    pub fn build(
+        ctx: GroupCtx,
+        base_delay_ps: f64,
+        corners: &[Corner],
+        lo: u64,
+        len: usize,
+    ) -> Self {
+        let mut store = Self {
+            duty_scale: Vec::with_capacity(len),
+            rate_s: Vec::with_capacity(len),
+            rate_r: Vec::with_capacity(len),
+            rate_ra: Vec::with_capacity(len),
+            fresh_delay_ps: Vec::with_capacity(len),
+            r: vec![0.0; len],
+            p: vec![0.0; len],
+            failed: vec![0; len],
+        };
+        for k in 0..len as u64 {
+            let rank = lo + k;
+            let corner = &corners[corner_of(ctx, corners, rank)];
+            let variation = ctx.variation(rank) * corner.rate_scale;
+            store.duty_scale.push(duty_scale(ctx, rank));
+            store
+                .rate_s
+                .push(stress_rate_per_hour(ctx.vdd_v, ctx.temperature_k) * variation);
+            store
+                .rate_r
+                .push(recovery_rate_per_hour(0.0, ctx.temperature_k) * variation);
+            store.rate_ra.push(
+                recovery_rate_per_hour(ctx.maintenance_bias_v, ctx.temperature_k) * variation,
+            );
+            store
+                .fresh_delay_ps
+                .push(base_delay_ps * corner.delay_scale);
+        }
+        store
+    }
+
+    /// Elements in the shard.
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// Advances every instance by one epoch.
+    pub fn step_epoch(&mut self, ctx: EpochCtx) {
+        multiplier_epoch_kernel(
+            &self.duty_scale,
+            &self.rate_s,
+            &self.rate_r,
+            &self.rate_ra,
+            &mut self.r,
+            &mut self.p,
+            &mut self.failed,
+            ctx,
+        );
+    }
+
+    /// The failure-relevant metric of instance `i`: |ΔVth| in mV.
+    pub fn metric(&self, i: usize) -> f64 {
+        self.r[i] + self.p[i]
+    }
+
+    /// The delivered critical-path delay of instance `i`, ps.
+    pub fn delay_ps(&self, i: usize) -> f64 {
+        self.fresh_delay_ps[i] * (1.0 + DELAY_PER_MV * self.metric(i))
+    }
+
+    /// 1-based epoch instance `i` first crossed the threshold (0 = alive).
+    pub fn failed_epoch(&self, i: usize) -> u64 {
+        self.failed[i]
+    }
+
+    pub(crate) fn state_columns(&self) -> (&[f64], &[f64], &[u64]) {
+        (&self.r, &self.p, &self.failed)
+    }
+
+    pub(crate) fn state_columns_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [u64]) {
+        (&mut self.r, &mut self.p, &mut self.failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corners() -> Vec<Corner> {
+        vec![
+            Corner {
+                name: "slow".into(),
+                weight: 0.2,
+                delay_scale: 1.15,
+                rate_scale: 1.3,
+            },
+            Corner {
+                name: "typical".into(),
+                weight: 0.6,
+                delay_scale: 1.0,
+                rate_scale: 1.0,
+            },
+            Corner {
+                name: "fast".into(),
+                weight: 0.2,
+                delay_scale: 0.9,
+                rate_scale: 0.8,
+            },
+        ]
+    }
+
+    fn group() -> GroupCtx {
+        GroupCtx {
+            seed: 19,
+            group_index: 0,
+            vdd_v: 1.0,
+            temperature_k: 368.15,
+            variability: 0.05,
+            maintenance_bias_v: 0.3,
+        }
+    }
+
+    #[test]
+    fn corner_assignment_tracks_weights() {
+        let g = group();
+        let cs = corners();
+        let mut counts = [0usize; 3];
+        for rank in 0..10_000 {
+            counts[corner_of(g, &cs, rank)] += 1;
+        }
+        assert!(
+            (counts[0] as f64 / 10_000.0 - 0.2).abs() < 0.02,
+            "{counts:?}"
+        );
+        assert!(
+            (counts[1] as f64 / 10_000.0 - 0.6).abs() < 0.02,
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn aging_slows_the_delivered_delay() {
+        let g = group();
+        let mut store = MultiplierStore::build(g, 800.0, &corners(), 0, 32);
+        let fresh: Vec<f64> = (0..32).map(|i| store.delay_ps(i)).collect();
+        for e in 1..=36 {
+            store.step_epoch(EpochCtx {
+                epoch_hours: 730.0,
+                activity: 0.8,
+                inverted: false,
+                gated: false,
+                active_recovery: false,
+                fail_threshold_mv: 80.0,
+                epoch: e,
+            });
+        }
+        for (i, &fresh_ps) in fresh.iter().enumerate() {
+            assert!(store.delay_ps(i) > fresh_ps);
+        }
+    }
+
+    #[test]
+    fn store_matches_the_wear_model_reference() {
+        let g = group();
+        let cs = corners();
+        let mut store = MultiplierStore::build(g, 650.0, &cs, 17, 29);
+        let stress = g.stress_condition();
+        let (passive, active) = g.recovery_conditions();
+        let mut units: Vec<AgedMultiplier> = (0..29)
+            .map(|k| AgedMultiplier::from_group(g, 650.0, &cs, 17 + k))
+            .collect();
+        for e in 1..=22 {
+            let ctx = EpochCtx {
+                epoch_hours: 650.0,
+                activity: 0.75,
+                inverted: e % 6 == 0,
+                gated: e == 11,
+                active_recovery: e % 6 == 0,
+                fail_threshold_mv: 70.0,
+                epoch: e,
+            };
+            store.step_epoch(ctx);
+            for unit in &mut units {
+                unit.run_epoch(
+                    ctx,
+                    stress,
+                    if ctx.active_recovery { active } else { passive },
+                );
+            }
+        }
+        for (i, unit) in units.iter().enumerate() {
+            let err = (store.metric(i) - unit.delta_vth_mv()).abs();
+            assert!(err <= 1e-12, "instance {i}: {err:e}");
+            let derr = (store.delay_ps(i) - unit.delay_ps()).abs();
+            assert!(derr <= 1e-9, "instance {i} delay: {derr:e}");
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The scenario engine: shards a pack's block mix into columnar
+//! stores, steps them epoch by epoch, and checkpoints the state.
+//!
+//! Determinism contract: every shard's epoch kernel touches only that
+//! shard's columns, the per-epoch context is computed once from the
+//! pack, and [`dh_exec::par_chunks_mut`] reassembles results in index
+//! order — so the run is bit-identical at any thread count, and the
+//! report fingerprint is a stable pin for CI. Checkpoints (`DHSP` v1)
+//! carry only the mutable state columns; the constant parameter columns
+//! are rebuilt from the pack, whose fingerprint the file embeds so a
+//! checkpoint cannot silently resume under a different scenario.
+
+use std::path::Path;
+
+use crate::error::ScenarioError;
+use crate::models::{EpochCtx, MultiplierStore, SramStore, WeightStore};
+use crate::pack::{BlockModel, ScenarioPack};
+use crate::wire::{fnv1a, fnv1a_u64, put_f64, put_u64, take_f64, take_u64, FNV_OFFSET};
+
+/// Checkpoint magic: "DHSP" (Deep-Healing Scenario Pack state).
+const MAGIC: &[u8; 4] = b"DHSP";
+/// Checkpoint format version.
+const VERSION: u64 = 1;
+
+/// One shard: a contiguous range of one block group's elements.
+#[derive(Debug, Clone)]
+struct Shard {
+    group: usize,
+    lo: u64,
+    store: Store,
+}
+
+/// The columnar store behind a shard, one variant per victim model.
+#[derive(Debug, Clone)]
+enum Store {
+    Sram(SramStore),
+    Weight(WeightStore),
+    Mult(MultiplierStore),
+}
+
+impl Store {
+    fn build(pack: &ScenarioPack, group: usize, lo: u64, len: usize) -> Self {
+        let ctx = pack.group_ctx(group);
+        match &pack.blocks[group].model {
+            BlockModel::SramDecoder { skew } => Self::Sram(SramStore::build(ctx, *skew, lo, len)),
+            BlockModel::WeightMemory => {
+                Self::Weight(WeightStore::build(ctx, &pack.workload.trace, lo, len))
+            }
+            BlockModel::AgedMultiplier {
+                base_delay_ps,
+                corners,
+            } => Self::Mult(MultiplierStore::build(
+                ctx,
+                *base_delay_ps,
+                corners,
+                lo,
+                len,
+            )),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Sram(s) => s.len(),
+            Self::Weight(s) => s.len(),
+            Self::Mult(s) => s.len(),
+        }
+    }
+
+    fn step_epoch(&mut self, ctx: EpochCtx) {
+        match self {
+            Self::Sram(s) => s.step_epoch(ctx),
+            Self::Weight(s) => s.step_epoch(ctx),
+            Self::Mult(s) => s.step_epoch(ctx),
+        }
+    }
+
+    fn metric(&self, i: usize) -> f64 {
+        match self {
+            Self::Sram(s) => s.metric(i),
+            Self::Weight(s) => s.metric(i),
+            Self::Mult(s) => s.metric(i),
+        }
+    }
+
+    fn failed_epoch(&self, i: usize) -> u64 {
+        match self {
+            Self::Sram(s) => s.failed_epoch(i),
+            Self::Weight(s) => s.failed_epoch(i),
+            Self::Mult(s) => s.failed_epoch(i),
+        }
+    }
+
+    /// The mutable state as `(f64 columns in fixed order, failed)`.
+    fn state(&self) -> (Vec<&[f64]>, &[u64]) {
+        match self {
+            Self::Sram(s) => {
+                let (r, p, f) = s.state_columns();
+                (vec![r, p], f)
+            }
+            Self::Weight(s) => {
+                let (cols, f) = s.state_columns();
+                (cols.to_vec(), f)
+            }
+            Self::Mult(s) => {
+                let (r, p, f) = s.state_columns();
+                (vec![r, p], f)
+            }
+        }
+    }
+
+    fn state_mut(&mut self) -> (Vec<&mut [f64]>, &mut [u64]) {
+        match self {
+            Self::Sram(s) => {
+                let (r, p, f) = s.state_columns_mut();
+                (vec![r, p], f)
+            }
+            Self::Weight(s) => {
+                let (cols, f) = s.state_columns_mut();
+                (cols.into_iter().map(|v| v.as_mut_slice()).collect(), f)
+            }
+            Self::Mult(s) => {
+                let (r, p, f) = s.state_columns_mut();
+                (vec![r, p], f)
+            }
+        }
+    }
+}
+
+/// Progress of a stepped run, returned by [`ScenarioRun::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Completed epochs.
+    pub epoch: u64,
+    /// Epochs the pack asks for.
+    pub total_epochs: u64,
+    /// Shards already stepped within the in-flight epoch.
+    pub shard_cursor: usize,
+    /// Total shards.
+    pub shards: usize,
+    /// Whether the run has integrated every epoch.
+    pub done: bool,
+}
+
+/// Per-group aggregate of a [`ScenarioReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupReport {
+    /// The block model's wire name.
+    pub model: String,
+    /// Elements in the group.
+    pub count: u64,
+    /// Elements at or past the failure threshold.
+    pub failed: u64,
+    /// Earliest 1-based failure epoch (0 when nothing failed).
+    pub first_fail_epoch: u64,
+    /// Mean of the failure metric, mV.
+    pub mean_metric_mv: f64,
+    /// Worst failure metric, mV.
+    pub max_metric_mv: f64,
+}
+
+/// The end-of-run (or mid-run) aggregate view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Pack name.
+    pub scenario: String,
+    /// Completed epochs.
+    pub epochs_run: u64,
+    /// Per-group aggregates, in pack order.
+    pub groups: Vec<GroupReport>,
+    /// Order-independent-of-threading state digest: pack fingerprint
+    /// folded with every state column bit, shard by shard.
+    pub fingerprint: u64,
+}
+
+impl ScenarioReport {
+    /// A human-readable multi-line summary (the CLI's output format).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario {:?}: {} epoch(s) integrated",
+            self.scenario, self.epochs_run
+        );
+        for (i, g) in self.groups.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  group {i} [{}]: {} elements, {} failed, \
+                 mean {:.3} mV, worst {:.3} mV",
+                g.model, g.count, g.failed, g.mean_metric_mv, g.max_metric_mv
+            );
+            if g.failed > 0 {
+                let _ = write!(out, ", first failure at epoch {}", g.first_fail_epoch);
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "report fingerprint: {:#018x}", self.fingerprint);
+        out
+    }
+}
+
+/// A running (or resumable) scenario: the pack plus all shard state.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    pack: ScenarioPack,
+    pack_fp: u64,
+    shards: Vec<Shard>,
+    epoch: u64,
+    shard_cursor: usize,
+}
+
+impl ScenarioRun {
+    /// Builds the fresh (epoch-0) run for a validated pack.
+    pub fn new(pack: ScenarioPack) -> Self {
+        let pack_fp = pack.fingerprint();
+        let mut shards = Vec::new();
+        for (group, block) in pack.blocks.iter().enumerate() {
+            let mut lo = 0u64;
+            while lo < block.count {
+                let len = (block.count - lo).min(pack.shard_size) as usize;
+                shards.push(Shard {
+                    group,
+                    lo,
+                    store: Store::build(&pack, group, lo, len),
+                });
+                lo += len as u64;
+            }
+        }
+        Self {
+            pack,
+            pack_fp,
+            shards,
+            epoch: 0,
+            shard_cursor: 0,
+        }
+    }
+
+    /// The pack this run integrates.
+    pub fn pack(&self) -> &ScenarioPack {
+        &self.pack
+    }
+
+    /// The pack fingerprint (checkpoint identity).
+    pub fn pack_fingerprint(&self) -> u64 {
+        self.pack_fp
+    }
+
+    /// Current progress.
+    pub fn progress(&self) -> Progress {
+        Progress {
+            epoch: self.epoch,
+            total_epochs: self.pack.epochs,
+            shard_cursor: self.shard_cursor,
+            shards: self.shards.len(),
+            done: self.epoch >= self.pack.epochs,
+        }
+    }
+
+    /// Steps up to `max_shards` shards of the in-flight epoch in
+    /// parallel (a no-op once done). Shard boundaries are safe
+    /// cancel/checkpoint points at any granularity.
+    pub fn step(&mut self, max_shards: usize) -> Progress {
+        if self.epoch >= self.pack.epochs {
+            return self.progress();
+        }
+        let ctx = self.pack.epoch_ctx(self.epoch + 1);
+        let hi = self
+            .shard_cursor
+            .saturating_add(max_shards.max(1))
+            .min(self.shards.len());
+        let batch = &mut self.shards[self.shard_cursor..hi];
+        dh_exec::par_chunks_mut(batch, 1, |_, chunk| {
+            for shard in chunk.iter_mut() {
+                shard.store.step_epoch(ctx);
+            }
+        });
+        dh_obs::counter!("scenario.shard_steps").add((hi - self.shard_cursor) as u64);
+        self.shard_cursor = hi;
+        if self.shard_cursor == self.shards.len() {
+            self.shard_cursor = 0;
+            self.epoch += 1;
+            dh_obs::counter!("scenario.epochs").incr();
+        }
+        self.progress()
+    }
+
+    /// Runs every remaining epoch to completion.
+    pub fn run_to_end(&mut self) {
+        while !self.progress().done {
+            self.step(usize::MAX);
+        }
+    }
+
+    /// Aggregates the current state into per-group reports plus the
+    /// run fingerprint. Serial scan: the fold order is the shard
+    /// order, independent of stepping parallelism.
+    pub fn report(&self) -> ScenarioReport {
+        let mut groups: Vec<GroupReport> = self
+            .pack
+            .blocks
+            .iter()
+            .map(|b| GroupReport {
+                model: b.model.name().to_string(),
+                count: b.count,
+                failed: 0,
+                first_fail_epoch: 0,
+                mean_metric_mv: 0.0,
+                max_metric_mv: 0.0,
+            })
+            .collect();
+        let mut fp = fnv1a_u64(FNV_OFFSET, self.pack_fp);
+        fp = fnv1a_u64(fp, self.epoch);
+        fp = fnv1a_u64(fp, self.shard_cursor as u64);
+        for shard in &self.shards {
+            let g = &mut groups[shard.group];
+            for i in 0..shard.store.len() {
+                let metric = shard.store.metric(i);
+                g.mean_metric_mv += metric;
+                g.max_metric_mv = g.max_metric_mv.max(metric);
+                let failed = shard.store.failed_epoch(i);
+                if failed != 0 {
+                    g.failed += 1;
+                    if g.first_fail_epoch == 0 || failed < g.first_fail_epoch {
+                        g.first_fail_epoch = failed;
+                    }
+                }
+            }
+            let (cols, failed) = shard.store.state();
+            for col in cols {
+                for &v in col {
+                    fp = fnv1a_u64(fp, v.to_bits());
+                }
+            }
+            for &v in failed {
+                fp = fnv1a_u64(fp, v);
+            }
+        }
+        for g in &mut groups {
+            if g.count > 0 {
+                g.mean_metric_mv /= g.count as f64;
+            }
+        }
+        ScenarioReport {
+            scenario: self.pack.name.clone(),
+            epochs_run: self.epoch,
+            groups,
+            fingerprint: fp,
+        }
+    }
+
+    // ------------------------------------------------------- checkpoints
+
+    /// Serializes the mutable state (`DHSP` v1) — constant columns are
+    /// rebuilt from the pack on resume.
+    pub fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u64(&mut buf, VERSION);
+        put_u64(&mut buf, self.pack_fp);
+        put_u64(&mut buf, self.epoch);
+        put_u64(&mut buf, self.shard_cursor as u64);
+        put_u64(&mut buf, self.shards.len() as u64);
+        for shard in &self.shards {
+            put_u64(&mut buf, shard.group as u64);
+            put_u64(&mut buf, shard.lo);
+            put_u64(&mut buf, shard.store.len() as u64);
+            let (cols, failed) = shard.store.state();
+            for col in cols {
+                for &v in col {
+                    put_f64(&mut buf, v);
+                }
+            }
+            for &v in failed {
+                put_u64(&mut buf, v);
+            }
+        }
+        let checksum = fnv1a(FNV_OFFSET, &buf);
+        put_u64(&mut buf, checksum);
+        buf
+    }
+
+    /// Rebuilds a run from a pack and checkpoint bytes, verifying the
+    /// checksum, the format version, and the pack fingerprint.
+    pub fn decode_checkpoint(pack: ScenarioPack, bytes: &[u8]) -> Result<Self, ScenarioError> {
+        if bytes.len() < MAGIC.len() + 8 || &bytes[..4] != MAGIC {
+            return Err(ScenarioError::Corrupt("bad magic".into()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let mut tail_view = tail;
+        let expect = take_u64(&mut tail_view, "checksum")?;
+        let actual = fnv1a(FNV_OFFSET, body);
+        if expect != actual {
+            return Err(ScenarioError::Corrupt(format!(
+                "checksum mismatch: stored {expect:#018x}, computed {actual:#018x}"
+            )));
+        }
+        let mut view = &body[4..];
+        let version = take_u64(&mut view, "version")?;
+        if version != VERSION {
+            return Err(ScenarioError::Corrupt(format!(
+                "unsupported version {version} (want {VERSION})"
+            )));
+        }
+        let pack_fp = take_u64(&mut view, "pack fingerprint")?;
+        let mut run = Self::new(pack);
+        if pack_fp != run.pack_fp {
+            return Err(ScenarioError::Mismatch(format!(
+                "checkpoint is for pack {pack_fp:#018x}, this pack is {:#018x}",
+                run.pack_fp
+            )));
+        }
+        run.epoch = take_u64(&mut view, "epoch")?;
+        run.shard_cursor = take_u64(&mut view, "shard cursor")? as usize;
+        let shard_count = take_u64(&mut view, "shard count")?;
+        if shard_count != run.shards.len() as u64 || run.shard_cursor > run.shards.len() {
+            return Err(ScenarioError::Corrupt(format!(
+                "layout mismatch: {shard_count} shards in file, {} from pack",
+                run.shards.len()
+            )));
+        }
+        for shard in &mut run.shards {
+            let group = take_u64(&mut view, "shard group")?;
+            let lo = take_u64(&mut view, "shard lo")?;
+            let len = take_u64(&mut view, "shard len")?;
+            if group != shard.group as u64 || lo != shard.lo || len != shard.store.len() as u64 {
+                return Err(ScenarioError::Corrupt(format!(
+                    "shard layout mismatch at group {group} lo {lo}"
+                )));
+            }
+            let (cols, failed) = shard.store.state_mut();
+            for col in cols {
+                for v in col.iter_mut() {
+                    *v = take_f64(&mut view, "state column")?;
+                }
+            }
+            for v in failed.iter_mut() {
+                *v = take_u64(&mut view, "failed column")?;
+            }
+        }
+        if !view.is_empty() {
+            return Err(ScenarioError::Corrupt(format!(
+                "{} trailing bytes",
+                view.len()
+            )));
+        }
+        Ok(run)
+    }
+
+    /// Writes the checkpoint via a temp file and an atomic rename, so a
+    /// kill mid-write leaves either the old file or the new one.
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), ScenarioError> {
+        let bytes = self.encode_checkpoint();
+        let io_err = |why: std::io::Error| ScenarioError::Io {
+            path: path.display().to_string(),
+            why: why.to_string(),
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        dh_obs::counter!("scenario.checkpoint_bytes").add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Loads a checkpoint written by [`ScenarioRun::save_checkpoint`].
+    pub fn resume_from(pack: ScenarioPack, path: &Path) -> Result<Self, ScenarioError> {
+        let bytes = std::fs::read(path).map_err(|e| ScenarioError::Io {
+            path: path.display().to_string(),
+            why: e.to_string(),
+        })?;
+        Self::decode_checkpoint(pack, &bytes)
+    }
+}
+
+/// Convenience: integrate a pack start to finish and report.
+pub fn run_pack(pack: ScenarioPack) -> ScenarioReport {
+    let mut run = ScenarioRun::new(pack);
+    run.run_to_end();
+    run.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ScenarioRegistry;
+
+    fn small_pack() -> ScenarioPack {
+        let mut pack = ScenarioRegistry::builtin()
+            .get("sram-decoder")
+            .unwrap()
+            .pack
+            .clone();
+        pack.epochs = 6;
+        pack.shard_size = 300;
+        pack.blocks[0].count = 700;
+        pack.blocks[1].count = 500;
+        pack
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        let pack = small_pack();
+        dh_exec::set_max_threads(Some(1));
+        let serial = run_pack(pack.clone());
+        dh_exec::set_max_threads(None);
+        let parallel = run_pack(pack);
+        assert_eq!(serial.fingerprint, parallel.fingerprint);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_epoch() {
+        let pack = small_pack();
+        let mut straight = ScenarioRun::new(pack.clone());
+        straight.run_to_end();
+
+        let mut stepped = ScenarioRun::new(pack.clone());
+        // Stop mid-epoch (5 shards total: 3 + 2).
+        stepped.step(2);
+        let bytes = stepped.encode_checkpoint();
+        let mut resumed = ScenarioRun::decode_checkpoint(pack, &bytes).unwrap();
+        assert_eq!(resumed.progress(), stepped.progress());
+        resumed.run_to_end();
+        assert_eq!(resumed.report(), straight.report());
+        // Byte identity of the final state, not just the digest.
+        assert_eq!(resumed.encode_checkpoint(), {
+            straight.encode_checkpoint()
+        });
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption_and_wrong_pack() {
+        let pack = small_pack();
+        let mut run = ScenarioRun::new(pack.clone());
+        run.step(usize::MAX);
+        let mut bytes = run.encode_checkpoint();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 1;
+        assert!(matches!(
+            ScenarioRun::decode_checkpoint(pack.clone(), &bytes),
+            Err(ScenarioError::Corrupt(_))
+        ));
+        let mut other = pack.clone();
+        other.seed += 1;
+        assert!(matches!(
+            ScenarioRun::decode_checkpoint(other, &run.encode_checkpoint()),
+            Err(ScenarioError::Mismatch(_))
+        ));
+        assert!(matches!(
+            ScenarioRun::decode_checkpoint(pack, b"DHXX"),
+            Err(ScenarioError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn report_counts_failures_per_group() {
+        let mut pack = small_pack();
+        pack.epochs = 40;
+        pack.fail_threshold_mv = 10.0;
+        let report = run_pack(pack);
+        assert_eq!(report.groups.len(), 2);
+        let total_failed: u64 = report.groups.iter().map(|g| g.failed).sum();
+        assert!(total_failed > 0, "{report:?}");
+        for g in &report.groups {
+            assert!(g.max_metric_mv >= g.mean_metric_mv);
+            if g.failed > 0 {
+                assert!(g.first_fail_epoch >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Property tests for the scenario crate's two correctness contracts:
+//!
+//! * every columnar epoch kernel is the batched restatement of its
+//!   scalar [`dh_bti::WearModel`] reference — within 1e-12 of the
+//!   unit-by-unit integration on both the auto-dispatched and the
+//!   forced-scalar backend, with the two backends bit-identical; and
+//! * the pack document is a fixed point of `parse ∘ to_json` — any
+//!   valid pack round-trips identically (same value, same canonical
+//!   encoding, same fingerprint), and malformed input of any shape
+//!   comes back as a typed error, never a panic.
+//!
+//! Plus the per-built-in-pack engine pins: serial and parallel
+//! integration agree bit-for-bit, and a kill/resume through a DHSP
+//! checkpoint lands on the byte-identical end state.
+
+use dh_bti::WearModel;
+use dh_scenario::{
+    AgedMultiplier, BlockGroup, BlockModel, Corner, EpochCtx, GroupCtx, Maintenance,
+    MaintenancePolicy, MultiplierStore, ScenarioError, ScenarioPack, ScenarioRegistry, ScenarioRun,
+    SramDecoder, SramStore, WeightMemory, WeightStore, Workload,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------- constructors
+//
+// The vendored proptest shim draws scalars, tuples, and vecs; everything
+// structured is assembled from those draws by the helpers below.
+
+fn group_ctx(
+    (seed, group_index): (u64, u64),
+    (vdd_v, temperature_k, variability, maintenance_bias_v): (f64, f64, f64, f64),
+) -> GroupCtx {
+    GroupCtx {
+        seed,
+        group_index,
+        vdd_v,
+        temperature_k,
+        variability,
+        maintenance_bias_v,
+    }
+}
+
+/// Decodes one drawn `(activity, flag bits)` schedule entry into the
+/// kernel context of 1-based `epoch`. Bit 0 inverts, bit 1 (1-in-4)
+/// gates, bit 2 selects active recovery.
+fn epoch_ctx(epoch_hours: f64, epoch: u64, (activity, bits): (f64, u8)) -> EpochCtx {
+    EpochCtx {
+        epoch_hours,
+        activity,
+        inverted: bits & 1 != 0,
+        gated: bits & 2 != 0,
+        active_recovery: bits & 4 != 0,
+        fail_threshold_mv: 40.0,
+        epoch,
+    }
+}
+
+/// A pack-legal name from index draws.
+fn pack_name(ix: &[usize]) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_";
+    ix.iter().map(|i| CHARS[i % CHARS.len()] as char).collect()
+}
+
+/// Free-form text (descriptions, corner names) from raw code-point
+/// draws: skips the surrogate gap, keeps control characters and quotes
+/// so the JSON escaping is exercised on the awkward part of the space.
+fn text(points: &[u32]) -> String {
+    points.iter().filter_map(|&p| char::from_u32(p)).collect()
+}
+
+fn corner(name_points: &[u32], (weight, delay_scale, rate_scale): (f64, f64, f64)) -> Corner {
+    let mut name = text(name_points);
+    if name.is_empty() {
+        name.push('c');
+    }
+    Corner {
+        name,
+        weight,
+        delay_scale,
+        rate_scale,
+    }
+}
+
+/// The drawn tuple behind one block group: `(model_sel, count, skew)`
+/// plus `(vdd_v, temperature_c, variability, base_delay_ps)`.
+type BlockDraw = ((u8, u64, f64), (f64, f64, f64, f64));
+
+/// One block group from a drawn tuple; `model_sel` picks the victim
+/// model, multiplier groups take their corners from `corners`.
+fn block_group(
+    corners: &[Corner],
+    ((model_sel, count, skew), (vdd_v, temperature_c, variability, base_delay_ps)): BlockDraw,
+) -> BlockGroup {
+    BlockGroup {
+        model: match model_sel % 3 {
+            0 => BlockModel::SramDecoder { skew },
+            1 => BlockModel::WeightMemory,
+            _ => BlockModel::AgedMultiplier {
+                base_delay_ps,
+                corners: corners.to_vec(),
+            },
+        },
+        count,
+        vdd_v,
+        temperature_c,
+        variability,
+    }
+}
+
+// --------------------------------------- columnar kernels vs references
+
+/// Runs `step` on the store twice — auto-dispatched and forced-scalar —
+/// asserts the two end states are equal via `PartialEq` on the full
+/// column set, and returns the result for the reference comparison. The
+/// scalar/AVX2 bit-identity is the `dispatch!` contract this crate
+/// inherits; flipping the global switch mid-test is safe for exactly
+/// that reason.
+fn both_backends<S: Clone + PartialEq + std::fmt::Debug>(store: &S, step: impl Fn(&mut S)) -> S {
+    let mut auto = store.clone();
+    step(&mut auto);
+    let mut scalar = store.clone();
+    dh_simd::force_scalar(true);
+    step(&mut scalar);
+    dh_simd::force_scalar(false);
+    assert_eq!(auto, scalar, "scalar and dispatched kernels diverge");
+    auto
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sram_store_tracks_the_scalar_reference(
+        ids in (0u64..u64::MAX, 0u64..8),
+        knobs in (0.5f64..1.3, 240.0f64..430.0, 0.0f64..0.3, 0.0f64..0.6),
+        skew in 0.1f64..8.0,
+        geometry in (0u64..100, 1usize..40),
+        hours in 1.0f64..2000.0,
+        schedule in collection::vec((0.0f64..1.0, 0u8..8), 1..16),
+    ) {
+        let g = group_ctx(ids, knobs);
+        let (lo, len) = geometry;
+        let fresh = SramStore::build(g, skew, lo, len);
+        let store = both_backends(&fresh, |s| {
+            for (e, &step) in schedule.iter().enumerate() {
+                s.step_epoch(epoch_ctx(hours, e as u64 + 1, step));
+            }
+        });
+        let stress = g.stress_condition();
+        let (passive, active) = g.recovery_conditions();
+        for k in 0..len as u64 {
+            let mut unit = SramDecoder::from_group(g, skew, lo + k);
+            for (e, &step) in schedule.iter().enumerate() {
+                let ctx = epoch_ctx(hours, e as u64 + 1, step);
+                unit.run_epoch(ctx, stress, if ctx.active_recovery { active } else { passive });
+            }
+            let err = (store.delta_vth_mv(k as usize) - unit.delta_vth_mv()).abs();
+            prop_assert!(err <= 1e-12, "row {k}: {err:e}");
+        }
+    }
+
+    #[test]
+    fn weight_store_tracks_the_scalar_reference(
+        ids in (0u64..u64::MAX, 0u64..8),
+        knobs in (0.5f64..1.3, 240.0f64..430.0, 0.0f64..0.3, 0.0f64..0.6),
+        trace in collection::vec(0.0f64..1.0, 1..6),
+        geometry in (0u64..100, 1usize..40),
+        hours in 1.0f64..2000.0,
+        schedule in collection::vec((0.0f64..1.0, 0u8..8), 1..16),
+    ) {
+        let g = group_ctx(ids, knobs);
+        let (lo, len) = geometry;
+        let fresh = WeightStore::build(g, &trace, lo, len);
+        let store = both_backends(&fresh, |s| {
+            for (e, &step) in schedule.iter().enumerate() {
+                s.step_epoch(epoch_ctx(hours, e as u64 + 1, step));
+            }
+        });
+        let stress = g.stress_condition();
+        let (passive, active) = g.recovery_conditions();
+        for k in 0..len as u64 {
+            let mut unit = WeightMemory::from_group(g, &trace, lo + k);
+            for (e, &step) in schedule.iter().enumerate() {
+                let ctx = epoch_ctx(hours, e as u64 + 1, step);
+                unit.run_epoch(ctx, stress, if ctx.active_recovery { active } else { passive });
+            }
+            let err = (store.metric(k as usize) - unit.delta_vth_mv()).abs();
+            prop_assert!(err <= 1e-12, "bank {k}: {err:e}");
+        }
+    }
+
+    #[test]
+    fn multiplier_store_tracks_the_scalar_reference(
+        ids in (0u64..u64::MAX, 0u64..8),
+        knobs in (0.5f64..1.3, 240.0f64..430.0, 0.0f64..0.3, 0.0f64..0.6),
+        base_delay_ps in 100.0f64..2000.0,
+        corner_draws in collection::vec(
+            (collection::vec(0u32..0xD7FF, 0..8), (0.01f64..10.0, 0.5f64..2.0, 0.5f64..2.0)),
+            1..4,
+        ),
+        geometry in (0u64..100, 1usize..40),
+        hours in 1.0f64..2000.0,
+        schedule in collection::vec((0.0f64..1.0, 0u8..8), 1..16),
+    ) {
+        let g = group_ctx(ids, knobs);
+        let (lo, len) = geometry;
+        let corners: Vec<Corner> = corner_draws
+            .iter()
+            .map(|(points, scales)| corner(points, *scales))
+            .collect();
+        let fresh = MultiplierStore::build(g, base_delay_ps, &corners, lo, len);
+        let store = both_backends(&fresh, |s| {
+            for (e, &step) in schedule.iter().enumerate() {
+                s.step_epoch(epoch_ctx(hours, e as u64 + 1, step));
+            }
+        });
+        let stress = g.stress_condition();
+        let (passive, active) = g.recovery_conditions();
+        for k in 0..len as u64 {
+            let mut unit = AgedMultiplier::from_group(g, base_delay_ps, &corners, lo + k);
+            for (e, &step) in schedule.iter().enumerate() {
+                let ctx = epoch_ctx(hours, e as u64 + 1, step);
+                unit.run_epoch(ctx, stress, if ctx.active_recovery { active } else { passive });
+            }
+            let err = (store.metric(k as usize) - unit.delta_vth_mv()).abs();
+            prop_assert!(err <= 1e-12, "instance {k}: {err:e}");
+            let derr = (store.delay_ps(k as usize) - unit.delay_ps()).abs();
+            prop_assert!(derr <= 1e-9, "instance {k} delay: {derr:e}");
+        }
+    }
+}
+
+// ---------------------------------------------- pack JSON round-trip
+
+/// Assembles a valid pack from shim-drawable pieces.
+#[allow(clippy::type_complexity)]
+fn assemble_pack(
+    (name_ix, description_points): (Vec<usize>, Vec<u32>),
+    (seed, epochs, epoch_hours, shard_size): (u64, u64, f64, u64),
+    fail_threshold_mv: f64,
+    trace: Vec<f64>,
+    (policy_sel, interval_epochs, recovery_bias_v): (u8, u64, f64),
+    corner_draws: &[(Vec<u32>, (f64, f64, f64))],
+    block_draws: &[((u8, u64, f64), (f64, f64, f64, f64))],
+) -> ScenarioPack {
+    let corners: Vec<Corner> = corner_draws
+        .iter()
+        .map(|(points, scales)| corner(points, *scales))
+        .collect();
+    ScenarioPack {
+        name: pack_name(&name_ix),
+        description: text(&description_points),
+        seed,
+        epochs,
+        epoch_hours,
+        shard_size,
+        fail_threshold_mv,
+        workload: Workload { trace },
+        maintenance: Maintenance {
+            policy: match policy_sel % 3 {
+                0 => MaintenancePolicy::None,
+                1 => MaintenancePolicy::Invert,
+                _ => MaintenancePolicy::PowerGate,
+            },
+            interval_epochs,
+            recovery_bias_v,
+        },
+        blocks: block_draws
+            .iter()
+            .map(|&draw| block_group(&corners, draw))
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn packs_are_a_fixed_point_of_parse_to_json(
+        naming in (collection::vec(0usize..38, 1..24), collection::vec(0u32..0xD7FF, 0..12)),
+        grid in (0u64..(1 << 53), 1u64..50, 1.0f64..2000.0, 1u64..512),
+        fail_threshold_mv in 1.0f64..200.0,
+        trace in collection::vec(0.0f64..1.0, 1..8),
+        maintenance in (0u8..3, 1u64..12, 0.0f64..1.0),
+        corner_draws in collection::vec(
+            (collection::vec(0u32..0xD7FF, 0..8), (0.01f64..10.0, 0.5f64..2.0, 0.5f64..2.0)),
+            1..4,
+        ),
+        block_draws in collection::vec(
+            ((0u8..3, 1u64..600, 0.1f64..8.0), (0.5f64..1.5, -55.0f64..225.0, 0.0f64..0.5, 100.0f64..2000.0)),
+            1..4,
+        ),
+    ) {
+        let pack = assemble_pack(
+            naming,
+            grid,
+            fail_threshold_mv,
+            trace,
+            maintenance,
+            &corner_draws,
+            &block_draws,
+        );
+        prop_assert!(pack.validate().is_ok(), "generated pack invalid: {:?}", pack.validate());
+        let encoded = pack.to_json();
+        let again = match ScenarioPack::load(&encoded) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("re-parse failed: {e}"))),
+        };
+        prop_assert!(pack == again, "value drifted through the round trip");
+        prop_assert!(pack.fingerprint() == again.fingerprint());
+        prop_assert!(encoded == again.to_json(), "encoding is not canonical");
+    }
+
+    #[test]
+    fn malformed_documents_never_panic(points in collection::vec(0u32..0xD7FF, 0..200)) {
+        // Arbitrary garbage: a typed error or a valid pack, never a panic.
+        let _ = ScenarioPack::load(&text(&points));
+    }
+
+    #[test]
+    fn mutations_of_a_valid_pack_error_cleanly(
+        grid in (0u64..(1 << 53), 1u64..50, 1.0f64..2000.0, 1u64..512),
+        trace in collection::vec(0.0f64..1.0, 1..8),
+        maintenance in (0u8..3, 1u64..12, 0.0f64..1.0),
+        block_draws in collection::vec(
+            ((0u8..2, 1u64..600, 0.1f64..8.0), (0.5f64..1.5, -55.0f64..225.0, 0.0f64..0.5, 100.0f64..2000.0)),
+            1..4,
+        ),
+        cut in 0usize..10_000,
+        flip in 0usize..10_000,
+    ) {
+        let pack = assemble_pack(
+            (vec![0, 1, 2], vec![b'o' as u32, b'k' as u32]),
+            grid,
+            50.0,
+            trace,
+            maintenance,
+            &[],
+            &block_draws,
+        );
+        let encoded = pack.to_json();
+        // Truncations lose a brace or quote: Json / Schema, not a panic.
+        let truncated = &encoded[..cut % encoded.len()];
+        if let Err(e) = ScenarioPack::load(truncated) {
+            prop_assert!(
+                e.is_malformed() || matches!(e, ScenarioError::Invalid { .. }),
+                "unexpected error class: {e:?}"
+            );
+        }
+        // Single-byte ASCII flips stay valid UTF-8 and must also come
+        // back as a typed error (or still parse, e.g. a digit flip).
+        let mut bytes = encoded.into_bytes();
+        let i = flip % bytes.len();
+        bytes[i] = if bytes[i] == b'x' { b'y' } else { b'x' };
+        if let Ok(doc) = String::from_utf8(bytes) {
+            let _ = ScenarioPack::load(&doc);
+        }
+    }
+}
+
+// ------------------------------------------------- built-in pack engine
+
+/// Every built-in pack, shrunk to a few epochs so the full determinism
+/// battery stays fast while still crossing maintenance boundaries.
+fn shrunk_builtins() -> Vec<ScenarioPack> {
+    let registry = ScenarioRegistry::builtin();
+    registry
+        .names()
+        .iter()
+        .map(|name| {
+            let mut pack = registry.get(name).unwrap().pack.clone();
+            pack.epochs = 9;
+            pack.shard_size = 300;
+            for b in &mut pack.blocks {
+                b.count = b.count.min(700);
+            }
+            pack
+        })
+        .collect()
+}
+
+#[test]
+fn builtin_packs_are_thread_count_invariant() {
+    for pack in shrunk_builtins() {
+        dh_exec::set_max_threads(Some(1));
+        let serial = dh_scenario::run_pack(pack.clone());
+        dh_exec::set_max_threads(None);
+        let parallel = dh_scenario::run_pack(pack.clone());
+        assert_eq!(
+            serial.fingerprint, parallel.fingerprint,
+            "{}: serial vs parallel",
+            pack.name
+        );
+        assert_eq!(serial, parallel, "{}", pack.name);
+    }
+}
+
+#[test]
+fn builtin_packs_survive_a_kill_and_resume_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("dh-scenario-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for pack in shrunk_builtins() {
+        let mut straight = ScenarioRun::new(pack.clone());
+        straight.run_to_end();
+
+        // "Kill" mid-epoch: step an odd shard count, checkpoint to disk,
+        // drop the run, resume from the file, finish.
+        let mut stepped = ScenarioRun::new(pack.clone());
+        stepped.step(usize::MAX);
+        stepped.step(1);
+        let path = dir.join(format!("{}.dhsp", pack.name));
+        stepped.save_checkpoint(&path).unwrap();
+        let interrupted = stepped.progress();
+        drop(stepped);
+
+        let mut resumed = ScenarioRun::resume_from(pack.clone(), &path).unwrap();
+        assert_eq!(resumed.progress(), interrupted, "{}", pack.name);
+        resumed.run_to_end();
+        assert_eq!(resumed.report(), straight.report(), "{}", pack.name);
+        assert_eq!(
+            resumed.encode_checkpoint(),
+            straight.encode_checkpoint(),
+            "{}: end state not byte-identical",
+            pack.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,6 +1,7 @@
 //! Request/response vocabulary: typed errors and the job spec parser.
 //!
-//! A job submission is a `FleetConfig`-shaped JSON document plus
+//! A job submission is either a `FleetConfig`-shaped JSON document or a
+//! `{"scenario": "<name>"}` reference into the scenario registry, plus
 //! execution knobs (fault injection, retry, checkpointing). Parsing is
 //! strict in both directions: unknown fields are a 400 (a typo'd knob
 //! silently ignored is a mis-run, the worst failure mode a reliability
@@ -13,6 +14,7 @@ use std::time::Duration;
 
 use dh_fault::FaultPlan;
 use dh_fleet::{CheckpointMode, FleetConfig, FleetPolicy, MaintenanceBudget};
+use dh_scenario::{ScenarioPack, ScenarioRegistry};
 use dh_units::{CurrentDensity, Fraction, Kelvin, Seconds, Volts};
 
 use crate::json::{escape, Json};
@@ -91,12 +93,18 @@ impl ServeError {
     }
 }
 
-/// A validated job submission: the fleet config plus execution knobs,
-/// ready for the runner.
+/// A validated job submission: the fleet config (or scenario pack) plus
+/// execution knobs, ready for the runner.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    /// The validated fleet configuration.
-    pub config: FleetConfig,
+    /// The validated fleet configuration (fleet jobs).
+    pub config: Option<FleetConfig>,
+    /// The resolved scenario pack (scenario jobs). Exactly one of
+    /// `config` / `scenario` is set.
+    pub scenario: Option<ScenarioPack>,
+    /// The original request body, persisted to the job's meta file so a
+    /// restarted daemon can rebuild the spec.
+    pub raw: String,
     /// Fault-injection spec (already parse-checked at submit).
     pub inject: Option<String>,
     /// Seed for the fault stream (defaults to the config seed).
@@ -123,6 +131,25 @@ impl JobSpec {
         self.inject
             .as_ref()
             .map(|spec| FaultPlan::parse(spec, self.inject_seed).expect("spec checked at submit"))
+    }
+
+    /// Elements the job simulates: fleet devices or scenario elements.
+    pub fn devices(&self) -> u64 {
+        match (&self.config, &self.scenario) {
+            (Some(config), _) => config.devices,
+            (None, Some(pack)) => pack.total_elements(),
+            (None, None) => 0,
+        }
+    }
+
+    /// The job's shard count (the progress denominator for fleet jobs;
+    /// scenario jobs step `shard_count` shards per epoch).
+    pub fn shard_count(&self) -> u64 {
+        match (&self.config, &self.scenario) {
+            (Some(config), _) => config.shard_count(),
+            (None, Some(pack)) => pack.shard_count(),
+            (None, None) => 0,
+        }
     }
 }
 
@@ -231,13 +258,22 @@ fn parse_checkpoint_name(name: &str) -> Result<String, ServeError> {
 
 /// Parses a `POST /jobs` body into a validated [`JobSpec`].
 ///
+/// The body carries either a `config` object (fleet job) or a
+/// `scenario` name resolved against `scenarios` (scenario job) —
+/// exactly one of the two.
+///
 /// # Errors
 ///
 /// [`ServeError::BadRequest`] for malformed JSON / unknown fields /
 /// type mismatches; [`ServeError::InvalidConfig`] when the described
 /// run is semantically invalid (zero devices, NaN corners, bad policy
-/// or fault spec values).
-pub fn parse_job_spec(body: &[u8], workers: usize) -> Result<JobSpec, ServeError> {
+/// or fault spec values, unknown scenario, knobs a scenario job does
+/// not support).
+pub fn parse_job_spec(
+    body: &[u8],
+    workers: usize,
+    scenarios: &ScenarioRegistry,
+) -> Result<JobSpec, ServeError> {
     let text = std::str::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
     let doc = Json::parse(text).map_err(|e| bad(format!("bad JSON: {e}")))?;
     let fields = doc
@@ -245,17 +281,33 @@ pub fn parse_job_spec(body: &[u8], workers: usize) -> Result<JobSpec, ServeError
         .ok_or_else(|| bad("body must be a JSON object"))?;
 
     let mut config = None;
+    let mut scenario: Option<ScenarioPack> = None;
     let mut inject: Option<String> = None;
     let mut inject_seed = None;
     let mut retry = 3u32;
     let mut checkpoint = None;
     let mut checkpoint_every = 8u64;
     let mut keep = 3usize;
-    let mut checkpoint_mode = CheckpointMode::default();
+    let mut checkpoint_mode = None;
 
     for (key, value) in fields {
         match key.as_str() {
             "config" => config = Some(parse_config(value, workers)?),
+            "scenario" => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| bad("`scenario` must be a registered scenario name"))?;
+                let pack = scenarios
+                    .get(name)
+                    .ok_or_else(|| {
+                        invalid(format!(
+                            "unknown scenario {name:?}; try GET /scenarios for the registry"
+                        ))
+                    })?
+                    .pack
+                    .clone();
+                scenario = Some(pack);
+            }
             "inject" => {
                 let spec = value
                     .as_str()
@@ -286,28 +338,55 @@ pub fn parse_job_spec(body: &[u8], workers: usize) -> Result<JobSpec, ServeError
                 let name = value
                     .as_str()
                     .ok_or_else(|| bad("`checkpoint_mode` must be \"sync\" or \"async\""))?;
-                checkpoint_mode = CheckpointMode::parse(name)
-                    .ok_or_else(|| bad(format!("unknown checkpoint_mode {name:?}")))?;
+                checkpoint_mode = Some(
+                    CheckpointMode::parse(name)
+                        .ok_or_else(|| bad(format!("unknown checkpoint_mode {name:?}")))?,
+                );
             }
             other => return Err(bad(format!("unknown field `{other}`"))),
         }
     }
 
-    let config = config.ok_or_else(|| bad("missing required field `config`"))?;
-    let inject_seed = inject_seed.unwrap_or(config.seed);
+    if config.is_some() && scenario.is_some() {
+        return Err(bad("`config` and `scenario` are mutually exclusive"));
+    }
+    if scenario.is_some() {
+        // Scenario jobs integrate a pack verbatim: fault injection and
+        // the fleet checkpoint writer knobs have no meaning there, and
+        // silently ignoring them would mis-run the request.
+        for (given, knob) in [
+            (inject.is_some(), "inject"),
+            (inject_seed.is_some(), "inject_seed"),
+            (checkpoint_mode.is_some(), "checkpoint_mode"),
+        ] {
+            if given {
+                return Err(invalid(format!(
+                    "`{knob}` is not supported for scenario jobs"
+                )));
+            }
+        }
+    }
+    let seed = match (&config, &scenario) {
+        (Some(config), _) => config.seed,
+        (None, Some(pack)) => pack.seed,
+        (None, None) => return Err(bad("missing required field `config` (or `scenario`)")),
+    };
+    let inject_seed = inject_seed.unwrap_or(seed);
     if let Some(spec) = &inject {
         FaultPlan::parse(spec, inject_seed)
             .map_err(|e| invalid(format!("`inject` {spec:?}: {e}")))?;
     }
     Ok(JobSpec {
         config,
+        scenario,
+        raw: text.to_string(),
         inject,
         inject_seed,
         retry,
         checkpoint,
         checkpoint_every,
         keep,
-        checkpoint_mode,
+        checkpoint_mode: checkpoint_mode.unwrap_or_default(),
     })
 }
 
@@ -322,19 +401,22 @@ mod tests {
     use super::*;
 
     fn parse(body: &str) -> Result<JobSpec, ServeError> {
-        parse_job_spec(body.as_bytes(), 4)
+        parse_job_spec(body.as_bytes(), 4, &ScenarioRegistry::builtin())
     }
 
     #[test]
     fn a_minimal_submission_fills_defaults() {
         let spec = parse(r#"{"config": {"devices": 256, "years": 0.2}}"#).unwrap();
-        assert_eq!(spec.config.devices, 256);
-        assert_eq!(spec.config.years, 0.2);
+        let config = spec.config.as_ref().unwrap();
+        assert_eq!(config.devices, 256);
+        assert_eq!(config.years, 0.2);
         // Auto shard sizing kicked in and respects group alignment.
-        assert!(spec.config.shard_size > 0);
-        assert_eq!(spec.config.shard_size % spec.config.group_size, 0);
+        assert!(config.shard_size > 0);
+        assert_eq!(config.shard_size % config.group_size, 0);
         assert_eq!(spec.retry, 3);
         assert!(spec.inject.is_none() && spec.checkpoint.is_none());
+        assert!(spec.scenario.is_none());
+        assert_eq!(spec.devices(), 256);
     }
 
     #[test]
@@ -357,8 +439,9 @@ mod tests {
             }"#,
         )
         .unwrap();
-        assert_eq!(spec.config.policies.len(), 2);
-        assert_eq!(spec.config.shard_size, 128);
+        let config = spec.config.as_ref().unwrap();
+        assert_eq!(config.policies.len(), 2);
+        assert_eq!(config.shard_size, 128);
         assert_eq!(spec.inject.as_deref(), Some("panic=0.5"));
         assert_eq!(spec.inject_seed, 99);
         assert!(spec.fault_plan().is_some());
@@ -399,6 +482,36 @@ mod tests {
             let err = parse(body).unwrap_err();
             assert_eq!(err.status(), 422, "body {body:?} gave {err:?}");
         }
+    }
+
+    #[test]
+    fn scenario_jobs_resolve_against_the_registry() {
+        let spec = parse(r#"{"scenario": "sram-decoder", "checkpoint": "s.dhsp"}"#).unwrap();
+        assert!(spec.config.is_none());
+        let pack = spec.scenario.as_ref().unwrap();
+        assert_eq!(pack.name, "sram-decoder");
+        assert_eq!(spec.devices(), pack.total_elements());
+        assert_eq!(spec.shard_count(), pack.shard_count());
+        assert_eq!(spec.checkpoint.as_deref(), Some("s.dhsp"));
+        // The seed defaulting falls through to the pack seed.
+        assert_eq!(spec.inject_seed, pack.seed);
+    }
+
+    #[test]
+    fn scenario_jobs_reject_fleet_only_knobs() {
+        for body in [
+            r#"{"scenario": "no-such-pack"}"#,
+            r#"{"scenario": "sram-decoder", "inject": "panic=0.5"}"#,
+            r#"{"scenario": "sram-decoder", "inject_seed": 7}"#,
+            r#"{"scenario": "sram-decoder", "checkpoint_mode": "sync"}"#,
+        ] {
+            let err = parse(body).unwrap_err();
+            assert_eq!(err.status(), 422, "body {body:?} gave {err:?}");
+        }
+        let err = parse(r#"{"scenario": "sram-decoder", "config": {"devices": 4}}"#).unwrap_err();
+        assert_eq!(err.status(), 400);
+        let err = parse(r#"{"scenario": 3}"#).unwrap_err();
+        assert_eq!(err.status(), 400);
     }
 
     #[test]

@@ -19,6 +19,7 @@ usage: dh-serve [flags]
   --step-shards N    shards folded between progress events (default 4)
   --pace-ms N        artificial delay between batches    (default 0)
   --data-dir PATH    checkpoint directory                (default dh-serve-data)
+  --scenario-dir DIR extra scenario packs (*.json; shadow built-ins)
 ";
 
 fn parse_args() -> Result<ServeConfig, String> {
@@ -37,6 +38,7 @@ fn parse_args() -> Result<ServeConfig, String> {
             "--step-shards" => config.step_shards = value.parse().map_err(|e| bad(&e))?,
             "--pace-ms" => config.pace = Duration::from_millis(value.parse().map_err(|e| bad(&e))?),
             "--data-dir" => config.data_dir = value.into(),
+            "--scenario-dir" => config.scenario_dir = Some(value.into()),
             _ => return Err(format!("unknown flag {flag}")),
         }
     }

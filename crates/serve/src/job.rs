@@ -16,16 +16,17 @@
 //! byte-identical to an uninterrupted run.
 
 use std::collections::VecDeque;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use dh_exec::RetryPolicy;
 use dh_fleet::{AsyncCheckpointer, CheckpointMode, CheckpointStore, FleetRun};
+use dh_scenario::{ScenarioPack, ScenarioRegistry, ScenarioRun};
 
-use crate::api::{retry_after_hint, JobSpec, ServeError};
-use crate::json::{escape, num};
+use crate::api::{parse_job_spec, retry_after_hint, JobSpec, ServeError};
+use crate::json::{escape, num, Json};
 
 /// At most this many per-shard summaries ride on one progress event;
 /// a 100k-device run should not emit megabyte frames.
@@ -51,6 +52,11 @@ pub enum JobStatus {
     Failed,
     /// Stopped by `DELETE /jobs/{id}` (or daemon shutdown).
     Cancelled,
+    /// Restored from a previous daemon life's meta file: interrupted
+    /// (or cancelled with a checkpoint on disk), so resubmitting the
+    /// same spec resumes it. Terminal in this life — a restored job is
+    /// a record, not a runnable.
+    Resumable,
 }
 
 impl JobStatus {
@@ -62,12 +68,16 @@ impl JobStatus {
             Self::Completed => "completed",
             Self::Failed => "failed",
             Self::Cancelled => "cancelled",
+            Self::Resumable => "resumable",
         }
     }
 
     /// Whether the job can no longer change state.
     pub fn is_terminal(self) -> bool {
-        matches!(self, Self::Completed | Self::Failed | Self::Cancelled)
+        matches!(
+            self,
+            Self::Completed | Self::Failed | Self::Cancelled | Self::Resumable
+        )
     }
 }
 
@@ -99,7 +109,12 @@ pub struct Job {
 
 impl Job {
     fn new(id: u64, spec: JobSpec) -> Self {
-        let shard_count = spec.config.shard_count();
+        // Scenario jobs sweep every shard once per epoch, so the
+        // progress denominator is the full run, not one pass.
+        let shard_count = match &spec.scenario {
+            Some(pack) => pack.shard_count().saturating_mul(pack.epochs),
+            None => spec.shard_count(),
+        };
         Self {
             id,
             spec,
@@ -190,14 +205,19 @@ impl Job {
             Some(e) => format!("\"{}\"", escape(e)),
             None => "null".to_string(),
         };
+        let scenario = match &self.spec.scenario {
+            Some(pack) => format!("\"{}\"", escape(&pack.name)),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"id\": {}, \"status\": \"{}\", \"shards_done\": {}, \"shard_count\": {}, \
-             \"devices\": {}, \"fingerprint\": {}, \"error\": {}}}",
+             \"devices\": {}, \"scenario\": {}, \"fingerprint\": {}, \"error\": {}}}",
             self.id,
             inner.status.name(),
             inner.shards_done,
             inner.shard_count,
-            self.spec.config.devices,
+            self.spec.devices(),
+            scenario,
             fingerprint,
             error,
         )
@@ -215,8 +235,11 @@ pub struct RunnerSettings {
     /// Artificial delay between batches. Zero in production; tests use
     /// it to hold jobs observably in-flight.
     pub pace: Duration,
-    /// Directory for job checkpoint files.
+    /// Directory for job checkpoint and meta files.
     pub data_dir: PathBuf,
+    /// The scenario registry `{"scenario": …}` submissions resolve
+    /// against.
+    pub scenarios: Arc<ScenarioRegistry>,
 }
 
 #[derive(Debug, Default)]
@@ -237,12 +260,18 @@ pub struct JobRegistry {
 }
 
 impl JobRegistry {
-    /// An empty registry.
+    /// A registry primed with every job recorded in the data dir's meta
+    /// files — a restarted daemon answers `GET /jobs/{id}` for its
+    /// previous life's jobs (`resumable` where a checkpoint allows it)
+    /// instead of 404ing.
     pub fn new(settings: RunnerSettings) -> Self {
+        let jobs = restore_jobs(&settings);
+        let next_id = jobs.iter().map(|j| j.id).max().unwrap_or(0) + 1;
         Self {
             settings,
             inner: Mutex::new(RegistryInner {
-                next_id: 1,
+                jobs,
+                next_id,
                 ..RegistryInner::default()
             }),
             queue_cond: Condvar::new(),
@@ -273,6 +302,8 @@ impl JobRegistry {
         inner.jobs.push(Arc::clone(&job));
         inner.pending.push_back(Arc::clone(&job));
         self.queue_cond.notify_one();
+        drop(inner);
+        write_meta(&job, &self.settings.data_dir);
         Ok(job)
     }
 
@@ -299,6 +330,7 @@ impl JobRegistry {
                 "cancelled",
                 format!("{{\"job\": {id}, \"shards_done\": 0}}"),
             );
+            write_meta(&queued, &self.settings.data_dir);
         }
         Ok(job)
     }
@@ -329,6 +361,7 @@ impl JobRegistry {
                 "cancelled",
                 format!("{{\"job\": {}, \"shards_done\": 0}}", job.id),
             );
+            write_meta(&job, &self.settings.data_dir);
         }
     }
 
@@ -351,8 +384,110 @@ impl JobRegistry {
                 }
             };
             run_job(&job, &self.settings);
+            write_meta(&job, &self.settings.data_dir);
         }
     }
+}
+
+/// Persists a job's observable outcome to `job-{id}.meta.json` under
+/// the data dir (tmp + atomic rename, best-effort: a meta write failure
+/// never fails the job, it only costs post-restart visibility).
+fn write_meta(job: &Job, data_dir: &Path) {
+    let (status, shards_done, fingerprint, error) = {
+        let inner = lock(&job.inner);
+        (
+            inner.status,
+            inner.shards_done,
+            inner.fingerprint,
+            inner.error.clone(),
+        )
+    };
+    let fingerprint = match fingerprint {
+        Some(fp) => format!("\"{fp:#018x}\""),
+        None => "null".to_string(),
+    };
+    let error = match error {
+        Some(e) => format!("\"{}\"", escape(&e)),
+        None => "null".to_string(),
+    };
+    let body = format!(
+        "{{\"id\": {}, \"status\": \"{}\", \"shards_done\": {}, \"fingerprint\": {}, \
+         \"error\": {}, \"spec\": \"{}\"}}",
+        job.id,
+        status.name(),
+        shards_done,
+        fingerprint,
+        error,
+        escape(&job.spec.raw),
+    );
+    let path = data_dir.join(format!("job-{}.meta.json", job.id));
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, body).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+/// Rebuilds the job list from the data dir's meta files on boot.
+/// Unreadable or stale files (bad JSON, a spec whose scenario left the
+/// registry) are skipped, not fatal — boot must always succeed.
+fn restore_jobs(settings: &RunnerSettings) -> Vec<Arc<Job>> {
+    let Ok(entries) = std::fs::read_dir(&settings.data_dir) else {
+        return Vec::new();
+    };
+    let mut jobs = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(id) = name
+            .strip_prefix("job-")
+            .and_then(|rest| rest.strip_suffix(".meta.json"))
+            .and_then(|rest| rest.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        if let Some(job) = restore_job(id, &text, settings) {
+            jobs.push(Arc::new(job));
+        }
+    }
+    jobs.sort_by_key(|j| j.id);
+    jobs
+}
+
+fn restore_job(id: u64, text: &str, settings: &RunnerSettings) -> Option<Job> {
+    let doc = Json::parse(text).ok()?;
+    let raw = doc.get("spec")?.as_str()?;
+    let spec = parse_job_spec(raw.as_bytes(), dh_exec::max_threads(), &settings.scenarios).ok()?;
+    let status = match doc.get("status")?.as_str()? {
+        "completed" => JobStatus::Completed,
+        "failed" => JobStatus::Failed,
+        // A cancel with a checkpoint on disk is resumable by design;
+        // without one the cancel is final.
+        "cancelled" if spec.checkpoint.is_some() => JobStatus::Resumable,
+        "cancelled" => JobStatus::Cancelled,
+        // Queued or running when the previous daemon died: interrupted,
+        // and a resubmission of the same spec picks the work back up.
+        _ => JobStatus::Resumable,
+    };
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok());
+    let error = doc.get("error").and_then(Json::as_str).map(str::to_string);
+    let shards_done = doc
+        .get("shards_done")
+        .and_then(Json::as_u64)
+        .unwrap_or_default();
+    let job = Job::new(id, spec);
+    {
+        let mut inner = lock(&job.inner);
+        inner.status = status;
+        inner.shards_done = shards_done;
+        inner.fingerprint = fingerprint;
+        inner.error = error;
+    }
+    Some(job)
 }
 
 /// The checkpoint writer a job threads its snapshots through — the same
@@ -476,7 +611,15 @@ fn fail_job(job: &Job, why: String) {
 /// the supervised one).
 fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
     job.set_running();
+    if let Some(pack) = job.spec.scenario.clone() {
+        run_scenario_job(job, settings, pack);
+        return;
+    }
     let spec = &job.spec;
+    let config = spec
+        .config
+        .clone()
+        .expect("non-scenario jobs carry a config");
     let plan = spec.fault_plan();
     let retry = RetryPolicy {
         max_attempts: spec.retry,
@@ -488,8 +631,8 @@ fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
         .map(|name| CheckpointStore::new(settings.data_dir.join(name), spec.keep));
 
     let opened = match &store {
-        Some(store) => FleetRun::resume_from_store(spec.config.clone(), store),
-        None => FleetRun::new(spec.config.clone()),
+        Some(store) => FleetRun::resume_from_store(config, store),
+        None => FleetRun::new(config),
     };
     let mut run = match opened {
         Ok(run) => run,
@@ -584,6 +727,126 @@ fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
             degraded.retries,
             degraded.rejected_samples,
             degraded.checkpoint_fallbacks.len(),
+        ),
+    );
+}
+
+fn scenario_progress_event(job: &Job, run: &ScenarioRun) -> String {
+    let p = run.progress();
+    let obs = if dh_obs::ENABLED {
+        format!(", \"obs\": {}", dh_obs::snapshot().to_json())
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"job\": {}, \"scenario\": \"{}\", \"epoch\": {}, \"total_epochs\": {}, \
+         \"shard_cursor\": {}, \"shards\": {}{}}}",
+        job.id,
+        escape(&run.pack().name),
+        p.epoch,
+        p.total_epochs,
+        p.shard_cursor,
+        p.shards,
+        obs,
+    )
+}
+
+/// The scenario twin of the fleet path below: same cancel points (batch
+/// boundaries), same checkpoint discipline (write after every batch, so
+/// a kill resumes from the last boundary and still lands on the
+/// byte-identical final state the determinism tests pin).
+fn run_scenario_job(job: &Arc<Job>, settings: &RunnerSettings, pack: ScenarioPack) {
+    let spec = &job.spec;
+    if dh_obs::ENABLED {
+        dh_obs::label("scenario", &pack.name);
+        dh_obs::label("scenario.blocks", &pack.blocks.len().to_string());
+        dh_obs::label("scenario.elements", &pack.total_elements().to_string());
+    }
+    let path = spec
+        .checkpoint
+        .as_ref()
+        .map(|name| settings.data_dir.join(name));
+    let opened = match path.as_deref() {
+        Some(p) if p.exists() => ScenarioRun::resume_from(pack.clone(), p),
+        _ => Ok(ScenarioRun::new(pack.clone())),
+    };
+    let mut run = match opened {
+        Ok(run) => run,
+        Err(e) => {
+            fail_job(job, e.to_string());
+            return;
+        }
+    };
+    let per_epoch = run.progress().shards as u64;
+    let sync_progress = |run: &ScenarioRun| {
+        let p = run.progress();
+        let done = p.epoch * per_epoch + p.shard_cursor as u64;
+        lock(&job.inner).shards_done = done;
+        done
+    };
+    sync_progress(&run);
+    job.push_event(
+        "started",
+        format!(
+            "{{\"job\": {}, \"scenario\": \"{}\", \"pack_fingerprint\": \"{:#018x}\", \
+             \"resumed_epoch\": {}, \"total_epochs\": {}, \"shards\": {}}}",
+            job.id,
+            escape(&pack.name),
+            run.pack_fingerprint(),
+            run.progress().epoch,
+            pack.epochs,
+            per_epoch,
+        ),
+    );
+
+    let step = match &path {
+        Some(_) => spec.checkpoint_every,
+        None => settings.step_shards,
+    }
+    .max(1) as usize;
+
+    while !run.progress().done {
+        if job.cancel_requested() {
+            let done = sync_progress(&run);
+            job.finish(
+                JobStatus::Cancelled,
+                "cancelled",
+                format!("{{\"job\": {}, \"shards_done\": {done}}}", job.id),
+            );
+            return;
+        }
+        let p = run.step(step);
+        if let Some(path) = &path {
+            if let Err(e) = run.save_checkpoint(path) {
+                fail_job(job, e.to_string());
+                return;
+            }
+        }
+        sync_progress(&run);
+        job.push_event("progress", scenario_progress_event(job, &run));
+        if !p.done && !settings.pace.is_zero() {
+            std::thread::sleep(settings.pace);
+        }
+    }
+
+    let report = run.report();
+    {
+        let mut inner = lock(&job.inner);
+        inner.fingerprint = Some(report.fingerprint);
+    }
+    let failed: u64 = report.groups.iter().map(|g| g.failed).sum();
+    job.finish(
+        JobStatus::Completed,
+        "completed",
+        format!(
+            "{{\"job\": {}, \"scenario\": \"{}\", \"fingerprint\": \"{:#018x}\", \
+             \"elements\": {}, \"failed\": {}, \"epochs\": {}}}",
+            job.id,
+            escape(&report.scenario),
+            report.fingerprint,
+            pack.total_elements(),
+            failed,
+            report.epochs_run,
         ),
     );
 }

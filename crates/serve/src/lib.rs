@@ -16,9 +16,17 @@
 //! GET    /jobs/{id}        status document
 //! GET    /jobs/{id}/events SSE: started/progress/completed/failed/cancelled
 //! DELETE /jobs/{id}        cancel (queued: immediate; running: next batch)
+//! GET    /scenarios        the scenario registry (built-ins + --scenario-dir)
 //! GET    /healthz          liveness
 //! POST   /shutdown         graceful stop (CI smoke uses this)
 //! ```
+//!
+//! Jobs come in two shapes: a `config` object runs the fleet engine, a
+//! `{"scenario": "<name>"}` reference runs a `dh-scenario` pack from
+//! the registry. Both checkpoint under `--data-dir`, and the daemon
+//! records each job's outcome in a meta file there, so a restarted
+//! daemon still answers `GET /jobs/{id}` for its previous life — an
+//! interrupted checkpointing job reports `resumable` instead of 404.
 //!
 //! Everything is hand-rolled on `std::net` — the build vendors no HTTP
 //! or JSON dependency — and every fault-tolerance property of the
@@ -34,7 +42,10 @@ pub mod api;
 pub mod client;
 pub mod http;
 pub mod job;
-pub mod json;
+/// The JSON codec the daemon speaks, re-exported from [`dh_json`] (it
+/// moved there so `dh-scenario` could parse packs without linking the
+/// HTTP daemon).
+pub use dh_json as json;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,6 +74,9 @@ pub struct ServeConfig {
     pub pace: Duration,
     /// Directory holding job checkpoint files (created on start).
     pub data_dir: PathBuf,
+    /// Extra scenario packs loaded from `*.json` files in this
+    /// directory (they shadow same-named built-ins).
+    pub scenario_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +88,7 @@ impl Default for ServeConfig {
             step_shards: 4,
             pace: Duration::ZERO,
             data_dir: PathBuf::from("dh-serve-data"),
+            scenario_dir: None,
         }
     }
 }
@@ -97,6 +112,11 @@ impl Server {
     /// Socket bind / data-dir creation failures.
     pub fn start(config: ServeConfig) -> io::Result<Self> {
         std::fs::create_dir_all(&config.data_dir)?;
+        let scenarios = match &config.scenario_dir {
+            Some(dir) => dh_scenario::ScenarioRegistry::with_dir(dir)
+                .map_err(|e| io::Error::other(e.to_string()))?,
+            None => dh_scenario::ScenarioRegistry::builtin(),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(JobRegistry::new(RunnerSettings {
@@ -104,6 +124,7 @@ impl Server {
             step_shards: config.step_shards,
             pace: config.pace,
             data_dir: config.data_dir.clone(),
+            scenarios: Arc::new(scenarios),
         }));
         let shutdown_signal = Arc::new((Mutex::new(false), Condvar::new()));
         let accept_stop = Arc::new(AtomicBool::new(false));
@@ -242,7 +263,11 @@ fn route(
             Ok(Routed::Shutdown)
         }
         ("POST", ["jobs"]) => {
-            let spec = parse_job_spec(&request.body, dh_exec::max_threads())?;
+            let spec = parse_job_spec(
+                &request.body,
+                dh_exec::max_threads(),
+                &registry.settings().scenarios,
+            )?;
             let job = registry.submit(spec)?;
             respond_json(stream, 202, &[], &job.status_json());
             Ok(Routed::Done)
@@ -278,9 +303,26 @@ fn route(
             }
             Ok(Routed::Done)
         }
-        (_, ["healthz"] | ["shutdown"] | ["jobs"] | ["jobs", _] | ["jobs", _, "events"]) => Err(
-            ServeError::MethodNotAllowed(format!("{method} is not supported here")),
-        ),
+        ("GET", ["scenarios"]) => {
+            respond_json(
+                stream,
+                200,
+                &[],
+                &scenarios_json(&registry.settings().scenarios),
+            );
+            Ok(Routed::Done)
+        }
+        (
+            _,
+            ["healthz"]
+            | ["shutdown"]
+            | ["scenarios"]
+            | ["jobs"]
+            | ["jobs", _]
+            | ["jobs", _, "events"],
+        ) => Err(ServeError::MethodNotAllowed(format!(
+            "{method} is not supported here"
+        ))),
         _ => Err(ServeError::NotFound(format!(
             "no route for {}",
             request.path
@@ -291,4 +333,25 @@ fn route(
 fn parse_id(raw: &str) -> Result<u64, ServeError> {
     raw.parse()
         .map_err(|_| ServeError::BadRequest(format!("bad job id {raw:?}")))
+}
+
+/// The `GET /scenarios` body: one row per registered pack.
+fn scenarios_json(registry: &dh_scenario::ScenarioRegistry) -> String {
+    let rows: Vec<String> = registry
+        .entries()
+        .iter()
+        .map(|entry| {
+            format!(
+                "{{\"name\": \"{}\", \"description\": \"{}\", \"source\": \"{}\", \
+                 \"epochs\": {}, \"elements\": {}, \"blocks\": {}}}",
+                json::escape(&entry.pack.name),
+                json::escape(&entry.pack.description),
+                entry.source.name(),
+                entry.pack.epochs,
+                entry.pack.total_elements(),
+                entry.pack.blocks.len(),
+            )
+        })
+        .collect();
+    format!("{{\"scenarios\": [{}]}}", rows.join(", "))
 }

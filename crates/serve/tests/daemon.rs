@@ -308,6 +308,240 @@ fn injected_shard_kills_degrade_the_job_not_the_daemon() {
     server.shutdown();
 }
 
+/// A small scenario pack (a shrunk `sram-decoder`) written to a temp
+/// `--scenario-dir` so the daemon tests stay fast. Shadows nothing.
+fn write_test_pack(dir: &std::path::Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("scenario dir");
+    let path = dir.join("mini-sram.json");
+    std::fs::write(
+        &path,
+        r#"{
+            "name": "mini-sram",
+            "description": "shrunk sram-decoder pack for daemon tests",
+            "seed": 1101,
+            "epochs": 12,
+            "epoch_hours": 730.0,
+            "shard_size": 256,
+            "fail_threshold_mv": 45.0,
+            "workload": {"trace": [0.95, 0.7, 0.5, 0.85]},
+            "maintenance": {"policy": "invert", "interval_epochs": 4, "recovery_bias_v": 0.3},
+            "blocks": [
+                {"model": "sram-decoder", "count": 1024, "vdd_v": 0.95,
+                 "temperature_c": 85.0, "variability": 0.08, "skew": 1.1},
+                {"model": "sram-decoder", "count": 512, "vdd_v": 0.9,
+                 "temperature_c": 70.0, "variability": 0.1, "skew": 1.6}
+            ]
+        }"#,
+    )
+    .expect("write test pack");
+    path
+}
+
+#[test]
+fn scenario_jobs_list_run_and_match_the_engine() {
+    let scenario_dir = temp_data_dir("scenario-packs");
+    let pack_path = write_test_pack(&scenario_dir);
+    let (server, addr, _) = start("scenario", |c| {
+        c.scenario_dir = Some(scenario_dir.clone());
+        c.step_shards = 3;
+    });
+
+    // The registry endpoint lists built-ins plus the directory pack.
+    let listed = request(addr, "GET", "/scenarios", None).unwrap();
+    assert_eq!(listed.status, 200);
+    for name in ["sram-decoder", "dnn-weight-memory", "aged-multiplier"] {
+        assert!(
+            listed.body.contains(name),
+            "{name} missing: {}",
+            listed.body
+        );
+    }
+    assert!(listed.body.contains("\"mini-sram\""));
+    assert!(listed.body.contains("\"source\": \"directory\""));
+
+    let accepted = submit(addr, "{\"scenario\": \"mini-sram\"}");
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let id = job_field(&accepted.body, "id");
+    assert_eq!(job_field(&accepted.body, "scenario"), "mini-sram");
+
+    // SSE frames identify the pack, and the final fingerprint matches
+    // an in-process integration of the same file.
+    let frames = sse(addr, &format!("/jobs/{id}/events")).unwrap();
+    let (first_event, first_data) = frames.first().expect("started frame");
+    assert_eq!(first_event, "started");
+    assert_eq!(job_field(first_data, "scenario"), "mini-sram");
+    let progress: Vec<_> = frames.iter().filter(|(e, _)| e == "progress").collect();
+    assert!(!progress.is_empty());
+    assert_eq!(job_field(&progress[0].1, "scenario"), "mini-sram");
+    let (last_event, last_data) = frames.last().unwrap();
+    assert_eq!(last_event, "completed", "frames: {frames:?}");
+    let pack = dh_scenario::load_pack_file(&pack_path).unwrap();
+    let expected = dh_scenario::run_pack(pack).fingerprint;
+    assert_eq!(
+        job_field(last_data, "fingerprint"),
+        format!("{expected:#018x}"),
+    );
+    let _ = std::fs::remove_dir_all(&scenario_dir);
+    server.shutdown();
+}
+
+#[test]
+fn scenario_submissions_are_validated_with_typed_errors() {
+    let (server, addr, _) = start("scenario-validate", |_| {});
+    let unknown = submit(addr, "{\"scenario\": \"no-such-pack\"}");
+    assert_eq!(unknown.status, 422);
+    assert_eq!(job_field(&unknown.body, "error"), "invalid_config");
+    let both = submit(
+        addr,
+        "{\"scenario\": \"sram-decoder\", \"config\": {\"devices\": 64}}",
+    );
+    assert_eq!(both.status, 400);
+    let injected = submit(
+        addr,
+        "{\"scenario\": \"sram-decoder\", \"inject\": \"panic=0.5\"}",
+    );
+    assert_eq!(injected.status, 422);
+    server.shutdown();
+}
+
+#[test]
+fn scenario_kill_resume_lands_on_the_uninterrupted_fingerprint() {
+    let scenario_dir = temp_data_dir("scenario-resume-packs");
+    let pack_path = write_test_pack(&scenario_dir);
+    let (server, addr, data_dir) = start("scenario-resume", |c| {
+        c.scenario_dir = Some(scenario_dir.clone());
+        c.concurrency = 1;
+        c.pace = Duration::from_millis(60);
+    });
+    let body = "{\"scenario\": \"mini-sram\", \"checkpoint\": \"mini.dhsp\", \
+                \"checkpoint_every\": 2}";
+
+    // Kill the first attempt mid-run, after a checkpoint past the first
+    // epoch boundary (6 shards per epoch in the test pack).
+    let first = submit(addr, body);
+    let first_id = job_field(&first.body, "id");
+    wait_for("a second-epoch checkpoint", Duration::from_secs(30), || {
+        let r = request(addr, "GET", &format!("/jobs/{first_id}"), None).ok()?;
+        let done: u64 = job_field(&r.body, "shards_done").parse().ok()?;
+        (done >= 8).then_some(())
+    });
+    let _ = request(addr, "DELETE", &format!("/jobs/{first_id}"), None).unwrap();
+    let killed = wait_status(addr, &first_id, "cancelled");
+    let done_at_kill: u64 = job_field(&killed, "shards_done").parse().unwrap();
+    let total: u64 = job_field(&killed, "shard_count").parse().unwrap();
+    assert!(
+        done_at_kill < total,
+        "the job finished before it could be killed; raise the pace"
+    );
+    assert!(data_dir.join("mini.dhsp").exists());
+
+    // The resubmitted body resumes from the checkpoint and stitches to
+    // the same fingerprint as an uninterrupted in-process run.
+    let second = submit(addr, body);
+    let second_id = job_field(&second.body, "id");
+    let frames = sse(addr, &format!("/jobs/{second_id}/events")).unwrap();
+    let started = &frames.first().expect("started frame").1;
+    let resumed_epoch: u64 = job_field(started, "resumed_epoch").parse().unwrap();
+    assert!(
+        resumed_epoch > 0,
+        "second attempt did not resume: {started}"
+    );
+    let (last_event, last_data) = frames.last().unwrap();
+    assert_eq!(last_event, "completed", "frames: {frames:?}");
+    let pack = dh_scenario::load_pack_file(&pack_path).unwrap();
+    let expected = dh_scenario::run_pack(pack).fingerprint;
+    assert_eq!(
+        job_field(last_data, "fingerprint"),
+        format!("{expected:#018x}"),
+    );
+    let _ = std::fs::remove_dir_all(&scenario_dir);
+    server.shutdown();
+}
+
+#[test]
+fn a_restarted_daemon_reports_previous_jobs_instead_of_404() {
+    let data_dir = temp_data_dir("restart");
+    let scenario_dir = temp_data_dir("restart-packs");
+    write_test_pack(&scenario_dir);
+    let tweak = |c: &mut ServeConfig| {
+        c.scenario_dir = Some(scenario_dir.clone());
+    };
+
+    // Life 1: one completed fleet job, one checkpointing scenario job
+    // cancelled mid-run (the stand-in for "interrupted").
+    let (completed_fp, cancelled_id, completed_id) = {
+        let mut config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: data_dir.clone(),
+            concurrency: 1,
+            pace: Duration::from_millis(60),
+            ..ServeConfig::default()
+        };
+        tweak(&mut config);
+        let server = Server::start(config).expect("server should bind");
+        let addr = server.local_addr();
+        let done = submit(addr, &job_body(""));
+        let done_id = job_field(&done.body, "id");
+        let done_body = wait_status(addr, &done_id, "completed");
+        let fp = job_field(&done_body, "fingerprint");
+
+        let body = "{\"scenario\": \"mini-sram\", \"checkpoint\": \"restart.dhsp\", \
+                    \"checkpoint_every\": 2}";
+        let interrupted = submit(addr, body);
+        let interrupted_id = job_field(&interrupted.body, "id");
+        wait_for("a checkpointed batch", Duration::from_secs(30), || {
+            let r = request(addr, "GET", &format!("/jobs/{interrupted_id}"), None).ok()?;
+            let done: u64 = job_field(&r.body, "shards_done").parse().ok()?;
+            (done >= 2).then_some(())
+        });
+        let _ = request(addr, "DELETE", &format!("/jobs/{interrupted_id}"), None).unwrap();
+        wait_status(addr, &interrupted_id, "cancelled");
+        server.shutdown();
+        (fp, interrupted_id, done_id)
+    };
+    // A crashed daemon leaves a meta file still saying "running"; fake
+    // one to cover the crash arm alongside the clean-cancel arm.
+    std::fs::write(
+        data_dir.join("job-9.meta.json"),
+        "{\"id\": 9, \"status\": \"running\", \"shards_done\": 3, \"fingerprint\": null, \
+         \"error\": null, \"spec\": \"{\\\"scenario\\\": \\\"mini-sram\\\", \
+         \\\"checkpoint\\\": \\\"crash.dhsp\\\"}\"}",
+    )
+    .unwrap();
+
+    // Life 2: same data dir, fresh process.
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.clone(),
+        ..ServeConfig::default()
+    };
+    tweak(&mut config);
+    let server = Server::start(config).expect("restart should bind");
+    let addr = server.local_addr();
+
+    let done = request(addr, "GET", &format!("/jobs/{completed_id}"), None).unwrap();
+    assert_eq!(done.status, 200);
+    assert_eq!(job_field(&done.body, "status"), "completed");
+    assert_eq!(job_field(&done.body, "fingerprint"), completed_fp);
+
+    // Cancelled with a checkpoint on disk, and crashed mid-run: both
+    // resumable, not 404.
+    let interrupted = request(addr, "GET", &format!("/jobs/{cancelled_id}"), None).unwrap();
+    assert_eq!(interrupted.status, 200);
+    assert_eq!(job_field(&interrupted.body, "status"), "resumable");
+    assert_eq!(job_field(&interrupted.body, "scenario"), "mini-sram");
+    let crashed = request(addr, "GET", "/jobs/9", None).unwrap();
+    assert_eq!(crashed.status, 200);
+    assert_eq!(job_field(&crashed.body, "status"), "resumable");
+
+    // New submissions never collide with restored ids.
+    let fresh = submit(addr, &job_body(""));
+    let fresh_id: u64 = job_field(&fresh.body, "id").parse().unwrap();
+    assert!(fresh_id >= 10, "id {fresh_id} collides with restored jobs");
+    let _ = std::fs::remove_dir_all(&scenario_dir);
+    server.shutdown();
+}
+
 #[test]
 fn shutdown_endpoint_stops_the_daemon() {
     let (server, addr, _) = start("shutdown", |_| {});

@@ -60,7 +60,11 @@ fn a_full_simulation_leaves_the_registry_empty_when_disabled() {
     let snap = deep_healing::obs::snapshot();
     assert_eq!(snap.counters.len(), 0);
     assert_eq!(snap.histograms.len(), 0);
-    assert_eq!(snap.to_json(), "{\"counters\": {}, \"histograms\": {}}");
+    assert_eq!(snap.labels.len(), 0);
+    assert_eq!(
+        snap.to_json(),
+        "{\"counters\": {}, \"histograms\": {}, \"labels\": {}}"
+    );
 }
 
 /// One end-to-end run, then every layer's instrumentation is checked
