@@ -39,7 +39,7 @@ use deep_healing::fleet::{
 };
 use dh_bench::banner;
 use dh_exec::RetryPolicy;
-use dh_scenario::{ScenarioRegistry, ScenarioRun};
+use dh_scenario::{run_pack_supervised, ScenarioCheckpointStore, ScenarioRegistry, ScenarioRun};
 
 const USAGE: &str = "\
 usage: fleet [flags]
@@ -57,10 +57,13 @@ usage: fleet [flags]
   --checkpoint-every N  shards folded between writes     (default 8)
   --checkpoint-mode M   sync | async writer thread       (default async)
   --inject SPEC         fault plan, e.g. panic=0.01,ckpt-flip=1,stuck-chip=5
-                        (runs supervised; see dh-fault for the spec grammar)
-  --inject-seed N       fault-stream seed                (default: --seed)
+                        (runs supervised; works in scenario mode too;
+                        see dh-fault for the spec grammar)
+  --inject-seed N       fault-stream seed  (default: --seed / the pack seed)
   --retry N             attempts per shard before quarantine (default 3)
   --keep N              checkpoint generations retained  (default 3)
+  --fail-on-degraded    exit 3 when the run finishes with a non-empty
+                        degraded report (for CI gating)
   --scenario NAME|PATH  run a dh-scenario pack instead of a fleet config
   --scenario-dir DIR    extra pack files (*.json) joining the registry
   --epochs N            override the pack's epoch count (scenario mode)
@@ -82,6 +85,22 @@ struct Args {
     scenario_dir: Option<std::path::PathBuf>,
     epochs: Option<u64>,
     list_scenarios: bool,
+    fail_on_degraded: bool,
+}
+
+/// Exit code for `--fail-on-degraded`: the run *finished* (the report
+/// printed is real), but it only survived by degrading — distinct from
+/// 1 (runtime failure) and 2 (usage error) so CI can tell them apart.
+const DEGRADED_EXIT: u8 = 3;
+
+/// The `--fail-on-degraded` epilogue shared by the fleet and scenario
+/// paths.
+fn degraded_exit(args: &Args, degraded: &deep_healing::fault::DegradedReport) -> ExitCode {
+    if args.fail_on_degraded && degraded.is_degraded() {
+        eprintln!("error: run degraded (--fail-on-degraded)");
+        return ExitCode::from(DEGRADED_EXIT);
+    }
+    ExitCode::SUCCESS
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -102,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scenario_dir = None;
     let mut epochs = None;
     let mut list_scenarios = false;
+    let mut fail_on_degraded = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -110,6 +130,10 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--list-scenarios" {
             list_scenarios = true;
+            continue;
+        }
+        if flag == "--fail-on-degraded" {
+            fail_on_degraded = true;
             continue;
         }
         let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -172,6 +196,7 @@ fn parse_args() -> Result<Args, String> {
         scenario_dir,
         epochs,
         list_scenarios,
+        fail_on_degraded,
     })
 }
 
@@ -244,6 +269,64 @@ fn run_scenario(args: &Args, arg: &str) -> ExitCode {
         pack.maintenance.interval_epochs,
     );
 
+    // `--inject` routes through the supervised engine with the
+    // generation-rotating checkpoint store; the unfaulted path below
+    // keeps the original single-file layout byte-for-byte.
+    if let Some(spec) = &args.inject {
+        let seed = args.inject_seed.unwrap_or(pack.seed);
+        let plan = match FaultPlan::parse(spec, seed) {
+            Ok(plan) => plan,
+            Err(why) => {
+                eprintln!("error: --inject {spec}: {why}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("injecting faults [{spec}] with fault seed {seed}\n");
+        let retry = RetryPolicy {
+            max_attempts: args.retry,
+            ..RetryPolicy::default()
+        };
+        let store = args
+            .checkpoint
+            .as_ref()
+            .map(|path| ScenarioCheckpointStore::new(path, args.keep));
+        if let Some(path) = &args.checkpoint {
+            println!(
+                "checkpointing to {} every {} batch(es), keeping {} generation(s)\n",
+                path.display(),
+                args.checkpoint_every,
+                args.keep
+            );
+        }
+        let element_epochs = pack.total_elements() * pack.epochs;
+        let started = Instant::now();
+        let outcome = run_pack_supervised(
+            pack,
+            Some(&plan),
+            &retry,
+            store.as_ref().map(|s| (s, args.checkpoint_every)),
+        );
+        let (report, degraded) = match outcome {
+            Ok(outcome) => outcome,
+            Err(why) => {
+                eprintln!("error: {why}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed = started.elapsed().as_secs_f64();
+        println!("{}", report.render());
+        println!("\n{}", degraded.render());
+        println!(
+            "\nwall time: {:.2} s ({:.0} element-epochs/s this invocation)",
+            elapsed,
+            element_epochs as f64 / elapsed.max(1e-9)
+        );
+        if dh_obs::ENABLED {
+            println!("\nmetrics:\n{}", dh_obs::snapshot().to_json());
+        }
+        return degraded_exit(args, &degraded);
+    }
+
     let resume = args.checkpoint.as_ref().filter(|p| p.exists());
     let mut run = match resume {
         Some(path) => match ScenarioRun::resume_from(pack, path) {
@@ -290,7 +373,9 @@ fn run_scenario(args: &Args, arg: &str) -> ExitCode {
     if dh_obs::ENABLED {
         println!("\nmetrics:\n{}", dh_obs::snapshot().to_json());
     }
-    ExitCode::SUCCESS
+    // An unfaulted run can still resume from a checkpoint that recorded
+    // degradation in a previous (injected) invocation.
+    degraded_exit(args, &run.degraded)
 }
 
 fn main() -> ExitCode {
@@ -316,7 +401,7 @@ fn main() -> ExitCode {
         return run_scenario(&args, &arg);
     }
 
-    let mut config = args.config;
+    let mut config = args.config.clone();
     if !args.shard_size_given {
         // Size shards from the population and worker count (about four
         // shards per worker, capped for cache residency). The report is
@@ -428,5 +513,8 @@ fn main() -> ExitCode {
     if dh_obs::ENABLED {
         println!("\nmetrics:\n{}", dh_obs::snapshot().to_json());
     }
-    ExitCode::SUCCESS
+    match &degraded {
+        Some(deg) => degraded_exit(&args, deg),
+        None => ExitCode::SUCCESS,
+    }
 }

@@ -607,6 +607,7 @@ fn main() {
         pace: std::time::Duration::ZERO,
         data_dir: serve_dir.clone(),
         scenario_dir: None,
+        job_deadline: None,
     })
     .expect("start dh-serve");
     let serve_addr = server.local_addr();

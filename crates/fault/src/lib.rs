@@ -31,6 +31,7 @@ mod spec;
 
 pub use plan::{CheckpointCorruption, FaultPlan, PoisonKind};
 pub use report::{
-    CheckpointFallback, DegradedReport, SensorFaultKind, SensorIncident, ShardFailure,
+    CheckpointFallback, DegradedReport, DiskFaultKind, DiskIncident, SensorFaultKind,
+    SensorIncident, ShardFailure,
 };
 pub use spec::{FaultSpec, FaultSpecError};

@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use crate::report::SensorFaultKind;
+use crate::report::{DiskFaultKind, SensorFaultKind};
 use crate::spec::{FaultSpec, FaultSpecError};
 
 /// Named RNG stream for per-`(shard, attempt)` panic decisions.
@@ -14,6 +14,11 @@ const POISON_STREAM: &str = "fault/poison";
 const CKPT_STREAM: &str = "fault/ckpt";
 /// Named RNG stream for per-chip (per-core) sensor faults.
 const STUCK_STREAM: &str = "fault/stuck";
+/// Named RNG stream for per-write disk faults (ENOSPC, torn writes,
+/// failed fsyncs, stalls). Each write consumes three indices: `3i` for
+/// the ENOSPC coin, `3i + 1` for the fsync coin, `3i + 2` for the torn
+/// prefix length.
+const DISK_STREAM: &str = "fault/disk";
 
 /// The non-finite value a poisoning fault writes into a kernel output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +210,51 @@ impl FaultPlan {
         }
     }
 
+    /// The disk fault afflicting checkpoint write number `write_index`
+    /// (0-based, counted per process invocation), if any.
+    ///
+    /// At most one disk fault fires per write; when several directives
+    /// land on the same write the most destructive wins, in the fixed
+    /// order ENOSPC > torn write > failed fsync > stall. Decisions are
+    /// pure functions of `(seed, write_index)`, so a replayed campaign
+    /// starves the same writes.
+    pub fn disk_fault(&self, write_index: u64) -> Option<DiskFaultKind> {
+        let hits = |every: u64| every > 0 && (write_index + 1).is_multiple_of(every);
+        let base = write_index.wrapping_mul(3);
+        if self.coin(DISK_STREAM, base, self.spec.disk_full_probability) {
+            Some(DiskFaultKind::Enospc)
+        } else if hits(self.spec.disk_torn_every) {
+            Some(DiskFaultKind::TornWrite)
+        } else if self.coin(
+            DISK_STREAM,
+            base.wrapping_add(1),
+            self.spec.disk_fsync_probability,
+        ) {
+            Some(DiskFaultKind::FsyncFail)
+        } else if hits(self.spec.disk_slow_every) {
+            Some(DiskFaultKind::SlowWrite)
+        } else {
+            None
+        }
+    }
+
+    /// How many bytes of a torn write actually reach the disk.
+    ///
+    /// Draws a strict prefix (at least one byte short, possibly empty)
+    /// from the `fault/disk` stream at `write_index`, so a replayed
+    /// campaign tears the file at the same offset.
+    pub fn torn_length(&self, write_index: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut rng = dh_units::rng::seeded_stream_rng(
+            self.seed,
+            DISK_STREAM,
+            write_index.wrapping_mul(3).wrapping_add(2),
+        );
+        rng.gen_range(0..len)
+    }
+
     /// The sensor fault afflicting chip (or core) `index`, if any.
     ///
     /// Plan-driven sensor faults are always [`SensorFaultKind::Stuck`] —
@@ -319,7 +369,46 @@ mod tests {
             assert_eq!(p.poison(i, 1, 16), None);
             assert_eq!(p.checkpoint_corruption(i), None);
             assert_eq!(p.sensor_fault(i), None);
+            assert_eq!(p.disk_fault(i), None);
         }
+    }
+
+    #[test]
+    fn disk_periods_and_coins_select_writes() {
+        let p = plan("disk-torn=2,disk-slow=3");
+        assert_eq!(p.disk_fault(0), None);
+        assert_eq!(p.disk_fault(1), Some(DiskFaultKind::TornWrite));
+        assert_eq!(p.disk_fault(2), Some(DiskFaultKind::SlowWrite));
+        // Torn beats slow on write 5 (hit by both periods).
+        assert_eq!(p.disk_fault(5), Some(DiskFaultKind::TornWrite));
+        // ENOSPC beats a torn period on the writes its coin selects.
+        let p = plan("disk-full=1,disk-torn=1");
+        assert_eq!(p.disk_fault(0), Some(DiskFaultKind::Enospc));
+    }
+
+    #[test]
+    fn disk_decisions_are_reproducible_and_seed_dependent() {
+        let a = plan("disk-full=0.4,disk-fsync=0.4");
+        let b = plan("disk-full=0.4,disk-fsync=0.4");
+        let c = FaultPlan::parse("disk-full=0.4,disk-fsync=0.4", 100).unwrap();
+        let a_hits: Vec<_> = (0..64).map(|i| a.disk_fault(i)).collect();
+        let b_hits: Vec<_> = (0..64).map(|i| b.disk_fault(i)).collect();
+        let c_hits: Vec<_> = (0..64).map(|i| c.disk_fault(i)).collect();
+        assert_eq!(a_hits, b_hits);
+        assert_ne!(a_hits, c_hits, "a different seed must move the faults");
+        assert!(a_hits.contains(&Some(DiskFaultKind::Enospc)));
+        assert!(a_hits.contains(&Some(DiskFaultKind::FsyncFail)));
+    }
+
+    #[test]
+    fn torn_length_is_a_strict_prefix() {
+        let p = plan("disk-torn=1");
+        for i in 0..16 {
+            let keep = p.torn_length(i, 64);
+            assert!(keep < 64);
+            assert_eq!(keep, p.torn_length(i, 64));
+        }
+        assert_eq!(p.torn_length(0, 0), 0);
     }
 
     #[test]

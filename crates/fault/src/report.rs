@@ -73,6 +73,67 @@ impl fmt::Display for SensorFaultKind {
     }
 }
 
+/// The ways a checkpoint write can fail at the disk layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The write failed with ENOSPC: nothing reached the disk and the
+    /// previous generation survives.
+    Enospc,
+    /// Only a prefix of the file reached the disk (power loss mid-write
+    /// with no fsync barrier).
+    TornWrite,
+    /// The post-write fsync failed: the temp file is abandoned and the
+    /// previous generation survives.
+    FsyncFail,
+    /// The write stalled long enough to trip slow-disk watchdogs but
+    /// eventually completed intact.
+    SlowWrite,
+}
+
+impl DiskFaultKind {
+    /// Stable wire discriminant (checkpoints persist incidents).
+    pub fn discriminant(self) -> u8 {
+        match self {
+            Self::Enospc => 0,
+            Self::TornWrite => 1,
+            Self::FsyncFail => 2,
+            Self::SlowWrite => 3,
+        }
+    }
+
+    /// Rebuilds a kind from its wire discriminant. Returns `None` for
+    /// an unknown discriminant.
+    pub fn from_wire(discriminant: u8) -> Option<Self> {
+        match discriminant {
+            0 => Some(Self::Enospc),
+            1 => Some(Self::TornWrite),
+            2 => Some(Self::FsyncFail),
+            3 => Some(Self::SlowWrite),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DiskFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Enospc => write!(f, "enospc"),
+            Self::TornWrite => write!(f, "torn write"),
+            Self::FsyncFail => write!(f, "fsync failed"),
+            Self::SlowWrite => write!(f, "slow write"),
+        }
+    }
+}
+
+/// A checkpoint write that hit a disk fault and was contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskIncident {
+    /// What the disk did.
+    pub kind: DiskFaultKind,
+    /// Which write (0-based, counted per process invocation) it hit.
+    pub write_index: u64,
+}
+
 /// A shard that exhausted its retry budget and was quarantined.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardFailure {
@@ -125,6 +186,12 @@ pub struct DegradedReport {
     pub sensor_incidents: Vec<SensorIncident>,
     /// Checkpoint generations skipped on resume.
     pub checkpoint_fallbacks: Vec<CheckpointFallback>,
+    /// Checkpoint writes that hit a disk fault and were contained
+    /// (previous generation kept, retention trimmed, or write torn and
+    /// left for resume-time fallback).
+    pub disk_incidents: Vec<DiskIncident>,
+    /// Old checkpoint generations deleted to relieve disk pressure.
+    pub retention_trims: u64,
 }
 
 impl DegradedReport {
@@ -135,6 +202,8 @@ impl DegradedReport {
             || self.rejected_samples > 0
             || !self.sensor_incidents.is_empty()
             || !self.checkpoint_fallbacks.is_empty()
+            || !self.disk_incidents.is_empty()
+            || self.retention_trims > 0
     }
 
     /// Folds another report into this one (used when a resumed run
@@ -145,6 +214,8 @@ impl DegradedReport {
         self.rejected_samples += other.rejected_samples;
         self.sensor_incidents.extend(other.sensor_incidents);
         self.checkpoint_fallbacks.extend(other.checkpoint_fallbacks);
+        self.disk_incidents.extend(other.disk_incidents);
+        self.retention_trims += other.retention_trims;
     }
 
     /// A stable FNV-1a fingerprint over every field — the golden value
@@ -172,6 +243,12 @@ impl DegradedReport {
             h = fnv1a_u64(h, c.generation);
             h = fnv1a(h, c.reason.as_bytes());
         }
+        h = fnv1a_u64(h, self.disk_incidents.len() as u64);
+        for d in &self.disk_incidents {
+            h = fnv1a_u64(h, u64::from(d.kind.discriminant()));
+            h = fnv1a_u64(h, d.write_index);
+        }
+        h = fnv1a_u64(h, self.retention_trims);
         h
     }
 
@@ -215,6 +292,17 @@ impl DegradedReport {
             out.push_str(&format!("    generation {}  {}\n", c.generation, c.reason));
         }
         out.push_str(&format!(
+            "  disk incidents     : {}\n",
+            self.disk_incidents.len()
+        ));
+        for d in &self.disk_incidents {
+            out.push_str(&format!("    write {:>6}  {}\n", d.write_index, d.kind));
+        }
+        out.push_str(&format!(
+            "  retention trims    : {}\n",
+            self.retention_trims
+        ));
+        out.push_str(&format!(
             "  fingerprint        : {:#018x}",
             self.fingerprint()
         ));
@@ -244,6 +332,11 @@ mod tests {
                 generation: 0,
                 reason: "checksum mismatch".to_string(),
             }],
+            disk_incidents: vec![DiskIncident {
+                kind: DiskFaultKind::Enospc,
+                write_index: 6,
+            }],
+            retention_trims: 1,
         }
     }
 
@@ -274,6 +367,12 @@ mod tests {
         let mut v = base.clone();
         v.checkpoint_fallbacks[0].reason = "bad magic".to_string();
         variants.push(v);
+        let mut v = base.clone();
+        v.disk_incidents[0].kind = DiskFaultKind::TornWrite;
+        variants.push(v);
+        let mut v = base.clone();
+        v.retention_trims = 2;
+        variants.push(v);
         let prints: Vec<u64> = variants.iter().map(DegradedReport::fingerprint).collect();
         for i in 0..prints.len() {
             for j in (i + 1)..prints.len() {
@@ -292,6 +391,34 @@ mod tests {
         assert_eq!(a.rejected_samples, 2);
         assert_eq!(a.sensor_incidents.len(), 2);
         assert_eq!(a.checkpoint_fallbacks.len(), 2);
+        assert_eq!(a.disk_incidents.len(), 2);
+        assert_eq!(a.retention_trims, 2);
+    }
+
+    #[test]
+    fn disk_kind_wire_round_trips() {
+        for kind in [
+            DiskFaultKind::Enospc,
+            DiskFaultKind::TornWrite,
+            DiskFaultKind::FsyncFail,
+            DiskFaultKind::SlowWrite,
+        ] {
+            assert_eq!(DiskFaultKind::from_wire(kind.discriminant()), Some(kind));
+        }
+        assert_eq!(DiskFaultKind::from_wire(9), None);
+    }
+
+    #[test]
+    fn disk_only_report_is_degraded() {
+        let r = DegradedReport {
+            disk_incidents: vec![DiskIncident {
+                kind: DiskFaultKind::FsyncFail,
+                write_index: 0,
+            }],
+            ..DegradedReport::default()
+        };
+        assert!(r.is_degraded());
+        assert!(r.render().contains("fsync failed"));
     }
 
     #[test]
@@ -314,6 +441,8 @@ mod tests {
         assert!(text.contains("shard      4"));
         assert!(text.contains("stuck"));
         assert!(text.contains("checksum mismatch"));
+        assert!(text.contains("enospc"));
+        assert!(text.contains("retention trims"));
         assert!(text.contains("fingerprint"));
     }
 }

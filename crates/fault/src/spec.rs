@@ -61,6 +61,19 @@ pub struct FaultSpec {
     pub stuck_probability: f64,
     /// A chip/core index whose sensor is always stuck.
     pub stuck_chip: Option<u64>,
+    /// Probability that a checkpoint write fails with ENOSPC (disk
+    /// full): nothing is written and the previous generation survives.
+    pub disk_full_probability: f64,
+    /// Tear every Nth checkpoint write: only a prefix of the encoded
+    /// file reaches the disk, as if the machine lost power mid-write
+    /// (0 = never).
+    pub disk_torn_every: u64,
+    /// Probability that the fsync after a checkpoint write fails: the
+    /// temp file is abandoned and the previous generation survives.
+    pub disk_fsync_probability: f64,
+    /// Stall every Nth checkpoint write long enough to trip slow-disk
+    /// watchdogs (0 = never).
+    pub disk_slow_every: u64,
 }
 
 impl FaultSpec {
@@ -78,6 +91,10 @@ impl FaultSpec {
     /// | `ckpt-truncate` | period N     | every Nth checkpoint write is truncated |
     /// | `stuck`         | prob in 0..1 | each chip/core sensor is stuck with this probability |
     /// | `stuck-chip`    | chip index   | this chip/core's sensor is always stuck |
+    /// | `disk-full`     | prob in 0..1 | each checkpoint write fails with ENOSPC with this probability |
+    /// | `disk-torn`     | period N     | every Nth checkpoint write is torn (a prefix reaches disk) |
+    /// | `disk-fsync`    | prob in 0..1 | each checkpoint fsync fails with this probability |
+    /// | `disk-slow`     | period N     | every Nth checkpoint write stalls |
     ///
     /// An empty (or all-whitespace) string parses to the no-op spec.
     ///
@@ -128,6 +145,10 @@ impl FaultSpec {
                 "ckpt-truncate" => {
                     spec.checkpoint_truncate_every = value.parse().map_err(|_| bad())?;
                 }
+                "disk-full" => prob(&mut spec.disk_full_probability)?,
+                "disk-fsync" => prob(&mut spec.disk_fsync_probability)?,
+                "disk-torn" => spec.disk_torn_every = value.parse().map_err(|_| bad())?,
+                "disk-slow" => spec.disk_slow_every = value.parse().map_err(|_| bad())?,
                 _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
             }
         }
@@ -179,6 +200,18 @@ impl fmt::Display for FaultSpec {
         if let Some(chip) = self.stuck_chip {
             item(f, format!("stuck-chip={chip}"))?;
         }
+        if self.disk_full_probability > 0.0 {
+            item(f, format!("disk-full={}", self.disk_full_probability))?;
+        }
+        if self.disk_torn_every > 0 {
+            item(f, format!("disk-torn={}", self.disk_torn_every))?;
+        }
+        if self.disk_fsync_probability > 0.0 {
+            item(f, format!("disk-fsync={}", self.disk_fsync_probability))?;
+        }
+        if self.disk_slow_every > 0 {
+            item(f, format!("disk-slow={}", self.disk_slow_every))?;
+        }
         Ok(())
     }
 }
@@ -198,7 +231,8 @@ mod tests {
     fn parses_every_key() -> Result<(), FaultSpecError> {
         let spec = FaultSpec::parse(
             "panic=0.25, kill-shard=3, poison=0.5, poison-chip=7, \
-             ckpt-flip=2, ckpt-truncate=4, stuck=0.1, stuck-chip=9",
+             ckpt-flip=2, ckpt-truncate=4, stuck=0.1, stuck-chip=9, \
+             disk-full=0.2, disk-torn=3, disk-fsync=0.15, disk-slow=6",
         )?;
         assert_eq!(spec.panic_probability, 0.25);
         assert_eq!(spec.kill_shard, Some(3));
@@ -208,12 +242,16 @@ mod tests {
         assert_eq!(spec.checkpoint_truncate_every, 4);
         assert_eq!(spec.stuck_probability, 0.1);
         assert_eq!(spec.stuck_chip, Some(9));
+        assert_eq!(spec.disk_full_probability, 0.2);
+        assert_eq!(spec.disk_torn_every, 3);
+        assert_eq!(spec.disk_fsync_probability, 0.15);
+        assert_eq!(spec.disk_slow_every, 6);
         Ok(())
     }
 
     #[test]
     fn display_round_trips() -> Result<(), FaultSpecError> {
-        let text = "panic=0.01,ckpt-flip=2,stuck-chip=5";
+        let text = "panic=0.01,ckpt-flip=2,stuck-chip=5,disk-full=0.2,disk-torn=3";
         let spec = FaultSpec::parse(text)?;
         assert_eq!(spec.to_string(), text);
         assert_eq!(FaultSpec::parse(&spec.to_string())?, spec);
@@ -236,6 +274,10 @@ mod tests {
         ));
         assert!(matches!(
             FaultSpec::parse("kill-shard=minus-one"),
+            Err(FaultSpecError::BadValue { .. })
+        ));
+        assert!(matches!(
+            FaultSpec::parse("disk-full=2"),
             Err(FaultSpecError::BadValue { .. })
         ));
     }

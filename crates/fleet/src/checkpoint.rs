@@ -49,9 +49,13 @@
 //! validation, so one corrupted write costs a replay window, never the
 //! run.
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use dh_fault::{CheckpointFallback, DegradedReport, SensorFaultKind, SensorIncident, ShardFailure};
+use dh_fault::{
+    CheckpointFallback, DegradedReport, DiskFaultKind, DiskIncident, SensorFaultKind,
+    SensorIncident, ShardFailure,
+};
 
 use crate::error::FleetError;
 use crate::sim::FleetAccumulator;
@@ -105,6 +109,12 @@ fn encode_degraded(buf: &mut Vec<u8>, d: &DegradedReport) {
         put_u64(buf, c.generation);
         put_str(buf, &c.reason);
     }
+    put_u64(buf, d.disk_incidents.len() as u64);
+    for i in &d.disk_incidents {
+        put_u64(buf, u64::from(i.kind.discriminant()));
+        put_u64(buf, i.write_index);
+    }
+    put_u64(buf, d.retention_trims);
 }
 
 /// Reads the degraded-state section back from the front of `bytes`.
@@ -141,6 +151,21 @@ fn decode_degraded(bytes: &mut &[u8]) -> Result<DegradedReport, FleetError> {
             reason: take_str(bytes, "degraded.fallbacks.reason")?,
         });
     }
+    // Files written before disk-fault tracking end here; their disk
+    // section is empty rather than corrupt.
+    if bytes.is_empty() {
+        return Ok(d);
+    }
+    let n = take_u64(bytes, "degraded.disk.len")?;
+    for _ in 0..n {
+        let disc = take_u64(bytes, "degraded.disk.kind")?;
+        let write_index = take_u64(bytes, "degraded.disk.write_index")?;
+        let kind = DiskFaultKind::from_wire(disc as u8).ok_or_else(|| {
+            FleetError::Corrupt(format!("unknown disk-fault discriminant {disc}"))
+        })?;
+        d.disk_incidents.push(DiskIncident { kind, write_index });
+    }
+    d.retention_trims = take_u64(bytes, "degraded.trims")?;
     Ok(d)
 }
 
@@ -181,12 +206,30 @@ fn take_slab<'a>(bytes: &mut &'a [u8]) -> Result<(u64, &'a [u8]), FleetError> {
     Ok((tag, body))
 }
 
-/// Writes `bytes` to `path` atomically (temp file + rename).
+/// Writes `bytes` to `path` atomically *and durably*: temp file,
+/// fsync, rename, then fsync of the parent directory. Without the two
+/// fsyncs the rename can be persisted before the data (a torn write) or
+/// the new directory entry lost entirely on power failure — "atomic"
+/// would only hold against process death, not against the crashes the
+/// checkpoint format exists for.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
     let tmp = path.with_extension("tmp");
     let io = |e: std::io::Error| FleetError::Io(format!("{}: {e}", path.display()));
-    std::fs::write(&tmp, bytes).map_err(io)?;
+    let mut file = std::fs::File::create(&tmp).map_err(io)?;
+    file.write_all(bytes).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
     std::fs::rename(&tmp, path).map_err(io)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Persist the directory entry itself. Directories cannot be
+        // fsynced on some platforms (e.g. Windows); treat that as
+        // best-effort there, but surface real failures on unix.
+        match std::fs::File::open(dir).and_then(|d| d.sync_all()) {
+            Ok(()) => {}
+            Err(e) if cfg!(unix) => return Err(io(e)),
+            Err(_) => {}
+        }
+    }
     dh_obs::counter!("fleet.checkpoint_bytes").add(bytes.len() as u64);
     dh_obs::counter!("fleet.checkpoints_written").incr();
     Ok(())
@@ -361,6 +404,35 @@ impl Snapshot {
     }
 }
 
+/// How long an injected slow write stalls the writing thread — long
+/// enough for heartbeat watchdogs to notice a pattern of them, short
+/// enough not to dominate a chaos campaign.
+const SLOW_WRITE_STALL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Bumps the per-kind injected-disk-fault counter.
+fn count_disk_fault(kind: DiskFaultKind) {
+    match kind {
+        DiskFaultKind::Enospc => dh_obs::counter!("fleet.disk_fault_enospc").incr(),
+        DiskFaultKind::TornWrite => dh_obs::counter!("fleet.disk_fault_torn").incr(),
+        DiskFaultKind::FsyncFail => dh_obs::counter!("fleet.disk_fault_fsync").incr(),
+        DiskFaultKind::SlowWrite => dh_obs::counter!("fleet.disk_fault_slow").incr(),
+    }
+}
+
+/// What one injected checkpoint write did: how many bytes landed (0
+/// when the write was suppressed), the content-corruption note, and the
+/// disk incidents (plus retention trims) the write survived.
+#[derive(Debug, Default)]
+pub struct WriteOutcome {
+    /// Bytes that reached the disk (0 for ENOSPC / failed fsync).
+    pub bytes: u64,
+    /// Human-readable description of injected content corruption.
+    pub corruption: Option<String>,
+    /// Disk incidents and retention trims, ready to absorb into the
+    /// run's [`DegradedReport`]. Empty when the disk behaved.
+    pub disk: DegradedReport,
+}
+
 /// A checkpoint file plus its last `keep - 1` predecessor generations:
 /// `base` is the newest, `base.1` the one before it, and so on. One
 /// corrupted (or torn, or truncated) write then costs a replay from the
@@ -428,6 +500,17 @@ impl CheckpointStore {
         snapshot.write(&self.base)
     }
 
+    /// Deletes the oldest on-disk generation (never the newest) to
+    /// relieve disk pressure. Returns whether anything was removed.
+    fn trim_oldest(&self) -> bool {
+        for generation in (1..self.keep).rev() {
+            if std::fs::remove_file(self.generation_path(generation)).is_ok() {
+                return true;
+            }
+        }
+        false
+    }
+
     /// [`CheckpointStore::write`] with fault injection: after encoding,
     /// the plan may flip a bit or truncate the bytes before they land on
     /// disk. Returns the byte count and the corruption description (if
@@ -442,7 +525,8 @@ impl CheckpointStore {
         plan: Option<&dh_fault::FaultPlan>,
         write_index: u64,
     ) -> Result<(u64, Option<String>), FleetError> {
-        self.write_injected_with(snapshot, plan, write_index, &mut Vec::new())
+        let outcome = self.write_injected_with(snapshot, plan, write_index, &mut Vec::new())?;
+        Ok((outcome.bytes, outcome.corruption))
     }
 
     /// [`CheckpointStore::write_injected`] encoding into a caller-owned
@@ -450,21 +534,67 @@ impl CheckpointStore {
     /// [`AsyncCheckpointer`] writer thread) reuses one allocation across
     /// every write of the run.
     ///
+    /// On top of content corruption the plan may inject a *disk* fault
+    /// for this write index, each contained rather than fatal:
+    ///
+    /// - **ENOSPC**: nothing lands; the previous generation stays
+    ///   newest and the oldest generation is trimmed to relieve
+    ///   pressure.
+    /// - **Torn write**: only a seeded prefix of the file reaches the
+    ///   disk (resume-time generation fallback absorbs it).
+    /// - **Failed fsync**: the write is abandoned before rename; the
+    ///   previous generation stays newest.
+    /// - **Slow write**: the write stalls briefly, then lands intact.
+    ///
+    /// Every injected fault is recorded in the returned
+    /// [`WriteOutcome::disk`] report instead of surfacing as an error;
+    /// only *real* filesystem failures abort.
+    ///
     /// # Errors
     ///
-    /// [`FleetError::Io`] on any filesystem failure.
+    /// [`FleetError::Io`] on any genuine filesystem failure.
     pub fn write_injected_with(
         &self,
         snapshot: &Snapshot,
         plan: Option<&dh_fault::FaultPlan>,
         write_index: u64,
         scratch: &mut Vec<u8>,
-    ) -> Result<(u64, Option<String>), FleetError> {
-        self.rotate()?;
+    ) -> Result<WriteOutcome, FleetError> {
+        let mut outcome = WriteOutcome::default();
         snapshot.encode_into(scratch);
-        let note = plan.and_then(|p| p.corrupt_checkpoint(write_index, scratch));
+        outcome.corruption = plan.and_then(|p| p.corrupt_checkpoint(write_index, scratch));
+        let fault = plan.and_then(|p| p.disk_fault(write_index));
+        if let Some(kind) = fault {
+            outcome
+                .disk
+                .disk_incidents
+                .push(DiskIncident { kind, write_index });
+            count_disk_fault(kind);
+        }
+        match fault {
+            Some(DiskFaultKind::Enospc) => {
+                if self.trim_oldest() {
+                    outcome.disk.retention_trims += 1;
+                    dh_obs::counter!("fleet.retention_trims").incr();
+                }
+                return Ok(outcome);
+            }
+            Some(DiskFaultKind::FsyncFail) => return Ok(outcome),
+            Some(DiskFaultKind::TornWrite) => {
+                let keep = plan
+                    .expect("torn write implies a plan")
+                    .torn_length(write_index, scratch.len());
+                scratch.truncate(keep);
+            }
+            Some(DiskFaultKind::SlowWrite) => {
+                std::thread::sleep(SLOW_WRITE_STALL);
+            }
+            None => {}
+        }
+        self.rotate()?;
         write_atomic(&self.base, scratch)?;
-        Ok((scratch.len() as u64, note))
+        outcome.bytes = scratch.len() as u64;
+        Ok(outcome)
     }
 
     /// Walks the generations newest-first and returns the first snapshot
@@ -568,7 +698,7 @@ struct WriteJob {
 #[derive(Debug)]
 pub struct AsyncCheckpointer {
     tx: Option<std::sync::mpsc::SyncSender<WriteJob>>,
-    handle: Option<std::thread::JoinHandle<Result<(), FleetError>>>,
+    handle: Option<std::thread::JoinHandle<Result<DegradedReport, FleetError>>>,
     next_index: u64,
 }
 
@@ -590,15 +720,17 @@ impl AsyncCheckpointer {
             .name("dh-fleet-ckpt".into())
             .spawn(move || {
                 let mut scratch = Vec::new();
+                let mut disk = DegradedReport::default();
                 for job in rx {
-                    store.write_injected_with(
+                    let outcome = store.write_injected_with(
                         &job.snapshot,
                         plan.as_ref(),
                         job.write_index,
                         &mut scratch,
                     )?;
+                    disk.absorb(outcome.disk);
                 }
-                Ok(())
+                Ok(disk)
             })
             .expect("failed to spawn checkpoint writer thread");
         Self {
@@ -632,19 +764,20 @@ impl AsyncCheckpointer {
     }
 
     /// Closes the queue, waits for every submitted write to land, and
-    /// returns the first I/O error the writer hit (if any).
+    /// returns the disk incidents the writer survived (empty without an
+    /// injecting plan).
     ///
     /// # Errors
     ///
     /// [`FleetError::Io`] from any submitted write.
-    pub fn finish(mut self) -> Result<(), FleetError> {
+    pub fn finish(mut self) -> Result<DegradedReport, FleetError> {
         self.tx = None; // close the channel; the writer drains and exits
         match self.handle.take() {
             Some(handle) => match handle.join() {
                 Ok(result) => result,
                 Err(_) => Err(FleetError::Io("checkpoint writer panicked".into())),
             },
-            None => Ok(()),
+            None => Ok(DegradedReport::default()),
         }
     }
 
@@ -721,6 +854,11 @@ mod tests {
                 generation: 0,
                 reason: "checksum mismatch".to_string(),
             });
+        snap.degraded.disk_incidents.push(DiskIncident {
+            kind: DiskFaultKind::TornWrite,
+            write_index: 4,
+        });
+        snap.degraded.retention_trims = 2;
         let bytes = snap.encode();
         let back = Snapshot::decode(&bytes).unwrap();
         assert_eq!(back.cursor, snap.cursor);
@@ -1096,5 +1234,116 @@ mod tests {
         let (found, fallbacks) = store.read_newest_valid().unwrap();
         assert!(found.is_some());
         assert_eq!(fallbacks.len(), 1);
+    }
+
+    #[test]
+    fn degraded_sections_without_disk_fields_still_decode() {
+        // Checkpoints written before disk-fault tracking end their
+        // degraded section at the fallback list.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 2); // retries
+        put_u64(&mut buf, 1); // rejected samples
+        put_u64(&mut buf, 0); // quarantined
+        put_u64(&mut buf, 0); // sensor incidents
+        put_u64(&mut buf, 0); // checkpoint fallbacks
+        let mut view = buf.as_slice();
+        let d = decode_degraded(&mut view).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(d.retries, 2);
+        assert_eq!(d.rejected_samples, 1);
+        assert!(d.disk_incidents.is_empty());
+        assert_eq!(d.retention_trims, 0);
+    }
+
+    #[test]
+    fn enospc_keeps_the_previous_generation_and_trims_the_oldest() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("enospc");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 3);
+        for cursor in 1..4 {
+            let mut s = snap.clone();
+            s.cursor = cursor;
+            store.write(&s).unwrap();
+        }
+        let plan = dh_fault::FaultPlan::parse("disk-full=1", 7).unwrap();
+        let mut failed = snap.clone();
+        failed.cursor = 99;
+        let outcome = store
+            .write_injected_with(&failed, Some(&plan), 0, &mut Vec::new())
+            .unwrap();
+        assert_eq!(outcome.bytes, 0, "nothing must land under ENOSPC");
+        assert_eq!(outcome.disk.disk_incidents.len(), 1);
+        assert_eq!(outcome.disk.disk_incidents[0].kind, DiskFaultKind::Enospc);
+        assert_eq!(outcome.disk.retention_trims, 1);
+        // Newest generation untouched; the oldest was trimmed away.
+        assert_eq!(Snapshot::read(&store.generation_path(0)).unwrap().cursor, 3);
+        assert_eq!(Snapshot::read(&store.generation_path(1)).unwrap().cursor, 2);
+        assert!(!store.generation_path(2).exists());
+    }
+
+    #[test]
+    fn failed_fsync_abandons_the_write_cleanly() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("fsync-fail");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 2);
+        let mut first = snap.clone();
+        first.cursor = 1;
+        store.write(&first).unwrap();
+        let plan = dh_fault::FaultPlan::parse("disk-fsync=1", 7).unwrap();
+        let outcome = store
+            .write_injected_with(&snap, Some(&plan), 0, &mut Vec::new())
+            .unwrap();
+        assert_eq!(outcome.bytes, 0);
+        assert_eq!(
+            outcome.disk.disk_incidents[0].kind,
+            DiskFaultKind::FsyncFail
+        );
+        // No rotation happened: the previous write is still newest and
+        // generation 1 never appeared.
+        assert_eq!(Snapshot::read(&store.generation_path(0)).unwrap().cursor, 1);
+        assert!(!store.generation_path(1).exists());
+    }
+
+    #[test]
+    fn torn_write_costs_one_generation_not_the_run() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("torn");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 2);
+        let mut first = snap.clone();
+        first.cursor = 1;
+        store.write(&first).unwrap();
+        let plan = dh_fault::FaultPlan::parse("disk-torn=1", 7).unwrap();
+        let outcome = store
+            .write_injected_with(&snap, Some(&plan), 0, &mut Vec::new())
+            .unwrap();
+        assert_eq!(
+            outcome.disk.disk_incidents[0].kind,
+            DiskFaultKind::TornWrite
+        );
+        assert!(outcome.bytes < snap.encode().len() as u64);
+        // The torn newest generation fails validation; resume falls back
+        // to the intact previous write.
+        let (found, fallbacks) = store.read_newest_valid().unwrap();
+        assert_eq!(found.unwrap().cursor, 1);
+        assert_eq!(fallbacks.len(), 1);
+        assert_eq!(fallbacks[0].generation, 0);
+    }
+
+    #[test]
+    fn async_writer_reports_disk_incidents_at_finish() {
+        let (_config, snap) = snapshot_after_one_step();
+        let dir = temp_dir("async-disk");
+        let store = CheckpointStore::new(dir.join("snap.dhfl"), 2);
+        let plan = dh_fault::FaultPlan::parse("disk-fsync=1", 7).unwrap();
+        let mut writer = AsyncCheckpointer::spawn(store, Some(plan));
+        for _ in 0..3 {
+            writer.submit(snap.clone()).unwrap();
+        }
+        let disk = writer.finish().unwrap();
+        assert_eq!(disk.disk_incidents.len(), 3);
+        assert!(disk
+            .disk_incidents
+            .iter()
+            .all(|i| i.kind == DiskFaultKind::FsyncFail));
     }
 }

@@ -61,7 +61,7 @@ pub mod stats;
 pub(crate) mod store;
 pub(crate) mod wire;
 
-pub use checkpoint::{AsyncCheckpointer, CheckpointMode, CheckpointStore, Snapshot};
+pub use checkpoint::{AsyncCheckpointer, CheckpointMode, CheckpointStore, Snapshot, WriteOutcome};
 pub use chip::{ChipOutcome, ChipSpec, VariationModel, SENSOR_STALE_EPOCHS};
 pub use error::FleetError;
 pub use policy::{FleetPolicy, MaintenanceBudget};

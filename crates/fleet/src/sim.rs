@@ -1234,15 +1234,28 @@ pub fn run_fleet_supervised_with(
         // Write indices count this process's writes from 0, so an
         // injected `ckpt-flip=N` plan corrupts the same generations
         // on every identically-seeded invocation, in either mode.
+        // Disk incidents are absorbed only after the final write, so
+        // persisted snapshots never contain this process's own disk
+        // report and both modes stay byte-identical on disk.
         Some((store, every)) => match mode {
             CheckpointMode::Sync => {
                 let mut write_index = 0u64;
                 let mut scratch = Vec::new();
+                let mut disk = DegradedReport::default();
                 while !run.step_supervised(every.max(1), plan, retry) {
-                    store.write_injected_with(&run.snapshot(), plan, write_index, &mut scratch)?;
+                    let outcome = store.write_injected_with(
+                        &run.snapshot(),
+                        plan,
+                        write_index,
+                        &mut scratch,
+                    )?;
+                    disk.absorb(outcome.disk);
                     write_index += 1;
                 }
-                store.write_injected_with(&run.snapshot(), plan, write_index, &mut scratch)?;
+                let outcome =
+                    store.write_injected_with(&run.snapshot(), plan, write_index, &mut scratch)?;
+                disk.absorb(outcome.disk);
+                run.degraded.absorb(disk);
             }
             CheckpointMode::Async => {
                 let mut writer = AsyncCheckpointer::spawn((*store).clone(), plan.cloned());
@@ -1250,7 +1263,8 @@ pub fn run_fleet_supervised_with(
                     writer.submit(run.snapshot())?;
                 }
                 writer.submit(run.snapshot())?;
-                writer.finish()?;
+                let disk = writer.finish()?;
+                run.degraded.absorb(disk);
             }
         },
         None => while !run.step_supervised(u64::MAX, plan, retry) {},

@@ -22,6 +22,11 @@
 //! packs and any `--scenario-dir` overrides; [`ScenarioRun`] integrates
 //! a pack deterministically (bit-identical at any thread count),
 //! checkpoints mid-run, and reports a fingerprint CI can pin.
+//! [`run_pack_supervised`] is the hardened flavor: a [`dh_fault::FaultPlan`]
+//! injects shard panics, sample poisoning, stuck sensors, checkpoint
+//! corruption, and disk faults, all contained by retry, quarantine, and
+//! multi-generation [`ScenarioCheckpointStore`] fallback so the run
+//! completes with a [`dh_fault::DegradedReport`] instead of aborting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,4 +47,7 @@ pub use pack::{
     BlockGroup, BlockModel, Corner, Maintenance, MaintenancePolicy, ScenarioPack, Workload,
 };
 pub use registry::{load_pack_file, PackSource, RegisteredPack, ScenarioRegistry};
-pub use run::{run_pack, GroupReport, Progress, ScenarioReport, ScenarioRun};
+pub use run::{
+    run_pack, run_pack_supervised, CheckpointWrite, GroupReport, Progress, ScenarioCheckpointStore,
+    ScenarioReport, ScenarioRun,
+};

@@ -5,22 +5,48 @@
 //! shard's columns, the per-epoch context is computed once from the
 //! pack, and [`dh_exec::par_chunks_mut`] reassembles results in index
 //! order — so the run is bit-identical at any thread count, and the
-//! report fingerprint is a stable pin for CI. Checkpoints (`DHSP` v1)
-//! carry only the mutable state columns; the constant parameter columns
-//! are rebuilt from the pack, whose fingerprint the file embeds so a
-//! checkpoint cannot silently resume under a different scenario.
+//! report fingerprint is a stable pin for CI. Checkpoints (`DHSP` v2;
+//! v1 files still resume) carry only the mutable state columns plus the
+//! run's [`DegradedReport`]; the constant parameter columns are rebuilt
+//! from the pack, whose fingerprint the file embeds so a checkpoint
+//! cannot silently resume under a different scenario.
+//!
+//! Supervision mirrors the fleet engine: [`ScenarioRun::step_supervised`]
+//! threads a [`FaultPlan`] through the shard workers (panic / poison /
+//! stuck faults keyed on `(epoch, shard)`), retries and quarantines via
+//! [`dh_exec::par_map_fold_supervised`], and
+//! [`ScenarioCheckpointStore`] layers multi-generation fallback plus
+//! injectable disk faults under the checkpoint writer. A no-op plan
+//! short-circuits to the strict path, so its report stays bit-identical
+//! to an unsupervised run.
 
-use std::path::Path;
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dh_exec::RetryPolicy;
+use dh_fault::{
+    CheckpointFallback, DegradedReport, DiskFaultKind, DiskIncident, FaultPlan, SensorFaultKind,
+    SensorIncident, ShardFailure,
+};
 
 use crate::error::ScenarioError;
 use crate::models::{EpochCtx, MultiplierStore, SramStore, WeightStore};
 use crate::pack::{BlockModel, ScenarioPack};
-use crate::wire::{fnv1a, fnv1a_u64, put_f64, put_u64, take_f64, take_u64, FNV_OFFSET};
+use crate::wire::{
+    fnv1a, fnv1a_u64, put_f64, put_str, put_u64, take_f64, take_str, take_u64, FNV_OFFSET,
+};
 
 /// Checkpoint magic: "DHSP" (Deep-Healing Scenario Pack state).
 const MAGIC: &[u8; 4] = b"DHSP";
-/// Checkpoint format version.
-const VERSION: u64 = 1;
+/// Checkpoint format version this build writes.
+const VERSION: u64 = 2;
+/// Oldest format version this build still resumes from (no degraded
+/// section).
+const LEGACY_VERSION: u64 = 1;
+
+/// How long an injected slow write stalls the writing thread.
+const SLOW_WRITE_STALL: std::time::Duration = std::time::Duration::from_millis(100);
 
 /// One shard: a contiguous range of one block group's elements.
 #[derive(Debug, Clone)]
@@ -208,6 +234,13 @@ pub struct ScenarioRun {
     shards: Vec<Shard>,
     epoch: u64,
     shard_cursor: usize,
+    /// Everything a supervised run has survived (empty for a clean or
+    /// unsupervised run). Persisted in `DHSP` v2 checkpoints so a
+    /// kill/resume cycle cannot launder a degraded run into a clean one.
+    pub degraded: DegradedReport,
+    /// Shard indices dropped after exhausting retries; their last-good
+    /// state stays frozen in the aggregate.
+    quarantined: BTreeSet<usize>,
 }
 
 impl ScenarioRun {
@@ -233,6 +266,8 @@ impl ScenarioRun {
             shards,
             epoch: 0,
             shard_cursor: 0,
+            degraded: DegradedReport::default(),
+            quarantined: BTreeSet::new(),
         }
     }
 
@@ -290,6 +325,145 @@ impl ScenarioRun {
         while !self.progress().done {
             self.step(usize::MAX);
         }
+    }
+
+    /// Mixes `(epoch, shard)` into one fault-plan index so the same
+    /// shard draws fresh decisions every epoch.
+    fn fault_key(&self, shard: usize) -> u64 {
+        self.epoch
+            .wrapping_mul(self.shards.len() as u64)
+            .wrapping_add(shard as u64)
+    }
+
+    /// [`ScenarioRun::step`] under supervision: shard workers run inside
+    /// `catch_unwind`, panicking shards (injected or real) are retried
+    /// per `retry` and quarantined when they keep failing, poisoned
+    /// (non-finite) shard states are rejected at the fold, and every
+    /// such event lands in [`ScenarioRun::degraded`] instead of
+    /// aborting. Workers step an out-of-place copy of the shard state,
+    /// so a retried attempt always starts from the intact pre-epoch
+    /// columns.
+    ///
+    /// A quarantined shard stops advancing: its last-good state stays
+    /// frozen in the aggregate (and the fingerprint), and the shard is
+    /// skipped in every later epoch. A rejected (poisoned) shard state
+    /// is discarded the same way for that epoch, with the element count
+    /// added to `rejected_samples`.
+    ///
+    /// With `plan` absent or a no-op (and nothing quarantined), this
+    /// delegates to the strict path, so the run stays bit-identical to
+    /// an unsupervised one.
+    pub fn step_supervised(
+        &mut self,
+        max_shards: usize,
+        plan: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+    ) -> Progress {
+        let plan = plan.filter(|p| !p.is_noop());
+        if plan.is_none() && self.quarantined.is_empty() {
+            return self.step(max_shards);
+        }
+        if self.epoch >= self.pack.epochs {
+            return self.progress();
+        }
+        if let Some(p) = plan {
+            // Register always-stuck wear sensors once, at the very start
+            // of the run (resumes re-load them from the checkpoint).
+            if self.epoch == 0
+                && self.shard_cursor == 0
+                && self.degraded.sensor_incidents.is_empty()
+            {
+                for shard in 0..self.shards.len() as u64 {
+                    if let Some(kind) = p.sensor_fault(shard) {
+                        self.degraded.sensor_incidents.push(SensorIncident {
+                            chip: shard,
+                            kind,
+                            epoch: 0,
+                        });
+                    }
+                }
+            }
+        }
+        let ctx = self.pack.epoch_ctx(self.epoch + 1);
+        let first = self.shard_cursor;
+        let hi = first
+            .saturating_add(max_shards.max(1))
+            .min(self.shards.len());
+        let batch = hi - first;
+        // Out-of-place inputs: quarantined shards are skipped, everyone
+        // else is stepped on a copy so retries are side-effect free.
+        let inputs: Vec<Option<Store>> = (first..hi)
+            .map(|s| {
+                if self.quarantined.contains(&s) {
+                    None
+                } else {
+                    Some(self.shards[s].store.clone())
+                }
+            })
+            .collect();
+        let keys: Vec<u64> = (first..hi).map(|s| self.fault_key(s)).collect();
+        let shards = &mut self.shards;
+        let degraded = &mut self.degraded;
+        let outcome = dh_exec::par_map_fold_supervised(
+            batch,
+            |i, attempt| {
+                // Quarantined shards stay frozen: no work, no faults.
+                let mut store = inputs[i].clone()?;
+                let key = keys[i];
+                if let Some(p) = plan {
+                    if p.shard_panics(key, attempt) {
+                        panic!(
+                            "injected fault: scenario shard {} attempt {attempt}",
+                            first + i
+                        );
+                    }
+                }
+                store.step_epoch(ctx);
+                if let Some(p) = plan {
+                    if let Some((offset, kind)) = p.poison(key, attempt, store.len() as u64) {
+                        let (mut cols, _) = store.state_mut();
+                        if let Some(col) = cols.first_mut() {
+                            col[offset as usize] = kind.value();
+                        }
+                    }
+                }
+                Some(store)
+            },
+            (),
+            |(), i, store| {
+                let Some(store) = store else { return };
+                let poisoned = (0..store.len())
+                    .filter(|&k| !store.metric(k).is_finite())
+                    .count();
+                if poisoned > 0 {
+                    degraded.rejected_samples += poisoned as u64;
+                    dh_obs::counter!("scenario.rejected_samples").add(poisoned as u64);
+                    return;
+                }
+                shards[first + i].store = store;
+            },
+            retry,
+        );
+        degraded.retries += outcome.retries;
+        dh_obs::counter!("scenario.shard_retries").add(outcome.retries);
+        dh_obs::counter!("scenario.shards_quarantined").add(outcome.failures.len() as u64);
+        for f in outcome.failures {
+            let shard = first + f.index;
+            degraded.quarantined.push(ShardFailure {
+                shard: shard as u64,
+                attempts: f.attempts,
+                error: f.message,
+            });
+            self.quarantined.insert(shard);
+        }
+        dh_obs::counter!("scenario.shard_steps").add(batch as u64);
+        self.shard_cursor = hi;
+        if self.shard_cursor == self.shards.len() {
+            self.shard_cursor = 0;
+            self.epoch += 1;
+            dh_obs::counter!("scenario.epochs").incr();
+        }
+        self.progress()
     }
 
     /// Aggregates the current state into per-group reports plus the
@@ -351,8 +525,9 @@ impl ScenarioRun {
 
     // ------------------------------------------------------- checkpoints
 
-    /// Serializes the mutable state (`DHSP` v1) — constant columns are
-    /// rebuilt from the pack on resume.
+    /// Serializes the mutable state (`DHSP` v2) — constant columns are
+    /// rebuilt from the pack on resume; the degraded report rides along
+    /// so quarantines and incidents survive a kill/resume cycle.
     pub fn encode_checkpoint(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
@@ -375,6 +550,7 @@ impl ScenarioRun {
                 put_u64(&mut buf, v);
             }
         }
+        encode_degraded(&mut buf, &self.degraded);
         let checksum = fnv1a(FNV_OFFSET, &buf);
         put_u64(&mut buf, checksum);
         buf
@@ -397,7 +573,7 @@ impl ScenarioRun {
         }
         let mut view = &body[4..];
         let version = take_u64(&mut view, "version")?;
-        if version != VERSION {
+        if version != VERSION && version != LEGACY_VERSION {
             return Err(ScenarioError::Corrupt(format!(
                 "unsupported version {version} (want {VERSION})"
             )));
@@ -438,6 +614,15 @@ impl ScenarioRun {
                 *v = take_u64(&mut view, "failed column")?;
             }
         }
+        if version == VERSION {
+            run.degraded = decode_degraded(&mut view)?;
+            run.quarantined = run
+                .degraded
+                .quarantined
+                .iter()
+                .map(|q| q.shard as usize)
+                .collect();
+        }
         if !view.is_empty() {
             return Err(ScenarioError::Corrupt(format!(
                 "{} trailing bytes",
@@ -447,17 +632,12 @@ impl ScenarioRun {
         Ok(run)
     }
 
-    /// Writes the checkpoint via a temp file and an atomic rename, so a
-    /// kill mid-write leaves either the old file or the new one.
+    /// Writes the checkpoint via a temp file, fsync, and an atomic
+    /// rename, so a kill (or power loss) mid-write leaves either the old
+    /// file or the new one — never a torn hybrid.
     pub fn save_checkpoint(&self, path: &Path) -> Result<(), ScenarioError> {
         let bytes = self.encode_checkpoint();
-        let io_err = |why: std::io::Error| ScenarioError::Io {
-            path: path.display().to_string(),
-            why: why.to_string(),
-        };
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)?;
+        write_atomic(path, &bytes)?;
         dh_obs::counter!("scenario.checkpoint_bytes").add(bytes.len() as u64);
         Ok(())
     }
@@ -477,6 +657,374 @@ pub fn run_pack(pack: ScenarioPack) -> ScenarioReport {
     let mut run = ScenarioRun::new(pack);
     run.run_to_end();
     run.report()
+}
+
+/// Integrates a pack under supervision: worker faults from `plan` are
+/// retried per `retry` and quarantined on exhaustion, checkpoints (when
+/// a store is given) are written every `every` supervised steps through
+/// the disk-fault-injecting writer, and a corrupt newest generation
+/// falls back to an older one on resume. Returns the report plus the
+/// accumulated [`DegradedReport`]; a no-op plan with no checkpoints
+/// produces a report bit-identical to [`run_pack`].
+///
+/// # Errors
+///
+/// [`ScenarioError::Io`] on a genuine filesystem failure and
+/// [`ScenarioError::Mismatch`] when an on-disk checkpoint belongs to a
+/// different pack — injected faults degrade instead of erroring.
+pub fn run_pack_supervised(
+    pack: ScenarioPack,
+    plan: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    checkpoints: Option<(&ScenarioCheckpointStore, u64)>,
+) -> Result<(ScenarioReport, DegradedReport), ScenarioError> {
+    let mut run = match checkpoints {
+        Some((store, _)) => {
+            let (found, fallbacks) = store.read_newest_valid(pack.clone())?;
+            let mut run = found.unwrap_or_else(|| ScenarioRun::new(pack));
+            run.degraded.checkpoint_fallbacks.extend(fallbacks);
+            run
+        }
+        None => ScenarioRun::new(pack),
+    };
+    let batch = dh_exec::max_threads().max(1);
+    // Disk incidents stay out of `run.degraded` until the run is over,
+    // so no checkpoint ever embeds this process's own disk-fault
+    // history (a resume would otherwise double-count replayed writes).
+    let mut disk = DegradedReport::default();
+    let mut write_index = 0u64;
+    let mut steps = 0u64;
+    loop {
+        let progress = run.step_supervised(batch, plan, retry);
+        if progress.done {
+            break;
+        }
+        steps += 1;
+        if let Some((store, every)) = checkpoints {
+            if every > 0 && steps.is_multiple_of(every) {
+                let outcome = store.write_injected(&run, plan, write_index)?;
+                disk.absorb(outcome.disk);
+                write_index += 1;
+            }
+        }
+    }
+    if let Some((store, _)) = checkpoints {
+        let outcome = store.write_injected(&run, plan, write_index)?;
+        disk.absorb(outcome.disk);
+    }
+    run.degraded.absorb(disk);
+    Ok((run.report(), run.degraded.clone()))
+}
+
+/// Writes `bytes` to `path` durably: temp file, fsync, atomic rename,
+/// then an fsync of the parent directory so the rename itself survives
+/// a crash. The directory fsync is a hard error on Unix and best-effort
+/// elsewhere.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ScenarioError> {
+    let io_err = |why: std::io::Error| ScenarioError::Io {
+        path: path.display().to_string(),
+        why: why.to_string(),
+    };
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+    file.write_all(bytes).map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        match std::fs::File::open(dir).and_then(|d| d.sync_all()) {
+            Ok(()) => {}
+            Err(e) if cfg!(unix) => return Err(io_err(e)),
+            Err(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Appends the degraded-state section (same field order as the fleet
+/// format's, so the two stay idiom-compatible).
+fn encode_degraded(buf: &mut Vec<u8>, d: &DegradedReport) {
+    put_u64(buf, d.retries);
+    put_u64(buf, d.rejected_samples);
+    put_u64(buf, d.quarantined.len() as u64);
+    for q in &d.quarantined {
+        put_u64(buf, q.shard);
+        put_u64(buf, u64::from(q.attempts));
+        put_str(buf, &q.error);
+    }
+    put_u64(buf, d.sensor_incidents.len() as u64);
+    for s in &d.sensor_incidents {
+        put_u64(buf, s.chip);
+        put_u64(buf, u64::from(s.kind.discriminant()));
+        put_u64(buf, s.kind.payload().to_bits());
+        put_u64(buf, s.epoch);
+    }
+    put_u64(buf, d.checkpoint_fallbacks.len() as u64);
+    for c in &d.checkpoint_fallbacks {
+        put_u64(buf, c.generation);
+        put_str(buf, &c.reason);
+    }
+    put_u64(buf, d.disk_incidents.len() as u64);
+    for i in &d.disk_incidents {
+        put_u64(buf, u64::from(i.kind.discriminant()));
+        put_u64(buf, i.write_index);
+    }
+    put_u64(buf, d.retention_trims);
+}
+
+/// Reads the degraded-state section back from the front of `bytes`.
+fn decode_degraded(bytes: &mut &[u8]) -> Result<DegradedReport, ScenarioError> {
+    let mut d = DegradedReport {
+        retries: take_u64(bytes, "degraded.retries")?,
+        rejected_samples: take_u64(bytes, "degraded.rejected")?,
+        ..DegradedReport::default()
+    };
+    let n = take_u64(bytes, "degraded.quarantined.len")?;
+    for _ in 0..n {
+        d.quarantined.push(ShardFailure {
+            shard: take_u64(bytes, "degraded.quarantined.shard")?,
+            attempts: take_u64(bytes, "degraded.quarantined.attempts")? as u32,
+            error: take_str(bytes, "degraded.quarantined.error")?,
+        });
+    }
+    let n = take_u64(bytes, "degraded.incidents.len")?;
+    for _ in 0..n {
+        let chip = take_u64(bytes, "degraded.incidents.chip")?;
+        let disc = take_u64(bytes, "degraded.incidents.kind")?;
+        let payload = f64::from_bits(take_u64(bytes, "degraded.incidents.payload")?);
+        let epoch = take_u64(bytes, "degraded.incidents.epoch")?;
+        let kind = SensorFaultKind::from_wire(disc as u8, payload).ok_or_else(|| {
+            ScenarioError::Corrupt(format!("unknown sensor-fault discriminant {disc}"))
+        })?;
+        d.sensor_incidents
+            .push(SensorIncident { chip, kind, epoch });
+    }
+    let n = take_u64(bytes, "degraded.fallbacks.len")?;
+    for _ in 0..n {
+        d.checkpoint_fallbacks.push(CheckpointFallback {
+            generation: take_u64(bytes, "degraded.fallbacks.generation")?,
+            reason: take_str(bytes, "degraded.fallbacks.reason")?,
+        });
+    }
+    let n = take_u64(bytes, "degraded.disk.len")?;
+    for _ in 0..n {
+        let disc = take_u64(bytes, "degraded.disk.kind")?;
+        let write_index = take_u64(bytes, "degraded.disk.write_index")?;
+        let kind = DiskFaultKind::from_wire(disc as u8).ok_or_else(|| {
+            ScenarioError::Corrupt(format!("unknown disk-fault discriminant {disc}"))
+        })?;
+        d.disk_incidents.push(DiskIncident { kind, write_index });
+    }
+    d.retention_trims = take_u64(bytes, "degraded.trims")?;
+    Ok(d)
+}
+
+/// The result of one injected checkpoint write: bytes that landed, the
+/// injected content corruption (if any), and the injected disk faults.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointWrite {
+    /// Bytes written to the newest generation (0 when the write was
+    /// swallowed by an injected ENOSPC or failed fsync).
+    pub bytes: u64,
+    /// Human-readable description of an injected content corruption.
+    pub corruption: Option<String>,
+    /// Disk incidents and retention trims injected during this write.
+    pub disk: DegradedReport,
+}
+
+/// A multi-generation `DHSP` checkpoint store: `base`, `base.1`, …,
+/// `base.{keep-1}`, newest first — the scenario twin of the fleet
+/// engine's [`dh_fleet::CheckpointStore`], with the same injectable
+/// disk-fault semantics under the writer.
+#[derive(Debug, Clone)]
+pub struct ScenarioCheckpointStore {
+    base: PathBuf,
+    keep: usize,
+}
+
+impl ScenarioCheckpointStore {
+    /// A store at `base` keeping `keep` generations (clamped to ≥ 1).
+    pub fn new(base: impl Into<PathBuf>, keep: usize) -> Self {
+        Self {
+            base: base.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The newest generation's path.
+    pub fn base_path(&self) -> &Path {
+        &self.base
+    }
+
+    /// Generations kept.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// The path of generation `generation` (0 = newest).
+    pub fn generation_path(&self, generation: usize) -> PathBuf {
+        if generation == 0 {
+            self.base.clone()
+        } else {
+            PathBuf::from(format!("{}.{generation}", self.base.display()))
+        }
+    }
+
+    /// Shifts every generation one slot older (the oldest falls off).
+    /// Missing generations are skipped.
+    fn rotate(&self) -> Result<(), ScenarioError> {
+        for generation in (0..self.keep.saturating_sub(1)).rev() {
+            let from = self.generation_path(generation);
+            let to = self.generation_path(generation + 1);
+            match std::fs::rename(&from, &to) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(ScenarioError::Io {
+                        path: from.display().to_string(),
+                        why: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes the oldest on-disk generation (never the newest) to
+    /// relieve disk pressure. Returns whether anything was removed.
+    fn trim_oldest(&self) -> bool {
+        for generation in (1..self.keep).rev() {
+            if std::fs::remove_file(self.generation_path(generation)).is_ok() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Rotates the generations and writes `run`'s checkpoint as the
+    /// newest.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Io`] on any filesystem failure.
+    pub fn write(&self, run: &ScenarioRun) -> Result<u64, ScenarioError> {
+        self.rotate()?;
+        let bytes = run.encode_checkpoint();
+        write_atomic(&self.base, &bytes)?;
+        dh_obs::counter!("scenario.checkpoint_bytes").add(bytes.len() as u64);
+        Ok(bytes.len() as u64)
+    }
+
+    /// [`ScenarioCheckpointStore::write`] with fault injection: the plan
+    /// may corrupt the encoded bytes or inject a disk fault for this
+    /// write index, each contained rather than fatal:
+    ///
+    /// - **ENOSPC**: nothing lands; the previous generation stays
+    ///   newest and the oldest generation is trimmed.
+    /// - **Torn write**: only a seeded prefix reaches the disk
+    ///   (resume-time generation fallback absorbs it).
+    /// - **Failed fsync**: the write is abandoned; the previous
+    ///   generation stays newest.
+    /// - **Slow write**: the write stalls briefly, then lands intact.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Io`] on any genuine filesystem failure.
+    pub fn write_injected(
+        &self,
+        run: &ScenarioRun,
+        plan: Option<&FaultPlan>,
+        write_index: u64,
+    ) -> Result<CheckpointWrite, ScenarioError> {
+        let mut outcome = CheckpointWrite::default();
+        let mut bytes = run.encode_checkpoint();
+        outcome.corruption = plan.and_then(|p| p.corrupt_checkpoint(write_index, &mut bytes));
+        let fault = plan.and_then(|p| p.disk_fault(write_index));
+        if let Some(kind) = fault {
+            outcome
+                .disk
+                .disk_incidents
+                .push(DiskIncident { kind, write_index });
+            count_disk_fault(kind);
+        }
+        match fault {
+            Some(DiskFaultKind::Enospc) => {
+                if self.trim_oldest() {
+                    outcome.disk.retention_trims += 1;
+                    dh_obs::counter!("scenario.retention_trims").incr();
+                }
+                return Ok(outcome);
+            }
+            Some(DiskFaultKind::FsyncFail) => return Ok(outcome),
+            Some(DiskFaultKind::TornWrite) => {
+                let keep = plan
+                    .expect("torn write implies a plan")
+                    .torn_length(write_index, bytes.len());
+                bytes.truncate(keep);
+            }
+            Some(DiskFaultKind::SlowWrite) => std::thread::sleep(SLOW_WRITE_STALL),
+            None => {}
+        }
+        self.rotate()?;
+        write_atomic(&self.base, &bytes)?;
+        dh_obs::counter!("scenario.checkpoint_bytes").add(bytes.len() as u64);
+        outcome.bytes = bytes.len() as u64;
+        Ok(outcome)
+    }
+
+    /// Walks the generations newest-first and returns the first run
+    /// that fully validates against `pack`, together with a
+    /// [`CheckpointFallback`] record for every newer generation that
+    /// had to be skipped.
+    ///
+    /// All generations missing (a fresh start) or all corrupt both
+    /// return `Ok(None)` — the latter with the fallback records saying
+    /// why the run is starting over. A checkpoint for a *different*
+    /// pack is a hard [`ScenarioError::Mismatch`]: resuming someone
+    /// else's state silently would be worse than aborting.
+    pub fn read_newest_valid(
+        &self,
+        pack: ScenarioPack,
+    ) -> Result<(Option<ScenarioRun>, Vec<CheckpointFallback>), ScenarioError> {
+        let mut fallbacks = Vec::new();
+        for generation in 0..self.keep {
+            let path = self.generation_path(generation);
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    fallbacks.push(CheckpointFallback {
+                        generation: generation as u64,
+                        reason: format!("unreadable: {e}"),
+                    });
+                    continue;
+                }
+            };
+            match ScenarioRun::decode_checkpoint(pack.clone(), &bytes) {
+                Ok(run) => {
+                    dh_obs::counter!("scenario.checkpoint_fallbacks").add(fallbacks.len() as u64);
+                    return Ok((Some(run), fallbacks));
+                }
+                Err(e @ ScenarioError::Mismatch(_)) => return Err(e),
+                Err(e) => fallbacks.push(CheckpointFallback {
+                    generation: generation as u64,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        dh_obs::counter!("scenario.checkpoint_fallbacks").add(fallbacks.len() as u64);
+        Ok((None, fallbacks))
+    }
+}
+
+/// Bumps the per-kind disk-fault counter.
+fn count_disk_fault(kind: DiskFaultKind) {
+    match kind {
+        DiskFaultKind::Enospc => dh_obs::counter!("scenario.disk_fault_enospc").incr(),
+        DiskFaultKind::TornWrite => dh_obs::counter!("scenario.disk_fault_torn").incr(),
+        DiskFaultKind::FsyncFail => dh_obs::counter!("scenario.disk_fault_fsync").incr(),
+        DiskFaultKind::SlowWrite => dh_obs::counter!("scenario.disk_fault_slow").incr(),
+    }
 }
 
 #[cfg(test)]
@@ -567,5 +1115,199 @@ mod tests {
                 assert!(g.first_fail_epoch >= 1);
             }
         }
+    }
+
+    // ------------------------------------------------- supervision
+
+    fn plan(spec: &str, seed: u64) -> FaultPlan {
+        FaultPlan::new(dh_fault::FaultSpec::parse(spec).unwrap(), seed)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dh-scenario-ckpt-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn supervised_noop_plan_is_bit_identical_to_the_strict_path() {
+        let pack = small_pack();
+        let clean = run_pack(pack.clone());
+        let noop = plan("", 7);
+        let retry = RetryPolicy::immediate(3);
+        let (report, degraded) = run_pack_supervised(pack, Some(&noop), &retry, None).unwrap();
+        assert_eq!(report, clean);
+        assert!(!degraded.is_degraded(), "{degraded:?}");
+    }
+
+    #[test]
+    fn always_panicking_shards_are_retried_then_quarantined_frozen() {
+        let pack = small_pack();
+        let p = plan("panic=1", 3);
+        let retry = RetryPolicy::immediate(2);
+        let (report, degraded) = run_pack_supervised(pack.clone(), Some(&p), &retry, None).unwrap();
+        // Every shard panicked on every attempt: all 5 quarantined after
+        // one retry each, and the state never advanced past epoch 0.
+        assert_eq!(degraded.quarantined.len(), 5, "{degraded:?}");
+        assert!(degraded.retries >= 5);
+        for q in &degraded.quarantined {
+            assert_eq!(q.attempts, 2);
+            assert!(q.error.contains("injected fault"), "{}", q.error);
+        }
+        assert_eq!(report.epochs_run, pack.epochs);
+        let init_report = ScenarioRun::new(pack).report();
+        for (g, init) in report.groups.iter().zip(init_report.groups.iter()) {
+            assert_eq!(g.mean_metric_mv.to_bits(), init.mean_metric_mv.to_bits());
+        }
+    }
+
+    #[test]
+    fn poisoned_epochs_are_rejected_and_the_shard_keeps_its_old_state() {
+        let pack = small_pack();
+        let p = plan("poison=1", 11);
+        let retry = RetryPolicy::immediate(2);
+        let (report, degraded) = run_pack_supervised(pack.clone(), Some(&p), &retry, None).unwrap();
+        // Every shard's every epoch is poisoned with a non-finite value,
+        // so every fold rejects the whole shard store.
+        assert!(degraded.rejected_samples > 0, "{degraded:?}");
+        assert!(degraded.quarantined.is_empty(), "{degraded:?}");
+        // Rejected folds keep the pre-epoch state: the report equals the
+        // initial state's.
+        let init = ScenarioRun::new(pack).report();
+        for (g, i) in report.groups.iter().zip(init.groups.iter()) {
+            assert_eq!(g.mean_metric_mv.to_bits(), i.mean_metric_mv.to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_checkpoints_carry_the_degraded_report_and_quarantine_set() {
+        let pack = small_pack();
+        let p = plan("panic=1", 3);
+        let retry = RetryPolicy::immediate(2);
+        let mut run = ScenarioRun::new(pack.clone());
+        run.step_supervised(2, Some(&p), &retry);
+        assert!(!run.degraded.quarantined.is_empty());
+        let bytes = run.encode_checkpoint();
+        let resumed = ScenarioRun::decode_checkpoint(pack, &bytes).unwrap();
+        assert_eq!(resumed.degraded, run.degraded);
+        assert_eq!(resumed.quarantined, run.quarantined);
+        // And the degraded section participates in the checksum.
+        let mut torn = bytes.clone();
+        let degraded_byte = torn.len() - 20;
+        torn[degraded_byte] ^= 1;
+        assert!(ScenarioRun::decode_checkpoint(resumed.pack().clone(), &torn).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_checkpoints_without_a_degraded_section_still_decode() {
+        let pack = small_pack();
+        let mut run = ScenarioRun::new(pack.clone());
+        run.step(usize::MAX);
+        let v2 = run.encode_checkpoint();
+        // A clean run's degraded section is 7 empty u64 fields; strip it
+        // and rewrite version 2 -> 1 to reconstruct a v1 file.
+        let body_len = v2.len() - 8 - 56;
+        let mut v1 = v2[..body_len].to_vec();
+        v1[4..12].copy_from_slice(&1u64.to_le_bytes());
+        let checksum = fnv1a(FNV_OFFSET, &v1);
+        put_u64(&mut v1, checksum);
+        let decoded = ScenarioRun::decode_checkpoint(pack, &v1).unwrap();
+        assert_eq!(decoded.progress(), run.progress());
+        assert_eq!(decoded.degraded, DegradedReport::default());
+        assert_eq!(decoded.report(), run.report());
+    }
+
+    #[test]
+    fn store_falls_back_over_corrupt_generations_and_rejects_wrong_packs() {
+        let dir = temp_dir("fallback");
+        let store = ScenarioCheckpointStore::new(dir.join("scenario.dhsp"), 3);
+        let pack = small_pack();
+        let mut run = ScenarioRun::new(pack.clone());
+        run.step(2);
+        store.write(&run).unwrap();
+        let older = run.progress();
+        run.step(usize::MAX);
+        store.write(&run).unwrap();
+        // Corrupt the newest generation on disk.
+        let mut bytes = std::fs::read(store.base_path()).unwrap();
+        let len = bytes.len();
+        bytes[len / 2] ^= 0x40;
+        std::fs::write(store.base_path(), &bytes).unwrap();
+        let (found, fallbacks) = store.read_newest_valid(pack.clone()).unwrap();
+        assert_eq!(found.unwrap().progress(), older);
+        assert_eq!(fallbacks.len(), 1);
+        assert!(fallbacks[0].reason.contains("checksum"), "{fallbacks:?}");
+        // A different pack is a hard mismatch, not a silent fallback.
+        let mut other = pack;
+        other.seed += 1;
+        assert!(matches!(
+            store.read_newest_valid(other),
+            Err(ScenarioError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn enospc_and_fsync_faults_keep_the_previous_generation() {
+        let dir = temp_dir("disk");
+        let store = ScenarioCheckpointStore::new(dir.join("scenario.dhsp"), 3);
+        let pack = small_pack();
+        let mut run = ScenarioRun::new(pack.clone());
+        run.step(2);
+        store.write(&run).unwrap();
+        let before = std::fs::read(store.base_path()).unwrap();
+        run.step(usize::MAX);
+        // disk-full=1: every write draws ENOSPC.
+        let p = plan("disk-full=1", 5);
+        let outcome = store.write_injected(&run, Some(&p), 0).unwrap();
+        assert_eq!(outcome.bytes, 0);
+        assert_eq!(outcome.disk.disk_incidents.len(), 1);
+        assert_eq!(outcome.disk.disk_incidents[0].kind, DiskFaultKind::Enospc);
+        assert_eq!(std::fs::read(store.base_path()).unwrap(), before);
+        // disk-fsync=1 (and no ENOSPC): abandoned before rename.
+        let p = plan("disk-fsync=1", 5);
+        let outcome = store.write_injected(&run, Some(&p), 1).unwrap();
+        assert_eq!(outcome.bytes, 0);
+        assert_eq!(
+            outcome.disk.disk_incidents[0].kind,
+            DiskFaultKind::FsyncFail
+        );
+        assert_eq!(std::fs::read(store.base_path()).unwrap(), before);
+        // A torn write lands a strict prefix; resume falls back to the
+        // intact older generation.
+        let p = plan("disk-torn=1", 5);
+        let outcome = store.write_injected(&run, Some(&p), 0).unwrap();
+        assert_eq!(
+            outcome.disk.disk_incidents[0].kind,
+            DiskFaultKind::TornWrite
+        );
+        assert!((outcome.bytes as usize) < before.len() + 64);
+        let (found, fallbacks) = store.read_newest_valid(pack).unwrap();
+        assert!(found.is_some());
+        assert_eq!(fallbacks.len(), 1, "{fallbacks:?}");
+    }
+
+    #[test]
+    fn recoverable_faults_leave_the_report_fingerprint_unchanged() {
+        let dir = temp_dir("recoverable");
+        let store = ScenarioCheckpointStore::new(dir.join("scenario.dhsp"), 3);
+        let pack = small_pack();
+        let clean = run_pack(pack.clone());
+        // Panics (fully retried), checkpoint corruption, and disk faults
+        // are all recoverable: none of them may perturb the state.
+        let p = plan("panic=0.2,ckpt-flip=2,disk-full=0.3,disk-torn=3", 17);
+        let retry = RetryPolicy::immediate(12);
+        let (report, degraded) =
+            run_pack_supervised(pack.clone(), Some(&p), &retry, Some((&store, 1))).unwrap();
+        assert!(degraded.quarantined.is_empty(), "{degraded:?}");
+        assert_eq!(report.fingerprint, clean.fingerprint);
+        assert_eq!(report, clean);
+        assert!(degraded.is_degraded(), "expected disk/retry incidents");
+        // And a resume from whatever generations survived converges to
+        // the same fingerprint.
+        let (resume_report, resume_degraded) =
+            run_pack_supervised(pack, Some(&p), &retry, Some((&store, 1))).unwrap();
+        assert_eq!(resume_report.fingerprint, clean.fingerprint);
+        let _ = resume_degraded;
     }
 }

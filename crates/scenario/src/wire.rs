@@ -51,6 +51,26 @@ pub(crate) fn take_f64(bytes: &mut &[u8], what: &str) -> Result<f64, ScenarioErr
     take_u64(bytes, what).map(f64::from_bits)
 }
 
+/// Length-prefixed UTF-8 string.
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn take_str(bytes: &mut &[u8], what: &str) -> Result<String, ScenarioError> {
+    let len = take_u64(bytes, what)? as usize;
+    if bytes.len() < len {
+        return Err(ScenarioError::Corrupt(format!(
+            "truncated while reading {what}: {len} bytes claimed, {} left",
+            bytes.len()
+        )));
+    }
+    let (head, rest) = bytes.split_at(len);
+    *bytes = rest;
+    String::from_utf8(head.to_vec())
+        .map_err(|_| ScenarioError::Corrupt(format!("{what} is not UTF-8")))
+}
+
 /// A deterministic per-element unit draw in `[0, 1)`: hash of
 /// `(seed, label, index)` through FNV-1a, top 53 bits as the mantissa.
 /// This is how packs spread process variation, duty jitter, and corner

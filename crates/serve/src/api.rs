@@ -351,19 +351,14 @@ pub fn parse_job_spec(
         return Err(bad("`config` and `scenario` are mutually exclusive"));
     }
     if scenario.is_some() {
-        // Scenario jobs integrate a pack verbatim: fault injection and
-        // the fleet checkpoint writer knobs have no meaning there, and
-        // silently ignoring them would mis-run the request.
-        for (given, knob) in [
-            (inject.is_some(), "inject"),
-            (inject_seed.is_some(), "inject_seed"),
-            (checkpoint_mode.is_some(), "checkpoint_mode"),
-        ] {
-            if given {
-                return Err(invalid(format!(
-                    "`{knob}` is not supported for scenario jobs"
-                )));
-            }
+        // Scenario jobs run supervised (inject/inject_seed/retry are
+        // honored), but the async fleet checkpoint writer has no
+        // scenario twin — silently ignoring its knob would mis-run the
+        // request.
+        if checkpoint_mode.is_some() {
+            return Err(invalid(
+                "`checkpoint_mode` is not supported for scenario jobs",
+            ));
         }
     }
     let seed = match (&config, &scenario) {
@@ -501,9 +496,8 @@ mod tests {
     fn scenario_jobs_reject_fleet_only_knobs() {
         for body in [
             r#"{"scenario": "no-such-pack"}"#,
-            r#"{"scenario": "sram-decoder", "inject": "panic=0.5"}"#,
-            r#"{"scenario": "sram-decoder", "inject_seed": 7}"#,
             r#"{"scenario": "sram-decoder", "checkpoint_mode": "sync"}"#,
+            r#"{"scenario": "sram-decoder", "inject": "gremlins=1"}"#,
         ] {
             let err = parse(body).unwrap_err();
             assert_eq!(err.status(), 422, "body {body:?} gave {err:?}");
@@ -512,6 +506,19 @@ mod tests {
         assert_eq!(err.status(), 400);
         let err = parse(r#"{"scenario": 3}"#).unwrap_err();
         assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn scenario_jobs_accept_fault_injection_knobs() {
+        let spec = parse(
+            r#"{"scenario": "sram-decoder", "inject": "panic=0.2,disk-full=0.3",
+                "inject_seed": 7, "retry": 5, "checkpoint": "s.dhsp", "keep": 4}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.inject.as_deref(), Some("panic=0.2,disk-full=0.3"));
+        assert_eq!(spec.inject_seed, 7);
+        assert!(spec.fault_plan().is_some());
+        assert_eq!((spec.retry, spec.keep), (5, 4));
     }
 
     #[test]

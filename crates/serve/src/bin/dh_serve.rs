@@ -20,6 +20,8 @@ usage: dh-serve [flags]
   --pace-ms N        artificial delay between batches    (default 0)
   --data-dir PATH    checkpoint directory                (default dh-serve-data)
   --scenario-dir DIR extra scenario packs (*.json; shadow built-ins)
+  --job-deadline-ms N mark a job degraded after N ms without a heartbeat
+                     (default: watchdog off)
 ";
 
 fn parse_args() -> Result<ServeConfig, String> {
@@ -39,6 +41,10 @@ fn parse_args() -> Result<ServeConfig, String> {
             "--pace-ms" => config.pace = Duration::from_millis(value.parse().map_err(|e| bad(&e))?),
             "--data-dir" => config.data_dir = value.into(),
             "--scenario-dir" => config.scenario_dir = Some(value.into()),
+            "--job-deadline-ms" => {
+                config.job_deadline =
+                    Some(Duration::from_millis(value.parse().map_err(|e| bad(&e))?));
+            }
             _ => return Err(format!("unknown flag {flag}")),
         }
     }

@@ -17,13 +17,14 @@
 
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dh_exec::RetryPolicy;
+use dh_fault::DegradedReport;
 use dh_fleet::{AsyncCheckpointer, CheckpointMode, CheckpointStore, FleetRun};
-use dh_scenario::{ScenarioPack, ScenarioRegistry, ScenarioRun};
+use dh_scenario::{ScenarioCheckpointStore, ScenarioPack, ScenarioRegistry, ScenarioRun};
 
 use crate::api::{parse_job_spec, retry_after_hint, JobSpec, ServeError};
 use crate::json::{escape, num, Json};
@@ -48,6 +49,11 @@ pub enum JobStatus {
     Running,
     /// Finished; the fingerprint is final.
     Completed,
+    /// Finished in a degraded state: the run survived injected or real
+    /// faults (quarantined shards, disk incidents, checkpoint
+    /// fallbacks), or the watchdog gave up on a stalled runner. The
+    /// fingerprint, when present, is final.
+    Degraded,
     /// Aborted on an error (I/O, config mismatch on resume, …).
     Failed,
     /// Stopped by `DELETE /jobs/{id}` (or daemon shutdown).
@@ -66,6 +72,7 @@ impl JobStatus {
             Self::Queued => "queued",
             Self::Running => "running",
             Self::Completed => "completed",
+            Self::Degraded => "degraded",
             Self::Failed => "failed",
             Self::Cancelled => "cancelled",
             Self::Resumable => "resumable",
@@ -76,7 +83,7 @@ impl JobStatus {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            Self::Completed | Self::Failed | Self::Cancelled | Self::Resumable
+            Self::Completed | Self::Degraded | Self::Failed | Self::Cancelled | Self::Resumable
         )
     }
 }
@@ -90,6 +97,12 @@ struct JobInner {
     fingerprint: Option<u64>,
     /// Set once on failure.
     error: Option<String>,
+    /// Disk incidents the runner survived (injected or real); the
+    /// registry's `/healthz` disk signal is fed from this.
+    disk_incidents: u64,
+    /// Last sign of life from the runner; the watchdog compares this
+    /// against the job deadline.
+    heartbeat: Instant,
     /// `(event name, single-line JSON data)`, append-only.
     events: Vec<(String, String)>,
 }
@@ -125,6 +138,8 @@ impl Job {
                 shard_count,
                 fingerprint: None,
                 error: None,
+                disk_incidents: 0,
+                heartbeat: Instant::now(),
                 events: Vec::new(),
             }),
             cond: Condvar::new(),
@@ -146,18 +161,43 @@ impl Job {
     }
 
     fn set_running(&self) {
-        lock(&self.inner).status = JobStatus::Running;
+        let mut inner = lock(&self.inner);
+        inner.status = JobStatus::Running;
+        inner.heartbeat = Instant::now();
     }
 
-    /// Appends an event and wakes every SSE tail.
+    /// Disk incidents the runner recorded (terminal jobs only).
+    pub fn disk_incidents(&self) -> u64 {
+        lock(&self.inner).disk_incidents
+    }
+
+    /// How long since the runner last showed a sign of life.
+    pub fn heartbeat_elapsed(&self) -> Duration {
+        lock(&self.inner).heartbeat.elapsed()
+    }
+
+    /// Appends an event and wakes every SSE tail. Every event doubles
+    /// as a heartbeat. No-op once terminal: a runner the watchdog
+    /// already gave up on must not reanimate the stream.
     fn push_event(&self, event: &str, data: String) {
         let mut inner = lock(&self.inner);
+        if inner.status.is_terminal() {
+            return;
+        }
+        inner.heartbeat = Instant::now();
         inner.events.push((event.to_string(), data));
         self.cond.notify_all();
     }
 
+    /// Transitions to a terminal status with its terminal event. First
+    /// writer wins: a late finish from a runner the watchdog already
+    /// declared dead (or a watchdog racing a clean completion) is
+    /// dropped.
     fn finish(&self, status: JobStatus, event: &str, data: String) {
         let mut inner = lock(&self.inner);
+        if inner.status.is_terminal() {
+            return;
+        }
         inner.status = status;
         inner.events.push((event.to_string(), data));
         self.cond.notify_all();
@@ -240,6 +280,10 @@ pub struct RunnerSettings {
     /// The scenario registry `{"scenario": …}` submissions resolve
     /// against.
     pub scenarios: Arc<ScenarioRegistry>,
+    /// How long a running job may go without a heartbeat before the
+    /// watchdog declares it degraded and frees its slot. `None`
+    /// disables the watchdog.
+    pub job_deadline: Option<Duration>,
 }
 
 #[derive(Debug, Default)]
@@ -257,6 +301,10 @@ pub struct JobRegistry {
     inner: Mutex<RegistryInner>,
     /// Wakes workers when the queue grows or shutdown begins.
     queue_cond: Condvar,
+    /// Times the watchdog declared a stalled job degraded.
+    watchdog_fires: AtomicU64,
+    /// Set once any job records a disk incident; `/healthz` reports it.
+    disk_degraded: AtomicBool,
 }
 
 impl JobRegistry {
@@ -275,6 +323,8 @@ impl JobRegistry {
                 ..RegistryInner::default()
             }),
             queue_cond: Condvar::new(),
+            watchdog_fires: AtomicU64::new(0),
+            disk_degraded: AtomicBool::new(false),
         }
     }
 
@@ -384,8 +434,51 @@ impl JobRegistry {
                 }
             };
             run_job(&job, &self.settings);
+            if job.disk_incidents() > 0 {
+                self.disk_degraded.store(true, Ordering::Relaxed);
+            }
             write_meta(&job, &self.settings.data_dir);
         }
+    }
+
+    /// One watchdog pass: every running job whose heartbeat is older
+    /// than the deadline goes terminal-degraded (its runner is asked to
+    /// cancel, in case it is merely slow rather than dead). Returns the
+    /// jobs fired on, so the server can spawn replacement workers for
+    /// the slots their runners still occupy.
+    pub fn watchdog_scan(&self, deadline: Duration) -> usize {
+        let stalled: Vec<Arc<Job>> = lock(&self.inner)
+            .jobs
+            .iter()
+            .filter(|j| j.status() == JobStatus::Running && j.heartbeat_elapsed() > deadline)
+            .cloned()
+            .collect();
+        for job in &stalled {
+            job.request_cancel();
+            self.watchdog_fires.fetch_add(1, Ordering::Relaxed);
+            dh_obs::counter!("serve.watchdog_fires").incr();
+            job.finish(
+                JobStatus::Degraded,
+                "degraded",
+                format!(
+                    "{{\"job\": {}, \"reason\": \"watchdog: no heartbeat in {} ms\"}}",
+                    job.id,
+                    deadline.as_millis(),
+                ),
+            );
+            write_meta(job, &self.settings.data_dir);
+        }
+        stalled.len()
+    }
+
+    /// Times the watchdog has fired since boot.
+    pub fn watchdog_fire_count(&self) -> u64 {
+        self.watchdog_fires.load(Ordering::Relaxed)
+    }
+
+    /// Whether any job has recorded a disk incident since boot.
+    pub fn disk_degraded(&self) -> bool {
+        self.disk_degraded.load(Ordering::Relaxed)
     }
 }
 
@@ -461,6 +554,7 @@ fn restore_job(id: u64, text: &str, settings: &RunnerSettings) -> Option<Job> {
     let spec = parse_job_spec(raw.as_bytes(), dh_exec::max_threads(), &settings.scenarios).ok()?;
     let status = match doc.get("status")?.as_str()? {
         "completed" => JobStatus::Completed,
+        "degraded" => JobStatus::Degraded,
         "failed" => JobStatus::Failed,
         // A cancel with a checkpoint on disk is resumable by design;
         // without one the cancel is final.
@@ -500,6 +594,7 @@ enum Writer {
         store: CheckpointStore,
         write_index: u64,
         scratch: Vec<u8>,
+        disk: DegradedReport,
     },
     Async(AsyncCheckpointer),
 }
@@ -512,6 +607,7 @@ impl Writer {
                 store: store.clone(),
                 write_index: 0,
                 scratch: Vec::new(),
+                disk: DegradedReport::default(),
             },
             (Some(store), CheckpointMode::Async) => {
                 Self::Async(AsyncCheckpointer::spawn(store.clone(), spec.fault_plan()))
@@ -526,13 +622,15 @@ impl Writer {
                 store,
                 write_index,
                 scratch,
+                disk,
             } => {
-                store.write_injected_with(
+                let outcome = store.write_injected_with(
                     &run.snapshot(),
                     spec.fault_plan().as_ref(),
                     *write_index,
                     scratch,
                 )?;
+                disk.absorb(outcome.disk);
                 *write_index += 1;
                 Ok(())
             }
@@ -540,10 +638,12 @@ impl Writer {
         }
     }
 
-    fn finish(self) -> Result<(), dh_fleet::FleetError> {
+    /// Drains the writer and returns the disk incidents it survived.
+    fn finish(self) -> Result<DegradedReport, dh_fleet::FleetError> {
         match self {
+            Self::None => Ok(DegradedReport::default()),
+            Self::Sync { disk, .. } => Ok(disk),
             Self::Async(writer) => writer.finish(),
-            _ => Ok(()),
         }
     }
 }
@@ -596,6 +696,9 @@ fn progress_event(job: &Job, run: &FleetRun) -> String {
 
 fn fail_job(job: &Job, why: String) {
     let mut inner = lock(&job.inner);
+    if inner.status.is_terminal() {
+        return;
+    }
     inner.status = JobStatus::Failed;
     inner.error = Some(why.clone());
     inner.events.push((
@@ -668,9 +771,12 @@ fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
     let mut done = run.is_done();
     while !done {
         if job.cancel_requested() {
-            if let Err(e) = writer.finish() {
-                fail_job(job, e.to_string());
-                return;
+            match writer.finish() {
+                Ok(disk) => record_disk(job, &disk),
+                Err(e) => {
+                    fail_job(job, e.to_string());
+                    return;
+                }
             }
             job.finish(
                 JobStatus::Cancelled,
@@ -693,10 +799,14 @@ fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
             std::thread::sleep(settings.pace);
         }
     }
-    if let Err(e) = writer.finish() {
-        fail_job(job, e.to_string());
-        return;
-    }
+    let disk = match writer.finish() {
+        Ok(disk) => disk,
+        Err(e) => {
+            fail_job(job, e.to_string());
+            return;
+        }
+    };
+    record_disk(job, &disk);
 
     let report = match run.report() {
         Ok(report) => report,
@@ -706,18 +816,19 @@ fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
         }
     };
     let fingerprint = report.fingerprint();
-    let degraded = run.degraded();
+    let mut degraded = run.degraded().clone();
+    degraded.absorb(disk);
     {
         let mut inner = lock(&job.inner);
         inner.fingerprint = Some(fingerprint);
     }
-    job.finish(
-        JobStatus::Completed,
-        "completed",
+    finish_run(
+        job,
+        &degraded,
         format!(
             "{{\"job\": {}, \"fingerprint\": \"{:#018x}\", \"devices\": {}, \"failed\": {}, \
              \"degraded\": {}, \"quarantined_shards\": {}, \"retries\": {}, \
-             \"rejected_samples\": {}, \"checkpoint_fallbacks\": {}}}",
+             \"rejected_samples\": {}, \"checkpoint_fallbacks\": {}, \"disk_incidents\": {}}}",
             job.id,
             fingerprint,
             report.devices,
@@ -727,8 +838,28 @@ fn run_job(job: &Arc<Job>, settings: &RunnerSettings) {
             degraded.retries,
             degraded.rejected_samples,
             degraded.checkpoint_fallbacks.len(),
+            degraded.disk_incidents.len(),
         ),
     );
+}
+
+/// Records the disk incidents a writer survived on the job.
+fn record_disk(job: &Job, disk: &DegradedReport) {
+    if !disk.disk_incidents.is_empty() {
+        lock(&job.inner).disk_incidents += disk.disk_incidents.len() as u64;
+    }
+}
+
+/// The shared terminal transition for a run that finished: `completed`
+/// when it was clean, `degraded` (same payload) when it survived
+/// faults along the way — callers already folded writer disk incidents
+/// into `degraded`.
+fn finish_run(job: &Job, degraded: &DegradedReport, data: String) {
+    if degraded.is_degraded() {
+        job.finish(JobStatus::Degraded, "degraded", data);
+    } else {
+        job.finish(JobStatus::Completed, "completed", data);
+    }
 }
 
 fn scenario_progress_event(job: &Job, run: &ScenarioRun) -> String {
@@ -752,9 +883,13 @@ fn scenario_progress_event(job: &Job, run: &ScenarioRun) -> String {
 }
 
 /// The scenario twin of the fleet path below: same cancel points (batch
-/// boundaries), same checkpoint discipline (write after every batch, so
-/// a kill resumes from the last boundary and still lands on the
-/// byte-identical final state the determinism tests pin).
+/// boundaries), same supervision (the spec's fault plan and retry
+/// budget thread through [`ScenarioRun::step_supervised`]), and the
+/// same checkpoint discipline — writes go through the disk-fault
+/// injecting [`ScenarioCheckpointStore`] with an incrementing write
+/// index, and a corrupt newest generation falls back on resume, so a
+/// kill resumes from the last boundary and still lands on the
+/// byte-identical final state the determinism tests pin.
 fn run_scenario_job(job: &Arc<Job>, settings: &RunnerSettings, pack: ScenarioPack) {
     let spec = &job.spec;
     if dh_obs::ENABLED {
@@ -762,13 +897,24 @@ fn run_scenario_job(job: &Arc<Job>, settings: &RunnerSettings, pack: ScenarioPac
         dh_obs::label("scenario.blocks", &pack.blocks.len().to_string());
         dh_obs::label("scenario.elements", &pack.total_elements().to_string());
     }
-    let path = spec
+    let plan = spec.fault_plan();
+    let retry = RetryPolicy {
+        max_attempts: spec.retry,
+        ..RetryPolicy::default()
+    };
+    let store = spec
         .checkpoint
         .as_ref()
-        .map(|name| settings.data_dir.join(name));
-    let opened = match path.as_deref() {
-        Some(p) if p.exists() => ScenarioRun::resume_from(pack.clone(), p),
-        _ => Ok(ScenarioRun::new(pack.clone())),
+        .map(|name| ScenarioCheckpointStore::new(settings.data_dir.join(name), spec.keep));
+    let opened = match &store {
+        Some(store) => store
+            .read_newest_valid(pack.clone())
+            .map(|(found, fallbacks)| {
+                let mut run = found.unwrap_or_else(|| ScenarioRun::new(pack.clone()));
+                run.degraded.checkpoint_fallbacks.extend(fallbacks);
+                run
+            }),
+        None => Ok(ScenarioRun::new(pack.clone())),
     };
     let mut run = match opened {
         Ok(run) => run,
@@ -789,24 +935,32 @@ fn run_scenario_job(job: &Arc<Job>, settings: &RunnerSettings, pack: ScenarioPac
         "started",
         format!(
             "{{\"job\": {}, \"scenario\": \"{}\", \"pack_fingerprint\": \"{:#018x}\", \
-             \"resumed_epoch\": {}, \"total_epochs\": {}, \"shards\": {}}}",
+             \"resumed_epoch\": {}, \"total_epochs\": {}, \"shards\": {}, \
+             \"checkpoint_fallbacks\": {}}}",
             job.id,
             escape(&pack.name),
             run.pack_fingerprint(),
             run.progress().epoch,
             pack.epochs,
             per_epoch,
+            run.degraded.checkpoint_fallbacks.len(),
         ),
     );
 
-    let step = match &path {
+    let step = match &store {
         Some(_) => spec.checkpoint_every,
         None => settings.step_shards,
     }
     .max(1) as usize;
 
+    // Disk incidents stay out of `run.degraded` until the run is over,
+    // so no checkpoint embeds this process's own disk-fault history (a
+    // resume would otherwise double-count replayed writes).
+    let mut disk = DegradedReport::default();
+    let mut write_index = 0u64;
     while !run.progress().done {
         if job.cancel_requested() {
+            record_disk(job, &disk);
             let done = sync_progress(&run);
             job.finish(
                 JobStatus::Cancelled,
@@ -815,11 +969,17 @@ fn run_scenario_job(job: &Arc<Job>, settings: &RunnerSettings, pack: ScenarioPac
             );
             return;
         }
-        let p = run.step(step);
-        if let Some(path) = &path {
-            if let Err(e) = run.save_checkpoint(path) {
-                fail_job(job, e.to_string());
-                return;
+        let p = run.step_supervised(step, plan.as_ref(), &retry);
+        if let Some(store) = &store {
+            match store.write_injected(&run, plan.as_ref(), write_index) {
+                Ok(outcome) => {
+                    disk.absorb(outcome.disk);
+                    write_index += 1;
+                }
+                Err(e) => {
+                    fail_job(job, e.to_string());
+                    return;
+                }
             }
         }
         sync_progress(&run);
@@ -828,25 +988,36 @@ fn run_scenario_job(job: &Arc<Job>, settings: &RunnerSettings, pack: ScenarioPac
             std::thread::sleep(settings.pace);
         }
     }
+    record_disk(job, &disk);
 
     let report = run.report();
     {
         let mut inner = lock(&job.inner);
         inner.fingerprint = Some(report.fingerprint);
     }
+    let mut degraded = run.degraded.clone();
+    degraded.absorb(disk);
     let failed: u64 = report.groups.iter().map(|g| g.failed).sum();
-    job.finish(
-        JobStatus::Completed,
-        "completed",
+    finish_run(
+        job,
+        &degraded,
         format!(
             "{{\"job\": {}, \"scenario\": \"{}\", \"fingerprint\": \"{:#018x}\", \
-             \"elements\": {}, \"failed\": {}, \"epochs\": {}}}",
+             \"elements\": {}, \"failed\": {}, \"epochs\": {}, \"degraded\": {}, \
+             \"quarantined_shards\": {}, \"retries\": {}, \"rejected_samples\": {}, \
+             \"checkpoint_fallbacks\": {}, \"disk_incidents\": {}}}",
             job.id,
             escape(&report.scenario),
             report.fingerprint,
             pack.total_elements(),
             failed,
             report.epochs_run,
+            degraded.is_degraded(),
+            degraded.quarantined.len(),
+            degraded.retries,
+            degraded.rejected_samples,
+            degraded.checkpoint_fallbacks.len(),
+            degraded.disk_incidents.len(),
         ),
     );
 }

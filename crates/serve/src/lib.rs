@@ -77,6 +77,10 @@ pub struct ServeConfig {
     /// Extra scenario packs loaded from `*.json` files in this
     /// directory (they shadow same-named built-ins).
     pub scenario_dir: Option<PathBuf>,
+    /// How long a running job may go without a heartbeat before the
+    /// watchdog declares it `degraded` and frees its worker slot.
+    /// `None` disables the watchdog.
+    pub job_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +93,7 @@ impl Default for ServeConfig {
             pace: Duration::ZERO,
             data_dir: PathBuf::from("dh-serve-data"),
             scenario_dir: None,
+            job_deadline: None,
         }
     }
 }
@@ -101,6 +106,7 @@ pub struct Server {
     accept_stop: Arc<AtomicBool>,
     shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
     accept_handle: Option<JoinHandle<()>>,
+    watchdog_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
@@ -125,6 +131,7 @@ impl Server {
             pace: config.pace,
             data_dir: config.data_dir.clone(),
             scenarios: Arc::new(scenarios),
+            job_deadline: config.job_deadline,
         }));
         let shutdown_signal = Arc::new((Mutex::new(false), Condvar::new()));
         let accept_stop = Arc::new(AtomicBool::new(false));
@@ -164,12 +171,48 @@ impl Server {
                 .expect("failed to spawn accept thread")
         };
 
+        // The watchdog: a supervisor thread that periodically scans for
+        // running jobs whose runner stopped heartbeating, marks them
+        // `degraded` (terminal SSE frame), and spawns one replacement
+        // worker per fire so the stalled runner's slot is not lost —
+        // the hung thread itself is left to die on its own (it cannot
+        // be killed safely), but the daemon's concurrency recovers.
+        let watchdog_handle = config.job_deadline.map(|deadline| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&accept_stop);
+            let tick = (deadline / 4).max(Duration::from_millis(5));
+            std::thread::Builder::new()
+                .name("dh-serve-watchdog".into())
+                .spawn(move || {
+                    let mut replacements = Vec::new();
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(tick);
+                        for _ in 0..registry.watchdog_scan(deadline) {
+                            let registry = Arc::clone(&registry);
+                            if let Ok(handle) = std::thread::Builder::new()
+                                .name("dh-serve-worker-r".into())
+                                .spawn(move || registry.worker_loop())
+                            {
+                                replacements.push(handle);
+                            }
+                        }
+                    }
+                    // Shutdown: the registry has been (or is being)
+                    // drained; replacement workers exit on its signal.
+                    for handle in replacements {
+                        let _ = handle.join();
+                    }
+                })
+                .expect("failed to spawn watchdog thread")
+        });
+
         Ok(Self {
             addr,
             registry,
             accept_stop,
             shutdown_signal,
             accept_handle: Some(accept_handle),
+            watchdog_handle,
             worker_handles,
         })
     }
@@ -204,6 +247,11 @@ impl Server {
         }
         self.registry.shutdown();
         for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // After registry.shutdown(): replacement workers need the
+        // shutdown signal to exit before the watchdog can join them.
+        if let Some(handle) = self.watchdog_handle.take() {
             let _ = handle.join();
         }
     }
@@ -255,7 +303,23 @@ fn route(
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            respond_json(stream, 200, &[], "{\"status\": \"ok\"}");
+            // Liveness plus the degraded-disk signal: once any job has
+            // survived a disk incident, operators should check the
+            // data-dir volume even though the daemon itself is fine.
+            let disk = if registry.disk_degraded() {
+                "degraded"
+            } else {
+                "ok"
+            };
+            respond_json(
+                stream,
+                200,
+                &[],
+                &format!(
+                    "{{\"status\": \"ok\", \"disk\": \"{disk}\", \"watchdog_fires\": {}}}",
+                    registry.watchdog_fire_count(),
+                ),
+            );
             Ok(Routed::Done)
         }
         ("POST", ["shutdown"]) => {

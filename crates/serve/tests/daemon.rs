@@ -290,10 +290,15 @@ fn injected_shard_kills_degrade_the_job_not_the_daemon() {
     let id = job_field(&accepted.body, "id");
     let frames = sse(addr, &format!("/jobs/{id}/events")).unwrap();
     let (last_event, last_data) = frames.last().unwrap();
-    assert_eq!(last_event, "completed", "frames: {frames:?}");
+    // A run that survived faults ends on the `degraded` terminal frame
+    // (same payload as `completed`), and the status document agrees.
+    assert_eq!(last_event, "degraded", "frames: {frames:?}");
     assert_eq!(job_field(last_data, "degraded"), "true");
     assert_eq!(job_field(last_data, "quarantined_shards"), "1");
     assert_eq!(job_field(last_data, "devices"), "224");
+    let status = request(addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(job_field(&status.body, "status"), "degraded");
+    assert_ne!(job_field(&status.body, "fingerprint"), "null");
 
     // The daemon shrugged it off: health is green and a clean job still
     // produces the engine's exact fingerprint.
@@ -396,11 +401,19 @@ fn scenario_submissions_are_validated_with_typed_errors() {
         "{\"scenario\": \"sram-decoder\", \"config\": {\"devices\": 64}}",
     );
     assert_eq!(both.status, 400);
-    let injected = submit(
+    // Fault injection is supported for scenario jobs now, but the spec
+    // string is still parse-checked at submit time...
+    let bad_inject = submit(
         addr,
-        "{\"scenario\": \"sram-decoder\", \"inject\": \"panic=0.5\"}",
+        "{\"scenario\": \"sram-decoder\", \"inject\": \"gremlins=1\"}",
     );
-    assert_eq!(injected.status, 422);
+    assert_eq!(bad_inject.status, 422);
+    // ...and the async fleet checkpoint writer still has no scenario twin.
+    let bad_mode = submit(
+        addr,
+        "{\"scenario\": \"sram-decoder\", \"checkpoint_mode\": \"async\"}",
+    );
+    assert_eq!(bad_mode.status, 422);
     server.shutdown();
 }
 
@@ -538,6 +551,92 @@ fn a_restarted_daemon_reports_previous_jobs_instead_of_404() {
     let fresh = submit(addr, &job_body(""));
     let fresh_id: u64 = job_field(&fresh.body, "id").parse().unwrap();
     assert!(fresh_id >= 10, "id {fresh_id} collides with restored jobs");
+    let _ = std::fs::remove_dir_all(&scenario_dir);
+    server.shutdown();
+}
+
+#[test]
+fn the_watchdog_degrades_a_stalled_job_and_frees_its_slot() {
+    let (server, addr, _) = start("watchdog", |c| {
+        c.concurrency = 1;
+        // Un-checkpointed jobs fold all 8 shards in one batch and never
+        // hit the pace sleep; the checkpointing job below batches per
+        // shard and stalls 2 s between batches against a 150 ms
+        // heartbeat deadline.
+        c.step_shards = 8;
+        c.pace = Duration::from_millis(2_000);
+        c.job_deadline = Some(Duration::from_millis(150));
+    });
+    let hung = submit(
+        addr,
+        &job_body(", \"checkpoint\": \"hang.dhfl\", \"checkpoint_every\": 1"),
+    );
+    assert_eq!(hung.status, 202);
+    let hung_id = job_field(&hung.body, "id");
+
+    // The watchdog declares the job degraded well before the runner
+    // would have finished (8 shards x 2 s), and the SSE stream ends on
+    // the terminal `degraded` frame naming the watchdog.
+    let status = wait_status(addr, &hung_id, "degraded");
+    assert_eq!(job_field(&status, "status"), "degraded");
+    let frames = sse(addr, &format!("/jobs/{hung_id}/events")).unwrap();
+    let (last_event, last_data) = frames.last().unwrap();
+    assert_eq!(last_event, "degraded", "frames: {frames:?}");
+    assert!(last_data.contains("watchdog"), "{last_data}");
+
+    // The slot was freed: a fresh job runs to completion on the
+    // replacement worker while the stalled runner is still asleep.
+    let fresh = submit(addr, &job_body(""));
+    let fresh_done = wait_status(addr, &job_field(&fresh.body, "id"), "completed");
+    assert_ne!(job_field(&fresh_done, "fingerprint"), "null");
+
+    // And /healthz counts the fire.
+    let health = request(addr, "GET", "/healthz", None).unwrap();
+    let fires: u64 = job_field(&health.body, "watchdog_fires").parse().unwrap();
+    assert!(fires >= 1, "{}", health.body);
+    server.shutdown();
+}
+
+#[test]
+fn scenario_chaos_degrades_the_job_and_healthz_reports_the_disk() {
+    let scenario_dir = temp_data_dir("scenario-chaos-packs");
+    let pack_path = write_test_pack(&scenario_dir);
+    let (server, addr, _) = start("scenario-chaos", |c| {
+        c.scenario_dir = Some(scenario_dir.clone());
+    });
+
+    // Before any disk incident the health document says the disk is ok.
+    let health = request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(job_field(&health.body, "disk"), "ok");
+
+    // Recoverable chaos only: panics are retried away, disk faults are
+    // absorbed by generation fallback — the fingerprint must match a
+    // clean in-process run of the same pack.
+    let body = "{\"scenario\": \"mini-sram\", \"checkpoint\": \"chaos.dhsp\", \
+                \"checkpoint_every\": 1, \"keep\": 3, \"retry\": 8, \
+                \"inject\": \"panic=0.1,ckpt-flip=3,disk-full=0.4,disk-torn=3\", \
+                \"inject_seed\": 42}";
+    let accepted = submit(addr, body);
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let id = job_field(&accepted.body, "id");
+    let frames = sse(addr, &format!("/jobs/{id}/events")).unwrap();
+    let (last_event, last_data) = frames.last().unwrap();
+    assert_eq!(last_event, "degraded", "frames: {frames:?}");
+    assert_eq!(job_field(last_data, "quarantined_shards"), "0");
+    let incidents: u64 = job_field(last_data, "disk_incidents").parse().unwrap();
+    assert!(incidents > 0, "{last_data}");
+    let pack = dh_scenario::load_pack_file(&pack_path).unwrap();
+    let expected = dh_scenario::run_pack(pack).fingerprint;
+    assert_eq!(
+        job_field(last_data, "fingerprint"),
+        format!("{expected:#018x}"),
+    );
+
+    // The daemon is alive, but the health document now carries the
+    // degraded-disk signal for the operator.
+    let health = request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(job_field(&health.body, "disk"), "degraded");
     let _ = std::fs::remove_dir_all(&scenario_dir);
     server.shutdown();
 }

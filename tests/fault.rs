@@ -23,6 +23,10 @@ use deep_healing::fleet::{
     FleetConfig, FleetPolicy, FleetRun, MaintenanceBudget, SENSOR_STALE_EPOCHS,
 };
 use dh_exec::RetryPolicy;
+use dh_scenario::{
+    run_pack, run_pack_supervised, ScenarioCheckpointStore, ScenarioPack, ScenarioRegistry,
+    ScenarioRun,
+};
 use proptest::prelude::*;
 
 fn small_fleet() -> FleetConfig {
@@ -122,6 +126,118 @@ proptest! {
             prop_assert!(degraded.checkpoint_fallbacks.is_empty());
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+const BUILTIN_PACKS: [&str; 3] = ["sram-decoder", "dnn-weight-memory", "aged-multiplier"];
+
+/// A shrunk copy of a built-in pack: same victim model, workload, and
+/// maintenance policy, but few enough elements that a 24-case proptest
+/// stays fast in debug builds.
+fn small_pack(name: &str) -> ScenarioPack {
+    let mut pack = ScenarioRegistry::builtin()
+        .resolve(name)
+        .expect("built-in pack");
+    pack.epochs = 3;
+    pack.shard_size = 64;
+    for block in &mut pack.blocks {
+        block.count = block.count.min(160);
+    }
+    pack.validate().expect("shrunk pack stays valid");
+    pack
+}
+
+/// The DHSP twin of [`seed_generations`]: three one-shard steps, a
+/// checkpoint after each, run dropped mid-flight.
+fn seed_scenario_generations(pack: &ScenarioPack, store: &ScenarioCheckpointStore) {
+    let mut run = ScenarioRun::new(pack.clone());
+    for _ in 0..3 {
+        assert!(!run.step(1).done, "three shards must not finish the run");
+        store.write(&run).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The DHSP twin of the generation-damage property above, across
+    /// all three built-in victim models: damage any retained scenario
+    /// checkpoint generation, any way — the supervised resume falls
+    /// back and still lands on the uninterrupted fingerprint.
+    #[test]
+    fn corrupted_scenario_generations_fall_back_to_fingerprint_identical_resume(
+        pack_index in 0usize..3,
+        generation in 0usize..3,
+        mode in 0u8..2,
+        damage in 0u64..u64::MAX,
+    ) {
+        let truncate = mode == 1;
+        let name = BUILTIN_PACKS[pack_index];
+        let pack = small_pack(name);
+        let baseline = run_pack(pack.clone());
+
+        let dir = fresh_dir(&format!("scenario-proptest-{name}"));
+        let store = ScenarioCheckpointStore::new(dir.join("run.dhsp"), 3);
+        seed_scenario_generations(&pack, &store);
+
+        let victim = store.generation_path(generation);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        prop_assume!(!bytes.is_empty());
+        if truncate {
+            bytes.truncate((damage % bytes.len() as u64) as usize);
+        } else {
+            let byte = (damage % bytes.len() as u64) as usize;
+            let bit = ((damage >> 8) % 8) as u8;
+            bytes[byte] ^= 1 << bit;
+        }
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let (resumed, degraded) = run_pack_supervised(
+            pack.clone(),
+            None,
+            &RetryPolicy::immediate(1),
+            Some((&store, 1)),
+        )
+        .unwrap();
+
+        prop_assert!(
+            resumed.fingerprint == baseline.fingerprint,
+            "{name}: resume after damaging generation {} ({}): {:#018x} vs {:#018x}",
+            generation,
+            if truncate { "truncate" } else { "bit flip" },
+            resumed.fingerprint,
+            baseline.fingerprint,
+        );
+        prop_assert!(resumed.render() == baseline.render());
+
+        if generation == 0 {
+            prop_assert!(degraded.checkpoint_fallbacks.len() == 1);
+            prop_assert!(degraded.checkpoint_fallbacks[0].generation == 0);
+        } else {
+            prop_assert!(degraded.checkpoint_fallbacks.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// No plan and a no-op plan must fold the exact same sequence as
+    /// the strict scenario engine — for every built-in victim model.
+    #[test]
+    fn supervised_scenario_without_faults_is_bit_identical_to_strict_run(
+        pack_index in 0usize..3,
+        epochs in 1u64..4,
+    ) {
+        let mut pack = small_pack(BUILTIN_PACKS[pack_index]);
+        pack.epochs = epochs;
+        let strict = run_pack(pack.clone());
+
+        let noop = FaultPlan::parse("", 99).unwrap();
+        for plan in [None, Some(&noop)] {
+            let (report, degraded) =
+                run_pack_supervised(pack.clone(), plan, &RetryPolicy::immediate(1), None).unwrap();
+            prop_assert!(report.fingerprint == strict.fingerprint);
+            prop_assert!(report.render() == strict.render());
+            prop_assert!(!degraded.is_degraded(), "clean run must report clean");
+        }
     }
 }
 
@@ -233,6 +349,67 @@ fn slab_checksum_catches_corruption_the_file_checksum_misses() {
         degraded.checkpoint_fallbacks[0].reason
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With instrumentation on (`--features dh-obs/enabled`), every new
+/// failure path counts: retries, quarantines, checkpoint fallbacks,
+/// injected disk faults, and the retention trims that absorb them —
+/// on both the fleet (DHFL) and scenario (DHSP) engines.
+#[test]
+fn failure_path_counters_light_up_the_obs_snapshot() {
+    if !deep_healing::obs::ENABLED {
+        return; // uninstrumented build: the registry stays empty
+    }
+    // Fleet chaos: a killed shard, corrupt + missing generations, and
+    // seeded disk faults under the checkpoint writer.
+    let config = small_fleet();
+    let dir = fresh_dir("obs-chaos-fleet");
+    let store = CheckpointStore::new(dir.join("run.dhfl"), 3);
+    std::fs::write(store.generation_path(0), b"not a checkpoint").unwrap();
+    let plan = FaultPlan::parse("kill-shard=1,disk-full=0.5,disk-torn=2", 7).unwrap();
+    run_fleet_supervised(
+        &config,
+        Some(&plan),
+        &RetryPolicy::immediate(2),
+        Some((&store, 1)),
+    )
+    .unwrap();
+
+    // Scenario chaos, same shape, through the DHSP store.
+    let pack = small_pack("sram-decoder");
+    let sdir = fresh_dir("obs-chaos-scenario");
+    let sstore = ScenarioCheckpointStore::new(sdir.join("run.dhsp"), 3);
+    std::fs::write(sstore.generation_path(0), b"not a checkpoint").unwrap();
+    let splan = FaultPlan::parse("panic=0.3,disk-full=0.5,disk-torn=2", 17).unwrap();
+    run_pack_supervised(
+        pack,
+        Some(&splan),
+        &RetryPolicy::immediate(8),
+        Some((&sstore, 1)),
+    )
+    .unwrap();
+
+    let snap = deep_healing::obs::snapshot();
+    for counter in [
+        "fleet.shards_quarantined",
+        "fleet.checkpoint_fallbacks",
+        "fleet.disk_fault_enospc",
+        "fleet.disk_fault_torn",
+        "fleet.retention_trims",
+        "scenario.shard_retries",
+        "scenario.checkpoint_fallbacks",
+        "scenario.disk_fault_enospc",
+        "scenario.disk_fault_torn",
+        "scenario.retention_trims",
+    ] {
+        assert!(
+            snap.counter(counter) >= 1,
+            "{counter} must count at least one event: {}",
+            snap.to_json()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&sdir);
 }
 
 #[test]
